@@ -1,0 +1,174 @@
+//! Address analysis: memory-access targets and indirect-branch resolution.
+//!
+//! Two consumers:
+//!
+//! * the cache/pipeline analysis needs, for every load and store, the set
+//!   of addresses it may touch — an unknown address forces the worst
+//!   memory latency and wrecks the abstract data cache ("imprecise memory
+//!   accesses", Section 4.3);
+//! * control-flow reconstruction needs targets for indirect calls and
+//!   jumps (function pointers, Section 3.2). When the value analysis pins
+//!   the target register to a small set — typically loaded from a jump
+//!   table in the data segment — this module emits a
+//!   [`TargetResolver`] and the analyzer re-runs reconstruction.
+
+use std::collections::BTreeMap;
+
+use wcet_cfg::TargetResolver;
+use wcet_isa::{Addr, Inst};
+
+use crate::value::Value;
+use crate::valueanalysis::FunctionAnalysis;
+
+/// The abstract address of every load/store in the function, keyed by
+/// instruction address.
+#[must_use]
+pub fn access_values(fa: &FunctionAnalysis) -> BTreeMap<Addr, Value> {
+    let mut out = BTreeMap::new();
+    for (id, block) in fa.cfg().iter() {
+        let Some(mut state) = fa.block_in(id).cloned() else {
+            continue;
+        };
+        for (ia, inst) in &block.insts {
+            match inst {
+                Inst::Load { base, offset, .. } | Inst::Store { base, offset, .. } => {
+                    let addr = state.reg(*base).lift_binop(
+                        &Value::constant(*offset as u32),
+                        u32::wrapping_add,
+                        crate::interval::Interval::add,
+                    );
+                    // Blocks can be duplicated by virtual unrolling; keep
+                    // the *least precise* (joined) address per site so the
+                    // result is sound for every context.
+                    out.entry(*ia)
+                        .and_modify(|v: &mut Value| *v = v.join(&addr))
+                        .or_insert(addr);
+                }
+                _ => {}
+            }
+            fa.transfer_inst(&mut state, *inst);
+        }
+    }
+    out
+}
+
+/// Indirect-control-flow targets recovered by the value analysis: for
+/// every `callr`/`jr` whose register holds a small exact set of code
+/// addresses, emit those targets.
+#[must_use]
+pub fn resolver_hints(fa: &FunctionAnalysis) -> TargetResolver {
+    let mut resolver = TargetResolver::empty();
+    for (id, block) in fa.cfg().iter() {
+        let Some(mut state) = fa.block_in(id).cloned() else {
+            continue;
+        };
+        for (ia, inst) in &block.insts {
+            match inst {
+                Inst::CallInd { rs } => {
+                    if let Some(set) = state.reg(*rs).as_set() {
+                        resolver.add_call_targets(*ia, set.iter().map(|&t| Addr(t)));
+                    }
+                }
+                Inst::JumpInd { rs } => {
+                    if let Some(set) = state.reg(*rs).as_set() {
+                        resolver.add_jump_targets(*ia, set.iter().map(|&t| Addr(t)));
+                    }
+                }
+                _ => {}
+            }
+            fa.transfer_inst(&mut state, *inst);
+        }
+    }
+    resolver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valueanalysis::analyze_function;
+    use wcet_cfg::graph::reconstruct;
+    use wcet_isa::asm::assemble;
+    use wcet_isa::Image;
+
+    fn analyze(src: &str) -> (Image, FunctionAnalysis) {
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        (image, fa)
+    }
+
+    #[test]
+    fn constant_access_address() {
+        let (_, fa) = analyze("main: li r1, 0x200\n lw r2, 8(r1)\n halt");
+        let accesses = access_values(&fa);
+        assert_eq!(accesses.len(), 1);
+        let v = accesses.values().next().unwrap();
+        assert_eq!(v.as_constant(), Some(0x208));
+    }
+
+    #[test]
+    fn unknown_access_address_is_top() {
+        let (_, fa) = analyze("main: lw r2, 0(r4)\n halt");
+        let accesses = access_values(&fa);
+        assert!(accesses.values().next().unwrap().is_top());
+    }
+
+    #[test]
+    fn alloc_based_access_is_heap_ranged() {
+        let (_, fa) = analyze("main: li r1, 16\n alloc r2, r1\n sw r0, 4(r2)\n halt");
+        let accesses = access_values(&fa);
+        let v = accesses.values().next().unwrap();
+        assert!(!v.is_top());
+        assert!(v.may_be(0x2000_0004));
+        assert!(!v.may_be(0x1000));
+    }
+
+    #[test]
+    fn function_pointer_from_jump_table_resolved() {
+        // A two-entry function-pointer table in the data segment; the
+        // selector picks one of the two entries.
+        let (image, fa) = analyze(
+            r#"
+            .data 0x5000 0, 0
+            main: la   r1, table_patch  # placeholder; real test pokes below
+                  halt
+            table_patch: nop
+            "#,
+        );
+        let _ = (image, fa); // structural placeholder; the meaningful case:
+
+        // Build a program whose handler addresses are written as data and
+        // loaded through a computed index.
+        let src = r#"
+            main: li  r1, 0x5000
+                  beq r4, r0, second
+                  lw  r2, 0(r1)
+                  j   go
+            second:
+                  lw  r2, 4(r1)
+            go:   callr r2
+                  halt
+            h1:   ret
+            h2:   ret
+        "#;
+        let mut image = assemble(src).unwrap();
+        let h1 = image.symbol("h1").unwrap();
+        let h2 = image.symbol("h2").unwrap();
+        image
+            .data
+            .push(wcet_isa::image::Segment::from_words(Addr(0x5000), &[h1.0, h2.0]));
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        assert_eq!(p.unresolved_sites().len(), 1, "callr initially unresolved");
+
+        let fa = analyze_function(&p, p.entry, &image);
+        let hints = resolver_hints(&fa);
+        assert_eq!(hints.call_targets.len(), 1);
+        let targets = hints.call_targets.values().next().unwrap();
+        assert!(targets.contains(&h1) && targets.contains(&h2));
+
+        // Re-reconstruction with the hints resolves the call.
+        let p2 = reconstruct(&image, &hints).unwrap();
+        assert!(p2.unresolved_sites().is_empty());
+        assert!(p2.cfg(h1).is_some() && p2.cfg(h2).is_some());
+    }
+}

@@ -1,0 +1,455 @@
+//! Unsigned 32-bit intervals — the numeric half of the value domain.
+//!
+//! Values are machine words; the interval tracks them as *unsigned*
+//! `[lo, hi] ⊆ [0, 2³²-1]`. Signed comparisons convert on demand (and go
+//! to top when the interval straddles the sign boundary). Arithmetic that
+//! could wrap degrades to top rather than producing an unsound range.
+
+use std::fmt;
+
+const UMAX: i64 = u32::MAX as i64;
+
+/// An unsigned interval over 32-bit machine words, plus bottom.
+///
+/// # Example
+///
+/// ```
+/// use wcet_analysis::Interval;
+/// let a = Interval::new(2, 5);
+/// let b = Interval::constant(10);
+/// assert_eq!(a.add(b), Interval::new(12, 15));
+/// assert!(a.join(b).contains(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Lower bound (inclusive). `lo > hi` encodes bottom.
+    lo: i64,
+    /// Upper bound (inclusive).
+    hi: i64,
+}
+
+#[allow(clippy::should_implement_trait)] // domain ops, not std::ops arithmetic
+impl Interval {
+    /// The empty interval (unreachable value).
+    pub const BOTTOM: Interval = Interval { lo: 1, hi: 0 };
+    /// The full interval: any 32-bit word.
+    pub const TOP: Interval = Interval { lo: 0, hi: UMAX };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are outside `0..=u32::MAX` or `lo > hi`.
+    #[must_use]
+    pub fn new(lo: u32, hi: u32) -> Interval {
+        assert!(lo <= hi, "interval bounds inverted: [{lo}, {hi}]");
+        Interval {
+            lo: i64::from(lo),
+            hi: i64::from(hi),
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    #[must_use]
+    pub fn constant(v: u32) -> Interval {
+        Interval {
+            lo: i64::from(v),
+            hi: i64::from(v),
+        }
+    }
+
+    /// Returns true if this is the empty interval.
+    #[must_use]
+    pub fn is_bottom(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Returns true if this is the full interval.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.lo == 0 && self.hi == UMAX
+    }
+
+    /// The single contained value, if the interval is a singleton.
+    #[must_use]
+    pub fn as_constant(&self) -> Option<u32> {
+        if !self.is_bottom() && self.lo == self.hi {
+            Some(self.lo as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Lower bound (unsigned). `None` for bottom.
+    #[must_use]
+    pub fn lo(&self) -> Option<u32> {
+        if self.is_bottom() {
+            None
+        } else {
+            Some(self.lo as u32)
+        }
+    }
+
+    /// Upper bound (unsigned). `None` for bottom.
+    #[must_use]
+    pub fn hi(&self) -> Option<u32> {
+        if self.is_bottom() {
+            None
+        } else {
+            Some(self.hi as u32)
+        }
+    }
+
+    /// Number of values in the interval (0 for bottom).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        if self.is_bottom() {
+            0
+        } else {
+            (self.hi - self.lo + 1) as u64
+        }
+    }
+
+    /// Returns true if `v` lies in the interval.
+    #[must_use]
+    pub fn contains(&self, v: u32) -> bool {
+        !self.is_bottom() && self.lo <= i64::from(v) && i64::from(v) <= self.hi
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, other: Interval) -> Interval {
+        if self.is_bottom() {
+            return other;
+        }
+        if other.is_bottom() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound.
+    #[must_use]
+    pub fn meet(self, other: Interval) -> Interval {
+        if self.is_bottom() || other.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        Interval { lo, hi }
+    }
+
+    /// Standard interval widening: bounds that grew jump to the domain
+    /// extremes, guaranteeing fixpoint termination.
+    #[must_use]
+    pub fn widen(self, next: Interval) -> Interval {
+        if self.is_bottom() {
+            return next;
+        }
+        if next.is_bottom() {
+            return self;
+        }
+        Interval {
+            lo: if next.lo < self.lo { 0 } else { self.lo },
+            hi: if next.hi > self.hi { UMAX } else { self.hi },
+        }
+    }
+
+    /// Returns true if `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &Interval) -> bool {
+        self.is_bottom() || (!other.is_bottom() && other.lo <= self.lo && self.hi <= other.hi)
+    }
+
+    fn lift(lo: i64, hi: i64) -> Interval {
+        if lo < 0 || hi > UMAX {
+            // Could wrap: sound but imprecise.
+            Interval::TOP
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Addition (top on possible wrap).
+    #[must_use]
+    pub fn add(self, rhs: Interval) -> Interval {
+        if self.is_bottom() || rhs.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval::lift(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+
+    /// Subtraction (top on possible wrap).
+    #[must_use]
+    pub fn sub(self, rhs: Interval) -> Interval {
+        if self.is_bottom() || rhs.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        Interval::lift(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+
+    /// Multiplication (top on possible wrap).
+    #[must_use]
+    pub fn mul(self, rhs: Interval) -> Interval {
+        if self.is_bottom() || rhs.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        // i128 avoids overflow for the extreme products (2³² · 2³²).
+        let candidates = [
+            i128::from(self.lo) * i128::from(rhs.lo),
+            i128::from(self.lo) * i128::from(rhs.hi),
+            i128::from(self.hi) * i128::from(rhs.lo),
+            i128::from(self.hi) * i128::from(rhs.hi),
+        ];
+        let lo = candidates.iter().copied().min().expect("nonempty");
+        let hi = candidates.iter().copied().max().expect("nonempty");
+        if lo < 0 || hi > i128::from(UMAX) {
+            Interval::TOP
+        } else {
+            Interval {
+                lo: lo as i64,
+                hi: hi as i64,
+            }
+        }
+    }
+
+    /// Left shift by a constant amount.
+    #[must_use]
+    pub fn shl_const(self, amount: u32) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        let amount = amount & 31;
+        Interval::lift(self.lo << amount, self.hi << amount)
+    }
+
+    /// Logical right shift by a constant amount (always exact).
+    #[must_use]
+    pub fn shr_const(self, amount: u32) -> Interval {
+        if self.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        let amount = amount & 31;
+        Interval {
+            lo: self.lo >> amount,
+            hi: self.hi >> amount,
+        }
+    }
+
+    /// Restricts the interval to values `cond`-related to `bound`
+    /// (unsigned comparisons only; used for branch refinement).
+    #[must_use]
+    pub fn refine_ltu(self, bound: Interval) -> Interval {
+        if self.is_bottom() || bound.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        // self < bound ⇒ self ≤ bound.hi - 1.
+        self.meet(Interval {
+            lo: 0,
+            hi: bound.hi - 1,
+        })
+    }
+
+    /// Restricts to values unsigned-greater-or-equal to `bound`.
+    #[must_use]
+    pub fn refine_geu(self, bound: Interval) -> Interval {
+        if self.is_bottom() || bound.is_bottom() {
+            return Interval::BOTTOM;
+        }
+        self.meet(Interval {
+            lo: bound.lo,
+            hi: UMAX,
+        })
+    }
+
+    /// The signed view `[lo, hi]` as `i32` bounds, if the interval does
+    /// not straddle the sign boundary.
+    #[must_use]
+    pub fn signed_bounds(&self) -> Option<(i32, i32)> {
+        if self.is_bottom() {
+            return None;
+        }
+        let lo = self.lo as u32;
+        let hi = self.hi as u32;
+        let slo = lo as i32;
+        let shi = hi as i32;
+        // Monotone reinterpretation only when both halves are on the same
+        // side of the sign boundary.
+        if (lo <= i32::MAX as u32) == (hi <= i32::MAX as u32) {
+            Some((slo, shi))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            f.write_str("⊥")
+        } else if self.is_top() {
+            f.write_str("⊤")
+        } else if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        prop_oneof![
+            Just(Interval::BOTTOM),
+            Just(Interval::TOP),
+            (any::<u32>(), any::<u32>()).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b))),
+        ]
+    }
+
+    proptest! {
+        /// Lattice laws: join is commutative, idempotent, and an upper
+        /// bound; meet is the dual.
+        #[test]
+        fn prop_lattice_laws(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.join(b), b.join(a));
+            prop_assert_eq!(a.join(a), a);
+            prop_assert!(a.is_subset(&a.join(b)));
+            prop_assert!(b.is_subset(&a.join(b)));
+            prop_assert_eq!(a.meet(b), b.meet(a));
+            prop_assert!(a.meet(b).is_subset(&a));
+            prop_assert!(a.meet(b).is_subset(&b));
+        }
+
+        /// Absorption: a ⊓ (a ⊔ b) = a and a ⊔ (a ⊓ b) = a.
+        #[test]
+        fn prop_absorption(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.meet(a.join(b)), a);
+            prop_assert_eq!(a.join(a.meet(b)), a);
+        }
+
+        /// Arithmetic soundness: concrete members stay inside results.
+        #[test]
+        fn prop_arith_sound(
+            al in 0u32..1000, aw in 0u32..1000, ai in 0u32..1000,
+            bl in 0u32..1000, bw in 0u32..1000, bi in 0u32..1000,
+        ) {
+            let a = Interval::new(al, al + aw);
+            let b = Interval::new(bl, bl + bw);
+            let x = al + (ai % (aw + 1));
+            let y = bl + (bi % (bw + 1));
+            prop_assert!(a.add(b).contains(x.wrapping_add(y)));
+            prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
+            if x >= y {
+                prop_assert!(a.sub(b).contains(x - y) || a.sub(b).is_top());
+            }
+        }
+
+        /// Widening is an upper bound of both arguments and reaches a
+        /// fixpoint in at most two steps per bound direction.
+        #[test]
+        fn prop_widen_sound_and_terminates(a in arb_interval(), b in arb_interval()) {
+            let w = a.widen(b);
+            prop_assert!(a.is_subset(&w));
+            prop_assert!(b.is_subset(&w));
+            // Widening again with anything inside w is stable.
+            prop_assert_eq!(w.widen(w), w);
+        }
+    }
+
+    #[test]
+    fn constructors_and_queries() {
+        let c = Interval::constant(7);
+        assert_eq!(c.as_constant(), Some(7));
+        assert_eq!(c.width(), 1);
+        assert!(Interval::BOTTOM.is_bottom());
+        assert_eq!(Interval::BOTTOM.width(), 0);
+        assert!(Interval::TOP.is_top());
+        assert_eq!(Interval::TOP.width(), 1 << 32);
+    }
+
+    #[test]
+    fn join_meet_lattice() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(3, 9);
+        assert_eq!(a.join(b), Interval::new(1, 9));
+        assert_eq!(a.meet(b), Interval::new(3, 5));
+        assert!(Interval::new(6, 9).meet(Interval::new(1, 5)).is_bottom());
+        assert_eq!(a.join(Interval::BOTTOM), a);
+        assert_eq!(a.meet(Interval::TOP), a);
+    }
+
+    #[test]
+    fn arithmetic_precision() {
+        let a = Interval::new(2, 4);
+        let b = Interval::new(10, 20);
+        assert_eq!(a.add(b), Interval::new(12, 24));
+        assert_eq!(b.sub(a), Interval::new(6, 18));
+        assert_eq!(a.mul(a), Interval::new(4, 16));
+    }
+
+    #[test]
+    fn wrap_goes_to_top() {
+        let near_max = Interval::new(u32::MAX - 1, u32::MAX);
+        assert!(near_max.add(Interval::constant(5)).is_top());
+        assert!(Interval::constant(0).sub(Interval::constant(1)).is_top());
+        assert!(Interval::constant(1 << 20).mul(Interval::constant(1 << 20)).is_top());
+    }
+
+    #[test]
+    fn widening_terminates_and_is_sound() {
+        let mut cur = Interval::constant(0);
+        // A growing chain: widening must reach a fixpoint quickly.
+        for i in 1..100u32 {
+            let next = cur.join(Interval::constant(i));
+            let widened = cur.widen(next);
+            if widened == cur {
+                break;
+            }
+            cur = widened;
+        }
+        assert!(cur.contains(0));
+        assert!(cur.hi().unwrap() == u32::MAX, "upper bound widened to max");
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Interval::new(1, 3);
+        assert_eq!(a.shl_const(4), Interval::new(16, 48));
+        assert_eq!(Interval::new(16, 48).shr_const(4), Interval::new(1, 3));
+        // Shifting into wrap territory → top.
+        assert!(Interval::constant(0x8000_0000).shl_const(1).is_top());
+    }
+
+    #[test]
+    fn refinement() {
+        let x = Interval::new(0, 100);
+        assert_eq!(x.refine_ltu(Interval::constant(10)), Interval::new(0, 9));
+        assert_eq!(x.refine_geu(Interval::constant(90)), Interval::new(90, 100));
+        assert!(Interval::constant(5).refine_geu(Interval::constant(6)).is_bottom());
+    }
+
+    #[test]
+    fn signed_bounds() {
+        assert_eq!(Interval::new(1, 5).signed_bounds(), Some((1, 5)));
+        assert_eq!(
+            Interval::constant(u32::MAX).signed_bounds(),
+            Some((-1, -1))
+        );
+        // Straddles the sign boundary.
+        assert_eq!(Interval::new(0x7fff_ffff, 0x8000_0000).signed_bounds(), None);
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(Interval::new(2, 3).is_subset(&Interval::new(1, 5)));
+        assert!(!Interval::new(0, 9).is_subset(&Interval::new(1, 5)));
+        assert!(Interval::BOTTOM.is_subset(&Interval::constant(1)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # wcet-analysis — loop and value analysis
+//!
+//! The "Loop/Value Analysis" phase of the paper's Figure 1: an abstract-
+//! interpretation value analysis over a reduced product of small constant
+//! sets and unsigned intervals, and on top of it
+//!
+//! * loop-bound detection in the style the paper cites (Cullmann–Martin
+//!   data-flow based detection \[4\], Ermedahl et al. \[5\]) — integer
+//!   counter loops are bounded automatically, floating-point controlled
+//!   loops (MISRA rule 13.4) and complex counter updates (rule 13.6) are
+//!   reported with a machine-readable *reason*,
+//! * address analysis for every memory access — the input to the paper's
+//!   "imprecise memory accesses" discussion (Section 4.3),
+//! * indirect-target resolution: when the value of a call/jump register is
+//!   a small finite set (e.g. loaded from a jump table), the analysis
+//!   emits a [`wcet_cfg::TargetResolver`] so control-flow reconstruction
+//!   can be repeated with the function pointers resolved (tier-one
+//!   challenge of Section 3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_isa::asm::assemble;
+//! use wcet_cfg::graph::{reconstruct, TargetResolver};
+//! use wcet_analysis::analyze_function;
+//! use wcet_analysis::loopbound::BoundResult;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble(
+//!     "main: li r1, 12\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+//! )?;
+//! let program = reconstruct(&image, &TargetResolver::empty())?;
+//! let analysis = analyze_function(&program, program.entry, &image);
+//! let bounds = analysis.loop_bounds();
+//! assert!(matches!(
+//!     bounds.results()[0].1,
+//!     BoundResult::Bounded { max_iterations: 12, .. }
+//! ));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod addr;
+pub mod interval;
+pub mod loopbound;
+pub mod state;
+pub mod value;
+pub mod valueanalysis;
+
+pub use interval::Interval;
+pub use value::Value;
+pub use valueanalysis::{analyze_function, FunctionAnalysis};

@@ -1,0 +1,859 @@
+//! Data-flow based loop-bound detection.
+//!
+//! For every loop of the analyzed function this module tries to prove an
+//! upper bound on the number of header executions per loop entry — the
+//! quantity the path analysis needs ("the main challenge is to
+//! automatically bound the maximum possible number of loop iterations,
+//! which is mandatory to compute a WCET bound at all", Section 3.2).
+//!
+//! The detector recognizes counter loops: a register updated exactly once
+//! per iteration by a constant step, tested against a loop-invariant limit
+//! by the exit branch. Everything the paper's Section 4.2 discusses falls
+//! out of the failure cases, each with a machine-readable
+//! [`UnboundedReason`]:
+//!
+//! * floating-point controlled loops → [`UnboundedReason::FloatControlled`]
+//!   (MISRA rule 13.4),
+//! * counters written more than once per iteration →
+//!   [`UnboundedReason::ComplexCounterUpdate`] (rule 13.6),
+//! * irreducible loops → [`UnboundedReason::Irreducible`] (rule 14.4),
+//! * counters whose initial value or limit traces back to unknown input →
+//!   [`UnboundedReason::DataDependent`] (Section 4.3, rule 16.1 varargs).
+
+use std::fmt;
+
+use wcet_cfg::block::{BlockId, Terminator};
+use wcet_cfg::loops::{LoopId, LoopInfo};
+use wcet_isa::{AluOp, Cond, Inst, Reg};
+
+use crate::valueanalysis::FunctionAnalysis;
+
+/// Why a loop could not be bounded automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnboundedReason {
+    /// The exit condition compares floating-point registers, which the
+    /// integer value analysis cannot see (MISRA rule 13.4).
+    FloatControlled,
+    /// The candidate counter is written more than once per iteration or by
+    /// a non-constant amount (MISRA rule 13.6).
+    ComplexCounterUpdate,
+    /// The loop has multiple entries; no automatic technique applies
+    /// (MISRA rules 14.4 / 20.7, Section 3.2).
+    Irreducible,
+    /// The counter's initial value or the limit is statically unknown —
+    /// an input-data dependent loop (Section 4.3; rule 16.1's varargs
+    /// loops are this case).
+    DataDependent,
+    /// The loop has no exit edge at all (intentional infinite loop, e.g. a
+    /// scheduler main loop).
+    NoExit,
+    /// No counter pattern was recognized.
+    NoPattern,
+}
+
+impl fmt::Display for UnboundedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnboundedReason::FloatControlled => {
+                "exit condition is floating-point (MISRA 13.4 violation)"
+            }
+            UnboundedReason::ComplexCounterUpdate => {
+                "loop counter modified multiple times per iteration (MISRA 13.6 violation)"
+            }
+            UnboundedReason::Irreducible => {
+                "irreducible loop: multiple entries (MISRA 14.4/20.7 violation)"
+            }
+            UnboundedReason::DataDependent => "input-data dependent iteration count",
+            UnboundedReason::NoExit => "loop has no exit edge",
+            UnboundedReason::NoPattern => "no recognizable counter pattern",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a bound came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundSource {
+    /// Derived automatically by this module.
+    Auto,
+    /// Supplied by a design-level annotation.
+    Annotation,
+}
+
+/// The bound result for one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundResult {
+    /// The header executes at most `max_iterations` times per loop entry.
+    Bounded {
+        /// Maximum header executions per entry into the loop.
+        max_iterations: u64,
+        /// Provenance of the bound.
+        source: BoundSource,
+    },
+    /// No bound could be established.
+    Unbounded {
+        /// Machine-readable diagnosis.
+        reason: UnboundedReason,
+    },
+}
+
+impl BoundResult {
+    /// The bound value, if bounded.
+    #[must_use]
+    pub fn max_iterations(&self) -> Option<u64> {
+        match self {
+            BoundResult::Bounded { max_iterations, .. } => Some(*max_iterations),
+            BoundResult::Unbounded { .. } => None,
+        }
+    }
+}
+
+/// Bounds for every loop of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopBounds {
+    results: Vec<(LoopId, BoundResult)>,
+}
+
+impl LoopBounds {
+    /// All `(loop, result)` pairs, in loop-id order.
+    #[must_use]
+    pub fn results(&self) -> &[(LoopId, BoundResult)] {
+        &self.results
+    }
+
+    /// The result for one loop.
+    #[must_use]
+    pub fn bound(&self, id: LoopId) -> Option<&BoundResult> {
+        self.results.iter().find(|(l, _)| *l == id).map(|(_, r)| r)
+    }
+
+    /// True if every loop is bounded — the precondition for any WCET bound
+    /// to exist at all.
+    #[must_use]
+    pub fn all_bounded(&self) -> bool {
+        self.results
+            .iter()
+            .all(|(_, r)| matches!(r, BoundResult::Bounded { .. }))
+    }
+
+    /// Overrides the result for `id` with an annotation-supplied bound.
+    pub fn apply_annotation(&mut self, id: LoopId, max_iterations: u64) {
+        for (l, r) in &mut self.results {
+            if *l == id {
+                *r = BoundResult::Bounded {
+                    max_iterations,
+                    source: BoundSource::Annotation,
+                };
+            }
+        }
+    }
+
+    /// Loops that remain unbounded, with reasons.
+    #[must_use]
+    pub fn unbounded(&self) -> Vec<(LoopId, UnboundedReason)> {
+        self.results
+            .iter()
+            .filter_map(|(l, r)| match r {
+                BoundResult::Unbounded { reason } => Some((*l, *reason)),
+                BoundResult::Bounded { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// Computes bounds for all loops of `fa`'s function.
+#[must_use]
+pub fn compute(fa: &FunctionAnalysis) -> LoopBounds {
+    let results = fa
+        .forest()
+        .loops()
+        .iter()
+        .map(|info| (info.id, bound_loop(fa, info)))
+        .collect();
+    LoopBounds { results }
+}
+
+fn bound_loop(fa: &FunctionAnalysis, info: &LoopInfo) -> BoundResult {
+    if info.irreducible {
+        return BoundResult::Unbounded {
+            reason: UnboundedReason::Irreducible,
+        };
+    }
+    if info.exits.is_empty() {
+        return BoundResult::Unbounded {
+            reason: UnboundedReason::NoExit,
+        };
+    }
+
+    // Find the exit edges driven by conditional branches and try each.
+    let mut best: Option<BoundResult> = None;
+    let mut saw_float = false;
+    let mut saw_complex = false;
+    let mut saw_data_dep = false;
+    for &(from, to) in &info.exits {
+        match exit_bound(fa, info, from, to) {
+            Ok(iterations) => {
+                let result = BoundResult::Bounded {
+                    max_iterations: iterations,
+                    source: BoundSource::Auto,
+                };
+                // Any single sound exit bound bounds the whole loop: the
+                // loop cannot run longer than its tightest provable exit.
+                best = Some(match best {
+                    Some(BoundResult::Bounded { max_iterations, .. })
+                        if max_iterations <= iterations =>
+                    {
+                        best.expect("present")
+                    }
+                    _ => result,
+                });
+            }
+            Err(UnboundedReason::FloatControlled) => saw_float = true,
+            Err(UnboundedReason::ComplexCounterUpdate) => saw_complex = true,
+            Err(UnboundedReason::DataDependent) => saw_data_dep = true,
+            Err(_) => {}
+        }
+    }
+
+    if let Some(b) = best {
+        return b;
+    }
+    let reason = if saw_float {
+        UnboundedReason::FloatControlled
+    } else if saw_complex {
+        UnboundedReason::ComplexCounterUpdate
+    } else if saw_data_dep {
+        UnboundedReason::DataDependent
+    } else {
+        UnboundedReason::NoPattern
+    };
+    BoundResult::Unbounded { reason }
+}
+
+/// Tries to bound the loop through the exit edge `from → to`.
+fn exit_bound(
+    fa: &FunctionAnalysis,
+    info: &LoopInfo,
+    from: BlockId,
+    _to: BlockId,
+) -> Result<u64, UnboundedReason> {
+    let cfg = fa.cfg();
+    let block = cfg.block(from);
+    let (cond, taken, fallthrough) = match block.term {
+        Terminator::CondBranch {
+            cond: Some(c),
+            taken,
+            fallthrough,
+            float: false,
+        } => (c, taken, fallthrough),
+        Terminator::CondBranch { float: true, .. } => {
+            return Err(UnboundedReason::FloatControlled)
+        }
+        _ => return Err(UnboundedReason::NoPattern),
+    };
+    let Some((_, Inst::Branch { rs1, rs2, .. })) = block.insts.last().copied() else {
+        return Err(UnboundedReason::NoPattern);
+    };
+
+    // Which way stays in the loop? Resolve the branch targets through the
+    // block's actual successor edges (not a global address lookup): on
+    // virtually-unrolled CFGs several blocks share a start address and
+    // only the edges disambiguate the context.
+    let successor_starting_at = |addr| {
+        cfg.succs[from.0]
+            .iter()
+            .copied()
+            .find(|&s| cfg.block(s).start == addr)
+    };
+    let taken_in_loop = successor_starting_at(taken)
+        .is_some_and(|b| info.blocks.contains(&b));
+    let fall_in_loop = successor_starting_at(fallthrough)
+        .is_some_and(|b| info.blocks.contains(&b));
+    let continue_cond = match (taken_in_loop, fall_in_loop) {
+        (true, false) => cond,
+        (false, true) => cond.negate(),
+        _ => return Err(UnboundedReason::NoPattern),
+    };
+
+    // Identify counter and limit: the counter side is updated (once) by a
+    // constant step; the limit side is either loop-invariant (no in-loop
+    // defs) or *value-invariant* — redefined in the loop but provably the
+    // same constant at the branch (compilers rematerialize limits).
+    let defs1 = loop_defs(fa, info, rs1);
+    let defs2 = loop_defs(fa, info, rs2);
+    let limit_value_at_branch = |reg: Reg| -> Option<crate::interval::Interval> {
+        let branch_addr = block.insts.last().map(|(a, _)| *a)?;
+        let state = fa.state_before(branch_addr)?;
+        state.reg(reg).as_constant().map(crate::interval::Interval::constant)
+    };
+    let limit_ok = |defs: &[Inst], reg: Reg| -> bool {
+        defs.is_empty() || limit_value_at_branch(reg).is_some()
+    };
+    let (counter, limit_reg, cond_norm, limit_adjust, counter_defs) =
+        if !defs1.is_empty() && counter_step(&defs1, rs1).is_some() && limit_ok(&defs2, rs2) {
+            (rs1, rs2, continue_cond, 0i64, defs1)
+        } else if !defs2.is_empty() && counter_step(&defs2, rs2).is_some() && limit_ok(&defs1, rs1)
+        {
+            let (c, adj) = swap_cond(continue_cond);
+            (rs2, rs1, c, adj, defs2)
+        } else if defs1.len() > 1 || defs2.len() > 1 {
+            return Err(UnboundedReason::ComplexCounterUpdate);
+        } else {
+            return Err(UnboundedReason::NoPattern);
+        };
+
+    let (update_block, update_idx) = counter_def_site(fa, info, counter)
+        .ok_or(UnboundedReason::NoPattern)?;
+    let step = counter_step(&counter_defs, counter).ok_or(UnboundedReason::ComplexCounterUpdate)?;
+    if step == 0 {
+        return Err(UnboundedReason::NoPattern);
+    }
+
+    // Initial counter value: join of states flowing into the loop entries
+    // from outside.
+    // An unreachable or infeasible loop entry (every entering edge
+    // refined to bottom — common after virtual unrolling when the peeled
+    // first iteration is the only one) means the loop body never runs.
+    let Some(init) = entry_value(fa, info, counter) else {
+        return Ok(0);
+    };
+    // A limit redefined inside the loop must use its proven constant at
+    // the branch; otherwise the entry value is authoritative.
+    let limit = if loop_defs(fa, info, limit_reg).is_empty() {
+        match entry_value(fa, info, limit_reg) {
+            Some(iv) => iv,
+            None => return Ok(0),
+        }
+    } else {
+        limit_value_at_branch(limit_reg).ok_or(UnboundedReason::DataDependent)?
+    };
+
+    let (Some(init_lo), Some(init_hi)) = (init.lo(), init.hi()) else {
+        return Err(UnboundedReason::DataDependent);
+    };
+    let (Some(limit_lo), Some(limit_hi)) = (limit.lo(), limit.hi()) else {
+        return Err(UnboundedReason::DataDependent);
+    };
+    if init.is_top() || limit.is_top() {
+        return Err(UnboundedReason::DataDependent);
+    }
+
+    // Does the first execution of the branch see the counter before or
+    // after its update? Decidable when one site dominates the other;
+    // ambiguous shapes take the worst case of both.
+    let branch_idx = block.insts.len() - 1;
+    let offsets: Vec<i64> = if update_block == from {
+        if update_idx < branch_idx {
+            vec![step]
+        } else {
+            vec![0]
+        }
+    } else if fa.dominators().dominates(update_block, from) {
+        vec![step]
+    } else if fa.dominators().dominates(from, update_block) {
+        vec![0]
+    } else {
+        vec![0, step]
+    };
+
+    let mut worst: u64 = 0;
+    for &first_offset in &offsets {
+        for &i0 in &[i64::from(init_lo), i64::from(init_hi)] {
+            for &lim in &[i64::from(limit_lo), i64::from(limit_hi)] {
+                let k =
+                    iterations_until_exit(i0 + first_offset, step, lim + limit_adjust, cond_norm)
+                        .ok_or(UnboundedReason::DataDependent)?;
+                worst = worst.max(k);
+            }
+        }
+    }
+    // A "bound" spanning (a sizable fraction of) the whole 32-bit domain
+    // means the counter's range came from the type, not from the program:
+    // the loop is input-data dependent and the useful bound must come from
+    // a design-level annotation — the paper's point that "it generally
+    // does not suffice to assume the maximal possible number of loop
+    // iterations".
+    const DOMAIN_BOUND_CUTOFF: u64 = 1 << 24;
+    if worst > DOMAIN_BOUND_CUTOFF {
+        return Err(UnboundedReason::DataDependent);
+    }
+    Ok(worst)
+}
+
+/// The constant per-iteration step if `defs` is exactly one
+/// `counter = counter ± c` instruction, else `None`.
+fn counter_step(defs: &[Inst], counter: Reg) -> Option<i64> {
+    if defs.len() != 1 {
+        return None;
+    }
+    match defs[0] {
+        Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: src,
+            imm,
+        } if rd == counter && src == counter => Some(i64::from(imm)),
+        Inst::AluImm {
+            op: AluOp::Sub,
+            rd,
+            rs1: src,
+            imm,
+        } if rd == counter && src == counter => Some(-i64::from(imm)),
+        _ => None,
+    }
+}
+
+/// The block and in-block index of the (single) counter update.
+fn counter_def_site(
+    fa: &FunctionAnalysis,
+    info: &LoopInfo,
+    reg: Reg,
+) -> Option<(BlockId, usize)> {
+    for &b in info.blocks.iter() {
+        for (idx, (_, inst)) in fa.cfg().block(b).insts.iter().enumerate() {
+            if inst.def_reg() == Some(reg) {
+                return Some((b, idx));
+            }
+        }
+    }
+    None
+}
+
+/// All defining instructions of `reg` inside the loop.
+fn loop_defs(fa: &FunctionAnalysis, info: &LoopInfo, reg: Reg) -> Vec<Inst> {
+    let mut defs = Vec::new();
+    for &b in info.blocks.iter() {
+        for (_, inst) in &fa.cfg().block(b).insts {
+            if inst.def_reg() == Some(reg) {
+                defs.push(*inst);
+            }
+        }
+        // Calls clobber caller-saved registers.
+        if matches!(
+            fa.cfg().block(b).term,
+            Terminator::Call { .. } | Terminator::CallInd { .. }
+        ) && (1..=9).contains(&reg.index())
+        {
+            defs.push(Inst::Nop); // opaque def
+        }
+    }
+    defs
+}
+
+/// The interval of `reg` joined over all edges entering the loop from
+/// outside.
+fn entry_value(
+    fa: &FunctionAnalysis,
+    info: &LoopInfo,
+    reg: Reg,
+) -> Option<crate::interval::Interval> {
+    let cfg = fa.cfg();
+    let mut acc: Option<crate::value::Value> = None;
+    for &entry in &info.entries {
+        for &pred in &cfg.preds[entry.0] {
+            if info.blocks.contains(&pred) {
+                continue;
+            }
+            // Unreachable predecessors contribute nothing; the branch
+            // refinement along the edge can prove an entry infeasible
+            // (its values go to bottom), which also contributes nothing.
+            let Some(state) = fa.edge_state(pred, entry) else {
+                continue;
+            };
+            let v = state.reg(reg);
+            if v.is_bot() {
+                continue;
+            }
+            acc = Some(match acc {
+                Some(cur) => cur.join(&v),
+                None => v,
+            });
+        }
+        // The function entry block can be a loop entry with no preds.
+        if entry == cfg.entry_block() && cfg.preds[entry.0].iter().all(|p| info.blocks.contains(p))
+        {
+            let v = fa.block_in(entry)?.reg(reg);
+            acc = Some(match acc {
+                Some(cur) => cur.join(&v),
+                None => v,
+            });
+        }
+    }
+    acc.map(|v| v.to_interval()).filter(|iv| !iv.is_bottom())
+}
+
+/// Swaps a condition's operand order: `limit cond counter` expressed as
+/// `counter cond' (limit + adjust)`. The ISA has no Gt/Le conditions, so
+/// strict/non-strict swaps shift the limit by one instead:
+/// `limit < counter ⇔ counter ≥ limit+1` and
+/// `limit ≥ counter ⇔ counter < limit+1`.
+fn swap_cond(cond: Cond) -> (Cond, i64) {
+    match cond {
+        Cond::Eq => (Cond::Eq, 0),
+        Cond::Ne => (Cond::Ne, 0),
+        Cond::Lt => (Cond::Ge, 1),
+        Cond::Ge => (Cond::Lt, 1),
+        Cond::Ltu => (Cond::Geu, 1),
+        Cond::Geu => (Cond::Ltu, 1),
+    }
+}
+
+/// Number of branch executions until `continue_cond(counter, limit)` first
+/// fails, where the counter at the k-th branch execution is
+/// `start + (k-1)·step`. Returns `None` if the loop may not terminate
+/// within the 32-bit iteration cap.
+fn iterations_until_exit(start: i64, step: i64, limit: i64, continue_cond: Cond) -> Option<u64> {
+    const CAP: i64 = u32::MAX as i64;
+    let holds = |v: i64| -> bool {
+        match continue_cond {
+            Cond::Eq => v == limit,
+            Cond::Ne => v != limit,
+            Cond::Lt | Cond::Ltu => v < limit,
+            Cond::Ge | Cond::Geu => v >= limit,
+        }
+    };
+
+    // Closed forms per condition; k counts branch executions (≥ 1).
+    let continues: i64 = match continue_cond {
+        Cond::Eq => {
+            // Continue while equal: only the degenerate step-0 case loops;
+            // with a nonzero step it exits after at most one continue.
+            if holds(start) {
+                1
+            } else {
+                0
+            }
+        }
+        Cond::Ne => {
+            // Continue while different: must step exactly onto the limit.
+            let delta = limit - start;
+            if delta == 0 {
+                0
+            } else if delta % step == 0 && delta / step > 0 {
+                delta / step
+            } else {
+                // Steps over/away from the limit: wraps around the 32-bit
+                // space — terminates eventually, but only via wraparound.
+                return None;
+            }
+        }
+        Cond::Lt | Cond::Ltu => {
+            if !holds(start) {
+                0
+            } else if step <= 0 {
+                return None; // moves away: never exits by this test
+            } else {
+                // Largest k with start + k·step < limit … count of
+                // continues = ceil((limit - start)/step) is the first k
+                // failing; continues = that k... compute directly:
+                (limit - 1 - start) / step + 1
+            }
+        }
+        Cond::Ge | Cond::Geu => {
+            if !holds(start) {
+                0
+            } else if step >= 0 {
+                return None;
+            } else {
+                (start - limit) / (-step) + 1
+            }
+        }
+    };
+    if continues > CAP {
+        return None;
+    }
+    // Header executions = continues + the final (exiting) test.
+    Some((continues + 1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valueanalysis::analyze_function;
+    use wcet_cfg::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn bounds(src: &str) -> LoopBounds {
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        analyze_function(&p, p.entry, &image).loop_bounds()
+    }
+
+    fn single_bound(src: &str) -> BoundResult {
+        let b = bounds(src);
+        assert_eq!(b.results().len(), 1, "expected exactly one loop");
+        b.results()[0].1
+    }
+
+    #[test]
+    fn count_down_ne_zero() {
+        // do { r1-- } while (r1 != 0), r1 = 12 → body runs 12 times.
+        let r = single_bound("main: li r1, 12\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        assert_eq!(r.max_iterations(), Some(12));
+    }
+
+    #[test]
+    fn count_up_lt_limit() {
+        // for (i = 0; i < 10; i++) — header tests first, body runs 10×,
+        // header executes 11×.
+        let r = single_bound(
+            r#"
+            main: li r1, 0
+                  li r2, 10
+            head: bge r1, r2, done
+                  addi r1, r1, 1
+                  j head
+            done: halt
+            "#,
+        );
+        assert_eq!(r.max_iterations(), Some(11));
+    }
+
+    #[test]
+    fn step_greater_than_one() {
+        // for (i = 0; i < 10; i += 3) → i ∈ {0,3,6,9}, header 5×.
+        let r = single_bound(
+            r#"
+            main: li r1, 0
+                  li r2, 10
+            head: bge r1, r2, done
+                  addi r1, r1, 3
+                  j head
+            done: halt
+            "#,
+        );
+        assert_eq!(r.max_iterations(), Some(5));
+    }
+
+    #[test]
+    fn float_loop_unbounded_with_rule_13_4_reason() {
+        let r = single_bound(
+            r#"
+            main: li   r1, 0x3f800000
+                  fmov f1, r1
+                  li   r1, 0x41200000
+                  fmov f2, r1
+                  fmov f0, r0
+            loop: fadd f0, f0, f1
+                  fblt f0, f2, loop
+                  halt
+            "#,
+        );
+        assert_eq!(
+            r,
+            BoundResult::Unbounded {
+                reason: UnboundedReason::FloatControlled
+            }
+        );
+    }
+
+    #[test]
+    fn double_update_unbounded_with_rule_13_6_reason() {
+        // The counter is modified twice per iteration.
+        let r = single_bound(
+            r#"
+            main: li r1, 16
+            loop: subi r1, r1, 1
+                  subi r1, r1, 1
+                  bne r1, r0, loop
+                  halt
+            "#,
+        );
+        assert_eq!(
+            r,
+            BoundResult::Unbounded {
+                reason: UnboundedReason::ComplexCounterUpdate
+            }
+        );
+    }
+
+    #[test]
+    fn data_dependent_loop_unbounded() {
+        // r4 is a function argument: unknown initial value.
+        let r = single_bound("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        assert_eq!(
+            r,
+            BoundResult::Unbounded {
+                reason: UnboundedReason::DataDependent
+            }
+        );
+    }
+
+    #[test]
+    fn irreducible_loop_reported() {
+        let r = single_bound(
+            r#"
+            main: beq r1, r0, b
+            a:    subi r2, r2, 1
+                  j b
+            b:    addi r2, r2, 1
+                  bne r2, r0, a
+                  halt
+            "#,
+        );
+        assert_eq!(
+            r,
+            BoundResult::Unbounded {
+                reason: UnboundedReason::Irreducible
+            }
+        );
+    }
+
+    #[test]
+    fn infinite_loop_reported() {
+        let r = single_bound("main: nop\nspin: j spin");
+        assert_eq!(
+            r,
+            BoundResult::Unbounded {
+                reason: UnboundedReason::NoExit
+            }
+        );
+    }
+
+    #[test]
+    fn annotation_overrides_unbounded() {
+        let mut b = bounds("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let id = b.results()[0].0;
+        assert!(!b.all_bounded());
+        b.apply_annotation(id, 64);
+        assert!(b.all_bounded());
+        assert_eq!(
+            b.bound(id).unwrap().max_iterations(),
+            Some(64)
+        );
+        assert!(matches!(
+            b.bound(id).unwrap(),
+            BoundResult::Bounded {
+                source: BoundSource::Annotation,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nested_loops_both_bounded() {
+        let b = bounds(
+            r#"
+            main: li r1, 3
+            outer: li r2, 4
+            inner: subi r2, r2, 1
+                   bne r2, r0, inner
+                   subi r1, r1, 1
+                   bne r1, r0, outer
+                   halt
+            "#,
+        );
+        assert_eq!(b.results().len(), 2);
+        assert!(b.all_bounded());
+        let bounds_found: Vec<u64> = b
+            .results()
+            .iter()
+            .filter_map(|(_, r)| r.max_iterations())
+            .collect();
+        assert!(bounds_found.contains(&3));
+        assert!(bounds_found.contains(&4));
+    }
+
+    #[test]
+    fn interval_init_takes_worst_case() {
+        // Counter starts at 5 or 9 depending on a branch: bound must be 9.
+        let r = bounds(
+            r#"
+            main: beq r5, r0, low
+                  li r1, 9
+                  j go
+            low:  li r1, 5
+            go:
+            loop: subi r1, r1, 1
+                  bne r1, r0, loop
+                  halt
+            "#,
+        );
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].1.max_iterations(), Some(9));
+    }
+
+    #[test]
+    fn counter_on_right_operand() {
+        // while (limit > counter) with operands swapped in the branch.
+        let r = single_bound(
+            r#"
+            main: li r1, 0
+                  li r2, 6
+            head: bge r1, r2, done
+                  addi r1, r1, 1
+                  j head
+            done: halt
+            "#,
+        );
+        assert_eq!(r.max_iterations(), Some(7));
+    }
+
+    #[test]
+    fn rematerialized_limit_is_value_invariant() {
+        // The limit register is reloaded with the same constant inside
+        // the loop body (compilers do this): still boundable.
+        let r = single_bound(
+            r#"
+            main: li r1, 0
+            head: li   r7, 9
+                  bge  r1, r7, done
+                  addi r1, r1, 1
+                  j head
+            done: halt
+            "#,
+        );
+        assert_eq!(r.max_iterations(), Some(10));
+    }
+
+    #[test]
+    fn do_while_shape() {
+        // Test at the bottom, update before test (do-while): 5 body runs.
+        let r = single_bound(
+            "main: li r1, 5
+body: addi r2, r2, 1
+ subi r1, r1, 1
+ bne r1, r0, body
+ halt",
+        );
+        assert_eq!(r.max_iterations(), Some(5));
+    }
+
+    #[test]
+    fn limit_changing_value_stays_unbounded() {
+        // The "limit" genuinely changes every iteration: must NOT be
+        // treated as invariant.
+        let r = single_bound(
+            r#"
+            main: li r1, 0
+                  li r7, 100
+            head: bge r1, r7, done
+                  addi r1, r1, 1
+                  subi r7, r7, 3
+                  j head
+            done: halt
+            "#,
+        );
+        // Both registers are updated: no counter/limit split exists.
+        assert!(r.max_iterations().is_none());
+    }
+
+    #[test]
+    fn swapped_operands_ge_limit_is_sound() {
+        // while (limit >= counter): branch is `bge r2, r1, body` with the
+        // counter on the right — exercises the +1 limit adjustment.
+        // counter 0..=6 continues (7 continues), header executes 8 times.
+        let r = single_bound(
+            r#"
+            main: li r1, 0
+                  li r2, 6
+            head: bge r2, r1, body
+                  j done
+            body: addi r1, r1, 1
+                  j head
+            done: halt
+            "#,
+        );
+        assert_eq!(r.max_iterations(), Some(8));
+    }
+}

@@ -1,0 +1,125 @@
+//! Transfer-function soundness: for every ALU operation and every
+//! concrete operand pair drawn from the abstract operands, the concrete
+//! result must be contained in the abstract result. This is the local
+//! correctness obligation that makes the whole value analysis sound.
+
+use proptest::prelude::*;
+
+use wcet_analysis::{Interval, Value};
+use wcet_cfg::graph::{reconstruct, TargetResolver};
+use wcet_isa::asm::assemble;
+use wcet_isa::{AluOp, Reg};
+
+/// A random abstract value together with one concrete member.
+fn abstract_with_member() -> impl Strategy<Value = (Value, u32)> {
+    prop_oneof![
+        // Constant.
+        any::<u32>().prop_map(|v| (Value::constant(v), v)),
+        // Small set.
+        (proptest::collection::btree_set(any::<u32>(), 1..5), any::<prop::sample::Index>())
+            .prop_map(|(set, idx)| {
+                let member = *idx.get(&set.iter().copied().collect::<Vec<_>>());
+                (Value::from_set(set), member)
+            }),
+        // Interval.
+        (any::<u32>(), 0u32..10_000, any::<prop::sample::Index>()).prop_map(|(lo, span, idx)| {
+            let lo = lo.min(u32::MAX - span);
+            let hi = lo + span;
+            let member = lo + (idx.index(span as usize + 1) as u32);
+            (Value::from_interval(Interval::new(lo, hi)), member)
+        }),
+        // Top.
+        any::<u32>().prop_map(|v| (Value::top(), v)),
+    ]
+}
+
+fn all_ops() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// γ-soundness of the ALU transfer: op(a, b) ∈ γ(op♯(â, b̂)) whenever
+    /// a ∈ γ(â) and b ∈ γ(b̂). Exercised through the real analysis by
+    /// running a one-instruction program with the operands pinned via a
+    /// two-register program... kept direct here through `lift_binop` plus
+    /// the analysis' own interval transformers via a tiny program.
+    #[test]
+    fn prop_alu_transfer_sound(
+        op in all_ops(),
+        (va, a) in abstract_with_member(),
+        (vb, b) in abstract_with_member(),
+    ) {
+        // The generic exact/approx lift used by the analysis: the exact
+        // path must match the machine op; the approx path is exercised
+        // through the full fixpoint below for a few shapes. Here we check
+        // the public invariant directly.
+        let out = va.lift_binop(&vb, |x, y| op.apply(x, y), |x, y| {
+            // The weakest sound approximation: full range. lift_binop's
+            // own set path must still produce supersets of the concrete
+            // result; the analysis' sharper interval transformers are
+            // covered by `prop_fixpoint_contains_concrete`.
+            let _ = (x, y);
+            Interval::TOP
+        });
+        let concrete = op.apply(a, b);
+        prop_assert!(
+            out.may_be(concrete),
+            "{op:?}: {a} op {b} = {concrete} not in {out}"
+        );
+    }
+
+    /// End-to-end containment: run the real value analysis on a program
+    /// computing `r3 = r1 op r2` from unknown inputs refined by bounds
+    /// checks, then execute concretely — the concrete register values
+    /// must be inside the analysis' final state.
+    #[test]
+    fn prop_fixpoint_contains_concrete(
+        op in all_ops(),
+        a in 0u32..50,
+        b in 0u32..50,
+    ) {
+        // r10/r11 are the unknown inputs; the bltu guards pin them below
+        // 50, mirroring how real code bounds its data.
+        let src = format!(
+            r#"
+            main: li   r4, 50
+                  bltu r10, r4, ok1
+                  li   r10, 0
+            ok1:  bltu r11, r4, ok2
+                  li   r11, 0
+            ok2:  {} r3, r10, r11
+                  halt
+            "#,
+            op.mnemonic()
+        );
+        let image = assemble(&src).expect("assembles");
+        let program = reconstruct(&image, &TargetResolver::empty()).expect("builds");
+        let fa = wcet_analysis::analyze_function(&program, program.entry, &image);
+
+        let halt_block = fa
+            .cfg()
+            .iter()
+            .find(|(_, blk)| matches!(blk.term, wcet_cfg::block::Terminator::Halt))
+            .expect("halt block")
+            .0;
+        let state = fa.block_out(halt_block).expect("reachable");
+
+        // Concrete execution with the same inputs.
+        let mut interp = wcet_isa::interp::Interpreter::with_config(
+            &image,
+            wcet_isa::interp::MachineConfig::simple(),
+        );
+        interp.set_reg(Reg::new(10), a);
+        interp.set_reg(Reg::new(11), b);
+        interp.run(10_000).expect("halts");
+        let concrete = interp.reg(Reg::new(3));
+
+        prop_assert!(
+            state.reg(Reg::new(3)).may_be(concrete),
+            "{op:?}({a}, {b}) = {concrete} escaped abstract {}",
+            state.reg(Reg::new(3))
+        );
+    }
+}

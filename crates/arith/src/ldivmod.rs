@@ -1,0 +1,209 @@
+//! `ldivmod`: 32/32-bit unsigned division by successive approximation.
+//!
+//! Models a compiler support routine for a CPU whose hardware divider only
+//! handles 16-bit divisors (the HCS12X situation). For a divisor that fits
+//! 16 bits the hardware path is exact. Otherwise the routine estimates the
+//! quotient with the divisor *truncated to its top 16 bits and rounded up*
+//! (so the estimate never overshoots), then repairs the remainder by
+//! repeated subtraction — the "iteration computing successive
+//! approximations" of the paper.
+//!
+//! The correction count is the instrumented quantity of Table 1: almost
+//! always 1, but `quotient × (rounding gap / divisor)` in the worst case,
+//! which reaches the hundreds for divisors barely above 2²⁰ — and there is
+//! no simple closed form in terms of the inputs, exactly the
+//! predictability problem the paper describes.
+
+use std::fmt;
+
+/// Division by zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivByZero;
+
+impl fmt::Display for DivByZero {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("division by zero")
+    }
+}
+
+impl std::error::Error for DivByZero {}
+
+/// Quotient, remainder, and the instrumented iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivResult {
+    /// `n / d`.
+    pub quotient: u32,
+    /// `n % d`.
+    pub remainder: u32,
+    /// Correction-loop iterations executed (0 when `n < d` or the
+    /// hardware path applied with an exact estimate).
+    pub iterations: u32,
+}
+
+/// Computes `n / d` and `n % d` with the average-case-optimized
+/// successive-approximation algorithm, counting correction iterations.
+///
+/// # Errors
+///
+/// Returns [`DivByZero`] when `d == 0`.
+///
+/// # Example
+///
+/// ```
+/// use wcet_arith::ldivmod::ldivmod;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let r = ldivmod(0xffd9_3580, 0x0107_d228)?;
+/// assert_eq!(r.quotient, 0xffd9_3580 / 0x0107_d228);
+/// assert_eq!(r.remainder, 0xffd9_3580 % 0x0107_d228);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ldivmod(n: u32, d: u32) -> Result<DivResult, DivByZero> {
+    if d == 0 {
+        return Err(DivByZero);
+    }
+    if n < d {
+        return Ok(DivResult {
+            quotient: 0,
+            remainder: n,
+            iterations: 0,
+        });
+    }
+    if d <= 0xffff {
+        // The 16-bit hardware divider handles this exactly (two chained
+        // 32/16 steps on the real part); one approximation iteration.
+        return Ok(DivResult {
+            quotient: n / d,
+            remainder: n % d,
+            iterations: 1,
+        });
+    }
+
+    // Truncate the divisor to its top 16 bits, rounded up, so the
+    // quotient estimate never overshoots; subtract one more to absorb the
+    // truncation of the estimate division itself ("defensive" estimate —
+    // an overshoot would need an expensive signed repair path).
+    let est_d = u64::from((d >> 16) + 1) << 16;
+    let mut q = (u64::from(n) / est_d).saturating_sub(1);
+    let mut r = u64::from(n) - q * u64::from(d);
+
+    let mut iterations = 0u32;
+    while r >= u64::from(d) {
+        r -= u64::from(d);
+        q += 1;
+        iterations += 1;
+    }
+
+    Ok(DivResult {
+        quotient: q as u32,
+        remainder: r as u32,
+        iterations,
+    })
+}
+
+/// An analytical upper bound on the correction iterations of [`ldivmod`]
+/// for any dividend and any divisor `d ≥ d_min` (with `d_min > 2¹⁶ − 1`).
+///
+/// Derivation: iterations ≤ `n·gap/(d·est_d) + 2` with
+/// `gap = est_d − d < 2¹⁶` and `est_d ≥ d ≥ d_min`, so
+/// `iterations ≤ (2³² − 1)·2¹⁶ / d_min² + 2`.
+///
+/// This is the bound a *design-level annotation* supplies when the input
+/// domain of the divisor is known (experiment E14): without it the
+/// correction loop is input-data dependent and unbounded for the static
+/// analysis.
+///
+/// # Panics
+///
+/// Panics if `d_min < 2¹⁶` (the hardware path needs no correction there).
+#[must_use]
+pub fn correction_bound(d_min: u32) -> u64 {
+    assert!(d_min > 0xffff, "bound only applies to the software path");
+    let dm = u64::from(d_min);
+    u64::from(u32::MAX) * (1u64 << 16) / (dm * dm) + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn divide_by_zero_rejected() {
+        assert_eq!(ldivmod(5, 0), Err(DivByZero));
+    }
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(
+            ldivmod(0, 3).unwrap(),
+            DivResult { quotient: 0, remainder: 0, iterations: 0 }
+        );
+        assert_eq!(
+            ldivmod(2, 3).unwrap(),
+            DivResult { quotient: 0, remainder: 2, iterations: 0 }
+        );
+        let r = ldivmod(100, 7).unwrap();
+        assert_eq!((r.quotient, r.remainder), (14, 2));
+    }
+
+    #[test]
+    fn hardware_path_single_iteration() {
+        let r = ldivmod(0xffff_ffff, 0xffff).unwrap();
+        assert_eq!(r.iterations, 1);
+        assert_eq!(r.quotient, 0xffff_ffff / 0xffff);
+    }
+
+    #[test]
+    fn software_path_typically_one_iteration() {
+        // Large divisor: the estimate is near-exact.
+        let r = ldivmod(0xffff_ffff, 0x4000_0000).unwrap();
+        assert!(r.iterations <= 2, "got {}", r.iterations);
+        assert_eq!(r.quotient, 3);
+    }
+
+    #[test]
+    fn pathological_divisor_has_long_tail() {
+        // d barely above 2^20: the truncation gap is nearly maximal and
+        // the quotient is large → hundreds of corrections.
+        let r = ldivmod(0xffff_ffff, 0x0010_0001).unwrap();
+        assert!(
+            r.iterations > 100,
+            "expected a pathological tail, got {}",
+            r.iterations
+        );
+        assert!(u64::from(r.iterations) <= correction_bound(0x0010_0001));
+    }
+
+    #[test]
+    fn correction_bound_is_monotone_in_dmin() {
+        assert!(correction_bound(0x0010_0000) >= correction_bound(0x0100_0000));
+        assert!(correction_bound(0x1000_0000) <= 4);
+    }
+
+    proptest! {
+        /// Functional correctness against native division.
+        #[test]
+        fn prop_matches_native(n in any::<u32>(), d in 1u32..) {
+            let r = ldivmod(n, d).unwrap();
+            prop_assert_eq!(r.quotient, n / d);
+            prop_assert_eq!(r.remainder, n % d);
+        }
+
+        /// The analytical correction bound holds on the software path.
+        #[test]
+        fn prop_bound_holds(n in any::<u32>(), d in 0x1_0000u32..) {
+            let r = ldivmod(n, d).unwrap();
+            prop_assert!(u64::from(r.iterations) <= correction_bound(d));
+        }
+
+        /// Reconstruction invariant: q·d + r == n and r < d.
+        #[test]
+        fn prop_reconstruction(n in any::<u32>(), d in 1u32..) {
+            let r = ldivmod(n, d).unwrap();
+            prop_assert!(r.remainder < d);
+            let back = u64::from(r.quotient) * u64::from(d) + u64::from(r.remainder);
+            prop_assert_eq!(back, u64::from(n));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # wcet-arith — software arithmetic and the Table 1 experiment
+//!
+//! The paper's Section 4.3 ("Software Arithmetic") observes that software
+//! arithmetic routines are "usually designed to provide good average-case
+//! performance, but are not implemented with good WCET predictability in
+//! mind", and demonstrates it with the CodeWarrior `lDivMod` routine for
+//! the Freescale HCS12X: ≥ 99.8 % of 10⁸ random inputs finish in one
+//! approximation iteration, yet rare inputs need > 150 — and "there seems
+//! to be no simple way to derive the number of iterations from given
+//! inputs".
+//!
+//! The original routine is proprietary; per the reproduction's
+//! substitution rule this crate implements the same *algorithm class* —
+//! 32/32-bit unsigned division on a machine with only a 16-bit divider,
+//! via a truncated-divisor quotient estimate plus a data-dependent
+//! correction loop — and reproduces the paper's distribution shape
+//! (dominant single iteration, sparse tail into the hundreds):
+//!
+//! * [`ldivmod()`] — the average-case-optimized routine, instrumented to
+//!   count correction-loop iterations,
+//! * [`restoring`] — the WCET-predictable alternative: classic restoring
+//!   division with a *constant* 32 iterations,
+//! * [`softfloat`] — software floating-point helpers with data-dependent
+//!   normalization loops (the same predictability problem in another
+//!   guise),
+//! * [`histogram`] — the Table 1 harness: iteration-count histogram with
+//!   the paper's exact bucket boundaries,
+//! * [`kernels`] — the same routines as ISA binaries, so the static WCET
+//!   analyzer can be run *on* them (experiment E14).
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_arith::{ldivmod, restoring};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let r = ldivmod::ldivmod(1_000_000, 7)?;
+//! assert_eq!(r.quotient, 142_857);
+//! assert_eq!(r.remainder, 1);
+//!
+//! let s = restoring::restoring_div(1_000_000, 7)?;
+//! assert_eq!((s.quotient, s.remainder), (r.quotient, r.remainder));
+//! assert_eq!(s.iterations, 32, "restoring division is constant-time");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod histogram;
+pub mod kernels;
+pub mod ldivmod;
+pub mod restoring;
+pub mod softfloat;
+
+pub use histogram::{IterationHistogram, Table1Config};
+pub use ldivmod::{ldivmod, DivByZero, DivResult};

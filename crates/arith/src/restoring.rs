@@ -1,0 +1,136 @@
+//! Restoring division: the WCET-predictable alternative.
+//!
+//! The paper's remedy for the `lDivMod` problem is "making sure that the
+//! used software arithmetic library features good WCET analyzability".
+//! Classic restoring division runs a *fixed* 32-iteration shift-subtract
+//! loop: slower on average than the approximation routine, but its worst
+//! case equals its every case — a static analyzer bounds it automatically
+//! and exactly.
+
+use crate::ldivmod::{DivByZero, DivResult};
+
+/// Computes `n / d` and `n % d` by 32-step restoring division.
+///
+/// `iterations` is always exactly 32 — that constancy *is* the
+/// predictability property.
+///
+/// # Errors
+///
+/// Returns [`DivByZero`] when `d == 0`.
+///
+/// # Example
+///
+/// ```
+/// use wcet_arith::restoring::restoring_div;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let r = restoring_div(1234, 99)?;
+/// assert_eq!((r.quotient, r.remainder, r.iterations), (12, 46, 32));
+/// # Ok(())
+/// # }
+/// ```
+pub fn restoring_div(n: u32, d: u32) -> Result<DivResult, DivByZero> {
+    if d == 0 {
+        return Err(DivByZero);
+    }
+    let mut remainder: u64 = 0;
+    let mut quotient: u32 = 0;
+    let mut iterations = 0u32;
+    for bit in (0..32).rev() {
+        iterations += 1;
+        remainder = (remainder << 1) | u64::from((n >> bit) & 1);
+        if remainder >= u64::from(d) {
+            remainder -= u64::from(d);
+            quotient |= 1 << bit;
+        }
+    }
+    Ok(DivResult {
+        quotient,
+        remainder: remainder as u32,
+        iterations,
+    })
+}
+
+/// Shift-subtract division with early exit on the leading zeros of the
+/// dividend: the "optimized average case" middle ground. Its iteration
+/// count (`32 − leading_zeros(n)`, or 1 for `n = 0`) is data-dependent
+/// but *trivially bounded* by 32 — analyzable, unlike `ldivmod`'s
+/// correction loop, but with a 32× spread between best and worst case.
+///
+/// # Errors
+///
+/// Returns [`DivByZero`] when `d == 0`.
+pub fn early_exit_div(n: u32, d: u32) -> Result<DivResult, DivByZero> {
+    if d == 0 {
+        return Err(DivByZero);
+    }
+    let significant = 32 - n.leading_zeros();
+    let steps = significant.max(1);
+    let mut remainder: u64 = 0;
+    let mut quotient: u32 = 0;
+    let mut iterations = 0u32;
+    for bit in (0..steps).rev() {
+        iterations += 1;
+        remainder = (remainder << 1) | u64::from((n >> bit) & 1);
+        if remainder >= u64::from(d) {
+            remainder -= u64::from(d);
+            quotient |= 1 << bit;
+        }
+    }
+    Ok(DivResult {
+        quotient,
+        remainder: remainder as u32,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_divisor_rejected() {
+        assert_eq!(restoring_div(1, 0), Err(DivByZero));
+        assert_eq!(early_exit_div(1, 0), Err(DivByZero));
+    }
+
+    #[test]
+    fn constant_iteration_count() {
+        for (n, d) in [(0u32, 1u32), (1, 1), (u32::MAX, 1), (u32::MAX, u32::MAX), (7, 3)] {
+            assert_eq!(restoring_div(n, d).unwrap().iterations, 32);
+        }
+    }
+
+    #[test]
+    fn early_exit_depends_on_magnitude() {
+        assert_eq!(early_exit_div(0, 5).unwrap().iterations, 1);
+        assert_eq!(early_exit_div(1, 5).unwrap().iterations, 1);
+        assert_eq!(early_exit_div(0xff, 5).unwrap().iterations, 8);
+        assert_eq!(early_exit_div(u32::MAX, 5).unwrap().iterations, 32);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_restoring_matches_native(n in any::<u32>(), d in 1u32..) {
+            let r = restoring_div(n, d).unwrap();
+            prop_assert_eq!(r.quotient, n / d);
+            prop_assert_eq!(r.remainder, n % d);
+        }
+
+        #[test]
+        fn prop_early_exit_matches_native(n in any::<u32>(), d in 1u32..) {
+            let r = early_exit_div(n, d).unwrap();
+            prop_assert_eq!(r.quotient, n / d);
+            prop_assert_eq!(r.remainder, n % d);
+            prop_assert!(r.iterations <= 32);
+        }
+
+        /// All three division routines agree with each other.
+        #[test]
+        fn prop_agreement(n in any::<u32>(), d in 1u32..) {
+            let a = crate::ldivmod::ldivmod(n, d).unwrap();
+            let b = restoring_div(n, d).unwrap();
+            prop_assert_eq!((a.quotient, a.remainder), (b.quotient, b.remainder));
+        }
+    }
+}

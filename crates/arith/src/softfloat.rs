@@ -1,0 +1,309 @@
+//! Software floating-point helpers: the same predictability problem in
+//! another guise.
+//!
+//! The paper's motivating platform (Freescale MPC5554) supports only
+//! single-precision floating point in hardware; anything wider runs in
+//! software, "usually designed to provide good average-case performance".
+//! The instrumented routines here expose where the data dependence hides:
+//! the *normalization shift loop* of addition runs between 0 and 47
+//! iterations depending on how much cancellation the operand values
+//! produce — invisible to any integer value analysis.
+
+use std::fmt;
+
+/// A software single-precision float: sign, exponent, significand held in
+/// integer fields (what the emulation library manipulates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftF32 {
+    /// Sign bit.
+    pub sign: bool,
+    /// Biased exponent (0..=255).
+    pub exp: i32,
+    /// 24-bit significand with the hidden bit explicit (normal numbers).
+    pub frac: u32,
+}
+
+/// Instrumented result of a software float operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftOpResult {
+    /// The result value (as a hardware float for checking).
+    pub value: f32,
+    /// Iterations of the data-dependent normalization loop.
+    pub norm_iterations: u32,
+}
+
+/// Error for non-finite/unsupported inputs to the simplified emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedValue;
+
+impl fmt::Display for UnsupportedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("non-finite or subnormal value unsupported by the soft-float model")
+    }
+}
+
+impl std::error::Error for UnsupportedValue {}
+
+impl SoftF32 {
+    /// Unpacks a hardware float.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedValue`] for NaN, infinities, and subnormals
+    /// (the model covers the normal range; real libraries add more
+    /// data-dependent paths for these, making matters worse).
+    pub fn unpack(x: f32) -> Result<SoftF32, UnsupportedValue> {
+        if !x.is_finite() || (x != 0.0 && x.abs() < f32::MIN_POSITIVE) {
+            return Err(UnsupportedValue);
+        }
+        let bits = x.to_bits();
+        let sign = bits >> 31 == 1;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let frac = bits & 0x7f_ffff;
+        if exp == 0 {
+            // Zero.
+            return Ok(SoftF32 {
+                sign,
+                exp: 0,
+                frac: 0,
+            });
+        }
+        Ok(SoftF32 {
+            sign,
+            exp,
+            frac: frac | 0x80_0000,
+        })
+    }
+
+    /// Packs back into a hardware float (assumes normalized input).
+    #[must_use]
+    pub fn pack(&self) -> f32 {
+        if self.frac == 0 {
+            return if self.sign { -0.0 } else { 0.0 };
+        }
+        let bits = (u32::from(self.sign) << 31)
+            | ((self.exp as u32 & 0xff) << 23)
+            | (self.frac & 0x7f_ffff);
+        f32::from_bits(bits)
+    }
+}
+
+/// Software float addition with an instrumented normalization loop.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedValue`] for inputs outside the modeled range.
+pub fn soft_add(a: f32, b: f32) -> Result<SoftOpResult, UnsupportedValue> {
+    let x = SoftF32::unpack(a)?;
+    let y = SoftF32::unpack(b)?;
+    // Order by exponent.
+    let (hi, lo) = if (x.exp, x.frac) >= (y.exp, y.frac) {
+        (x, y)
+    } else {
+        (y, x)
+    };
+    if lo.frac == 0 {
+        return Ok(SoftOpResult {
+            value: hi.pack(),
+            norm_iterations: 0,
+        });
+    }
+    let shift = (hi.exp - lo.exp).min(31) as u32;
+    // Work in 2.30-ish fixed point with 6 guard bits.
+    let hi_m = u64::from(hi.frac) << 6;
+    let lo_m = (u64::from(lo.frac) << 6) >> shift;
+
+    let (mut mant, sign) = if hi.sign == lo.sign {
+        (hi_m + lo_m, hi.sign)
+    } else {
+        (hi_m - lo_m, hi.sign)
+    };
+    let mut exp = hi.exp;
+
+    // Normalization: shift until the hidden bit is at position 29
+    // (23 + 6 guard bits). The iteration count depends on how much the
+    // subtraction cancelled — pure data dependence.
+    let mut norm_iterations = 0u32;
+    if mant == 0 {
+        return Ok(SoftOpResult {
+            value: if sign { -0.0 } else { 0.0 },
+            norm_iterations: 0,
+        });
+    }
+    while mant >= 1 << 30 {
+        mant >>= 1;
+        exp += 1;
+        norm_iterations += 1;
+    }
+    while mant < 1 << 29 {
+        mant <<= 1;
+        exp -= 1;
+        norm_iterations += 1;
+    }
+
+    // Round to nearest (drop the guard bits).
+    let frac = ((mant + (1 << 5)) >> 6) as u32;
+    let result = SoftF32 {
+        sign,
+        exp,
+        frac: frac.min(0xff_ffff),
+    };
+    Ok(SoftOpResult {
+        value: result.pack(),
+        norm_iterations,
+    })
+}
+
+/// Software float multiplication with an instrumented normalization step.
+///
+/// Multiplication's normalization is a single conditional shift (the
+/// product of two normalized significands is in `[1, 4)`), so unlike
+/// addition it is nearly jitter-free — the comparison the E13/E14
+/// discussion draws between algorithm classes, inside one library.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedValue`] for inputs outside the modeled range.
+pub fn soft_mul(a: f32, b: f32) -> Result<SoftOpResult, UnsupportedValue> {
+    let x = SoftF32::unpack(a)?;
+    let y = SoftF32::unpack(b)?;
+    if x.frac == 0 || y.frac == 0 {
+        return Ok(SoftOpResult {
+            value: if x.sign != y.sign { -0.0 } else { 0.0 },
+            norm_iterations: 0,
+        });
+    }
+    let sign = x.sign != y.sign;
+    // 24-bit × 24-bit significand product in 48 bits.
+    let mut prod = u64::from(x.frac) * u64::from(y.frac);
+    let mut exp = x.exp + y.exp - 127;
+    let mut norm_iterations = 0u32;
+    // Normalize so the hidden bit sits at position 46.
+    while prod >= 1 << 47 {
+        prod >>= 1;
+        exp += 1;
+        norm_iterations += 1;
+    }
+    // Round to 24 significand bits (drop 23).
+    let frac = ((prod + (1 << 22)) >> 23) as u32;
+    if !(1..=254).contains(&exp) {
+        return Err(UnsupportedValue); // overflow/underflow outside the model
+    }
+    Ok(SoftOpResult {
+        value: SoftF32 { sign, exp, frac: frac.min(0xff_ffff) }.pack(),
+        norm_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        if b == 0.0 {
+            a.abs() < 1e-30
+        } else {
+            ((a - b) / b).abs() < 1e-5
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for v in [0.0f32, 1.0, -1.5, 3.25e10, -7.75e-10] {
+            let s = SoftF32::unpack(v).unwrap();
+            assert_eq!(s.pack(), v);
+        }
+    }
+
+    #[test]
+    fn unsupported_values_rejected() {
+        assert!(SoftF32::unpack(f32::NAN).is_err());
+        assert!(SoftF32::unpack(f32::INFINITY).is_err());
+        assert!(SoftF32::unpack(1e-42).is_err()); // subnormal
+    }
+
+    #[test]
+    fn same_magnitude_add_is_fast() {
+        let r = soft_add(1.0, 1.0).unwrap();
+        assert!(close(r.value, 2.0));
+        assert!(r.norm_iterations <= 1);
+    }
+
+    #[test]
+    fn cancellation_costs_many_normalization_steps() {
+        // 1.0 − (1.0 − ε) cancels almost everything: long normalization.
+        let eps = f32::from_bits(1.0f32.to_bits() - 1);
+        let fast = soft_add(1.0, 1.0).unwrap();
+        let slow = soft_add(1.0, -eps).unwrap();
+        assert!(
+            slow.norm_iterations > fast.norm_iterations + 10,
+            "cancellation ({}) should dwarf the fast path ({})",
+            slow.norm_iterations,
+            fast.norm_iterations
+        );
+    }
+
+    #[test]
+    fn soft_mul_basics() {
+        let r = soft_mul(2.0, 3.0).unwrap();
+        assert!(close(r.value, 6.0));
+        let r = soft_mul(-1.5, 4.0).unwrap();
+        assert!(close(r.value, -6.0));
+        let r = soft_mul(0.0, 123.0).unwrap();
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn soft_mul_normalization_is_bounded_by_one() {
+        // The product of two normalized significands needs at most one
+        // normalizing shift: multiplication is the predictable operation.
+        for (a, b) in [(1.0f32, 1.0f32), (1.99, 1.99), (3.5, 7.25), (123.0, 0.0625)] {
+            let r = soft_mul(a, b).unwrap();
+            assert!(r.norm_iterations <= 1, "{a} * {b}: {}", r.norm_iterations);
+        }
+    }
+
+    proptest! {
+        /// Multiplication accuracy against hardware floats.
+        #[test]
+        fn prop_mul_accurate(a in -1.0e15f32..1.0e15, b in -1.0e15f32..1.0e15) {
+            prop_assume!(a.abs() > 1e-15 && b.abs() > 1e-15);
+            let expect = a * b;
+            prop_assume!(expect.is_finite() && expect.abs() > 1e-30);
+            if let Ok(r) = soft_mul(a, b) {
+                prop_assert!(
+                    close(r.value, expect) || (r.value - expect).abs() <= expect.abs() * 1e-5,
+                    "{a} * {b}: soft {} vs hw {expect}", r.value
+                );
+                prop_assert!(r.norm_iterations <= 1);
+            }
+        }
+
+        /// Accuracy against hardware floats over the normal range.
+        #[test]
+        fn prop_add_accurate(a in -1.0e20f32..1.0e20, b in -1.0e20f32..1.0e20) {
+            prop_assume!(a != 0.0 && b != 0.0);
+            prop_assume!(a.abs() > 1e-20 && b.abs() > 1e-20);
+            let expect = a + b;
+            prop_assume!(expect == 0.0 || expect.abs() > 1e-25);
+            if let Ok(r) = soft_add(a, b) {
+                // Allow 2 ulp-ish slack: the model rounds once.
+                prop_assert!(
+                    close(r.value, expect) || (r.value - expect).abs() <= expect.abs() * 1e-5,
+                    "{a} + {b}: soft {} vs hw {expect}", r.value
+                );
+            }
+        }
+
+        /// The normalization loop is bounded by the significand width +
+        /// guard bits.
+        #[test]
+        fn prop_norm_iterations_bounded(a in -1.0e20f32..1.0e20, b in -1.0e20f32..1.0e20) {
+            prop_assume!(a.abs() > 1e-20 && b.abs() > 1e-20);
+            if let Ok(r) = soft_add(a, b) {
+                prop_assert!(r.norm_iterations <= 64);
+            }
+        }
+    }
+}

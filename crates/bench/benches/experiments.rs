@@ -1,0 +1,147 @@
+//! The experiment bench harness: regenerates every paper table/figure
+//! (printed once at startup), then benchmarks each pipeline phase and
+//! arithmetic routine under Criterion.
+//!
+//! Bench ids match the DESIGN.md experiment index:
+//! `table1_ldivmod` (E1), `fig1_pipeline` (E2), `rule_13_4_float_loop`
+//! (E3), …, `cache_predictability` (E16), plus phase micro-benches.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use wcet_analysis::analyze_function;
+use wcet_arith::histogram::sample_input;
+use wcet_arith::ldivmod::ldivmod;
+use wcet_arith::restoring::restoring_div;
+use wcet_cfg::graph::{reconstruct, TargetResolver};
+use wcet_core::analyzer::{AnalyzerConfig, WcetAnalyzer};
+use wcet_core::{experiments, workload};
+use wcet_isa::interp::{Interpreter, MachineConfig};
+use wcet_micro::blocktime::BlockTimes;
+use wcet_path::ipet;
+
+/// Regenerate and print every table/figure once, then benchmark the
+/// drivers that are cheap enough to repeat.
+fn experiment_tables(c: &mut Criterion) {
+    // Print the full reproduction (E1 with 10^6 samples here; the table1
+    // example accepts the paper's 10^8).
+    let all = experiments::run_all(1_000_000);
+    wcet_bench::print_all(&all);
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1_ldivmod_1e5", |b| {
+        b.iter(|| experiments::e1_table1(black_box(100_000)))
+    });
+    group.bench_function("fig1_pipeline", |b| b.iter(experiments::e2_pipeline));
+    group.bench_function("rule_13_4_float_loop", |b| b.iter(experiments::e3_rule_13_4));
+    group.bench_function("rule_13_6_counter_mod", |b| b.iter(experiments::e4_rule_13_6));
+    group.bench_function("rule_14_1_unreachable", |b| b.iter(experiments::e5_rule_14_1));
+    group.bench_function("rule_14_4_goto_irreducible", |b| b.iter(experiments::e6_rule_14_4));
+    group.bench_function("rule_16_2_recursion", |b| b.iter(experiments::e7_rule_16_2));
+    group.bench_function("rule_20_4_dynamic_alloc", |b| b.iter(experiments::e8_rule_20_4));
+    group.bench_function("modes_flight_control", |b| b.iter(experiments::e9_modes));
+    group.bench_function("data_dependent_messages", |b| b.iter(experiments::e10_messages));
+    group.bench_function("imprecise_memory", |b| b.iter(experiments::e11_memory));
+    group.bench_function("error_handling", |b| {
+        b.iter(|| experiments::e12_errors(black_box(6), black_box(1)))
+    });
+    group.bench_function("single_path_transform", |b| b.iter(experiments::e13_single_path));
+    group.bench_function("software_arithmetic", |b| b.iter(experiments::e14_arithmetic));
+    group.bench_function("function_pointers", |b| b.iter(experiments::e15_function_pointers));
+    group.bench_function("cache_predictability", |b| b.iter(experiments::e16_cache_layout));
+    group.finish();
+}
+
+/// Phase-level micro-benches of the analyzer on a representative task.
+fn pipeline_phases(c: &mut Criterion) {
+    let w = workload::message_handler(16);
+    let machine = MachineConfig::with_caches();
+
+    let mut group = c.benchmark_group("phases");
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(&w.image).decode_code().expect("decodes"))
+    });
+    group.bench_function("cfg_reconstruction", |b| {
+        b.iter(|| reconstruct(black_box(&w.image), &TargetResolver::empty()).expect("builds"))
+    });
+    let program = reconstruct(&w.image, &TargetResolver::empty()).expect("builds");
+    group.bench_function("value_analysis", |b| {
+        b.iter(|| analyze_function(black_box(&program), program.entry, &w.image))
+    });
+    let fa = analyze_function(&program, program.entry, &w.image);
+    group.bench_function("cache_pipeline_analysis", |b| {
+        b.iter(|| BlockTimes::compute(black_box(&fa), &machine))
+    });
+    let times = BlockTimes::compute(&fa, &machine);
+    let mut bounds = fa.loop_bounds();
+    w.annotations.apply_loop_bounds(&fa, &mut bounds, None);
+    let facts = w.annotations.flow_facts(fa.cfg(), None);
+    group.bench_function("path_analysis_ilp", |b| {
+        b.iter(|| {
+            ipet::wcet(
+                black_box(&fa),
+                &times,
+                &bounds,
+                &facts,
+                &Default::default(),
+            )
+            .expect("solves")
+        })
+    });
+    group.bench_function("full_analyzer", |b| {
+        let config = AnalyzerConfig {
+            machine: machine.clone(),
+            annotations: w.annotations.clone(),
+            ..AnalyzerConfig::new()
+        };
+        let analyzer = WcetAnalyzer::with_config(config);
+        b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+    });
+    group.finish();
+}
+
+/// Software-arithmetic throughput: the average-case-optimized routine vs
+/// the constant-time one (the paper's trade-off, measured).
+fn arithmetic(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("arith");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    group.bench_function("ldivmod_random", |b| {
+        b.iter_batched(
+            || sample_input(&mut rng),
+            |(n, d)| ldivmod(black_box(n), black_box(d)).expect("nonzero"),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(8);
+    group.bench_function("restoring_random", |b| {
+        b.iter_batched(
+            || sample_input(&mut rng2),
+            |(n, d)| restoring_div(black_box(n), black_box(d)).expect("nonzero"),
+            BatchSize::SmallInput,
+        )
+    });
+    // The pathological input: worst observed vs typical.
+    group.bench_function("ldivmod_pathological", |b| {
+        b.iter(|| ldivmod(black_box(0xffff_ffff), black_box(0x0010_0001)))
+    });
+    group.finish();
+}
+
+/// Interpreter throughput (the measurement substrate itself).
+fn interpreter(c: &mut Criterion) {
+    let w = workload::matrix_kernel(8);
+    let mut group = c.benchmark_group("interp");
+    group.bench_function("matrix_kernel_8x8", |b| {
+        b.iter_batched(
+            || Interpreter::with_config(&w.image, MachineConfig::simple()),
+            |mut i| i.run(10_000_000).expect("halts"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, experiment_tables, pipeline_phases, arithmetic, interpreter);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! # wcet-bench — experiment regeneration and performance benches
+//!
+//! The Criterion harness lives in `benches/experiments.rs`. Running
+//! `cargo bench` first **prints every reproduced table and figure**
+//! (E1–E16; see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record), then benchmarks the analyzer's phases and
+//! the software-arithmetic routines.
+//!
+//! This library crate only hosts shared helpers for the harness.
+
+use wcet_core::experiments::Experiment;
+
+/// Prints one experiment table in the bench log format.
+pub fn print_experiment(e: &Experiment) {
+    println!("{e}");
+}
+
+/// Prints all experiments with a header.
+pub fn print_all(experiments: &[Experiment]) {
+    println!("================================================================");
+    println!(" Reproduced paper artifacts (see EXPERIMENTS.md for discussion)");
+    println!("================================================================");
+    for e in experiments {
+        print_experiment(e);
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_does_not_panic() {
+        let e = wcet_core::experiments::e3_rule_13_4();
+        print_experiment(&e);
+        print_all(&[e]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Basic blocks and their terminators.
+
+use std::fmt;
+
+use wcet_isa::{Addr, Cond, Inst};
+
+/// Index of a basic block within one function's [`crate::graph::Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// How a basic block transfers control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Conditional two-way branch.
+    CondBranch {
+        /// The integer condition, if this is an integer branch; `None`
+        /// for floating-point branches (whose outcome the value analysis
+        /// cannot see — the heart of MISRA rule 13.4).
+        cond: Option<Cond>,
+        /// Target when the condition holds.
+        taken: Addr,
+        /// Target when it does not.
+        fallthrough: Addr,
+        /// True if this is a floating-point branch.
+        float: bool,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// The jump target.
+        target: Addr,
+    },
+    /// Direct call; control continues at `ret_to` after the callee
+    /// returns. (The call edge itself lives in the call graph.)
+    Call {
+        /// Callee entry address.
+        callee: Addr,
+        /// Return-continuation address.
+        ret_to: Addr,
+    },
+    /// Indirect call through a register. `callees` holds the resolved
+    /// target set — empty means *unresolved*, the tier-one "function
+    /// pointer" challenge.
+    CallInd {
+        /// Resolved callee entries (possibly empty).
+        callees: Vec<Addr>,
+        /// Return-continuation address.
+        ret_to: Addr,
+    },
+    /// Indirect jump through a register; `targets` as for `CallInd`.
+    JumpInd {
+        /// Resolved jump targets (possibly empty).
+        targets: Vec<Addr>,
+    },
+    /// Function return.
+    Ret,
+    /// Machine stop.
+    Halt,
+    /// No control transfer: execution falls through into the next leader.
+    Fallthrough {
+        /// The next block's start address.
+        next: Addr,
+    },
+}
+
+impl Terminator {
+    /// Returns true if the terminator's targets are not statically known
+    /// (unresolved indirect control flow).
+    #[must_use]
+    pub fn is_unresolved(&self) -> bool {
+        match self {
+            Terminator::CallInd { callees, .. } => callees.is_empty(),
+            Terminator::JumpInd { targets } => targets.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Intraprocedural successor addresses of this terminator.
+    #[must_use]
+    pub fn successor_addrs(&self) -> Vec<Addr> {
+        match self {
+            Terminator::CondBranch {
+                taken, fallthrough, ..
+            } => vec![*taken, *fallthrough],
+            Terminator::Jump { target } => vec![*target],
+            Terminator::Call { ret_to, .. } | Terminator::CallInd { ret_to, .. } => vec![*ret_to],
+            Terminator::JumpInd { targets } => targets.clone(),
+            Terminator::Ret | Terminator::Halt => vec![],
+            Terminator::Fallthrough { next } => vec![*next],
+        }
+    }
+}
+
+/// A maximal single-entry straight-line instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// The instructions, including the terminating one (if any — a block
+    /// ending by fallthrough has no terminator instruction of its own).
+    pub insts: Vec<(Addr, Inst)>,
+    /// How the block ends.
+    pub term: Terminator,
+    /// Virtual-unrolling context: 0 for the original block; peeled copies
+    /// get 1, 2, ... (see [`crate::unroll`]).
+    pub ctx: u32,
+}
+
+impl BasicBlock {
+    /// Address one past the last instruction.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.insts
+            .last()
+            .map(|(a, _)| a.next())
+            .unwrap_or(self.start)
+    }
+
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns true if the block holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Returns true if `addr` is one of the block's instruction addresses.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.insts.iter().any(|(a, _)| *a == addr)
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "block {} (ctx {}):", self.start, self.ctx)?;
+        for (addr, inst) in &self.insts {
+            writeln!(f, "  {addr}: {inst}")?;
+        }
+        write!(f, "  -> {:?}", self.term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBranch {
+            cond: Some(Cond::Eq),
+            taken: Addr(0x10),
+            fallthrough: Addr(0x20),
+            float: false,
+        };
+        assert_eq!(t.successor_addrs(), vec![Addr(0x10), Addr(0x20)]);
+        assert!(Terminator::Ret.successor_addrs().is_empty());
+        assert!(Terminator::Halt.successor_addrs().is_empty());
+    }
+
+    #[test]
+    fn unresolved_detection() {
+        assert!(Terminator::JumpInd { targets: vec![] }.is_unresolved());
+        assert!(!Terminator::JumpInd { targets: vec![Addr(4)] }.is_unresolved());
+        assert!(Terminator::CallInd { callees: vec![], ret_to: Addr(8) }.is_unresolved());
+        assert!(!Terminator::Ret.is_unresolved());
+    }
+
+    #[test]
+    fn block_extent() {
+        let b = BasicBlock {
+            start: Addr(0x100),
+            insts: vec![(Addr(0x100), Inst::Nop), (Addr(0x104), Inst::Halt)],
+            term: Terminator::Halt,
+            ctx: 0,
+        };
+        assert_eq!(b.end(), Addr(0x108));
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(Addr(0x104)));
+        assert!(!b.contains(Addr(0x108)));
+    }
+}

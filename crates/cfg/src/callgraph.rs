@@ -1,0 +1,278 @@
+//! The call graph: recursion detection and bottom-up analysis order.
+//!
+//! MISRA-C:2004 rule 16.2 forbids direct and indirect recursion; the paper
+//! explains why: recursion creates cycles in the call graph, which — like
+//! irreducible loops — cannot be bounded automatically and poison the
+//! bottom-up WCET computation. [`CallGraph::recursive_functions`] is the
+//! binary-level check behind that rule, and
+//! [`CallGraph::bottom_up_order`] is the schedule used by the
+//! interprocedural path analysis (callees before callers).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wcet_isa::Addr;
+
+use crate::graph::Program;
+
+/// The program call graph over function entry addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    /// Caller entry → set of callee entries.
+    callees: BTreeMap<Addr, BTreeSet<Addr>>,
+    /// Callee entry → set of caller entries.
+    callers: BTreeMap<Addr, BTreeSet<Addr>>,
+    /// Call sites: `(site address, caller entry, callee entry)`.
+    sites: Vec<(Addr, Addr, Addr)>,
+    /// Functions participating in a call-graph cycle.
+    recursive: BTreeSet<Addr>,
+    /// Functions in bottom-up (callee-first) order; recursive SCCs appear
+    /// as arbitrary-order groups.
+    bottom_up: Vec<Addr>,
+    /// Strongly connected components, callee-first.
+    sccs: Vec<Vec<Addr>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of a reconstructed program.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wcet_isa::asm::assemble;
+    /// use wcet_cfg::graph::{reconstruct, TargetResolver};
+    /// use wcet_cfg::callgraph::CallGraph;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let image = assemble("main: call f\n halt\nf: call f\n ret")?;
+    /// let p = reconstruct(&image, &TargetResolver::empty())?;
+    /// let cg = CallGraph::build(&p);
+    /// assert_eq!(cg.recursive_functions().len(), 1); // f calls itself
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn build(program: &Program) -> CallGraph {
+        let mut callees: BTreeMap<Addr, BTreeSet<Addr>> = BTreeMap::new();
+        let mut callers: BTreeMap<Addr, BTreeSet<Addr>> = BTreeMap::new();
+        let mut sites = Vec::new();
+        for (&fun, cfg) in &program.functions {
+            callees.entry(fun).or_default();
+            for (site, targets) in cfg.call_sites() {
+                for callee in targets {
+                    callees.entry(fun).or_default().insert(callee);
+                    callers.entry(callee).or_default().insert(fun);
+                    sites.push((site, fun, callee));
+                }
+            }
+        }
+
+        let (recursive, bottom_up, sccs) = scc_analysis(&callees);
+
+        CallGraph {
+            callees,
+            callers,
+            sites,
+            recursive,
+            bottom_up,
+            sccs,
+        }
+    }
+
+    /// Direct callees of `fun`.
+    #[must_use]
+    pub fn callees_of(&self, fun: Addr) -> Vec<Addr> {
+        self.callees
+            .get(&fun)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Direct callers of `fun`.
+    #[must_use]
+    pub fn callers_of(&self, fun: Addr) -> Vec<Addr> {
+        self.callers
+            .get(&fun)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All call sites as `(site address, caller, callee)`.
+    #[must_use]
+    pub fn sites(&self) -> &[(Addr, Addr, Addr)] {
+        &self.sites
+    }
+
+    /// Functions involved in direct or indirect recursion.
+    #[must_use]
+    pub fn recursive_functions(&self) -> Vec<Addr> {
+        self.recursive.iter().copied().collect()
+    }
+
+    /// Returns true if `fun` participates in a call-graph cycle.
+    #[must_use]
+    pub fn is_recursive(&self, fun: Addr) -> bool {
+        self.recursive.contains(&fun)
+    }
+
+    /// Returns true if the program has any recursion at all.
+    #[must_use]
+    pub fn has_recursion(&self) -> bool {
+        !self.recursive.is_empty()
+    }
+
+    /// Functions in callee-before-caller order — the schedule for
+    /// bottom-up interprocedural WCET computation.
+    #[must_use]
+    pub fn bottom_up_order(&self) -> &[Addr] {
+        &self.bottom_up
+    }
+
+    /// The members of `fun`'s call-graph cycle (including `fun`), or just
+    /// `[fun]` when it is not recursive.
+    #[must_use]
+    pub fn scc_members(&self, fun: Addr) -> Vec<Addr> {
+        self.sccs
+            .iter()
+            .find(|c| c.contains(&fun))
+            .cloned()
+            .unwrap_or_else(|| vec![fun])
+    }
+}
+
+/// Tarjan SCC over the call graph; returns (recursive set, bottom-up
+/// order, SCC partition).
+fn scc_analysis(
+    callees: &BTreeMap<Addr, BTreeSet<Addr>>,
+) -> (BTreeSet<Addr>, Vec<Addr>, Vec<Vec<Addr>>) {
+    struct State<'a> {
+        graph: &'a BTreeMap<Addr, BTreeSet<Addr>>,
+        index: usize,
+        indices: BTreeMap<Addr, usize>,
+        lowlink: BTreeMap<Addr, usize>,
+        on_stack: BTreeSet<Addr>,
+        stack: Vec<Addr>,
+        comps: Vec<Vec<Addr>>,
+    }
+
+    fn connect(s: &mut State<'_>, v: Addr) {
+        s.indices.insert(v, s.index);
+        s.lowlink.insert(v, s.index);
+        s.index += 1;
+        s.stack.push(v);
+        s.on_stack.insert(v);
+        let succs: Vec<Addr> = s
+            .graph
+            .get(&v)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        for w in succs {
+            if !s.indices.contains_key(&w) {
+                connect(s, w);
+                let low = s.lowlink[&v].min(s.lowlink[&w]);
+                s.lowlink.insert(v, low);
+            } else if s.on_stack.contains(&w) {
+                let low = s.lowlink[&v].min(s.indices[&w]);
+                s.lowlink.insert(v, low);
+            }
+        }
+        if s.lowlink[&v] == s.indices[&v] {
+            let mut comp = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("nonempty");
+                s.on_stack.remove(&w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            s.comps.push(comp);
+        }
+    }
+
+    let mut state = State {
+        graph: callees,
+        index: 0,
+        indices: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        comps: Vec::new(),
+    };
+    for &fun in callees.keys() {
+        if !state.indices.contains_key(&fun) {
+            connect(&mut state, fun);
+        }
+    }
+
+    let mut recursive = BTreeSet::new();
+    let mut bottom_up = Vec::new();
+    // Tarjan emits SCCs in reverse topological order: callees first.
+    for comp in &state.comps {
+        let self_loop = comp.len() == 1
+            && callees
+                .get(&comp[0])
+                .is_some_and(|s| s.contains(&comp[0]));
+        if comp.len() > 1 || self_loop {
+            recursive.extend(comp.iter().copied());
+        }
+        bottom_up.extend(comp.iter().copied());
+    }
+    let sccs = state.comps;
+    (recursive, bottom_up, sccs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn cg(src: &str) -> (Program, CallGraph) {
+        let p = reconstruct(&assemble(src).unwrap(), &TargetResolver::empty()).unwrap();
+        let g = CallGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn acyclic_program_not_recursive() {
+        let (p, g) = cg("main: call f\n call g\n halt\nf: ret\ng: call f\n ret");
+        assert!(!g.has_recursion());
+        // Bottom-up order puts every callee before its callers, so `main`
+        // comes last and `f` (called by both others) comes before `g`.
+        let order = g.bottom_up_order();
+        assert_eq!(*order.last().unwrap(), p.entry, "main analyzed last");
+        let f = p.functions.keys().copied().find(|&a| g.callees_of(a).is_empty()).unwrap();
+        let g_fun = p
+            .functions
+            .keys()
+            .copied()
+            .find(|&a| a != p.entry && a != f)
+            .unwrap();
+        let pos_of = |x: Addr| order.iter().position(|&a| a == x).unwrap();
+        assert!(pos_of(f) < pos_of(g_fun));
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let (_, g) = cg("main: call f\n halt\nf: call f\n ret");
+        assert_eq!(g.recursive_functions().len(), 1);
+    }
+
+    #[test]
+    fn indirect_recursion_detected() {
+        let (p, g) = cg(
+            "main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret",
+        );
+        assert_eq!(g.recursive_functions().len(), 2, "f and g form a cycle");
+        assert!(!g.is_recursive(p.entry));
+    }
+
+    #[test]
+    fn callers_and_callees() {
+        let (p, g) = cg("main: call f\n halt\nf: ret");
+        let f = p.functions.keys().copied().find(|&a| a != p.entry).unwrap();
+        assert_eq!(g.callees_of(p.entry), vec![f]);
+        assert_eq!(g.callers_of(f), vec![p.entry]);
+        assert_eq!(g.sites().len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dominator trees via the iterative Cooper–Harvey–Kennedy algorithm.
+//!
+//! Dominance is the backbone of natural-loop detection: a back edge is an
+//! edge whose target dominates its source, and a loop whose header does
+//! *not* dominate some in-edge source is irreducible — the structure the
+//! paper's rule 14.4 discussion identifies as fatal for automatic loop
+//! bounding.
+
+use crate::block::BlockId;
+use crate::graph::Cfg;
+
+/// The dominator tree of one function's CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// Immediate dominator of each block (`idom[entry] == entry`);
+    /// `None` for blocks unreachable from the entry.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder number of each block (entry = 0).
+    rpo_number: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wcet_isa::asm::assemble;
+    /// use wcet_cfg::graph::{reconstruct, TargetResolver};
+    /// use wcet_cfg::dom::Dominators;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let image = assemble("main: beq r1, r0, a\n nop\na: halt")?;
+    /// let p = reconstruct(&image, &TargetResolver::empty())?;
+    /// let cfg = p.entry_cfg();
+    /// let dom = Dominators::compute(cfg);
+    /// // The entry dominates every block.
+    /// for (id, _) in cfg.iter() {
+    ///     assert!(dom.dominates(cfg.entry_block(), id));
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.block_count();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_number[b.0] = i;
+        }
+
+        let entry = cfg.entry_block();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.0] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_number: &[usize], a: BlockId, b: BlockId| {
+            let mut x = a;
+            let mut y = b;
+            while x != y {
+                while rpo_number[x.0] > rpo_number[y.0] {
+                    x = idom[x.0].expect("processed block has idom");
+                }
+                while rpo_number[y.0] > rpo_number[x.0] {
+                    y = idom[y.0].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.0] {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_number, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0] != Some(ni) {
+                        idom[b.0] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Dominators { idom, rpo_number }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry itself or
+    /// unreachable blocks).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.0] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns true if `a` dominates `b` (reflexive: every block dominates
+    /// itself).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Returns true if `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.0].is_some()
+    }
+
+    /// Reverse postorder number of `b` (entry = 0).
+    #[must_use]
+    pub fn rpo_number(&self, b: BlockId) -> usize {
+        self.rpo_number[b.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn dom_of(src: &str) -> (crate::graph::Program, Dominators) {
+        let p = reconstruct(&assemble(src).unwrap(), &TargetResolver::empty()).unwrap();
+        let d = Dominators::compute(p.entry_cfg());
+        (p, d)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (p, dom) = dom_of(
+            "main: beq r1, r0, then\n li r2, 1\n j join\nthen: li r2, 2\njoin: halt",
+        );
+        let cfg = p.entry_cfg();
+        let entry = cfg.entry_block();
+        let join = cfg
+            .iter()
+            .find(|(_, b)| matches!(b.term, crate::block::Terminator::Halt))
+            .unwrap()
+            .0;
+        // Join's immediate dominator is the entry (neither arm dominates it).
+        assert_eq!(dom.idom(join), Some(entry));
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(join, entry));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let (p, dom) = dom_of(
+            "main: li r1, 4\nhead: beq r1, r0, done\n subi r1, r1, 1\n j head\ndone: halt",
+        );
+        let cfg = p.entry_cfg();
+        let head = cfg.block_at(p.entry.offset(4)).unwrap();
+        let body = cfg.block_at(p.entry.offset(8)).unwrap();
+        assert!(dom.dominates(head, body));
+        assert_eq!(dom.idom(body), Some(head));
+    }
+
+    #[test]
+    fn entry_has_no_idom() {
+        let (p, dom) = dom_of("main: halt");
+        assert_eq!(dom.idom(p.entry_cfg().entry_block()), None);
+        assert!(dom.is_reachable(p.entry_cfg().entry_block()));
+    }
+
+    #[test]
+    fn dominance_is_transitive_on_chain() {
+        let (p, dom) = dom_of("main: nop\n beq r1, r0, a\n nop\na: nop\n beq r2, r0, b\n nop\nb: halt");
+        let cfg = p.entry_cfg();
+        let rpo = cfg.reverse_postorder();
+        // Entry dominates everything reachable.
+        for &b in &rpo {
+            assert!(dom.dominates(cfg.entry_block(), b));
+        }
+    }
+}

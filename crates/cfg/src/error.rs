@@ -1,0 +1,64 @@
+//! Error type for control-flow reconstruction.
+
+use std::fmt;
+
+use wcet_isa::{Addr, IsaError};
+
+/// Errors produced while reconstructing control flow from a binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfgError {
+    /// The underlying binary failed to decode.
+    Decode(IsaError),
+    /// Control flow leaves the code segment (e.g. a branch into data).
+    FlowLeavesCode {
+        /// The instruction transferring control.
+        from: Addr,
+        /// The out-of-code target.
+        to: Addr,
+    },
+    /// A function entry address holds no instruction.
+    BadEntry {
+        /// The bad entry address.
+        entry: Addr,
+    },
+    /// A resolver-supplied indirect target is not a valid instruction
+    /// address.
+    BadResolvedTarget {
+        /// The indirect instruction.
+        at: Addr,
+        /// The invalid target.
+        target: Addr,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Decode(e) => write!(f, "decode failure during reconstruction: {e}"),
+            CfgError::FlowLeavesCode { from, to } => {
+                write!(f, "control flow from {from} leaves the code segment (target {to})")
+            }
+            CfgError::BadEntry { entry } => {
+                write!(f, "function entry {entry} holds no instruction")
+            }
+            CfgError::BadResolvedTarget { at, target } => {
+                write!(f, "resolved indirect target {target} at {at} is not a code address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CfgError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CfgError {
+    fn from(e: IsaError) -> Self {
+        CfgError::Decode(e)
+    }
+}

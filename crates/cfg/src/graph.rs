@@ -1,0 +1,627 @@
+//! Whole-program control-flow reconstruction.
+//!
+//! This is the "Decoding Phase → Control-flow Graph" arrow of the paper's
+//! Figure 1. Reconstruction starts from the task entry point, discovers
+//! function entries through call instructions, partitions each function
+//! into basic blocks, and wires intraprocedural edges.
+//!
+//! Indirect control flow (function pointers, computed jumps) cannot be
+//! followed without knowing its targets — the paper's first tier-one
+//! challenge. The [`TargetResolver`] carries externally supplied target
+//! sets (from value analysis of jump tables or from user annotations);
+//! unresolved indirections are recorded per function so the analyzer can
+//! report exactly *why* a WCET bound is not computable.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use wcet_isa::{Addr, Image, Inst};
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::error::CfgError;
+
+/// Externally supplied targets for indirect calls and jumps, keyed by the
+/// address of the indirect instruction.
+///
+/// Produced by the value analysis (when it can pin a jump-table register to
+/// a finite set) or by `call ... targets ...` / `access ...` annotations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TargetResolver {
+    /// `CallInd` instruction address → possible callee entries.
+    pub call_targets: HashMap<Addr, Vec<Addr>>,
+    /// `JumpInd` instruction address → possible jump targets.
+    pub jump_targets: HashMap<Addr, Vec<Addr>>,
+}
+
+impl TargetResolver {
+    /// A resolver that knows nothing (every indirection stays unresolved).
+    #[must_use]
+    pub fn empty() -> TargetResolver {
+        TargetResolver::default()
+    }
+
+    /// Registers callee targets for the indirect call at `at`
+    /// (duplicates are merged).
+    pub fn add_call_targets(&mut self, at: Addr, targets: impl IntoIterator<Item = Addr>) {
+        let list = self.call_targets.entry(at).or_default();
+        list.extend(targets);
+        list.sort();
+        list.dedup();
+    }
+
+    /// Registers jump targets for the indirect jump at `at`
+    /// (duplicates are merged).
+    pub fn add_jump_targets(&mut self, at: Addr, targets: impl IntoIterator<Item = Addr>) {
+        let list = self.jump_targets.entry(at).or_default();
+        list.extend(targets);
+        list.sort();
+        list.dedup();
+    }
+
+    /// Returns true if no targets are registered at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.call_targets.is_empty() && self.jump_targets.is_empty()
+    }
+}
+
+/// One function's control-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Entry address of the function.
+    pub entry: Addr,
+    /// Basic blocks; `BlockId` indexes this vector. Block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Successor lists, parallel to `blocks`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists, parallel to `blocks`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Addresses of unresolved indirect terminators inside this function.
+    pub unresolved: Vec<Addr>,
+    pub(crate) block_of_addr: HashMap<Addr, BlockId>,
+}
+
+impl Cfg {
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The entry block (always `BlockId(0)`).
+    #[must_use]
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The block starting at `addr`, if any.
+    #[must_use]
+    pub fn block_at(&self, addr: Addr) -> Option<BlockId> {
+        self.block_of_addr.get(&addr).copied()
+    }
+
+    /// The block *containing* the instruction at `addr`, if any.
+    #[must_use]
+    pub fn block_containing(&self, addr: Addr) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.contains(addr))
+            .map(BlockId)
+    }
+
+    /// The block data for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)`.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i), b))
+    }
+
+    /// All edges as `(from, to)` pairs.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(BlockId, BlockId)> {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |&s| (BlockId(i), s)))
+            .collect()
+    }
+
+    /// Exit blocks: blocks ending in `Ret` or `Halt` (and, conservatively,
+    /// unresolved indirect jumps, which may leave the function).
+    #[must_use]
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.iter()
+            .filter(|(_, b)| {
+                matches!(b.term, Terminator::Ret | Terminator::Halt)
+                    || (matches!(b.term, Terminator::JumpInd { .. }) && b.term.is_unresolved())
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Reverse postorder of the blocks from the entry.
+    #[must_use]
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit "children done" marker.
+        let mut stack = vec![(self.entry_block(), false)];
+        while let Some((node, children_done)) = stack.pop() {
+            if children_done {
+                post.push(node);
+                continue;
+            }
+            if visited[node.0] {
+                continue;
+            }
+            visited[node.0] = true;
+            stack.push((node, true));
+            for &s in &self.succs[node.0] {
+                if !visited[s.0] {
+                    stack.push((s, false));
+                }
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// All direct and resolved-indirect call sites in this function as
+    /// `(site address, callee entries)`.
+    #[must_use]
+    pub fn call_sites(&self) -> Vec<(Addr, Vec<Addr>)> {
+        let mut sites = Vec::new();
+        for b in &self.blocks {
+            match &b.term {
+                Terminator::Call { callee, .. } => {
+                    let site = b.insts.last().map(|(a, _)| *a).unwrap_or(b.start);
+                    sites.push((site, vec![*callee]));
+                }
+                Terminator::CallInd { callees, .. } if !callees.is_empty() => {
+                    let site = b.insts.last().map(|(a, _)| *a).unwrap_or(b.start);
+                    sites.push((site, callees.clone()));
+                }
+                _ => {}
+            }
+        }
+        sites
+    }
+}
+
+/// The reconstructed whole program: one [`Cfg`] per discovered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The task entry point.
+    pub entry: Addr,
+    /// Function entry address → that function's CFG.
+    pub functions: BTreeMap<Addr, Cfg>,
+    /// All decoded instructions by address (the analyses share this view).
+    pub insts: BTreeMap<Addr, Inst>,
+}
+
+impl Program {
+    /// The CFG of the function entered at `entry`, if reconstructed.
+    #[must_use]
+    pub fn cfg(&self, entry: Addr) -> Option<&Cfg> {
+        self.functions.get(&entry)
+    }
+
+    /// The CFG of the task entry function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reconstruction did not produce the entry function (which
+    /// `reconstruct` guarantees it does).
+    #[must_use]
+    pub fn entry_cfg(&self) -> &Cfg {
+        self.functions
+            .get(&self.entry)
+            .expect("entry function always reconstructed")
+    }
+
+    /// Addresses of all unresolved indirections across all functions.
+    #[must_use]
+    pub fn unresolved_sites(&self) -> Vec<Addr> {
+        let mut sites: Vec<Addr> = self
+            .functions
+            .values()
+            .flat_map(|cfg| cfg.unresolved.iter().copied())
+            .collect();
+        sites.sort();
+        sites.dedup();
+        sites
+    }
+
+    /// Total basic blocks across all functions.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.functions.values().map(Cfg::block_count).sum()
+    }
+}
+
+/// Reconstructs the whole-program control flow from a binary image.
+///
+/// # Errors
+///
+/// Fails if the binary does not decode, if control flow leaves the code
+/// segment, or if the resolver supplies an invalid target.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::asm::assemble;
+/// use wcet_cfg::graph::{reconstruct, TargetResolver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let image = assemble("main: call f\n halt\nf: ret")?;
+/// let program = reconstruct(&image, &TargetResolver::empty())?;
+/// assert_eq!(program.functions.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reconstruct(image: &Image, resolver: &TargetResolver) -> Result<Program, CfgError> {
+    let insts: BTreeMap<Addr, Inst> = image.decode_code()?.into_iter().collect();
+
+    let mut functions = BTreeMap::new();
+    let mut pending: VecDeque<Addr> = VecDeque::new();
+    pending.push_back(image.entry);
+    let mut seen: BTreeSet<Addr> = BTreeSet::new();
+
+    while let Some(entry) = pending.pop_front() {
+        if !seen.insert(entry) {
+            continue;
+        }
+        let cfg = build_function(entry, &insts, resolver)?;
+        // Discover callees.
+        for b in &cfg.blocks {
+            match &b.term {
+                Terminator::Call { callee, .. } => pending.push_back(*callee),
+                Terminator::CallInd { callees, .. } => pending.extend(callees.iter().copied()),
+                _ => {}
+            }
+        }
+        functions.insert(entry, cfg);
+    }
+
+    Ok(Program {
+        entry: image.entry,
+        functions,
+        insts,
+    })
+}
+
+/// Builds one function's CFG by intraprocedural discovery from `entry`.
+fn build_function(
+    entry: Addr,
+    insts: &BTreeMap<Addr, Inst>,
+    resolver: &TargetResolver,
+) -> Result<Cfg, CfgError> {
+    if !insts.contains_key(&entry) {
+        return Err(CfgError::BadEntry { entry });
+    }
+
+    // Pass 1: discover the reachable instruction set and the leaders.
+    let mut reachable: BTreeSet<Addr> = BTreeSet::new();
+    let mut leaders: BTreeSet<Addr> = BTreeSet::new();
+    leaders.insert(entry);
+    let mut unresolved: Vec<Addr> = Vec::new();
+    let mut work = vec![entry];
+
+    let check_target = |from: Addr, to: Addr| -> Result<(), CfgError> {
+        if insts.contains_key(&to) {
+            Ok(())
+        } else {
+            Err(CfgError::FlowLeavesCode { from, to })
+        }
+    };
+
+    while let Some(addr) = work.pop() {
+        if !reachable.insert(addr) {
+            continue;
+        }
+        let inst = match insts.get(&addr) {
+            Some(i) => *i,
+            None => return Err(CfgError::FlowLeavesCode { from: addr, to: addr }),
+        };
+        match inst {
+            Inst::Branch { target, .. } | Inst::FBranch { target, .. } => {
+                check_target(addr, target)?;
+                leaders.insert(target);
+                leaders.insert(addr.next());
+                work.push(target);
+                work.push(addr.next());
+            }
+            Inst::Jump { target } => {
+                check_target(addr, target)?;
+                leaders.insert(target);
+                work.push(target);
+            }
+            Inst::Call { target } => {
+                check_target(addr, target)?;
+                // Callee handled interprocedurally; continue after return.
+                leaders.insert(addr.next());
+                work.push(addr.next());
+            }
+            Inst::CallInd { .. } => {
+                let callees = resolver.call_targets.get(&addr).cloned().unwrap_or_default();
+                for c in &callees {
+                    check_target(addr, *c)
+                        .map_err(|_| CfgError::BadResolvedTarget { at: addr, target: *c })?;
+                }
+                if callees.is_empty() {
+                    unresolved.push(addr);
+                }
+                leaders.insert(addr.next());
+                work.push(addr.next());
+            }
+            Inst::JumpInd { .. } => {
+                let targets = resolver.jump_targets.get(&addr).cloned().unwrap_or_default();
+                for t in &targets {
+                    check_target(addr, *t)
+                        .map_err(|_| CfgError::BadResolvedTarget { at: addr, target: *t })?;
+                    leaders.insert(*t);
+                    work.push(*t);
+                }
+                if targets.is_empty() {
+                    unresolved.push(addr);
+                }
+            }
+            Inst::Ret | Inst::Halt => {}
+            _ => {
+                // Straight-line: fall through.
+                work.push(addr.next());
+            }
+        }
+    }
+
+    // Pass 2: carve blocks between leaders.
+    let leaders: Vec<Addr> = leaders
+        .into_iter()
+        .filter(|a| reachable.contains(a))
+        .collect();
+    let leader_set: BTreeSet<Addr> = leaders.iter().copied().collect();
+
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut block_of_addr: HashMap<Addr, BlockId> = HashMap::new();
+
+    // The entry block must be BlockId(0): emit it first.
+    let ordered: Vec<Addr> = std::iter::once(entry)
+        .chain(leaders.iter().copied().filter(|&a| a != entry))
+        .collect();
+
+    for &leader in &ordered {
+        let mut body = Vec::new();
+        let mut cursor = leader;
+        let term = loop {
+            let inst = insts[&cursor];
+            body.push((cursor, inst));
+            if inst.is_terminator() {
+                break make_terminator(cursor, inst, resolver);
+            }
+            let next = cursor.next();
+            if leader_set.contains(&next) || !reachable.contains(&next) {
+                break Terminator::Fallthrough { next };
+            }
+            cursor = next;
+        };
+        let id = BlockId(blocks.len());
+        block_of_addr.insert(leader, id);
+        blocks.push(BasicBlock {
+            start: leader,
+            insts: body,
+            term,
+            ctx: 0,
+        });
+    }
+
+    // Pass 3: wire edges.
+    let mut succs = vec![Vec::new(); blocks.len()];
+    let mut preds = vec![Vec::new(); blocks.len()];
+    for (i, b) in blocks.iter().enumerate() {
+        for target in b.term.successor_addrs() {
+            if let Some(&to) = block_of_addr.get(&target) {
+                succs[i].push(to);
+                preds[to.0].push(BlockId(i));
+            }
+        }
+    }
+
+    unresolved.sort();
+    unresolved.dedup();
+
+    Ok(Cfg {
+        entry,
+        blocks,
+        succs,
+        preds,
+        unresolved,
+        block_of_addr,
+    })
+}
+
+fn make_terminator(at: Addr, inst: Inst, resolver: &TargetResolver) -> Terminator {
+    match inst {
+        Inst::Branch { cond, target, .. } => Terminator::CondBranch {
+            cond: Some(cond),
+            taken: target,
+            fallthrough: at.next(),
+            float: false,
+        },
+        Inst::FBranch { target, .. } => Terminator::CondBranch {
+            cond: None,
+            taken: target,
+            fallthrough: at.next(),
+            float: true,
+        },
+        Inst::Jump { target } => Terminator::Jump { target },
+        Inst::Call { target } => Terminator::Call {
+            callee: target,
+            ret_to: at.next(),
+        },
+        Inst::CallInd { .. } => Terminator::CallInd {
+            callees: resolver.call_targets.get(&at).cloned().unwrap_or_default(),
+            ret_to: at.next(),
+        },
+        Inst::JumpInd { .. } => Terminator::JumpInd {
+            targets: resolver.jump_targets.get(&at).cloned().unwrap_or_default(),
+        },
+        Inst::Ret => Terminator::Ret,
+        Inst::Halt => Terminator::Halt,
+        _ => unreachable!("non-terminator passed to make_terminator"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_isa::asm::assemble;
+
+    fn program(src: &str) -> Program {
+        reconstruct(&assemble(src).unwrap(), &TargetResolver::empty()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let p = program("main: li r1, 1\n li r2, 2\n halt");
+        let cfg = p.entry_cfg();
+        assert_eq!(cfg.block_count(), 1);
+        assert_eq!(cfg.blocks[0].len(), 3);
+        assert!(matches!(cfg.blocks[0].term, Terminator::Halt));
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let p = program(
+            "main: beq r1, r0, then\n li r2, 1\n j join\nthen: li r2, 2\njoin: halt",
+        );
+        let cfg = p.entry_cfg();
+        assert_eq!(cfg.block_count(), 4);
+        // Entry has two successors, join has two predecessors.
+        assert_eq!(cfg.succs[0].len(), 2);
+        let join = cfg.block_at(p.entry.offset(16)).unwrap();
+        assert_eq!(cfg.preds[join.0].len(), 2);
+    }
+
+    #[test]
+    fn loop_back_edge_exists() {
+        let p = program("main: li r1, 4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let cfg = p.entry_cfg();
+        let edges = cfg.edges();
+        let loop_block = cfg.block_at(p.entry.offset(4)).unwrap();
+        assert!(edges.contains(&(loop_block, loop_block)), "self back edge");
+    }
+
+    #[test]
+    fn functions_discovered_through_calls() {
+        let p = program("main: call f\n call g\n halt\nf: ret\ng: call f\n ret");
+        assert_eq!(p.functions.len(), 3);
+        let g_entry = p.functions.keys().copied().max().unwrap();
+        let g = p.cfg(g_entry).unwrap();
+        assert_eq!(g.call_sites().len(), 1);
+    }
+
+    #[test]
+    fn call_splits_block() {
+        let p = program("main: li r1, 1\n call f\n li r2, 2\n halt\nf: ret");
+        let cfg = p.entry_cfg();
+        assert_eq!(cfg.block_count(), 2);
+        assert!(matches!(cfg.blocks[0].term, Terminator::Call { .. }));
+    }
+
+    #[test]
+    fn unresolved_indirect_call_recorded() {
+        let p = program("main: li r1, 0x1000\n callr r1\n halt");
+        let cfg = p.entry_cfg();
+        assert_eq!(cfg.unresolved.len(), 1);
+        assert!(p.unresolved_sites().len() == 1);
+    }
+
+    #[test]
+    fn resolver_resolves_indirect_call() {
+        let image = assemble("main: la r1, f\n callr r1\n halt\nf: ret").unwrap();
+        let callr_addr = image
+            .decode_code()
+            .unwrap()
+            .iter()
+            .find(|(_, i)| matches!(i, Inst::CallInd { .. }))
+            .map(|(a, _)| *a)
+            .unwrap();
+        let f = image.symbol("f").unwrap();
+        let mut resolver = TargetResolver::empty();
+        resolver.add_call_targets(callr_addr, [f]);
+        let p = reconstruct(&image, &resolver).unwrap();
+        assert!(p.unresolved_sites().is_empty());
+        assert!(p.cfg(f).is_some(), "callee discovered via resolver");
+    }
+
+    #[test]
+    fn resolver_jump_table() {
+        let image = assemble(
+            "main: la r1, case_a\n jr r1\ncase_a: li r2, 1\n halt\ncase_b: li r2, 2\n halt",
+        )
+        .unwrap();
+        let jr = image
+            .decode_code()
+            .unwrap()
+            .iter()
+            .find(|(_, i)| matches!(i, Inst::JumpInd { .. }))
+            .map(|(a, _)| *a)
+            .unwrap();
+        let mut resolver = TargetResolver::empty();
+        resolver.add_jump_targets(
+            jr,
+            [image.symbol("case_a").unwrap(), image.symbol("case_b").unwrap()],
+        );
+        let p = reconstruct(&image, &resolver).unwrap();
+        let cfg = p.entry_cfg();
+        let jr_block = cfg.block_containing(jr).unwrap();
+        assert_eq!(cfg.succs[jr_block.0].len(), 2);
+        assert!(cfg.unresolved.is_empty());
+    }
+
+    #[test]
+    fn flow_leaving_code_is_error() {
+        // A jump past the end of the code segment must be reported.
+        let mut b = wcet_isa::builder::ProgramBuilder::new(0x1000);
+        b.label("main");
+        b.inst(Inst::Jump { target: Addr(0x2000) });
+        let image = b.build("main").unwrap();
+        assert!(matches!(
+            reconstruct(&image, &TargetResolver::empty()),
+            Err(CfgError::FlowLeavesCode { .. })
+        ));
+
+        // Falling off the end of the code segment is the same error.
+        let mut b = wcet_isa::builder::ProgramBuilder::new(0x1000);
+        b.label("main");
+        b.nop();
+        let image = b.build("main").unwrap();
+        assert!(matches!(
+            reconstruct(&image, &TargetResolver::empty()),
+            Err(CfgError::FlowLeavesCode { .. })
+        ));
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let p = program("main: beq r1, r0, a\n nop\n j b\na: nop\nb: halt");
+        let cfg = p.entry_cfg();
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry_block());
+        assert_eq!(rpo.len(), cfg.block_count());
+    }
+
+    #[test]
+    fn exit_blocks_found() {
+        let p = program("main: beq r1, r0, a\n halt\na: halt");
+        let cfg = p.entry_cfg();
+        assert_eq!(cfg.exit_blocks().len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! # wcet-cfg — control-flow reconstruction and graph analyses
+//!
+//! This crate implements the control-flow half of the paper's Figure 1
+//! pipeline: reconstructing a control-flow graph from a decoded binary and
+//! the graph analyses every later phase depends on.
+//!
+//! * [`block`] — basic blocks and terminators,
+//! * [`graph`] — per-function CFGs and whole-program reconstruction,
+//!   including the handling of *function pointers* (tier-one challenge:
+//!   indirect calls and jumps are unresolved until a resolver — produced
+//!   by value analysis or annotations — supplies targets),
+//! * [`dom`] — dominator trees (iterative Cooper–Harvey–Kennedy),
+//! * [`loops`] — the loop-nesting forest with *irreducible loop*
+//!   detection (tier-one challenge of Section 3.2: multi-entry loops from
+//!   `goto`/hand-written assembly cannot be bounded automatically),
+//! * [`callgraph`] — the call graph with recursion detection (MISRA rule
+//!   16.2),
+//! * [`reach`] — unreachable-code detection at the image level (MISRA
+//!   rule 14.1),
+//! * [`unroll`] — virtual loop unrolling (context expansion), the
+//!   precision-enhancing technique of Theiling/Ferdinand/Wilhelm cited by
+//!   the paper's rule 14.4 discussion, which irreducible loops forfeit.
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_isa::asm::assemble;
+//! use wcet_cfg::graph::{reconstruct, TargetResolver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble(
+//!     "main: li r1, 4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+//! )?;
+//! let program = reconstruct(&image, &TargetResolver::empty())?;
+//! let cfg = program.cfg(image.entry).expect("entry function exists");
+//! assert_eq!(cfg.block_count(), 3); // prologue, loop body, exit
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod block;
+pub mod callgraph;
+pub mod dom;
+pub mod graph;
+pub mod loops;
+pub mod reach;
+pub mod unroll;
+
+mod error;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use error::CfgError;
+pub use graph::{reconstruct, Cfg, Program, TargetResolver};
+pub use loops::{LoopForest, LoopId, LoopInfo};

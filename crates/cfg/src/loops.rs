@@ -1,0 +1,438 @@
+//! Loop-nesting forest with irreducible-loop detection.
+//!
+//! Loops are discovered by recursive strongly-connected-component
+//! decomposition (in the spirit of Havlak's loop forest): every
+//! non-trivial SCC is a loop; its *entries* are the SCC nodes reached from
+//! outside. A single entry that dominates the whole SCC gives a reducible
+//! natural loop; multiple entries give an **irreducible loop** — the
+//! construct the paper's Section 3.2 lists as a tier-one challenge ("there
+//! exists no feasible approach to automatically bound this kind of loops")
+//! and that MISRA rule 14.4 (`goto`) and rule 20.7 (`setjmp`/`longjmp`)
+//! exist to prevent.
+
+use std::collections::BTreeSet;
+
+use crate::block::BlockId;
+use crate::dom::Dominators;
+use crate::graph::Cfg;
+
+/// Index of a loop within a [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub usize);
+
+/// One loop in the nesting forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// This loop's id.
+    pub id: LoopId,
+    /// Representative header: the unique entry for reducible loops, the
+    /// lowest-RPO entry for irreducible ones.
+    pub header: BlockId,
+    /// All blocks through which the loop can be entered from outside.
+    /// More than one ⇒ irreducible.
+    pub entries: Vec<BlockId>,
+    /// Every block belonging to the loop (including nested loops).
+    pub blocks: BTreeSet<BlockId>,
+    /// Edges from inside the loop back to an entry (the iteration edges).
+    pub back_edges: Vec<(BlockId, BlockId)>,
+    /// Edges leaving the loop, as `(from inside, to outside)`.
+    pub exits: Vec<(BlockId, BlockId)>,
+    /// Enclosing loop, if nested.
+    pub parent: Option<LoopId>,
+    /// Directly nested loops.
+    pub children: Vec<LoopId>,
+    /// Nesting depth (outermost = 0).
+    pub depth: usize,
+    /// True if the loop has multiple entries or its header fails to
+    /// dominate the whole body.
+    pub irreducible: bool,
+}
+
+/// The loop-nesting forest of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopForest {
+    loops: Vec<LoopInfo>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Computes the forest for `cfg` using its dominator tree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wcet_isa::asm::assemble;
+    /// use wcet_cfg::graph::{reconstruct, TargetResolver};
+    /// use wcet_cfg::dom::Dominators;
+    /// use wcet_cfg::loops::LoopForest;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let image = assemble(
+    ///     "main: li r1, 9\nhead: beq r1, r0, out\n subi r1, r1, 1\n j head\nout: halt",
+    /// )?;
+    /// let p = reconstruct(&image, &TargetResolver::empty())?;
+    /// let cfg = p.entry_cfg();
+    /// let forest = LoopForest::compute(cfg, &Dominators::compute(cfg));
+    /// assert_eq!(forest.len(), 1);
+    /// assert!(!forest.loops()[0].irreducible);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn compute(cfg: &Cfg, dom: &Dominators) -> LoopForest {
+        let n = cfg.block_count();
+        let all: Vec<BlockId> = (0..n).map(BlockId).collect();
+        let mut forest = LoopForest {
+            loops: Vec::new(),
+            innermost: vec![None; n],
+        };
+        forest.discover(cfg, dom, &all, None, 0);
+        // Assign innermost loops: process loops outermost-first so deeper
+        // loops overwrite.
+        let order: Vec<LoopId> = {
+            let mut ids: Vec<LoopId> = forest.loops.iter().map(|l| l.id).collect();
+            ids.sort_by_key(|&id| forest.loops[id.0].depth);
+            ids
+        };
+        for id in order {
+            for &b in forest.loops[id.0].blocks.clone().iter() {
+                forest.innermost[b.0] = Some(id);
+            }
+        }
+        forest
+    }
+
+    /// Number of loops found.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Returns true if the function is loop-free.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// All loops, indexable by [`LoopId`].
+    #[must_use]
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// The loop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.0]
+    }
+
+    /// The innermost loop containing `b`, if any.
+    #[must_use]
+    pub fn innermost_of(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.0]
+    }
+
+    /// All irreducible loops.
+    #[must_use]
+    pub fn irreducible_loops(&self) -> Vec<&LoopInfo> {
+        self.loops.iter().filter(|l| l.irreducible).collect()
+    }
+
+    /// Loops with no parent (top level).
+    #[must_use]
+    pub fn top_level(&self) -> Vec<&LoopInfo> {
+        self.loops.iter().filter(|l| l.parent.is_none()).collect()
+    }
+
+    /// Recursively discovers loops inside the node subset `subset`.
+    fn discover(
+        &mut self,
+        cfg: &Cfg,
+        dom: &Dominators,
+        subset: &[BlockId],
+        parent: Option<LoopId>,
+        depth: usize,
+    ) {
+        let in_subset: BTreeSet<BlockId> = subset.iter().copied().collect();
+        for scc in sccs(cfg, &in_subset) {
+            let scc_set: BTreeSet<BlockId> = scc.iter().copied().collect();
+            let is_cycle = scc.len() > 1
+                || cfg.succs[scc[0].0].contains(&scc[0]);
+            if !is_cycle {
+                continue;
+            }
+
+            // Entries: SCC nodes with a predecessor outside the SCC
+            // (looking at the whole CFG, so outer-loop context counts),
+            // plus the function entry block if it is inside.
+            let mut entries: Vec<BlockId> = scc
+                .iter()
+                .copied()
+                .filter(|&b| {
+                    b == cfg.entry_block()
+                        || cfg.preds[b.0].iter().any(|p| !scc_set.contains(p))
+                })
+                .collect();
+            entries.sort_by_key(|&b| dom.rpo_number(b));
+            if entries.is_empty() {
+                // Unreachable cycle: treat its lowest block as the entry so
+                // it is still reported.
+                entries.push(scc[0]);
+            }
+
+            let header = entries[0];
+            let dominated = scc.iter().all(|&b| dom.dominates(header, b));
+            let irreducible = entries.len() > 1 || !dominated;
+
+            let back_edges: Vec<(BlockId, BlockId)> = scc
+                .iter()
+                .flat_map(|&u| {
+                    cfg.succs[u.0]
+                        .iter()
+                        .copied()
+                        .filter(|t| entries.contains(t))
+                        .map(move |t| (u, t))
+                })
+                .collect();
+
+            let exits: Vec<(BlockId, BlockId)> = scc
+                .iter()
+                .flat_map(|&u| {
+                    cfg.succs[u.0]
+                        .iter()
+                        .copied()
+                        .filter(|t| !scc_set.contains(t))
+                        .map(move |t| (u, t))
+                })
+                .collect();
+
+            let id = LoopId(self.loops.len());
+            self.loops.push(LoopInfo {
+                id,
+                header,
+                entries: entries.clone(),
+                blocks: scc_set,
+                back_edges,
+                exits,
+                parent,
+                children: Vec::new(),
+                depth,
+                irreducible,
+            });
+            if let Some(p) = parent {
+                self.loops[p.0].children.push(id);
+            }
+
+            // Nested loops: drop the entries and decompose the rest.
+            let inner: Vec<BlockId> = scc
+                .iter()
+                .copied()
+                .filter(|b| !entries.contains(b))
+                .collect();
+            if !inner.is_empty() {
+                self.discover(cfg, dom, &inner, Some(id), depth + 1);
+            }
+        }
+    }
+}
+
+/// Tarjan's SCC algorithm restricted to `subset`; returns the components.
+fn sccs(cfg: &Cfg, subset: &BTreeSet<BlockId>) -> Vec<Vec<BlockId>> {
+    struct State<'a> {
+        cfg: &'a Cfg,
+        subset: &'a BTreeSet<BlockId>,
+        index: usize,
+        indices: Vec<Option<usize>>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<BlockId>,
+        out: Vec<Vec<BlockId>>,
+    }
+
+    fn strongconnect(s: &mut State<'_>, v: BlockId) {
+        s.indices[v.0] = Some(s.index);
+        s.lowlink[v.0] = s.index;
+        s.index += 1;
+        s.stack.push(v);
+        s.on_stack[v.0] = true;
+
+        for &w in &s.cfg.succs[v.0] {
+            if !s.subset.contains(&w) {
+                continue;
+            }
+            if s.indices[w.0].is_none() {
+                strongconnect(s, w);
+                s.lowlink[v.0] = s.lowlink[v.0].min(s.lowlink[w.0]);
+            } else if s.on_stack[w.0] {
+                s.lowlink[v.0] = s.lowlink[v.0].min(s.indices[w.0].expect("indexed"));
+            }
+        }
+
+        if s.lowlink[v.0] == s.indices[v.0].expect("indexed") {
+            let mut comp = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("stack nonempty");
+                s.on_stack[w.0] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort();
+            s.out.push(comp);
+        }
+    }
+
+    let n = cfg.block_count();
+    let mut state = State {
+        cfg,
+        subset,
+        index: 0,
+        indices: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        out: Vec::new(),
+    };
+    for &v in subset {
+        if state.indices[v.0].is_none() {
+            strongconnect(&mut state, v);
+        }
+    }
+    state.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn forest_of(src: &str) -> (crate::graph::Program, LoopForest) {
+        let p = reconstruct(&assemble(src).unwrap(), &TargetResolver::empty()).unwrap();
+        let dom = Dominators::compute(p.entry_cfg());
+        let f = LoopForest::compute(p.entry_cfg(), &dom);
+        (p, f)
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let (_, f) = forest_of("main: li r1, 1\n halt");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn single_counter_loop() {
+        let (p, f) = forest_of("main: li r1, 4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        assert_eq!(f.len(), 1);
+        let l = &f.loops()[0];
+        assert!(!l.irreducible);
+        assert_eq!(l.entries.len(), 1);
+        assert_eq!(l.back_edges.len(), 1);
+        assert_eq!(l.exits.len(), 1);
+        let cfg = p.entry_cfg();
+        assert_eq!(l.header, cfg.block_at(p.entry.offset(4)).unwrap());
+    }
+
+    #[test]
+    fn nested_loops_have_parents() {
+        let (_, f) = forest_of(
+            r#"
+            main: li r1, 3
+            outer: li r2, 4
+            inner: subi r2, r2, 1
+                   bne r2, r0, inner
+                   subi r1, r1, 1
+                   bne r1, r0, outer
+                   halt
+            "#,
+        );
+        assert_eq!(f.len(), 2);
+        let outer = f.top_level();
+        assert_eq!(outer.len(), 1);
+        assert_eq!(outer[0].children.len(), 1);
+        let inner = f.info(outer[0].children[0]);
+        assert_eq!(inner.parent, Some(outer[0].id));
+        assert_eq!(inner.depth, 1);
+        assert!(inner.blocks.is_subset(&outer[0].blocks));
+    }
+
+    #[test]
+    fn goto_into_loop_body_is_irreducible() {
+        // Two entries into the cycle {a, b}: via `a` from the entry branch,
+        // and via `b` through the goto-style jump — the classic irreducible
+        // shape of the paper's rule 14.4 discussion.
+        let (_, f) = forest_of(
+            r#"
+            main: beq r1, r0, b
+            a:    subi r2, r2, 1
+                  j b
+            b:    addi r2, r2, 1
+                  bne r2, r0, a
+                  halt
+            "#,
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f.loops()[0].irreducible);
+        assert!(f.loops()[0].entries.len() > 1);
+        assert_eq!(f.irreducible_loops().len(), 1);
+    }
+
+    #[test]
+    fn while_loop_with_two_back_edges_continue_style() {
+        // A `continue` adds a second back edge but keeps the loop
+        // reducible — exactly the paper's point about MISRA rule 14.5.
+        let (_, f) = forest_of(
+            r#"
+            main: li r1, 10
+            head: beq r1, r0, done
+                  subi r1, r1, 1
+                  beq r2, r0, head      # the `continue`
+                  subi r2, r2, 1
+                  j head
+            done: halt
+            "#,
+        );
+        assert_eq!(f.len(), 1);
+        let l = &f.loops()[0];
+        assert!(!l.irreducible, "continue must not make the loop irreducible");
+        assert_eq!(l.back_edges.len(), 2);
+    }
+
+    #[test]
+    fn innermost_assignment() {
+        let (p, f) = forest_of(
+            r#"
+            main: li r1, 3
+            outer: li r2, 4
+            inner: subi r2, r2, 1
+                   bne r2, r0, inner
+                   subi r1, r1, 1
+                   bne r1, r0, outer
+                   halt
+            "#,
+        );
+        let cfg = p.entry_cfg();
+        let inner_block = cfg.block_at(p.entry.offset(8)).unwrap();
+        let inner_loop = f.innermost_of(inner_block).unwrap();
+        assert_eq!(f.info(inner_loop).depth, 1);
+        let outer_header = cfg.block_at(p.entry.offset(4)).unwrap();
+        let outer_loop = f.innermost_of(outer_header).unwrap();
+        assert_eq!(f.info(outer_loop).depth, 0);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let (_, f) = forest_of("main: nop\nspin: j spin");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.loops()[0].blocks.len(), 1);
+        assert!(!f.loops()[0].irreducible);
+        // A self-loop with no exit edge (infinite loop).
+        assert!(f.loops()[0].exits.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Unreachable-code detection (MISRA-C:2004 rule 14.1).
+//!
+//! The paper notes that unreachable code is doubly harmful for static
+//! timing analysis: the analysis computes an *over-approximation* of the
+//! control flow, so dead code both bloats the state space and can be
+//! dragged onto spurious worst-case paths. This module compares the image's
+//! code segment against the instructions actually covered by the
+//! reconstructed control flow and reports the gaps.
+
+use wcet_isa::{Addr, Image};
+
+use crate::graph::Program;
+
+/// A maximal contiguous range of code bytes never reached by any function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadRange {
+    /// First unreachable instruction address.
+    pub start: Addr,
+    /// One past the last unreachable instruction address.
+    pub end: Addr,
+}
+
+impl DeadRange {
+    /// Number of instruction words in the range.
+    #[must_use]
+    pub fn inst_count(&self) -> u32 {
+        (self.end.0 - self.start.0) / 4
+    }
+}
+
+/// Coverage report: which instructions of the image the reconstructed
+/// program can actually reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Total instruction words in the code segment.
+    pub total_insts: u32,
+    /// Instruction words covered by some basic block.
+    pub covered_insts: u32,
+    /// Unreachable ranges, in ascending address order.
+    pub dead_ranges: Vec<DeadRange>,
+}
+
+impl CoverageReport {
+    /// Fraction of the code segment that is reachable (1.0 = fully live).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_insts == 0 {
+            1.0
+        } else {
+            f64::from(self.covered_insts) / f64::from(self.total_insts)
+        }
+    }
+
+    /// Returns true if the image satisfies rule 14.1 (no unreachable code).
+    #[must_use]
+    pub fn is_fully_reachable(&self) -> bool {
+        self.dead_ranges.is_empty()
+    }
+}
+
+/// Computes which image instructions the program's control flow covers.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::asm::assemble;
+/// use wcet_cfg::graph::{reconstruct, TargetResolver};
+/// use wcet_cfg::reach::coverage;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The `li r9` after the jump can never execute.
+/// let image = assemble("main: j done\n li r9, 1\ndone: halt")?;
+/// let p = reconstruct(&image, &TargetResolver::empty())?;
+/// let report = coverage(&image, &p);
+/// assert!(!report.is_fully_reachable());
+/// assert_eq!(report.dead_ranges.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn coverage(image: &Image, program: &Program) -> CoverageReport {
+    let base = image.code.base;
+    let total = image.code_len() as u32;
+
+    let mut covered = vec![false; total as usize];
+    for cfg in program.functions.values() {
+        for block in &cfg.blocks {
+            for (addr, _) in &block.insts {
+                let idx = (addr.0 - base.0) / 4;
+                if let Some(slot) = covered.get_mut(idx as usize) {
+                    *slot = true;
+                }
+            }
+        }
+    }
+
+    let covered_insts = covered.iter().filter(|&&c| c).count() as u32;
+    let mut dead_ranges = Vec::new();
+    let mut i = 0usize;
+    while i < covered.len() {
+        if covered[i] {
+            i += 1;
+            continue;
+        }
+        let start = base.offset(4 * i as i64);
+        while i < covered.len() && !covered[i] {
+            i += 1;
+        }
+        let end = base.offset(4 * i as i64);
+        dead_ranges.push(DeadRange { start, end });
+    }
+
+    CoverageReport {
+        total_insts: total,
+        covered_insts,
+        dead_ranges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn report(src: &str) -> CoverageReport {
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        coverage(&image, &p)
+    }
+
+    #[test]
+    fn fully_live_program() {
+        let r = report("main: li r1, 1\n halt");
+        assert!(r.is_fully_reachable());
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn code_after_halt_is_dead() {
+        let r = report("main: halt\n nop\n nop");
+        assert!(!r.is_fully_reachable());
+        assert_eq!(r.dead_ranges.len(), 1);
+        assert_eq!(r.dead_ranges[0].inst_count(), 2);
+        assert!(r.coverage() < 1.0);
+    }
+
+    #[test]
+    fn uncalled_function_is_dead() {
+        let r = report("main: halt\nunused: li r1, 1\n ret");
+        assert!(!r.is_fully_reachable());
+        assert_eq!(r.dead_ranges[0].inst_count(), 2);
+    }
+
+    #[test]
+    fn multiple_dead_ranges() {
+        let r = report("main: j a\n nop\na: j b\n nop\nb: halt");
+        assert_eq!(r.dead_ranges.len(), 2);
+        assert_eq!(r.covered_insts, 3);
+        assert_eq!(r.total_insts, 5);
+    }
+}

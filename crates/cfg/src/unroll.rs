@@ -1,0 +1,309 @@
+//! Virtual loop unrolling (context expansion).
+//!
+//! aiT's precision-enhancing "virtual unrolling" (Theiling, Ferdinand,
+//! Wilhelm — reference \[13\] of the paper) analyzes the first iteration of
+//! a loop separately from the steady state: the first iteration takes the
+//! cold-cache misses, the remaining iterations run from a warm cache, so
+//! per-context block times are far tighter than one pessimistic time for
+//! all iterations.
+//!
+//! The paper's rule 14.4 discussion points out that **irreducible loops
+//! forfeit this technique** ("certain precision-enhancing analysis
+//! techniques, such as virtual loop unrolling, are not applicable") —
+//! [`peel`] therefore refuses irreducible loops, and the benches
+//! demonstrate the resulting precision loss.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays
+
+use std::collections::HashMap;
+
+use crate::block::BlockId;
+use crate::graph::Cfg;
+use crate::loops::{LoopForest, LoopId};
+
+/// Peels the first iteration of a reducible loop, returning a new CFG in
+/// which the loop body exists twice: a *first-iteration* copy (`ctx` one
+/// higher than the original) that entry edges now reach, and the original
+/// *steady-state* body that back edges target.
+///
+/// Returns `None` if the loop is irreducible — multi-entry loops have no
+/// well-defined first iteration, which is exactly the paper's point.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::asm::assemble;
+/// use wcet_cfg::graph::{reconstruct, TargetResolver};
+/// use wcet_cfg::dom::Dominators;
+/// use wcet_cfg::loops::LoopForest;
+/// use wcet_cfg::unroll::peel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let image = assemble(
+///     "main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+/// )?;
+/// let p = reconstruct(&image, &TargetResolver::empty())?;
+/// let cfg = p.entry_cfg();
+/// let forest = LoopForest::compute(cfg, &Dominators::compute(cfg));
+/// let peeled = peel(cfg, &forest, forest.loops()[0].id).expect("reducible");
+/// assert_eq!(peeled.block_count(), cfg.block_count() + 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn peel(cfg: &Cfg, forest: &LoopForest, loop_id: LoopId) -> Option<Cfg> {
+    let info = forest.info(loop_id);
+    if info.irreducible {
+        return None;
+    }
+    let header = info.header;
+
+    let n = cfg.block_count();
+    // New ids: originals keep 0..n, copies are appended in ascending
+    // original-id order.
+    let mut copy_of: HashMap<BlockId, BlockId> = HashMap::new();
+    for (k, &b) in info.blocks.iter().enumerate() {
+        copy_of.insert(b, BlockId(n + k));
+    }
+
+    let mut blocks = cfg.blocks.clone();
+    for &b in info.blocks.iter() {
+        let mut copy = cfg.blocks[b.0].clone();
+        copy.ctx += 1;
+        blocks.push(copy);
+    }
+
+    let total = blocks.len();
+    let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); total];
+
+    // Original blocks.
+    for u in 0..n {
+        let u_id = BlockId(u);
+        for &v in &cfg.succs[u] {
+            let rewired = if v == header && !info.blocks.contains(&u_id) {
+                // Entry edge from outside the loop: enter the peeled copy.
+                copy_of[&header]
+            } else {
+                v
+            };
+            succs[u].push(rewired);
+        }
+    }
+
+    // First-iteration copies.
+    for (&orig, &copy) in &copy_of {
+        for &v in &cfg.succs[orig.0] {
+            let rewired = if v == header {
+                // Back edge out of the first iteration: continue in the
+                // steady-state body.
+                header
+            } else if let Some(&cv) = copy_of.get(&v) {
+                cv
+            } else {
+                // Exit edge: unchanged.
+                v
+            };
+            succs[copy.0].push(rewired);
+        }
+    }
+
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); total];
+    for (u, ss) in succs.iter().enumerate() {
+        for &v in ss {
+            preds[v.0].push(BlockId(u));
+        }
+    }
+
+    let mut new_cfg = Cfg {
+        entry: cfg.entry,
+        blocks,
+        succs,
+        preds,
+        unresolved: cfg.unresolved.clone(),
+        block_of_addr: HashMap::new(),
+    };
+
+    // If the function entry block itself belongs to the loop, the peeled
+    // copy must become the entry: swap it into slot 0.
+    if info.blocks.contains(&cfg.entry_block()) {
+        let copy = copy_of[&cfg.entry_block()];
+        swap_blocks(&mut new_cfg, BlockId(0), copy);
+    }
+
+    // Rebuild the address map pointing at context-0 blocks.
+    new_cfg.block_of_addr = new_cfg
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.ctx == 0)
+        .map(|(i, b)| (b.start, BlockId(i)))
+        .collect();
+
+    Some(new_cfg)
+}
+
+/// Peels the first iteration of every reducible top-level loop, outermost
+/// first. Irreducible loops are skipped (and reported in the return).
+///
+/// Returns the expanded CFG together with the ids of the loops that could
+/// not be peeled.
+#[must_use]
+pub fn peel_all(cfg: &Cfg, forest: &LoopForest) -> (Cfg, Vec<LoopId>) {
+    let mut current = cfg.clone();
+    let mut skipped = Vec::new();
+    // Peel only top-level loops of the original forest: after one peel the
+    // block ids shift, so we recompute the forest each round and peel the
+    // first remaining un-peeled reducible loop (identified by header
+    // address still having only ctx-0 incarnations... simpler: one pass
+    // over the original top-level loops by header address).
+    let headers: Vec<(wcet_isa::Addr, bool)> = forest
+        .top_level()
+        .iter()
+        .map(|l| (cfg.block(l.header).start, l.irreducible))
+        .collect();
+    for (header_addr, irreducible) in headers {
+        if irreducible {
+            // Identify the loop id in the *original* forest for reporting.
+            if let Some(l) = forest
+                .loops()
+                .iter()
+                .find(|l| cfg.block(l.header).start == header_addr)
+            {
+                skipped.push(l.id);
+            }
+            continue;
+        }
+        let dom = crate::dom::Dominators::compute(&current);
+        let f = LoopForest::compute(&current, &dom);
+        let target = f.loops().iter().find(|l| {
+            current.block(l.header).start == header_addr && current.block(l.header).ctx == 0
+        });
+        if let Some(l) = target {
+            if let Some(next) = peel(&current, &f, l.id) {
+                current = next;
+            }
+        }
+    }
+    (current, skipped)
+}
+
+fn swap_blocks(cfg: &mut Cfg, a: BlockId, b: BlockId) {
+    cfg.blocks.swap(a.0, b.0);
+    cfg.succs.swap(a.0, b.0);
+    cfg.preds.swap(a.0, b.0);
+    let remap = |id: &mut BlockId| {
+        if *id == a {
+            *id = b;
+        } else if *id == b {
+            *id = a;
+        }
+    };
+    for list in cfg.succs.iter_mut().chain(cfg.preds.iter_mut()) {
+        for id in list.iter_mut() {
+            remap(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use crate::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn setup(src: &str) -> (Cfg, LoopForest) {
+        let p = reconstruct(&assemble(src).unwrap(), &TargetResolver::empty()).unwrap();
+        let cfg = p.entry_cfg().clone();
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        (cfg, forest)
+    }
+
+    #[test]
+    fn peel_simple_loop_adds_copy() {
+        let (cfg, forest) = setup(
+            "main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+        );
+        let peeled = peel(&cfg, &forest, forest.loops()[0].id).unwrap();
+        assert_eq!(peeled.block_count(), cfg.block_count() + 1);
+        // Exactly one ctx-1 block, and the loop entry edge reaches it.
+        let copies: Vec<BlockId> = peeled
+            .iter()
+            .filter(|(_, b)| b.ctx == 1)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(copies.len(), 1);
+        let entry_succs = &peeled.succs[peeled.entry_block().0];
+        assert!(entry_succs.contains(&copies[0]));
+    }
+
+    #[test]
+    fn peeled_cfg_still_loops_in_steady_state() {
+        let (cfg, forest) = setup(
+            "main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+        );
+        let peeled = peel(&cfg, &forest, forest.loops()[0].id).unwrap();
+        let dom = Dominators::compute(&peeled);
+        let f2 = LoopForest::compute(&peeled, &dom);
+        assert_eq!(f2.len(), 1, "steady-state loop remains");
+        // The steady-state loop excludes the peeled copy.
+        let steady = &f2.loops()[0];
+        for &b in steady.blocks.iter() {
+            assert_eq!(peeled.block(b).ctx, 0);
+        }
+    }
+
+    #[test]
+    fn irreducible_loop_refused() {
+        let (cfg, forest) = setup(
+            r#"
+            main: beq r1, r0, b
+            a:    subi r2, r2, 1
+                  j b
+            b:    addi r2, r2, 1
+                  bne r2, r0, a
+                  halt
+            "#,
+        );
+        assert!(forest.loops()[0].irreducible);
+        assert!(peel(&cfg, &forest, forest.loops()[0].id).is_none());
+        let (out, skipped) = peel_all(&cfg, &forest);
+        assert_eq!(out.block_count(), cfg.block_count());
+        assert_eq!(skipped.len(), 1);
+    }
+
+    #[test]
+    fn peel_all_handles_multiple_loops() {
+        let (cfg, forest) = setup(
+            r#"
+            main: li r1, 3
+            l1:   subi r1, r1, 1
+                  bne r1, r0, l1
+                  li r2, 5
+            l2:   subi r2, r2, 1
+                  bne r2, r0, l2
+                  halt
+            "#,
+        );
+        assert_eq!(forest.len(), 2);
+        let (out, skipped) = peel_all(&cfg, &forest);
+        assert!(skipped.is_empty());
+        assert_eq!(out.block_count(), cfg.block_count() + 2);
+    }
+
+    #[test]
+    fn peeled_entry_loop_keeps_entry_semantics() {
+        // The function entry block is itself the loop header.
+        let (cfg, forest) = setup("main: subi r1, r1, 1\n bne r1, r0, main\n halt");
+        let l = forest.loops()[0].id;
+        let peeled = peel(&cfg, &forest, l).unwrap();
+        // The entry block must now be the first-iteration copy.
+        assert_eq!(peeled.block(peeled.entry_block()).ctx, 1);
+        // And the CFG still reaches a Halt block.
+        let rpo = peeled.reverse_postorder();
+        assert!(rpo
+            .iter()
+            .any(|&b| matches!(peeled.block(b).term, crate::block::Terminator::Halt)));
+    }
+}

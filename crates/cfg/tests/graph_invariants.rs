@@ -1,0 +1,197 @@
+//! Structural invariants of the graph analyses, property-tested over
+//! randomly generated (but well-formed) control-flow graphs:
+//!
+//! * dominator facts hold by brute-force path checking,
+//! * every back edge lands in a loop that contains its source,
+//! * loop nesting is consistent (child ⊆ parent, depths increase),
+//! * peeling preserves the address multiset and the reachable terminators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wcet_cfg::block::BlockId;
+use wcet_cfg::dom::Dominators;
+use wcet_cfg::graph::{reconstruct, Cfg, TargetResolver};
+use wcet_cfg::loops::LoopForest;
+use wcet_isa::builder::ProgramBuilder;
+use wcet_isa::{AluOp, Cond, Image, Reg};
+
+/// Builds a random structured program (sequences, diamonds, loops —
+/// always reducible) whose CFG shape varies with the seed.
+fn random_structured(seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(0x1000);
+    let mut n = 0usize;
+    let mut fresh = |s: &str| {
+        n += 1;
+        format!("{s}{n}")
+    };
+    b.label("main");
+    let depth = rng.gen_range(1..4usize);
+    emit(&mut b, &mut rng, &mut fresh, depth);
+    b.halt();
+    b.build("main").expect("links")
+}
+
+fn emit(
+    b: &mut ProgramBuilder,
+    rng: &mut StdRng,
+    fresh: &mut impl FnMut(&str) -> String,
+    depth: usize,
+) {
+    for _ in 0..rng.gen_range(1..4usize) {
+        match rng.gen_range(0..3u32) {
+            0 => {
+                b.alui(AluOp::Add, Reg::new(1), Reg::new(1), 1);
+            }
+            1 => {
+                // Diamond.
+                let (t, j) = (fresh("t"), fresh("j"));
+                b.branch(Cond::Eq, Reg::new(10), Reg::ZERO, &t);
+                b.alui(AluOp::Add, Reg::new(2), Reg::new(2), 1);
+                b.jump(&j);
+                b.label(&t);
+                if depth > 0 {
+                    emit(b, rng, fresh, depth - 1);
+                } else {
+                    b.nop();
+                }
+                b.label(&j);
+                b.nop();
+            }
+            _ => {
+                // Counter loop, possibly with nested structure.
+                let head = fresh("h");
+                b.li(Reg::new(8), rng.gen_range(1..6));
+                b.label(&head);
+                if depth > 0 && rng.gen_bool(0.5) {
+                    emit(b, rng, fresh, depth - 1);
+                } else {
+                    b.alui(AluOp::Add, Reg::new(3), Reg::new(3), 1);
+                }
+                b.alui(AluOp::Sub, Reg::new(8), Reg::new(8), 1);
+                b.branch(Cond::Ne, Reg::new(8), Reg::ZERO, &head);
+            }
+        }
+    }
+}
+
+/// Brute-force dominance: does every entry→`b` path pass through `a`?
+fn dominates_brute(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    // b unreachable when a is removed ⇒ a dominates b.
+    let mut visited = vec![false; cfg.block_count()];
+    let mut stack = vec![cfg.entry_block()];
+    while let Some(x) = stack.pop() {
+        if x == a || visited[x.0] {
+            continue;
+        }
+        visited[x.0] = true;
+        for &s in &cfg.succs[x.0] {
+            stack.push(s);
+        }
+    }
+    !visited[b.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_dominators_match_brute_force(seed in 0u64..5000) {
+        let image = random_structured(seed);
+        let p = reconstruct(&image, &TargetResolver::empty()).expect("builds");
+        let cfg = p.entry_cfg();
+        let dom = Dominators::compute(cfg);
+        for (a, _) in cfg.iter() {
+            for (b, _) in cfg.iter() {
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    dominates_brute(cfg, a, b),
+                    "dominance({}, {}) disagrees (seed {})",
+                    a,
+                    b,
+                    seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_loop_forest_invariants(seed in 0u64..5000) {
+        let image = random_structured(seed);
+        let p = reconstruct(&image, &TargetResolver::empty()).expect("builds");
+        let cfg = p.entry_cfg();
+        let dom = Dominators::compute(cfg);
+        let forest = LoopForest::compute(cfg, &dom);
+
+        // 1. Structured generation only produces reducible loops.
+        for l in forest.loops() {
+            prop_assert!(!l.irreducible, "seed {seed}: spurious irreducible loop");
+            // 2. The header dominates every loop block.
+            for &blk in l.blocks.iter() {
+                prop_assert!(dom.dominates(l.header, blk));
+            }
+            // 3. Back edges start inside and end at the header.
+            for &(src, dst) in &l.back_edges {
+                prop_assert!(l.blocks.contains(&src));
+                prop_assert_eq!(dst, l.header);
+            }
+            // 4. Nesting consistency.
+            if let Some(parent) = l.parent {
+                let pinfo = forest.info(parent);
+                prop_assert!(l.blocks.is_subset(&pinfo.blocks));
+                prop_assert_eq!(l.depth, pinfo.depth + 1);
+            }
+        }
+
+        // 5. Every CFG back edge (target dominates source) belongs to a loop.
+        for (u, v) in cfg.edges() {
+            if dom.dominates(v, u) {
+                let in_some_loop = forest
+                    .loops()
+                    .iter()
+                    .any(|l| l.header == v && l.blocks.contains(&u));
+                prop_assert!(in_some_loop, "back edge {} -> {} missed (seed {})", u, v, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_peel_preserves_structure(seed in 0u64..5000) {
+        let image = random_structured(seed);
+        let p = reconstruct(&image, &TargetResolver::empty()).expect("builds");
+        let cfg = p.entry_cfg();
+        let dom = Dominators::compute(cfg);
+        let forest = LoopForest::compute(cfg, &dom);
+        let (peeled, skipped) = wcet_cfg::unroll::peel_all(cfg, &forest);
+        prop_assert!(skipped.is_empty(), "structured programs are reducible");
+
+        // Block count grows by exactly the peeled loops' sizes.
+        let expected_extra: usize = forest
+            .top_level()
+            .iter()
+            .map(|l| l.blocks.len())
+            .sum();
+        prop_assert_eq!(peeled.block_count(), cfg.block_count() + expected_extra);
+
+        // The peeled CFG still reaches a halt from its entry.
+        let rpo = peeled.reverse_postorder();
+        prop_assert!(rpo.iter().any(|&b| matches!(
+            peeled.block(b).term,
+            wcet_cfg::block::Terminator::Halt
+        )));
+
+        // Every reachable block keeps a valid instruction sequence (start
+        // address matches its first instruction).
+        for &b in &rpo {
+            let blk = peeled.block(b);
+            if let Some((first, _)) = blk.insts.first() {
+                prop_assert_eq!(*first, blk.start);
+            }
+        }
+    }
+}

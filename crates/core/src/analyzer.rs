@@ -1,0 +1,686 @@
+//! The complete aiT-style analyzer (Figure 1 end to end).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use wcet_analysis::loopbound::{BoundResult, BoundSource};
+use wcet_analysis::{analyze_function, FunctionAnalysis};
+use wcet_cfg::callgraph::CallGraph;
+use wcet_cfg::graph::{reconstruct, Program};
+use wcet_cfg::CfgError;
+use wcet_guidelines::annot::AnnotationSet;
+use wcet_guidelines::report::PredictabilityReport;
+use wcet_guidelines::rules::check_program;
+use wcet_isa::interp::MachineConfig;
+use wcet_isa::{Addr, Image};
+use wcet_micro::blocktime::BlockTimes;
+use wcet_micro::cacheanalysis::CacheAnalysis;
+use wcet_path::ipet::{self, CallCosts, PathError, WcetResult};
+
+use crate::phases::PhaseTrace;
+
+/// Configuration of a [`WcetAnalyzer`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerConfig {
+    /// The hardware model (memory map, base timing, caches).
+    pub machine: MachineConfig,
+    /// Design-level annotations (Section 4.3).
+    pub annotations: AnnotationSet,
+    /// Maximum rounds of value-analysis-driven indirect-target
+    /// resolution and CFG re-reconstruction.
+    pub max_resolve_rounds: usize,
+    /// Also run the guideline checker and attach its report.
+    pub check_guidelines: bool,
+    /// Virtually unroll (peel the first iteration of) every reducible
+    /// loop before the cache/pipeline and path analyses — aiT's
+    /// precision-enhancing context expansion (reference \[13\] of the
+    /// paper). Irreducible loops cannot be peeled; they are analyzed
+    /// as-is (or rejected by the loop-bound analysis).
+    pub unrolling: bool,
+}
+
+impl AnalyzerConfig {
+    /// Defaults: simple machine, no annotations, 3 resolve rounds,
+    /// guideline checking on.
+    #[must_use]
+    pub fn new() -> AnalyzerConfig {
+        AnalyzerConfig {
+            machine: MachineConfig::simple(),
+            annotations: AnnotationSet::new(),
+            max_resolve_rounds: 3,
+            check_guidelines: true,
+            unrolling: false,
+        }
+    }
+}
+
+/// Why a full analysis failed.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Control-flow reconstruction failed.
+    Cfg(CfgError),
+    /// The call graph is cyclic (MISRA rule 16.2): bottom-up WCET
+    /// composition is impossible without recursion-depth annotations.
+    Recursion {
+        /// The functions participating in cycles.
+        functions: Vec<Addr>,
+    },
+    /// Path analysis failed for a function.
+    Path {
+        /// The function whose analysis failed.
+        function: Addr,
+        /// The underlying error (unbounded loops carry their reasons).
+        error: PathError,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Cfg(e) => write!(f, "control-flow reconstruction: {e}"),
+            AnalyzeError::Recursion { functions } => {
+                write!(f, "recursive functions (rule 16.2): {functions:?}")
+            }
+            AnalyzeError::Path { function, error } => {
+                write!(f, "path analysis of {function}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<CfgError> for AnalyzeError {
+    fn from(e: CfgError) -> Self {
+        AnalyzeError::Cfg(e)
+    }
+}
+
+/// Per-function results within a report.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// WCET bound in cycles (includes callees).
+    pub wcet: WcetResult,
+    /// BCET bound in cycles (includes callees).
+    pub bcet: WcetResult,
+}
+
+/// The complete output of one analyzer run.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The reconstructed program (after target resolution).
+    pub program: Program,
+    /// WCET bound of the task (the entry function), in cycles, in the
+    /// global (mode-oblivious) analysis.
+    pub wcet_cycles: u64,
+    /// BCET bound of the task, in cycles.
+    pub bcet_cycles: u64,
+    /// The worst-case path through the entry function.
+    pub worst_path: Vec<wcet_cfg::BlockId>,
+    /// Per-function results (global mode).
+    pub functions: BTreeMap<Addr, FunctionReport>,
+    /// Per-operating-mode task WCET bounds (`None` key = global).
+    pub mode_wcet: BTreeMap<Option<String>, u64>,
+    /// Guideline findings, when checking was enabled.
+    pub guidelines: Option<PredictabilityReport>,
+    /// The Figure 1 phase trace.
+    pub trace: PhaseTrace,
+}
+
+/// The analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct WcetAnalyzer {
+    config: AnalyzerConfig,
+}
+
+impl WcetAnalyzer {
+    /// An analyzer with default configuration.
+    #[must_use]
+    pub fn new() -> WcetAnalyzer {
+        WcetAnalyzer {
+            config: AnalyzerConfig::new(),
+        }
+    }
+
+    /// An analyzer with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: AnalyzerConfig) -> WcetAnalyzer {
+        WcetAnalyzer { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a binary image.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`]; unbounded loops and unresolved indirections
+    /// surface as [`AnalyzeError::Path`] with the tier-one diagnosis
+    /// attached.
+    pub fn analyze(&self, image: &Image) -> Result<AnalysisReport, AnalyzeError> {
+        let mut trace = PhaseTrace::default();
+
+        // --- Phase 1: decoding --------------------------------------
+        let t0 = Instant::now();
+        let decoded = image.decode_code().map_err(CfgError::Decode)?;
+        trace.decoded_insts = decoded.len();
+        trace.phase_times[0] = t0.elapsed();
+
+        // --- Phase 2: CFG reconstruction (+ resolution rounds) -------
+        let t1 = Instant::now();
+        let mut resolver = self.config.annotations.to_resolver();
+        let mut program = reconstruct(image, &resolver)?;
+        trace.unresolved_initial = program.unresolved_sites().len();
+        let mut analyses: BTreeMap<Addr, FunctionAnalysis> = BTreeMap::new();
+        let t2_accum = Instant::now();
+        let mut value_time = t2_accum.elapsed();
+        for round in 0..self.config.max_resolve_rounds.max(1) {
+            // Phase 3 runs inside the loop: value analysis may resolve
+            // indirect targets, requiring re-reconstruction.
+            let tv = Instant::now();
+            analyses = program
+                .functions
+                .keys()
+                .map(|&f| (f, analyze_function(&program, f, image)))
+                .collect();
+            value_time += tv.elapsed();
+            trace.resolve_rounds = round + 1;
+
+            if program.unresolved_sites().is_empty() {
+                break;
+            }
+            let mut grew = false;
+            for fa in analyses.values() {
+                let hints = fa.resolver_hints();
+                for (at, targets) in hints.call_targets {
+                    if resolver.call_targets.get(&at) != Some(&targets) {
+                        resolver.add_call_targets(at, targets);
+                        grew = true;
+                    }
+                }
+                for (at, targets) in hints.jump_targets {
+                    if resolver.jump_targets.get(&at) != Some(&targets) {
+                        resolver.add_jump_targets(at, targets);
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+            program = reconstruct(image, &resolver)?;
+        }
+        trace.unresolved_final = program.unresolved_sites().len();
+        trace.functions = program.functions.len();
+        trace.blocks = program.total_blocks();
+        trace.edges = program.functions.values().map(|c| c.edges().len()).sum();
+        trace.phase_times[1] = t1.elapsed().checked_sub(value_time).unwrap_or_default();
+        trace.phase_times[2] = value_time;
+
+        // Loop statistics.
+        for fa in analyses.values() {
+            let bounds = fa.loop_bounds();
+            trace.loops += fa.forest().len();
+            for (_, r) in bounds.results() {
+                if matches!(r, BoundResult::Bounded { source: BoundSource::Auto, .. }) {
+                    trace.loops_bounded_auto += 1;
+                }
+            }
+        }
+
+        // --- Guideline checking (report only) -------------------------
+        let guideline_report = if self.config.check_guidelines {
+            let all: Vec<FunctionAnalysis> = analyses.values().cloned().collect();
+            Some(PredictabilityReport::new(check_program(image, &program, &all)))
+        } else {
+            None
+        };
+
+        // --- Recursion check ------------------------------------------
+        // Recursive functions need a `recursion … depth N` annotation —
+        // the design-level knowledge the paper says recursion requires
+        // (Section 3.2). Without it the analysis must refuse.
+        let callgraph = CallGraph::build(&program);
+        let unannotated: Vec<Addr> = callgraph
+            .recursive_functions()
+            .into_iter()
+            .filter(|&f| self.config.annotations.recursion_depth(f).is_none())
+            .collect();
+        if !unannotated.is_empty() {
+            return Err(AnalyzeError::Recursion {
+                functions: unannotated,
+            });
+        }
+
+        // --- Virtual unrolling (optional context expansion) -------------
+        // Guideline checking above used the un-peeled CFGs (peeled copies
+        // would double-report findings); timing and path analysis can use
+        // the expanded CFGs for per-context cache precision.
+        if self.config.unrolling {
+            let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
+            let entry_state = wcet_analysis::valueanalysis::entry_state_from_image(image);
+            for (&f, fa) in analyses.clone().iter() {
+                let (peeled, _skipped) =
+                    wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
+                if peeled.block_count() != fa.cfg().block_count() {
+                    let fa2 = wcet_analysis::valueanalysis::analyze_cfg(
+                        peeled,
+                        f,
+                        entry_state.clone(),
+                        wcet_analysis::valueanalysis::AnalysisConfig::default(),
+                        summaries.clone(),
+                    );
+                    analyses.insert(f, fa2);
+                }
+            }
+        }
+
+        // --- Phase 4: cache/pipeline analysis --------------------------
+        let t3 = Instant::now();
+        let mut times: BTreeMap<Addr, BlockTimes> = BTreeMap::new();
+        let overrides = self.config.annotations.access_overrides();
+        for (&f, fa) in &analyses {
+            times.insert(
+                f,
+                BlockTimes::compute_with_overrides(fa, &self.config.machine, &overrides),
+            );
+            if let Some(icc) = &self.config.machine.icache {
+                let ic = CacheAnalysis::instruction(fa.cfg(), icc, &self.config.machine.memmap);
+                let (h, m, nc) = ic.summary();
+                trace.cache_always_hit += h;
+                trace.cache_always_miss += m;
+                trace.cache_not_classified += nc;
+            }
+        }
+        trace.phase_times[3] = t3.elapsed();
+
+        // --- Phase 5: path analysis, bottom-up, global + per mode ------
+        let t4 = Instant::now();
+        let mut mode_wcet: BTreeMap<Option<String>, u64> = BTreeMap::new();
+        let mut global_functions: BTreeMap<Addr, FunctionReport> = BTreeMap::new();
+
+        let mut modes: Vec<Option<String>> = vec![None];
+        modes.extend(
+            self.config
+                .annotations
+                .modes()
+                .iter()
+                .map(|m| Some(m.clone())),
+        );
+
+        for mode in &modes {
+            let mut wcet_costs = CallCosts::new();
+            let mut bcet_costs = CallCosts::new();
+            let mut per_function: BTreeMap<Addr, FunctionReport> = BTreeMap::new();
+            for &f in callgraph.bottom_up_order() {
+                let fa = &analyses[&f];
+                let mut bounds = fa.loop_bounds();
+                self.config
+                    .annotations
+                    .apply_loop_bounds(fa, &mut bounds, mode.as_deref());
+                if mode.is_none() {
+                    for (_, r) in bounds.results() {
+                        if matches!(
+                            r,
+                            BoundResult::Bounded { source: BoundSource::Annotation, .. }
+                        ) {
+                            trace.loops_bounded_annot += 1;
+                        }
+                    }
+                }
+                let facts = self
+                    .config
+                    .annotations
+                    .flow_facts(fa.cfg(), mode.as_deref());
+                let ft = &times[&f];
+
+                // Recursive cycles: compute per-activation body costs with
+                // the cycle's internal calls priced at zero, then scale by
+                // the annotated depth. Each activation runs at most once
+                // per depth level, so depth × Σ(body costs over the cycle)
+                // bounds the whole recursion.
+                let (mut w_costs, mut b_costs) = (wcet_costs.clone(), bcet_costs.clone());
+                let recursive = callgraph.is_recursive(f);
+                if recursive {
+                    for member in callgraph.scc_members(f) {
+                        w_costs.insert(member, 0);
+                        b_costs.insert(member, 0);
+                    }
+                }
+                let mut wcet = ipet::wcet(fa, ft, &bounds, &facts, &w_costs)
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
+                let bcet = ipet::bcet(fa, ft, &bounds, &facts, &b_costs)
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
+                if recursive {
+                    let depth = self
+                        .config
+                        .annotations
+                        .recursion_depth(f)
+                        .expect("checked above");
+                    let body_sum: u64 = callgraph
+                        .scc_members(f)
+                        .iter()
+                        .map(|m| {
+                            if *m == f {
+                                wcet.wcet_cycles
+                            } else {
+                                per_function
+                                    .get(m)
+                                    .map(|r| r.wcet.wcet_cycles)
+                                    .unwrap_or(wcet.wcet_cycles)
+                            }
+                        })
+                        .sum();
+                    wcet.wcet_cycles = depth.saturating_mul(body_sum);
+                    // One activation is the sound lower bound.
+                }
+                wcet_costs.insert(f, wcet.wcet_cycles);
+                bcet_costs.insert(f, bcet.wcet_cycles);
+                per_function.insert(f, FunctionReport { wcet, bcet });
+            }
+            let entry_report = &per_function[&program.entry];
+            mode_wcet.insert(mode.clone(), entry_report.wcet.wcet_cycles);
+            if mode.is_none() {
+                global_functions = per_function;
+            }
+        }
+        trace.phase_times[4] = t4.elapsed();
+
+        // ILP size statistics for the entry function (recomputed cheaply).
+        let entry_cfg = program.entry_cfg();
+        trace.ilp_vars = entry_cfg.edges().len() + entry_cfg.block_count() + 1;
+        trace.ilp_constraints = entry_cfg.block_count() * 2;
+
+        let entry_report = &global_functions[&program.entry];
+        Ok(AnalysisReport {
+            wcet_cycles: entry_report.wcet.wcet_cycles,
+            bcet_cycles: entry_report.bcet.wcet_cycles,
+            worst_path: entry_report.wcet.worst_path.clone(),
+            functions: global_functions,
+            mode_wcet,
+            guidelines: guideline_report,
+            trace,
+            program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_isa::asm::assemble;
+    use wcet_isa::interp::Interpreter;
+
+    fn analyze_src(src: &str) -> AnalysisReport {
+        WcetAnalyzer::new().analyze(&assemble(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_counter_loop() {
+        let image =
+            assemble("main: li r1, 16\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt").unwrap();
+        let report = WcetAnalyzer::new().analyze(&image).unwrap();
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+        assert!(report.bcet_cycles <= observed);
+        assert!(report.guidelines.as_ref().unwrap().is_clean());
+        assert_eq!(report.trace.loops, 1);
+        assert_eq!(report.trace.loops_bounded_auto, 1);
+    }
+
+    #[test]
+    fn interprocedural_composition() {
+        let report = analyze_src(
+            r#"
+            main: call helper
+                  call helper
+                  halt
+            helper:
+                  li r1, 4
+            hl:   subi r1, r1, 1
+                  bne r1, r0, hl
+                  ret
+            "#,
+        );
+        assert_eq!(report.functions.len(), 2);
+        let helper = report
+            .functions
+            .iter()
+            .find(|(&f, _)| f != report.program.entry)
+            .unwrap()
+            .1;
+        // Task WCET ≥ 2 × helper WCET.
+        assert!(report.wcet_cycles >= 2 * helper.wcet.wcet_cycles);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let image = assemble("main: call f\n halt\nf: call f\n ret").unwrap();
+        let err = WcetAnalyzer::new().analyze(&image).unwrap_err();
+        assert!(matches!(err, AnalyzeError::Recursion { .. }));
+    }
+
+    #[test]
+    fn recursion_depth_annotation_unblocks_and_is_sound() {
+        // `down` recurses r1 times (r1 = 6 → 7 activations).
+        let image = assemble(
+            r#"
+            main: li r1, 6
+                  call down
+                  halt
+            down: beq r1, r0, base
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  addi r2, r2, 3
+                  subi r1, r1, 1
+                  call down
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            base: ret
+            "#,
+        )
+        .unwrap();
+        let down = image.symbol("down").unwrap();
+        let mut config = AnalyzerConfig::new();
+        config.annotations =
+            AnnotationSet::parse(&format!("recursion {down} depth 7;")).unwrap();
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(
+            report.wcet_cycles >= observed,
+            "bound {} < observed {observed}",
+            report.wcet_cycles
+        );
+        assert!(report.bcet_cycles <= observed);
+    }
+
+    #[test]
+    fn mutual_recursion_with_depths_analyzes_conservatively() {
+        let image = assemble(
+            r#"
+            main: li r1, 4
+                  call f
+                  halt
+            f:    beq r1, r0, fo
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  subi r1, r1, 1
+                  call g
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            fo:   ret
+            g:    beq r1, r0, go
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  subi r1, r1, 1
+                  call f
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            go:   ret
+            "#,
+        )
+        .unwrap();
+        let f = image.symbol("f").unwrap();
+        let g = image.symbol("g").unwrap();
+        let mut config = AnalyzerConfig::new();
+        config.annotations = AnnotationSet::parse(&format!(
+            "recursion {f} depth 5;\nrecursion {g} depth 5;"
+        ))
+        .unwrap();
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+    }
+
+    #[test]
+    fn unbounded_loop_rejected_with_diagnosis() {
+        let image =
+            assemble("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt").unwrap();
+        let err = WcetAnalyzer::new().analyze(&image).unwrap_err();
+        match err {
+            AnalyzeError::Path { error: PathError::UnboundedLoop { .. }, .. } => {}
+            other => panic!("expected unbounded-loop path error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn annotation_fixes_unbounded_loop() {
+        let image =
+            assemble("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt").unwrap();
+        let header = image.symbol("loop").unwrap();
+        let mut config = AnalyzerConfig::new();
+        config.annotations =
+            AnnotationSet::parse(&format!("loop {header} bound 32;")).unwrap();
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        assert!(report.wcet_cycles > 0);
+        assert_eq!(report.trace.loops_bounded_annot, 1);
+
+        // Soundness against a concrete run at the annotated maximum.
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        interp.set_reg(wcet_isa::Reg::new(4), 32);
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+    }
+
+    #[test]
+    fn function_pointer_resolution_round_trip() {
+        // The jump-table program from the addr-analysis tests, end to end:
+        // round 1 fails to see targets, value analysis resolves them, the
+        // final program has no unresolved sites and a WCET.
+        let src = r#"
+            main: li  r1, 0x5000
+                  beq r4, r0, second
+                  lw  r2, 0(r1)
+                  j   go
+            second:
+                  lw  r2, 4(r1)
+            go:   callr r2
+                  halt
+            h1:   li r3, 1
+                  ret
+            h2:   li r3, 2
+                  li r3, 3
+                  ret
+        "#;
+        let mut image = assemble(src).unwrap();
+        let h1 = image.symbol("h1").unwrap();
+        let h2 = image.symbol("h2").unwrap();
+        image
+            .data
+            .push(wcet_isa::image::Segment::from_words(Addr(0x5000), &[h1.0, h2.0]));
+        let report = WcetAnalyzer::new().analyze(&image).unwrap();
+        assert_eq!(report.trace.unresolved_initial, 1);
+        assert_eq!(report.trace.unresolved_final, 0);
+        assert!(report.trace.resolve_rounds >= 2);
+        assert_eq!(report.functions.len(), 3);
+        assert!(report.wcet_cycles > 0);
+    }
+
+    #[test]
+    fn mode_specific_bounds_tighten() {
+        let src = "main: li r1, 100\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let image = assemble(src).unwrap();
+        let header = image.symbol("loop").unwrap();
+        let mut config = AnalyzerConfig::new();
+        config.annotations = AnnotationSet::parse(&format!(
+            "mode ground, air;\nloop {header} bound 10 in mode ground;"
+        ))
+        .unwrap();
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        let global = report.mode_wcet[&None];
+        let ground = report.mode_wcet[&Some("ground".to_owned())];
+        let air = report.mode_wcet[&Some("air".to_owned())];
+        assert!(ground < global, "ground {ground} < global {global}");
+        assert_eq!(air, global, "air falls back to the automatic bound");
+    }
+
+    #[test]
+    fn unrolling_tightens_cached_loops_and_stays_sound() {
+        // Loop body in its own flash cache line: without unrolling the
+        // header fetch joins cold and warm paths (not-classified, charged
+        // a miss every iteration); peeling confines the miss to the
+        // first iteration.
+        let src = ".org 0x100000\nmain: li r1, 30\n nop\n nop\n nop\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let image = assemble(src).unwrap();
+        let machine = MachineConfig::with_caches();
+
+        let plain_cfg = AnalyzerConfig {
+            machine: machine.clone(),
+            ..AnalyzerConfig::new()
+        };
+        let plain = WcetAnalyzer::with_config(plain_cfg).analyze(&image).unwrap();
+
+        let unroll_cfg = AnalyzerConfig {
+            machine: machine.clone(),
+            unrolling: true,
+            ..AnalyzerConfig::new()
+        };
+        let unrolled = WcetAnalyzer::with_config(unroll_cfg).analyze(&image).unwrap();
+
+        assert!(
+            unrolled.wcet_cycles < plain.wcet_cycles,
+            "unrolling should tighten: {} vs {}",
+            unrolled.wcet_cycles,
+            plain.wcet_cycles
+        );
+        let mut interp = Interpreter::with_config(&image, machine);
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(unrolled.wcet_cycles >= observed);
+        assert!(unrolled.bcet_cycles <= observed);
+    }
+
+    #[test]
+    fn unrolling_handles_interprocedural_programs() {
+        let src = "main: call f\n call f\n halt\nf: li r1, 5\nfl: subi r1, r1, 1\n bne r1, r0, fl\n ret";
+        let image = assemble(src).unwrap();
+        let config = AnalyzerConfig {
+            unrolling: true,
+            ..AnalyzerConfig::new()
+        };
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+    }
+
+    #[test]
+    fn trace_is_populated() {
+        let image = assemble("main: li r1, 2\nl: subi r1, r1, 1\n bne r1, r0, l\n halt").unwrap();
+        let report = WcetAnalyzer::new().analyze(&image).unwrap();
+        let t = &report.trace;
+        assert_eq!(t.decoded_insts, 4);
+        assert_eq!(t.functions, 1);
+        assert!(t.blocks >= 3);
+        assert!(t.ilp_vars > 0);
+        let rendered = t.to_string();
+        assert!(rendered.contains("Path Analysis"));
+    }
+}

@@ -1,0 +1,1156 @@
+//! One driver per reproduced paper artifact (tables, figures, claims).
+//!
+//! Each function regenerates one experiment from the paper (see
+//! DESIGN.md's experiment index) and returns a printable [`Experiment`]
+//! with the same rows/series the paper reports. The bench harness in
+//! `crates/bench` wraps these, and EXPERIMENTS.md records paper-vs-measured.
+
+use std::fmt;
+
+use wcet_analysis::analyze_function;
+use wcet_arith::histogram::{paper_pathological_inputs, run_table1, Table1Config};
+use wcet_arith::kernels::{ldivmod_kernel, restoring_kernel};
+use wcet_arith::ldivmod::correction_bound;
+use wcet_cfg::graph::{reconstruct, TargetResolver};
+use wcet_guidelines::annot::AnnotationSet;
+use wcet_guidelines::rules::RuleId;
+use wcet_isa::asm::assemble;
+use wcet_isa::cache::CacheConfig;
+use wcet_isa::interp::{Interpreter, MachineConfig};
+use wcet_isa::{Addr, Image};
+use wcet_micro::blocktime::BlockTimes;
+use wcet_micro::cacheanalysis::CacheAnalysis;
+use wcet_path::ipet;
+
+use crate::analyzer::{AnalyzeError, AnalyzerConfig, WcetAnalyzer};
+use crate::workload;
+
+/// A regenerated experiment: id, provenance, and result rows.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Experiment id from DESIGN.md (`E1`..`E16`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// What in the paper this reproduces.
+    pub paper_ref: &'static str,
+    /// `(label, value)` result rows.
+    pub rows: Vec<(String, String)>,
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} — {} ({}) ──", self.id, self.title, self.paper_ref)?;
+        let width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.rows {
+            writeln!(f, "  {label:<width$}  {value}")?;
+        }
+        Ok(())
+    }
+}
+
+fn row(label: impl Into<String>, value: impl fmt::Display) -> (String, String) {
+    (label.into(), value.to_string())
+}
+
+fn analyze_with(image: &Image, annots: &AnnotationSet, machine: MachineConfig) -> Result<crate::analyzer::AnalysisReport, AnalyzeError> {
+    let config = AnalyzerConfig {
+        machine,
+        annotations: annots.clone(),
+        ..AnalyzerConfig::new()
+    };
+    WcetAnalyzer::with_config(config).analyze(image)
+}
+
+fn observed_cycles(image: &Image, machine: MachineConfig, setup: impl FnOnce(&mut Interpreter)) -> u64 {
+    let mut interp = Interpreter::with_config(image, machine);
+    setup(&mut interp);
+    interp.run(50_000_000).expect("workload halts").cycles
+}
+
+// ---------------------------------------------------------------------
+// E1: Table 1 — lDivMod iteration counts
+// ---------------------------------------------------------------------
+
+/// E1: regenerates Table 1 (iteration-count histogram of `ldivmod` over
+/// random inputs, the paper's bucket boundaries, plus the paper's three
+/// pathological inputs run through our routine).
+#[must_use]
+pub fn e1_table1(samples: u64) -> Experiment {
+    let hist = run_table1(&Table1Config {
+        samples,
+        ..Table1Config::default()
+    });
+    let mut rows: Vec<(String, String)> = hist
+        .rows()
+        .into_iter()
+        .map(|(label, count)| (format!("iterations {label}"), count.to_string()))
+        .collect();
+    rows.push(row("samples", samples));
+    rows.push(row(
+        "one-iteration fraction (paper: >99.8 %)",
+        format!("{:.4} %", 100.0 * hist.one_iteration_fraction()),
+    ));
+    rows.push(row(
+        "0..=2-iteration fraction (paper: >99.999 %)",
+        format!("{:.5} %", 100.0 * hist.upto_two_fraction()),
+    ));
+    rows.push(row("max iterations (paper: 204)", hist.max_iterations));
+    for ((n, d), iters) in paper_pathological_inputs() {
+        rows.push(row(
+            format!("ldivmod(0x{n:08x}, 0x{d:08x}) (paper: 156/186/204)"),
+            iters,
+        ));
+    }
+    Experiment {
+        id: "E1",
+        title: "software-arithmetic iteration histogram",
+        paper_ref: "Table 1",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2: Figure 1 — the analysis pipeline
+// ---------------------------------------------------------------------
+
+/// E2: regenerates Figure 1 — runs the full phase pipeline on the
+/// message-handler workload and reports every phase's artifacts.
+#[must_use]
+pub fn e2_pipeline() -> Experiment {
+    let w = workload::message_handler(16);
+    let report = analyze_with(&w.image, &w.annotations, MachineConfig::with_caches())
+        .expect("annotated message handler analyzes");
+    let mut rows = Vec::new();
+    for line in report.trace.to_string().lines() {
+        rows.push(row("", line));
+    }
+    rows.push(row("task WCET bound (cycles)", report.wcet_cycles));
+    Experiment {
+        id: "E2",
+        title: "phases of WCET computation",
+        paper_ref: "Figure 1",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3/E4: rules 13.4 and 13.6 — loop-bound analysis failures
+// ---------------------------------------------------------------------
+
+/// E3: rule 13.4 — an integer-controlled loop is bounded automatically;
+/// the float-controlled equivalent is rejected with the 13.4 diagnosis
+/// and needs an annotation.
+#[must_use]
+pub fn e3_rule_13_4() -> Experiment {
+    let int_loop = assemble(
+        "main: li r1, 10\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+    )
+    .expect("assembles");
+    let float_loop = assemble(
+        r#"
+        main: fmov f0, r0
+              li   r1, 0x3f800000
+              fmov f1, r1
+              li   r1, 0x41200000
+              fmov f2, r1
+        loop: fadd f0, f0, f1
+              fblt f0, f2, loop
+              halt
+        "#,
+    )
+    .expect("assembles");
+
+    let mut rows = Vec::new();
+    let ok = WcetAnalyzer::new().analyze(&int_loop).expect("int loop analyzes");
+    rows.push(row("integer counter loop: WCET (cycles)", ok.wcet_cycles));
+    rows.push(row(
+        "integer counter loop: bounded automatically",
+        ok.trace.loops_bounded_auto,
+    ));
+    let err = WcetAnalyzer::new().analyze(&float_loop).unwrap_err();
+    rows.push(row("float-controlled loop: analysis result", &err));
+    let header = float_loop.symbol("loop").expect("label");
+    let annots = AnnotationSet::parse(&format!("loop {header} bound 10;")).expect("parses");
+    let fixed = analyze_with(&float_loop, &annots, MachineConfig::simple())
+        .expect("annotated float loop analyzes");
+    rows.push(row(
+        "float loop + design-level bound annotation: WCET (cycles)",
+        fixed.wcet_cycles,
+    ));
+    Experiment {
+        id: "E3",
+        title: "floating-point loop control defeats loop analysis",
+        paper_ref: "Section 4.2, rule 13.4",
+        rows,
+    }
+}
+
+/// E4: rule 13.6 — modifying the loop counter in the body defeats bound
+/// detection; the clean counter version is bounded automatically.
+#[must_use]
+pub fn e4_rule_13_6() -> Experiment {
+    let clean = assemble(
+        "main: li r1, 16\nloop: addi r2, r2, 1\n subi r1, r1, 2\n bne r1, r0, loop\n halt",
+    )
+    .expect("assembles");
+    let dirty = assemble(
+        "main: li r1, 16\nloop: subi r1, r1, 1\n subi r1, r1, 1\n bne r1, r0, loop\n halt",
+    )
+    .expect("assembles");
+
+    let mut rows = Vec::new();
+    let ok = WcetAnalyzer::new().analyze(&clean).expect("clean counter analyzes");
+    rows.push(row("single-update counter: WCET (cycles)", ok.wcet_cycles));
+    let err = WcetAnalyzer::new().analyze(&dirty).unwrap_err();
+    rows.push(row("double-update counter: analysis result", &err));
+    let header = dirty.symbol("loop").expect("label");
+    let annots = AnnotationSet::parse(&format!("loop {header} bound 8;")).expect("parses");
+    let fixed = analyze_with(&dirty, &annots, MachineConfig::simple()).expect("annotated");
+    rows.push(row("double-update + annotation: WCET (cycles)", fixed.wcet_cycles));
+    Experiment {
+        id: "E4",
+        title: "complex counter updates defeat loop analysis",
+        paper_ref: "Section 4.2, rule 13.6",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5: rule 14.1 — unreachable code and spurious paths
+// ---------------------------------------------------------------------
+
+/// E5: rule 14.1 — code that is dead by design (a diagnostic arm guarded
+/// by a flag that is always zero in production) stays on the analyzed
+/// worst-case path until an exclusion annotation removes it; physically
+/// dead code is reported by the checker.
+#[must_use]
+pub fn e5_rule_14_1() -> Experiment {
+    // The diagnostic arm is feasible for the analysis (flag read from
+    // MMIO) but never executes in production — the paper's
+    // "over-approximation of the possible control-flow".
+    let image = assemble(
+        r#"
+        main: li   r1, 0xf0000000
+              lw   r2, 0(r1)         # diagnostic flag, always 0 in the field
+              beq  r2, r0, work
+        diag: li   r3, 40
+        dloop: mul r4, r3, r3
+              subi r3, r3, 1
+              bne  r3, r0, dloop
+        work: li   r3, 4
+        wloop: addi r4, r4, 1
+              subi r3, r3, 1
+              bne  r3, r0, wloop
+              halt
+              nop                    # physically dead padding
+              nop
+        "#,
+    )
+    .expect("assembles");
+
+    let mut rows = Vec::new();
+    let plain = WcetAnalyzer::new().analyze(&image).expect("analyzes");
+    rows.push(row("WCET with spurious diagnostic path (cycles)", plain.wcet_cycles));
+    let findings = plain.guidelines.as_ref().expect("checking enabled");
+    let dead = findings
+        .findings()
+        .iter()
+        .filter(|f| f.rule == RuleId::Misra14_1)
+        .count();
+    rows.push(row("rule 14.1 findings (dead ranges)", dead));
+
+    let diag = image.symbol("diag").expect("label");
+    let annots = AnnotationSet::parse(&format!("exclude {diag};")).expect("parses");
+    let cleaned = analyze_with(&image, &annots, MachineConfig::simple()).expect("analyzes");
+    rows.push(row(
+        "WCET with diagnostic path excluded (cycles)",
+        cleaned.wcet_cycles,
+    ));
+    rows.push(row(
+        "over-estimation removed",
+        format!(
+            "{:.1} %",
+            100.0 * (plain.wcet_cycles - cleaned.wcet_cycles) as f64 / plain.wcet_cycles as f64
+        ),
+    ));
+    Experiment {
+        id: "E5",
+        title: "unreachable code inflates the worst-case path",
+        paper_ref: "Section 4.2, rule 14.1",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6: rule 14.4 — goto, irreducible loops, virtual unrolling
+// ---------------------------------------------------------------------
+
+/// E6: rule 14.4 — a goto-induced irreducible loop cannot be bounded or
+/// virtually unrolled; the reducible restructuring is analyzed
+/// automatically, and peeling its first iteration tightens the
+/// instruction-cache classification.
+#[must_use]
+pub fn e6_rule_14_4() -> Experiment {
+    let irreducible = assemble(
+        r#"
+        main: li r2, 20
+              beq r1, r0, b
+        a:    subi r2, r2, 1
+              j b
+        b:    subi r2, r2, 1
+              bne r2, r0, a
+              halt
+        "#,
+    )
+    .expect("assembles");
+    let reducible = assemble(
+        // Same work, single entry. Padding puts the loop body in its own
+        // icache line, so the peel experiment below isolates the cold miss.
+        ".org 0x100000\nmain: li r2, 20\n nop\n nop\n nop\nhead: subi r2, r2, 1\n bne r2, r0, head\n halt",
+    )
+    .expect("assembles");
+
+    let mut rows = Vec::new();
+    let err = WcetAnalyzer::new().analyze(&irreducible).unwrap_err();
+    rows.push(row("irreducible (goto) version: analysis result", &err));
+    let ok = WcetAnalyzer::new().analyze(&reducible).expect("reducible analyzes");
+    rows.push(row("reducible version: WCET (cycles)", ok.wcet_cycles));
+
+    // Virtual unrolling on the reducible version under an icache: the
+    // peeled first iteration absorbs the cold misses.
+    let machine = MachineConfig::with_caches();
+    let p = reconstruct(&reducible, &TargetResolver::empty()).expect("reconstructs");
+    let fa = analyze_function(&p, p.entry, &reducible);
+    let times = BlockTimes::compute(&fa, &machine);
+    let plain = ipet::wcet(&fa, &times, &fa.loop_bounds(), &[], &Default::default())
+        .expect("plain wcet");
+
+    let (peeled_cfg, skipped) =
+        wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
+    assert!(skipped.is_empty());
+    let summaries = wcet_analysis::valueanalysis::compute_summaries(&p);
+    let fa_peeled = wcet_analysis::valueanalysis::analyze_cfg(
+        peeled_cfg,
+        p.entry,
+        wcet_analysis::state::AbstractState::all_unknown(),
+        wcet_analysis::valueanalysis::AnalysisConfig::default(),
+        summaries,
+    );
+    let times_peeled = BlockTimes::compute(&fa_peeled, &machine);
+    let peeled = ipet::wcet(
+        &fa_peeled,
+        &times_peeled,
+        &fa_peeled.loop_bounds(),
+        &[],
+        &Default::default(),
+    )
+    .expect("peeled wcet");
+    rows.push(row("reducible, icache, no unrolling: WCET (cycles)", plain.wcet_cycles));
+    rows.push(row(
+        "reducible, icache, first iteration peeled: WCET (cycles)",
+        peeled.wcet_cycles,
+    ));
+    rows.push(row(
+        "virtual unrolling gain (inapplicable to irreducible loops)",
+        format!(
+            "{:.1} %",
+            100.0 * (plain.wcet_cycles.saturating_sub(peeled.wcet_cycles)) as f64
+                / plain.wcet_cycles as f64
+        ),
+    ));
+    Experiment {
+        id: "E6",
+        title: "goto-induced irreducible loops and virtual unrolling",
+        paper_ref: "Section 4.2, rule 14.4 / Section 3.2",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E7: rule 16.2 — recursion
+// ---------------------------------------------------------------------
+
+/// E7: rule 16.2 — a recursive accumulation is rejected (call-graph
+/// cycle); the iterative equivalent is analyzed automatically.
+#[must_use]
+pub fn e7_rule_16_2() -> Experiment {
+    let recursive = assemble(
+        r#"
+        main: li r1, 12
+              call sum
+              halt
+        sum:  beq r1, r0, base
+              subi sp, sp, 4
+              sw   lr, 0(sp)
+              addi r2, r2, 5
+              subi r1, r1, 1
+              call sum
+              lw   lr, 0(sp)
+              addi sp, sp, 4
+        base: ret
+        "#,
+    )
+    .expect("assembles");
+    let iterative = assemble(
+        r#"
+        main: li r1, 12
+        loop: beq r1, r0, done
+              addi r2, r2, 5
+              subi r1, r1, 1
+              j loop
+        done: halt
+        "#,
+    )
+    .expect("assembles");
+
+    let mut rows = Vec::new();
+    let err = WcetAnalyzer::new().analyze(&recursive).unwrap_err();
+    rows.push(row("recursive version: analysis result", &err));
+    let ok = WcetAnalyzer::new().analyze(&iterative).expect("iterative analyzes");
+    rows.push(row("iterative version: WCET (cycles)", ok.wcet_cycles));
+    let observed = observed_cycles(&iterative, MachineConfig::simple(), |_| {});
+    rows.push(row("iterative version: observed (cycles)", observed));
+
+    // The design-level remedy the paper names for recursion: a depth
+    // annotation ("such knowledge is required for recursions", §3.2).
+    // r1 = 12 → 13 activations of `sum`.
+    let sum = recursive.symbol("sum").expect("sum label");
+    let annots = AnnotationSet::parse(&format!("recursion {sum} depth 13;")).expect("parses");
+    let fixed = analyze_with(&recursive, &annots, MachineConfig::simple())
+        .expect("annotated recursion analyzes");
+    rows.push(row(
+        "recursive + depth-13 annotation: WCET (cycles)",
+        fixed.wcet_cycles,
+    ));
+    let observed_rec = observed_cycles(&recursive, MachineConfig::simple(), |_| {});
+    rows.push(row("recursive version: observed (cycles)", observed_rec));
+    rows.push(row(
+        "annotated recursion sound",
+        (fixed.wcet_cycles >= observed_rec).to_string(),
+    ));
+    Experiment {
+        id: "E7",
+        title: "recursion blocks bottom-up WCET composition",
+        paper_ref: "Section 4.2, rule 16.2",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8: rule 20.4 — dynamic allocation vs the data cache
+// ---------------------------------------------------------------------
+
+/// E8: rule 20.4 — the same double-pass buffer kernel over a statically
+/// placed buffer vs a heap-allocated one: the statically known addresses
+/// make every second-pass access a guaranteed cache hit, while the
+/// unknown allocation address destroys the abstract data cache and turns
+/// them all unclassified, inflating the WCET bound.
+#[must_use]
+pub fn e8_rule_20_4() -> Experiment {
+    let static_buf = assemble(
+        r#"
+        main: li   r1, 0x8000        # static buffer: addresses known
+              sw   r2, 0(r1)
+              sw   r2, 4(r1)
+              sw   r2, 8(r1)
+              sw   r2, 12(r1)
+              lw   r3, 0(r1)         # second pass: guaranteed hits
+              lw   r4, 4(r1)
+              lw   r5, 8(r1)
+              lw   r6, 12(r1)
+              add  r7, r3, r4
+              halt
+        "#,
+    )
+    .expect("assembles");
+    let heap_buf = assemble(
+        r#"
+        main: li   r5, 32
+              alloc r1, r5           # heap buffer: address unknown
+              sw   r2, 0(r1)
+              sw   r2, 4(r1)
+              sw   r2, 8(r1)
+              sw   r2, 12(r1)
+              lw   r3, 0(r1)         # second pass: no guarantees left
+              lw   r4, 4(r1)
+              lw   r5, 8(r1)
+              lw   r6, 12(r1)
+              add  r7, r3, r4
+              halt
+        "#,
+    )
+    .expect("assembles");
+
+    let machine = MachineConfig::with_caches();
+    let mut rows = Vec::new();
+    for (name, image) in [("static buffer", &static_buf), ("heap buffer (alloc)", &heap_buf)] {
+        let report = analyze_with(image, &AnnotationSet::new(), machine.clone())
+            .expect("analyzes");
+        let findings = report.guidelines.as_ref().expect("on");
+        let allocs = findings
+            .findings()
+            .iter()
+            .filter(|f| f.rule == RuleId::Misra20_4)
+            .count();
+        rows.push(row(
+            format!("{name}: WCET (cycles)"),
+            report.wcet_cycles,
+        ));
+        rows.push(row(format!("{name}: rule 20.4 findings"), allocs));
+    }
+    // Data-cache classification comparison.
+    for (name, image) in [("static", &static_buf), ("heap", &heap_buf)] {
+        let p = reconstruct(image, &TargetResolver::empty()).expect("reconstructs");
+        let fa = analyze_function(&p, p.entry, image);
+        let dc = CacheAnalysis::data(
+            fa.cfg(),
+            machine.dcache.as_ref().expect("dcache"),
+            &machine.memmap,
+            &fa.access_values(),
+        );
+        let (hit, miss, nc) = dc.summary();
+        rows.push(row(
+            format!("{name}: dcache AH/AM/NC"),
+            format!("{hit}/{miss}/{nc}"),
+        ));
+    }
+    Experiment {
+        id: "E8",
+        title: "dynamic allocation destroys abstract-cache knowledge",
+        paper_ref: "Section 4.2, rule 20.4",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E9: operating modes
+// ---------------------------------------------------------------------
+
+/// E9: operating modes — per-mode WCET bounds of the flight-control task
+/// vs the global bound.
+#[must_use]
+pub fn e9_modes() -> Experiment {
+    let w = workload::flight_control();
+    let report = analyze_with(&w.image, &w.annotations, MachineConfig::simple())
+        .expect("flight control analyzes");
+    let global = report.mode_wcet[&None];
+    let ground = report.mode_wcet[&Some("ground".to_owned())];
+    let air = report.mode_wcet[&Some("air".to_owned())];
+    let observed_ground = observed_cycles(&w.image, MachineConfig::simple(), |i| {
+        i.poke_word(Addr(0xf000_0000), 0);
+    });
+    let observed_air = observed_cycles(&w.image, MachineConfig::simple(), |i| {
+        i.poke_word(Addr(0xf000_0000), 1);
+    });
+    let rows = vec![
+        row("global WCET (mode-oblivious, cycles)", global),
+        row("air-mode WCET (cycles)", air),
+        row("ground-mode WCET (cycles)", ground),
+        row("observed, air input (cycles)", observed_air),
+        row("observed, ground input (cycles)", observed_ground),
+        row(
+            "ground-mode tightening vs global",
+            format!("{:.1}×", global as f64 / ground as f64),
+        ),
+    ];
+    Experiment {
+        id: "E9",
+        title: "mode-specific analysis tightens WCET bounds",
+        paper_ref: "Section 4.3, operating modes",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E10: data-dependent message handler
+// ---------------------------------------------------------------------
+
+/// E10: the message handler — unanalyzable without design knowledge,
+/// bounded with buffer sizes, tightened further with the rx/tx mutual
+/// exclusion.
+#[must_use]
+pub fn e10_messages() -> Experiment {
+    let w = workload::message_handler(16);
+    let mut rows = Vec::new();
+    let bare = WcetAnalyzer::new().analyze(&w.image);
+    rows.push(row(
+        "no annotations: analysis result",
+        bare.err().map_or("unexpected success".to_owned(), |e| e.to_string()),
+    ));
+
+    // Bounds only (strip the mutex): rebuild annotations with loops only.
+    let rx = w.image.symbol("rx_loop").expect("rx");
+    let tx = w.image.symbol("tx_loop").expect("tx");
+    let bounds_only =
+        AnnotationSet::parse(&format!("loop {rx} bound 16;\nloop {tx} bound 16;"))
+            .expect("parses");
+    let with_bounds = analyze_with(&w.image, &bounds_only, MachineConfig::simple())
+        .expect("bounded handler analyzes");
+    rows.push(row(
+        "buffer-size annotations only: WCET (cycles)",
+        with_bounds.wcet_cycles,
+    ));
+
+    let full = analyze_with(&w.image, &w.annotations, MachineConfig::simple())
+        .expect("full annotations analyze");
+    rows.push(row(
+        "+ rx/tx mutual exclusion: WCET (cycles)",
+        full.wcet_cycles,
+    ));
+    rows.push(row(
+        "tightening from the exclusion",
+        format!(
+            "{:.1} %",
+            100.0 * (with_bounds.wcet_cycles - full.wcet_cycles) as f64
+                / with_bounds.wcet_cycles as f64
+        ),
+    ));
+    // Soundness: a worst-case consistent run (rx pending, full buffer).
+    let observed = observed_cycles(&w.image, MachineConfig::simple(), |i| {
+        i.poke_word(Addr(0xf000_0000), 1); // rx pending
+        i.poke_word(Addr(0xf000_0004), 0); // tx idle
+        i.poke_word(Addr(0xf000_0008), 16); // full buffer
+    });
+    rows.push(row("observed (rx, full buffer, cycles)", observed));
+    Experiment {
+        id: "E10",
+        title: "message handler: device-supplied lengths and path exclusion",
+        paper_ref: "Section 4.3, data-dependent algorithms",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E11: imprecise memory accesses
+// ---------------------------------------------------------------------
+
+/// E11: the driver with a pointer-indirect access — charged the slowest
+/// module without knowledge, tightened by the memory-region annotation.
+#[must_use]
+pub fn e11_memory() -> Experiment {
+    let (w, annots) = workload::driver_imprecise_access();
+    let machine = MachineConfig::simple();
+    let plain = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
+        .expect("driver analyzes");
+    let tightened = analyze_with(&w.image, &annots, machine).expect("annotated driver analyzes");
+    let rows = vec![
+        row("unknown access: WCET (cycles)", plain.wcet_cycles),
+        row(
+            "with SRAM region annotation: WCET (cycles)",
+            tightened.wcet_cycles,
+        ),
+        row(
+            "slowest-module charge removed",
+            format!("{}", plain.wcet_cycles - tightened.wcet_cycles),
+        ),
+    ];
+    Experiment {
+        id: "E11",
+        title: "imprecise memory accesses charged at the slowest module",
+        paper_ref: "Section 4.3, imprecise memory accesses",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E12: error handling
+// ---------------------------------------------------------------------
+
+/// E12: the error-handling task — all-errors-at-once vs error paths
+/// excluded vs a shared error budget of `k`.
+#[must_use]
+pub fn e12_errors(n_checks: u32, k: u64) -> Experiment {
+    let w = workload::error_handling(n_checks);
+    let (exclude, budget) = workload::error_annotations(&w, n_checks, k);
+    let machine = MachineConfig::simple();
+    let all = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
+        .expect("analyzes");
+    let none = analyze_with(&w.image, &exclude, machine.clone()).expect("analyzes");
+    let some = analyze_with(&w.image, &budget, machine).expect("analyzes");
+    let rows = vec![
+        row(
+            format!("all {n_checks} errors possible at once: WCET (cycles)"),
+            all.wcet_cycles,
+        ),
+        row("error paths excluded: WCET (cycles)", none.wcet_cycles),
+        row(
+            format!("error budget ≤ {k} per activation: WCET (cycles)"),
+            some.wcet_cycles,
+        ),
+        row(
+            "budget bound between the extremes",
+            (none.wcet_cycles <= some.wcet_cycles && some.wcet_cycles <= all.wcet_cycles)
+                .to_string(),
+        ),
+    ];
+    Experiment {
+        id: "E12",
+        title: "error-handling scenarios as flow facts",
+        paper_ref: "Section 4.3, error handling",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E13: single-path transformation
+// ---------------------------------------------------------------------
+
+/// E13: the single-path transformation — predictability (zero jitter)
+/// bought at the price of a worse worst case, the paper's Section 2
+/// critique of Puschner/Kirner.
+#[must_use]
+pub fn e13_single_path() -> Experiment {
+    let (branchy, single) = workload::single_path_pair();
+    let machine = MachineConfig::simple();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for w in [&branchy, &single] {
+        let report = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
+            .expect("analyzes");
+        rows.push(row(
+            format!("{}: WCET / BCET (cycles)", w.name),
+            format!("{} / {}", report.wcet_cycles, report.bcet_cycles),
+        ));
+        rows.push(row(
+            format!("{}: jitter (WCET − BCET)", w.name),
+            report.wcet_cycles - report.bcet_cycles,
+        ));
+        results.push((report.wcet_cycles, report.bcet_cycles));
+    }
+    rows.push(row(
+        "single-path worst case vs branchy worst case",
+        format!(
+            "{:+} cycles ({})",
+            results[1].0 as i64 - results[0].0 as i64,
+            if results[1].0 >= results[0].0 {
+                "single-path impairs the worst case, as the paper argues"
+            } else {
+                "unexpected"
+            }
+        ),
+    ));
+    Experiment {
+        id: "E13",
+        title: "single-path code: zero jitter, worse worst case",
+        paper_ref: "Section 2 (Puschner/Kirner critique)",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E14: software arithmetic kernels under the analyzer
+// ---------------------------------------------------------------------
+
+/// E14: the division kernels under the static analyzer — `ldivmod`'s
+/// correction loop is unbounded (needs the domain-derived annotation),
+/// restoring division is bounded automatically; the price of the
+/// average-case optimization is a WCET bound far above typical runs.
+#[must_use]
+pub fn e14_arithmetic() -> Experiment {
+    let machine = MachineConfig::simple();
+    let mut rows = Vec::new();
+
+    let rest = restoring_kernel();
+    let report = analyze_with(&rest.image, &AnnotationSet::new(), machine.clone())
+        .expect("restoring kernel analyzes");
+    rows.push(row(
+        "restoring division: WCET (cycles, automatic)",
+        report.wcet_cycles,
+    ));
+    let observed = {
+        let mut i = Interpreter::with_config(&rest.image, machine.clone());
+        i.set_reg(rest.n_reg, 0xffff_ffff);
+        i.set_reg(rest.d_reg, 3);
+        i.run(100_000).expect("halts").cycles
+    };
+    rows.push(row("restoring division: observed (cycles)", observed));
+
+    let ldiv = ldivmod_kernel();
+    let err = WcetAnalyzer::new().analyze(&ldiv.image).unwrap_err();
+    rows.push(row("ldivmod: analysis without annotation", &err));
+
+    // Design knowledge: divisors are at least 2^20 (the message-period
+    // divider of the application), so the correction loop is bounded.
+    let d_min = 0x0010_0000u32;
+    let bound = correction_bound(d_min);
+    let corr = ldiv.correction_loop.expect("correction loop labeled");
+    let annots = AnnotationSet::parse(&format!("loop {corr} bound {};", bound + 1))
+        .expect("parses");
+    let fixed = analyze_with(&ldiv.image, &annots, machine.clone())
+        .expect("annotated ldivmod analyzes");
+    rows.push(row(
+        format!("ldivmod + domain annotation (d ≥ 0x{d_min:x}, bound {bound}): WCET (cycles)"),
+        fixed.wcet_cycles,
+    ));
+    let typical = {
+        let mut i = Interpreter::with_config(&ldiv.image, machine);
+        i.set_reg(ldiv.n_reg, 0xffd9_3580);
+        i.set_reg(ldiv.d_reg, 0x0107_d228);
+        i.run(1_000_000).expect("halts").cycles
+    };
+    rows.push(row("ldivmod: observed on a typical input (cycles)", typical));
+    rows.push(row(
+        "ldivmod over-estimation vs typical (the paper's 'big over-estimation')",
+        format!("{:.1}×", fixed.wcet_cycles as f64 / typical as f64),
+    ));
+    Experiment {
+        id: "E14",
+        title: "software arithmetic under static WCET analysis",
+        paper_ref: "Section 4.3, software arithmetic / Table 1",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E15: function pointers
+// ---------------------------------------------------------------------
+
+/// E15: function-pointer dispatch — unresolved without help; resolved by
+/// the value analysis through the jump table; resolvable by annotation
+/// when the table is not statically visible.
+#[must_use]
+pub fn e15_function_pointers() -> Experiment {
+    let w = workload::state_machine(4);
+    let mut rows = Vec::new();
+    let report = WcetAnalyzer::new().analyze(&w.image).expect("resolves and analyzes");
+    rows.push(row(
+        "unresolved call sites before value analysis",
+        report.trace.unresolved_initial,
+    ));
+    rows.push(row(
+        "unresolved call sites after table resolution",
+        report.trace.unresolved_final,
+    ));
+    rows.push(row("resolution rounds", report.trace.resolve_rounds));
+    rows.push(row("functions discovered", report.functions.len()));
+    rows.push(row("task WCET (cycles)", report.wcet_cycles));
+
+    // The same binary with the table wiped (e.g. filled by startup code):
+    // only an annotation can resolve the call.
+    let mut opaque = w.image.clone();
+    opaque.data.clear();
+    let err = WcetAnalyzer::new().analyze(&opaque).unwrap_err();
+    rows.push(row("opaque table: analysis result", &err));
+    let callr_site = opaque
+        .decode_code()
+        .expect("decodes")
+        .iter()
+        .find(|(_, i)| matches!(i, wcet_isa::Inst::CallInd { .. }))
+        .map(|(a, _)| *a)
+        .expect("callr present");
+    let handlers: Vec<String> = (0..4)
+        .map(|s| opaque.symbol(&format!("handler{s}")).expect("handler").to_string())
+        .collect();
+    let annots = AnnotationSet::parse(&format!(
+        "call {callr_site} targets {};",
+        handlers.join(", ")
+    ))
+    .expect("parses");
+    let fixed = analyze_with(&opaque, &annots, MachineConfig::simple())
+        .expect("annotated opaque table analyzes");
+    rows.push(row(
+        "opaque table + target annotation: WCET (cycles)",
+        fixed.wcet_cycles,
+    ));
+    Experiment {
+        id: "E15",
+        title: "function-pointer resolution",
+        paper_ref: "Section 3.2, function pointers",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E16: instruction-cache predictability and code layout
+// ---------------------------------------------------------------------
+
+/// E16: code layout vs the instruction cache — the COLA "cache killer":
+/// two phase bodies mapping to the same direct-mapped sets evict each
+/// other every iteration; the friendly layout keeps both resident.
+#[must_use]
+pub fn e16_cache_layout() -> Experiment {
+    let (killer, friendly) = workload::cache_pair();
+    // Direct-mapped icache makes the conflict visible.
+    let machine = MachineConfig {
+        icache: Some(CacheConfig::new(16, 1, 16, 1)),
+        ..MachineConfig::simple()
+    };
+    let mut rows = Vec::new();
+    for w in [&killer, &friendly] {
+        let report = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
+            .expect("analyzes");
+        let p = reconstruct(&w.image, &TargetResolver::empty()).expect("reconstructs");
+        let fa = analyze_function(&p, p.entry, &w.image);
+        let ic = CacheAnalysis::instruction(
+            fa.cfg(),
+            machine.icache.as_ref().expect("icache"),
+            &machine.memmap,
+        );
+        let (hit, miss, nc) = ic.summary();
+        let observed = observed_cycles(&w.image, machine.clone(), |_| {});
+        rows.push(row(
+            format!("{}: WCET / observed (cycles)", w.name),
+            format!("{} / {observed}", report.wcet_cycles),
+        ));
+        rows.push(row(
+            format!("{}: icache AH/AM/NC", w.name),
+            format!("{hit}/{miss}/{nc}"),
+        ));
+    }
+    Experiment {
+        id: "E16",
+        title: "code layout: cache killers vs cache-aware placement",
+        paper_ref: "Section 2 (COLA/PEAL cache killers)",
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation: which analyzer ingredient buys what
+// ---------------------------------------------------------------------
+
+/// Ablation study over the analyzer's main design choices, on the
+/// annotated message-handler task: how much WCET precision does each
+/// ingredient buy (cache analysis, virtual unrolling, each annotation
+/// class)? Rows report the WCET bound per configuration.
+#[must_use]
+pub fn ablation() -> Experiment {
+    let mut rows = Vec::new();
+
+    // --- Axis 1: machine model and unrolling on a cached loop task ----
+    let loop_task = assemble(
+        ".org 0x100000\nmain: li r1, 24\n nop\n nop\n nop\nloop: mul r2, r2, r2\n subi r1, r1, 1\n bne r1, r0, loop\n halt",
+    )
+    .expect("assembles");
+    for (label, machine, unrolling) in [
+        ("no caches", MachineConfig::simple(), false),
+        ("icache+dcache, no unrolling", MachineConfig::with_caches(), false),
+        ("icache+dcache + virtual unrolling", MachineConfig::with_caches(), true),
+    ] {
+        let config = AnalyzerConfig {
+            machine,
+            unrolling,
+            ..AnalyzerConfig::new()
+        };
+        let report = WcetAnalyzer::with_config(config)
+            .analyze(&loop_task)
+            .expect("analyzes");
+        rows.push(row(
+            format!("flash loop task | {label}: WCET (cycles)"),
+            report.wcet_cycles,
+        ));
+    }
+
+    // --- Axis 2: annotation classes on the message handler ------------
+    let w = workload::message_handler(16);
+    let rx = w.image.symbol("rx_loop").expect("rx");
+    let tx = w.image.symbol("tx_loop").expect("tx");
+    let rx_head = w.image.symbol("rx_head").expect("rx_head");
+    let tx_head = w.image.symbol("tx_head").expect("tx_head");
+    let variants: Vec<(&str, String)> = vec![
+        ("loop bounds only", format!("loop {rx} bound 16;\nloop {tx} bound 16;")),
+        (
+            "loop bounds + mutex",
+            format!(
+                "loop {rx} bound 16;\nloop {tx} bound 16;\nmutex {rx_head}, {tx_head} capacity 1;"
+            ),
+        ),
+        (
+            "tighter design bound (8 words)",
+            format!(
+                "loop {rx} bound 8;\nloop {tx} bound 8;\nmutex {rx_head}, {tx_head} capacity 1;"
+            ),
+        ),
+    ];
+    rows.push(row(
+        "message handler | no annotations",
+        if WcetAnalyzer::new().analyze(&w.image).is_err() {
+            "rejected (unbounded device loops)"
+        } else {
+            "unexpected success"
+        },
+    ));
+    for (label, text) in variants {
+        let annots = AnnotationSet::parse(&text).expect("parses");
+        let report = analyze_with(&w.image, &annots, MachineConfig::simple())
+            .expect("analyzes");
+        rows.push(row(
+            format!("message handler | {label}: WCET (cycles)"),
+            report.wcet_cycles,
+        ));
+    }
+
+    // --- Axis 3: value-domain power: jump-table resolution ------------
+    let sm = workload::state_machine(4);
+    let resolved = WcetAnalyzer::new().analyze(&sm.image).expect("resolves");
+    rows.push(row(
+        "state machine | set-enumeration resolution: WCET (cycles)",
+        resolved.wcet_cycles,
+    ));
+    rows.push(row(
+        "state machine | resolution rounds needed",
+        resolved.trace.resolve_rounds,
+    ));
+
+    Experiment {
+        id: "A1",
+        title: "ablation: what each analyzer ingredient buys",
+        paper_ref: "DESIGN.md design choices",
+        rows,
+    }
+}
+
+/// Runs every experiment (with a modest E1 sample count) — the harness
+/// behind `cargo bench` summaries and EXPERIMENTS.md.
+#[must_use]
+pub fn run_all(table1_samples: u64) -> Vec<Experiment> {
+    vec![
+        e1_table1(table1_samples),
+        e2_pipeline(),
+        e3_rule_13_4(),
+        e4_rule_13_6(),
+        e5_rule_14_1(),
+        e6_rule_14_4(),
+        e7_rule_16_2(),
+        e8_rule_20_4(),
+        e9_modes(),
+        e10_messages(),
+        e11_memory(),
+        e12_errors(6, 1),
+        e13_single_path(),
+        e14_arithmetic(),
+        e15_function_pointers(),
+        e16_cache_layout(),
+        ablation(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shape() {
+        let e = e1_table1(50_000);
+        assert_eq!(e.id, "E1");
+        assert!(e.rows.iter().any(|(l, _)| l.contains("one-iteration")));
+    }
+
+    #[test]
+    fn e3_to_e5_run() {
+        for e in [e3_rule_13_4(), e4_rule_13_6(), e5_rule_14_1()] {
+            assert!(!e.rows.is_empty(), "{} empty", e.id);
+        }
+    }
+
+    #[test]
+    fn e5_exclusion_tightens() {
+        let e = e5_rule_14_1();
+        let wcet_of = |needle: &str| -> u64 {
+            e.rows
+                .iter()
+                .find(|(l, _)| l.contains(needle))
+                .map(|(_, v)| v.parse().expect("numeric"))
+                .expect("row present")
+        };
+        assert!(wcet_of("excluded") < wcet_of("spurious"));
+    }
+
+    #[test]
+    fn e6_unrolling_tightens() {
+        let e = e6_rule_14_4();
+        let peeled: u64 = e
+            .rows
+            .iter()
+            .find(|(l, _)| l.contains("peeled"))
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap();
+        let plain: u64 = e
+            .rows
+            .iter()
+            .find(|(l, _)| l.contains("no unrolling"))
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap();
+        assert!(peeled <= plain);
+    }
+
+    #[test]
+    fn e9_modes_ordered() {
+        let e = e9_modes();
+        let val = |needle: &str| -> u64 {
+            e.rows
+                .iter()
+                .find(|(l, _)| l.contains(needle))
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("numeric row")
+        };
+        assert!(val("ground-mode WCET") < val("global WCET"));
+        assert!(val("observed, ground") <= val("ground-mode WCET"));
+        assert!(val("observed, air") <= val("air-mode WCET"));
+    }
+
+    #[test]
+    fn e12_budget_between_extremes() {
+        let e = e12_errors(4, 1);
+        assert!(e.rows.iter().any(|(_, v)| v == "true"));
+    }
+
+    #[test]
+    fn e13_single_path_tradeoff() {
+        let e = e13_single_path();
+        let jitter = |name: &str| -> u64 {
+            e.rows
+                .iter()
+                .find(|(l, _)| l.contains(name) && l.contains("jitter"))
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("jitter row")
+        };
+        assert!(jitter("single_path") < jitter("branchy"));
+        assert!(e.rows.iter().any(|(_, v)| v.contains("impairs")));
+    }
+
+    #[test]
+    fn e14_and_e15_run() {
+        let e14 = e14_arithmetic();
+        assert!(e14.rows.iter().any(|(l, _)| l.contains("restoring")));
+        let e15 = e15_function_pointers();
+        assert!(e15
+            .rows
+            .iter()
+            .any(|(l, v)| l.contains("after table resolution") && v == "0"));
+    }
+
+    #[test]
+    fn ablation_orderings() {
+        let e = ablation();
+        let wcet_of = |needle: &str| -> u64 {
+            e.rows
+                .iter()
+                .find(|(l, _)| l.contains(needle) && l.contains("WCET"))
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or_else(|| panic!("row {needle} missing or non-numeric"))
+        };
+        // Unrolling never worsens the cached bound.
+        assert!(
+            wcet_of("virtual unrolling") <= wcet_of("no unrolling"),
+            "unrolling must not hurt"
+        );
+        // Each added annotation class tightens the handler.
+        assert!(wcet_of("+ mutex") < wcet_of("loop bounds only"));
+        assert!(wcet_of("tighter design bound") < wcet_of("+ mutex"));
+    }
+
+    #[test]
+    fn e16_killer_slower() {
+        let e = e16_cache_layout();
+        let wcet = |name: &str| -> u64 {
+            e.rows
+                .iter()
+                .find(|(l, _)| l.contains(name) && l.contains("WCET"))
+                .map(|(_, v)| v.split('/').next().unwrap().trim().parse().unwrap())
+                .unwrap()
+        };
+        assert!(wcet("cache_killer") > wcet("cache_friendly"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # wcet-core — the complete static WCET analyzer
+//!
+//! This crate wires every substrate of the workspace into the phase
+//! pipeline of the paper's Figure 1:
+//!
+//! ```text
+//! input executable ─▶ decoding ─▶ CFG reconstruction ─▶ loop/value analysis
+//!        ─▶ cache/pipeline analysis ─▶ path analysis (IPET) ─▶ WCET bound
+//! ```
+//!
+//! * [`analyzer`] — [`analyzer::WcetAnalyzer`], the public entry point:
+//!   give it a binary [`wcet_isa::Image`] and (optionally) design-level
+//!   annotations, get back per-function and per-operating-mode WCET/BCET
+//!   bounds, the worst-case path, a phase trace, and the guideline
+//!   findings,
+//! * [`phases`] — the per-phase artifact trace (experiment E2 regenerates
+//!   Figure 1 from it),
+//! * [`workload`] — generators for the paper's motivating software
+//!   structures: flight-control mode switching, CAN-style message
+//!   handlers, jump-table state machines, error-handling tasks,
+//!   single-path kernels, cache-killer layouts,
+//! * [`experiments`] — one driver per paper table/figure/claim (E1–E16);
+//!   the bench harness and EXPERIMENTS.md are generated from these.
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_core::analyzer::WcetAnalyzer;
+//! use wcet_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble(
+//!     "main: li r1, 16\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+//! )?;
+//! let report = WcetAnalyzer::new().analyze(&image)?;
+//! assert!(report.wcet_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analyzer;
+pub mod experiments;
+pub mod phases;
+pub mod workload;
+
+pub use analyzer::{AnalysisReport, AnalyzeError, AnalyzerConfig, WcetAnalyzer};

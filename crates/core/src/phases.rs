@@ -1,0 +1,154 @@
+//! The per-phase artifact trace (Figure 1 regeneration).
+//!
+//! Every [`crate::analyzer::WcetAnalyzer`] run records what each phase of
+//! the Figure 1 pipeline consumed and produced; experiment E2 prints the
+//! trace in the figure's shape.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics for one analyzer run, grouped by pipeline phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTrace {
+    /// Decoding phase: instruction words decoded.
+    pub decoded_insts: usize,
+    /// CFG reconstruction: functions discovered.
+    pub functions: usize,
+    /// CFG reconstruction: basic blocks across all functions.
+    pub blocks: usize,
+    /// CFG reconstruction: intraprocedural edges.
+    pub edges: usize,
+    /// Indirect sites unresolved before value analysis.
+    pub unresolved_initial: usize,
+    /// Indirect sites still unresolved after target resolution rounds.
+    pub unresolved_final: usize,
+    /// Re-reconstruction rounds driven by value-analysis target hints.
+    pub resolve_rounds: usize,
+    /// Loop/value analysis: loops found.
+    pub loops: usize,
+    /// Loops bounded automatically.
+    pub loops_bounded_auto: usize,
+    /// Loops bounded by annotation.
+    pub loops_bounded_annot: usize,
+    /// Cache/pipeline analysis: fetch/data accesses classified always-hit.
+    pub cache_always_hit: usize,
+    /// Accesses classified always-miss.
+    pub cache_always_miss: usize,
+    /// Accesses not classified.
+    pub cache_not_classified: usize,
+    /// Path analysis: ILP variables of the entry function's system.
+    pub ilp_vars: usize,
+    /// Path analysis: ILP constraints of the entry function's system.
+    pub ilp_constraints: usize,
+    /// Wall-clock time per phase, in pipeline order (decode, cfg,
+    /// loop/value, cache/pipeline, path).
+    pub phase_times: [Duration; 5],
+}
+
+impl PhaseTrace {
+    /// Names of the five phases, in pipeline order (Figure 1's boxes).
+    pub const PHASE_NAMES: [&'static str; 5] = [
+        "Decoding Phase",
+        "Control-flow Graph",
+        "Loop/Value Analysis",
+        "Cache/Pipeline Analysis",
+        "Path Analysis",
+    ];
+
+    /// Total analysis wall-clock time.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.phase_times.iter().sum()
+    }
+}
+
+impl fmt::Display for PhaseTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Input Executable")?;
+        writeln!(f, "      |")?;
+        writeln!(
+            f,
+            "  [1] {}: {} instruction words ({:?})",
+            Self::PHASE_NAMES[0],
+            self.decoded_insts,
+            self.phase_times[0]
+        )?;
+        writeln!(f, "      |")?;
+        writeln!(
+            f,
+            "  [2] {}: {} function(s), {} block(s), {} edge(s), \
+             {} -> {} unresolved indirect site(s) over {} round(s) ({:?})",
+            Self::PHASE_NAMES[1],
+            self.functions,
+            self.blocks,
+            self.edges,
+            self.unresolved_initial,
+            self.unresolved_final,
+            self.resolve_rounds,
+            self.phase_times[1]
+        )?;
+        writeln!(f, "      |")?;
+        writeln!(
+            f,
+            "  [3] {}: {} loop(s), {} bounded automatically, {} by annotation ({:?})",
+            Self::PHASE_NAMES[2],
+            self.loops,
+            self.loops_bounded_auto,
+            self.loops_bounded_annot,
+            self.phase_times[2]
+        )?;
+        writeln!(f, "      |")?;
+        writeln!(
+            f,
+            "  [4] {}: {} always-hit / {} always-miss / {} not-classified ({:?})",
+            Self::PHASE_NAMES[3],
+            self.cache_always_hit,
+            self.cache_always_miss,
+            self.cache_not_classified,
+            self.phase_times[3]
+        )?;
+        writeln!(f, "      |")?;
+        writeln!(
+            f,
+            "  [5] {}: ILP with {} variable(s), {} constraint(s) ({:?})",
+            Self::PHASE_NAMES[4],
+            self.ilp_vars,
+            self.ilp_constraints,
+            self.phase_times[4]
+        )?;
+        writeln!(f, "      |")?;
+        write!(f, "WCET Bound")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_all_phases() {
+        let trace = PhaseTrace {
+            decoded_insts: 10,
+            functions: 1,
+            blocks: 3,
+            edges: 3,
+            loops: 1,
+            loops_bounded_auto: 1,
+            ..PhaseTrace::default()
+        };
+        let text = trace.to_string();
+        for name in PhaseTrace::PHASE_NAMES {
+            assert!(text.contains(name), "missing {name}");
+        }
+        assert!(text.starts_with("Input Executable"));
+        assert!(text.ends_with("WCET Bound"));
+    }
+
+    #[test]
+    fn total_time_sums() {
+        let mut trace = PhaseTrace::default();
+        trace.phase_times[0] = Duration::from_millis(2);
+        trace.phase_times[4] = Duration::from_millis(3);
+        assert_eq!(trace.total_time(), Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,578 @@
+//! Workload generators: the software structures the paper talks about.
+//!
+//! Each generator produces a linked binary plus the design-level
+//! annotations a developer following the paper's recommendations would
+//! write. The generators correspond to Section 4.3's scenarios (operating
+//! modes, message handlers, error handling, imprecise memory accesses),
+//! Section 2's single-path discussion, and the COLA project's cache
+//! killers.
+
+use wcet_guidelines::annot::AnnotationSet;
+use wcet_isa::asm::assemble;
+use wcet_isa::image::Segment;
+use wcet_isa::{Addr, Image};
+
+/// A generated workload: binary, annotations, and provenance.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (used in bench output).
+    pub name: &'static str,
+    /// The linked binary.
+    pub image: Image,
+    /// The design-level annotations belonging to it.
+    pub annotations: AnnotationSet,
+    /// What the workload demonstrates.
+    pub description: &'static str,
+}
+
+fn build(name: &'static str, description: &'static str, src: &str, annots: &str) -> Workload {
+    let image = assemble(src).unwrap_or_else(|e| panic!("workload `{name}` assembles: {e}"));
+    let annotations = AnnotationSet::parse(annots)
+        .unwrap_or_else(|e| panic!("workload `{name}` annotations parse: {e}"));
+    Workload {
+        name,
+        image,
+        annotations,
+        description,
+    }
+}
+
+/// The flight-control mode switcher of Section 4.3 ("plane is on ground /
+/// plane is in air"): the mode flag comes from a memory-mapped sensor
+/// word, each mode runs a control loop of very different length, and the
+/// annotations document which code each mode excludes.
+#[must_use]
+pub fn flight_control() -> Workload {
+    let src = r#"
+        .org 0x1000
+        main:
+            li   r1, 0xf0000000     # mode register (MMIO)
+            lw   r2, 0(r1)          # 0 = ground, nonzero = air
+            beq  r2, r0, ground
+        air:
+            li   r3, 50             # gain-scheduling loop, 50 surfaces
+        air_loop:
+            mul  r4, r3, r3
+            addi r5, r4, 1
+            subi r3, r3, 1
+            bne  r3, r0, air_loop
+            j    done
+        ground:
+            li   r3, 6              # gear/brake checks only
+        ground_loop:
+            addi r5, r5, 2
+            subi r3, r3, 1
+            bne  r3, r0, ground_loop
+        done:
+            halt
+    "#;
+    let image = assemble(src).expect("flight control assembles");
+    let air = image.symbol("air").expect("air label");
+    let ground = image.symbol("ground").expect("ground label");
+    let annots = format!(
+        "mode ground, air;\n\
+         exclude {air} in mode ground;\n\
+         exclude {ground} in mode air;\n"
+    );
+    build(
+        "flight_control",
+        "operating modes: ground vs air control laws (Section 4.3)",
+        src,
+        &annots,
+    )
+}
+
+/// The message handler of Section 4.3: fixed-size read and write buffers,
+/// copy loops whose lengths come from the device (statically unknown),
+/// and the design knowledge that receive and transmit can never happen in
+/// the same scheduling cycle.
+///
+/// `buf_words` is the buffer capacity documented at design time.
+#[must_use]
+pub fn message_handler(buf_words: u32) -> Workload {
+    let src = r#"
+        .org 0x1000
+        .equ CAN 0xf0000000
+        .equ BUF 0x8000
+        main:
+            li   r1, CAN
+            li   r3, BUF
+            lw   r6, 0(r1)          # rx-pending flag
+            lw   r7, 4(r1)          # tx-pending flag
+            lw   r4, 8(r1)          # transfer length (device supplied!)
+            beq  r6, r0, skip_rx
+        rx_head:
+            beq  r4, r0, skip_rx
+        rx_loop:
+            lw   r5, 12(r1)         # read CAN data register
+            sw   r5, 0(r3)
+            addi r3, r3, 4
+            subi r4, r4, 1
+            bne  r4, r0, rx_loop
+        skip_rx:
+            lw   r4, 8(r1)
+            beq  r7, r0, skip_tx
+        tx_head:
+            beq  r4, r0, skip_tx
+        tx_loop:
+            lw   r5, 0(r3)
+            sw   r5, 12(r1)         # write CAN data register
+            addi r3, r3, 4
+            subi r4, r4, 1
+            bne  r4, r0, tx_loop
+        skip_tx:
+            halt
+    "#;
+    let image = assemble(src).expect("message handler assembles");
+    let rx_loop = image.symbol("rx_loop").expect("rx_loop");
+    let tx_loop = image.symbol("tx_loop").expect("tx_loop");
+    let rx_head = image.symbol("rx_head").expect("rx_head");
+    let tx_head = image.symbol("tx_head").expect("tx_head");
+    let annots = format!(
+        "# buffers are {buf_words} words by design\n\
+         loop {rx_loop} bound {buf_words};\n\
+         loop {tx_loop} bound {buf_words};\n\
+         # a scheduling cycle is either read or write, never both\n\
+         mutex {rx_head}, {tx_head} capacity 1;\n"
+    );
+    build(
+        "message_handler",
+        "message-based communication: device-supplied lengths and rx/tx exclusion (Section 4.3)",
+        src,
+        &annots,
+    )
+}
+
+/// A jump-table state machine (the code a SCADE/MATLAB code generator
+/// emits for a mode automaton): the dispatch is a function-pointer call
+/// through a table in the data segment — tier-one challenge E15. The
+/// bounded state index lets the value analysis resolve the table.
+///
+/// # Panics
+///
+/// Panics if `n_states` is not in `2..=8` (the small-set resolution
+/// limit).
+#[must_use]
+pub fn state_machine(n_states: u32) -> Workload {
+    assert!(
+        (2..=8).contains(&n_states),
+        "state count must be in 2..=8, got {n_states}"
+    );
+    let mut src = String::from(
+        "        .org 0x1000\n\
+         main:\n\
+             li   r1, 0xf0000000\n\
+             lw   r2, 0(r1)          # raw state input\n",
+    );
+    // Clamp the state to [0, n): the branch refinement pins the index
+    // interval, which the value analysis enumerates into an exact set —
+    // that is what makes the table load resolvable.
+    src.push_str(&format!(
+        "             li   r3, {n_states}\n\
+         \x20            bltu r2, r3, ok\n\
+         \x20            li   r2, 0\n\
+         ok:\n\
+         \x20            shli r2, r2, 2\n\
+         \x20            li   r5, 0x5000\n\
+         \x20            add  r5, r5, r2\n\
+         \x20            lw   r6, 0(r5)          # handler address from table\n\
+         \x20            callr r6\n\
+         \x20            halt\n"
+    ));
+    for s in 0..n_states {
+        let work = 2 + 3 * s; // different cost per state
+        src.push_str(&format!(
+            "handler{s}:\n\
+             \x20            li r7, {work}\n\
+             h{s}_loop:\n\
+             \x20            subi r7, r7, 1\n\
+             \x20            bne  r7, r0, h{s}_loop\n\
+             \x20            ret\n"
+        ));
+    }
+    let mut image = assemble(&src).expect("state machine assembles");
+    let table: Vec<u32> = (0..n_states)
+        .map(|s| image.symbol(&format!("handler{s}")).expect("handler").0)
+        .collect();
+    image.data.push(Segment::from_words(Addr(0x5000), &table));
+    Workload {
+        name: "state_machine",
+        image,
+        annotations: AnnotationSet::new(),
+        description: "jump-table state machine: function-pointer resolution (Section 3.2)",
+    }
+}
+
+/// The error-handling task of Section 4.3: a main computation interleaved
+/// with `n_checks` error checks, each calling an expensive recovery
+/// routine when its (statically unknown) error flag is set. Returns the
+/// workload *without* error annotations; [`error_annotations`] builds the
+/// paper's two remedies.
+///
+/// # Panics
+///
+/// Panics if `n_checks == 0` or `n_checks > 16`.
+#[must_use]
+pub fn error_handling(n_checks: u32) -> Workload {
+    assert!((1..=16).contains(&n_checks), "1..=16 checks supported");
+    let mut src = String::from(
+        "        .org 0x1000\n\
+         main:\n\
+             li   r10, 0xf0000000\n",
+    );
+    for i in 0..n_checks {
+        src.push_str(&format!(
+            "             addi r5, r5, 7        # main computation step {i}\n\
+             \x20            lw   r6, {}(r10)      # error flag {i}\n\
+             \x20            beq  r6, r0, ok{i}\n\
+             err{i}:\n\
+             \x20            call recover\n\
+             ok{i}:\n",
+            4 * i
+        ));
+    }
+    src.push_str(
+        "             halt\n\
+         recover:\n\
+             li   r8, 24\n\
+         rec_loop:\n\
+             mul  r9, r8, r8\n\
+             subi r8, r8, 1\n\
+             bne  r8, r0, rec_loop\n\
+             ret\n",
+    );
+    build(
+        "error_handling",
+        "error handling: all-errors-at-once vs design knowledge (Section 4.3)",
+        &src,
+        "",
+    )
+}
+
+/// The two error-handling annotation remedies of Section 4.3 for an
+/// [`error_handling`] workload: `(exclude_all, budget_k)` — the
+/// "error case irrelevant for the worst case" analysis, and the
+/// "at most `k` errors per activation" analysis.
+#[must_use]
+pub fn error_annotations(workload: &Workload, n_checks: u32, k: u64) -> (AnnotationSet, AnnotationSet) {
+    let err_blocks: Vec<String> = (0..n_checks)
+        .map(|i| {
+            workload
+                .image
+                .symbol(&format!("err{i}"))
+                .expect("error block")
+                .to_string()
+        })
+        .collect();
+    let exclude_text: String = err_blocks
+        .iter()
+        .map(|a| format!("exclude {a};\n"))
+        .collect();
+    let budget_text = format!("sumcount {} max {k};\n", err_blocks.join(", "));
+    (
+        AnnotationSet::parse(&exclude_text).expect("exclude annotations parse"),
+        AnnotationSet::parse(&budget_text).expect("budget annotations parse"),
+    )
+}
+
+/// The single-path comparison of Section 2 (Puschner/Kirner): the same
+/// conditional computation once as a branchy diamond and once transformed
+/// to predicated straight-line code. Returns `(branchy, single_path)`.
+///
+/// The single-path version always executes *both* arms' instructions —
+/// "the processor would have to always fetch the corresponding
+/// instructions, even if they would not be executed. Hence, the
+/// single-path paradigm actually impairs the worst-case behavior."
+#[must_use]
+pub fn single_path_pair() -> (Workload, Workload) {
+    let branchy = build(
+        "branchy",
+        "conditional kernel, branchy form (baseline for E13)",
+        r#"
+            .org 0x1000
+            main:
+                li   r1, 0xf0000000
+                lw   r2, 0(r1)          # input
+                beq  r2, r0, cheap
+            costly:
+                mul  r3, r2, r2
+                mul  r3, r3, r2
+                mul  r3, r3, r2
+                j    done
+            cheap:
+                addi r3, r2, 1
+                shli r3, r3, 2
+                xor  r3, r3, r2
+                addi r3, r3, 7
+            done:
+                halt
+        "#,
+        "",
+    );
+    let single_path = build(
+        "single_path",
+        "conditional kernel transformed to single-path predicated code (E13)",
+        r#"
+            .org 0x1000
+            main:
+                li   r1, 0xf0000000
+                lw   r2, 0(r1)          # input
+                # both arms computed unconditionally
+                mul  r3, r2, r2
+                mul  r3, r3, r2
+                mul  r3, r3, r2         # costly arm result
+                addi r4, r2, 1          # cheap arm result
+                shli r4, r4, 2
+                xor  r4, r4, r2
+                addi r4, r4, 7
+                sltu r5, r0, r2         # predicate: input != 0
+                sel  r3, r5, r3, r4
+                halt
+        "#,
+        "",
+    );
+    (branchy, single_path)
+}
+
+/// Two layouts of the same two-phase loop nest for the instruction-cache
+/// experiment E16 (the COLA "cache killer" discussion). Returns
+/// `(killer, friendly)`: in the killer layout the two phase bodies are
+/// 256 bytes apart — the period of the small icache — so they evict each
+/// other every outer iteration; the friendly layout offsets phase B into
+/// disjoint sets.
+#[must_use]
+pub fn cache_pair() -> (Workload, Workload) {
+    // Phase bodies are 4 instructions (16 B = 1 line). The icache has 16
+    // sets × 16 B = 256 B period.
+    let body_a = "            mul  r5, r2, r2\n\
+                  \x20            addi r5, r5, 3\n";
+    let make = |pad_words: usize, name: &'static str, description: &'static str| {
+        let mut src = String::from(
+            "        .org 0x100000\n\
+             main:\n\
+                 li   r1, 40            # outer iterations\n\
+             outer:\n\
+             phase_a:\n",
+        );
+        src.push_str(body_a);
+        src.push_str("            j    mid\n");
+        for _ in 0..pad_words {
+            src.push_str("            nop\n");
+        }
+        src.push_str("mid:\n");
+        src.push_str("phase_b:\n");
+        src.push_str(body_a);
+        src.push_str(
+            "            subi r1, r1, 1\n\
+             \x20            bne  r1, r0, outer\n\
+             \x20            halt\n",
+        );
+        build(name, description, &src, "")
+    };
+    let killer = make(
+        (256 - 3 * 4) / 4,
+        "cache_killer",
+        "two phases 256 B apart: same icache sets, mutual eviction (E16)",
+    );
+    let friendly = make(
+        1,
+        "cache_friendly",
+        "two phases in adjacent lines: disjoint icache sets (E16)",
+    );
+    (killer, friendly)
+}
+
+/// A dense matrix-vector multiply kernel over an SRAM matrix: the
+/// quickstart's nested counter loops with clean bounds.
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=32`.
+#[must_use]
+pub fn matrix_kernel(n: u32) -> Workload {
+    assert!((1..=32).contains(&n), "matrix size must be 1..=32");
+    let src = format!(
+        r#"
+        .org 0x1000
+        .equ MAT 0x8000
+        .equ VEC 0xa000
+        .equ OUT 0xb000
+        main:
+            li   r1, 0              # row
+        rows:
+            li   r2, 0              # col
+            li   r5, 0              # accumulator
+        cols:
+            # r6 = mat[row*n + col]
+            li   r7, {n}
+            mul  r8, r1, r7
+            add  r8, r8, r2
+            shli r8, r8, 2
+            li   r9, MAT
+            add  r9, r9, r8
+            lw   r6, 0(r9)
+            # r10 = vec[col]
+            shli r10, r2, 2
+            li   r11, VEC
+            add  r11, r11, r10
+            lw   r10, 0(r11)
+            mul  r6, r6, r10
+            add  r5, r5, r6
+            addi r2, r2, 1
+            li   r7, {n}
+            blt  r2, r7, cols
+            # out[row] = acc
+            shli r12, r1, 2
+            li   r13, OUT
+            add  r13, r13, r12
+            sw   r5, 0(r13)
+            addi r1, r1, 1
+            li   r7, {n}
+            blt  r1, r7, rows
+            halt
+        "#
+    );
+    build(
+        "matrix_kernel",
+        "nested counter loops over SRAM data (quickstart workload)",
+        &src,
+        "",
+    )
+}
+
+/// A device-driver routine with a pointer-indirect access the analysis
+/// cannot pin down, plus the Section 4.3 remedy: an `access` annotation
+/// restricting it to the CAN controller's MMIO window. Returns
+/// `(workload without annotation, annotated set)`.
+#[must_use]
+pub fn driver_imprecise_access() -> (Workload, AnnotationSet) {
+    let src = r#"
+        .org 0x1000
+        main:
+            # r4: device descriptor pointer handed in by the kernel —
+            # statically unknown.
+            lw   r2, 0(r4)          # load register offset from descriptor
+            add  r3, r4, r2
+            lw   r5, 4(r3)          # the imprecise access
+            addi r5, r5, 1
+            li   r6, 0x8000
+            sw   r5, 0(r6)
+            halt
+    "#;
+    let w = build(
+        "driver_imprecise",
+        "driver with pointer-indirect access: unknown address vs region annotation (Section 4.3)",
+        src,
+        "",
+    );
+    // The imprecise access is the second lw (at main+8).
+    let target = w.image.entry.offset(8);
+    // Design knowledge: the descriptor table lives entirely in SRAM, so
+    // the access never touches flash or MMIO — without the annotation the
+    // analysis must charge the slowest module in the map.
+    let annots = AnnotationSet::parse(&format!(
+        "access {target} range 0x8000..0x9000;\n"
+    ))
+    .expect("driver annotations parse");
+    (w, annots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{AnalyzerConfig, WcetAnalyzer};
+    use wcet_isa::interp::{Interpreter, MachineConfig};
+
+    #[test]
+    fn all_workloads_assemble_and_run() {
+        let mut workloads = vec![
+            flight_control(),
+            message_handler(16),
+            state_machine(4),
+            error_handling(4),
+            matrix_kernel(4),
+        ];
+        let (b, s) = single_path_pair();
+        workloads.push(b);
+        workloads.push(s);
+        let (k, f) = cache_pair();
+        workloads.push(k);
+        workloads.push(f);
+        for w in &workloads {
+            let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+            let outcome = interp.run(10_000_000);
+            assert!(outcome.is_ok(), "workload {} must run: {:?}", w.name, outcome.err());
+        }
+    }
+
+    #[test]
+    fn flight_control_modes_analyzable() {
+        let w = flight_control();
+        let mut config = AnalyzerConfig::new();
+        config.annotations = w.annotations.clone();
+        let report = WcetAnalyzer::with_config(config).analyze(&w.image).unwrap();
+        let global = report.mode_wcet[&None];
+        let ground = report.mode_wcet[&Some("ground".to_owned())];
+        let air = report.mode_wcet[&Some("air".to_owned())];
+        assert!(ground < global, "ground mode must be much cheaper");
+        assert!(air <= global);
+    }
+
+    #[test]
+    fn message_handler_needs_annotations() {
+        let w = message_handler(16);
+        // Without annotations: unbounded device loops.
+        assert!(WcetAnalyzer::new().analyze(&w.image).is_err());
+        // With annotations: analyzable.
+        let mut config = AnalyzerConfig::new();
+        config.annotations = w.annotations.clone();
+        let report = WcetAnalyzer::with_config(config).analyze(&w.image).unwrap();
+        assert!(report.wcet_cycles > 0);
+    }
+
+    #[test]
+    fn state_machine_resolves_dispatch() {
+        let w = state_machine(4);
+        let report = WcetAnalyzer::new().analyze(&w.image).unwrap();
+        assert_eq!(report.trace.unresolved_final, 0);
+        assert_eq!(report.functions.len(), 5, "main + 4 handlers");
+    }
+
+    #[test]
+    fn single_path_workloads_consistent() {
+        let (branchy, single) = single_path_pair();
+        for input in [0u32, 5] {
+            let run = |w: &Workload| {
+                let mut i = Interpreter::with_config(&w.image, MachineConfig::simple());
+                i.poke_word(Addr(0xf000_0000), input);
+                i.run(10_000).unwrap();
+                i.reg(wcet_isa::Reg::new(3))
+            };
+            assert_eq!(run(&branchy), run(&single), "input {input}");
+        }
+    }
+
+    #[test]
+    fn matrix_kernel_computes() {
+        let w = matrix_kernel(2);
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        // mat = [[1,2],[3,4]], vec = [5,6].
+        interp.poke_word(Addr(0x8000), 1);
+        interp.poke_word(Addr(0x8004), 2);
+        interp.poke_word(Addr(0x8008), 3);
+        interp.poke_word(Addr(0x800c), 4);
+        interp.poke_word(Addr(0xa000), 5);
+        interp.poke_word(Addr(0xa004), 6);
+        interp.run(100_000).unwrap();
+        assert_eq!(interp.peek_word(Addr(0xb000)), 17);
+        assert_eq!(interp.peek_word(Addr(0xb004)), 39);
+    }
+
+    #[test]
+    fn error_annotations_build() {
+        let w = error_handling(4);
+        let (exclude, budget) = error_annotations(&w, 4, 1);
+        assert_ne!(exclude, AnnotationSet::new());
+        assert_ne!(budget, AnnotationSet::new());
+    }
+}

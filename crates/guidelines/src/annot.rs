@@ -1,0 +1,633 @@
+//! The design-level annotation language (Section 4.3 made concrete).
+//!
+//! The paper's central recommendation is to "methodically document" design
+//! knowledge — operating modes, loop bounds, memory-access ranges, error
+//! scenarios — so the analyzer can consume it. This module defines a small
+//! AIS-style text language and its hand-written parser:
+//!
+//! ```text
+//! # comments run to end of line
+//! mode ground, air;                     # declare operating modes
+//! loop 0x1040 bound 16;                 # loop bound (all modes)
+//! loop 0x1040 bound 4 in mode ground;   # mode-specific loop bound
+//! exclude 0x2000;                       # block never executes
+//! exclude 0x2010 in mode air;           # mode-specific exclusion
+//! mutex 0x2000, 0x2040 capacity 1;      # mutual exclusion (read xor write)
+//! maxcount 0x1500 8;                    # ≤ 8 executions per activation
+//! call 0x1300 targets 0x2000, 0x2100;   # function-pointer targets
+//! jump 0x1310 targets 0x2000;           # computed-jump targets
+//! access 0x1200 range 0xf0000000..0xf0000100;  # memory-access range
+//! ```
+//!
+//! Addresses refer to the *binary*: loop annotations name the loop header
+//! address, `exclude`/`mutex`/`maxcount` name any instruction of the
+//! affected basic block, `call`/`jump`/`access` name the instruction
+//! itself.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wcet_analysis::loopbound::LoopBounds;
+use wcet_analysis::FunctionAnalysis;
+use wcet_cfg::graph::Cfg;
+use wcet_cfg::TargetResolver;
+use wcet_isa::Addr;
+use wcet_micro::blocktime::AccessOverrides;
+use wcet_path::flowfacts::FlowFact;
+
+/// Parse error for annotation text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AnnotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "annotation error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AnnotError {}
+
+/// A loop-bound annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopBoundAnn {
+    /// Loop header address.
+    pub header: Addr,
+    /// Maximum header executions per loop entry.
+    pub bound: u64,
+    /// Restricting mode, if mode-specific.
+    pub mode: Option<String>,
+}
+
+/// A block-exclusion annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcludeAnn {
+    /// Address of any instruction in the excluded block.
+    pub at: Addr,
+    /// Restricting mode, if mode-specific.
+    pub mode: Option<String>,
+}
+
+/// A mutual-exclusion annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutexAnn {
+    /// First block (any instruction address within it).
+    pub a: Addr,
+    /// Second block.
+    pub b: Addr,
+    /// Combined execution capacity per activation.
+    pub capacity: u64,
+}
+
+/// A maximum-execution-count annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxCountAnn {
+    /// Address of any instruction in the bounded block.
+    pub at: Addr,
+    /// Maximum executions per activation.
+    pub count: u64,
+}
+
+/// A shared execution budget over several blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumCountAnn {
+    /// Addresses of instructions in the budgeted blocks.
+    pub at: Vec<Addr>,
+    /// Maximum combined executions per activation.
+    pub count: u64,
+}
+
+/// A recursion-depth annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecursionAnn {
+    /// Entry address of the recursive function.
+    pub function: Addr,
+    /// Maximum activation depth per outermost call.
+    pub depth: u64,
+}
+
+/// A memory-access-range annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessAnn {
+    /// Address of the load/store instruction.
+    pub at: Addr,
+    /// Inclusive lower bound of the touched range.
+    pub lo: u32,
+    /// Inclusive upper bound of the touched range.
+    pub hi: u32,
+}
+
+/// A parsed set of design-level annotations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnnotationSet {
+    modes: Vec<String>,
+    loop_bounds: Vec<LoopBoundAnn>,
+    excludes: Vec<ExcludeAnn>,
+    mutexes: Vec<MutexAnn>,
+    max_counts: Vec<MaxCountAnn>,
+    sum_counts: Vec<SumCountAnn>,
+    recursions: Vec<RecursionAnn>,
+    accesses: Vec<AccessAnn>,
+    call_targets: BTreeMap<Addr, Vec<Addr>>,
+    jump_targets: BTreeMap<Addr, Vec<Addr>>,
+}
+
+impl AnnotationSet {
+    /// An empty annotation set.
+    #[must_use]
+    pub fn new() -> AnnotationSet {
+        AnnotationSet::default()
+    }
+
+    /// Parses annotation text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnotError`] with the offending line on syntax errors or
+    /// references to undeclared modes.
+    pub fn parse(text: &str) -> Result<AnnotationSet, AnnotError> {
+        let mut set = AnnotationSet::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let stmt = line.strip_suffix(';').unwrap_or(line).trim();
+            set.parse_stmt(stmt, line_no)?;
+        }
+        Ok(set)
+    }
+
+    fn parse_stmt(&mut self, stmt: &str, line: usize) -> Result<(), AnnotError> {
+        let err = |message: String| AnnotError { line, message };
+        let mut words = stmt.split_whitespace();
+        let keyword = words.next().unwrap_or("");
+        let rest: Vec<&str> = words.collect();
+        let rest_str = rest.join(" ");
+
+        match keyword {
+            "mode" => {
+                for name in rest_str.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                        return Err(err(format!("invalid mode name `{name}`")));
+                    }
+                    if !self.modes.iter().any(|m| m == name) {
+                        self.modes.push(name.to_owned());
+                    }
+                }
+                Ok(())
+            }
+            "loop" => {
+                // loop ADDR bound N [in mode M]
+                let (body, mode) = split_mode(&rest_str);
+                let parts: Vec<&str> = body.split_whitespace().collect();
+                if parts.len() != 3 || parts[1] != "bound" {
+                    return Err(err("expected `loop ADDR bound N [in mode M]`".into()));
+                }
+                let header = parse_addr(parts[0]).map_err(&err)?;
+                let bound = parse_u64(parts[2]).map_err(&err)?;
+                self.check_mode(&mode, line)?;
+                self.loop_bounds.push(LoopBoundAnn { header, bound, mode });
+                Ok(())
+            }
+            "exclude" => {
+                let (body, mode) = split_mode(&rest_str);
+                let at = parse_addr(body.trim()).map_err(&err)?;
+                self.check_mode(&mode, line)?;
+                self.excludes.push(ExcludeAnn { at, mode });
+                Ok(())
+            }
+            "mutex" => {
+                // mutex A, B capacity N
+                let parts: Vec<&str> = rest_str.split("capacity").collect();
+                if parts.len() != 2 {
+                    return Err(err("expected `mutex A, B capacity N`".into()));
+                }
+                let addrs: Vec<&str> = parts[0].split(',').map(str::trim).collect();
+                if addrs.len() != 2 {
+                    return Err(err("mutex needs exactly two addresses".into()));
+                }
+                self.mutexes.push(MutexAnn {
+                    a: parse_addr(addrs[0]).map_err(&err)?,
+                    b: parse_addr(addrs[1]).map_err(&err)?,
+                    capacity: parse_u64(parts[1].trim()).map_err(&err)?,
+                });
+                Ok(())
+            }
+            "maxcount" => {
+                let parts: Vec<&str> = rest_str.split_whitespace().collect();
+                if parts.len() != 2 {
+                    return Err(err("expected `maxcount ADDR N`".into()));
+                }
+                self.max_counts.push(MaxCountAnn {
+                    at: parse_addr(parts[0]).map_err(&err)?,
+                    count: parse_u64(parts[1]).map_err(&err)?,
+                });
+                Ok(())
+            }
+            "sumcount" => {
+                // sumcount A, B, ... max N — a shared execution budget
+                // over several blocks ("at most N errors per activation").
+                let parts: Vec<&str> = rest_str.splitn(2, "max").collect();
+                if parts.len() != 2 {
+                    return Err(err("expected `sumcount A, B, ... max N`".into()));
+                }
+                let addrs: Result<Vec<Addr>, String> = parts[0]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(parse_addr)
+                    .collect();
+                let addrs = addrs.map_err(&err)?;
+                if addrs.is_empty() {
+                    return Err(err("sumcount needs at least one address".into()));
+                }
+                self.sum_counts.push(SumCountAnn {
+                    at: addrs,
+                    count: parse_u64(parts[1].trim()).map_err(&err)?,
+                });
+                Ok(())
+            }
+            "call" | "jump" => {
+                // call ADDR targets A, B, ...
+                let parts: Vec<&str> = rest_str.splitn(2, "targets").collect();
+                if parts.len() != 2 {
+                    return Err(err(format!("expected `{keyword} ADDR targets A, ...`")));
+                }
+                let at = parse_addr(parts[0].trim()).map_err(&err)?;
+                let targets: Result<Vec<Addr>, String> = parts[1]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(parse_addr)
+                    .collect();
+                let targets = targets.map_err(&err)?;
+                if targets.is_empty() {
+                    return Err(err("target list must not be empty".into()));
+                }
+                if keyword == "call" {
+                    self.call_targets.entry(at).or_default().extend(targets);
+                } else {
+                    self.jump_targets.entry(at).or_default().extend(targets);
+                }
+                Ok(())
+            }
+            "recursion" => {
+                // recursion ADDR depth N — the design-level knowledge the
+                // paper says recursion requires (Section 3.2).
+                let parts: Vec<&str> = rest_str.split_whitespace().collect();
+                if parts.len() != 3 || parts[1] != "depth" {
+                    return Err(err("expected `recursion ADDR depth N`".into()));
+                }
+                let depth = parse_u64(parts[2]).map_err(&err)?;
+                if depth == 0 {
+                    return Err(err("recursion depth must be at least 1".into()));
+                }
+                self.recursions.push(RecursionAnn {
+                    function: parse_addr(parts[0]).map_err(&err)?,
+                    depth,
+                });
+                Ok(())
+            }
+            "access" => {
+                // access ADDR range LO..HI
+                let parts: Vec<&str> = rest_str.splitn(2, "range").collect();
+                if parts.len() != 2 {
+                    return Err(err("expected `access ADDR range LO..HI`".into()));
+                }
+                let at = parse_addr(parts[0].trim()).map_err(&err)?;
+                let range: Vec<&str> = parts[1].trim().split("..").collect();
+                if range.len() != 2 {
+                    return Err(err("expected a `LO..HI` range".into()));
+                }
+                let lo = parse_addr(range[0]).map_err(&err)?.0;
+                let hi = parse_addr(range[1]).map_err(&err)?.0;
+                if lo > hi {
+                    return Err(err("range bounds inverted".into()));
+                }
+                self.accesses.push(AccessAnn { at, lo, hi });
+                Ok(())
+            }
+            other => Err(err(format!("unknown annotation keyword `{other}`"))),
+        }
+    }
+
+    fn check_mode(&self, mode: &Option<String>, line: usize) -> Result<(), AnnotError> {
+        if let Some(m) = mode {
+            if !self.modes.iter().any(|x| x == m) {
+                return Err(AnnotError {
+                    line,
+                    message: format!("mode `{m}` not declared (use `mode {m};` first)"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Declared operating modes.
+    #[must_use]
+    pub fn modes(&self) -> &[String] {
+        &self.modes
+    }
+
+    /// All loop-bound annotations.
+    #[must_use]
+    pub fn loop_bound_annotations(&self) -> &[LoopBoundAnn] {
+        &self.loop_bounds
+    }
+
+    /// All access-range annotations.
+    #[must_use]
+    pub fn access_annotations(&self) -> &[AccessAnn] {
+        &self.accesses
+    }
+
+    /// The annotated recursion depth for `function`, if any.
+    #[must_use]
+    pub fn recursion_depth(&self, function: Addr) -> Option<u64> {
+        self.recursions
+            .iter()
+            .find(|r| r.function == function)
+            .map(|r| r.depth)
+    }
+
+    /// Builds a control-flow target resolver from the `call`/`jump`
+    /// annotations.
+    #[must_use]
+    pub fn to_resolver(&self) -> TargetResolver {
+        let mut r = TargetResolver::empty();
+        for (&at, targets) in &self.call_targets {
+            r.add_call_targets(at, targets.iter().copied());
+        }
+        for (&at, targets) in &self.jump_targets {
+            r.add_jump_targets(at, targets.iter().copied());
+        }
+        r
+    }
+
+    /// Applies loop-bound annotations valid in `mode` (mode-specific
+    /// bounds override global ones) to a function's computed bounds.
+    pub fn apply_loop_bounds(
+        &self,
+        fa: &FunctionAnalysis,
+        bounds: &mut LoopBounds,
+        mode: Option<&str>,
+    ) {
+        // Global first, then mode-specific (so the latter win).
+        for pass_mode_specific in [false, true] {
+            for ann in &self.loop_bounds {
+                let applies = match (&ann.mode, mode) {
+                    (None, _) => !pass_mode_specific,
+                    (Some(m), Some(active)) => pass_mode_specific && m == active,
+                    (Some(_), None) => false,
+                };
+                if !applies {
+                    continue;
+                }
+                for info in fa.forest().loops() {
+                    if fa.cfg().block(info.header).start == ann.header {
+                        bounds.apply_annotation(info.id, ann.bound);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Translates exclusions, mutexes, and max-counts valid in `mode`
+    /// into IPET flow facts against `cfg`. Annotations naming addresses
+    /// outside the function are skipped (they belong to other functions).
+    #[must_use]
+    pub fn flow_facts(&self, cfg: &Cfg, mode: Option<&str>) -> Vec<FlowFact> {
+        let mut facts = Vec::new();
+        for ex in &self.excludes {
+            let applies = match (&ex.mode, mode) {
+                (None, _) => true,
+                (Some(m), Some(active)) => m == active,
+                (Some(_), None) => false,
+            };
+            if !applies {
+                continue;
+            }
+            if let Some(block) = cfg.block_containing(ex.at) {
+                let why = match &ex.mode {
+                    Some(m) => format!("excluded in mode {m}"),
+                    None => "excluded by annotation".to_owned(),
+                };
+                facts.push(FlowFact::exclude(block, &why));
+            }
+        }
+        for mx in &self.mutexes {
+            if let (Some(a), Some(b)) =
+                (cfg.block_containing(mx.a), cfg.block_containing(mx.b))
+            {
+                facts.push(FlowFact::mutually_exclusive(
+                    a,
+                    b,
+                    mx.capacity,
+                    "mutual exclusion annotation",
+                ));
+            }
+        }
+        for mc in &self.max_counts {
+            if let Some(block) = cfg.block_containing(mc.at) {
+                facts.push(FlowFact::max_count(
+                    block,
+                    mc.count,
+                    "max-count annotation",
+                ));
+            }
+        }
+        for sc in &self.sum_counts {
+            let blocks: Vec<_> = sc
+                .at
+                .iter()
+                .filter_map(|&a| cfg.block_containing(a))
+                .map(|b| (b, 1.0))
+                .collect();
+            // Only emit when every named block belongs to this function:
+            // a partial budget would be unsound.
+            if blocks.len() == sc.at.len() {
+                facts.push(FlowFact::linear(
+                    blocks,
+                    wcet_path::flowfacts::FactOp::Le,
+                    sc.count as f64,
+                    "sum-count annotation (shared error budget)",
+                ));
+            }
+        }
+        facts
+    }
+
+    /// Translates `access` annotations into per-access memory-range
+    /// overrides for the block-time analysis.
+    #[must_use]
+    pub fn access_overrides(&self) -> AccessOverrides {
+        let mut o = AccessOverrides::none();
+        for a in &self.accesses {
+            o.restrict(a.at, a.lo, a.hi);
+        }
+        o
+    }
+}
+
+fn split_mode(s: &str) -> (String, Option<String>) {
+    match s.find(" in mode ") {
+        Some(pos) => {
+            let mode = s[pos + " in mode ".len()..].trim().to_owned();
+            (s[..pos].trim().to_owned(), Some(mode))
+        }
+        None => (s.trim().to_owned(), None),
+    }
+}
+
+fn parse_addr(s: &str) -> Result<Addr, String> {
+    let s = s.trim();
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        s.parse::<u32>()
+    };
+    v.map(Addr).map_err(|_| format!("invalid address `{s}`"))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.trim()
+        .replace('_', "")
+        .parse::<u64>()
+        .map_err(|_| format!("invalid number `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_analysis::analyze_function;
+    use wcet_cfg::graph::reconstruct;
+    use wcet_isa::asm::assemble;
+
+    #[test]
+    fn parse_full_language() {
+        let set = AnnotationSet::parse(
+            r#"
+            # flight control annotations
+            mode ground, air;
+            loop 0x1040 bound 16;
+            loop 0x1040 bound 4 in mode ground;
+            exclude 0x2000;
+            exclude 0x2010 in mode air;
+            mutex 0x2000, 0x2040 capacity 1;
+            maxcount 0x1500 8;
+            call 0x1300 targets 0x2000, 0x2100;
+            jump 0x1310 targets 0x2000;
+            access 0x1200 range 0xf0000000..0xf0000100;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(set.modes(), &["ground", "air"]);
+        assert_eq!(set.loop_bound_annotations().len(), 2);
+        assert_eq!(set.access_annotations().len(), 1);
+        let r = set.to_resolver();
+        assert_eq!(r.call_targets.len(), 1);
+        assert_eq!(r.jump_targets.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_mode_rejected() {
+        let err = AnnotationSet::parse("loop 0x1000 bound 4 in mode nosuch;").unwrap_err();
+        assert!(err.message.contains("not declared"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn syntax_errors_report_line() {
+        let err = AnnotationSet::parse("mode a;\nfrobnicate 0x10;").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = AnnotationSet::parse("loop 0x10 bound;").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = AnnotationSet::parse("access 0x10 range 0x20..0x10;").unwrap_err();
+        assert!(err.message.contains("inverted"));
+    }
+
+    #[test]
+    fn loop_bound_application_with_modes() {
+        let src = "main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        let header = image.symbol("loop").unwrap();
+        let set = AnnotationSet::parse(&format!(
+            "mode ground, air;\nloop {header} bound 100;\nloop {header} bound 10 in mode ground;"
+        ))
+        .unwrap();
+
+        // Global bound.
+        let mut bounds = fa.loop_bounds();
+        set.apply_loop_bounds(&fa, &mut bounds, None);
+        assert_eq!(bounds.results()[0].1.max_iterations(), Some(100));
+
+        // Mode-specific bound wins in its mode.
+        let mut bounds = fa.loop_bounds();
+        set.apply_loop_bounds(&fa, &mut bounds, Some("ground"));
+        assert_eq!(bounds.results()[0].1.max_iterations(), Some(10));
+
+        // Other mode falls back to the global bound.
+        let mut bounds = fa.loop_bounds();
+        set.apply_loop_bounds(&fa, &mut bounds, Some("air"));
+        assert_eq!(bounds.results()[0].1.max_iterations(), Some(100));
+    }
+
+    #[test]
+    fn flow_fact_translation() {
+        let src = "main: beq r4, r0, a\n mul r1, r2, r3\n j done\na: nop\ndone: halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let cfg = p.entry_cfg();
+        let mul_addr = p.entry.offset(4);
+        let set = AnnotationSet::parse(&format!(
+            "mode m;\nexclude {mul_addr};\nmaxcount {mul_addr} 3;"
+        ))
+        .unwrap();
+        let facts = set.flow_facts(cfg, None);
+        assert_eq!(facts.len(), 2);
+        // Addresses outside the function are skipped silently.
+        let set2 = AnnotationSet::parse("exclude 0x99990000;").unwrap();
+        assert!(set2.flow_facts(cfg, None).is_empty());
+    }
+
+    #[test]
+    fn access_override_translation() {
+        let set =
+            AnnotationSet::parse("access 0x1200 range 0x100..0x200;").unwrap();
+        let o = set.access_overrides();
+        assert_eq!(o.len(), 1);
+        let range = o.range_of(Addr(0x1200)).unwrap();
+        assert_eq!(range.lo(), Some(0x100));
+        assert_eq!(range.hi(), Some(0x200));
+    }
+
+    #[test]
+    fn recursion_and_sumcount_parse() {
+        let set = AnnotationSet::parse(
+            "recursion 0x2000 depth 4;\nsumcount 0x10, 0x20, 0x30 max 2;",
+        )
+        .unwrap();
+        assert_eq!(set.recursion_depth(Addr(0x2000)), Some(4));
+        assert_eq!(set.recursion_depth(Addr(0x9999)), None);
+
+        // Depth zero is rejected (a recursive function runs at least once).
+        let err = AnnotationSet::parse("recursion 0x2000 depth 0;").unwrap_err();
+        assert!(err.message.contains("at least 1"));
+        // Malformed sumcount.
+        assert!(AnnotationSet::parse("sumcount max 2;").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_input() {
+        let set = AnnotationSet::parse("\n  # nothing here\n\n").unwrap();
+        assert_eq!(set, AnnotationSet::new());
+    }
+}

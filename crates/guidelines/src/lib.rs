@@ -1,0 +1,48 @@
+//! # wcet-guidelines — coding-guideline checking and design-level
+//! annotations
+//!
+//! This crate is the paper's Section 4 made executable:
+//!
+//! * [`rules`] — a binary-level checker for the MISRA-C:2004 rules the
+//!   paper analyzes (13.4, 13.6, 14.1, 14.4, 14.5, 16.1, 16.2, 20.4,
+//!   20.7), each finding classified by its *actual* impact on static WCET
+//!   analysis: tier-one (feasibility), tier-two (precision), or — the
+//!   paper's verdict on rule 14.5 — style only,
+//! * [`report`] — the predictability report aggregating findings per
+//!   function and per rule,
+//! * [`annot`] — the design-level annotation language of Section 4.3:
+//!   loop bounds, operating modes, path exclusions, mutual exclusions,
+//!   memory-access ranges, and indirect-target declarations, with a
+//!   hand-written parser,
+//! * [`modes`] — operating-mode bookkeeping: per-mode loop bounds and
+//!   flow facts for mode-specific WCET analysis ("a static timing
+//!   analyzer is able to produce much tighter worst-case execution time
+//!   bounds for each mode of operation separately").
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_guidelines::annot::AnnotationSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let annots = AnnotationSet::parse(
+//!     r#"
+//!     mode ground, air;
+//!     loop 0x1040 bound 16;
+//!     loop 0x1040 bound 4 in mode ground;
+//!     exclude 0x2000 in mode air;
+//!     "#,
+//! )?;
+//! assert_eq!(annots.modes().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod annot;
+pub mod modes;
+pub mod report;
+pub mod rules;
+
+pub use annot::{AnnotError, AnnotationSet};
+pub use report::PredictabilityReport;
+pub use rules::{check_program, Finding, Impact, RuleId};

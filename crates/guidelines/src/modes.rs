@@ -1,0 +1,80 @@
+//! Operating-mode bookkeeping for mode-specific WCET analysis.
+//!
+//! "Many embedded control software systems have different operating
+//! modes … a static timing analyzer is able to produce much tighter
+//! worst-case execution time bounds for each mode of operation
+//! separately" (Section 4.3). A [`ModePlan`] packages, per declared mode,
+//! the loop bounds and flow facts the path analysis should run with; the
+//! comparison against the global (mode-oblivious) bound is experiment E9.
+
+use wcet_analysis::loopbound::LoopBounds;
+use wcet_analysis::FunctionAnalysis;
+use wcet_path::flowfacts::FlowFact;
+
+use crate::annot::AnnotationSet;
+
+/// The per-mode analysis inputs for one function.
+#[derive(Debug, Clone)]
+pub struct ModePlan {
+    /// Mode name (`None` = the global, mode-oblivious analysis).
+    pub mode: Option<String>,
+    /// Loop bounds with the mode's annotations applied.
+    pub bounds: LoopBounds,
+    /// Flow facts active in the mode.
+    pub facts: Vec<FlowFact>,
+}
+
+/// Builds the global plan plus one plan per declared mode.
+#[must_use]
+pub fn plans_for(fa: &FunctionAnalysis, annots: &AnnotationSet) -> Vec<ModePlan> {
+    let mut plans = Vec::new();
+    let mut global_bounds = fa.loop_bounds();
+    annots.apply_loop_bounds(fa, &mut global_bounds, None);
+    plans.push(ModePlan {
+        mode: None,
+        bounds: global_bounds,
+        facts: annots.flow_facts(fa.cfg(), None),
+    });
+    for mode in annots.modes() {
+        let mut bounds = fa.loop_bounds();
+        annots.apply_loop_bounds(fa, &mut bounds, Some(mode));
+        plans.push(ModePlan {
+            mode: Some(mode.clone()),
+            bounds,
+            facts: annots.flow_facts(fa.cfg(), Some(mode)),
+        });
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_analysis::analyze_function;
+    use wcet_cfg::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    #[test]
+    fn one_plan_per_mode_plus_global() {
+        let src = "main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        let header = image.symbol("loop").unwrap();
+        let annots = AnnotationSet::parse(&format!(
+            "mode ground, air;\nloop {header} bound 2 in mode ground;"
+        ))
+        .unwrap();
+        let plans = plans_for(&fa, &annots);
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].mode, None);
+        // Global keeps the automatic bound (8)...
+        assert_eq!(plans[0].bounds.results()[0].1.max_iterations(), Some(8));
+        // ...ground mode tightens it to 2...
+        let ground = plans.iter().find(|p| p.mode.as_deref() == Some("ground")).unwrap();
+        assert_eq!(ground.bounds.results()[0].1.max_iterations(), Some(2));
+        // ...air mode keeps the automatic bound.
+        let air = plans.iter().find(|p| p.mode.as_deref() == Some("air")).unwrap();
+        assert_eq!(air.bounds.results()[0].1.max_iterations(), Some(8));
+    }
+}

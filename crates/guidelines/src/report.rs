@@ -1,0 +1,127 @@
+//! The predictability report: aggregated rule findings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rules::{Finding, Impact, RuleId};
+
+/// Aggregated result of checking a program against the guideline rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictabilityReport {
+    findings: Vec<Finding>,
+}
+
+impl PredictabilityReport {
+    /// Builds a report from raw findings.
+    #[must_use]
+    pub fn new(findings: Vec<Finding>) -> PredictabilityReport {
+        PredictabilityReport { findings }
+    }
+
+    /// All findings.
+    #[must_use]
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Findings of one impact class.
+    #[must_use]
+    pub fn by_impact(&self, impact: Impact) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.impact() == impact)
+            .collect()
+    }
+
+    /// Finding count per rule.
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<RuleId, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// True if no tier-one findings exist — i.e. a WCET bound is
+    /// computable without manual annotations.
+    #[must_use]
+    pub fn tier1_clean(&self) -> bool {
+        self.by_impact(Impact::Tier1).is_empty()
+    }
+
+    /// True if the program is completely clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for PredictabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "predictability report: {} finding(s)", self.findings.len())?;
+        let counts = self.counts();
+        for rule in RuleId::ALL {
+            if let Some(&n) = counts.get(&rule) {
+                writeln!(f, "  {rule}: {n} finding(s) [{}]", rule.impact())?;
+            }
+        }
+        writeln!(
+            f,
+            "  tier-1 status: {}",
+            if self.tier1_clean() {
+                "clean — WCET computable without manual annotations"
+            } else {
+                "BLOCKED — tier-1 findings require design-level annotations"
+            }
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_isa::Addr;
+
+    fn finding(rule: RuleId) -> Finding {
+        Finding {
+            rule,
+            addr: Addr(0x1000),
+            function: None,
+            message: "test".to_owned(),
+        }
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = PredictabilityReport::new(vec![]);
+        assert!(r.is_clean());
+        assert!(r.tier1_clean());
+        assert!(r.counts().is_empty());
+    }
+
+    #[test]
+    fn tier1_detection() {
+        let r = PredictabilityReport::new(vec![finding(RuleId::Misra14_1)]);
+        assert!(r.tier1_clean(), "14.1 is tier-2 only");
+        let r = PredictabilityReport::new(vec![finding(RuleId::Misra16_2)]);
+        assert!(!r.tier1_clean());
+    }
+
+    #[test]
+    fn counts_and_display() {
+        let r = PredictabilityReport::new(vec![
+            finding(RuleId::Misra20_4),
+            finding(RuleId::Misra20_4),
+            finding(RuleId::Misra14_5),
+        ]);
+        assert_eq!(r.counts()[&RuleId::Misra20_4], 2);
+        let text = r.to_string();
+        assert!(text.contains("20.4"));
+        assert!(text.contains("style only"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Binary-level checks for the MISRA-C:2004 rules of the paper's
+//! Section 4.2.
+//!
+//! Each check mirrors the paper's *analysis* of the rule, not just its
+//! letter: rule 14.5 (`continue`) is reported as style-only because extra
+//! back edges cannot make a loop irreducible, while rule 14.4 (`goto`)
+//! findings fire only on actually-irreducible flow. Unresolved function
+//! pointers — a challenge, not a MISRA rule — are reported under
+//! [`RuleId::FunctionPointer`].
+
+use std::fmt;
+
+use wcet_analysis::loopbound::{BoundResult, UnboundedReason};
+use wcet_analysis::FunctionAnalysis;
+use wcet_cfg::callgraph::CallGraph;
+use wcet_cfg::graph::Program;
+use wcet_cfg::reach::coverage;
+use wcet_isa::{Addr, Image, Inst};
+
+/// The rules (and tier-one challenges) the checker knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// 13.4: no floating-point loop control.
+    Misra13_4,
+    /// 13.6: loop counters not modified in the body.
+    Misra13_6,
+    /// 14.1: no unreachable code.
+    Misra14_1,
+    /// 14.4: no `goto` (binary-level: no irreducible loops).
+    Misra14_4,
+    /// 14.5: no `continue` — style only, per the paper.
+    Misra14_5,
+    /// 16.1: no variable-argument functions (binary-level: input-data
+    /// dependent loops over argument lists).
+    Misra16_1,
+    /// 16.2: no recursion.
+    Misra16_2,
+    /// 20.4: no dynamic heap allocation.
+    Misra20_4,
+    /// 20.7: no `setjmp`/`longjmp` (binary-level: unresolved non-local
+    /// indirect jumps).
+    Misra20_7,
+    /// Section 3.2 challenge: unresolved function pointers.
+    FunctionPointer,
+}
+
+impl RuleId {
+    /// Every rule, for iteration in reports.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::Misra13_4,
+        RuleId::Misra13_6,
+        RuleId::Misra14_1,
+        RuleId::Misra14_4,
+        RuleId::Misra14_5,
+        RuleId::Misra16_1,
+        RuleId::Misra16_2,
+        RuleId::Misra20_4,
+        RuleId::Misra20_7,
+        RuleId::FunctionPointer,
+    ];
+
+    /// Short identifier (`"13.4"` etc.).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuleId::Misra13_4 => "13.4",
+            RuleId::Misra13_6 => "13.6",
+            RuleId::Misra14_1 => "14.1",
+            RuleId::Misra14_4 => "14.4",
+            RuleId::Misra14_5 => "14.5",
+            RuleId::Misra16_1 => "16.1",
+            RuleId::Misra16_2 => "16.2",
+            RuleId::Misra20_4 => "20.4",
+            RuleId::Misra20_7 => "20.7",
+            RuleId::FunctionPointer => "FP",
+        }
+    }
+
+    /// The impact class the paper assigns to violations of this rule.
+    #[must_use]
+    pub fn impact(&self) -> Impact {
+        match self {
+            // These make WCET computation infeasible without annotations.
+            RuleId::Misra13_4
+            | RuleId::Misra13_6
+            | RuleId::Misra14_4
+            | RuleId::Misra16_1
+            | RuleId::Misra16_2
+            | RuleId::Misra20_7
+            | RuleId::FunctionPointer => Impact::Tier1,
+            // These only cost precision.
+            RuleId::Misra14_1 | RuleId::Misra20_4 => Impact::Tier2,
+            // The paper: "the only purpose of this rule is to enforce a
+            // certain coding style."
+            RuleId::Misra14_5 => Impact::StyleOnly,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == RuleId::FunctionPointer {
+            f.write_str("function-pointer challenge")
+        } else {
+            write!(f, "MISRA-C:2004 rule {}", self.code())
+        }
+    }
+}
+
+/// How a finding affects static WCET analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Impact {
+    /// Blocks WCET computation entirely (needs manual annotations).
+    Tier1,
+    /// Costs bound precision.
+    Tier2,
+    /// No analytical impact (coding style).
+    StyleOnly,
+}
+
+impl fmt::Display for Impact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Impact::Tier1 => "tier-1 (feasibility)",
+            Impact::Tier2 => "tier-2 (precision)",
+            Impact::StyleOnly => "style only",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rule violation (or challenge occurrence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Code address of the evidence.
+    pub addr: Addr,
+    /// Function the evidence belongs to (entry address), if attributable.
+    pub function: Option<Addr>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Impact class of this finding (delegates to the rule).
+    #[must_use]
+    pub fn impact(&self) -> Impact {
+        self.rule.impact()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} | {}] {}: {}",
+            self.rule.code(),
+            self.impact(),
+            self.addr,
+            self.message
+        )
+    }
+}
+
+/// Runs every check over a reconstructed program.
+///
+/// `analyses` must contain one [`FunctionAnalysis`] per function of
+/// `program` (as produced by `wcet_analysis::analyze_function`).
+#[must_use]
+pub fn check_program(
+    image: &Image,
+    program: &Program,
+    analyses: &[FunctionAnalysis],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let callgraph = CallGraph::build(program);
+
+    // --- Per-function loop-based rules ---------------------------------
+    for fa in analyses {
+        let bounds = fa.loop_bounds();
+        for (id, result) in bounds.results() {
+            let info = fa.forest().info(*id);
+            let header_addr = fa.cfg().block(info.header).start;
+            if let BoundResult::Unbounded { reason } = result {
+                let (rule, message) = match reason {
+                    UnboundedReason::FloatControlled => (
+                        RuleId::Misra13_4,
+                        "loop exit condition uses floating-point operands; the \
+                         integer value analysis cannot bound it"
+                            .to_owned(),
+                    ),
+                    UnboundedReason::ComplexCounterUpdate => (
+                        RuleId::Misra13_6,
+                        "loop counter is modified more than once per iteration (or \
+                         by a non-constant step); no bound derivable"
+                            .to_owned(),
+                    ),
+                    UnboundedReason::Irreducible => (
+                        RuleId::Misra14_4,
+                        format!(
+                            "irreducible loop with {} entries: goto-style flow; no \
+                             automatic bounding technique exists and virtual \
+                             unrolling is inapplicable",
+                            info.entries.len()
+                        ),
+                    ),
+                    UnboundedReason::DataDependent => (
+                        RuleId::Misra16_1,
+                        "loop iteration count depends on input data (argument-list \
+                         style); requires a design-level bound annotation"
+                            .to_owned(),
+                    ),
+                    UnboundedReason::NoExit | UnboundedReason::NoPattern => continue,
+                };
+                findings.push(Finding {
+                    rule,
+                    addr: header_addr,
+                    function: Some(fa.entry),
+                    message,
+                });
+            }
+        }
+
+        // 14.5: continue-style extra back edges (style only).
+        for info in fa.forest().loops() {
+            if !info.irreducible && info.back_edges.len() > 1 {
+                findings.push(Finding {
+                    rule: RuleId::Misra14_5,
+                    addr: fa.cfg().block(info.header).start,
+                    function: Some(fa.entry),
+                    message: format!(
+                        "loop has {} back edges (continue-style); harmless for \
+                         analysis — back edges to the header cannot create \
+                         irreducibility",
+                        info.back_edges.len()
+                    ),
+                });
+            }
+        }
+
+        // 20.4: dynamic allocation; 20.7/FP: unresolved indirections.
+        for (_, block) in fa.cfg().iter() {
+            for (ia, inst) in &block.insts {
+                match inst {
+                    Inst::Alloc { .. } => findings.push(Finding {
+                        rule: RuleId::Misra20_4,
+                        addr: *ia,
+                        function: Some(fa.entry),
+                        message: "dynamic heap allocation: returned address is \
+                                  statically unknown, causing cache and memory-latency \
+                                  over-estimation"
+                            .to_owned(),
+                    }),
+                    Inst::JumpInd { .. } if fa.cfg().unresolved.contains(ia) => {
+                        findings.push(Finding {
+                            rule: RuleId::Misra20_7,
+                            addr: *ia,
+                            function: Some(fa.entry),
+                            message: "unresolved indirect jump (setjmp/longjmp-like \
+                                      non-local transfer): control flow cannot be \
+                                      reconstructed"
+                                .to_owned(),
+                        });
+                    }
+                    Inst::CallInd { .. } if fa.cfg().unresolved.contains(ia) => {
+                        findings.push(Finding {
+                            rule: RuleId::FunctionPointer,
+                            addr: *ia,
+                            function: Some(fa.entry),
+                            message: "unresolved function-pointer call: callee set \
+                                      unknown, call graph incomplete"
+                                .to_owned(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // --- 14.1: unreachable code (image level) ---------------------------
+    let cov = coverage(image, program);
+    for range in &cov.dead_ranges {
+        findings.push(Finding {
+            rule: RuleId::Misra14_1,
+            addr: range.start,
+            function: None,
+            message: format!(
+                "{} unreachable instruction(s): dead code enlarges the analyzed \
+                 state space and can surface on spurious worst-case paths",
+                range.inst_count()
+            ),
+        });
+    }
+
+    // --- 16.2: recursion (call-graph level) -----------------------------
+    for fun in callgraph.recursive_functions() {
+        findings.push(Finding {
+            rule: RuleId::Misra16_2,
+            addr: fun,
+            function: Some(fun),
+            message: "function participates in a call-graph cycle (direct or \
+                      indirect recursion); like irreducible loops, recursion depth \
+                      cannot be bounded automatically"
+                .to_owned(),
+        });
+    }
+
+    findings.sort_by_key(|f| (f.addr, f.rule));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_analysis::analyze_function;
+    use wcet_cfg::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let image = assemble(src).unwrap();
+        let program = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let analyses: Vec<FunctionAnalysis> = program
+            .functions
+            .keys()
+            .map(|&f| analyze_function(&program, f, &image))
+            .collect();
+        check_program(&image, &program, &analyses)
+    }
+
+    fn rules_found(findings: &[Finding]) -> Vec<RuleId> {
+        let mut rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let findings = check("main: li r1, 4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn rule_13_4_float_loop() {
+        let findings = check(
+            "main: fmov f0, r0\n li r1, 0x41200000\n fmov f2, r1\nloop: fadd f0, f0, f2\n fblt f0, f2, loop\n halt",
+        );
+        assert!(rules_found(&findings).contains(&RuleId::Misra13_4));
+        assert_eq!(findings[0].impact(), Impact::Tier1);
+    }
+
+    #[test]
+    fn rule_13_6_double_update() {
+        let findings =
+            check("main: li r1, 8\nloop: subi r1, r1, 1\n subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        assert!(rules_found(&findings).contains(&RuleId::Misra13_6));
+    }
+
+    #[test]
+    fn rule_14_1_dead_code() {
+        let findings = check("main: halt\n nop\n nop");
+        assert!(rules_found(&findings).contains(&RuleId::Misra14_1));
+        assert_eq!(findings[0].impact(), Impact::Tier2);
+    }
+
+    #[test]
+    fn rule_14_4_irreducible() {
+        let findings = check(
+            "main: beq r1, r0, b\na: subi r2, r2, 1\n j b\nb: addi r2, r2, 1\n bne r2, r0, a\n halt",
+        );
+        assert!(rules_found(&findings).contains(&RuleId::Misra14_4));
+    }
+
+    #[test]
+    fn rule_14_5_continue_is_style_only() {
+        let findings = check(
+            r#"
+            main: li r1, 10
+            head: beq r1, r0, done
+                  subi r1, r1, 1
+                  beq r2, r0, head
+                  subi r2, r2, 1
+                  j head
+            done: halt
+            "#,
+        );
+        let continue_findings: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == RuleId::Misra14_5)
+            .collect();
+        assert_eq!(continue_findings.len(), 1);
+        assert_eq!(continue_findings[0].impact(), Impact::StyleOnly);
+    }
+
+    #[test]
+    fn rule_16_1_data_dependent_loop() {
+        let findings = check("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        assert!(rules_found(&findings).contains(&RuleId::Misra16_1));
+    }
+
+    #[test]
+    fn rule_16_2_recursion() {
+        let findings = check("main: call f\n halt\nf: beq r1, r0, out\n call f\nout: ret");
+        assert!(rules_found(&findings).contains(&RuleId::Misra16_2));
+    }
+
+    #[test]
+    fn rule_20_4_alloc() {
+        let findings = check("main: li r1, 32\n alloc r2, r1\n halt");
+        assert!(rules_found(&findings).contains(&RuleId::Misra20_4));
+    }
+
+    #[test]
+    fn rule_20_7_and_fp_unresolved_indirections() {
+        let findings = check("main: jr r4");
+        assert!(rules_found(&findings).contains(&RuleId::Misra20_7));
+        let findings = check("main: callr r4\n halt");
+        assert!(rules_found(&findings).contains(&RuleId::FunctionPointer));
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let findings = check(
+            r#"
+            main: li r1, 32
+                  alloc r2, r1
+                  call f
+                  halt
+                  nop
+            f:    call f
+                  ret
+            "#,
+        );
+        let rules = rules_found(&findings);
+        assert!(rules.contains(&RuleId::Misra20_4));
+        assert!(rules.contains(&RuleId::Misra16_2));
+        assert!(rules.contains(&RuleId::Misra14_1));
+    }
+}

@@ -1,0 +1,191 @@
+//! Depth-first branch-and-bound on top of the simplex.
+//!
+//! IPET relaxations are usually integral already (the constraint matrices
+//! are network-like), so branch-and-bound rarely branches — but it must
+//! exist for the flow-fact constraints that break total unimodularity
+//! (mutual exclusions, relative capacity constraints).
+
+use crate::model::{Model, Sense, Solution, SolveError};
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solves a mixed-integer program by LP-based branch-and-bound.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] if no integral solution exists,
+/// [`SolveError::Unbounded`] if the relaxation is unbounded,
+/// [`SolveError::IterationLimit`] past `model.max_nodes` nodes.
+pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
+    // Each stack entry is a set of tightened bounds overlaying the model.
+    #[derive(Clone)]
+    struct Node {
+        lower: Vec<f64>,
+        upper: Vec<Option<f64>>,
+    }
+
+    let root = Node {
+        lower: model.vars.iter().map(|v| v.lower).collect(),
+        upper: model.vars.iter().map(|v| v.upper).collect(),
+    };
+
+    let mut stack = vec![root];
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+
+    let better = |candidate: f64, best: f64| match model.sense {
+        Sense::Maximize => candidate > best + INT_TOL,
+        Sense::Minimize => candidate < best - INT_TOL,
+    };
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > model.max_nodes {
+            return Err(SolveError::IterationLimit);
+        }
+
+        // Solve the relaxation with the node's bounds.
+        let mut relaxed = model.clone();
+        for (i, v) in relaxed.vars.iter_mut().enumerate() {
+            v.lower = node.lower[i];
+            v.upper = node.upper[i];
+            if v.upper.is_some_and(|u| u < v.lower - INT_TOL) {
+                // Empty box.
+                v.upper = Some(v.lower - 1.0); // force infeasibility below
+            }
+        }
+        if relaxed
+            .vars
+            .iter()
+            .any(|v| v.upper.is_some_and(|u| u < v.lower))
+        {
+            continue;
+        }
+        let sol = match crate::simplex::solve_lp(&relaxed) {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+
+        // Bound: prune if the relaxation cannot beat the incumbent.
+        if let Some(best) = &incumbent {
+            if !better(sol.objective, best.objective) {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut worst_frac = INT_TOL;
+        for (i, v) in model.vars.iter().enumerate() {
+            if !v.integer {
+                continue;
+            }
+            let x = sol.values[i];
+            let frac = (x - x.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some(i);
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: candidate solution.
+                let is_better = incumbent
+                    .as_ref()
+                    .is_none_or(|best| better(sol.objective, best.objective));
+                if is_better {
+                    incumbent = Some(sol);
+                }
+            }
+            Some(i) => {
+                let x = sol.values[i];
+                let floor = x.floor();
+                // Down branch: x ≤ floor.
+                let mut down = node.clone();
+                let new_up = match down.upper[i] {
+                    Some(u) => u.min(floor),
+                    None => floor,
+                };
+                down.upper[i] = Some(new_up);
+                // Up branch: x ≥ floor + 1.
+                let mut up = node;
+                up.lower[i] = up.lower[i].max(floor + 1.0);
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+
+    incumbent.ok_or(SolveError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn knapsack_needs_branching() {
+        // max 8x1 + 11x2 + 6x3 + 4x4, 5x1+7x2+4x3+3x4 ≤ 14, xi ∈ {0,1}
+        // LP optimum is fractional; ILP optimum is 21 (x1=0,x2=1,x3=1,x4=1).
+        let mut m = Model::new(crate::model::Sense::Maximize);
+        let xs: Vec<_> = (0..4).map(|i| m.add_int_var(&format!("x{i}"), 0, Some(1))).collect();
+        m.add_le(
+            &[(xs[0], 5.0), (xs[1], 7.0), (xs[2], 4.0), (xs[3], 3.0)],
+            14.0,
+        );
+        m.set_objective(&[(xs[0], 8.0), (xs[1], 11.0), (xs[2], 6.0), (xs[3], 4.0)]);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective.round() as i64, 21);
+        assert_eq!(sol.int_value(xs[1]), 1);
+        assert_eq!(sol.int_value(xs[2]), 1);
+        assert_eq!(sol.int_value(xs[3]), 1);
+    }
+
+    #[test]
+    fn integral_relaxation_skips_branching() {
+        let mut m = Model::new(crate::model::Sense::Maximize);
+        let x = m.add_int_var("x", 0, Some(7));
+        m.set_objective(&[(x, 1.0)]);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.int_value(x), 7);
+    }
+
+    #[test]
+    fn infeasible_integer_gap() {
+        // 2x = 3 has a fractional LP solution but no integer one.
+        let mut m = Model::new(crate::model::Sense::Maximize);
+        let x = m.add_int_var("x", 0, Some(10));
+        m.add_eq(&[(x, 2.0)], 3.0);
+        m.set_objective(&[(x, 1.0)]);
+        assert_eq!(m.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn minimize_ilp() {
+        // min x + y s.t. 3x + 2y ≥ 7, integer → (1,2) = 3.
+        let mut m = Model::new(crate::model::Sense::Minimize);
+        let x = m.add_int_var("x", 0, None);
+        let y = m.add_int_var("y", 0, None);
+        m.add_ge(&[(x, 3.0), (y, 2.0)], 7.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective.round() as i64, 3);
+    }
+
+    #[test]
+    fn mixed_integer() {
+        // y continuous, x integer: max x + y, x + y ≤ 3.5, x ≤ 2.2.
+        let mut m = Model::new(crate::model::Sense::Maximize);
+        let x = m.add_int_var("x", 0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 3.5);
+        m.add_le(&[(x, 1.0)], 2.2);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+        assert_eq!(sol.int_value(x), 2);
+    }
+}

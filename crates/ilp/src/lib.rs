@@ -1,0 +1,35 @@
+//! # wcet-ilp — exact linear and integer-linear programming
+//!
+//! The path analysis of an aiT-style WCET analyzer ("Path Analysis" in the
+//! paper's Figure 1) encodes the worst-case path search as an integer
+//! linear program — the *implicit path enumeration technique* (IPET). The
+//! commercial tool delegates to an industrial LP solver; this crate is the
+//! from-scratch substitute: a dense two-phase primal simplex with Bland's
+//! anti-cycling rule plus depth-first branch-and-bound for integrality.
+//!
+//! IPET systems are small network-flow-like programs, well within what a
+//! textbook dense simplex solves exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_ilp::model::{Model, Sense};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // maximize 3x + 2y  s.t.  x + y ≤ 4, x ≤ 2, integer
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_int_var("x", 0, Some(2));
+//! let y = m.add_int_var("y", 0, None);
+//! m.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! m.set_objective(&[(x, 3.0), (y, 2.0)]);
+//! let sol = m.solve()?;
+//! assert_eq!(sol.objective.round() as i64, 10); // x=2, y=2
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use model::{Model, Sense, Solution, SolveError, VarId};

@@ -1,0 +1,233 @@
+//! The LP/ILP model-building API.
+
+use std::fmt;
+
+/// A variable handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective (the WCET direction).
+    Maximize,
+    /// Minimize the objective (the BCET direction).
+    Minimize,
+}
+
+/// Constraint comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) coeffs: Vec<(VarId, f64)>,
+    pub(crate) op: Op,
+    pub(crate) rhs: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Var {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: Option<f64>,
+    pub(crate) integer: bool,
+}
+
+/// Why a model could not be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded — for IPET this means some execution
+    /// count is unconstrained (a loop without a bound).
+    Unbounded,
+    /// The pivot or node limit was exceeded.
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveError::Infeasible => "model is infeasible",
+            SolveError::Unbounded => "objective is unbounded",
+            SolveError::IterationLimit => "iteration limit exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Value of each variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// The value of `var`.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// The value of `var` rounded to the nearest integer (valid for
+    /// integer variables of an ILP solution).
+    #[must_use]
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.0].round() as i64
+    }
+}
+
+/// A linear (or mixed-integer) program.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Var>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Vec<f64>,
+    /// Pivot limit for each simplex run.
+    pub max_pivots: usize,
+    /// Node limit for branch and bound.
+    pub max_nodes: usize,
+}
+
+impl Model {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new(sense: Sense) -> Model {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+            max_pivots: 100_000,
+            max_nodes: 50_000,
+        }
+    }
+
+    /// Adds a continuous variable with bounds `lower ≤ x (≤ upper)`.
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: Option<f64>) -> VarId {
+        self.vars.push(Var {
+            name: name.to_owned(),
+            lower,
+            upper,
+            integer: false,
+        });
+        self.objective.push(0.0);
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds an integer variable with bounds `lower ≤ x (≤ upper)`.
+    pub fn add_int_var(&mut self, name: &str, lower: i64, upper: Option<i64>) -> VarId {
+        let id = self.add_var(name, lower as f64, upper.map(|u| u as f64));
+        self.vars[id.0].integer = true;
+        id
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    #[must_use]
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Adds `Σ coeffs ≤ rhs`.
+    pub fn add_le(&mut self, coeffs: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(coeffs, Op::Le, rhs);
+    }
+
+    /// Adds `Σ coeffs ≥ rhs`.
+    pub fn add_ge(&mut self, coeffs: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(coeffs, Op::Ge, rhs);
+    }
+
+    /// Adds `Σ coeffs = rhs`.
+    pub fn add_eq(&mut self, coeffs: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(coeffs, Op::Eq, rhs);
+    }
+
+    /// Adds a constraint with an explicit operator.
+    pub fn add_constraint(&mut self, coeffs: &[(VarId, f64)], op: Op, rhs: f64) {
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Sets the objective coefficients (unmentioned variables get 0).
+    pub fn set_objective(&mut self, coeffs: &[(VarId, f64)]) {
+        self.objective = vec![0.0; self.vars.len()];
+        for &(v, c) in coeffs {
+            self.objective[v.0] = c;
+        }
+    }
+
+    /// Solves the model: LP via simplex, then branch-and-bound if any
+    /// variable is integral.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::IterationLimit`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        if self.vars.iter().any(|v| v.integer) {
+            crate::branch::solve_ilp(self)
+        } else {
+            crate::simplex::solve_lp(self)
+        }
+    }
+
+    /// Solves only the LP relaxation (integrality dropped).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`].
+    pub fn solve_relaxation(&self) -> Result<Solution, SolveError> {
+        crate::simplex::solve_lp(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_construction() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, Some(5.0));
+        let y = m.add_int_var("y", 1, None);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.var_name(y), "y");
+        m.add_le(&[(x, 1.0), (y, 2.0)], 10.0);
+        assert_eq!(m.num_constraints(), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Dense two-phase primal simplex.
+//!
+//! Standard-form conversion: every variable is shifted to `x' = x − lo ≥ 0`
+//! (finite upper bounds become row constraints), `≥`/`=` rows get
+//! artificial variables, and phase 1 minimizes their sum. Bland's rule
+//! guarantees termination; a pivot cap guards against pathological inputs.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays
+
+use crate::model::{Model, Op, Sense, Solution, SolveError};
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP relaxation of `model`.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when phase 1 cannot zero the artificials,
+/// [`SolveError::Unbounded`] when an improving column has no blocking row,
+/// [`SolveError::IterationLimit`] past `model.max_pivots` pivots.
+pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+    let n = model.vars.len();
+
+    // Shift variables to x' = x - lo.
+    let shift: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+
+    // Gather rows: model constraints (rhs adjusted by shifts) + upper
+    // bound rows.
+    struct Row {
+        coeffs: Vec<f64>, // dense over structural vars
+        op: Op,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in &model.constraints {
+        let mut coeffs = vec![0.0; n];
+        let mut rhs = c.rhs;
+        for &(v, a) in &c.coeffs {
+            coeffs[v.0] += a;
+            rhs -= a * shift[v.0];
+        }
+        rows.push(Row {
+            coeffs,
+            op: c.op,
+            rhs,
+        });
+    }
+    for (i, v) in model.vars.iter().enumerate() {
+        if let Some(u) = v.upper {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                op: Op::Le,
+                rhs: u - v.lower,
+            });
+        }
+    }
+
+    // Normalize to non-negative rhs.
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            for a in &mut r.coeffs {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.op = match r.op {
+                Op::Le => Op::Ge,
+                Op::Ge => Op::Le,
+                Op::Eq => Op::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: structural (n) | slacks/surplus | artificials | rhs.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for r in &rows {
+        match r.op {
+            Op::Le => n_slack += 1,
+            Op::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Op::Eq => n_art += 1,
+        }
+    }
+    let total = n + n_slack + n_art;
+    let rhs_col = total;
+
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut artificials = Vec::new();
+
+    for (i, r) in rows.iter().enumerate() {
+        t[i][..n].copy_from_slice(&r.coeffs);
+        t[i][rhs_col] = r.rhs;
+        match r.op {
+            Op::Le => {
+                t[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Op::Ge => {
+                t[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+            Op::Eq => {
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut pivots_left = model.max_pivots;
+
+    // Phase 1: minimize sum of artificials (maximize the negation).
+    if !artificials.is_empty() {
+        let mut obj = vec![0.0; total];
+        for &a in &artificials {
+            obj[a] = -1.0;
+        }
+        let value = run_simplex(&mut t, &mut basis, &obj, total, &mut pivots_left)?;
+        if value < -1e-6 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot remaining basic artificials out where possible.
+        for i in 0..m {
+            if artificials.contains(&basis[i]) {
+                if let Some(j) = (0..n + n_slack).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, i, j);
+                } // else: redundant row, harmless.
+            }
+        }
+        // Forbid artificials from re-entering by zapping their columns.
+        for &a in &artificials {
+            for row in t.iter_mut() {
+                row[a] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: the real objective over structural variables.
+    let dir = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let mut obj = vec![0.0; total];
+    for (i, &c) in model.objective.iter().enumerate() {
+        obj[i] = dir * c;
+    }
+    run_simplex(&mut t, &mut basis, &obj, total, &mut pivots_left)?;
+
+    // Extract.
+    let mut values = shift;
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] += t[i][rhs_col];
+        }
+    }
+    let objective = model
+        .objective
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(Solution { objective, values })
+}
+
+/// Maximizes `obj` over the current tableau; returns the optimal value of
+/// the phase objective (in the maximization direction used internally).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &[f64],
+    total: usize,
+    pivots_left: &mut usize,
+) -> Result<f64, SolveError> {
+    let m = t.len();
+    let rhs_col = total;
+    loop {
+        // Reduced costs: c_j - c_B B^-1 A_j, computed directly from the
+        // tableau (which stores B^-1 A).
+        let mut entering = None;
+        for j in 0..total {
+            let mut red = obj[j];
+            for i in 0..m {
+                red -= obj[basis[i]] * t[i][j];
+            }
+            if red > EPS {
+                entering = Some(j); // Bland: first improving index
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            // Optimal; compute the objective value.
+            let mut value = 0.0;
+            for i in 0..m {
+                value += obj[basis[i]] * t[i][rhs_col];
+            }
+            return Ok(value);
+        };
+
+        // Ratio test (Bland: smallest basis index breaks ties).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][j] > EPS {
+                let ratio = t[i][rhs_col] / t[i][j];
+                if ratio < best - EPS
+                    || ((ratio - best).abs() <= EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+
+        if *pivots_left == 0 {
+            return Err(SolveError::IterationLimit);
+        }
+        *pivots_left -= 1;
+        pivot(t, basis, i, j);
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = t.len();
+    let width = t[row].len();
+    let p = t[row][col];
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i != row && t[i][col].abs() > EPS {
+            let f = t[i][col];
+            for j in 0..width {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        m.set_objective(&[(x, 3.0), (y, 5.0)]);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → 23 at (2, 8)?
+        // 2·2+3·8 = 28; better: push y down → x=10-y... coefficient of x
+        // is smaller, so x big: x=10,y=0 within x≥2 → cost 20.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 2.0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 10.0);
+        m.set_objective(&[(x, 2.0), (y, 3.0)]);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective, 20.0);
+        assert_close(sol.value(x), 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 7, x - y = 1 → x=4, y=3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 7.0);
+        m.add_eq(&[(x, 1.0), (y, -1.0)], 1.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        m.add_le(&[(x, 1.0)], 1.0);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        m.set_objective(&[(x, 1.0)]);
+        assert_eq!(m.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        m.set_objective(&[(x, 1.0)]);
+        assert_eq!(m.solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 1.5, Some(3.5));
+        m.set_objective(&[(x, 2.0)]);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(x), 3.5);
+        assert_close(sol.objective, 7.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x ≥ -5 → -5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -5.0, Some(10.0));
+        m.set_objective(&[(x, 1.0)]);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(x), -5.0);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degenerate LP; Bland's rule must terminate.
+        let mut m = Model::new(Sense::Maximize);
+        let x1 = m.add_var("x1", 0.0, None);
+        let x2 = m.add_var("x2", 0.0, None);
+        let x3 = m.add_var("x3", 0.0, None);
+        m.add_le(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], 0.0);
+        m.add_le(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], 0.0);
+        m.add_le(&[(x1, 1.0)], 1.0);
+        m.set_objective(&[(x1, 10.0), (x2, -57.0), (x3, -9.0)]);
+        let sol = m.solve().unwrap();
+        assert!(sol.objective.is_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-validation of the simplex + branch-and-bound solver against
+//! exhaustive enumeration on small random integer programs — the solver
+//! is the foundation under every WCET number the workspace produces.
+
+use proptest::prelude::*;
+
+use wcet_ilp::model::Op;
+use wcet_ilp::{Model, Sense, SolveError};
+
+#[derive(Debug, Clone)]
+struct SmallIlp {
+    n_vars: usize,
+    upper: Vec<i64>,
+    /// (coefficients, op, rhs)
+    constraints: Vec<(Vec<i64>, Op, i64)>,
+    objective: Vec<i64>,
+    sense: Sense,
+}
+
+fn arb_ilp() -> impl Strategy<Value = SmallIlp> {
+    (2usize..=4)
+        .prop_flat_map(|n| {
+            let upper = proptest::collection::vec(1i64..6, n);
+            let constraint = (
+                proptest::collection::vec(-3i64..=3, n),
+                prop_oneof![Just(Op::Le), Just(Op::Ge)],
+                -5i64..15,
+            );
+            let constraints = proptest::collection::vec(constraint, 1..4);
+            let objective = proptest::collection::vec(-4i64..=4, n);
+            let sense = prop_oneof![Just(Sense::Maximize), Just(Sense::Minimize)];
+            (Just(n), upper, constraints, objective, sense)
+        })
+        .prop_map(|(n_vars, upper, constraints, objective, sense)| SmallIlp {
+            n_vars,
+            upper,
+            constraints,
+            objective,
+            sense,
+        })
+}
+
+/// Exhaustive optimum over the integer box.
+fn brute_force(ilp: &SmallIlp) -> Option<i64> {
+    fn recurse(
+        ilp: &SmallIlp,
+        assignment: &mut Vec<i64>,
+        best: &mut Option<i64>,
+    ) {
+        if assignment.len() == ilp.n_vars {
+            for (coeffs, op, rhs) in &ilp.constraints {
+                let lhs: i64 = coeffs
+                    .iter()
+                    .zip(assignment.iter())
+                    .map(|(c, x)| c * x)
+                    .sum();
+                let ok = match op {
+                    Op::Le => lhs <= *rhs,
+                    Op::Ge => lhs >= *rhs,
+                    Op::Eq => lhs == *rhs,
+                };
+                if !ok {
+                    return;
+                }
+            }
+            let value: i64 = ilp
+                .objective
+                .iter()
+                .zip(assignment.iter())
+                .map(|(c, x)| c * x)
+                .sum();
+            let better = match (ilp.sense, *best) {
+                (_, None) => true,
+                (Sense::Maximize, Some(b)) => value > b,
+                (Sense::Minimize, Some(b)) => value < b,
+            };
+            if better {
+                *best = Some(value);
+            }
+            return;
+        }
+        let i = assignment.len();
+        for v in 0..=ilp.upper[i] {
+            assignment.push(v);
+            recurse(ilp, assignment, best);
+            assignment.pop();
+        }
+    }
+    let mut best = None;
+    recurse(ilp, &mut Vec::new(), &mut best);
+    best
+}
+
+fn solve_with_library(ilp: &SmallIlp) -> Result<i64, SolveError> {
+    let mut m = Model::new(ilp.sense);
+    let vars: Vec<_> = (0..ilp.n_vars)
+        .map(|i| m.add_int_var(&format!("x{i}"), 0, Some(ilp.upper[i])))
+        .collect();
+    for (coeffs, op, rhs) in &ilp.constraints {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        m.add_constraint(&terms, *op, *rhs as f64);
+    }
+    let obj: Vec<_> = vars
+        .iter()
+        .zip(&ilp.objective)
+        .map(|(&v, &c)| (v, c as f64))
+        .collect();
+    m.set_objective(&obj);
+    m.solve().map(|s| s.objective.round() as i64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// The solver and exhaustive enumeration agree on feasibility and on
+    /// the optimal objective value.
+    #[test]
+    fn prop_matches_brute_force(ilp in arb_ilp()) {
+        let expected = brute_force(&ilp);
+        let got = solve_with_library(&ilp);
+        match (expected, got) {
+            (Some(opt), Ok(value)) => prop_assert_eq!(value, opt, "wrong optimum for {:?}", ilp),
+            (None, Err(SolveError::Infeasible)) => {}
+            (None, Err(_)) => {} // other failures on infeasible inputs are acceptable
+            (Some(opt), Err(e)) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver failed ({e}) but optimum {opt} exists: {ilp:?}"
+                )));
+            }
+            (None, Ok(v)) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver returned {v} for infeasible problem: {ilp:?}"
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! A two-pass text assembler for the ISA.
+//!
+//! The assembler exists so examples and tests can state programs readably;
+//! it lowers to the same [`crate::builder::ProgramBuilder`] used by the
+//! programmatic API and produces a linked [`Image`].
+//!
+//! ## Syntax
+//!
+//! ```text
+//! # comment                      ; also a comment
+//! .org  0x1000                   # code base address (once, first)
+//! .entry main                    # entry label (default: `main`)
+//! .equ  BUF 0x5000               # named constant
+//! .data 0x5000 1, 2, 3           # initialized data words at 0x5000
+//!
+//! main:                          # label
+//!     li   r1, 10                # pseudo: load 32-bit constant
+//!     la   r2, table             # pseudo: load label address
+//!     mov  r3, r1                # pseudo: register move
+//! loop:
+//!     subi r1, r1, 1
+//!     bne  r1, r0, loop
+//!     lw   r4, 8(r2)
+//!     sw   r4, 0(r2)
+//!     halt
+//! ```
+//!
+//! Integer registers are `r0`–`r15` (aliases `sp` = `r14`, `lr` = `r15`);
+//! float registers are `f0`–`f7`. Immediates are decimal or `0x` hex,
+//! optionally negated, or a `.equ` name.
+
+use std::collections::BTreeMap;
+
+use crate::builder::ProgramBuilder;
+use crate::error::IsaError;
+use crate::image::Image;
+use crate::inst::{AluOp, Cond, FAluOp, FCond, FReg, Inst, Reg, Width};
+
+/// Assembles source text into a linked binary image.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] with the offending line for syntax errors,
+/// [`IsaError::DuplicateLabel`]/[`IsaError::UndefinedLabel`] for label
+/// problems, and propagates encoding failures.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::asm::assemble;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let image = assemble(".org 0x1000\nmain: li r1, 3\n halt\n")?;
+/// assert_eq!(image.code_len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Image, IsaError> {
+    Assembler::new().assemble(source)
+}
+
+struct Assembler {
+    equs: BTreeMap<String, u32>,
+    labels_seen: BTreeMap<String, usize>,
+    entry: Option<String>,
+    org: Option<u32>,
+    first_label: Option<String>,
+    data: Vec<(u32, Vec<u32>)>,
+    /// (line, mnemonic, operands) gathered before the builder exists.
+    items: Vec<(usize, Item)>,
+}
+
+enum Item {
+    Label(String),
+    Op(String, Vec<String>),
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            equs: BTreeMap::new(),
+            labels_seen: BTreeMap::new(),
+            entry: None,
+            org: None,
+            first_label: None,
+            data: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Image, IsaError> {
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.parse_line(line, line_no)?;
+        }
+
+        let base = self.org.unwrap_or(0x1000);
+        let mut builder = ProgramBuilder::new(base);
+        for (line, item) in &self.items {
+            match item {
+                Item::Label(name) => {
+                    builder.label(name);
+                    let _ = line;
+                }
+                Item::Op(mnemonic, operands) => {
+                    self.emit(&mut builder, mnemonic, operands, *line)?;
+                }
+            }
+        }
+        for (addr, words) in &self.data {
+            builder.data_words(*addr, words);
+        }
+
+        let entry = self
+            .entry
+            .clone()
+            .or_else(|| {
+                if self.labels_seen.contains_key("main") {
+                    Some("main".to_owned())
+                } else {
+                    self.first_label.clone()
+                }
+            })
+            .ok_or_else(|| IsaError::Parse {
+                line: 0,
+                message: "program defines no labels, so no entry point".to_owned(),
+            })?;
+        builder.build(&entry)
+    }
+
+    fn parse_line(&mut self, line: &str, line_no: usize) -> Result<(), IsaError> {
+        if let Some(rest) = line.strip_prefix('.') {
+            return self.parse_directive(rest, line_no);
+        }
+
+        let mut rest = line;
+        // Leading `label:` (possibly followed by an instruction).
+        if let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(parse_err(line_no, format!("invalid label name `{name}`")));
+            }
+            if self
+                .labels_seen
+                .insert(name.to_owned(), line_no)
+                .is_some()
+            {
+                return Err(IsaError::DuplicateLabel {
+                    name: name.to_owned(),
+                    line: line_no,
+                });
+            }
+            if self.first_label.is_none() {
+                self.first_label = Some(name.to_owned());
+            }
+            self.items.push((line_no, Item::Label(name.to_owned())));
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                return Ok(());
+            }
+        }
+
+        let (mnemonic, operands) = split_operands(rest);
+        self.items
+            .push((line_no, Item::Op(mnemonic.to_lowercase(), operands)));
+        Ok(())
+    }
+
+    fn parse_directive(&mut self, rest: &str, line_no: usize) -> Result<(), IsaError> {
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or("");
+        let args = parts.next().unwrap_or("").trim();
+        match name {
+            "org" => {
+                if self.org.is_some() {
+                    return Err(parse_err(line_no, ".org may appear only once".to_owned()));
+                }
+                if !self.items.is_empty() {
+                    return Err(parse_err(
+                        line_no,
+                        ".org must precede all instructions".to_owned(),
+                    ));
+                }
+                self.org = Some(self.number(args, line_no)? as u32);
+            }
+            "entry" => {
+                if !is_ident(args) {
+                    return Err(parse_err(line_no, format!("invalid entry label `{args}`")));
+                }
+                self.entry = Some(args.to_owned());
+            }
+            "equ" => {
+                let mut p = args.splitn(2, char::is_whitespace);
+                let name = p.next().unwrap_or("");
+                let value = p.next().unwrap_or("").trim();
+                if !is_ident(name) {
+                    return Err(parse_err(line_no, format!("invalid .equ name `{name}`")));
+                }
+                let v = self.number(value, line_no)? as u32;
+                self.equs.insert(name.to_owned(), v);
+            }
+            "data" => {
+                let mut p = args.splitn(2, char::is_whitespace);
+                let addr = self.number(p.next().unwrap_or(""), line_no)? as u32;
+                let rest = p.next().unwrap_or("");
+                let words = rest
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| self.number(s, line_no).map(|v| v as u32))
+                    .collect::<Result<Vec<u32>, IsaError>>()?;
+                self.data.push((addr, words));
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown directive `.{other}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &self,
+        b: &mut ProgramBuilder,
+        mnemonic: &str,
+        ops: &[String],
+        line: usize,
+    ) -> Result<(), IsaError> {
+        let argc = |n: usize| -> Result<(), IsaError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(parse_err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+                ))
+            }
+        };
+
+        // Register-register ALU ops.
+        if let Some(op) = alu_by_name(mnemonic) {
+            argc(3)?;
+            b.alu(op, self.reg(&ops[0], line)?, self.reg(&ops[1], line)?, self.reg(&ops[2], line)?);
+            return Ok(());
+        }
+        // Immediate ALU ops (`addi`, `subi`, ...).
+        if let Some(base) = mnemonic.strip_suffix('i') {
+            if let Some(op) = alu_by_name(base) {
+                argc(3)?;
+                b.alui(
+                    op,
+                    self.reg(&ops[0], line)?,
+                    self.reg(&ops[1], line)?,
+                    self.number(&ops[2], line)? as i32,
+                );
+                return Ok(());
+            }
+        }
+        // Branches.
+        if let Some(cond) = Cond::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+            argc(3)?;
+            b.branch(
+                *cond,
+                self.reg(&ops[0], line)?,
+                self.reg(&ops[1], line)?,
+                self.ident(&ops[2], line)?,
+            );
+            return Ok(());
+        }
+        if let Some(cond) = FCond::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+            argc(3)?;
+            b.fbranch(
+                *cond,
+                self.freg(&ops[0], line)?,
+                self.freg(&ops[1], line)?,
+                self.ident(&ops[2], line)?,
+            );
+            return Ok(());
+        }
+        if let Some(op) = FAluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            argc(3)?;
+            b.inst(Inst::FAlu {
+                op: *op,
+                fd: self.freg(&ops[0], line)?,
+                fs1: self.freg(&ops[1], line)?,
+                fs2: self.freg(&ops[2], line)?,
+            });
+            return Ok(());
+        }
+        // Loads/stores: `lw rd, off(base)`.
+        if let Some(width) = mem_width(mnemonic, 'l') {
+            argc(2)?;
+            let (off, base) = self.mem_operand(&ops[1], line)?;
+            b.inst(Inst::Load {
+                width,
+                rd: self.reg(&ops[0], line)?,
+                base,
+                offset: off,
+            });
+            return Ok(());
+        }
+        if let Some(width) = mem_width(mnemonic, 's') {
+            argc(2)?;
+            let (off, base) = self.mem_operand(&ops[1], line)?;
+            b.inst(Inst::Store {
+                width,
+                rs: self.reg(&ops[0], line)?,
+                base,
+                offset: off,
+            });
+            return Ok(());
+        }
+
+        match mnemonic {
+            "li" => {
+                argc(2)?;
+                b.li(self.reg(&ops[0], line)?, self.number(&ops[1], line)? as u32);
+            }
+            "la" => {
+                argc(2)?;
+                b.la(self.reg(&ops[0], line)?, self.ident(&ops[1], line)?);
+            }
+            "mov" => {
+                argc(2)?;
+                b.mov(self.reg(&ops[0], line)?, self.reg(&ops[1], line)?);
+            }
+            "lui" => {
+                argc(2)?;
+                b.inst(Inst::Lui {
+                    rd: self.reg(&ops[0], line)?,
+                    imm: self.number(&ops[1], line)? as u32,
+                });
+            }
+            "j" => {
+                argc(1)?;
+                b.jump(self.ident(&ops[0], line)?);
+            }
+            "call" => {
+                argc(1)?;
+                b.call(self.ident(&ops[0], line)?);
+            }
+            "jr" => {
+                argc(1)?;
+                b.jr(self.reg(&ops[0], line)?);
+            }
+            "callr" => {
+                argc(1)?;
+                b.callr(self.reg(&ops[0], line)?);
+            }
+            "ret" => {
+                argc(0)?;
+                b.ret();
+            }
+            "sel" => {
+                argc(4)?;
+                b.sel(
+                    self.reg(&ops[0], line)?,
+                    self.reg(&ops[1], line)?,
+                    self.reg(&ops[2], line)?,
+                    self.reg(&ops[3], line)?,
+                );
+            }
+            "fmov" => {
+                argc(2)?;
+                b.inst(Inst::FMov {
+                    fd: self.freg(&ops[0], line)?,
+                    rs: self.reg(&ops[1], line)?,
+                });
+            }
+            "fcvt" => {
+                argc(2)?;
+                b.inst(Inst::FCvt {
+                    fd: self.freg(&ops[0], line)?,
+                    rs: self.reg(&ops[1], line)?,
+                });
+            }
+            "alloc" => {
+                argc(2)?;
+                b.alloc(self.reg(&ops[0], line)?, self.reg(&ops[1], line)?);
+            }
+            "nop" => {
+                argc(0)?;
+                b.nop();
+            }
+            "halt" => {
+                argc(0)?;
+                b.halt();
+            }
+            other => {
+                return Err(parse_err(line, format!("unknown mnemonic `{other}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn reg(&self, s: &str, line: usize) -> Result<Reg, IsaError> {
+        match s {
+            "sp" => return Ok(Reg::SP),
+            "lr" => return Ok(Reg::LINK),
+            _ => {}
+        }
+        s.strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 16)
+            .map(Reg::new)
+            .ok_or_else(|| parse_err(line, format!("invalid register `{s}`")))
+    }
+
+    fn freg(&self, s: &str, line: usize) -> Result<FReg, IsaError> {
+        s.strip_prefix('f')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 8)
+            .map(FReg::new)
+            .ok_or_else(|| parse_err(line, format!("invalid float register `{s}`")))
+    }
+
+    fn number(&self, s: &str, line: usize) -> Result<i64, IsaError> {
+        let s = s.trim();
+        if let Some(&v) = self.equs.get(s) {
+            return Ok(i64::from(v));
+        }
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let parsed = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+        {
+            i64::from_str_radix(&hex.replace('_', ""), 16)
+        } else {
+            body.replace('_', "").parse::<i64>()
+        };
+        parsed
+            .map(|v| if neg { -v } else { v })
+            .map_err(|_| parse_err(line, format!("invalid number `{s}`")))
+    }
+
+    fn ident<'a>(&self, s: &'a str, line: usize) -> Result<&'a str, IsaError> {
+        if is_ident(s) {
+            Ok(s)
+        } else {
+            Err(parse_err(line, format!("invalid label reference `{s}`")))
+        }
+    }
+
+    /// Parses `off(base)` memory operands.
+    fn mem_operand(&self, s: &str, line: usize) -> Result<(i32, Reg), IsaError> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| parse_err(line, format!("expected `off(base)`, got `{s}`")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| parse_err(line, format!("unclosed parenthesis in `{s}`")))?;
+        let off_str = s[..open].trim();
+        let off = if off_str.is_empty() {
+            0
+        } else {
+            self.number(off_str, line)? as i32
+        };
+        let base = self.reg(s[open + 1..close].trim(), line)?;
+        Ok((off, base))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line
+        .find('#')
+        .into_iter()
+        .chain(line.find(';'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..end]
+}
+
+fn split_operands(rest: &str) -> (&str, Vec<String>) {
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let operands = parts
+        .next()
+        .map(|s| {
+            s.split(',')
+                .map(|o| o.trim().to_owned())
+                .filter(|o| !o.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    (mnemonic, operands)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn alu_by_name(name: &str) -> Option<AluOp> {
+    AluOp::ALL.iter().copied().find(|op| op.mnemonic() == name)
+}
+
+fn mem_width(mnemonic: &str, prefix: char) -> Option<Width> {
+    let rest = mnemonic.strip_prefix(prefix)?;
+    match rest {
+        "b" => Some(Width::Byte),
+        "h" => Some(Width::Half),
+        "w" => Some(Width::Word),
+        _ => None,
+    }
+}
+
+fn parse_err(line: usize, message: String) -> IsaError {
+    IsaError::Parse { line, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Addr;
+
+    #[test]
+    fn full_program_assembles() {
+        let image = assemble(
+            r#"
+            .org 0x1000
+            .equ N 5
+            main:
+                li   r1, N
+            loop:
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(image.entry, Addr(0x1000));
+        assert_eq!(image.code_len(), 4);
+        let code = image.decode_code().unwrap();
+        assert_eq!(
+            code[2].1,
+            Inst::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::new(1),
+                rs2: Reg::ZERO,
+                target: Addr(0x1004),
+            }
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let image = assemble("main: lw r1, 8(r2)\n sb r3, -4(sp)\n halt").unwrap();
+        let code = image.decode_code().unwrap();
+        assert_eq!(
+            code[0].1,
+            Inst::Load { width: Width::Word, rd: Reg::new(1), base: Reg::new(2), offset: 8 }
+        );
+        assert_eq!(
+            code[1].1,
+            Inst::Store { width: Width::Byte, rs: Reg::new(3), base: Reg::SP, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn data_directive() {
+        let image = assemble(".data 0x5000 1, 2, 0x30\nmain: halt").unwrap();
+        assert_eq!(image.data_word_at(Addr(0x5008)), Some(0x30));
+    }
+
+    #[test]
+    fn duplicate_label_is_error_not_panic() {
+        let err = assemble("main: nop\nmain: halt").unwrap_err();
+        assert!(matches!(err, IsaError::DuplicateLabel { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("main: nop\n frobnicate r1\n halt").unwrap_err();
+        assert!(matches!(err, IsaError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_aliases() {
+        let image = assemble(
+            "# header comment\nmain: mov r1, lr ; trailing\n nop # another\n halt",
+        )
+        .unwrap();
+        assert_eq!(image.code_len(), 3);
+    }
+
+    #[test]
+    fn entry_defaults() {
+        // Explicit .entry wins.
+        let image = assemble(".entry other\nmain: nop\nother: halt").unwrap();
+        assert_eq!(image.entry, image.symbol("other").unwrap());
+        // `main` preferred over first label.
+        let image = assemble("first: nop\nmain: halt").unwrap();
+        assert_eq!(image.entry, image.symbol("main").unwrap());
+        // Otherwise the first label.
+        let image = assemble("start: halt").unwrap();
+        assert_eq!(image.entry, image.symbol("start").unwrap());
+    }
+
+    #[test]
+    fn float_instructions() {
+        let image = assemble(
+            "main: li r1, 0x3f800000\n fmov f1, r1\n fadd f2, f1, f1\n fblt f2, f1, main\n halt",
+        )
+        .unwrap();
+        assert_eq!(image.code_len(), 5); // li of 0x3f800000 is a single lui
+    }
+}

@@ -1,0 +1,375 @@
+//! Programmatic program construction with symbolic labels.
+//!
+//! Workload generators and tests build binaries through this API instead of
+//! assembling text. Control-flow targets are symbolic until
+//! [`ProgramBuilder::build`] resolves them, encodes every instruction, and
+//! links the final [`Image`].
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_isa::builder::ProgramBuilder;
+//! use wcet_isa::{AluOp, Cond, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new(0x1000);
+//! let (r1, r0) = (Reg::new(1), Reg::ZERO);
+//! b.label("main");
+//! b.li(r1, 10);
+//! b.label("loop");
+//! b.alui(AluOp::Sub, r1, r1, 1);
+//! b.branch(Cond::Ne, r1, r0, "loop");
+//! b.halt();
+//! let image = b.build("main")?;
+//! assert_eq!(image.symbol("loop"), Some(wcet_isa::Addr(0x1004)));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::encode::encode_all;
+use crate::error::IsaError;
+use crate::image::{Image, Segment};
+use crate::inst::{Addr, AluOp, Cond, FCond, FReg, Inst, Reg, Width};
+
+/// An instruction whose control-flow target may still be symbolic.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// Fully concrete instruction.
+    Done(Inst),
+    /// Conditional branch to a label.
+    Branch(Cond, Reg, Reg, String),
+    /// Floating-point branch to a label.
+    FBranch(FCond, FReg, FReg, String),
+    /// Unconditional jump to a label.
+    Jump(String),
+    /// Call to a label.
+    Call(String),
+    /// Second half of `la`: an `ori` whose immediate is the low half of a
+    /// label address (the preceding `lui` is patched with the high half).
+    FixupLa(Reg, String),
+}
+
+/// Builds a binary [`Image`] instruction by instruction.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    base: Addr,
+    pending: Vec<Pending>,
+    labels: BTreeMap<String, usize>,
+    data: Vec<Segment>,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder whose first instruction will live at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    #[must_use]
+    pub fn new(base: u32) -> ProgramBuilder {
+        assert!(base.is_multiple_of(4), "code base must be 4-byte aligned");
+        ProgramBuilder {
+            base: Addr(base),
+            pending: Vec::new(),
+            labels: BTreeMap::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Address the next emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> Addr {
+        self.base.offset(4 * self.pending.len() as i64)
+    }
+
+    /// Binds `name` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (programmatic duplicate labels
+    /// are always bugs; the text assembler reports them as errors instead).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_owned(), self.pending.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Emits a concrete instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.pending.push(Pending::Done(inst));
+        self
+    }
+
+    // ----- Frequent instruction helpers -------------------------------
+
+    /// `rd = rs1 op rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 op imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// Register move (`rd = rs`), encoded as `add rd, rs, r0`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs, Reg::ZERO)
+    }
+
+    /// Loads an arbitrary 32-bit constant, expanding to one or two
+    /// instructions (`addi` for small values, `lui`+`ori` otherwise).
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        let signed = value as i32;
+        if (-32768..=32767).contains(&signed) {
+            self.alui(AluOp::Add, rd, Reg::ZERO, signed)
+        } else {
+            self.inst(Inst::Lui { rd, imm: value >> 16 });
+            if value & 0xffff != 0 {
+                self.alui(AluOp::Or, rd, rd, (value & 0xffff) as i32);
+            }
+            self
+        }
+    }
+
+    /// `rd = mem[base + offset]` (word).
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.inst(Inst::Load {
+            width: Width::Word,
+            rd,
+            base,
+            offset,
+        })
+    }
+
+    /// `mem[base + offset] = rs` (word).
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.inst(Inst::Store {
+            width: Width::Word,
+            rs,
+            base,
+            offset,
+        })
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.pending
+            .push(Pending::Branch(cond, rs1, rs2, label.to_owned()));
+        self
+    }
+
+    /// Floating-point branch to a label.
+    pub fn fbranch(&mut self, cond: FCond, fs1: FReg, fs2: FReg, label: &str) -> &mut Self {
+        self.pending
+            .push(Pending::FBranch(cond, fs1, fs2, label.to_owned()));
+        self
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.pending.push(Pending::Jump(label.to_owned()));
+        self
+    }
+
+    /// Call to a label.
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.pending.push(Pending::Call(label.to_owned()));
+        self
+    }
+
+    /// Indirect call through a register (a function-pointer call).
+    pub fn callr(&mut self, rs: Reg) -> &mut Self {
+        self.inst(Inst::CallInd { rs })
+    }
+
+    /// Indirect jump through a register.
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.inst(Inst::JumpInd { rs })
+    }
+
+    /// Return through the link register.
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Inst::Ret)
+    }
+
+    /// Predicated select `rd = rc != 0 ? rt : rf`.
+    pub fn sel(&mut self, rd: Reg, rc: Reg, rt: Reg, rf: Reg) -> &mut Self {
+        self.inst(Inst::Select { rd, rc, rt, rf })
+    }
+
+    /// Heap allocation `rd = alloc(rs)`.
+    pub fn alloc(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.inst(Inst::Alloc { rd, rs })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::Nop)
+    }
+
+    /// Machine stop.
+    pub fn halt(&mut self) -> &mut Self {
+        self.inst(Inst::Halt)
+    }
+
+    /// Loads the address of a label into a register (two instructions).
+    /// The label must already be bound or be bound before `build`.
+    pub fn la(&mut self, rd: Reg, label: &str) -> &mut Self {
+        // Deferred: emit a jump-table-style fixup via lui+ori once the
+        // label resolves. We use a placeholder pair patched in `build`.
+        self.pending.push(Pending::Done(Inst::Lui { rd, imm: 0 }));
+        self.pending.push(Pending::FixupLa(rd, label.to_owned()));
+        self
+    }
+
+    /// Adds an initialized data segment of 32-bit words at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn data_words(&mut self, base: u32, words: &[u32]) -> &mut Self {
+        assert!(base.is_multiple_of(4), "data base must be 4-byte aligned");
+        self.data.push(Segment::from_words(Addr(base), words));
+        self
+    }
+
+    /// Resolves labels, encodes, and links the image with entry point at
+    /// label `entry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedLabel`] for unresolved references and
+    /// propagates encoding failures (e.g. branch reach).
+    pub fn build(&self, entry: &str) -> Result<Image, IsaError> {
+        let addr_of = |label: &str| -> Result<Addr, IsaError> {
+            self.labels
+                .get(label)
+                .map(|&idx| self.base.offset(4 * idx as i64))
+                .ok_or_else(|| IsaError::UndefinedLabel {
+                    name: label.to_owned(),
+                    line: 0,
+                })
+        };
+
+        let mut insts = Vec::with_capacity(self.pending.len());
+        for p in &self.pending {
+            let inst = match p {
+                Pending::Done(inst) => *inst,
+                Pending::Branch(cond, rs1, rs2, label) => Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: addr_of(label)?,
+                },
+                Pending::FBranch(cond, fs1, fs2, label) => Inst::FBranch {
+                    cond: *cond,
+                    fs1: *fs1,
+                    fs2: *fs2,
+                    target: addr_of(label)?,
+                },
+                Pending::Jump(label) => Inst::Jump { target: addr_of(label)? },
+                Pending::Call(label) => Inst::Call { target: addr_of(label)? },
+                Pending::FixupLa(rd, label) => {
+                    let addr = addr_of(label)?;
+                    // Patch the preceding `lui` with the high half.
+                    let lui_idx = insts.len() - 1;
+                    insts[lui_idx] = Inst::Lui { rd: *rd, imm: addr.0 >> 16 };
+                    Inst::AluImm {
+                        op: AluOp::Or,
+                        rd: *rd,
+                        rs1: *rd,
+                        imm: (addr.0 & 0xffff) as i32,
+                    }
+                }
+            };
+            insts.push(inst);
+        }
+
+        let words = encode_all(&insts, self.base)?;
+        let mut image = Image::from_code_words(addr_of(entry)?, self.base, &words);
+        image.data = self.data.clone();
+        image.symbols = self
+            .labels
+            .iter()
+            .map(|(name, &idx)| (name.clone(), self.base.offset(4 * idx as i64)))
+            .collect();
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.label("start");
+        b.jump("end"); // forward
+        b.label("mid");
+        b.nop();
+        b.jump("mid"); // backward
+        b.label("end");
+        b.halt();
+        let image = b.build("start").unwrap();
+        let code = image.decode_code().unwrap();
+        assert_eq!(code[0].1, Inst::Jump { target: Addr(0x100c) });
+        assert_eq!(code[2].1, Inst::Jump { target: Addr(0x1004) });
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.label("main");
+        b.jump("nowhere");
+        assert!(matches!(
+            b.build("main"),
+            Err(IsaError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut b = ProgramBuilder::new(0);
+        b.label("e");
+        b.li(Reg::new(1), 7); // 1 inst
+        b.li(Reg::new(2), 0xdead_beef); // 2 insts
+        b.li(Reg::new(3), 0xffff_0000); // lui only
+        b.halt();
+        let image = b.build("e").unwrap();
+        assert_eq!(image.code_len(), 5);
+    }
+
+    #[test]
+    fn la_loads_label_address() {
+        let mut b = ProgramBuilder::new(0x0010_0000);
+        b.label("main");
+        b.la(Reg::new(1), "target");
+        b.halt();
+        b.label("target");
+        b.nop();
+        let image = b.build("main").unwrap();
+        let target = image.symbol("target").unwrap();
+        let code = image.decode_code().unwrap();
+        assert_eq!(code[0].1, Inst::Lui { rd: Reg::new(1), imm: target.0 >> 16 });
+        assert_eq!(
+            code[1].1,
+            Inst::AluImm {
+                op: AluOp::Or,
+                rd: Reg::new(1),
+                rs1: Reg::new(1),
+                imm: (target.0 & 0xffff) as i32
+            }
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Cache geometry and a concrete LRU cache simulator.
+//!
+//! The geometry ([`CacheConfig`]) is shared between the *concrete*
+//! simulation here (used by the interpreter to produce observed execution
+//! times) and the *abstract* must/may analysis in `wcet-micro` (used by the
+//! static analyzer). Keeping one definition of the hardware is what makes
+//! "observed ≤ bound" a meaningful check.
+
+use crate::inst::Addr;
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of cache sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// A small instruction cache: 16 sets × 2 ways × 16-byte lines (512 B).
+    #[must_use]
+    pub fn small_icache() -> CacheConfig {
+        CacheConfig {
+            sets: 16,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        }
+    }
+
+    /// A small data cache: 8 sets × 2 ways × 16-byte lines (256 B).
+    #[must_use]
+    pub fn small_dcache() -> CacheConfig {
+        CacheConfig {
+            sets: 8,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        }
+    }
+
+    /// Creates a config, validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if
+    /// `assoc` is zero.
+    #[must_use]
+    pub fn new(sets: usize, assoc: usize, line_bytes: u32, hit_latency: u32) -> CacheConfig {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        CacheConfig {
+            sets,
+            assoc,
+            line_bytes,
+            hit_latency,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.sets as u32 * self.assoc as u32 * self.line_bytes
+    }
+
+    /// The line-aligned tag of an address (line number across the whole
+    /// address space).
+    #[must_use]
+    pub fn line_of(&self, addr: Addr) -> u32 {
+        addr.0 / self.line_bytes
+    }
+
+    /// The set index an address maps to.
+    #[must_use]
+    pub fn set_of(&self, addr: Addr) -> usize {
+        (self.line_of(addr) as usize) % self.sets
+    }
+}
+
+/// Result of a concrete cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss,
+}
+
+/// A concrete set-associative LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::cache::{AccessKind, CacheConfig, LruCache};
+/// use wcet_isa::Addr;
+///
+/// let mut cache = LruCache::new(CacheConfig::small_icache());
+/// assert_eq!(cache.access(Addr(0x100)), AccessKind::Miss);
+/// assert_eq!(cache.access(Addr(0x104)), AccessKind::Hit); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    config: CacheConfig,
+    /// Per set: line tags in LRU order, most recently used first.
+    sets: Vec<Vec<u32>>,
+}
+
+impl LruCache {
+    /// Creates an empty (cold) cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> LruCache {
+        let sets = vec![Vec::with_capacity(config.assoc); config.sets];
+        LruCache { config, sets }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses `addr`, updating LRU state, and reports hit or miss.
+    pub fn access(&mut self, addr: Addr) -> AccessKind {
+        let line = self.config.line_of(addr);
+        let set = &mut self.sets[(line as usize) % self.config.sets];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            AccessKind::Hit
+        } else {
+            set.insert(0, line);
+            set.truncate(self.config.assoc);
+            AccessKind::Miss
+        }
+    }
+
+    /// Returns true if `addr`'s line is currently cached (no LRU update).
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        let line = self.config.line_of(addr);
+        self.sets[(line as usize) % self.config.sets].contains(&line)
+    }
+
+    /// Invalidates the entire cache (cold restart).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        // Direct-mapped-ish: 1 set, 2 ways, 4-byte lines.
+        let mut c = LruCache::new(CacheConfig::new(1, 2, 4, 1));
+        assert_eq!(c.access(Addr(0)), AccessKind::Miss);
+        assert_eq!(c.access(Addr(4)), AccessKind::Miss);
+        assert_eq!(c.access(Addr(0)), AccessKind::Hit); // 0 is now MRU
+        assert_eq!(c.access(Addr(8)), AccessKind::Miss); // evicts 4 (LRU)
+        assert_eq!(c.access(Addr(0)), AccessKind::Hit);
+        assert_eq!(c.access(Addr(4)), AccessKind::Miss); // was evicted
+    }
+
+    #[test]
+    fn set_mapping() {
+        let cfg = CacheConfig::new(4, 1, 16, 1);
+        assert_eq!(cfg.set_of(Addr(0)), 0);
+        assert_eq!(cfg.set_of(Addr(16)), 1);
+        assert_eq!(cfg.set_of(Addr(64)), 0); // wraps around the 4 sets
+        assert_eq!(cfg.capacity(), 64);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = LruCache::new(CacheConfig::small_dcache());
+        c.access(Addr(0x40));
+        assert!(c.contains(Addr(0x40)));
+        c.flush();
+        assert!(!c.contains(Addr(0x40)));
+        assert_eq!(c.access(Addr(0x40)), AccessKind::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = CacheConfig::new(3, 2, 16, 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Binary decoding — the "Decoding Phase" of the paper's Figure 1.
+//!
+//! The decoder is the inverse of [`crate::encode`]: it turns raw 32-bit
+//! words back into [`Inst`] values, resolving PC-relative displacements to
+//! absolute addresses. Decoding a whole [`crate::image::Image`] is the
+//! first step of the analysis pipeline; everything downstream (control-flow
+//! reconstruction, loop analysis, ...) works on its output.
+
+use crate::error::IsaError;
+use crate::inst::{Addr, AluOp, Cond, FAluOp, FCond, FReg, Inst, Reg, Width};
+
+use crate::encode::opcode;
+
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn reg(word: u32, hi: u32, lo: u32) -> Reg {
+    // Four-bit fields cover exactly the sixteen registers: always valid.
+    Reg::new(field(word, hi, lo) as u8)
+}
+
+fn freg(word: u32, hi: u32, lo: u32, at: Addr) -> Result<FReg, IsaError> {
+    let v = field(word, hi, lo);
+    if v < FReg::COUNT as u32 {
+        Ok(FReg::new(v as u8))
+    } else {
+        Err(IsaError::InvalidField {
+            field: "floating-point register",
+            value: v,
+            at,
+        })
+    }
+}
+
+fn imm16(word: u32) -> i32 {
+    i32::from(word as u16 as i16)
+}
+
+fn disp_target(at: Addr, raw: u32, bits: u32) -> Addr {
+    // Sign-extend the `bits`-wide word displacement.
+    let shift = 32 - bits;
+    let words = ((raw << shift) as i32) >> shift;
+    at.offset(i64::from(words) * 4)
+}
+
+/// Decodes one 32-bit word fetched from address `at`.
+///
+/// # Errors
+///
+/// Returns [`IsaError::UnknownOpcode`] for unassigned opcodes and
+/// [`IsaError::InvalidField`] for out-of-range function or register fields —
+/// this is how the decoder reports data words mistakenly reached by
+/// control-flow reconstruction.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::decode::decode;
+/// use wcet_isa::encode::encode;
+/// use wcet_isa::{Addr, Inst};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let word = encode(&Inst::Halt, Addr(0))?;
+/// assert_eq!(decode(word, Addr(0))?, Inst::Halt);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(word: u32, at: Addr) -> Result<Inst, IsaError> {
+    let op = (word >> 26) as u8;
+    Ok(match op {
+        opcode::NOP => Inst::Nop,
+        opcode::HALT => Inst::Halt,
+        opcode::RET => Inst::Ret,
+        opcode::ALU => {
+            let funct = field(word, 25, 22);
+            let alu_op = *AluOp::ALL.get(funct as usize).ok_or(IsaError::InvalidField {
+                field: "alu function",
+                value: funct,
+                at,
+            })?;
+            Inst::Alu {
+                op: alu_op,
+                rd: reg(word, 21, 18),
+                rs1: reg(word, 17, 14),
+                rs2: reg(word, 13, 10),
+            }
+        }
+        opcode::LUI => Inst::Lui {
+            rd: reg(word, 25, 22),
+            imm: field(word, 15, 0),
+        },
+        opcode::JUMP => Inst::Jump {
+            target: disp_target(at, field(word, 25, 0), 26),
+        },
+        opcode::CALL => Inst::Call {
+            target: disp_target(at, field(word, 25, 0), 26),
+        },
+        opcode::JUMP_IND => Inst::JumpInd { rs: reg(word, 25, 22) },
+        opcode::CALL_IND => Inst::CallInd { rs: reg(word, 25, 22) },
+        opcode::SELECT => Inst::Select {
+            rd: reg(word, 25, 22),
+            rc: reg(word, 21, 18),
+            rt: reg(word, 17, 14),
+            rf: reg(word, 13, 10),
+        },
+        opcode::FALU => {
+            let funct = field(word, 25, 22);
+            let falu_op = *FAluOp::ALL.get(funct as usize).ok_or(IsaError::InvalidField {
+                field: "falu function",
+                value: funct,
+                at,
+            })?;
+            Inst::FAlu {
+                op: falu_op,
+                fd: freg(word, 21, 18, at)?,
+                fs1: freg(word, 17, 14, at)?,
+                fs2: freg(word, 13, 10, at)?,
+            }
+        }
+        opcode::FMOV => Inst::FMov {
+            fd: freg(word, 25, 22, at)?,
+            rs: reg(word, 21, 18),
+        },
+        opcode::FCVT => Inst::FCvt {
+            fd: freg(word, 25, 22, at)?,
+            rs: reg(word, 21, 18),
+        },
+        opcode::ALLOC => Inst::Alloc {
+            rd: reg(word, 25, 22),
+            rs: reg(word, 21, 18),
+        },
+        _ if (opcode::ALU_IMM_BASE..opcode::ALU_IMM_BASE + 12).contains(&op) => {
+            let alu_op = AluOp::ALL[usize::from(op - opcode::ALU_IMM_BASE)];
+            // Logical immediates are zero-extended (see `encode`), all
+            // others sign-extended.
+            let imm = if matches!(alu_op, AluOp::And | AluOp::Or | AluOp::Xor) {
+                (word & 0xffff) as i32
+            } else {
+                imm16(word)
+            };
+            Inst::AluImm {
+                op: alu_op,
+                rd: reg(word, 25, 22),
+                rs1: reg(word, 21, 18),
+                imm,
+            }
+        }
+        _ if (opcode::LOAD_BASE..opcode::LOAD_BASE + 3).contains(&op) => Inst::Load {
+            width: Width::ALL[usize::from(op - opcode::LOAD_BASE)],
+            rd: reg(word, 25, 22),
+            base: reg(word, 21, 18),
+            offset: imm16(word),
+        },
+        _ if (opcode::STORE_BASE..opcode::STORE_BASE + 3).contains(&op) => Inst::Store {
+            width: Width::ALL[usize::from(op - opcode::STORE_BASE)],
+            rs: reg(word, 25, 22),
+            base: reg(word, 21, 18),
+            offset: imm16(word),
+        },
+        _ if (opcode::BRANCH_BASE..opcode::BRANCH_BASE + 6).contains(&op) => Inst::Branch {
+            cond: Cond::ALL[usize::from(op - opcode::BRANCH_BASE)],
+            rs1: reg(word, 25, 22),
+            rs2: reg(word, 21, 18),
+            target: disp_target(at, field(word, 15, 0), 16),
+        },
+        _ if (opcode::FBRANCH_BASE..opcode::FBRANCH_BASE + 4).contains(&op) => Inst::FBranch {
+            cond: FCond::ALL[usize::from(op - opcode::FBRANCH_BASE)],
+            fs1: freg(word, 25, 22, at)?,
+            fs2: freg(word, 21, 18, at)?,
+            target: disp_target(at, field(word, 15, 0), 16),
+        },
+        _ => return Err(IsaError::UnknownOpcode { opcode: op, at }),
+    })
+}
+
+/// Decodes a contiguous code region starting at `base`.
+///
+/// Returns `(address, instruction)` pairs, one per word.
+///
+/// # Errors
+///
+/// Propagates the first decode failure.
+pub fn decode_region(words: &[u32], base: Addr) -> Result<Vec<(Addr, Inst)>, IsaError> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let at = base.offset(4 * i as i64);
+            decode(w, at).map(|inst| (at, inst))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn unknown_opcode_reported() {
+        let word = 63u32 << 26;
+        assert!(matches!(
+            decode(word, Addr(0x40)),
+            Err(IsaError::UnknownOpcode { opcode: 63, at: Addr(0x40) })
+        ));
+    }
+
+    #[test]
+    fn bad_alu_funct_reported() {
+        let word = (u32::from(opcode::ALU) << 26) | (15 << 22);
+        assert!(matches!(
+            decode(word, Addr(0)),
+            Err(IsaError::InvalidField { field: "alu function", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_freg_reported() {
+        // FMOV with fd field = 12 (>= 8) is invalid.
+        let word = (u32::from(opcode::FMOV) << 26) | (12 << 22);
+        assert!(matches!(
+            decode(word, Addr(0)),
+            Err(IsaError::InvalidField { field: "floating-point register", .. })
+        ));
+    }
+
+    #[test]
+    fn relative_targets_resolve_absolutely() {
+        let at = Addr(0x2000);
+        let inst = Inst::Jump { target: Addr(0x1000) };
+        let word = encode(&inst, at).unwrap();
+        assert_eq!(decode(word, at).unwrap(), inst);
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        let at = Addr(0x100);
+        let inst = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(2),
+            rs1: Reg::new(3),
+            imm: -1,
+        };
+        let word = encode(&inst, at).unwrap();
+        assert_eq!(decode(word, at).unwrap(), inst);
+    }
+}

@@ -1,0 +1,330 @@
+//! Binary encoding of instructions into 32-bit words.
+//!
+//! ## Format
+//!
+//! Every instruction occupies one little-endian 32-bit word whose top six
+//! bits `[31:26]` hold the opcode. Register fields are four bits wide;
+//! immediates and branch displacements occupy the low sixteen bits.
+//! Direct control-flow targets are stored as signed *word* displacements
+//! relative to the instruction's own address: branches use a 16-bit field
+//! (±128 KiB reach), jumps and calls a 26-bit field.
+//!
+//! | opcode | format |
+//! |---|---|
+//! | 0 `nop`, 1 `halt`, 8 `ret` | no operands |
+//! | 2 `alu` | funct`[25:22]` rd`[21:18]` rs1`[17:14]` rs2`[13:10]` |
+//! | 3 `lui` | rd`[25:22]` imm16`[15:0]` |
+//! | 4 `j`, 5 `call` | disp26`[25:0]` |
+//! | 6 `jr`, 7 `callr` | rs`[25:22]` |
+//! | 9 `sel` | rd`[25:22]` rc`[21:18]` rt`[17:14]` rf`[13:10]` |
+//! | 10 `falu` | funct`[25:22]` fd`[21:18]` fs1`[17:14]` fs2`[13:10]` |
+//! | 11 `fmov`, 12 `fcvt` | fd`[25:22]` rs`[21:18]` |
+//! | 13 `alloc` | rd`[25:22]` rs`[21:18]` |
+//! | 16–27 `alui` | rd`[25:22]` rs1`[21:18]` imm16`[15:0]` |
+//! | 28–30 load, 31–33 store | rd/rs`[25:22]` base`[21:18]` off16`[15:0]` |
+//! | 34–39 branch | rs1`[25:22]` rs2`[21:18]` disp16`[15:0]` |
+//! | 40–43 fbranch | fs1`[25:22]` fs2`[21:18]` disp16`[15:0]` |
+
+use crate::error::IsaError;
+use crate::inst::{Addr, AluOp, Cond, FAluOp, FCond, Inst, Width};
+
+/// Opcode constants (bits `[31:26]` of the encoded word).
+pub(crate) mod opcode {
+    pub const NOP: u8 = 0;
+    pub const HALT: u8 = 1;
+    pub const ALU: u8 = 2;
+    pub const LUI: u8 = 3;
+    pub const JUMP: u8 = 4;
+    pub const CALL: u8 = 5;
+    pub const JUMP_IND: u8 = 6;
+    pub const CALL_IND: u8 = 7;
+    pub const RET: u8 = 8;
+    pub const SELECT: u8 = 9;
+    pub const FALU: u8 = 10;
+    pub const FMOV: u8 = 11;
+    pub const FCVT: u8 = 12;
+    pub const ALLOC: u8 = 13;
+    pub const ALU_IMM_BASE: u8 = 16; // 16..=27, one per AluOp in ALL order
+    pub const LOAD_BASE: u8 = 28; // 28..=30: byte, half, word
+    pub const STORE_BASE: u8 = 31; // 31..=33: byte, half, word
+    pub const BRANCH_BASE: u8 = 34; // 34..=39, one per Cond in ALL order
+    pub const FBRANCH_BASE: u8 = 40; // 40..=43, one per FCond in ALL order
+}
+
+pub(crate) fn alu_funct(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32
+}
+
+pub(crate) fn falu_funct(op: FAluOp) -> u32 {
+    FAluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32
+}
+
+pub(crate) fn width_index(width: Width) -> u8 {
+    Width::ALL.iter().position(|&w| w == width).expect("width in ALL") as u8
+}
+
+pub(crate) fn cond_index(cond: Cond) -> u8 {
+    Cond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u8
+}
+
+pub(crate) fn fcond_index(cond: FCond) -> u8 {
+    FCond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u8
+}
+
+fn check_imm16(value: i32, at: Addr) -> Result<u32, IsaError> {
+    if (-32768..=32767).contains(&value) {
+        Ok((value as u32) & 0xffff)
+    } else {
+        Err(IsaError::ImmediateOutOfRange {
+            value: i64::from(value),
+            at: Some(at),
+        })
+    }
+}
+
+/// Logical immediates (`and`/`or`/`xor`) are zero-extended, MIPS-style, so
+/// `lui` + `ori` can synthesize arbitrary 32-bit constants.
+fn check_imm16_logical(value: i32, at: Addr) -> Result<u32, IsaError> {
+    if (0..=0xffff).contains(&value) {
+        Ok(value as u32)
+    } else {
+        Err(IsaError::ImmediateOutOfRange {
+            value: i64::from(value),
+            at: Some(at),
+        })
+    }
+}
+
+fn is_logical(op: AluOp) -> bool {
+    matches!(op, AluOp::And | AluOp::Or | AluOp::Xor)
+}
+
+/// Computes the signed word displacement from `from` to `to`, checking
+/// alignment and that it fits in `bits` bits.
+fn word_disp(from: Addr, to: Addr, bits: u32) -> Result<u32, IsaError> {
+    if !to.is_aligned() {
+        return Err(IsaError::MisalignedTarget { target: to });
+    }
+    // Wrapping difference of the unsigned addresses, reinterpreted as
+    // signed, so displacements work anywhere in the 32-bit space.
+    let diff = (to.0.wrapping_sub(from.0)) as i32;
+    if diff % 4 != 0 {
+        return Err(IsaError::MisalignedTarget { target: to });
+    }
+    let words = i64::from(diff / 4);
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if words < min || words > max {
+        return Err(IsaError::DisplacementOutOfRange { from, to });
+    }
+    Ok((words as u32) & ((1u32 << bits) - 1))
+}
+
+/// Encodes a single instruction located at address `at` into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns an error if an immediate or a control-flow displacement does not
+/// fit its encoding field, or if a target is misaligned.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::encode::encode;
+/// use wcet_isa::decode::decode;
+/// use wcet_isa::{Addr, Inst};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = Inst::Jump { target: Addr(0x1010) };
+/// let word = encode(&inst, Addr(0x1000))?;
+/// assert_eq!(decode(word, Addr(0x1000))?, inst);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(inst: &Inst, at: Addr) -> Result<u32, IsaError> {
+    use opcode::*;
+    let word = |op: u8, rest: u32| (u32::from(op) << 26) | (rest & 0x03ff_ffff);
+    Ok(match *inst {
+        Inst::Nop => word(NOP, 0),
+        Inst::Halt => word(HALT, 0),
+        Inst::Ret => word(RET, 0),
+        Inst::Alu { op, rd, rs1, rs2 } => word(
+            ALU,
+            (alu_funct(op) << 22)
+                | ((rd.index() as u32) << 18)
+                | ((rs1.index() as u32) << 14)
+                | ((rs2.index() as u32) << 10),
+        ),
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let raw = if is_logical(op) {
+                check_imm16_logical(imm, at)?
+            } else {
+                check_imm16(imm, at)?
+            };
+            word(
+                ALU_IMM_BASE + alu_funct(op) as u8,
+                ((rd.index() as u32) << 22) | ((rs1.index() as u32) << 18) | raw,
+            )
+        }
+        Inst::Lui { rd, imm } => {
+            if imm > 0xffff {
+                return Err(IsaError::ImmediateOutOfRange {
+                    value: i64::from(imm),
+                    at: Some(at),
+                });
+            }
+            word(LUI, ((rd.index() as u32) << 22) | imm)
+        }
+        Inst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => word(
+            LOAD_BASE + width_index(width),
+            ((rd.index() as u32) << 22) | ((base.index() as u32) << 18) | check_imm16(offset, at)?,
+        ),
+        Inst::Store {
+            width,
+            rs,
+            base,
+            offset,
+        } => word(
+            STORE_BASE + width_index(width),
+            ((rs.index() as u32) << 22) | ((base.index() as u32) << 18) | check_imm16(offset, at)?,
+        ),
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => word(
+            BRANCH_BASE + cond_index(cond),
+            ((rs1.index() as u32) << 22)
+                | ((rs2.index() as u32) << 18)
+                | word_disp(at, target, 16)?,
+        ),
+        Inst::FBranch {
+            cond,
+            fs1,
+            fs2,
+            target,
+        } => word(
+            FBRANCH_BASE + fcond_index(cond),
+            ((fs1.index() as u32) << 22)
+                | ((fs2.index() as u32) << 18)
+                | word_disp(at, target, 16)?,
+        ),
+        Inst::Jump { target } => word(JUMP, word_disp(at, target, 26)?),
+        Inst::Call { target } => word(CALL, word_disp(at, target, 26)?),
+        Inst::JumpInd { rs } => word(JUMP_IND, (rs.index() as u32) << 22),
+        Inst::CallInd { rs } => word(CALL_IND, (rs.index() as u32) << 22),
+        Inst::Select { rd, rc, rt, rf } => word(
+            SELECT,
+            ((rd.index() as u32) << 22)
+                | ((rc.index() as u32) << 18)
+                | ((rt.index() as u32) << 14)
+                | ((rf.index() as u32) << 10),
+        ),
+        Inst::FAlu { op, fd, fs1, fs2 } => word(
+            FALU,
+            (falu_funct(op) << 22)
+                | ((fd.index() as u32) << 18)
+                | ((fs1.index() as u32) << 14)
+                | ((fs2.index() as u32) << 10),
+        ),
+        Inst::FMov { fd, rs } => {
+            word(FMOV, ((fd.index() as u32) << 22) | ((rs.index() as u32) << 18))
+        }
+        Inst::FCvt { fd, rs } => {
+            word(FCVT, ((fd.index() as u32) << 22) | ((rs.index() as u32) << 18))
+        }
+        Inst::Alloc { rd, rs } => {
+            word(ALLOC, ((rd.index() as u32) << 22) | ((rs.index() as u32) << 18))
+        }
+    })
+}
+
+/// Encodes a whole instruction sequence starting at `base`, one word each.
+///
+/// # Errors
+///
+/// Propagates the first encoding failure, annotated with its address.
+pub fn encode_all(insts: &[Inst], base: Addr) -> Result<Vec<u32>, IsaError> {
+    insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| encode(inst, base.offset(4 * i as i64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Reg;
+
+    #[test]
+    fn imm_range_enforced() {
+        let at = Addr(0x100);
+        let ok = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 32767,
+        };
+        assert!(encode(&ok, at).is_ok());
+        let bad = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 32768,
+        };
+        assert!(matches!(
+            encode(&bad, at),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_reach_enforced() {
+        let at = Addr(0x0);
+        let far = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: Addr(0x0002_0000), // exactly out of the ±32768-word window? 0x20000/4 = 32768 words
+        };
+        assert!(matches!(
+            encode(&far, at),
+            Err(IsaError::DisplacementOutOfRange { .. })
+        ));
+        let near = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: Addr(0x0001_fffc),
+        };
+        assert!(encode(&near, at).is_ok());
+    }
+
+    #[test]
+    fn misaligned_target_rejected() {
+        let j = Inst::Jump { target: Addr(0x1002) };
+        assert!(matches!(
+            encode(&j, Addr(0)),
+            Err(IsaError::MisalignedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_jump_encodes() {
+        let j = Inst::Jump { target: Addr(0x1000) };
+        assert!(encode(&j, Addr(0x2000)).is_ok());
+    }
+
+    #[test]
+    fn lui_range_enforced() {
+        assert!(encode(&Inst::Lui { rd: Reg::new(1), imm: 0xffff }, Addr(0)).is_ok());
+        assert!(encode(&Inst::Lui { rd: Reg::new(1), imm: 0x1_0000 }, Addr(0)).is_err());
+    }
+}

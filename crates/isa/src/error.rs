@@ -1,0 +1,132 @@
+//! Error types shared by the ISA crate.
+
+use std::fmt;
+
+use crate::inst::Addr;
+
+/// Errors produced by encoding, decoding, assembling, or executing programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsaError {
+    /// An immediate operand does not fit the 16-bit encoding field.
+    ImmediateOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// Instruction address (if known at encode time).
+        at: Option<Addr>,
+    },
+    /// A control-flow displacement does not fit its encoding field.
+    DisplacementOutOfRange {
+        /// Source instruction address.
+        from: Addr,
+        /// Requested target.
+        to: Addr,
+    },
+    /// A control-flow target is not 4-byte aligned.
+    MisalignedTarget {
+        /// The unaligned target.
+        target: Addr,
+    },
+    /// The decoder met an opcode it does not know.
+    UnknownOpcode {
+        /// The raw 6-bit opcode.
+        opcode: u8,
+        /// The word address being decoded.
+        at: Addr,
+    },
+    /// The decoder met an invalid sub-field (function code, register index).
+    InvalidField {
+        /// Human-readable description of the field.
+        field: &'static str,
+        /// The raw field value.
+        value: u32,
+        /// The word address being decoded.
+        at: Addr,
+    },
+    /// The assembler rejected a line of input.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An assembler label was referenced but never defined.
+    UndefinedLabel {
+        /// The label name.
+        name: String,
+        /// 1-based source line of the reference.
+        line: usize,
+    },
+    /// An assembler label was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        name: String,
+        /// 1-based source line of the second definition.
+        line: usize,
+    },
+    /// The interpreter fetched from an address holding no instruction.
+    BadFetch {
+        /// The program counter value.
+        pc: Addr,
+    },
+    /// The interpreter accessed unmapped or forbidden memory.
+    MemoryFault {
+        /// The faulting data address.
+        addr: Addr,
+        /// The program counter of the access.
+        pc: Addr,
+    },
+    /// The interpreter exceeded its fuel budget without halting.
+    FuelExhausted {
+        /// The instruction budget that was exhausted.
+        budget: u64,
+    },
+    /// The heap allocator ran out of space.
+    OutOfHeap {
+        /// Requested size in bytes.
+        requested: u32,
+        /// The program counter of the allocation.
+        pc: Addr,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::ImmediateOutOfRange { value, at } => match at {
+                Some(at) => write!(f, "immediate {value} out of 16-bit range at {at}"),
+                None => write!(f, "immediate {value} out of 16-bit range"),
+            },
+            IsaError::DisplacementOutOfRange { from, to } => {
+                write!(f, "control-flow displacement from {from} to {to} out of range")
+            }
+            IsaError::MisalignedTarget { target } => {
+                write!(f, "control-flow target {target} is not 4-byte aligned")
+            }
+            IsaError::UnknownOpcode { opcode, at } => {
+                write!(f, "unknown opcode 0x{opcode:x} at {at}")
+            }
+            IsaError::InvalidField { field, value, at } => {
+                write!(f, "invalid {field} field value {value} at {at}")
+            }
+            IsaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IsaError::UndefinedLabel { name, line } => {
+                write!(f, "undefined label `{name}` referenced at line {line}")
+            }
+            IsaError::DuplicateLabel { name, line } => {
+                write!(f, "duplicate label `{name}` at line {line}")
+            }
+            IsaError::BadFetch { pc } => write!(f, "instruction fetch from unmapped address {pc}"),
+            IsaError::MemoryFault { addr, pc } => {
+                write!(f, "memory fault at data address {addr} (pc {pc})")
+            }
+            IsaError::FuelExhausted { budget } => {
+                write!(f, "execution exceeded fuel budget of {budget} instructions")
+            }
+            IsaError::OutOfHeap { requested, pc } => {
+                write!(f, "heap exhausted allocating {requested} bytes (pc {pc})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

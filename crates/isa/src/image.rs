@@ -1,0 +1,186 @@
+//! Linked binary images: what the WCET analyzer actually consumes.
+//!
+//! As the paper stresses, aiT-style analysis is *binary-level*: "the input
+//! binary executable has to undergo several analysis phases". An [`Image`]
+//! is our equivalent of that executable — raw code bytes at a base address,
+//! zero or more initialized data segments, an entry point, and an optional
+//! symbol table carried over from the assembler for diagnostics.
+
+use std::collections::BTreeMap;
+
+use crate::decode::{decode, decode_region};
+use crate::error::IsaError;
+use crate::inst::{Addr, Inst};
+
+/// A contiguous chunk of initialized memory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Segment {
+    /// First byte address of the segment.
+    pub base: Addr,
+    /// Raw contents.
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// Creates a segment from 32-bit words, stored little-endian.
+    #[must_use]
+    pub fn from_words(base: Addr, words: &[u32]) -> Segment {
+        let mut data = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        Segment { base, data }
+    }
+
+    /// Address one past the last byte.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.base.offset(self.data.len() as i64)
+    }
+
+    /// Returns true if `addr` lies inside the segment.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Reads the little-endian 32-bit word at `addr`, if fully contained.
+    #[must_use]
+    pub fn word_at(&self, addr: Addr) -> Option<u32> {
+        if !self.contains(addr) || !addr.is_aligned() {
+            return None;
+        }
+        let off = (addr.0 - self.base.0) as usize;
+        let bytes = self.data.get(off..off + 4)?;
+        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+}
+
+/// A linked binary image: code, data, entry point, and symbols.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let image = assemble(".org 0x1000\nmain: halt\n")?;
+/// assert_eq!(image.entry.0, 0x1000);
+/// assert_eq!(image.decode_code()?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Image {
+    /// Task entry point (the "specific entry point of the analyzed binary
+    /// executable" that defines a task in the paper's Section 3.1).
+    pub entry: Addr,
+    /// The code segment.
+    pub code: Segment,
+    /// Initialized data segments (e.g. jump tables, message buffers).
+    pub data: Vec<Segment>,
+    /// Symbol table: label name → address. Kept for diagnostics only; the
+    /// analyses never rely on it (they are binary-level).
+    pub symbols: BTreeMap<String, Addr>,
+}
+
+impl Image {
+    /// Creates an image from pre-encoded code words.
+    #[must_use]
+    pub fn from_code_words(entry: Addr, code_base: Addr, words: &[u32]) -> Image {
+        Image {
+            entry,
+            code: Segment::from_words(code_base, words),
+            data: Vec::new(),
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Number of instruction words in the code segment.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.code.data.len() / 4
+    }
+
+    /// Decodes the entire code segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures (unknown opcodes, invalid fields).
+    pub fn decode_code(&self) -> Result<Vec<(Addr, Inst)>, IsaError> {
+        let words: Vec<u32> = self
+            .code
+            .data
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        decode_region(&words, self.code.base)
+    }
+
+    /// Decodes the single instruction at `addr`, if it lies in the code
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadFetch`] outside the code segment, and decode
+    /// errors for malformed words.
+    pub fn inst_at(&self, addr: Addr) -> Result<Inst, IsaError> {
+        let word = self.code.word_at(addr).ok_or(IsaError::BadFetch { pc: addr })?;
+        decode(word, addr)
+    }
+
+    /// Looks up the name of a symbol at exactly `addr`, if any.
+    #[must_use]
+    pub fn symbol_at(&self, addr: Addr) -> Option<&str> {
+        self.symbols
+            .iter()
+            .find(|(_, &a)| a == addr)
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Looks up a symbol's address by name.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Reads an initialized data word (searches all data segments).
+    #[must_use]
+    pub fn data_word_at(&self, addr: Addr) -> Option<u32> {
+        self.data.iter().find_map(|seg| seg.word_at(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_all;
+
+    #[test]
+    fn segment_bounds() {
+        let seg = Segment::from_words(Addr(0x100), &[1, 2, 3]);
+        assert_eq!(seg.end(), Addr(0x10c));
+        assert!(seg.contains(Addr(0x100)));
+        assert!(seg.contains(Addr(0x10b)));
+        assert!(!seg.contains(Addr(0x10c)));
+        assert_eq!(seg.word_at(Addr(0x104)), Some(2));
+        assert_eq!(seg.word_at(Addr(0x102)), None); // misaligned
+        assert_eq!(seg.word_at(Addr(0x10c)), None); // out of range
+    }
+
+    #[test]
+    fn image_decode_round_trip() {
+        let insts = [Inst::Nop, Inst::Halt];
+        let words = encode_all(&insts, Addr(0x1000)).unwrap();
+        let image = Image::from_code_words(Addr(0x1000), Addr(0x1000), &words);
+        let decoded = image.decode_code().unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], (Addr(0x1000), Inst::Nop));
+        assert_eq!(decoded[1], (Addr(0x1004), Inst::Halt));
+        assert_eq!(image.inst_at(Addr(0x1004)).unwrap(), Inst::Halt);
+        assert!(matches!(
+            image.inst_at(Addr(0x2000)),
+            Err(IsaError::BadFetch { .. })
+        ));
+    }
+}

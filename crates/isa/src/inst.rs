@@ -1,0 +1,849 @@
+//! The instruction set at the semantic level.
+//!
+//! The machine is a 32-bit, byte-addressed, in-order RISC with sixteen
+//! general-purpose integer registers (`r0`..`r15`, where `r0` is hard-wired
+//! to zero and `r15` is the link register by calling convention) and eight
+//! single-precision floating-point registers (`f0`..`f7`).
+//!
+//! Instructions are fixed-width 32-bit words aligned on 4-byte boundaries;
+//! see [`crate::encode`] for the binary format.
+
+use std::fmt;
+
+/// A code or data address in the 32-bit address space.
+///
+/// Addresses are newtyped so they cannot be confused with immediate values
+/// or register contents in analysis code.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::Addr;
+/// let a = Addr(0x1000);
+/// assert_eq!(a.offset(8), Addr(0x1008));
+/// assert_eq!(format!("{a}"), "0x1000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Returns the address advanced by `bytes` (wrapping on overflow, as the
+    /// hardware program counter would).
+    #[must_use]
+    pub fn offset(self, bytes: i64) -> Addr {
+        Addr((i64::from(self.0) + bytes) as u32)
+    }
+
+    /// Returns the address of the next instruction word.
+    #[must_use]
+    pub fn next(self) -> Addr {
+        self.offset(4)
+    }
+
+    /// Returns true if the address is 4-byte aligned (a legal fetch address).
+    #[must_use]
+    pub fn is_aligned(self) -> bool {
+        self.0.is_multiple_of(4)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(v: u32) -> Self {
+        Addr(v)
+    }
+}
+
+/// One of the sixteen general-purpose integer registers.
+///
+/// `r0` always reads as zero; writes to it are ignored. `r15` is the link
+/// register used by [`Inst::Call`] and [`Inst::CallInd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The stack pointer by calling convention.
+    pub const SP: Reg = Reg(14);
+    /// The link register, written by call instructions.
+    pub const LINK: Reg = Reg(15);
+    /// Number of integer registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`.
+    #[must_use]
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 16, "integer register index out of range: {idx}");
+        Reg(idx)
+    }
+
+    /// The register index in `0..16`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One of the eight single-precision floating-point registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 8;
+
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    #[must_use]
+    pub fn new(idx: u8) -> FReg {
+        assert!(idx < 8, "float register index out of range: {idx}");
+        FReg(idx)
+    }
+
+    /// The register index in `0..8`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Iterates over all eight registers in index order.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..8).map(FReg)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Integer ALU operations.
+///
+/// There is deliberately *no* hardware divide: like the Freescale HCS12X
+/// discussed in the paper's Section 4.3, division must be performed in
+/// software (see the `wcet-arith` crate), which is exactly the situation
+/// that produces the `lDivMod` predictability problem of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// High 32 bits of the unsigned 64-bit product.
+    Mulhu,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 32).
+    Shr,
+    /// Arithmetic shift right (shift amount taken modulo 32).
+    Sra,
+    /// Set to 1 if signed less-than, else 0.
+    Slt,
+    /// Set to 1 if unsigned less-than, else 0.
+    Sltu,
+}
+
+impl AluOp {
+    /// All ALU operations, for exhaustive enumeration in tests.
+    pub const ALL: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Mulhu,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// Applies the operation to two 32-bit operands.
+    #[must_use]
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b & 31),
+            AluOp::Shr => a.wrapping_shr(b & 31),
+            AluOp::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+        }
+    }
+
+    /// Mnemonic used by the assembler and disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Mulhu => "mulhu",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Integer branch conditions comparing two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// All branch conditions, for exhaustive enumeration in tests.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+
+    /// Evaluates the condition on two 32-bit operands.
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// The condition that holds exactly when `self` does not.
+    #[must_use]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
+    /// Mnemonic suffix used by the assembler (`beq`, `bne`, ...).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Ltu => "bltu",
+            Cond::Geu => "bgeu",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point ALU operations (single precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FAluOp {
+    /// Addition.
+    FAdd,
+    /// Subtraction.
+    FSub,
+    /// Multiplication.
+    FMul,
+    /// Division.
+    FDiv,
+}
+
+impl FAluOp {
+    /// All floating-point ALU operations.
+    pub const ALL: [FAluOp; 4] = [FAluOp::FAdd, FAluOp::FSub, FAluOp::FMul, FAluOp::FDiv];
+
+    /// Applies the operation to two single-precision operands.
+    #[must_use]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            FAluOp::FAdd => a + b,
+            FAluOp::FSub => a - b,
+            FAluOp::FMul => a * b,
+            FAluOp::FDiv => a / b,
+        }
+    }
+
+    /// Mnemonic used by the assembler and disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FAluOp::FAdd => "fadd",
+            FAluOp::FSub => "fsub",
+            FAluOp::FMul => "fmul",
+            FAluOp::FDiv => "fdiv",
+        }
+    }
+}
+
+impl fmt::Display for FAluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point branch conditions comparing two floating-point registers.
+///
+/// A loop whose exit condition is one of these is exactly the construct
+/// forbidden by MISRA-C:2004 rule 13.4 ("the controlling expression of a
+/// `for` statement shall not contain any objects of floating type"): the
+/// value analysis does not track floating-point values, so such loops can
+/// never be bounded automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCond {
+    /// Ordered equal.
+    FEq,
+    /// Unordered or not equal.
+    FNe,
+    /// Ordered less-than.
+    FLt,
+    /// Ordered greater-or-equal.
+    FGe,
+}
+
+impl FCond {
+    /// All floating-point branch conditions.
+    pub const ALL: [FCond; 4] = [FCond::FEq, FCond::FNe, FCond::FLt, FCond::FGe];
+
+    /// Evaluates the condition on two single-precision operands.
+    #[must_use]
+    pub fn eval(self, a: f32, b: f32) -> bool {
+        match self {
+            FCond::FEq => a == b,
+            FCond::FNe => a != b,
+            FCond::FLt => a < b,
+            FCond::FGe => a >= b,
+        }
+    }
+
+    /// Mnemonic used by the assembler (`fbeq`, `fbne`, ...).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCond::FEq => "fbeq",
+            FCond::FNe => "fbne",
+            FCond::FLt => "fblt",
+            FCond::FGe => "fbge",
+        }
+    }
+}
+
+impl fmt::Display for FCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl Width {
+    /// All access widths.
+    pub const ALL: [Width; 3] = [Width::Byte, Width::Half, Width::Word];
+
+    /// Size of the access in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+
+    /// Mnemonic suffix used by the assembler (`lw`/`lb`/`lh`, `sw`/...).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Width::Byte => "b",
+            Width::Half => "h",
+            Width::Word => "w",
+        }
+    }
+}
+
+/// A machine instruction at the semantic level.
+///
+/// See the crate docs for the role each variant plays in the paper's
+/// predictability discussion. All control-flow targets are absolute
+/// addresses (the encoder stores them PC-relative, the decoder resolves
+/// them back to absolute form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Three-register ALU operation: `rd = rs1 op rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation: `rd = rs1 op imm` with a 16-bit
+    /// signed immediate.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Sign-extended immediate in `-32768..=32767`.
+        imm: i32,
+    },
+    /// Load upper immediate: `rd = imm << 16`.
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// The upper 16 bits (stored in the low 16 bits of the field).
+        imm: u32,
+    },
+    /// Memory load: `rd = mem[rs1 + offset]` (zero-extended for sub-word).
+    Load {
+        /// Access width.
+        width: Width,
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed 16-bit byte offset.
+        offset: i32,
+    },
+    /// Memory store: `mem[rs1 + offset] = rs` (truncated for sub-word).
+    Store {
+        /// Access width.
+        width: Width,
+        /// Source register whose value is stored.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed 16-bit byte offset.
+        offset: i32,
+    },
+    /// Conditional branch comparing two integer registers.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Absolute branch target.
+        target: Addr,
+    },
+    /// Unconditional direct jump — the binary-level image of a `goto`.
+    Jump {
+        /// Absolute target.
+        target: Addr,
+    },
+    /// Direct call: saves the return address in `r15` and jumps.
+    Call {
+        /// Absolute entry address of the callee.
+        target: Addr,
+    },
+    /// Indirect jump through a register (computed `goto`, `switch` jump
+    /// tables, `longjmp`-like non-local transfers).
+    JumpInd {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Indirect call through a register — a function pointer call, the
+    /// canonical tier-one challenge of Section 3.2.
+    CallInd {
+        /// Register holding the callee entry address.
+        rs: Reg,
+    },
+    /// Return: jumps to the address in the link register `r15`.
+    Ret,
+    /// Predicated select: `rd = if rc != 0 { rt } else { rf }`.
+    ///
+    /// This is the predicated operation required by the single-path
+    /// programming paradigm of Puschner and Kirner that the paper's
+    /// Section 2 critiques; most embedded ISAs (e.g. PowerPC) lack it.
+    Select {
+        /// Destination register.
+        rd: Reg,
+        /// Condition register (true iff non-zero).
+        rc: Reg,
+        /// Value if the condition is non-zero.
+        rt: Reg,
+        /// Value if the condition is zero.
+        rf: Reg,
+    },
+    /// Floating-point ALU operation: `fd = fs1 op fs2`.
+    FAlu {
+        /// Operation.
+        op: FAluOp,
+        /// Destination register.
+        fd: FReg,
+        /// First source register.
+        fs1: FReg,
+        /// Second source register.
+        fs2: FReg,
+    },
+    /// Conditional branch comparing two floating-point registers
+    /// (the rule 13.4 construct).
+    FBranch {
+        /// Condition.
+        cond: FCond,
+        /// First operand.
+        fs1: FReg,
+        /// Second operand.
+        fs2: FReg,
+        /// Absolute branch target.
+        target: Addr,
+    },
+    /// Moves the bit pattern of an integer register into a floating-point
+    /// register (`fd = bits(rs)`).
+    FMov {
+        /// Destination floating-point register.
+        fd: FReg,
+        /// Source integer register.
+        rs: Reg,
+    },
+    /// Converts an integer register value to floating point (`fd = rs as f32`).
+    FCvt {
+        /// Destination floating-point register.
+        fd: FReg,
+        /// Source integer register (signed value).
+        rs: Reg,
+    },
+    /// Heap allocation: `rd = alloc(rs)` bytes.
+    ///
+    /// Models a `malloc` library call (MISRA-C:2004 rule 20.4). The returned
+    /// address is *statically unknown*, which is precisely why the paper
+    /// says dynamic allocation "leads to statically unknown memory
+    /// addresses" and hence cache over-estimation.
+    Alloc {
+        /// Destination register receiving the block address.
+        rd: Reg,
+        /// Register holding the requested size in bytes.
+        rs: Reg,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the machine (end of task).
+    Halt,
+}
+
+impl Inst {
+    /// Returns true if the instruction ends a basic block (any control
+    /// transfer or machine stop).
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. }
+                | Inst::Jump { .. }
+                | Inst::Call { .. }
+                | Inst::JumpInd { .. }
+                | Inst::CallInd { .. }
+                | Inst::Ret
+                | Inst::FBranch { .. }
+                | Inst::Halt
+        )
+    }
+
+    /// Returns true if the instruction accesses data memory.
+    #[must_use]
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// The direct control-flow target, if the instruction has one.
+    #[must_use]
+    pub fn direct_target(&self) -> Option<Addr> {
+        match self {
+            Inst::Branch { target, .. }
+            | Inst::Jump { target }
+            | Inst::Call { target }
+            | Inst::FBranch { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// The integer register written by this instruction, if any.
+    #[must_use]
+    pub fn def_reg(&self) -> Option<Reg> {
+        let rd = match self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Lui { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Select { rd, .. }
+            | Inst::Alloc { rd, .. } => *rd,
+            Inst::Call { .. } | Inst::CallInd { .. } => Reg::LINK,
+            _ => return None,
+        };
+        if rd == Reg::ZERO {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// The integer registers read by this instruction.
+    #[must_use]
+    pub fn use_regs(&self) -> Vec<Reg> {
+        match self {
+            Inst::Alu { rs1, rs2, .. } => vec![*rs1, *rs2],
+            Inst::AluImm { rs1, .. } => vec![*rs1],
+            Inst::Lui { .. } => vec![],
+            Inst::Load { base, .. } => vec![*base],
+            Inst::Store { rs, base, .. } => vec![*rs, *base],
+            Inst::Branch { rs1, rs2, .. } => vec![*rs1, *rs2],
+            Inst::Jump { .. } | Inst::Call { .. } => vec![],
+            Inst::JumpInd { rs } | Inst::CallInd { rs } => vec![*rs],
+            Inst::Ret => vec![Reg::LINK],
+            Inst::Select { rc, rt, rf, .. } => vec![*rc, *rt, *rf],
+            Inst::FAlu { .. } | Inst::FBranch { .. } => vec![],
+            Inst::FMov { rs, .. } | Inst::FCvt { rs, .. } => vec![*rs],
+            Inst::Alloc { rs, .. } => vec![*rs],
+            Inst::Nop | Inst::Halt => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, 0x{imm:x}"),
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => write!(f, "l{} {rd}, {offset}({base})", width.suffix()),
+            Inst::Store {
+                width,
+                rs,
+                base,
+                offset,
+            } => write!(f, "s{} {rs}, {offset}({base})", width.suffix()),
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "{cond} {rs1}, {rs2}, {target}"),
+            Inst::Jump { target } => write!(f, "j {target}"),
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::JumpInd { rs } => write!(f, "jr {rs}"),
+            Inst::CallInd { rs } => write!(f, "callr {rs}"),
+            Inst::Ret => f.write_str("ret"),
+            Inst::Select { rd, rc, rt, rf } => write!(f, "sel {rd}, {rc}, {rt}, {rf}"),
+            Inst::FAlu { op, fd, fs1, fs2 } => write!(f, "{op} {fd}, {fs1}, {fs2}"),
+            Inst::FBranch {
+                cond,
+                fs1,
+                fs2,
+                target,
+            } => write!(f, "{cond} {fs1}, {fs2}, {target}"),
+            Inst::FMov { fd, rs } => write!(f, "fmov {fd}, {rs}"),
+            Inst::FCvt { fd, rs } => write!(f, "fcvt {fd}, {rs}"),
+            Inst::Alloc { rd, rs } => write!(f, "alloc {rd}, {rs}"),
+            Inst::Nop => f.write_str("nop"),
+            Inst::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_arithmetic() {
+        assert_eq!(Addr(0x1000).next(), Addr(0x1004));
+        assert_eq!(Addr(4).offset(-4), Addr(0));
+        assert_eq!(Addr(u32::MAX - 3).offset(4), Addr(0)); // wraps
+        assert!(Addr(8).is_aligned());
+        assert!(!Addr(6).is_aligned());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_rejects_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_new_rejects_out_of_range() {
+        let _ = FReg::new(8);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Mul.apply(0x1_0000, 0x1_0000), 0);
+        assert_eq!(AluOp::Mulhu.apply(0x1_0000, 0x1_0000), 1);
+        assert_eq!(AluOp::Shl.apply(1, 33), 2); // shift modulo 32
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Sltu.apply(u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_complementary() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.negate().negate(), cond);
+            for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 0), (5, 5)] {
+                assert_ne!(cond.eval(a, b), cond.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn fcond_nan_behaviour() {
+        // FNe is the unordered condition: true on NaN.
+        assert!(FCond::FNe.eval(f32::NAN, 0.0));
+        assert!(!FCond::FEq.eval(f32::NAN, f32::NAN));
+        assert!(!FCond::FLt.eval(f32::NAN, 1.0));
+        assert!(!FCond::FGe.eval(f32::NAN, 1.0));
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        };
+        assert_eq!(i.def_reg(), Some(Reg::new(1)));
+        assert_eq!(i.use_regs(), vec![Reg::new(2), Reg::new(3)]);
+
+        // Writing r0 defines nothing.
+        let z = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 1,
+        };
+        assert_eq!(z.def_reg(), None);
+
+        // Calls define the link register.
+        assert_eq!(Inst::Call { target: Addr(0) }.def_reg(), Some(Reg::LINK));
+        assert_eq!(Inst::Ret.use_regs(), vec![Reg::LINK]);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Inst::Halt.is_terminator());
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jump { target: Addr(0) }.is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+        assert!(!Inst::Alloc {
+            rd: Reg::new(1),
+            rs: Reg::new(2)
+        }
+        .is_terminator());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Inst::Load {
+            width: Width::Word,
+            rd: Reg::new(3),
+            base: Reg::new(4),
+            offset: -8,
+        };
+        assert_eq!(format!("{i}"), "lw r3, -8(r4)");
+        let b = Inst::Branch {
+            cond: Cond::Ne,
+            rs1: Reg::new(1),
+            rs2: Reg::ZERO,
+            target: Addr(0x1000),
+        };
+        assert_eq!(format!("{b}"), "bne r1, r0, 0x1000");
+    }
+}

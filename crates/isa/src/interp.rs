@@ -1,0 +1,638 @@
+//! A cycle-accurate concrete interpreter.
+//!
+//! The interpreter executes a binary [`Image`] on the machine defined by a
+//! [`MachineConfig`] (memory map, base timing, optional caches) and counts
+//! cycles with exactly the same cost rules the static pipeline analysis in
+//! `wcet-micro` uses for its upper bounds. Every integration test that
+//! checks the soundness invariant — *observed cycles never exceed the WCET
+//! bound* — runs through this module.
+//!
+//! Execution of the entry task ends at a [`Inst::Halt`] or when the entry
+//! function returns (the link register is initialised to a sentinel).
+
+use std::collections::HashMap;
+
+use crate::cache::{AccessKind, CacheConfig, LruCache};
+use crate::error::IsaError;
+use crate::image::Image;
+use crate::inst::{Addr, Inst, Reg, Width};
+use crate::memmap::MemoryMap;
+use crate::timing::TimingModel;
+
+/// Sentinel return address marking "returned from the entry function".
+pub const RETURN_SENTINEL: Addr = Addr(0xffff_fffc);
+
+/// The full hardware configuration the interpreter (and static analyses)
+/// run against.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Physical memory regions and latencies.
+    pub memmap: MemoryMap,
+    /// Base instruction costs.
+    pub timing: TimingModel,
+    /// Instruction cache, if present.
+    pub icache: Option<CacheConfig>,
+    /// Data cache, if present.
+    pub dcache: Option<CacheConfig>,
+}
+
+impl MachineConfig {
+    /// Cacheless machine over the default embedded memory map.
+    #[must_use]
+    pub fn simple() -> MachineConfig {
+        MachineConfig {
+            memmap: MemoryMap::default_embedded(),
+            timing: TimingModel::new(),
+            icache: None,
+            dcache: None,
+        }
+    }
+
+    /// Machine with small instruction and data caches.
+    #[must_use]
+    pub fn with_caches() -> MachineConfig {
+        MachineConfig {
+            icache: Some(CacheConfig::small_icache()),
+            dcache: Some(CacheConfig::small_dcache()),
+            ..MachineConfig::simple()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::simple()
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A [`Inst::Halt`] was executed.
+    Halt,
+    /// The entry function returned through the link-register sentinel.
+    ReturnedFromEntry,
+}
+
+/// The result of a completed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Why the machine stopped.
+    pub stop: StopReason,
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Number of instructions retired.
+    pub instructions: u64,
+    /// Per-address execution counts (the measured execution profile).
+    pub profile: HashMap<Addr, u64>,
+}
+
+/// The concrete machine.
+#[derive(Debug)]
+pub struct Interpreter {
+    config: MachineConfig,
+    /// Pre-decoded code (fetch = lookup).
+    code: HashMap<Addr, Inst>,
+    regs: [u32; Reg::COUNT],
+    fregs: [f32; crate::inst::FReg::COUNT],
+    pc: Addr,
+    mem: HashMap<u32, u8>,
+    icache: Option<LruCache>,
+    dcache: Option<LruCache>,
+    heap_next: u32,
+    heap_end: u32,
+    cycles: u64,
+    instructions: u64,
+    profile: HashMap<Addr, u64>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter over `image` with the given memory map, no
+    /// caches, and default timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's code fails to decode — a malformed image is a
+    /// construction bug, not a runtime condition.
+    #[must_use]
+    pub fn new(image: &Image, memmap: MemoryMap) -> Interpreter {
+        let config = MachineConfig {
+            memmap,
+            ..MachineConfig::simple()
+        };
+        Interpreter::with_config(image, config)
+    }
+
+    /// Creates an interpreter with a full machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's code fails to decode.
+    #[must_use]
+    pub fn with_config(image: &Image, config: MachineConfig) -> Interpreter {
+        let code: HashMap<Addr, Inst> = image
+            .decode_code()
+            .expect("image code must decode")
+            .into_iter()
+            .collect();
+        let mut mem = HashMap::new();
+        for seg in &image.data {
+            for (i, &b) in seg.data.iter().enumerate() {
+                mem.insert(seg.base.0 + i as u32, b);
+            }
+        }
+        let (heap_next, heap_end) = config
+            .memmap
+            .heap()
+            .map(|r| (r.start.0, r.end.0))
+            .unwrap_or((0, 0));
+        let mut regs = [0u32; Reg::COUNT];
+        regs[Reg::LINK.index()] = RETURN_SENTINEL.0;
+        if let Some(stack) = config
+            .memmap
+            .regions()
+            .iter()
+            .find(|r| r.kind == crate::memmap::RegionKind::Stack)
+        {
+            // Stack grows downward from the top of the stack region.
+            regs[Reg::SP.index()] = stack.end.0;
+        }
+        let icache = config.icache.clone().map(LruCache::new);
+        let dcache = config.dcache.clone().map(LruCache::new);
+        Interpreter {
+            config,
+            code,
+            regs,
+            fregs: [0.0; crate::inst::FReg::COUNT],
+            pc: image.entry,
+            mem,
+            icache,
+            dcache,
+            heap_next,
+            heap_end,
+            cycles: 0,
+            instructions: 0,
+            profile: HashMap::new(),
+        }
+    }
+
+    /// Reads an integer register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r == Reg::ZERO {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes an integer register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Reads a float register.
+    #[must_use]
+    pub fn freg(&self, f: crate::inst::FReg) -> f32 {
+        self.fregs[f.index()]
+    }
+
+    /// Writes a float register.
+    pub fn set_freg(&mut self, f: crate::inst::FReg, value: f32) {
+        self.fregs[f.index()] = value;
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Cycles consumed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Reads a 32-bit little-endian word from data memory without charging
+    /// cycles (for tests and result inspection).
+    #[must_use]
+    pub fn peek_word(&self, addr: Addr) -> u32 {
+        let b = |i: u32| u32::from(*self.mem.get(&(addr.0.wrapping_add(i))).unwrap_or(&0));
+        b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24)
+    }
+
+    /// Writes a 32-bit little-endian word to data memory without charging
+    /// cycles (for test setup).
+    pub fn poke_word(&mut self, addr: Addr, value: u32) {
+        for (i, byte) in value.to_le_bytes().iter().enumerate() {
+            self.mem.insert(addr.0.wrapping_add(i as u32), *byte);
+        }
+    }
+
+    /// Runs until halt/return or until `fuel` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::FuelExhausted`] on timeout, [`IsaError::BadFetch`]
+    /// on fetches outside the code, [`IsaError::MemoryFault`] on unmapped
+    /// data accesses, and [`IsaError::OutOfHeap`] when `alloc` fails.
+    pub fn run(&mut self, fuel: u64) -> Result<Outcome, IsaError> {
+        for _ in 0..fuel {
+            match self.step()? {
+                Some(stop) => {
+                    return Ok(Outcome {
+                        stop,
+                        cycles: self.cycles,
+                        instructions: self.instructions,
+                        profile: std::mem::take(&mut self.profile),
+                    })
+                }
+                None => continue,
+            }
+        }
+        Err(IsaError::FuelExhausted { budget: fuel })
+    }
+
+    /// Executes one instruction; returns `Some(reason)` when the machine
+    /// stops.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interpreter::run`], minus fuel.
+    pub fn step(&mut self) -> Result<Option<StopReason>, IsaError> {
+        let pc = self.pc;
+        if pc == RETURN_SENTINEL {
+            return Ok(Some(StopReason::ReturnedFromEntry));
+        }
+        let inst = *self.code.get(&pc).ok_or(IsaError::BadFetch { pc })?;
+        self.instructions += 1;
+        *self.profile.entry(pc).or_insert(0) += 1;
+
+        // Fetch cost.
+        self.cycles += u64::from(self.fetch_cost(pc));
+        // Base execution cost (taken surcharge added below where relevant).
+        self.cycles += u64::from(self.config.timing.base_cost(&inst));
+
+        let mut next = pc.next();
+        match inst {
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.pc = pc; // halted machines stay halted
+                return Ok(Some(StopReason::Halt));
+            }
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(rs1), imm as u32);
+                self.set_reg(rd, v);
+            }
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm << 16),
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = Addr(self.reg(base).wrapping_add(offset as u32));
+                let v = self.load(addr, width, pc)?;
+                self.set_reg(rd, v);
+            }
+            Inst::Store {
+                width,
+                rs,
+                base,
+                offset,
+            } => {
+                let addr = Addr(self.reg(base).wrapping_add(offset as u32));
+                let v = self.reg(rs);
+                self.store(addr, width, v, pc)?;
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    self.cycles += u64::from(self.config.timing.taken_surcharge());
+                    next = target;
+                }
+            }
+            Inst::FBranch {
+                cond,
+                fs1,
+                fs2,
+                target,
+            } => {
+                if cond.eval(self.freg(fs1), self.freg(fs2)) {
+                    self.cycles += u64::from(self.config.timing.taken_surcharge());
+                    next = target;
+                }
+            }
+            Inst::Jump { target } => next = target,
+            Inst::Call { target } => {
+                self.set_reg(Reg::LINK, next.0);
+                next = target;
+            }
+            Inst::JumpInd { rs } => next = Addr(self.reg(rs)),
+            Inst::CallInd { rs } => {
+                let target = Addr(self.reg(rs));
+                self.set_reg(Reg::LINK, next.0);
+                next = target;
+            }
+            Inst::Ret => next = Addr(self.reg(Reg::LINK)),
+            Inst::Select { rd, rc, rt, rf } => {
+                let v = if self.reg(rc) != 0 {
+                    self.reg(rt)
+                } else {
+                    self.reg(rf)
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::FAlu { op, fd, fs1, fs2 } => {
+                let v = op.apply(self.freg(fs1), self.freg(fs2));
+                self.set_freg(fd, v);
+            }
+            Inst::FMov { fd, rs } => self.set_freg(fd, f32::from_bits(self.reg(rs))),
+            Inst::FCvt { fd, rs } => self.set_freg(fd, self.reg(rs) as i32 as f32),
+            Inst::Alloc { rd, rs } => {
+                let size = self.reg(rs).max(1);
+                // Bump allocator over the heap region, 8-byte aligned.
+                let aligned = (size + 7) & !7;
+                if self.heap_next + aligned > self.heap_end {
+                    return Err(IsaError::OutOfHeap {
+                        requested: size,
+                        pc,
+                    });
+                }
+                let block = self.heap_next;
+                self.heap_next += aligned;
+                self.set_reg(rd, block);
+            }
+        }
+        self.pc = next;
+        Ok(None)
+    }
+
+    fn fetch_cost(&mut self, pc: Addr) -> u32 {
+        let region_latency = self
+            .config
+            .memmap
+            .region_at(pc)
+            .map(|r| r.read_latency)
+            .unwrap_or(1);
+        let cacheable = self
+            .config
+            .memmap
+            .region_at(pc)
+            .map(|r| r.cacheable)
+            .unwrap_or(false);
+        match (&mut self.icache, cacheable) {
+            (Some(cache), true) => match cache.access(pc) {
+                AccessKind::Hit => cache.config().hit_latency,
+                AccessKind::Miss => cache.config().hit_latency + region_latency,
+            },
+            _ => region_latency,
+        }
+    }
+
+    fn data_cost(&mut self, addr: Addr, is_read: bool, pc: Addr) -> Result<u32, IsaError> {
+        let region = self
+            .config
+            .memmap
+            .region_at(addr)
+            .ok_or(IsaError::MemoryFault { addr, pc })?;
+        let latency = if is_read {
+            region.read_latency
+        } else {
+            region.write_latency
+        };
+        Ok(match (&mut self.dcache, region.cacheable) {
+            (Some(cache), true) => match cache.access(addr) {
+                AccessKind::Hit => cache.config().hit_latency,
+                AccessKind::Miss => cache.config().hit_latency + latency,
+            },
+            _ => latency,
+        })
+    }
+
+    fn load(&mut self, addr: Addr, width: Width, pc: Addr) -> Result<u32, IsaError> {
+        self.cycles += u64::from(self.data_cost(addr, true, pc)?);
+        let b = |mem: &HashMap<u32, u8>, i: u32| {
+            u32::from(*mem.get(&(addr.0.wrapping_add(i))).unwrap_or(&0))
+        };
+        Ok(match width {
+            Width::Byte => b(&self.mem, 0),
+            Width::Half => b(&self.mem, 0) | (b(&self.mem, 1) << 8),
+            Width::Word => {
+                b(&self.mem, 0) | (b(&self.mem, 1) << 8) | (b(&self.mem, 2) << 16)
+                    | (b(&self.mem, 3) << 24)
+            }
+        })
+    }
+
+    fn store(&mut self, addr: Addr, width: Width, value: u32, pc: Addr) -> Result<(), IsaError> {
+        self.cycles += u64::from(self.data_cost(addr, false, pc)?);
+        let bytes = value.to_le_bytes();
+        for i in 0..width.bytes() {
+            self.mem
+                .insert(addr.0.wrapping_add(i), bytes[i as usize]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_src(src: &str) -> (Interpreter, Outcome) {
+        let image = assemble(src).expect("assembles");
+        let mut interp = Interpreter::new(&image, MemoryMap::default_embedded());
+        let outcome = interp.run(1_000_000).expect("runs");
+        (interp, outcome)
+    }
+
+    #[test]
+    fn counter_loop_runs_to_completion() {
+        let (interp, outcome) = run_src(
+            "main: li r1, 5\n li r2, 0\nloop: addi r2, r2, 1\n subi r1, r1, 1\n bne r1, r0, loop\n halt",
+        );
+        assert_eq!(outcome.stop, StopReason::Halt);
+        assert_eq!(interp.reg(Reg::new(2)), 5);
+        // 5 iterations of 3 instructions plus 2 setup plus halt.
+        assert_eq!(outcome.instructions, 2 + 5 * 3 + 1);
+    }
+
+    #[test]
+    fn memory_round_trip_and_fault() {
+        let (interp, _) = run_src(
+            "main: li r1, 0x100\n li r2, 0xabcd\n sw r2, 0(r1)\n lw r3, 0(r1)\n halt",
+        );
+        assert_eq!(interp.reg(Reg::new(3)), 0xabcd);
+
+        let image = assemble("main: li r1, 0x60000000\n lw r2, 0(r1)\n halt").unwrap();
+        let mut interp = Interpreter::new(&image, MemoryMap::default_embedded());
+        assert!(matches!(
+            interp.run(100),
+            Err(IsaError::MemoryFault { .. })
+        ));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (interp, outcome) = run_src(
+            "main: li r1, 1\n call f\n addi r1, r1, 10\n halt\nf: addi r1, r1, 100\n ret",
+        );
+        assert_eq!(outcome.stop, StopReason::Halt);
+        assert_eq!(interp.reg(Reg::new(1)), 111);
+    }
+
+    #[test]
+    fn entry_return_sentinel_stops() {
+        let (_, outcome) = run_src("main: li r1, 2\n ret");
+        assert_eq!(outcome.stop, StopReason::ReturnedFromEntry);
+    }
+
+    #[test]
+    fn select_is_branchless() {
+        let (interp, outcome) = run_src(
+            "main: li r1, 1\n li r2, 10\n li r3, 20\n sel r4, r1, r2, r3\n li r1, 0\n sel r5, r1, r2, r3\n halt",
+        );
+        assert_eq!(interp.reg(Reg::new(4)), 10);
+        assert_eq!(interp.reg(Reg::new(5)), 20);
+        assert_eq!(outcome.stop, StopReason::Halt);
+    }
+
+    #[test]
+    fn float_loop_terminates_on_fblt() {
+        // x = 0.0; while (x < 3.0) x += 1.0  — three iterations.
+        let (_, outcome) = run_src(
+            r#"
+            main:
+                li   r1, 0x3f800000       # 1.0f
+                fmov f1, r1
+                li   r1, 0x40400000       # 3.0f
+                fmov f2, r1
+                li   r1, 0
+                fmov f0, r1               # x = 0.0
+            loop:
+                fadd f0, f0, f1
+                fblt f0, f2, loop
+                halt
+            "#,
+        );
+        assert_eq!(outcome.stop, StopReason::Halt);
+    }
+
+    #[test]
+    fn alloc_bumps_heap() {
+        let (interp, _) = run_src("main: li r1, 16\n alloc r2, r1\n alloc r3, r1\n halt");
+        let heap_base = MemoryMap::default_embedded().heap().unwrap().start.0;
+        assert_eq!(interp.reg(Reg::new(2)), heap_base);
+        assert_eq!(interp.reg(Reg::new(3)), heap_base + 16);
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let image = assemble("main: j main").unwrap();
+        let mut interp = Interpreter::new(&image, MemoryMap::default_embedded());
+        assert!(matches!(
+            interp.run(1000),
+            Err(IsaError::FuelExhausted { budget: 1000 })
+        ));
+    }
+
+    #[test]
+    fn subword_loads_zero_extend() {
+        let (interp, _) = run_src(
+            r#"
+            main: li r1, 0x100
+                  li r2, 0xffffffff
+                  sw r2, 0(r1)
+                  lb r3, 0(r1)
+                  lh r4, 0(r1)
+                  lw r5, 0(r1)
+                  halt
+            "#,
+        );
+        assert_eq!(interp.reg(Reg::new(3)), 0xff, "byte load zero-extends");
+        assert_eq!(interp.reg(Reg::new(4)), 0xffff, "half load zero-extends");
+        assert_eq!(interp.reg(Reg::new(5)), 0xffff_ffff);
+    }
+
+    #[test]
+    fn subword_stores_truncate() {
+        let (interp, _) = run_src(
+            r#"
+            main: li r1, 0x100
+                  li r2, 0x11223344
+                  sw r2, 0(r1)
+                  li r3, 0xaabb
+                  sb r3, 0(r1)          # only 0xbb lands
+                  lw r4, 0(r1)
+                  sh r3, 0(r1)          # 0xaabb lands in the low half
+                  lw r5, 0(r1)
+                  halt
+            "#,
+        );
+        assert_eq!(interp.reg(Reg::new(4)), 0x1122_33bb);
+        assert_eq!(interp.reg(Reg::new(5)), 0x1122_aabb);
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let (interp, _) = run_src(
+            "main: li r1, 0x100
+ li r2, 0x11223344
+ sw r2, 0(r1)
+ lb r3, 0(r1)
+ lb r4, 3(r1)
+ halt",
+        );
+        assert_eq!(interp.reg(Reg::new(3)), 0x44, "LSB first");
+        assert_eq!(interp.reg(Reg::new(4)), 0x11);
+    }
+
+    #[test]
+    fn mmio_access_is_slow() {
+        // Same program, one store to SRAM vs one to MMIO: MMIO costs more.
+        let sram = run_src("main: li r1, 0x100\n sw r0, 0(r1)\n halt").1.cycles;
+        let mmio = run_src("main: li r1, 0xf0000000\n sw r0, 0(r1)\n halt").1.cycles;
+        assert!(mmio > sram, "mmio {mmio} should exceed sram {sram}");
+    }
+
+    #[test]
+    fn icache_speeds_up_loops() {
+        // Code in flash: with an icache the loop body hits after iteration 1.
+        let src = "
+            .org 0x100000
+            main: li r1, 50
+            loop: subi r1, r1, 1
+                  bne r1, r0, loop
+                  halt";
+        let image = assemble(src).unwrap();
+        let mut plain = Interpreter::with_config(&image, MachineConfig::simple());
+        let slow = plain.run(10_000).unwrap().cycles;
+        let mut cached = Interpreter::with_config(&image, MachineConfig::with_caches());
+        let fast = cached.run(10_000).unwrap().cycles;
+        assert!(fast < slow, "cached {fast} should beat uncached {slow}");
+    }
+
+    #[test]
+    fn profile_counts_visits() {
+        let (_, outcome) = run_src("main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let loop_addr = outcome
+            .profile
+            .iter()
+            .find(|(_, &count)| count == 3)
+            .map(|(a, _)| *a);
+        assert!(loop_addr.is_some(), "loop body should execute 3 times");
+    }
+}

@@ -1,0 +1,283 @@
+//! Memory maps with per-region access latencies.
+//!
+//! The paper's Section 4.3 ("Imprecise Memory Accesses") explains that when
+//! a memory access address cannot be determined statically, the pipeline
+//! analysis "has to assume that any memory module might be the target … the
+//! slowest memory module will thus contribute the most to the overall WCET
+//! bound". The [`MemoryMap`] is the ground truth those analyses (and the
+//! concrete interpreter) share: a set of disjoint [`Region`]s, each with a
+//! kind, read/write latency, and cacheability.
+
+use std::fmt;
+
+use crate::inst::Addr;
+
+/// The kind of a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// On-chip scratchpad / SRAM: fast, cacheable.
+    Sram,
+    /// Program flash: slow reads, typically where code lives.
+    Flash,
+    /// Memory-mapped I/O (CAN/FlexRay controllers in the paper): slow and
+    /// never cacheable, with read side effects.
+    Mmio,
+    /// The dynamic heap backing [`crate::inst::Inst::Alloc`].
+    Heap,
+    /// Stack memory.
+    Stack,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::Sram => "sram",
+            RegionKind::Flash => "flash",
+            RegionKind::Mmio => "mmio",
+            RegionKind::Heap => "heap",
+            RegionKind::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One contiguous region of the physical address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name (used in analysis reports).
+    pub name: String,
+    /// First byte address.
+    pub start: Addr,
+    /// One past the last byte address.
+    pub end: Addr,
+    /// Region kind.
+    pub kind: RegionKind,
+    /// Cycles for a read that misses every cache (or is uncacheable).
+    pub read_latency: u32,
+    /// Cycles for a write that misses every cache (or is uncacheable).
+    pub write_latency: u32,
+    /// Whether accesses to this region may be cached.
+    pub cacheable: bool,
+}
+
+impl Region {
+    /// Returns true if `addr` lies inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Size of the region in bytes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end.0 - self.start.0
+    }
+
+    /// Returns true if the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A full memory map: a list of disjoint regions.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::memmap::{MemoryMap, RegionKind};
+/// use wcet_isa::Addr;
+///
+/// let map = MemoryMap::default_embedded();
+/// let sram = map.region_at(Addr(0x0000_1000)).expect("sram mapped");
+/// assert_eq!(sram.kind, RegionKind::Sram);
+/// // An unknown access must be charged the slowest latency in the map:
+/// assert!(map.worst_read_latency() >= sram.read_latency);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+}
+
+impl MemoryMap {
+    /// Creates a map from regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two regions overlap, since that would make latency
+    /// lookup ambiguous.
+    #[must_use]
+    pub fn new(mut regions: Vec<Region>) -> MemoryMap {
+        regions.sort_by_key(|r| r.start);
+        for pair in regions.windows(2) {
+            assert!(
+                pair[0].end <= pair[1].start,
+                "memory regions `{}` and `{}` overlap",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        MemoryMap { regions }
+    }
+
+    /// The default embedded memory map used across examples and tests:
+    ///
+    /// | region | range | read/write latency | cacheable |
+    /// |---|---|---|---|
+    /// | sram  | `0x0000_0000..0x0010_0000` | 1/1 | yes |
+    /// | flash | `0x0010_0000..0x0080_0000` | 10/20 | yes |
+    /// | heap  | `0x2000_0000..0x2010_0000` | 4/4 | yes |
+    /// | stack | `0x3000_0000..0x3001_0000` | 1/1 | yes |
+    /// | mmio  | `0xf000_0000..0xf001_0000` | 30/30 | no |
+    #[must_use]
+    pub fn default_embedded() -> MemoryMap {
+        MemoryMap::new(vec![
+            Region {
+                name: "sram".to_owned(),
+                start: Addr(0x0000_0000),
+                end: Addr(0x0010_0000),
+                kind: RegionKind::Sram,
+                read_latency: 1,
+                write_latency: 1,
+                cacheable: true,
+            },
+            Region {
+                name: "flash".to_owned(),
+                start: Addr(0x0010_0000),
+                end: Addr(0x0080_0000),
+                kind: RegionKind::Flash,
+                read_latency: 10,
+                write_latency: 20,
+                cacheable: true,
+            },
+            Region {
+                name: "heap".to_owned(),
+                start: Addr(0x2000_0000),
+                end: Addr(0x2010_0000),
+                kind: RegionKind::Heap,
+                read_latency: 4,
+                write_latency: 4,
+                cacheable: true,
+            },
+            Region {
+                name: "stack".to_owned(),
+                start: Addr(0x3000_0000),
+                end: Addr(0x3001_0000),
+                kind: RegionKind::Stack,
+                read_latency: 1,
+                write_latency: 1,
+                cacheable: true,
+            },
+            Region {
+                name: "mmio".to_owned(),
+                start: Addr(0xf000_0000),
+                end: Addr(0xf001_0000),
+                kind: RegionKind::Mmio,
+                read_latency: 30,
+                write_latency: 30,
+                cacheable: false,
+            },
+        ])
+    }
+
+    /// All regions in ascending address order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region containing `addr`, if any.
+    #[must_use]
+    pub fn region_at(&self, addr: Addr) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// The region with the given name, if any.
+    #[must_use]
+    pub fn region_named(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// All regions intersecting the *inclusive* address interval
+    /// `[lo, hi]` — what an imprecise access "might touch".
+    #[must_use]
+    pub fn regions_overlapping(&self, lo: Addr, hi: Addr) -> Vec<&Region> {
+        self.regions
+            .iter()
+            .filter(|r| r.start.0 <= hi.0 && lo.0 < r.end.0)
+            .collect()
+    }
+
+    /// Worst read latency over the whole map — what an access with an
+    /// *unknown* address must be charged.
+    #[must_use]
+    pub fn worst_read_latency(&self) -> u32 {
+        self.regions.iter().map(|r| r.read_latency).max().unwrap_or(1)
+    }
+
+    /// Worst write latency over the whole map.
+    #[must_use]
+    pub fn worst_write_latency(&self) -> u32 {
+        self.regions.iter().map(|r| r.write_latency).max().unwrap_or(1)
+    }
+
+    /// The heap region, if the map has one.
+    #[must_use]
+    pub fn heap(&self) -> Option<&Region> {
+        self.regions.iter().find(|r| r.kind == RegionKind::Heap)
+    }
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap::default_embedded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_map_lookup() {
+        let map = MemoryMap::default_embedded();
+        assert_eq!(map.region_at(Addr(0x0)).unwrap().kind, RegionKind::Sram);
+        assert_eq!(map.region_at(Addr(0x20_0000)).unwrap().kind, RegionKind::Flash);
+        assert_eq!(map.region_at(Addr(0xf000_0004)).unwrap().kind, RegionKind::Mmio);
+        assert!(map.region_at(Addr(0x9000_0000)).is_none());
+    }
+
+    #[test]
+    fn worst_latency_is_mmio() {
+        let map = MemoryMap::default_embedded();
+        assert_eq!(map.worst_read_latency(), 30);
+        assert_eq!(map.worst_write_latency(), 30);
+    }
+
+    #[test]
+    fn overlapping_query() {
+        let map = MemoryMap::default_embedded();
+        // An interval spanning the sram/flash boundary touches both.
+        let touched = map.regions_overlapping(Addr(0x000f_fff0), Addr(0x0010_0010));
+        let names: Vec<&str> = touched.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["sram", "flash"]);
+        // A fully-unknown interval touches everything.
+        let all = map.regions_overlapping(Addr(0), Addr(u32::MAX));
+        assert_eq!(all.len(), map.regions().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_regions_rejected() {
+        let r = |name: &str, s, e| Region {
+            name: name.to_owned(),
+            start: Addr(s),
+            end: Addr(e),
+            kind: RegionKind::Sram,
+            read_latency: 1,
+            write_latency: 1,
+            cacheable: true,
+        };
+        let _ = MemoryMap::new(vec![r("a", 0, 0x100), r("b", 0x80, 0x200)]);
+    }
+}

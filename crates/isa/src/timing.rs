@@ -1,0 +1,164 @@
+//! The base instruction cost model.
+//!
+//! Static pipeline analysis (in `wcet-micro`) and the concrete interpreter
+//! ([`crate::interp`]) share this model, which is what makes the soundness
+//! invariant — observed cycles ≤ computed WCET bound — checkable: both
+//! sides charge identical base costs and differ only in how memory access
+//! latencies are resolved (concrete cache simulation vs. abstract cache
+//! classification).
+//!
+//! Costs are *execution* cycles excluding memory: instruction fetch and
+//! load/store latencies are added on top from the [`crate::memmap`] region
+//! latencies and the cache model.
+
+use crate::inst::{AluOp, FAluOp, Inst};
+
+/// Base cycle costs per instruction class for an in-order single-issue
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Simple integer ALU operation.
+    pub alu: u32,
+    /// Integer multiply (both low and high word).
+    pub mul: u32,
+    /// Floating-point add/sub/mul.
+    pub falu: u32,
+    /// Floating-point divide.
+    pub fdiv: u32,
+    /// Conditional branch when taken (includes the pipeline refill).
+    pub branch_taken: u32,
+    /// Conditional branch when it falls through.
+    pub branch_not_taken: u32,
+    /// Direct unconditional jump.
+    pub jump: u32,
+    /// Direct call (link-register write + refill).
+    pub call: u32,
+    /// Indirect jump/call and return (target known late → longer refill).
+    pub indirect: u32,
+    /// Address-generation part of a load/store (memory latency separate).
+    pub mem_issue: u32,
+    /// Heap allocation (models the allocator library routine).
+    pub alloc: u32,
+    /// Predicated select.
+    pub select: u32,
+    /// Nop / halt.
+    pub nop: u32,
+}
+
+impl TimingModel {
+    /// The default model used across examples, tests, and benches.
+    #[must_use]
+    pub fn new() -> TimingModel {
+        TimingModel {
+            alu: 1,
+            mul: 3,
+            falu: 4,
+            fdiv: 16,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            jump: 2,
+            call: 2,
+            indirect: 4,
+            mem_issue: 1,
+            alloc: 24,
+            select: 1,
+            nop: 1,
+        }
+    }
+
+    /// Base cost of `inst`, excluding memory latency; for conditional
+    /// branches this is the *not-taken* cost (the taken surcharge is
+    /// [`TimingModel::taken_surcharge`]).
+    #[must_use]
+    pub fn base_cost(&self, inst: &Inst) -> u32 {
+        match inst {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
+                AluOp::Mul | AluOp::Mulhu => self.mul,
+                _ => self.alu,
+            },
+            Inst::Lui { .. } => self.alu,
+            Inst::Load { .. } | Inst::Store { .. } => self.mem_issue,
+            Inst::Branch { .. } | Inst::FBranch { .. } => self.branch_not_taken,
+            Inst::Jump { .. } => self.jump,
+            Inst::Call { .. } => self.call,
+            Inst::JumpInd { .. } | Inst::CallInd { .. } | Inst::Ret => self.indirect,
+            Inst::Select { .. } => self.select,
+            Inst::FAlu { op, .. } => match op {
+                FAluOp::FDiv => self.fdiv,
+                _ => self.falu,
+            },
+            Inst::FMov { .. } | Inst::FCvt { .. } => self.falu,
+            Inst::Alloc { .. } => self.alloc,
+            Inst::Nop | Inst::Halt => self.nop,
+        }
+    }
+
+    /// Extra cycles a conditional branch costs when taken rather than
+    /// falling through.
+    #[must_use]
+    pub fn taken_surcharge(&self) -> u32 {
+        self.branch_taken.saturating_sub(self.branch_not_taken)
+    }
+
+    /// Worst-case base cost: like [`TimingModel::base_cost`] but charging
+    /// conditional branches their taken cost. This is what a per-block
+    /// upper bound must use when the successor is unknown.
+    #[must_use]
+    pub fn worst_base_cost(&self, inst: &Inst) -> u32 {
+        match inst {
+            Inst::Branch { .. } | Inst::FBranch { .. } => self.branch_taken,
+            _ => self.base_cost(inst),
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Addr, Cond, Reg};
+
+    #[test]
+    fn branch_costs_ordered() {
+        let t = TimingModel::new();
+        let b = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: Addr(0),
+        };
+        assert!(t.worst_base_cost(&b) >= t.base_cost(&b));
+        assert_eq!(t.worst_base_cost(&b) - t.base_cost(&b), t.taken_surcharge());
+    }
+
+    #[test]
+    fn multiply_dearer_than_add() {
+        let t = TimingModel::new();
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            rs2: Reg::new(1),
+        };
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            rs2: Reg::new(1),
+        };
+        assert!(t.base_cost(&mul) > t.base_cost(&add));
+    }
+
+    #[test]
+    fn worst_equals_base_for_non_branches() {
+        let t = TimingModel::new();
+        for inst in [Inst::Nop, Inst::Halt, Inst::Ret, Inst::Jump { target: Addr(0) }] {
+            assert_eq!(t.base_cost(&inst), t.worst_base_cost(&inst));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Abstract cache states for LRU must/may analysis (Ferdinand's domains).
+//!
+//! For a set-associative LRU cache, the **must** analysis tracks an upper
+//! bound on each line's age (a line is *guaranteed* cached if its maximal
+//! age is below the associativity), and the **may** analysis a lower bound
+//! (a line is *guaranteed absent* if it appears in no may state). Their
+//! combination classifies each access:
+//!
+//! | in must | in may | classification |
+//! |---|---|---|
+//! | yes | — | always hit |
+//! | no | no | always miss |
+//! | no | yes | not classified (must assume the worst) |
+
+use std::collections::BTreeMap;
+
+use wcet_isa::cache::CacheConfig;
+use wcet_isa::Addr;
+
+/// Classification of one memory access against the abstract caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classification {
+    /// The line is provably cached: charge the hit latency.
+    AlwaysHit,
+    /// The line is provably absent: charge the full miss latency (useful
+    /// for BCET, where a guaranteed miss *raises* the lower bound).
+    AlwaysMiss,
+    /// Unknown: WCET charges a miss, BCET charges a hit.
+    NotClassified,
+}
+
+/// One abstract cache (either the must or the may instance — the update
+/// and join rules differ by [`Polarity`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractCache {
+    config: CacheConfig,
+    polarity: Polarity,
+    /// Per set: line tag → abstract age (0 = MRU). Only ages `< assoc`
+    /// are stored.
+    sets: Vec<BTreeMap<u32, u8>>,
+    /// True once an unknown-address access occurred on some path; voids
+    /// always-miss conclusions from the may cache.
+    poisoned: bool,
+}
+
+/// Whether the cache tracks maximal ages (must) or minimal ages (may).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Upper bounds on age: intersection-join, pessimistic aging.
+    Must,
+    /// Lower bounds on age: union-join, optimistic aging.
+    May,
+}
+
+impl AbstractCache {
+    /// An empty (cold) abstract cache.
+    #[must_use]
+    pub fn new(config: CacheConfig, polarity: Polarity) -> AbstractCache {
+        let sets = vec![BTreeMap::new(); config.sets];
+        AbstractCache {
+            config,
+            polarity,
+            sets,
+            poisoned: false,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Is the line of `addr` guaranteed present (must) / possibly present
+    /// (may)?
+    #[must_use]
+    pub fn contains_line(&self, addr: Addr) -> bool {
+        let line = self.config.line_of(addr);
+        self.sets[(line as usize) % self.config.sets].contains_key(&line)
+    }
+
+    /// Records a definite access to `addr`'s line (LRU update).
+    pub fn access(&mut self, addr: Addr) {
+        let line = self.config.line_of(addr);
+        let assoc = self.config.assoc as u8;
+        let set = &mut self.sets[(line as usize) % self.config.sets];
+        let old_age = set.get(&line).copied();
+        let mut evicted = Vec::new();
+        for (&l, age) in set.iter_mut() {
+            if l == line {
+                continue;
+            }
+            // Lines younger than the accessed line's old age grow older;
+            // with the line previously absent, everyone ages.
+            let ages = match old_age {
+                Some(o) => *age < o,
+                None => true,
+            };
+            if ages {
+                *age += 1;
+                if *age >= assoc {
+                    evicted.push(l);
+                }
+            }
+        }
+        for l in evicted {
+            set.remove(&l);
+        }
+        set.insert(line, 0);
+    }
+
+    /// Records an access that touches *one of* `addrs` (a precise-set
+    /// address from the value analysis): the must cache ages
+    /// conservatively, the may cache unions all possibilities.
+    pub fn access_one_of(&mut self, addrs: &[Addr]) {
+        // Join of the per-candidate updates; the polarity-aware join does
+        // the right thing for both the must and the may instance.
+        let mut acc: Option<AbstractCache> = None;
+        for &a in addrs {
+            let mut c = self.clone();
+            c.access(a);
+            acc = Some(match acc {
+                Some(prev) => prev.join(&c),
+                None => c,
+            });
+        }
+        if let Some(out) = acc {
+            *self = out;
+        }
+    }
+
+    /// Records an access whose address is completely unknown.
+    ///
+    /// For the must cache this is catastrophic — any line might have been
+    /// evicted, so *nothing* is guaranteed cached any more. This is the
+    /// paper's "an imprecise memory access invalidates large parts of the
+    /// abstract cache (or even the whole cache)". The may cache instead
+    /// ages everything optimistically (nothing new can be *guaranteed*
+    /// present either).
+    pub fn access_unknown(&mut self) {
+        match self.polarity {
+            Polarity::Must => {
+                for set in &mut self.sets {
+                    set.clear();
+                }
+            }
+            Polarity::May => {
+                // Any line may now additionally be present; absent lines
+                // stay possibly-absent. Conservatively age nothing (ages
+                // are lower bounds; an unknown access can only make lines
+                // younger, i.e. lower the bound — but we cannot know
+                // which, so the sound choice is to keep ages and accept
+                // that unknown lines are "possibly present" implicitly).
+                // Classification of *future* accesses must treat absence
+                // from may as no longer proving a miss; the analysis
+                // records this via `poisoned`.
+                self.poisoned = true;
+            }
+        }
+    }
+
+    /// Joins two abstract caches (control-flow merge).
+    #[must_use]
+    pub fn join(&self, other: &AbstractCache) -> AbstractCache {
+        assert_eq!(self.config, other.config, "joining incompatible caches");
+        let mut out = AbstractCache::new(self.config.clone(), self.polarity);
+        out.poisoned = self.poisoned || other.poisoned;
+        for (i, set) in out.sets.iter_mut().enumerate() {
+            match self.polarity {
+                Polarity::Must => {
+                    // Intersection with maximal age.
+                    for (l, &a) in &self.sets[i] {
+                        if let Some(&b) = other.sets[i].get(l) {
+                            set.insert(*l, a.max(b));
+                        }
+                    }
+                }
+                Polarity::May => {
+                    // Union with minimal age.
+                    for (l, &a) in &self.sets[i] {
+                        set.insert(*l, a);
+                    }
+                    for (l, &b) in &other.sets[i] {
+                        set.entry(*l)
+                            .and_modify(|a| *a = (*a).min(b))
+                            .or_insert(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Domain order: `self ⊑ other` (self at least as precise).
+    #[must_use]
+    pub fn is_subsumed_by(&self, other: &AbstractCache) -> bool {
+        if other.poisoned != self.poisoned && self.poisoned {
+            return false;
+        }
+        match self.polarity {
+            Polarity::Must => {
+                // Other's guarantees must all follow from self's.
+                other.sets.iter().enumerate().all(|(i, oset)| {
+                    oset.iter().all(|(l, &ob)| {
+                        self.sets[i].get(l).is_some_and(|&a| a <= ob)
+                    })
+                })
+            }
+            Polarity::May => {
+                // Self's possibilities must all be admitted by other.
+                self.sets.iter().enumerate().all(|(i, sset)| {
+                    sset.iter().all(|(l, &a)| {
+                        other.sets[i].get(l).is_some_and(|&ob| ob <= a)
+                    })
+                })
+            }
+        }
+    }
+
+    /// True if an unknown-address access has been seen on some path, which
+    /// voids "guaranteed absent" conclusions.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Number of lines currently tracked.
+    #[must_use]
+    pub fn tracked_lines(&self) -> usize {
+        self.sets.iter().map(BTreeMap::len).sum()
+    }
+}
+
+/// Classifies an access given the must and may states *before* it.
+#[must_use]
+pub fn classify(must: &AbstractCache, may: &AbstractCache, addr: Addr) -> Classification {
+    if must.contains_line(addr) {
+        Classification::AlwaysHit
+    } else if !may.contains_line(addr) && !may.is_poisoned() {
+        Classification::AlwaysMiss
+    } else {
+        Classification::NotClassified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg2way() -> CacheConfig {
+        CacheConfig::new(2, 2, 16, 1)
+    }
+
+    fn must() -> AbstractCache {
+        AbstractCache::new(cfg2way(), Polarity::Must)
+    }
+
+    fn may() -> AbstractCache {
+        AbstractCache::new(cfg2way(), Polarity::May)
+    }
+
+    #[test]
+    fn must_guarantees_after_access() {
+        let mut m = must();
+        assert!(!m.contains_line(Addr(0x100)));
+        m.access(Addr(0x100));
+        assert!(m.contains_line(Addr(0x100)));
+        // Same line, different word.
+        assert!(m.contains_line(Addr(0x104)));
+    }
+
+    #[test]
+    fn must_eviction_by_aging() {
+        let mut m = must();
+        // Three lines in the same set of a 2-way cache: first is evicted.
+        // Set index = line % 2; lines 0x100/16=16, 0x120/16=18, 0x140/16=20
+        // are all even → set 0.
+        m.access(Addr(0x100));
+        m.access(Addr(0x120));
+        m.access(Addr(0x140));
+        assert!(!m.contains_line(Addr(0x100)), "aged out of 2 ways");
+        assert!(m.contains_line(Addr(0x120)));
+        assert!(m.contains_line(Addr(0x140)));
+    }
+
+    #[test]
+    fn must_join_is_intersection_max_age() {
+        let mut a = must();
+        a.access(Addr(0x100));
+        a.access(Addr(0x120)); // 0x100 now age 1
+        let mut b = must();
+        b.access(Addr(0x100)); // 0x100 age 0
+        let j = a.join(&b);
+        assert!(j.contains_line(Addr(0x100)));
+        assert!(!j.contains_line(Addr(0x120)), "only in one branch");
+        // Age must be the max (1): one more conflicting access evicts.
+        let mut j2 = j.clone();
+        j2.access(Addr(0x140));
+        assert!(!j2.contains_line(Addr(0x100)));
+    }
+
+    #[test]
+    fn may_join_is_union_min_age() {
+        let mut a = may();
+        a.access(Addr(0x100));
+        let mut b = may();
+        b.access(Addr(0x120));
+        let j = a.join(&b);
+        assert!(j.contains_line(Addr(0x100)));
+        assert!(j.contains_line(Addr(0x120)));
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let mut must_c = must();
+        let mut may_c = may();
+        // 0x100 accessed on all paths → always hit.
+        must_c.access(Addr(0x100));
+        may_c.access(Addr(0x100));
+        assert_eq!(
+            classify(&must_c, &may_c, Addr(0x100)),
+            Classification::AlwaysHit
+        );
+        // 0x200 never accessed → always miss.
+        assert_eq!(
+            classify(&must_c, &may_c, Addr(0x200)),
+            Classification::AlwaysMiss
+        );
+        // 0x120 accessed on some path only.
+        may_c.access(Addr(0x120));
+        let mut must_without = must();
+        must_without.access(Addr(0x100));
+        assert_eq!(
+            classify(&must_without, &may_c, Addr(0x120)),
+            Classification::NotClassified
+        );
+    }
+
+    #[test]
+    fn unknown_access_empties_must_cache() {
+        let mut m = must();
+        m.access(Addr(0x100));
+        m.access(Addr(0x250));
+        assert!(m.tracked_lines() > 0);
+        m.access_unknown();
+        assert_eq!(m.tracked_lines(), 0, "the paper's total invalidation");
+    }
+
+    #[test]
+    fn unknown_access_poisons_may_cache() {
+        let mut m = may();
+        m.access(Addr(0x100));
+        m.access_unknown();
+        assert!(m.is_poisoned());
+        // No more always-miss classifications afterwards.
+        let must_c = must();
+        assert_eq!(
+            classify(&must_c, &m, Addr(0x999)),
+            Classification::NotClassified
+        );
+    }
+
+    #[test]
+    fn set_access_weakens_must() {
+        let mut m = must();
+        m.access(Addr(0x100));
+        // The access goes to 0x200 or 0x300: neither ends up guaranteed.
+        m.access_one_of(&[Addr(0x200), Addr(0x300)]);
+        assert!(!m.contains_line(Addr(0x200)));
+        assert!(!m.contains_line(Addr(0x300)));
+    }
+
+    #[test]
+    fn set_access_widens_may() {
+        let mut m = may();
+        m.access_one_of(&[Addr(0x200), Addr(0x300)]);
+        assert!(m.contains_line(Addr(0x200)));
+        assert!(m.contains_line(Addr(0x300)));
+    }
+
+    #[test]
+    fn subsumption_order() {
+        let empty = must();
+        let mut one = must();
+        one.access(Addr(0x100));
+        // `one` has more guarantees → more precise → subsumed by empty.
+        assert!(one.is_subsumed_by(&empty));
+        assert!(!empty.is_subsumed_by(&one));
+    }
+}

@@ -1,0 +1,397 @@
+//! Per-basic-block execution-time bounds (the pipeline analysis output).
+//!
+//! For every block, combines
+//!
+//! 1. base instruction costs from the shared [`wcet_isa::timing`] model,
+//! 2. fetch latencies from the instruction-cache classifications (or the
+//!    code region's latency when no icache is configured),
+//! 3. data-access latencies from the data-cache classifications and the
+//!    memory map — where an access with an *unknown* address must be
+//!    charged the **slowest region in the map** ("the slowest memory
+//!    module will thus contribute the most to the overall WCET bound",
+//!    Section 4.3),
+//!
+//! into a WCET and BCET cycle bound per block. These are exactly the
+//! weights the IPET path analysis maximizes over.
+//!
+//! Memory-region annotations (Section 4.3's remedy) enter through
+//! [`AccessOverrides`]: a per-access restriction of the possible address
+//! range, typically "this driver routine only touches the CAN controller's
+//! MMIO window".
+
+use std::collections::BTreeMap;
+
+use wcet_analysis::{FunctionAnalysis, Interval, Value};
+use wcet_cfg::block::BlockId;
+use wcet_isa::interp::MachineConfig;
+use wcet_isa::memmap::MemoryMap;
+use wcet_isa::{Addr, Inst};
+
+use crate::acs::Classification;
+use crate::cacheanalysis::CacheAnalysis;
+
+/// Annotation-supplied address ranges for specific accesses, keyed by the
+/// instruction address of the load/store. The analysis *intersects* its
+/// own knowledge with these (they are design-level facts).
+#[derive(Debug, Clone, Default)]
+pub struct AccessOverrides {
+    ranges: BTreeMap<Addr, Interval>,
+}
+
+impl AccessOverrides {
+    /// No overrides.
+    #[must_use]
+    pub fn none() -> AccessOverrides {
+        AccessOverrides::default()
+    }
+
+    /// Declares that the access at `inst` only touches `[lo, hi]`.
+    pub fn restrict(&mut self, inst: Addr, lo: u32, hi: u32) {
+        self.ranges.insert(inst, Interval::new(lo, hi));
+    }
+
+    /// The override for `inst`, if any.
+    #[must_use]
+    pub fn range_of(&self, inst: Addr) -> Option<Interval> {
+        self.ranges.get(&inst).copied()
+    }
+
+    /// Number of overridden accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Returns true if no overrides are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// WCET/BCET cycle bounds per basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockTimes {
+    wcet: Vec<u64>,
+    bcet: Vec<u64>,
+}
+
+impl BlockTimes {
+    /// Computes block time bounds for the analyzed function on `machine`.
+    #[must_use]
+    pub fn compute(fa: &FunctionAnalysis, machine: &MachineConfig) -> BlockTimes {
+        BlockTimes::compute_with_overrides(fa, machine, &AccessOverrides::none())
+    }
+
+    /// [`BlockTimes::compute`] with design-level memory-region overrides.
+    #[must_use]
+    pub fn compute_with_overrides(
+        fa: &FunctionAnalysis,
+        machine: &MachineConfig,
+        overrides: &AccessOverrides,
+    ) -> BlockTimes {
+        let cfg = fa.cfg();
+        let accesses = fa.access_values();
+        let icache = machine
+            .icache
+            .as_ref()
+            .map(|cc| CacheAnalysis::instruction(cfg, cc, &machine.memmap));
+        let dcache = machine
+            .dcache
+            .as_ref()
+            .map(|cc| CacheAnalysis::data(cfg, cc, &machine.memmap, &accesses));
+
+        let mut wcet = Vec::with_capacity(cfg.block_count());
+        let mut bcet = Vec::with_capacity(cfg.block_count());
+        for (id, block) in cfg.iter() {
+            let mut hi = 0u64;
+            let mut lo = 0u64;
+            for (idx, (inst_addr, inst)) in block.insts.iter().enumerate() {
+                // Base execution cost.
+                hi += u64::from(machine.timing.worst_base_cost(inst));
+                lo += u64::from(machine.timing.base_cost(inst));
+
+                // Fetch cost.
+                let (f_hi, f_lo) = fetch_cost(
+                    *inst_addr,
+                    icache.as_ref(),
+                    machine,
+                    id,
+                    idx,
+                );
+                hi += u64::from(f_hi);
+                lo += u64::from(f_lo);
+
+                // Data access cost.
+                if inst.is_memory_access() {
+                    let value = accesses.get(inst_addr).cloned().unwrap_or_else(Value::top);
+                    let value = apply_override(value, overrides.range_of(*inst_addr));
+                    let is_read = matches!(inst, Inst::Load { .. });
+                    let (m_hi, m_lo) = data_cost(
+                        &value,
+                        is_read,
+                        dcache.as_ref(),
+                        machine,
+                        id,
+                        idx,
+                    );
+                    hi += u64::from(m_hi);
+                    lo += u64::from(m_lo);
+                }
+            }
+            wcet.push(hi);
+            bcet.push(lo);
+        }
+        BlockTimes { wcet, bcet }
+    }
+
+    /// Worst-case cycles for block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn wcet(&self, b: BlockId) -> u64 {
+        self.wcet[b.0]
+    }
+
+    /// Best-case cycles for block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn bcet(&self, b: BlockId) -> u64 {
+        self.bcet[b.0]
+    }
+
+    /// Number of blocks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.wcet.len()
+    }
+
+    /// Returns true if the function had no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.wcet.is_empty()
+    }
+}
+
+fn apply_override(value: Value, over: Option<Interval>) -> Value {
+    match over {
+        Some(range) => {
+            let met = value.to_interval().meet(range);
+            if met.is_bottom() {
+                // The annotation contradicts the analysis: trust the
+                // annotation (it is a design-level fact) but stay sound by
+                // using the annotated range alone.
+                Value::from_interval(range)
+            } else {
+                Value::from_interval(met)
+            }
+        }
+        None => value,
+    }
+}
+
+/// Returns (worst, best) fetch cycles for the instruction at `addr`.
+fn fetch_cost(
+    addr: Addr,
+    icache: Option<&CacheAnalysis>,
+    machine: &MachineConfig,
+    block: BlockId,
+    idx: usize,
+) -> (u32, u32) {
+    let region_latency = machine
+        .memmap
+        .region_at(addr)
+        .map(|r| r.read_latency)
+        .unwrap_or_else(|| machine.memmap.worst_read_latency());
+    match icache {
+        Some(analysis) => match analysis.classification(block, idx) {
+            Some(Classification::AlwaysHit) => {
+                let h = machine.icache.as_ref().expect("icache configured").hit_latency;
+                (h, h)
+            }
+            Some(Classification::AlwaysMiss) => {
+                let h = machine.icache.as_ref().expect("icache configured").hit_latency;
+                (h + region_latency, h + region_latency)
+            }
+            Some(Classification::NotClassified) => {
+                let h = machine.icache.as_ref().expect("icache configured").hit_latency;
+                (h + region_latency, h)
+            }
+            None => (region_latency, region_latency),
+        },
+        None => (region_latency, region_latency),
+    }
+}
+
+/// Returns (worst, best) data-access cycles.
+fn data_cost(
+    value: &Value,
+    is_read: bool,
+    dcache: Option<&CacheAnalysis>,
+    machine: &MachineConfig,
+    block: BlockId,
+    idx: usize,
+) -> (u32, u32) {
+    let memmap: &MemoryMap = &machine.memmap;
+    // Candidate regions: everything the abstract address overlaps.
+    let iv = value.to_interval();
+    let (regions, any_unmapped) = match (iv.lo(), iv.hi()) {
+        (Some(lo), Some(hi)) => {
+            let rs = memmap.regions_overlapping(Addr(lo), Addr(hi));
+            // If the interval covers addresses outside all regions we do
+            // not add extra cost: unmapped accesses fault rather than
+            // stall. (The interpreter enforces this.)
+            (rs, false)
+        }
+        _ => (memmap.regions().iter().collect(), false),
+    };
+    let _ = any_unmapped;
+    if regions.is_empty() {
+        // Faulting access: charge the worst latency to stay conservative.
+        let w = if is_read {
+            memmap.worst_read_latency()
+        } else {
+            memmap.worst_write_latency()
+        };
+        return (w, w);
+    }
+    let latency = |r: &wcet_isa::memmap::Region| {
+        if is_read {
+            r.read_latency
+        } else {
+            r.write_latency
+        }
+    };
+    let worst_region = regions.iter().map(|r| latency(r)).max().expect("nonempty");
+    let best_region = regions.iter().map(|r| latency(r)).min().expect("nonempty");
+    let all_cacheable = regions.iter().all(|r| r.cacheable);
+    let any_cacheable = regions.iter().any(|r| r.cacheable);
+
+    match dcache {
+        Some(analysis) if any_cacheable => {
+            let h = machine.dcache.as_ref().expect("dcache configured").hit_latency;
+            match analysis.classification(block, idx) {
+                Some(Classification::AlwaysHit) if all_cacheable => (h, h),
+                Some(Classification::AlwaysMiss) if all_cacheable => {
+                    (h + worst_region, h + best_region)
+                }
+                _ => (h + worst_region, h.min(best_region)),
+            }
+        }
+        _ => (worst_region, best_region),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_analysis::analyze_function;
+    use wcet_cfg::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+    use wcet_isa::interp::{Interpreter, MachineConfig};
+
+    fn analyze(src: &str) -> (wcet_isa::Image, FunctionAnalysis) {
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        (image, fa)
+    }
+
+    #[test]
+    fn wcet_at_least_bcet_everywhere() {
+        let (_, fa) = analyze(
+            "main: li r1, 4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n lw r2, 0(r4)\n halt",
+        );
+        for machine in [MachineConfig::simple(), MachineConfig::with_caches()] {
+            let t = BlockTimes::compute(&fa, &machine);
+            for (id, _) in fa.cfg().iter() {
+                assert!(t.wcet(id) >= t.bcet(id));
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_block_bound_covers_observed() {
+        // Soundness on a single-block program: the block WCET must cover
+        // the interpreter's measured cycles.
+        let src = "main: li r1, 3\n addi r2, r1, 4\n sw r2, 0(r1)\n halt";
+        let (image, fa) = analyze(src);
+        let machine = MachineConfig::simple();
+        let t = BlockTimes::compute(&fa, &machine);
+        let mut interp = Interpreter::with_config(&image, machine);
+        let outcome = interp.run(1000).unwrap();
+        let entry = fa.cfg().entry_block();
+        assert!(
+            t.wcet(entry) >= outcome.cycles,
+            "bound {} < observed {}",
+            t.wcet(entry),
+            outcome.cycles
+        );
+        assert!(t.bcet(entry) <= outcome.cycles);
+    }
+
+    #[test]
+    fn unknown_access_charged_slowest_region() {
+        // Two identical programs except for the store address knowledge:
+        // unknown-address store must be charged ≥ the MMIO latency.
+        let (_, fa_known) = analyze("main: li r1, 0x100\n sw r0, 0(r1)\n halt");
+        let (_, fa_unknown) = analyze("main: mov r1, r4\n sw r0, 0(r1)\n halt");
+        let machine = MachineConfig::simple();
+        let known = BlockTimes::compute(&fa_known, &machine);
+        let unknown = BlockTimes::compute(&fa_unknown, &machine);
+        let kb = fa_known.cfg().entry_block();
+        let ub = fa_unknown.cfg().entry_block();
+        assert!(unknown.wcet(ub) > known.wcet(kb));
+        let mmio = machine.memmap.worst_write_latency();
+        assert!(unknown.wcet(ub) >= u64::from(mmio));
+    }
+
+    #[test]
+    fn region_override_tightens_unknown_access() {
+        // The driver-routine annotation: restricting the unknown access to
+        // SRAM removes the MMIO charge.
+        let (_, fa) = analyze("main: mov r1, r4\n lw r2, 0(r1)\n halt");
+        let machine = MachineConfig::simple();
+        let plain = BlockTimes::compute(&fa, &machine);
+        let lw_addr = fa
+            .cfg()
+            .block(fa.cfg().entry_block())
+            .insts
+            .iter()
+            .find(|(_, i)| i.is_memory_access())
+            .map(|(a, _)| *a)
+            .unwrap();
+        let mut overrides = AccessOverrides::none();
+        overrides.restrict(lw_addr, 0x0, 0x000f_ffff); // SRAM only
+        let tightened = BlockTimes::compute_with_overrides(&fa, &machine, &overrides);
+        let b = fa.cfg().entry_block();
+        assert!(tightened.wcet(b) < plain.wcet(b));
+    }
+
+    #[test]
+    fn icache_tightens_loop_blocks() {
+        let src = ".org 0x100000\nmain: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let (_, fa) = analyze(src);
+        let no_cache = BlockTimes::compute(&fa, &MachineConfig::simple());
+        let cached = BlockTimes::compute(&fa, &MachineConfig::with_caches());
+        // The loop block in flash: with an icache its WCET is at most the
+        // uncached cost (cold miss) and its BCET strictly better.
+        let loop_block = fa.cfg().block_at(Addr(0x0010_0004)).unwrap();
+        assert!(cached.bcet(loop_block) < no_cache.bcet(loop_block));
+    }
+
+    #[test]
+    fn branch_blocks_charged_taken_cost_for_wcet() {
+        let (_, fa) = analyze("main: beq r1, r0, x\n nop\nx: halt");
+        let machine = MachineConfig::simple();
+        let t = BlockTimes::compute(&fa, &machine);
+        let entry = fa.cfg().entry_block();
+        // worst ≥ best + taken surcharge for a block ending in a branch.
+        assert!(t.wcet(entry) >= t.bcet(entry) + u64::from(machine.timing.taken_surcharge()));
+    }
+}

@@ -1,0 +1,419 @@
+//! Cache analysis fixpoints over a function CFG.
+//!
+//! Runs the must/may abstract caches of [`crate::acs`] to a fixpoint and
+//! records a [`Classification`] for every instruction fetch (instruction
+//! cache) or data access (data cache). Data-access addresses come from the
+//! value analysis; unknown addresses empty the must cache and poison the
+//! may cache — mechanically reproducing the paper's Section 4.3.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use wcet_analysis::Value;
+use wcet_cfg::block::BlockId;
+use wcet_cfg::graph::Cfg;
+use wcet_isa::cache::CacheConfig;
+use wcet_isa::memmap::MemoryMap;
+use wcet_isa::{Addr, Inst};
+
+use crate::acs::{classify, AbstractCache, Classification, Polarity};
+
+/// Which cache an analysis instance models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// The instruction cache (accessed by every fetch).
+    Instruction,
+    /// The data cache (accessed by loads and stores).
+    Data,
+}
+
+/// Results of one cache analysis: a classification per instruction.
+///
+/// `None` means the access bypasses this cache (uncacheable region, or an
+/// instruction that does not access it).
+#[derive(Debug, Clone)]
+pub struct CacheAnalysis {
+    kind: CacheKind,
+    /// Per block, per instruction index.
+    class: Vec<Vec<Option<Classification>>>,
+}
+
+#[derive(Clone)]
+struct Acs {
+    must: AbstractCache,
+    may: AbstractCache,
+}
+
+impl Acs {
+    fn cold(config: &CacheConfig) -> Acs {
+        Acs {
+            must: AbstractCache::new(config.clone(), Polarity::Must),
+            may: AbstractCache::new(config.clone(), Polarity::May),
+        }
+    }
+
+    fn join(&self, other: &Acs) -> Acs {
+        Acs {
+            must: self.must.join(&other.must),
+            may: self.may.join(&other.may),
+        }
+    }
+
+    fn is_subsumed_by(&self, other: &Acs) -> bool {
+        self.must.is_subsumed_by(&other.must) && self.may.is_subsumed_by(&other.may)
+    }
+}
+
+impl CacheAnalysis {
+    /// Instruction-cache analysis: classifies every fetch in `cfg`.
+    #[must_use]
+    pub fn instruction(cfg: &Cfg, config: &CacheConfig, memmap: &MemoryMap) -> CacheAnalysis {
+        run(
+            cfg,
+            config,
+            CacheKind::Instruction,
+            |_, addr, _| Access::Fetch(addr),
+            memmap,
+        )
+    }
+
+    /// Data-cache analysis: classifies every load/store using the value
+    /// analysis' abstract addresses (`accesses`, keyed by instruction
+    /// address).
+    #[must_use]
+    pub fn data(
+        cfg: &Cfg,
+        config: &CacheConfig,
+        memmap: &MemoryMap,
+        accesses: &BTreeMap<Addr, Value>,
+    ) -> CacheAnalysis {
+        run(
+            cfg,
+            config,
+            CacheKind::Data,
+            |inst, addr, mm| data_access(inst, addr, accesses, mm),
+            memmap,
+        )
+    }
+
+    /// Which cache this analysis modeled.
+    #[must_use]
+    pub fn kind(&self) -> CacheKind {
+        self.kind
+    }
+
+    /// Classification for instruction `idx` of block `b` (`None` =
+    /// bypasses this cache).
+    #[must_use]
+    pub fn classification(&self, b: BlockId, idx: usize) -> Option<Classification> {
+        self.class
+            .get(b.0)
+            .and_then(|v| v.get(idx))
+            .copied()
+            .flatten()
+    }
+
+    /// Counts classifications across the whole function, as
+    /// `(always_hit, always_miss, not_classified)`.
+    #[must_use]
+    pub fn summary(&self) -> (usize, usize, usize) {
+        let mut hit = 0;
+        let mut miss = 0;
+        let mut nc = 0;
+        for block in &self.class {
+            for c in block.iter().flatten() {
+                match c {
+                    Classification::AlwaysHit => hit += 1,
+                    Classification::AlwaysMiss => miss += 1,
+                    Classification::NotClassified => nc += 1,
+                }
+            }
+        }
+        (hit, miss, nc)
+    }
+}
+
+/// What one instruction does to the cache being analyzed.
+enum Access {
+    /// No interaction.
+    None,
+    /// Definite access to one address.
+    Fetch(Addr),
+    /// Access to one of a small set of addresses.
+    OneOf(Vec<Addr>),
+    /// Access to a statically unknown address.
+    Unknown,
+    /// Access that bypasses the cache (uncacheable region).
+    Bypass,
+}
+
+fn data_access(
+    inst: &Inst,
+    inst_addr: Addr,
+    accesses: &BTreeMap<Addr, Value>,
+    memmap: &MemoryMap,
+) -> Access {
+    if !inst.is_memory_access() {
+        return Access::None;
+    }
+    let Some(value) = accesses.get(&inst_addr) else {
+        return Access::Unknown;
+    };
+    if let Some(set) = value.as_set() {
+        let addrs: Vec<Addr> = set.iter().map(|&a| Addr(a)).collect();
+        let cacheable = |a: &Addr| memmap.region_at(*a).is_some_and(|r| r.cacheable);
+        if addrs.iter().all(|a| !cacheable(a)) {
+            return Access::Bypass;
+        }
+        if !addrs.iter().all(cacheable) {
+            // Mixed cacheability: treat as unknown for the cache.
+            return Access::Unknown;
+        }
+        if addrs.len() == 1 {
+            return Access::Fetch(addrs[0]);
+        }
+        return Access::OneOf(addrs);
+    }
+    // Interval or top: too wide to enumerate.
+    Access::Unknown
+}
+
+fn run(
+    cfg: &Cfg,
+    config: &CacheConfig,
+    kind: CacheKind,
+    classify_inst: impl Fn(&Inst, Addr, &MemoryMap) -> Access,
+    memmap: &MemoryMap,
+) -> CacheAnalysis {
+    let n = cfg.block_count();
+    let mut in_states: Vec<Option<Acs>> = vec![None; n];
+    let entry = cfg.entry_block();
+    in_states[entry.0] = Some(Acs::cold(config));
+
+    let transfer = |acs: &mut Acs, block: BlockId| {
+        for (inst_addr, inst) in &cfg.block(block).insts {
+            let access = match kind {
+                CacheKind::Instruction => {
+                    // Fetch of the instruction itself.
+                    if memmap.region_at(*inst_addr).is_some_and(|r| r.cacheable) {
+                        Access::Fetch(*inst_addr)
+                    } else {
+                        Access::Bypass
+                    }
+                }
+                CacheKind::Data => classify_inst(inst, *inst_addr, memmap),
+            };
+            apply(acs, &access);
+        }
+    };
+
+    // Worklist fixpoint.
+    let mut work: VecDeque<BlockId> = VecDeque::from([entry]);
+    while let Some(b) = work.pop_front() {
+        let Some(in_acs) = in_states[b.0].clone() else {
+            continue;
+        };
+        let mut out = in_acs;
+        transfer(&mut out, b);
+        for &succ in &cfg.succs[b.0] {
+            let new_in = match &in_states[succ.0] {
+                Some(old) => old.join(&out),
+                None => out.clone(),
+            };
+            let changed = match &in_states[succ.0] {
+                Some(old) => !new_in.is_subsumed_by(old),
+                None => true,
+            };
+            if changed {
+                in_states[succ.0] = Some(new_in);
+                work.push_back(succ);
+            }
+        }
+    }
+
+    // Classification pass.
+    let mut class: Vec<Vec<Option<Classification>>> = Vec::with_capacity(n);
+    for (id, block) in cfg.iter() {
+        let mut row = Vec::with_capacity(block.insts.len());
+        match in_states[id.0].clone() {
+            Some(mut acs) => {
+                for (inst_addr, inst) in &block.insts {
+                    let access = match kind {
+                        CacheKind::Instruction => {
+                            if memmap.region_at(*inst_addr).is_some_and(|r| r.cacheable) {
+                                Access::Fetch(*inst_addr)
+                            } else {
+                                Access::Bypass
+                            }
+                        }
+                        CacheKind::Data => classify_inst(inst, *inst_addr, memmap),
+                    };
+                    let c = match &access {
+                        Access::None | Access::Bypass => None,
+                        Access::Fetch(a) => Some(classify(&acs.must, &acs.may, *a)),
+                        Access::OneOf(_) | Access::Unknown => {
+                            Some(Classification::NotClassified)
+                        }
+                    };
+                    row.push(c);
+                    apply(&mut acs, &access);
+                }
+            }
+            None => {
+                // Unreachable block: every access unclassified (it never
+                // executes, so the choice is irrelevant but must be sound).
+                for (_, inst) in &block.insts {
+                    let relevant = match kind {
+                        CacheKind::Instruction => true,
+                        CacheKind::Data => inst.is_memory_access(),
+                    };
+                    row.push(relevant.then_some(Classification::NotClassified));
+                }
+            }
+        }
+        class.push(row);
+    }
+
+    CacheAnalysis { kind, class }
+}
+
+fn apply(acs: &mut Acs, access: &Access) {
+    match access {
+        Access::None | Access::Bypass => {}
+        Access::Fetch(a) => {
+            acs.must.access(*a);
+            acs.may.access(*a);
+        }
+        Access::OneOf(addrs) => {
+            acs.must.access_one_of(addrs);
+            acs.may.access_one_of(addrs);
+        }
+        Access::Unknown => {
+            acs.must.access_unknown();
+            acs.may.access_unknown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_analysis::analyze_function;
+    use wcet_cfg::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+    use wcet_isa::cache::CacheConfig;
+
+    fn icache_of(src: &str) -> (wcet_cfg::graph::Program, CacheAnalysis) {
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let a = CacheAnalysis::instruction(
+            p.entry_cfg(),
+            &CacheConfig::small_icache(),
+            &MemoryMap::default_embedded(),
+        );
+        (p, a)
+    }
+
+    #[test]
+    fn straight_line_first_miss_then_hits() {
+        // Four instructions share one 16-byte line: fetch 1 misses (cold),
+        // fetches 2–4 hit.
+        let (p, a) = icache_of(".org 0x100000\nmain: nop\n nop\n nop\n halt");
+        let b = p.entry_cfg().entry_block();
+        assert_eq!(a.classification(b, 0), Some(Classification::AlwaysMiss));
+        for i in 1..4 {
+            assert_eq!(a.classification(b, i), Some(Classification::AlwaysHit));
+        }
+    }
+
+    #[test]
+    fn loop_body_hits_in_steady_state_after_join() {
+        // A loop body that fits in the cache: after the first pass the
+        // line is cached on the back edge but not on the entry edge → the
+        // join classifies the header fetch NotClassified (peeling would
+        // recover precision; see the unroll experiments).
+        let (p, a) = icache_of(
+            // Pad so the loop body sits in its own 16-byte cache line.
+            ".org 0x100000\nmain: li r1, 4\n nop\n nop\n nop\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
+        );
+        let cfg = p.entry_cfg();
+        let loop_block = cfg.block_at(wcet_isa::Addr(0x0010_0010)).unwrap();
+        let c = a.classification(loop_block, 0);
+        assert_eq!(c, Some(Classification::NotClassified));
+        let (hit, _, _) = a.summary();
+        assert!(hit > 0, "within-line fetches still hit");
+    }
+
+    #[test]
+    fn uncacheable_region_bypasses() {
+        // Code in SRAM is cacheable by default; simulate uncacheable code
+        // by building a map where nothing is cacheable.
+        let image = assemble("main: nop\n halt").unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let mut regions = MemoryMap::default_embedded().regions().to_vec();
+        for r in &mut regions {
+            r.cacheable = false;
+        }
+        let map = MemoryMap::new(regions);
+        let a = CacheAnalysis::instruction(p.entry_cfg(), &CacheConfig::small_icache(), &map);
+        let b = p.entry_cfg().entry_block();
+        assert_eq!(a.classification(b, 0), None);
+    }
+
+    #[test]
+    fn dcache_known_addresses_classify() {
+        let src = "main: li r1, 0x100\n lw r2, 0(r1)\n lw r3, 0(r1)\n halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        let a = CacheAnalysis::data(
+            fa.cfg(),
+            &CacheConfig::small_dcache(),
+            &MemoryMap::default_embedded(),
+            &fa.access_values(),
+        );
+        let b = fa.cfg().entry_block();
+        // Instruction indices: 0 = li, 1 = first lw, 2 = second lw.
+        assert_eq!(a.classification(b, 1), Some(Classification::AlwaysMiss));
+        assert_eq!(a.classification(b, 2), Some(Classification::AlwaysHit));
+    }
+
+    #[test]
+    fn dcache_unknown_address_destroys_guarantees() {
+        // Load a known address (cached), then store through an unknown
+        // pointer, then reload: the reload is no longer a guaranteed hit.
+        let src = "main: li r1, 0x100\n lw r2, 0(r1)\n sw r2, 0(r4)\n lw r3, 0(r1)\n halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        let a = CacheAnalysis::data(
+            fa.cfg(),
+            &CacheConfig::small_dcache(),
+            &MemoryMap::default_embedded(),
+            &fa.access_values(),
+        );
+        let b = fa.cfg().entry_block();
+        assert_eq!(a.classification(b, 1), Some(Classification::AlwaysMiss));
+        assert_eq!(
+            a.classification(b, 3),
+            Some(Classification::NotClassified),
+            "unknown store voided the guarantee"
+        );
+    }
+
+    #[test]
+    fn dcache_mmio_bypasses() {
+        let src = "main: li r1, 0xf0000000\n lw r2, 0(r1)\n halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        let a = CacheAnalysis::data(
+            fa.cfg(),
+            &CacheConfig::small_dcache(),
+            &MemoryMap::default_embedded(),
+            &fa.access_values(),
+        );
+        let b = fa.cfg().entry_block();
+        // Index 0 is the `lui` (li of a 16-bit-aligned constant), 1 the lw.
+        assert_eq!(a.classification(b, 1), None, "MMIO bypasses the dcache");
+    }
+}

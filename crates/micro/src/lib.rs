@@ -1,0 +1,45 @@
+//! # wcet-micro — microarchitectural timing analysis
+//!
+//! The "(Cache and) Pipeline Analysis" phase of the paper's Figure 1:
+//! computes *lower and upper execution-time bounds for basic blocks*.
+//!
+//! * [`acs`] — abstract cache states: Ferdinand-style LRU **must** (maximal
+//!   age) and **may** (minimal age) analyses, whose classifications are
+//!   *always-hit* / *always-miss* / *not-classified*,
+//! * [`cacheanalysis`] — instruction- and data-cache fixpoints over a CFG;
+//!   the data-cache analysis consumes the value analysis' address values
+//!   and reproduces the paper's headline effect: **an access with an
+//!   unknown address empties the abstract must cache** ("invalidates large
+//!   parts of the abstract cache (or even the whole cache)"),
+//! * [`blocktime`] — combines base instruction costs, fetch
+//!   classifications, and data-access latencies from the memory map into
+//!   per-block WCET/BCET cycle bounds, the numbers the path analysis
+//!   weighs its ILP with.
+//!
+//! # Example
+//!
+//! ```
+//! use wcet_isa::asm::assemble;
+//! use wcet_isa::interp::MachineConfig;
+//! use wcet_cfg::graph::{reconstruct, TargetResolver};
+//! use wcet_analysis::analyze_function;
+//! use wcet_micro::blocktime::BlockTimes;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble("main: li r1, 2\n addi r1, r1, 3\n halt")?;
+//! let p = reconstruct(&image, &TargetResolver::empty())?;
+//! let fa = analyze_function(&p, p.entry, &image);
+//! let times = BlockTimes::compute(&fa, &MachineConfig::simple());
+//! let entry = fa.cfg().entry_block();
+//! assert!(times.wcet(entry) >= times.bcet(entry));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod acs;
+pub mod blocktime;
+pub mod cacheanalysis;
+
+pub use acs::{AbstractCache, Classification};
+pub use blocktime::BlockTimes;
+pub use cacheanalysis::{CacheAnalysis, CacheKind};

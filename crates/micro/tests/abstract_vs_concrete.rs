@@ -1,0 +1,170 @@
+//! Property tests tying the *abstract* must/may cache analysis to the
+//! *concrete* LRU simulation: whenever the abstract domains classify an
+//! access, the concrete cache must agree, for any access sequence and any
+//! geometry. This is the Ferdinand-correctness of the whole cache story.
+
+use proptest::prelude::*;
+
+use wcet_isa::cache::{AccessKind, CacheConfig, LruCache};
+use wcet_isa::Addr;
+use wcet_micro::acs::{classify, AbstractCache, Classification, Polarity};
+
+fn geometry() -> impl Strategy<Value = CacheConfig> {
+    (0u32..3, 1usize..4, 2u32..6).prop_map(|(sets_log, assoc, line_log)| {
+        CacheConfig::new(1 << sets_log, assoc, 1 << line_log, 1)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Along a single path (no joins), the abstract classification of
+    /// each access must match the concrete hit/miss outcome exactly.
+    #[test]
+    fn prop_straight_line_classification_exact(
+        config in geometry(),
+        accesses in proptest::collection::vec(0u32..1024, 1..60),
+    ) {
+        let mut concrete = LruCache::new(config.clone());
+        let mut must = AbstractCache::new(config.clone(), Polarity::Must);
+        let mut may = AbstractCache::new(config, Polarity::May);
+        for raw in accesses {
+            let addr = Addr(raw * 4);
+            let class = classify(&must, &may, addr);
+            let outcome = concrete.access(addr);
+            match class {
+                Classification::AlwaysHit => {
+                    prop_assert_eq!(outcome, AccessKind::Hit, "must-analysis lied at {}", addr);
+                }
+                Classification::AlwaysMiss => {
+                    prop_assert_eq!(outcome, AccessKind::Miss, "may-analysis lied at {}", addr);
+                }
+                Classification::NotClassified => {
+                    // Never exact on a single path with only definite
+                    // accesses — but allowed (it is merely imprecise).
+                }
+            }
+            must.access(addr);
+            may.access(addr);
+        }
+    }
+
+    /// After joining two paths, the classification must stay sound for
+    /// *both* concrete cache states.
+    #[test]
+    fn prop_join_sound_for_both_paths(
+        config in geometry(),
+        path_a in proptest::collection::vec(0u32..256, 0..25),
+        path_b in proptest::collection::vec(0u32..256, 0..25),
+        probes in proptest::collection::vec(0u32..256, 1..10),
+    ) {
+        let run = |path: &[u32]| {
+            let mut concrete = LruCache::new(config.clone());
+            let mut must = AbstractCache::new(config.clone(), Polarity::Must);
+            let mut may = AbstractCache::new(config.clone(), Polarity::May);
+            for &raw in path {
+                let addr = Addr(raw * 4);
+                concrete.access(addr);
+                must.access(addr);
+                may.access(addr);
+            }
+            (concrete, must, may)
+        };
+        let (conc_a, must_a, may_a) = run(&path_a);
+        let (conc_b, must_b, may_b) = run(&path_b);
+        let must_join = must_a.join(&must_b);
+        let may_join = may_a.join(&may_b);
+
+        for &raw in &probes {
+            let addr = Addr(raw * 4);
+            match classify(&must_join, &may_join, addr) {
+                Classification::AlwaysHit => {
+                    prop_assert!(conc_a.contains(addr), "join AH but path A misses {}", addr);
+                    prop_assert!(conc_b.contains(addr), "join AH but path B misses {}", addr);
+                }
+                Classification::AlwaysMiss => {
+                    prop_assert!(!conc_a.contains(addr), "join AM but path A hits {}", addr);
+                    prop_assert!(!conc_b.contains(addr), "join AM but path B hits {}", addr);
+                }
+                Classification::NotClassified => {}
+            }
+        }
+    }
+
+    /// An unknown-address access may concretely touch *anything*; the
+    /// abstract state after `access_unknown` must stay sound no matter
+    /// which address the concrete access actually used.
+    #[test]
+    fn prop_unknown_access_sound(
+        config in geometry(),
+        warmup in proptest::collection::vec(0u32..128, 0..20),
+        hidden in 0u32..128,
+        probes in proptest::collection::vec(0u32..128, 1..8),
+    ) {
+        let mut concrete = LruCache::new(config.clone());
+        let mut must = AbstractCache::new(config.clone(), Polarity::Must);
+        let mut may = AbstractCache::new(config, Polarity::May);
+        for &raw in &warmup {
+            let addr = Addr(raw * 4);
+            concrete.access(addr);
+            must.access(addr);
+            may.access(addr);
+        }
+        // The analysis sees "unknown"; the machine touches `hidden`.
+        concrete.access(Addr(hidden * 4));
+        must.access_unknown();
+        may.access_unknown();
+
+        for &raw in &probes {
+            let addr = Addr(raw * 4);
+            match classify(&must, &may, addr) {
+                Classification::AlwaysHit => {
+                    prop_assert!(concrete.contains(addr), "AH after unknown at {}", addr);
+                }
+                Classification::AlwaysMiss => {
+                    prop_assert!(!concrete.contains(addr), "AM after unknown at {}", addr);
+                }
+                Classification::NotClassified => {}
+            }
+        }
+    }
+
+    /// Set-valued accesses (`access_one_of`) must stay sound for every
+    /// concrete choice among the candidates.
+    #[test]
+    fn prop_one_of_access_sound(
+        config in geometry(),
+        warmup in proptest::collection::vec(0u32..64, 0..15),
+        candidates in proptest::collection::vec(0u32..64, 1..4),
+        pick in 0usize..4,
+        probes in proptest::collection::vec(0u32..64, 1..6),
+    ) {
+        let chosen = candidates[pick % candidates.len()];
+        let mut concrete = LruCache::new(config.clone());
+        let mut must = AbstractCache::new(config.clone(), Polarity::Must);
+        let mut may = AbstractCache::new(config, Polarity::May);
+        for &raw in &warmup {
+            let addr = Addr(raw * 4);
+            concrete.access(addr);
+            must.access(addr);
+            may.access(addr);
+        }
+        let addrs: Vec<Addr> = candidates.iter().map(|&c| Addr(c * 4)).collect();
+        concrete.access(Addr(chosen * 4));
+        must.access_one_of(&addrs);
+        may.access_one_of(&addrs);
+
+        for &raw in &probes {
+            let addr = Addr(raw * 4);
+            match classify(&must, &may, addr) {
+                Classification::AlwaysHit => {
+                    prop_assert!(concrete.contains(addr), "AH but concrete misses {}", addr);
+                }
+                Classification::AlwaysMiss => {
+                    prop_assert!(!concrete.contains(addr), "AM but concrete hits {}", addr);
+                }
+                Classification::NotClassified => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Worst-case path extraction from IPET edge counts.
+//!
+//! The ILP solution assigns every edge an execution count satisfying flow
+//! conservation; a concrete witness path is an Euler-style walk that
+//! consumes those counts. The path is what an engineer inspects to see
+//! *where* the worst case lives (and what the examples print).
+
+use std::collections::BTreeMap;
+
+use wcet_cfg::block::BlockId;
+use wcet_cfg::graph::Cfg;
+
+/// Safety cap on the reconstructed path length.
+pub const MAX_PATH_LEN: usize = 100_000;
+
+/// Walks the CFG from the entry, consuming edge counts, and returns the
+/// visited block sequence. When several out-edges still have budget, back
+/// edges (toward already-visited loop headers) are preferred so loop
+/// iterations are consumed before the loop is left — this keeps the walk
+/// from stranding flow.
+#[must_use]
+pub fn extract_path(cfg: &Cfg, edge_counts: &BTreeMap<(BlockId, BlockId), u64>) -> Vec<BlockId> {
+    let mut remaining = edge_counts.clone();
+    let mut path = vec![cfg.entry_block()];
+    let mut current = cfg.entry_block();
+
+    for _ in 0..MAX_PATH_LEN {
+        // Candidate out-edges with budget left.
+        let mut candidates: Vec<(BlockId, u64)> = cfg.succs[current.0]
+            .iter()
+            .filter_map(|&s| {
+                let c = remaining.get(&(current, s)).copied().unwrap_or(0);
+                (c > 0).then_some((s, c))
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        // Prefer the successor with the larger remaining count: this
+        // drains loop back edges before exit edges.
+        candidates.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s));
+        let (next, _) = candidates[0];
+        *remaining.get_mut(&(current, next)).expect("candidate exists") -= 1;
+        path.push(next);
+        current = next;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcet_cfg::graph::{reconstruct, TargetResolver};
+    use wcet_isa::asm::assemble;
+
+    #[test]
+    fn straight_line_path() {
+        let image = assemble("main: nop\n beq r1, r0, x\n nop\nx: halt").unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let cfg = p.entry_cfg();
+        // Take the taken edge once.
+        let entry = cfg.entry_block();
+        let x = cfg
+            .iter()
+            .find(|(_, b)| matches!(b.term, wcet_cfg::block::Terminator::Halt))
+            .unwrap()
+            .0;
+        let mut counts = BTreeMap::new();
+        counts.insert((entry, x), 1u64);
+        let path = extract_path(cfg, &counts);
+        assert_eq!(path, vec![entry, x]);
+    }
+
+    #[test]
+    fn loop_path_consumes_back_edges() {
+        let image =
+            assemble("main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt").unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let cfg = p.entry_cfg();
+        let entry = cfg.entry_block();
+        let lp = cfg.block_at(p.entry.offset(4)).unwrap();
+        let exit = cfg
+            .iter()
+            .find(|(_, b)| matches!(b.term, wcet_cfg::block::Terminator::Halt))
+            .unwrap()
+            .0;
+        let mut counts = BTreeMap::new();
+        counts.insert((entry, lp), 1u64);
+        counts.insert((lp, lp), 2u64); // two back-edge traversals
+        counts.insert((lp, exit), 1u64);
+        let path = extract_path(cfg, &counts);
+        assert_eq!(path, vec![entry, lp, lp, lp, exit]);
+    }
+
+    #[test]
+    fn zero_counts_stop_immediately() {
+        let image = assemble("main: halt").unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let path = extract_path(p.entry_cfg(), &BTreeMap::new());
+        assert_eq!(path.len(), 1);
+    }
+}

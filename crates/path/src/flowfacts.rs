@@ -1,0 +1,103 @@
+//! Flow facts: design-level linear constraints on execution counts.
+//!
+//! The paper's Section 4.3 argues that tier-two precision requires
+//! knowledge "available from the design-level phase": operating modes
+//! excluding code regions, mutually exclusive read/write paths in message
+//! handlers, bounded error counts. All of these are linear constraints
+//! over block execution counts, which is exactly what IPET can consume.
+
+use wcet_cfg::block::BlockId;
+
+/// Comparison operator of a flow fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactOp {
+    /// `Σ terms ≤ rhs`
+    Le,
+    /// `Σ terms ≥ rhs`
+    Ge,
+    /// `Σ terms = rhs`
+    Eq,
+}
+
+/// A linear constraint `Σ coeffᵢ · count(blockᵢ)  op  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowFact {
+    /// Weighted block-count terms.
+    pub terms: Vec<(BlockId, f64)>,
+    /// Comparison operator.
+    pub op: FactOp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+    /// Human-readable provenance (shown in reports).
+    pub why: String,
+}
+
+impl FlowFact {
+    /// The block never executes — e.g. it belongs to a different
+    /// operating mode, or it is an error path excluded from the analysis.
+    #[must_use]
+    pub fn exclude(block: BlockId, why: &str) -> FlowFact {
+        FlowFact {
+            terms: vec![(block, 1.0)],
+            op: FactOp::Eq,
+            rhs: 0.0,
+            why: why.to_owned(),
+        }
+    }
+
+    /// The block executes at most `k` times — e.g. "at most k errors per
+    /// activation" (Section 4.3, error handling).
+    #[must_use]
+    pub fn max_count(block: BlockId, k: u64, why: &str) -> FlowFact {
+        FlowFact {
+            terms: vec![(block, 1.0)],
+            op: FactOp::Le,
+            rhs: k as f64,
+            why: why.to_owned(),
+        }
+    }
+
+    /// Two blocks are mutually exclusive within one activation: their
+    /// combined count cannot exceed `capacity` (1 for straight-line code;
+    /// the loop bound if they sit inside a loop). This encodes the
+    /// message-handler read/write exclusion of Section 4.3.
+    #[must_use]
+    pub fn mutually_exclusive(a: BlockId, b: BlockId, capacity: u64, why: &str) -> FlowFact {
+        FlowFact {
+            terms: vec![(a, 1.0), (b, 1.0)],
+            op: FactOp::Le,
+            rhs: capacity as f64,
+            why: why.to_owned(),
+        }
+    }
+
+    /// A general linear fact.
+    #[must_use]
+    pub fn linear(terms: Vec<(BlockId, f64)>, op: FactOp, rhs: f64, why: &str) -> FlowFact {
+        FlowFact {
+            terms,
+            op,
+            rhs,
+            why: why.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = FlowFact::exclude(BlockId(3), "air mode");
+        assert_eq!(f.op, FactOp::Eq);
+        assert_eq!(f.rhs, 0.0);
+
+        let f = FlowFact::max_count(BlockId(1), 2, "max 2 errors");
+        assert_eq!(f.op, FactOp::Le);
+        assert_eq!(f.rhs, 2.0);
+
+        let f = FlowFact::mutually_exclusive(BlockId(1), BlockId(2), 1, "rx xor tx");
+        assert_eq!(f.terms.len(), 2);
+    }
+}

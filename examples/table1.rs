@@ -1,0 +1,70 @@
+//! Regenerate the paper's Table 1: observed iteration counts for
+//! `ldivmod` over random inputs.
+//!
+//! ```sh
+//! cargo run --release --example table1            # 10^7 samples
+//! cargo run --release --example table1 -- 100000000   # the paper's 10^8
+//! ```
+
+use wcet_predictability::arith::histogram::{
+    paper_pathological_inputs, run_table1, Table1Config,
+};
+use wcet_predictability::arith::ldivmod::correction_bound;
+use wcet_predictability::arith::restoring::restoring_div;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10_000_000);
+
+    println!("Table 1 — observed iteration counts for ldivmod ({samples} random inputs)");
+    println!();
+    println!("{:<44} {:>14}", "Iteration Counts", "Frequency");
+    println!("{:-<60}", "");
+    let hist = run_table1(&Table1Config {
+        samples,
+        ..Table1Config::default()
+    });
+    for (label, count) in hist.rows() {
+        println!("{label:<44} {count:>14}");
+    }
+    println!("{:-<60}", "");
+    println!(
+        "one-iteration fraction:   {:>9.4} %   (paper: > 99.8 %)",
+        100.0 * hist.one_iteration_fraction()
+    );
+    println!(
+        "0–2-iteration fraction:   {:>9.5} %   (paper: > 99.999 %)",
+        100.0 * hist.upto_two_fraction()
+    );
+    println!(
+        "maximum iterations:       {:>9}     (paper: 204)",
+        hist.max_iterations
+    );
+
+    println!();
+    println!("the paper's pathological inputs through our routine:");
+    for ((n, d), iters) in paper_pathological_inputs() {
+        println!("  ldivmod(0x{n:08x}, 0x{d:08x}) = {iters} iterations");
+    }
+
+    println!();
+    println!(
+        "analytical correction bound for divisors ≥ 2^20: {} iterations",
+        correction_bound(1 << 20)
+    );
+    println!(
+        "the WCET-predictable alternative (restoring division) always takes {} iterations",
+        restoring_div(12345, 7)?.iterations
+    );
+    println!();
+    println!(
+        "\"There seems to be no simple way to derive the number of \
+         iterations from given inputs\" — which is exactly why the static \
+         analyzer must assume the worst case for every context (paper, \
+         Section 4.3)."
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! # wcet-predictability — umbrella crate
+//!
+//! Reproduction of *Software Structure and WCET Predictability* (Gebhard,
+//! Cullmann, Heckmann; PPES/DATE 2011). This crate re-exports the whole
+//! workspace so examples and integration tests can address every layer
+//! through one dependency. See the repository `README.md`, `DESIGN.md`,
+//! and `EXPERIMENTS.md` for the system inventory and experiment index.
+
+pub use wcet_analysis as analysis;
+pub use wcet_arith as arith;
+pub use wcet_cfg as cfg;
+pub use wcet_core as core;
+pub use wcet_guidelines as guidelines;
+pub use wcet_ilp as ilp;
+pub use wcet_isa as isa;
+pub use wcet_micro as micro;
+pub use wcet_path as path;

@@ -1,0 +1,198 @@
+//! `wcet` — the command-line front end of the analyzer.
+//!
+//! ```text
+//! wcet <program.s> [options]     analyze an assembly program
+//!   --annotations <file>         design-level annotation file (§4.3)
+//!   --caches                     enable the i/d-cache machine model
+//!   --unroll                     virtually unroll loops (context expansion)
+//!   --disasm                     print the disassembly listing
+//!   --check-only                 run only the MISRA guideline checker
+//!   --run                        also execute and report observed cycles
+//! wcet --table1 [samples]        regenerate the paper's Table 1
+//! wcet --experiments             regenerate every experiment (E1–E16)
+//! ```
+
+use std::process::ExitCode;
+
+use wcet_predictability::core::analyzer::{AnalyzerConfig, WcetAnalyzer};
+use wcet_predictability::core::experiments;
+use wcet_predictability::guidelines::annot::AnnotationSet;
+use wcet_predictability::isa::asm::assemble;
+use wcet_predictability::isa::disasm::disassemble;
+use wcet_predictability::isa::interp::{Interpreter, MachineConfig};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("wcet: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return Ok(());
+    }
+
+    if args[0] == "--table1" {
+        let samples: u64 = args
+            .get(1)
+            .map(|s| s.parse().map_err(|_| format!("invalid sample count `{s}`")))
+            .transpose()?
+            .unwrap_or(10_000_000);
+        let e = experiments::e1_table1(samples);
+        println!("{e}");
+        return Ok(());
+    }
+
+    if args[0] == "--experiments" {
+        for e in experiments::run_all(1_000_000) {
+            println!("{e}\n");
+        }
+        return Ok(());
+    }
+
+    // Analyze mode.
+    let mut source_path: Option<String> = None;
+    let mut annot_path: Option<String> = None;
+    let mut caches = false;
+    let mut unroll = false;
+    let mut show_disasm = false;
+    let mut check_only = false;
+    let mut also_run = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--annotations" => {
+                annot_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--annotations needs a file".to_owned())?,
+                );
+            }
+            "--caches" => caches = true,
+            "--unroll" => unroll = true,
+            "--disasm" => show_disasm = true,
+            "--check-only" => check_only = true,
+            "--run" => also_run = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"));
+            }
+            path => {
+                if source_path.replace(path.to_owned()).is_some() {
+                    return Err("more than one program file given".to_owned());
+                }
+            }
+        }
+    }
+    let source_path = source_path.ok_or_else(|| "no program file given".to_owned())?;
+
+    let source = std::fs::read_to_string(&source_path)
+        .map_err(|e| format!("cannot read {source_path}: {e}"))?;
+    let image = assemble(&source).map_err(|e| format!("{source_path}: {e}"))?;
+
+    let annotations = match &annot_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            AnnotationSet::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => AnnotationSet::new(),
+    };
+
+    if show_disasm {
+        println!("── disassembly ──");
+        println!("{}", disassemble(&image).map_err(|e| e.to_string())?);
+    }
+
+    let machine = if caches {
+        MachineConfig::with_caches()
+    } else {
+        MachineConfig::simple()
+    };
+    let config = AnalyzerConfig {
+        machine: machine.clone(),
+        annotations,
+        unrolling: unroll,
+        ..AnalyzerConfig::new()
+    };
+    let report = WcetAnalyzer::with_config(config)
+        .analyze(&image)
+        .map_err(|e| e.to_string())?;
+
+    if let Some(guidelines) = &report.guidelines {
+        println!("── guideline check ──");
+        print!("{guidelines}");
+        println!();
+        if check_only {
+            return Ok(());
+        }
+    }
+
+    println!("── analysis ──");
+    println!("{}", report.trace);
+    println!();
+    println!("task WCET bound: {} cycles", report.wcet_cycles);
+    println!("task BCET bound: {} cycles", report.bcet_cycles);
+    if report.mode_wcet.len() > 1 {
+        println!();
+        println!("── per-mode WCET bounds ──");
+        for (mode, wcet) in &report.mode_wcet {
+            println!(
+                "  {:<12} {wcet} cycles",
+                mode.as_deref().unwrap_or("(global)")
+            );
+        }
+    }
+
+    // The worst-case path as a symbolized block trace (abbreviated).
+    let entry_cfg = report.program.entry_cfg();
+    let path_blocks: Vec<String> = report
+        .worst_path
+        .iter()
+        .take(24)
+        .map(|&b| {
+            let start = entry_cfg.block(b).start;
+            image
+                .symbol_at(start)
+                .map(str::to_owned)
+                .unwrap_or_else(|| start.to_string())
+        })
+        .collect();
+    if !path_blocks.is_empty() {
+        println!();
+        println!(
+            "worst-case path: {}{}",
+            path_blocks.join(" → "),
+            if report.worst_path.len() > 24 { " → …" } else { "" }
+        );
+    }
+
+    if also_run {
+        let mut interp = Interpreter::with_config(&image, machine);
+        let outcome = interp
+            .run(100_000_000)
+            .map_err(|e| format!("execution: {e}"))?;
+        println!();
+        println!(
+            "observed execution: {} cycles ({} instructions) — within bounds: {}",
+            outcome.cycles,
+            outcome.instructions,
+            outcome.cycles <= report.wcet_cycles && outcome.cycles >= report.bcet_cycles
+        );
+    }
+    Ok(())
+}
+
+fn print_usage() {
+    println!(
+        "wcet — static WCET analyzer (reproduction of 'Software Structure \
+         and WCET Predictability', PPES/DATE 2011)\n\n\
+         usage:\n  wcet <program.s> [--annotations <file>] [--caches] \
+         [--unroll] [--disasm] [--check-only] [--run]\n  wcet --table1 [samples]\n  \
+         wcet --experiments\n  wcet --help"
+    );
+}

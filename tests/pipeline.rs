@@ -1,0 +1,209 @@
+//! Cross-crate integration tests of the Figure 1 pipeline: binary round
+//! trips, workload analyses, annotation round trips, and the experiment
+//! suite's headline orderings.
+
+use proptest::prelude::*;
+
+use wcet_predictability::core::analyzer::{AnalyzerConfig, WcetAnalyzer};
+use wcet_predictability::core::{experiments, workload};
+use wcet_predictability::guidelines::annot::AnnotationSet;
+use wcet_predictability::isa::decode::decode;
+use wcet_predictability::isa::encode::encode;
+use wcet_predictability::isa::interp::{Interpreter, MachineConfig};
+use wcet_predictability::isa::{Addr, AluOp, Cond, FAluOp, FCond, FReg, Inst, Reg, Width};
+
+// ---------------------------------------------------------------------
+// Encoder/decoder round trip over the whole instruction space
+// ---------------------------------------------------------------------
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..8).prop_map(FReg::new)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    // Branch displacements must stay inside the 16-bit word window; the
+    // instruction is placed at 0x10_0000 and targets stay nearby.
+    let near = (0i64..1000).prop_map(|w| Addr((0x10_0000 + 4 * w) as u32));
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        Just(Inst::Ret),
+        (proptest::sample::select(AluOp::ALL.to_vec()), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            -32768i32..=32767
+        )
+            .prop_map(|(op, rd, rs1, imm)| {
+                // Logical immediates are zero-extended 16-bit values.
+                let imm = if matches!(op, AluOp::And | AluOp::Or | AluOp::Xor) {
+                    imm & 0xffff
+                } else {
+                    imm
+                };
+                Inst::AluImm { op, rd, rs1, imm }
+            }),
+        (arb_reg(), 0u32..=0xffff).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (
+            proptest::sample::select(Width::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            -32768i32..=32767
+        )
+            .prop_map(|(width, rd, base, offset)| Inst::Load { width, rd, base, offset }),
+        (
+            proptest::sample::select(Width::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            -32768i32..=32767
+        )
+            .prop_map(|(width, rs, base, offset)| Inst::Store { width, rs, base, offset }),
+        (
+            proptest::sample::select(Cond::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            near.clone()
+        )
+            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+        near.clone().prop_map(|target| Inst::Jump { target }),
+        near.clone().prop_map(|target| Inst::Call { target }),
+        arb_reg().prop_map(|rs| Inst::JumpInd { rs }),
+        arb_reg().prop_map(|rs| Inst::CallInd { rs }),
+        (arb_reg(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rc, rt, rf)| Inst::Select { rd, rc, rt, rf }),
+        (proptest::sample::select(FAluOp::ALL.to_vec()), arb_freg(), arb_freg(), arb_freg())
+            .prop_map(|(op, fd, fs1, fs2)| Inst::FAlu { op, fd, fs1, fs2 }),
+        (
+            proptest::sample::select(FCond::ALL.to_vec()),
+            arb_freg(),
+            arb_freg(),
+            near
+        )
+            .prop_map(|(cond, fs1, fs2, target)| Inst::FBranch { cond, fs1, fs2, target }),
+        (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Inst::FMov { fd, rs }),
+        (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Inst::FCvt { fd, rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Inst::Alloc { rd, rs }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(inst)) == inst for every encodable instruction.
+    #[test]
+    fn prop_encode_decode_round_trip(inst in arb_inst()) {
+        let at = Addr(0x10_0000);
+        let word = encode(&inst, at).expect("in-range instruction encodes");
+        let back = decode(word, at).expect("well-formed word decodes");
+        prop_assert_eq!(back, inst);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workloads end to end
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_annotated_workload_is_analyzable_and_sound() {
+    let cases: Vec<(workload::Workload, Vec<(u32, u32)>)> = vec![
+        (workload::flight_control(), vec![(0xf000_0000, 0), (0xf000_0000, 1)]),
+        (workload::matrix_kernel(4), vec![]),
+        (workload::state_machine(4), vec![(0xf000_0000, 2)]),
+    ];
+    for (w, pokes) in cases {
+        let config = AnalyzerConfig {
+            annotations: w.annotations.clone(),
+            ..AnalyzerConfig::new()
+        };
+        let report = WcetAnalyzer::with_config(config)
+            .analyze(&w.image)
+            .unwrap_or_else(|e| panic!("{} analyzes: {e}", w.name));
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        for (addr, value) in pokes {
+            interp.poke_word(Addr(addr), value);
+        }
+        let outcome = interp.run(10_000_000).expect("halts");
+        assert!(
+            outcome.cycles <= report.wcet_cycles,
+            "{}: observed {} > WCET {}",
+            w.name,
+            outcome.cycles,
+            report.wcet_cycles
+        );
+    }
+}
+
+#[test]
+fn state_machine_every_state_within_bound() {
+    let w = workload::state_machine(5);
+    let report = WcetAnalyzer::new().analyze(&w.image).expect("resolves");
+    for state in 0..5u32 {
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        interp.poke_word(Addr(0xf000_0000), state);
+        let cycles = interp.run(100_000).expect("halts").cycles;
+        assert!(
+            cycles <= report.wcet_cycles,
+            "state {state}: {cycles} > {}",
+            report.wcet_cycles
+        );
+    }
+    // Out-of-range state clamps to 0 and must also be covered.
+    let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+    interp.poke_word(Addr(0xf000_0000), 0xdead_beef);
+    assert!(interp.run(100_000).expect("halts").cycles <= report.wcet_cycles);
+}
+
+#[test]
+fn error_handling_budget_is_sound_for_consistent_runs() {
+    let n = 5u32;
+    let w = workload::error_handling(n);
+    let (_, budget) = workload::error_annotations(&w, n, 1);
+    let config = AnalyzerConfig {
+        annotations: budget,
+        ..AnalyzerConfig::new()
+    };
+    let report = WcetAnalyzer::with_config(config).analyze(&w.image).expect("analyzes");
+    // Any run with at most one error flag set respects the budget bound.
+    for error_at in 0..n {
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        interp.poke_word(Addr(0xf000_0000 + 4 * error_at), 1);
+        let cycles = interp.run(1_000_000).expect("halts").cycles;
+        assert!(cycles <= report.wcet_cycles, "error at {error_at}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Annotation language round trips
+// ---------------------------------------------------------------------
+
+#[test]
+fn annotation_parse_is_stable_under_reformat() {
+    let text = "mode a, b;\nloop 0x1000 bound 5;\nexclude 0x2000 in mode a;\nmutex 0x10, 0x20 capacity 2;\nmaxcount 0x30 4;\nsumcount 0x40, 0x44 max 2;\ncall 0x50 targets 0x100, 0x104;\naccess 0x60 range 0x0..0xff;";
+    let a = AnnotationSet::parse(text).expect("parses");
+    // Adding comments and blank lines must not change the result.
+    let noisy = text
+        .lines()
+        .map(|l| format!("  {l}   # trailing comment\n\n"))
+        .collect::<String>();
+    let b = AnnotationSet::parse(&noisy).expect("parses");
+    assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Experiment-suite headline orderings
+// ---------------------------------------------------------------------
+
+#[test]
+fn experiment_suite_smoke() {
+    let all = experiments::run_all(20_000);
+    assert_eq!(all.len(), 17); // E1–E16 plus the ablation study
+    for e in &all {
+        assert!(!e.rows.is_empty(), "{} produced no rows", e.id);
+        // Every experiment renders.
+        assert!(e.to_string().contains(e.id));
+    }
+}

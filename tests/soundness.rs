@@ -1,0 +1,211 @@
+//! The paper's soundness requirement, tested end to end: for randomly
+//! generated analyzable programs, the concrete execution time never
+//! exceeds the computed WCET bound and never undercuts the BCET bound
+//! (Section 3: WCET guarantees must be "safe and precise upper bounds").
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wcet_predictability::core::analyzer::WcetAnalyzer;
+use wcet_predictability::isa::builder::ProgramBuilder;
+use wcet_predictability::isa::interp::{Interpreter, MachineConfig};
+use wcet_predictability::isa::{AluOp, Cond, Image, Reg};
+
+/// Generates a random, analyzable-by-construction program: straight-line
+/// arithmetic, constant-bound counter loops (nestable once), diamonds,
+/// and SRAM memory traffic. Registers r1–r7 are scratch; r8/r9 hold loop
+/// counters; inputs come through r10–r12 (callee-saved, set by the test).
+fn random_program(seed: u64, segments: usize) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(0x1000);
+    let mut label = 0usize;
+    let mut fresh = || {
+        label += 1;
+        format!("L{label}")
+    };
+    let scratch = |rng: &mut StdRng| Reg::new(rng.gen_range(1..=7));
+    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul];
+
+    b.label("main");
+    for _ in 0..segments {
+        match rng.gen_range(0..4u32) {
+            // Straight-line arithmetic.
+            0 => {
+                for _ in 0..rng.gen_range(1..5) {
+                    let op = ops[rng.gen_range(0..ops.len())];
+                    let (rd, rs1, rs2) = (scratch(&mut rng), scratch(&mut rng), scratch(&mut rng));
+                    b.alu(op, rd, rs1, rs2);
+                }
+            }
+            // Counter loop (possibly with a nested inner loop).
+            1 => {
+                let outer_n = rng.gen_range(1..8u32);
+                let head = fresh();
+                b.li(Reg::new(8), outer_n);
+                b.label(&head);
+                let op = ops[rng.gen_range(0..ops.len())];
+                b.alu(op, scratch(&mut rng), scratch(&mut rng), scratch(&mut rng));
+                if rng.gen_bool(0.4) {
+                    let inner_n = rng.gen_range(1..5u32);
+                    let inner = fresh();
+                    b.li(Reg::new(9), inner_n);
+                    b.label(&inner);
+                    b.alui(AluOp::Add, scratch(&mut rng), Reg::new(9), 3);
+                    b.alui(AluOp::Sub, Reg::new(9), Reg::new(9), 1);
+                    b.branch(Cond::Ne, Reg::new(9), Reg::ZERO, &inner);
+                }
+                b.alui(AluOp::Sub, Reg::new(8), Reg::new(8), 1);
+                b.branch(Cond::Ne, Reg::new(8), Reg::ZERO, &head);
+            }
+            // Diamond on an input register.
+            2 => {
+                let (then_l, join_l) = (fresh(), fresh());
+                let input = Reg::new(rng.gen_range(10..=12));
+                b.branch(Cond::Eq, input, Reg::ZERO, &then_l);
+                for _ in 0..rng.gen_range(1..4) {
+                    b.alui(AluOp::Add, scratch(&mut rng), scratch(&mut rng), 1);
+                }
+                b.jump(&join_l);
+                b.label(&then_l);
+                b.alui(AluOp::Xor, scratch(&mut rng), scratch(&mut rng), 0x55);
+                b.label(&join_l);
+                b.nop();
+            }
+            // SRAM memory traffic at constant addresses.
+            _ => {
+                let addr = 0x8000 + 4 * rng.gen_range(0..64u32);
+                let r = scratch(&mut rng);
+                b.li(Reg::new(7), addr);
+                b.sw(r, Reg::new(7), 0);
+                b.lw(scratch(&mut rng), Reg::new(7), 0);
+            }
+        }
+    }
+    b.halt();
+    b.build("main").expect("random program links")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Observed cycles ∈ [BCET, WCET] for every generated program and
+    /// input assignment, on both the plain and the cached machine.
+    #[test]
+    fn prop_observed_within_bounds(
+        seed in 0u64..10_000,
+        segments in 1usize..8,
+        in1 in 0u32..100,
+        in2 in 0u32..100,
+    ) {
+        let image = random_program(seed, segments);
+        for (machine, unrolling) in [
+            (MachineConfig::simple(), false),
+            (MachineConfig::with_caches(), false),
+            (MachineConfig::with_caches(), true),
+        ] {
+            let config = wcet_predictability::core::analyzer::AnalyzerConfig {
+                machine: machine.clone(),
+                unrolling,
+                ..wcet_predictability::core::analyzer::AnalyzerConfig::new()
+            };
+            let report = WcetAnalyzer::with_config(config)
+                .analyze(&image)
+                .expect("generated programs are analyzable");
+            let mut interp = Interpreter::with_config(&image, machine);
+            interp.set_reg(Reg::new(10), in1);
+            interp.set_reg(Reg::new(11), in2);
+            interp.set_reg(Reg::new(12), in1 ^ in2);
+            let outcome = interp.run(10_000_000).expect("halts");
+            prop_assert!(
+                outcome.cycles <= report.wcet_cycles,
+                "WCET unsound: observed {} > bound {} (seed {seed})",
+                outcome.cycles,
+                report.wcet_cycles
+            );
+            prop_assert!(
+                outcome.cycles >= report.bcet_cycles,
+                "BCET unsound: observed {} < bound {} (seed {seed})",
+                outcome.cycles,
+                report.bcet_cycles
+            );
+        }
+    }
+}
+
+/// Deterministic sweep across many seeds (denser than the proptest run).
+#[test]
+fn soundness_sweep() {
+    for seed in 0..150u64 {
+        let image = random_program(seed, 1 + (seed as usize % 7));
+        let report = WcetAnalyzer::new()
+            .analyze(&image)
+            .expect("generated programs are analyzable");
+        for input in [0u32, 1, 99] {
+            let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+            interp.set_reg(Reg::new(10), input);
+            interp.set_reg(Reg::new(11), input.wrapping_mul(17));
+            interp.set_reg(Reg::new(12), !input);
+            let outcome = interp.run(10_000_000).expect("halts");
+            assert!(
+                outcome.cycles <= report.wcet_cycles,
+                "seed {seed} input {input}: observed {} > WCET {}",
+                outcome.cycles,
+                report.wcet_cycles
+            );
+            assert!(
+                outcome.cycles >= report.bcet_cycles,
+                "seed {seed} input {input}: observed {} < BCET {}",
+                outcome.cycles,
+                report.bcet_cycles
+            );
+        }
+    }
+}
+
+/// The division kernels obey the same envelope once annotated.
+#[test]
+fn kernel_soundness() {
+    use wcet_predictability::arith::kernels::{ldivmod_kernel, restoring_kernel};
+    use wcet_predictability::arith::ldivmod::correction_bound;
+    use wcet_predictability::core::analyzer::AnalyzerConfig;
+    use wcet_predictability::guidelines::annot::AnnotationSet;
+
+    // Restoring kernel: automatic.
+    let kernel = restoring_kernel();
+    let report = WcetAnalyzer::new().analyze(&kernel.image).expect("automatic");
+    for (n, d) in [(0u32, 1u32), (u32::MAX, 1), (u32::MAX, 0x7fff_ffff), (12345, 678)] {
+        let mut interp = Interpreter::with_config(&kernel.image, MachineConfig::simple());
+        interp.set_reg(kernel.n_reg, n);
+        interp.set_reg(kernel.d_reg, d);
+        let cycles = interp.run(1_000_000).expect("halts").cycles;
+        assert!(cycles <= report.wcet_cycles, "restoring {n}/{d}");
+    }
+
+    // ldivmod kernel: annotated for divisors ≥ 2^20.
+    let kernel = ldivmod_kernel();
+    let d_min = 1u32 << 20;
+    let bound = correction_bound(d_min) + 1;
+    let corr = kernel.correction_loop.expect("labeled");
+    let config = AnalyzerConfig {
+        annotations: AnnotationSet::parse(&format!("loop {corr} bound {bound};")).expect("parses"),
+        ..AnalyzerConfig::new()
+    };
+    let report = WcetAnalyzer::with_config(config)
+        .analyze(&kernel.image)
+        .expect("annotated");
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..200 {
+        let n: u32 = rng.gen_range(1 << 20..=u32::MAX);
+        let d: u32 = rng.gen_range(d_min..1 << 28);
+        let mut interp = Interpreter::with_config(&kernel.image, MachineConfig::simple());
+        interp.set_reg(kernel.n_reg, n);
+        interp.set_reg(kernel.d_reg, d);
+        let cycles = interp.run(10_000_000).expect("halts").cycles;
+        assert!(
+            cycles <= report.wcet_cycles,
+            "ldivmod {n:#x}/{d:#x}: observed {cycles} > bound {}",
+            report.wcet_cycles
+        );
+    }
+}
