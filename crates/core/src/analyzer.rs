@@ -116,8 +116,15 @@ pub struct AnalysisReport {
     pub wcet_cycles: u64,
     /// BCET bound of the task, in cycles.
     pub bcet_cycles: u64,
-    /// The worst-case path through the entry function.
+    /// The worst-case path through the entry function. Block ids refer to
+    /// [`Self::analyzed_entry_cfg`], not necessarily `program.entry_cfg()`:
+    /// virtual unrolling analyzes a peeled copy with extra blocks.
     pub worst_path: Vec<wcet_cfg::BlockId>,
+    /// Per-function CFGs as the timing/path phases analyzed them, for the
+    /// functions where that differs from `program`'s reconstruction —
+    /// i.e. the peeled copies produced by virtual unrolling. Block ids in
+    /// any `worst_path` refer to these.
+    pub analyzed_cfgs: BTreeMap<Addr, wcet_cfg::Cfg>,
     /// Per-function results (global mode).
     pub functions: BTreeMap<Addr, FunctionReport>,
     /// Per-operating-mode task WCET bounds (`None` key = global).
@@ -126,6 +133,30 @@ pub struct AnalysisReport {
     pub guidelines: Option<PredictabilityReport>,
     /// The Figure 1 phase trace.
     pub trace: PhaseTrace,
+}
+
+impl AnalysisReport {
+    /// The CFG of `f` as the timing/path phases analyzed it: the peeled
+    /// copy when virtual unrolling expanded it, otherwise the
+    /// reconstruction in [`Self::program`]. Block ids in `worst_path`
+    /// fields are valid for this CFG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a reconstructed function of the program.
+    #[must_use]
+    pub fn analyzed_cfg(&self, f: Addr) -> &wcet_cfg::Cfg {
+        self.analyzed_cfgs
+            .get(&f)
+            .or_else(|| self.program.cfg(f))
+            .expect("function was reconstructed")
+    }
+
+    /// The entry function's CFG as analyzed (see [`Self::analyzed_cfg`]).
+    #[must_use]
+    pub fn analyzed_entry_cfg(&self) -> &wcet_cfg::Cfg {
+        self.analyzed_cfg(self.program.entry)
+    }
 }
 
 /// The analyzer.
@@ -179,7 +210,8 @@ impl WcetAnalyzer {
         let mut analyses: BTreeMap<Addr, FunctionAnalysis> = BTreeMap::new();
         let t2_accum = Instant::now();
         let mut value_time = t2_accum.elapsed();
-        for round in 0..self.config.max_resolve_rounds.max(1) {
+        let max_rounds = self.config.max_resolve_rounds.max(1);
+        for round in 0..max_rounds {
             // Phase 3 runs inside the loop: value analysis may resolve
             // indirect targets, requiring re-reconstruction.
             let tv = Instant::now();
@@ -210,7 +242,11 @@ impl WcetAnalyzer {
                     }
                 }
             }
-            if !grew {
+            // Never reconstruct on the final round: every phase below
+            // reads `analyses`, which must stay in sync with `program`
+            // (a new reconstruction could contain newly reachable
+            // functions that were never analyzed).
+            if !grew || round + 1 == max_rounds {
                 break;
             }
             program = reconstruct(image, &resolver)?;
@@ -261,10 +297,13 @@ impl WcetAnalyzer {
         // Guideline checking above used the un-peeled CFGs (peeled copies
         // would double-report findings); timing and path analysis can use
         // the expanded CFGs for per-context cache precision.
+        let mut analyzed_cfgs: BTreeMap<Addr, wcet_cfg::Cfg> = BTreeMap::new();
         if self.config.unrolling {
             let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
             let entry_state = wcet_analysis::valueanalysis::entry_state_from_image(image);
-            for (&f, fa) in analyses.clone().iter() {
+            let functions: Vec<Addr> = analyses.keys().copied().collect();
+            for f in functions {
+                let fa = &analyses[&f];
                 let (peeled, _skipped) =
                     wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
                 if peeled.block_count() != fa.cfg().block_count() {
@@ -275,6 +314,7 @@ impl WcetAnalyzer {
                         wcet_analysis::valueanalysis::AnalysisConfig::default(),
                         summaries.clone(),
                     );
+                    analyzed_cfgs.insert(f, fa2.cfg().clone());
                     analyses.insert(f, fa2);
                 }
             }
@@ -391,8 +431,9 @@ impl WcetAnalyzer {
         }
         trace.phase_times[4] = t4.elapsed();
 
-        // ILP size statistics for the entry function (recomputed cheaply).
-        let entry_cfg = program.entry_cfg();
+        // ILP size statistics for the entry function (recomputed cheaply,
+        // over the CFG the ILP was actually built from).
+        let entry_cfg = analyses[&program.entry].cfg();
         trace.ilp_vars = entry_cfg.edges().len() + entry_cfg.block_count() + 1;
         trace.ilp_constraints = entry_cfg.block_count() * 2;
 
@@ -401,6 +442,7 @@ impl WcetAnalyzer {
             wcet_cycles: entry_report.wcet.wcet_cycles,
             bcet_cycles: entry_report.bcet.wcet_cycles,
             worst_path: entry_report.wcet.worst_path.clone(),
+            analyzed_cfgs,
             functions: global_functions,
             mode_wcet,
             guidelines: guideline_report,

@@ -148,8 +148,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
     }
 
-    // The worst-case path as a symbolized block trace (abbreviated).
-    let entry_cfg = report.program.entry_cfg();
+    // The worst-case path as a symbolized block trace (abbreviated). Use
+    // the CFG the path was computed on: under --unroll that is the peeled
+    // copy, whose ids exceed the original entry CFG's range.
+    let entry_cfg = report.analyzed_entry_cfg();
     let path_blocks: Vec<String> = report
         .worst_path
         .iter()

@@ -1,0 +1,91 @@
+//! Smoke tests for the `wcet` binary: exit codes, help text, the Table-1
+//! driver, and a full analyze run over an assembly program from a file.
+
+use std::process::Command;
+
+fn wcet(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_wcet"))
+        .args(args)
+        .output()
+        .expect("spawning wcet binary")
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_zero() {
+    let out = wcet(&[]);
+    assert!(out.status.success(), "bare invocation must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage:"), "usage text missing:\n{stdout}");
+}
+
+#[test]
+fn help_flag_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = wcet(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("WCET"));
+    }
+}
+
+#[test]
+fn unknown_option_fails_with_diagnostic() {
+    let out = wcet(&["--frobnicate"]);
+    assert!(!out.status.success(), "unknown options must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option"), "diagnostic missing:\n{stderr}");
+}
+
+#[test]
+fn missing_file_fails_with_diagnostic() {
+    let out = wcet(&["/nonexistent/program.s"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "diagnostic missing:\n{stderr}");
+}
+
+#[test]
+fn table1_driver_runs_small_sample_count() {
+    let out = wcet(&["--table1", "20000"]);
+    assert!(out.status.success(), "--table1 must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ldivmod"), "Table 1 output missing:\n{stdout}");
+}
+
+#[test]
+fn analyzes_an_assembly_file_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("wcet-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let program = dir.join("countdown.s");
+    std::fs::write(
+        &program,
+        ".org 0x1000\n\
+         main:\n\
+             li   r1, 10\n\
+         loop:\n\
+             subi r1, r1, 1\n\
+             bne  r1, r0, loop\n\
+             halt\n",
+    )
+    .expect("write program");
+
+    // --caches --unroll exercises the peeled-CFG path symbolization
+    // (regression: block ids from the unrolled CFG used to be looked up in
+    // the original entry CFG and panic).
+    let unrolled = wcet(&[program.to_str().unwrap(), "--caches", "--unroll"]);
+    assert!(
+        unrolled.status.success(),
+        "--caches --unroll failed:\n{}",
+        String::from_utf8_lossy(&unrolled.stderr)
+    );
+    assert!(String::from_utf8_lossy(&unrolled.stdout).contains("worst-case path:"));
+
+    let out = wcet(&[program.to_str().unwrap(), "--run", "--disasm"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "analyze failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("task WCET bound:"), "no WCET headline:\n{stdout}");
+    assert!(stdout.contains("disassembly"), "disassembly listing missing:\n{stdout}");
+    assert!(stdout.contains("within bounds: true"), "observed run outside bounds:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,103 @@
+//! Smoke tests: every example in `examples/` runs end to end without
+//! panicking and prints sane headline numbers.
+//!
+//! Examples are invoked through the same cargo that is running the tests
+//! (`CARGO` env), with small sample counts where an example accepts one, so
+//! the suite stays fast in debug CI builds.
+
+use std::process::Command;
+
+/// Run `cargo run -q --example <name> -- <args>` and return stdout.
+fn run_example(name: &str, args: &[&str]) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["run", "-q", "--example", name]);
+    if !args.is_empty() {
+        cmd.arg("--").args(args);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawning example {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).unwrap_or_else(|e| panic!("example {name}: non-UTF8 output: {e}"))
+}
+
+/// First integer appearing after `prefix` in `text`.
+fn number_after(text: &str, prefix: &str) -> u64 {
+    let at = text
+        .find(prefix)
+        .unwrap_or_else(|| panic!("output lacks `{prefix}`:\n{text}"));
+    let rest = &text[at + prefix.len()..];
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("no number after `{prefix}` in:\n{text}"))
+}
+
+#[test]
+fn quickstart_reports_positive_bounds() {
+    let out = run_example("quickstart", &[]);
+    assert!(out.contains("Figure 1 pipeline"), "missing pipeline banner:\n{out}");
+    let wcet = number_after(&out, "WCET bound:");
+    let bcet = number_after(&out, "BCET bound:");
+    assert!(wcet > 0, "WCET bound must be positive");
+    assert!(bcet <= wcet, "BCET {bcet} must not exceed WCET {wcet}");
+}
+
+#[test]
+fn table1_histogram_covers_all_samples() {
+    let out = run_example("table1", &["50000"]);
+    assert!(out.contains("Table 1"), "missing Table 1 banner:\n{out}");
+    assert!(out.contains("Iteration Counts"), "missing histogram header:\n{out}");
+    assert!(out.contains("50000 random inputs"), "sample count not echoed:\n{out}");
+}
+
+#[test]
+fn misra_audit_flags_tier1_and_tier2_rules() {
+    let out = run_example("misra_audit", &[]);
+    assert!(out.contains("clean: WCET computable"), "clean task must pass:\n{out}");
+    assert!(out.contains("tier-1 BLOCKED"), "no tier-1 findings:\n{out}");
+    assert!(out.contains("tier-2 only"), "no tier-2 findings:\n{out}");
+    // The headline rules of the paper's Section 3 must each be exercised.
+    for rule in ["13.4", "13.6", "14.1", "14.4"] {
+        assert!(out.contains(rule), "rule {rule} missing from audit:\n{out}");
+    }
+}
+
+#[test]
+fn flight_control_mode_bounds_are_ordered() {
+    let out = run_example("flight_control", &[]);
+    let air = number_after(&out, "WCET bound in mode air");
+    let ground = number_after(&out, "WCET bound in mode ground");
+    let global = number_after(&out, "WCET bound in mode (global)");
+    assert!(air > 0 && ground > 0);
+    assert!(ground <= air, "ground {ground} must not exceed air {air}");
+    assert!(global >= air.max(ground), "global bound covers every mode");
+}
+
+#[test]
+fn engine_controller_per_mode_bounds_within_global() {
+    let out = run_example("engine_controller", &[]);
+    let global = number_after(&out, "WCET in (global)");
+    let idle = number_after(&out, "WCET in idle");
+    assert!(global > 0);
+    assert!(idle <= global, "idle {idle} must not exceed global {global}");
+}
+
+#[test]
+fn message_handler_annotations_tighten_the_bound() {
+    let out = run_example("message_handler", &[]);
+    let both = number_after(&out, "with buffer-size annotations:");
+    let excl = number_after(&out, "with rx/tx exclusion documented:");
+    assert!(both > 0);
+    assert!(excl <= both, "documenting exclusion must tighten the bound ({excl} vs {both})");
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal wall-clock harness with criterion's API shape: `Criterion`,
+//! `benchmark_group` / `bench_function` / `finish`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros. There is no statistics engine: each benchmark
+//! runs a short calibrated loop and reports mean wall-clock time per
+//! iteration. `--no-run`-style compile checks and CI smoke runs work the
+//! same as with real criterion (`harness = false` benches are plain
+//! binaries).
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in times each batch element individually either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Top-level handle: owns output formatting and budget defaults.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Default sample (iteration) cap per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement: Duration::from_millis(200), sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        };
+        println!("group {}", group.name);
+        group
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement, self.sample_size);
+        f(&mut bencher);
+        bencher.report(&name.into());
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(self.criterion.measurement, samples);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration, max_iters: usize) -> Self {
+        Bencher { budget, max_iters, iters: 0, elapsed: Duration::ZERO }
+    }
+
+    /// Time `routine` repeatedly until the time budget or iteration cap.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        loop {
+            let out = routine();
+            std::hint::black_box(&out);
+            self.iters += 1;
+            if start.elapsed() >= self.budget || self.iters as usize >= self.max_iters {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            measured += t.elapsed();
+            std::hint::black_box(&out);
+            self.iters += 1;
+            if started.elapsed() >= self.budget || self.iters as usize >= self.max_iters {
+                break;
+            }
+        }
+        self.elapsed = measured;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("  {id:<40} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / self.iters as u128;
+        println!("  {id:<40} {per_iter:>12} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Declare a bench entry point running each function with a `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! `any::<T>()` and the `Arbitrary` trait for the types this workspace uses.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// Types with a canonical whole-domain generation strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.next_u64())
+    }
+}

@@ -1,0 +1,46 @@
+//! `sample::select` and `sample::Index`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniformly select one of the given values.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select needs a non-empty list");
+    Select { items }
+}
+
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}
+
+/// An index into a collection whose length is not known at generation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Project onto a collection of the given length.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+
+    /// Select an element of the slice.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}

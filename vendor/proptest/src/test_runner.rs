@@ -1,0 +1,183 @@
+//! The deterministic test runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// The RNG handed to strategies. Wraps the vendored deterministic `StdRng`.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform sample from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runner configuration (`cases` is the only knob this workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+    /// Cap on rejected cases (`prop_assume!`) before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is discarded, not counted.
+    Reject(String),
+    /// `prop_assert*!` failed: the property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property: generates inputs and evaluates the body.
+///
+/// The RNG stream is `PROPTEST_SEED` (if set) XORed with a hash of the test
+/// name, so every test is deterministic run-to-run yet explores a stream of
+/// its own.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+    rng: TestRng,
+}
+
+const DEFAULT_SEED: u64 = 0x5eed_2011_da7e_0001;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let seed = base ^ fnv1a(name);
+        TestRunner { config, name, seed, rng: TestRng::from_seed(seed) }
+    }
+
+    /// Run the property to completion; panics (failing the `#[test]`) on the
+    /// first case for which the body returns `TestCaseError::Fail`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest `{}`: too many rejected cases ({rejected}) — \
+                             weaken the prop_assume! or widen the strategy",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{}` failed after {passed} passing case(s): {msg}\n\
+                         (deterministic stream seed {:#x}; rerun with \
+                         PROPTEST_SEED={} to reproduce)",
+                        self.name, self.seed, self.seed ^ fnv1a(self.name)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = TestRunner::new(ProptestConfig::with_cases(10), "det");
+        let mut b = TestRunner::new(ProptestConfig::with_cases(10), "det");
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        a.run(&(0u32..1000,), |(x,)| {
+            va.push(x);
+            Ok(())
+        });
+        b.run(&(0u32..1000,), |(x,)| {
+            vb.push(x);
+            Ok(())
+        });
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_roundtrip(a in 0u32..100, b in 0u32..100) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn oneof_and_collections(v in prop::collection::vec(prop_oneof![Just(1u32), Just(2u32)], 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+}
