@@ -101,6 +101,87 @@ fn pipeline_phases(c: &mut Criterion) {
     group.finish();
 }
 
+/// The wavefront scheduler: the full analyzer at one worker vs one per
+/// core, on a single-function task (`flight_control`, where parallelism
+/// can only break even) and on a wide call graph (`call_fanout`, where
+/// one level fans 32 function analyses out).
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(20);
+    for (w, tag) in [
+        (workload::flight_control(), "flight_control"),
+        (workload::call_fanout(32), "call_fanout_32"),
+    ] {
+        for (threads, label) in [(Some(1), "1_thread"), (None, "n_threads")] {
+            let config = AnalyzerConfig {
+                annotations: w.annotations.clone(),
+                parallelism: threads,
+                ..AnalyzerConfig::new()
+            };
+            let analyzer = WcetAnalyzer::with_config(config);
+            group.bench_function(format!("{tag}/{label}"), |b| {
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The ILP backends head to head on an IPET-shaped LP: a chain of `k`
+/// blocks with flow conservation, a loop bound, and upper-bounded
+/// variables (which the dense solver materializes as rows and the sparse
+/// solver keeps implicit in the ratio test).
+fn ilp_solvers(c: &mut Criterion) {
+    use wcet_ilp::{Model, Sense};
+
+    fn flow_chain(k: usize) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let entry = m.add_var("entry", 1.0, Some(1.0));
+        let blocks: Vec<_> = (0..k)
+            .map(|i| m.add_var(&format!("b{i}"), 0.0, Some(64.0)))
+            .collect();
+        let edges: Vec<_> = (0..k.saturating_sub(1))
+            .map(|i| m.add_var(&format!("e{i}"), 0.0, Some(64.0)))
+            .collect();
+        // Flow conservation down the chain; the head is fed by `entry`.
+        m.add_eq(&[(blocks[0], -1.0), (entry, 1.0)], 0.0);
+        for i in 1..k {
+            m.add_eq(&[(blocks[i], -1.0), (edges[i - 1], 1.0)], 0.0);
+            m.add_le(&[(edges[i - 1], 1.0), (blocks[i - 1], -1.0)], 0.0);
+        }
+        // A loop-bound-style coupling constraint on the tail.
+        m.add_le(&[(blocks[k - 1], 1.0), (entry, -32.0)], 0.0);
+        let objective: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, 3.0 + (i % 5) as f64))
+            .collect();
+        m.set_objective(&objective);
+        m
+    }
+
+    let model = flow_chain(64);
+    // Both backends must agree before we time them.
+    let dense = wcet_ilp::simplex::solve_lp_dense(&model).expect("dense solves");
+    let sparse = wcet_ilp::sparse::solve_lp(&model).expect("sparse solves");
+    assert!(
+        (dense.objective - sparse.objective).abs() < 1e-6,
+        "solver mismatch: {} vs {}",
+        dense.objective,
+        sparse.objective
+    );
+
+    let mut group = c.benchmark_group("ilp");
+    group.sample_size(30);
+    group.bench_function("dense_chain_64", |b| {
+        b.iter(|| wcet_ilp::simplex::solve_lp_dense(black_box(&model)).expect("solves"))
+    });
+    group.bench_function("sparse_chain_64", |b| {
+        b.iter(|| wcet_ilp::sparse::solve_lp(black_box(&model)).expect("solves"))
+    });
+    group.finish();
+}
+
 /// Software-arithmetic throughput: the average-case-optimized routine vs
 /// the constant-time one (the paper's trade-off, measured).
 fn arithmetic(c: &mut Criterion) {
@@ -143,5 +224,13 @@ fn interpreter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, experiment_tables, pipeline_phases, arithmetic, interpreter);
+criterion_group!(
+    benches,
+    experiment_tables,
+    pipeline_phases,
+    scaling,
+    ilp_solvers,
+    arithmetic,
+    interpreter
+);
 criterion_main!(benches);

@@ -137,6 +137,46 @@ impl CallGraph {
             .cloned()
             .unwrap_or_else(|| vec![fun])
     }
+
+    /// The bottom-up *wavefront*: SCC groups partitioned into levels such
+    /// that every callee outside a group lies in an earlier level. Groups
+    /// within one level share no call edges, so their analyses are
+    /// independent — the schedule for the parallel per-function phases.
+    ///
+    /// Determinism: concatenating the levels (and the groups within each
+    /// level, in order) yields a fixed callee-before-caller order; members
+    /// of a group appear in the same relative order as in
+    /// [`Self::bottom_up_order`].
+    #[must_use]
+    pub fn bottom_up_levels(&self) -> Vec<Vec<Vec<Addr>>> {
+        let mut scc_of: BTreeMap<Addr, usize> = BTreeMap::new();
+        for (k, comp) in self.sccs.iter().enumerate() {
+            for &f in comp {
+                scc_of.insert(f, k);
+            }
+        }
+        // Tarjan emits SCCs callee-first, so every callee group's level is
+        // final by the time its callers are leveled.
+        let mut level = vec![0usize; self.sccs.len()];
+        for (k, comp) in self.sccs.iter().enumerate() {
+            let mut lvl = 0;
+            for f in comp {
+                for callee in self.callees.get(f).into_iter().flatten() {
+                    let ck = scc_of[callee];
+                    if ck != k {
+                        lvl = lvl.max(level[ck] + 1);
+                    }
+                }
+            }
+            level[k] = lvl;
+        }
+        let depth = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); depth];
+        for (k, comp) in self.sccs.iter().enumerate() {
+            levels[level[k]].push(comp.clone());
+        }
+        levels
+    }
 }
 
 /// Tarjan SCC over the call graph; returns (recursive set, bottom-up
@@ -265,6 +305,58 @@ mod tests {
         );
         assert_eq!(g.recursive_functions().len(), 2, "f and g form a cycle");
         assert!(!g.is_recursive(p.entry));
+    }
+
+    #[test]
+    fn wavefront_levels_respect_call_edges() {
+        // main → f, g; g → f. Levels: {f}, {g}, {main}.
+        let (p, g) = cg("main: call f\n call g\n halt\nf: ret\ng: call f\n ret");
+        let levels = g.bottom_up_levels();
+        assert_eq!(levels.len(), 3);
+        for level in &levels {
+            assert_eq!(level.len(), 1, "chain graph: one group per level");
+        }
+        assert_eq!(levels[2][0], vec![p.entry]);
+        // Every callee sits in a strictly earlier level than its caller.
+        let level_of = |x: Addr| {
+            levels
+                .iter()
+                .position(|lvl| lvl.iter().any(|grp| grp.contains(&x)))
+                .unwrap()
+        };
+        for f in p.functions.keys() {
+            for callee in g.callees_of(*f) {
+                assert!(level_of(callee) < level_of(*f));
+            }
+        }
+        // Flattened levels cover exactly the bottom-up order's functions.
+        let flat: Vec<Addr> = levels.iter().flatten().flatten().copied().collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        let mut expected = g.bottom_up_order().to_vec();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn independent_callees_share_a_level() {
+        let (p, g) = cg("main: call f\n call g\n halt\nf: ret\ng: ret");
+        let levels = g.bottom_up_levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2, "f and g are independent");
+        assert_eq!(levels[1], vec![vec![p.entry]]);
+    }
+
+    #[test]
+    fn recursive_cycle_stays_one_group() {
+        let (p, g) = cg(
+            "main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret",
+        );
+        let levels = g.bottom_up_levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 1, "the f/g cycle is one group");
+        assert_eq!(levels[0][0].len(), 2);
+        assert_eq!(levels[1], vec![vec![p.entry]]);
     }
 
     #[test]

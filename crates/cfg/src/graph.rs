@@ -77,7 +77,9 @@ pub struct Cfg {
     pub preds: Vec<Vec<BlockId>>,
     /// Addresses of unresolved indirect terminators inside this function.
     pub unresolved: Vec<Addr>,
-    pub(crate) block_of_addr: HashMap<Addr, BlockId>,
+    /// Leader address → block, ordered so CFG debug output (and thus
+    /// every rendered `AnalysisReport`) is deterministic.
+    pub(crate) block_of_addr: BTreeMap<Addr, BlockId>,
 }
 
 impl Cfg {
@@ -389,7 +391,7 @@ fn build_function(
     let leader_set: BTreeSet<Addr> = leaders.iter().copied().collect();
 
     let mut blocks: Vec<BasicBlock> = Vec::new();
-    let mut block_of_addr: HashMap<Addr, BlockId> = HashMap::new();
+    let mut block_of_addr: BTreeMap<Addr, BlockId> = BTreeMap::new();
 
     // The entry block must be BlockId(0): emit it first.
     let ordered: Vec<Addr> = std::iter::once(entry)

@@ -15,7 +15,7 @@
 
 #![allow(clippy::needless_range_loop)] // index-parallel arrays
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::block::BlockId;
 use crate::graph::Cfg;
@@ -120,7 +120,7 @@ pub fn peel(cfg: &Cfg, forest: &LoopForest, loop_id: LoopId) -> Option<Cfg> {
         succs,
         preds,
         unresolved: cfg.unresolved.clone(),
-        block_of_addr: HashMap::new(),
+        block_of_addr: BTreeMap::new(),
     };
 
     // If the function entry block itself belongs to the loop, the peeled

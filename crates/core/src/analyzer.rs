@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use wcet_analysis::loopbound::{BoundResult, BoundSource};
 use wcet_analysis::{analyze_function, FunctionAnalysis};
@@ -18,10 +18,11 @@ use wcet_micro::blocktime::BlockTimes;
 use wcet_micro::cacheanalysis::CacheAnalysis;
 use wcet_path::ipet::{self, CallCosts, PathError, WcetResult};
 
+use crate::parallel;
 use crate::phases::PhaseTrace;
 
 /// Configuration of a [`WcetAnalyzer`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalyzerConfig {
     /// The hardware model (memory map, base timing, caches).
     pub machine: MachineConfig,
@@ -38,11 +39,17 @@ pub struct AnalyzerConfig {
     /// paper). Irreducible loops cannot be peeled; they are analyzed
     /// as-is (or rejected by the loop-bound analysis).
     pub unrolling: bool,
+    /// Worker threads for the per-function phases (the wavefront
+    /// scheduler): `None` = one per available core, `Some(1)` =
+    /// sequential, `Some(n)` = exactly `n` workers. The report is
+    /// identical for every setting — the schedule is deterministic and
+    /// results merge in function-address order.
+    pub parallelism: Option<usize>,
 }
 
 impl AnalyzerConfig {
     /// Defaults: simple machine, no annotations, 3 resolve rounds,
-    /// guideline checking on.
+    /// guideline checking on, one worker per core.
     #[must_use]
     pub fn new() -> AnalyzerConfig {
         AnalyzerConfig {
@@ -51,7 +58,19 @@ impl AnalyzerConfig {
             max_resolve_rounds: 3,
             check_guidelines: true,
             unrolling: false,
+            parallelism: None,
         }
+    }
+}
+
+/// `Default` delegates to [`AnalyzerConfig::new`]. It was once derived,
+/// which silently produced `max_resolve_rounds = 0` and
+/// `check_guidelines = false` — every `..Default::default()` call site
+/// skipped indirect-target resolution and guideline checking while the
+/// documented defaults claimed otherwise.
+impl Default for AnalyzerConfig {
+    fn default() -> AnalyzerConfig {
+        AnalyzerConfig::new()
     }
 }
 
@@ -195,12 +214,14 @@ impl WcetAnalyzer {
     /// attached.
     pub fn analyze(&self, image: &Image) -> Result<AnalysisReport, AnalyzeError> {
         let mut trace = PhaseTrace::default();
+        let threads = parallel::worker_count(self.config.parallelism);
 
         // --- Phase 1: decoding --------------------------------------
         let t0 = Instant::now();
         let decoded = image.decode_code().map_err(CfgError::Decode)?;
         trace.decoded_insts = decoded.len();
         trace.phase_times[0] = t0.elapsed();
+        trace.phase_work_times[0] = trace.phase_times[0];
 
         // --- Phase 2: CFG reconstruction (+ resolution rounds) -------
         let t1 = Instant::now();
@@ -210,17 +231,19 @@ impl WcetAnalyzer {
         let mut analyses: BTreeMap<Addr, FunctionAnalysis> = BTreeMap::new();
         let t2_accum = Instant::now();
         let mut value_time = t2_accum.elapsed();
+        let mut value_work = Duration::ZERO;
         let max_rounds = self.config.max_resolve_rounds.max(1);
         for round in 0..max_rounds {
             // Phase 3 runs inside the loop: value analysis may resolve
-            // indirect targets, requiring re-reconstruction.
+            // indirect targets, requiring re-reconstruction. Functions
+            // are analyzed independently, so every round fans out flat.
             let tv = Instant::now();
-            analyses = program
-                .functions
-                .keys()
-                .map(|&f| (f, analyze_function(&program, f, image)))
-                .collect();
+            let funcs: Vec<Addr> = program.functions.keys().copied().collect();
+            let (results, work) =
+                parallel::map_in_order(&funcs, threads, |&f| analyze_function(&program, f, image));
+            analyses = funcs.into_iter().zip(results).collect();
             value_time += tv.elapsed();
+            value_work += work;
             trace.resolve_rounds = round + 1;
 
             if program.unresolved_sites().is_empty() {
@@ -256,7 +279,9 @@ impl WcetAnalyzer {
         trace.blocks = program.total_blocks();
         trace.edges = program.functions.values().map(|c| c.edges().len()).sum();
         trace.phase_times[1] = t1.elapsed().checked_sub(value_time).unwrap_or_default();
+        trace.phase_work_times[1] = trace.phase_times[1];
         trace.phase_times[2] = value_time;
+        trace.phase_work_times[2] = value_work;
 
         // Loop statistics.
         for fa in analyses.values() {
@@ -299,48 +324,70 @@ impl WcetAnalyzer {
         // the expanded CFGs for per-context cache precision.
         let mut analyzed_cfgs: BTreeMap<Addr, wcet_cfg::Cfg> = BTreeMap::new();
         if self.config.unrolling {
+            let t_unroll = Instant::now();
             let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
             let entry_state = wcet_analysis::valueanalysis::entry_state_from_image(image);
             let functions: Vec<Addr> = analyses.keys().copied().collect();
-            for f in functions {
+            // Peel-and-reanalyze is per-function independent: fan out flat.
+            let (peeled, unroll_work) = parallel::map_in_order(&functions, threads, |&f| {
                 let fa = &analyses[&f];
-                let (peeled, _skipped) =
-                    wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
+                let (peeled, _skipped) = wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
                 if peeled.block_count() != fa.cfg().block_count() {
-                    let fa2 = wcet_analysis::valueanalysis::analyze_cfg(
+                    Some(wcet_analysis::valueanalysis::analyze_cfg(
                         peeled,
                         f,
                         entry_state.clone(),
                         wcet_analysis::valueanalysis::AnalysisConfig::default(),
                         summaries.clone(),
-                    );
+                    ))
+                } else {
+                    None
+                }
+            });
+            for (f, fa2) in functions.into_iter().zip(peeled) {
+                if let Some(fa2) = fa2 {
                     analyzed_cfgs.insert(f, fa2.cfg().clone());
                     analyses.insert(f, fa2);
                 }
             }
+            // Context expansion re-runs the value analysis, so its cost
+            // belongs to the loop/value phase.
+            trace.phase_times[2] += t_unroll.elapsed();
+            trace.phase_work_times[2] += unroll_work;
         }
 
         // --- Phase 4: cache/pipeline analysis --------------------------
         let t3 = Instant::now();
-        let mut times: BTreeMap<Addr, BlockTimes> = BTreeMap::new();
         let overrides = self.config.annotations.access_overrides();
-        for (&f, fa) in &analyses {
-            times.insert(
-                f,
-                BlockTimes::compute_with_overrides(fa, &self.config.machine, &overrides),
-            );
-            if let Some(icc) = &self.config.machine.icache {
-                let ic = CacheAnalysis::instruction(fa.cfg(), icc, &self.config.machine.memmap);
-                let (h, m, nc) = ic.summary();
+        let items: Vec<(&Addr, &FunctionAnalysis)> = analyses.iter().collect();
+        let (timed, cache_work) = parallel::map_in_order(&items, threads, |&(_, fa)| {
+            let block_times =
+                BlockTimes::compute_with_overrides(fa, &self.config.machine, &overrides);
+            let cache_summary = self.config.machine.icache.as_ref().map(|icc| {
+                CacheAnalysis::instruction(fa.cfg(), icc, &self.config.machine.memmap).summary()
+            });
+            (block_times, cache_summary)
+        });
+        let mut times: BTreeMap<Addr, BlockTimes> = BTreeMap::new();
+        for ((&f, _), (block_times, cache_summary)) in items.iter().zip(timed) {
+            times.insert(f, block_times);
+            if let Some((h, m, nc)) = cache_summary {
                 trace.cache_always_hit += h;
                 trace.cache_always_miss += m;
                 trace.cache_not_classified += nc;
             }
         }
         trace.phase_times[3] = t3.elapsed();
+        trace.phase_work_times[3] = cache_work;
 
-        // --- Phase 5: path analysis, bottom-up, global + per mode ------
+        // --- Phase 5: path analysis as a bottom-up wavefront -----------
+        // The call graph is leveled into groups whose callees all lie in
+        // earlier levels; groups within one level share no call edges and
+        // solve their IPET systems concurrently. Results merge in
+        // function-address order, so the report is identical for any
+        // worker count.
         let t4 = Instant::now();
+        let mut path_work = Duration::ZERO;
         let mut mode_wcet: BTreeMap<Option<String>, u64> = BTreeMap::new();
         let mut global_functions: BTreeMap<Addr, FunctionReport> = BTreeMap::new();
 
@@ -353,75 +400,35 @@ impl WcetAnalyzer {
                 .map(|m| Some(m.clone())),
         );
 
+        let levels = callgraph.bottom_up_levels();
         for mode in &modes {
             let mut wcet_costs = CallCosts::new();
             let mut bcet_costs = CallCosts::new();
             let mut per_function: BTreeMap<Addr, FunctionReport> = BTreeMap::new();
-            for &f in callgraph.bottom_up_order() {
-                let fa = &analyses[&f];
-                let mut bounds = fa.loop_bounds();
-                self.config
-                    .annotations
-                    .apply_loop_bounds(fa, &mut bounds, mode.as_deref());
-                if mode.is_none() {
-                    for (_, r) in bounds.results() {
-                        if matches!(
-                            r,
-                            BoundResult::Bounded { source: BoundSource::Annotation, .. }
-                        ) {
-                            trace.loops_bounded_annot += 1;
-                        }
+            for level in &levels {
+                let (outcomes, work) = parallel::map_in_order(level, threads, |group| {
+                    self.analyze_call_group(
+                        group,
+                        mode.as_deref(),
+                        &analyses,
+                        &times,
+                        &callgraph,
+                        &wcet_costs,
+                        &bcet_costs,
+                    )
+                });
+                path_work += work;
+                for outcome in outcomes {
+                    let outcome = outcome?;
+                    if mode.is_none() {
+                        trace.loops_bounded_annot += outcome.annotation_bounds;
+                    }
+                    for (f, report) in outcome.reports {
+                        wcet_costs.insert(f, report.wcet.wcet_cycles);
+                        bcet_costs.insert(f, report.bcet.wcet_cycles);
+                        per_function.insert(f, report);
                     }
                 }
-                let facts = self
-                    .config
-                    .annotations
-                    .flow_facts(fa.cfg(), mode.as_deref());
-                let ft = &times[&f];
-
-                // Recursive cycles: compute per-activation body costs with
-                // the cycle's internal calls priced at zero, then scale by
-                // the annotated depth. Each activation runs at most once
-                // per depth level, so depth × Σ(body costs over the cycle)
-                // bounds the whole recursion.
-                let (mut w_costs, mut b_costs) = (wcet_costs.clone(), bcet_costs.clone());
-                let recursive = callgraph.is_recursive(f);
-                if recursive {
-                    for member in callgraph.scc_members(f) {
-                        w_costs.insert(member, 0);
-                        b_costs.insert(member, 0);
-                    }
-                }
-                let mut wcet = ipet::wcet(fa, ft, &bounds, &facts, &w_costs)
-                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
-                let bcet = ipet::bcet(fa, ft, &bounds, &facts, &b_costs)
-                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
-                if recursive {
-                    let depth = self
-                        .config
-                        .annotations
-                        .recursion_depth(f)
-                        .expect("checked above");
-                    let body_sum: u64 = callgraph
-                        .scc_members(f)
-                        .iter()
-                        .map(|m| {
-                            if *m == f {
-                                wcet.wcet_cycles
-                            } else {
-                                per_function
-                                    .get(m)
-                                    .map(|r| r.wcet.wcet_cycles)
-                                    .unwrap_or(wcet.wcet_cycles)
-                            }
-                        })
-                        .sum();
-                    wcet.wcet_cycles = depth.saturating_mul(body_sum);
-                    // One activation is the sound lower bound.
-                }
-                wcet_costs.insert(f, wcet.wcet_cycles);
-                bcet_costs.insert(f, bcet.wcet_cycles);
-                per_function.insert(f, FunctionReport { wcet, bcet });
             }
             let entry_report = &per_function[&program.entry];
             mode_wcet.insert(mode.clone(), entry_report.wcet.wcet_cycles);
@@ -430,6 +437,7 @@ impl WcetAnalyzer {
             }
         }
         trace.phase_times[4] = t4.elapsed();
+        trace.phase_work_times[4] = path_work;
 
         // ILP size statistics for the entry function (recomputed cheaply,
         // over the CFG the ILP was actually built from).
@@ -450,6 +458,110 @@ impl WcetAnalyzer {
             program,
         })
     }
+
+    /// Path-analyzes one wavefront group for `mode`: a single function,
+    /// or a recursive SCC processed as a unit (its members need each
+    /// other's per-activation body costs). Callee costs from every
+    /// earlier level are complete in `wcet_costs`/`bcet_costs`; same-level
+    /// groups share no call edges, so nothing else is needed.
+    #[allow(clippy::too_many_arguments)] // phase state, plumbed not stored
+    fn analyze_call_group(
+        &self,
+        group: &[Addr],
+        mode: Option<&str>,
+        analyses: &BTreeMap<Addr, FunctionAnalysis>,
+        times: &BTreeMap<Addr, BlockTimes>,
+        callgraph: &CallGraph,
+        wcet_costs: &CallCosts,
+        bcet_costs: &CallCosts,
+    ) -> Result<GroupOutcome, AnalyzeError> {
+        let mut reports: Vec<(Addr, FunctionReport)> = Vec::with_capacity(group.len());
+        let mut annotation_bounds = 0usize;
+        for &f in group {
+            let fa = &analyses[&f];
+            let mut bounds = fa.loop_bounds();
+            self.config.annotations.apply_loop_bounds(fa, &mut bounds, mode);
+            if mode.is_none() {
+                for (_, r) in bounds.results() {
+                    if matches!(
+                        r,
+                        BoundResult::Bounded { source: BoundSource::Annotation, .. }
+                    ) {
+                        annotation_bounds += 1;
+                    }
+                }
+            }
+            let facts = self.config.annotations.flow_facts(fa.cfg(), mode);
+            let ft = &times[&f];
+
+            // Recursive cycles: compute per-activation body costs with
+            // the cycle's internal calls priced at zero, then scale by
+            // the annotated depth. Each activation runs at most once
+            // per depth level, so depth × Σ(body costs over the cycle)
+            // bounds the whole recursion. Only this path needs (and
+            // mutates) private cost maps — non-recursive groups are
+            // always singletons whose callees sit in earlier levels, so
+            // they borrow the level-shared maps clone-free.
+            let recursive = callgraph.is_recursive(f);
+            let (mut wcet, bcet) = if recursive {
+                let (mut w_costs, mut b_costs) = (wcet_costs.clone(), bcet_costs.clone());
+                for member in callgraph.scc_members(f) {
+                    w_costs.insert(member, 0);
+                    b_costs.insert(member, 0);
+                }
+                (
+                    ipet::wcet(fa, ft, &bounds, &facts, &w_costs)
+                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                    ipet::bcet(fa, ft, &bounds, &facts, &b_costs)
+                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                )
+            } else {
+                (
+                    ipet::wcet(fa, ft, &bounds, &facts, wcet_costs)
+                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                    ipet::bcet(fa, ft, &bounds, &facts, bcet_costs)
+                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                )
+            };
+            if recursive {
+                let depth = self
+                    .config
+                    .annotations
+                    .recursion_depth(f)
+                    .expect("checked above");
+                let body_sum: u64 = callgraph
+                    .scc_members(f)
+                    .iter()
+                    .map(|m| {
+                        if *m == f {
+                            wcet.wcet_cycles
+                        } else {
+                            reports
+                                .iter()
+                                .find(|(member, _)| member == m)
+                                .map(|(_, r)| r.wcet.wcet_cycles)
+                                .unwrap_or(wcet.wcet_cycles)
+                        }
+                    })
+                    .sum();
+                wcet.wcet_cycles = depth.saturating_mul(body_sum);
+                // One activation is the sound lower bound.
+            }
+            reports.push((f, FunctionReport { wcet, bcet }));
+        }
+        Ok(GroupOutcome {
+            reports,
+            annotation_bounds,
+        })
+    }
+}
+
+/// What one wavefront group's path analysis produced.
+struct GroupOutcome {
+    /// Per-function reports, in the group's processing order.
+    reports: Vec<(Addr, FunctionReport)>,
+    /// Annotation-sourced loop bounds seen (counted in global mode only).
+    annotation_bounds: usize,
 }
 
 #[cfg(test)]
@@ -460,6 +572,100 @@ mod tests {
 
     fn analyze_src(src: &str) -> AnalysisReport {
         WcetAnalyzer::new().analyze(&assemble(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn default_config_equals_new() {
+        // Regression: `#[derive(Default)]` produced `max_resolve_rounds =
+        // 0` and `check_guidelines = false`, so `..Default::default()`
+        // call sites silently skipped indirect-target resolution and
+        // guideline checking. Field-by-field, then wholesale.
+        let derived = AnalyzerConfig::default();
+        let documented = AnalyzerConfig::new();
+        assert_eq!(derived.machine, documented.machine);
+        assert_eq!(derived.annotations, documented.annotations);
+        assert_eq!(derived.max_resolve_rounds, documented.max_resolve_rounds);
+        assert_eq!(derived.check_guidelines, documented.check_guidelines);
+        assert_eq!(derived.unrolling, documented.unrolling);
+        assert_eq!(derived.parallelism, documented.parallelism);
+        assert_eq!(derived, documented);
+        // The documented defaults really are in force.
+        assert_eq!(derived.max_resolve_rounds, 3);
+        assert!(derived.check_guidelines);
+        // And the derived-Default analyzer is the documented analyzer.
+        assert_eq!(WcetAnalyzer::default().config(), WcetAnalyzer::new().config());
+    }
+
+    #[test]
+    fn default_config_resolves_and_checks_guidelines() {
+        // The observable symptom of the old divergence: a config built
+        // with struct-update syntax must still resolve function pointers
+        // and attach a guideline report.
+        let src = r#"
+            main: li  r1, 0x5000
+                  lw  r2, 0(r1)
+                  callr r2
+                  halt
+            h1:   li r3, 1
+                  ret
+        "#;
+        let mut image = assemble(src).unwrap();
+        let h1 = image.symbol("h1").unwrap();
+        image
+            .data
+            .push(wcet_isa::image::Segment::from_words(Addr(0x5000), &[h1.0]));
+        let config = AnalyzerConfig {
+            unrolling: false,
+            ..Default::default()
+        };
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        assert_eq!(report.trace.unresolved_final, 0, "resolution rounds ran");
+        assert!(report.guidelines.is_some(), "guideline checking ran");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        // One recursive SCC + an independent helper + modes: exercises
+        // every scheduler path. The rendered report must be identical for
+        // any parallelism (timings excluded — they are real clocks).
+        let image = assemble(
+            r#"
+            main: li r1, 3
+                  call down
+                  call leaf
+                  halt
+            down: beq r1, r0, base
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  subi r1, r1, 1
+                  call down
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            base: ret
+            leaf: li r2, 5
+            ll:   subi r2, r2, 1
+                  bne r2, r0, ll
+                  ret
+            "#,
+        )
+        .unwrap();
+        let down = image.symbol("down").unwrap();
+        let render = |parallelism: Option<usize>| {
+            let mut config = AnalyzerConfig {
+                parallelism,
+                ..AnalyzerConfig::new()
+            };
+            config.annotations =
+                AnnotationSet::parse(&format!("recursion {down} depth 4;")).unwrap();
+            let mut report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+            report.trace.phase_times = Default::default();
+            report.trace.phase_work_times = Default::default();
+            format!("{report:#?}")
+        };
+        let sequential = render(Some(1));
+        assert_eq!(sequential, render(Some(2)));
+        assert_eq!(sequential, render(Some(8)));
+        assert_eq!(sequential, render(None));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod analyzer;
 pub mod experiments;
+pub mod parallel;
 pub mod phases;
 pub mod workload;
 

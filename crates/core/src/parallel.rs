@@ -1,0 +1,135 @@
+//! The scoped worker pool behind the analyzer's per-function fan-out.
+//!
+//! Every per-function phase (value analysis, cache/pipeline analysis,
+//! virtual unrolling, IPET) is a map over independent work items. This
+//! module runs such maps on a pool of scoped `std::thread` workers pulling
+//! items off a shared atomic cursor, and returns the results **in input
+//! order** — callers merge into `BTreeMap`s, so a parallel run is
+//! bit-identical to a sequential one. Alongside the results it reports the
+//! summed per-item work time, which [`crate::phases::PhaseTrace`] records
+//! next to the wall-clock phase time so fan-out never under-reports work.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resolves the configured parallelism to a worker count: `Some(n)` is
+/// taken literally (minimum 1), `None` means one worker per available
+/// core.
+#[must_use]
+pub fn worker_count(parallelism: Option<usize>) -> usize {
+    match parallelism {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `work` over `items` on up to `threads` workers; returns the
+/// results in input order plus the summed per-item work time.
+///
+/// With one worker (or one item) the map runs inline on the caller's
+/// thread — the sequential path and the parallel path are the same code.
+///
+/// # Panics
+///
+/// Propagates panics from `work` (a worker panic aborts the analysis).
+pub fn map_in_order<T, R, F>(items: &[T], threads: usize, work: F) -> (Vec<R>, Duration)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        let mut total = Duration::ZERO;
+        let results = items
+            .iter()
+            .map(|item| {
+                let t = Instant::now();
+                let r = work(item);
+                total += t.elapsed();
+                r
+            })
+            .collect();
+        return (results, total);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut harvests: Vec<Vec<(usize, R, Duration)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let t = Instant::now();
+                        let r = work(item);
+                        local.push((i, r, t.elapsed()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut total = Duration::ZERO;
+    for (i, r, spent) in harvests.drain(..).flatten() {
+        slots[i] = Some(r);
+        total += spent;
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every item processed exactly once"))
+        .collect();
+    (results, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let (out, _) = map_in_order(&items, threads, |&i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let none: Vec<u32> = Vec::new();
+        let (out, work) = map_in_order(&none, 8, |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(work, Duration::ZERO);
+        let (out, _) = map_in_order(&[41u32], 8, |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn work_time_accumulates_across_workers() {
+        let items: Vec<u32> = (0..16).collect();
+        let (_, work) = map_in_order(&items, 4, |&x| {
+            std::thread::sleep(Duration::from_millis(1));
+            x
+        });
+        assert!(work >= Duration::from_millis(16), "summed work {work:?}");
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(worker_count(Some(3)), 3);
+        assert_eq!(worker_count(Some(0)), 1);
+        assert!(worker_count(None) >= 1);
+    }
+}

@@ -43,6 +43,12 @@ pub struct PhaseTrace {
     /// Wall-clock time per phase, in pipeline order (decode, cfg,
     /// loop/value, cache/pipeline, path).
     pub phase_times: [Duration; 5],
+    /// Summed per-function work time per phase, same order. Equal to the
+    /// wall time for the serial decode/CFG phases; under the parallel
+    /// wavefront scheduler the fan-out phases report the total work done
+    /// across all workers, so phase accounting never under-reports when
+    /// wall time shrinks with thread count.
+    pub phase_work_times: [Duration; 5],
 }
 
 impl PhaseTrace {
@@ -60,6 +66,27 @@ impl PhaseTrace {
     pub fn total_time(&self) -> Duration {
         self.phase_times.iter().sum()
     }
+
+    /// Total work time across all workers (≥ [`Self::total_time`] when
+    /// the scheduler fanned out).
+    #[must_use]
+    pub fn total_work_time(&self) -> Duration {
+        self.phase_work_times.iter().sum()
+    }
+
+    /// Renders one phase's timing: wall clock, plus the summed work time
+    /// when the wavefront scheduler actually fanned out (work > wall).
+    /// Sequential runs stay terse — their work figure trails wall by
+    /// per-item measurement overhead, which would read as under-reporting.
+    fn fmt_time(&self, phase: usize) -> String {
+        let wall = self.phase_times[phase];
+        let work = self.phase_work_times[phase];
+        if work > wall {
+            format!("{wall:?} wall, {work:?} work")
+        } else {
+            format!("{wall:?}")
+        }
+    }
 }
 
 impl fmt::Display for PhaseTrace {
@@ -68,16 +95,16 @@ impl fmt::Display for PhaseTrace {
         writeln!(f, "      |")?;
         writeln!(
             f,
-            "  [1] {}: {} instruction words ({:?})",
+            "  [1] {}: {} instruction words ({})",
             Self::PHASE_NAMES[0],
             self.decoded_insts,
-            self.phase_times[0]
+            self.fmt_time(0)
         )?;
         writeln!(f, "      |")?;
         writeln!(
             f,
             "  [2] {}: {} function(s), {} block(s), {} edge(s), \
-             {} -> {} unresolved indirect site(s) over {} round(s) ({:?})",
+             {} -> {} unresolved indirect site(s) over {} round(s) ({})",
             Self::PHASE_NAMES[1],
             self.functions,
             self.blocks,
@@ -85,36 +112,36 @@ impl fmt::Display for PhaseTrace {
             self.unresolved_initial,
             self.unresolved_final,
             self.resolve_rounds,
-            self.phase_times[1]
+            self.fmt_time(1)
         )?;
         writeln!(f, "      |")?;
         writeln!(
             f,
-            "  [3] {}: {} loop(s), {} bounded automatically, {} by annotation ({:?})",
+            "  [3] {}: {} loop(s), {} bounded automatically, {} by annotation ({})",
             Self::PHASE_NAMES[2],
             self.loops,
             self.loops_bounded_auto,
             self.loops_bounded_annot,
-            self.phase_times[2]
+            self.fmt_time(2)
         )?;
         writeln!(f, "      |")?;
         writeln!(
             f,
-            "  [4] {}: {} always-hit / {} always-miss / {} not-classified ({:?})",
+            "  [4] {}: {} always-hit / {} always-miss / {} not-classified ({})",
             Self::PHASE_NAMES[3],
             self.cache_always_hit,
             self.cache_always_miss,
             self.cache_not_classified,
-            self.phase_times[3]
+            self.fmt_time(3)
         )?;
         writeln!(f, "      |")?;
         writeln!(
             f,
-            "  [5] {}: ILP with {} variable(s), {} constraint(s) ({:?})",
+            "  [5] {}: ILP with {} variable(s), {} constraint(s) ({})",
             Self::PHASE_NAMES[4],
             self.ilp_vars,
             self.ilp_constraints,
-            self.phase_times[4]
+            self.fmt_time(4)
         )?;
         writeln!(f, "      |")?;
         write!(f, "WCET Bound")
@@ -150,5 +177,21 @@ mod tests {
         trace.phase_times[0] = Duration::from_millis(2);
         trace.phase_times[4] = Duration::from_millis(3);
         assert_eq!(trace.total_time(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn work_time_shown_only_when_fanned_out() {
+        let mut trace = PhaseTrace::default();
+        trace.phase_times[4] = Duration::from_millis(3);
+        trace.phase_work_times[4] = Duration::from_millis(3);
+        assert!(!trace.to_string().contains("work"), "wall == work stays terse");
+        // Sequential runs: work trails wall by measurement overhead —
+        // still terse, never rendered as under-reported work.
+        trace.phase_work_times[4] = Duration::from_millis(2);
+        assert!(!trace.to_string().contains("work"), "work < wall stays terse");
+        trace.phase_work_times[4] = Duration::from_millis(9);
+        let text = trace.to_string();
+        assert!(text.contains("3ms wall, 9ms work"), "divergent: {text}");
+        assert_eq!(trace.total_work_time(), Duration::from_millis(9));
     }
 }

@@ -440,6 +440,42 @@ pub fn matrix_kernel(n: u32) -> Workload {
     )
 }
 
+/// A wide call tree for the wavefront scheduler: `main` calls `n`
+/// independent leaf functions, each with its own counter loop. The call
+/// graph levels into one wide wavefront of per-function analyses plus the
+/// root — the scaling workload for `parallelism` benchmarks.
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=64`.
+#[must_use]
+pub fn call_fanout(n: u32) -> Workload {
+    assert!((1..=64).contains(&n), "fan-out must be 1..=64, got {n}");
+    let mut src = String::from("        .org 0x1000\nmain:\n");
+    for i in 0..n {
+        src.push_str(&format!("            call f{i}\n"));
+    }
+    src.push_str("            halt\n");
+    for i in 0..n {
+        let iters = 4 + (i % 7) * 3; // vary per-function work
+        src.push_str(&format!(
+            "f{i}:\n\
+             \x20            li   r1, {iters}\n\
+             f{i}_loop:\n\
+             \x20            mul  r2, r1, r1\n\
+             \x20            subi r1, r1, 1\n\
+             \x20            bne  r1, r0, f{i}_loop\n\
+             \x20            ret\n"
+        ));
+    }
+    build(
+        "call_fanout",
+        "wide call graph: one wavefront level of independent functions",
+        &src,
+        "",
+    )
+}
+
 /// A device-driver routine with a pointer-indirect access the analysis
 /// cannot pin down, plus the Section 4.3 remedy: an `access` annotation
 /// restricting it to the CAN controller's MMIO window. Returns
@@ -566,6 +602,17 @@ mod tests {
         interp.run(100_000).unwrap();
         assert_eq!(interp.peek_word(Addr(0xb000)), 17);
         assert_eq!(interp.peek_word(Addr(0xb004)), 39);
+    }
+
+    #[test]
+    fn call_fanout_analyzes_and_is_sound() {
+        let w = call_fanout(12);
+        let report = WcetAnalyzer::new().analyze(&w.image).unwrap();
+        assert_eq!(report.functions.len(), 13, "main + 12 leaves");
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        let observed = interp.run(10_000_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+        assert!(report.bcet_cycles <= observed);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
         {
             continue;
         }
-        let sol = match crate::simplex::solve_lp(&relaxed) {
+        let sol = match crate::sparse::solve_lp(&relaxed) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),

@@ -4,11 +4,14 @@
 //! paper's Figure 1) encodes the worst-case path search as an integer
 //! linear program — the *implicit path enumeration technique* (IPET). The
 //! commercial tool delegates to an industrial LP solver; this crate is the
-//! from-scratch substitute: a dense two-phase primal simplex with Bland's
-//! anti-cycling rule plus depth-first branch-and-bound for integrality.
-//!
-//! IPET systems are small network-flow-like programs, well within what a
-//! textbook dense simplex solves exactly.
+//! from-scratch substitute: a **sparse, bound-aware revised simplex**
+//! ([`sparse`]) with Bland's anti-cycling rule plus depth-first
+//! branch-and-bound for integrality. Variable bounds stay implicit in the
+//! ratio test (they never materialize as constraint rows), and columns are
+//! stored as `(row, coeff)` pairs — IPET systems are network-flow-like and
+//! extremely sparse. The original dense two-phase tableau survives in
+//! [`simplex`] as the independently-written oracle the property suite
+//! cross-validates against.
 //!
 //! # Example
 //!
@@ -31,5 +34,6 @@
 pub mod branch;
 pub mod model;
 pub mod simplex;
+pub mod sparse;
 
 pub use model::{Model, Sense, Solution, SolveError, VarId};

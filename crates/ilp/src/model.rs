@@ -190,8 +190,8 @@ impl Model {
         }
     }
 
-    /// Solves the model: LP via simplex, then branch-and-bound if any
-    /// variable is integral.
+    /// Solves the model: LP via the sparse revised simplex, then
+    /// branch-and-bound if any variable is integral.
     ///
     /// # Errors
     ///
@@ -201,7 +201,7 @@ impl Model {
         if self.vars.iter().any(|v| v.integer) {
             crate::branch::solve_ilp(self)
         } else {
-            crate::simplex::solve_lp(self)
+            crate::sparse::solve_lp(self)
         }
     }
 
@@ -211,7 +211,7 @@ impl Model {
     ///
     /// Same conditions as [`Model::solve`].
     pub fn solve_relaxation(&self) -> Result<Solution, SolveError> {
-        crate::simplex::solve_lp(self)
+        crate::sparse::solve_lp(self)
     }
 }
 

@@ -1,9 +1,14 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex — the cross-validation reference.
 //!
 //! Standard-form conversion: every variable is shifted to `x' = x − lo ≥ 0`
 //! (finite upper bounds become row constraints), `≥`/`=` rows get
 //! artificial variables, and phase 1 minimizes their sum. Bland's rule
 //! guarantees termination; a pivot cap guards against pathological inputs.
+//!
+//! The production path is the sparse bounded revised simplex in
+//! [`crate::sparse`]; this tableau implementation is kept as the simple,
+//! independently-written oracle the property tests compare against (see
+//! `tests/sparse_vs_dense.rs`).
 
 #![allow(clippy::needless_range_loop)] // index-parallel arrays
 
@@ -11,14 +16,14 @@ use crate::model::{Model, Op, Sense, Solution, SolveError};
 
 const EPS: f64 = 1e-9;
 
-/// Solves the LP relaxation of `model`.
+/// Solves the LP relaxation of `model` with the dense reference tableau.
 ///
 /// # Errors
 ///
 /// [`SolveError::Infeasible`] when phase 1 cannot zero the artificials,
 /// [`SolveError::Unbounded`] when an improving column has no blocking row,
 /// [`SolveError::IterationLimit`] past `model.max_pivots` pivots.
-pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+pub fn solve_lp_dense(model: &Model) -> Result<Solution, SolveError> {
     let n = model.vars.len();
 
     // Shift variables to x' = x - lo.
@@ -274,7 +279,7 @@ mod tests {
         m.add_le(&[(y, 2.0)], 12.0);
         m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
         m.set_objective(&[(x, 3.0), (y, 5.0)]);
-        let sol = m.solve().unwrap();
+        let sol = solve_lp_dense(&m).unwrap();
         assert_close(sol.objective, 36.0);
         assert_close(sol.value(x), 2.0);
         assert_close(sol.value(y), 6.0);
@@ -290,7 +295,7 @@ mod tests {
         let y = m.add_var("y", 0.0, None);
         m.add_ge(&[(x, 1.0), (y, 1.0)], 10.0);
         m.set_objective(&[(x, 2.0), (y, 3.0)]);
-        let sol = m.solve().unwrap();
+        let sol = solve_lp_dense(&m).unwrap();
         assert_close(sol.objective, 20.0);
         assert_close(sol.value(x), 10.0);
     }
@@ -304,7 +309,7 @@ mod tests {
         m.add_eq(&[(x, 1.0), (y, 1.0)], 7.0);
         m.add_eq(&[(x, 1.0), (y, -1.0)], 1.0);
         m.set_objective(&[(x, 1.0), (y, 1.0)]);
-        let sol = m.solve().unwrap();
+        let sol = solve_lp_dense(&m).unwrap();
         assert_close(sol.value(x), 4.0);
         assert_close(sol.value(y), 3.0);
     }
@@ -316,7 +321,7 @@ mod tests {
         m.add_le(&[(x, 1.0)], 1.0);
         m.add_ge(&[(x, 1.0)], 2.0);
         m.set_objective(&[(x, 1.0)]);
-        assert_eq!(m.solve(), Err(SolveError::Infeasible));
+        assert_eq!(solve_lp_dense(&m), Err(SolveError::Infeasible));
     }
 
     #[test]
@@ -324,7 +329,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", 0.0, None);
         m.set_objective(&[(x, 1.0)]);
-        assert_eq!(m.solve(), Err(SolveError::Unbounded));
+        assert_eq!(solve_lp_dense(&m), Err(SolveError::Unbounded));
     }
 
     #[test]
@@ -332,7 +337,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", 1.5, Some(3.5));
         m.set_objective(&[(x, 2.0)]);
-        let sol = m.solve().unwrap();
+        let sol = solve_lp_dense(&m).unwrap();
         assert_close(sol.value(x), 3.5);
         assert_close(sol.objective, 7.0);
     }
@@ -343,7 +348,7 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var("x", -5.0, Some(10.0));
         m.set_objective(&[(x, 1.0)]);
-        let sol = m.solve().unwrap();
+        let sol = solve_lp_dense(&m).unwrap();
         assert_close(sol.value(x), -5.0);
     }
 
@@ -358,7 +363,7 @@ mod tests {
         m.add_le(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], 0.0);
         m.add_le(&[(x1, 1.0)], 1.0);
         m.set_objective(&[(x1, 10.0), (x2, -57.0), (x3, -9.0)]);
-        let sol = m.solve().unwrap();
+        let sol = solve_lp_dense(&m).unwrap();
         assert!(sol.objective.is_finite());
     }
 }

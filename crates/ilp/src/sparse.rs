@@ -1,0 +1,654 @@
+//! Sparse, bound-aware revised primal simplex — the production LP path.
+//!
+//! Differences from the dense reference in [`crate::simplex`]:
+//!
+//! * **Sparse columns.** The constraint matrix is stored column-wise as
+//!   `(row, coeff)` pairs; the only dense state is the `m × m` basis
+//!   inverse (`m` = number of *constraints*, not constraints + bounds).
+//! * **Implicit variable bounds.** A variable's upper bound never becomes
+//!   a tableau row. Nonbasic variables rest at either bound, the ratio
+//!   test caps the entering step by the entering variable's own span, and
+//!   a step that ends at the opposite bound is a *bound flip* — no pivot,
+//!   no basis change. IPET models from branch-and-bound nodes are full of
+//!   tightened bounds, so this removes the dense solver's `O(n)` extra
+//!   rows (and their `O(n)`-wide tableau copies).
+//! * **Revised iteration.** Reduced costs are priced as
+//!   `c_j − c_B B⁻¹ A_j` against the maintained basis inverse; a pivot is
+//!   a rank-one update of `B⁻¹` instead of a full-tableau elimination.
+//!
+//! Kept from the dense reference: the two-phase artificial-variable
+//! start, Bland's anti-cycling rule (first eligible entering index,
+//! smallest basis index on ratio ties), and the shared pivot cap.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays
+
+use std::collections::BTreeMap;
+
+use crate::model::{Model, Op, Sense, Solution, SolveError};
+
+const EPS: f64 = 1e-9;
+
+/// Where a nonbasic variable currently rests.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Bound {
+    Lower,
+    Upper,
+}
+
+/// The sparse standard form: `A x = b` over shifted variables
+/// `x ∈ [0, span]`, columns stored sparse.
+struct SparseForm {
+    /// Number of rows (constraints only — never bounds).
+    m: usize,
+    /// Sparse column per variable: structural, then slack/surplus, then
+    /// artificial.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Bound span per variable (`upper − lower` after shifting; infinite
+    /// when unbounded above, `0` for fixed variables).
+    span: Vec<f64>,
+    /// Right-hand side, normalized nonnegative.
+    rhs: Vec<f64>,
+    /// Artificial variable indices (phase-1 objective).
+    artificials: Vec<usize>,
+}
+
+/// Mutable solver state: the basis, its inverse, and variable rest
+/// positions.
+struct Basis {
+    /// Dense row-major `m × m` basis inverse.
+    binv: Vec<f64>,
+    /// Basic variable of each row.
+    basic: Vec<usize>,
+    /// Value of each basic variable (`x_B = B⁻¹ b` kept incrementally).
+    xb: Vec<f64>,
+    /// Rest bound of every nonbasic variable (ignored while basic).
+    rest: Vec<Bound>,
+    /// Whether a variable is currently basic.
+    in_basis: Vec<bool>,
+}
+
+impl Basis {
+    /// `B⁻¹ A_j` for a sparse column.
+    fn ftran(&self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
+        let mut w = vec![0.0; m];
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            let mut acc = 0.0;
+            for &(r, a) in col {
+                acc += row[r] * a;
+            }
+            w[i] = acc;
+        }
+        w
+    }
+
+    /// Row `i` of `B⁻¹` dotted with a sparse column.
+    fn row_dot(&self, m: usize, i: usize, col: &[(usize, f64)]) -> f64 {
+        let row = &self.binv[i * m..(i + 1) * m];
+        col.iter().map(|&(r, a)| row[r] * a).sum()
+    }
+
+    /// Rank-one update of `B⁻¹` after `w = B⁻¹ A_j` enters on `row`.
+    fn pivot(&mut self, m: usize, w: &[f64], row: usize) {
+        let p = w[row];
+        for k in 0..m {
+            self.binv[row * m + k] /= p;
+        }
+        for i in 0..m {
+            if i != row && w[i].abs() > EPS {
+                let f = w[i];
+                for k in 0..m {
+                    self.binv[i * m + k] -= f * self.binv[row * m + k];
+                }
+            }
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` with the sparse revised simplex.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when phase 1 cannot zero the artificials,
+/// [`SolveError::Unbounded`] when an improving direction is blocked by no
+/// basic variable and no bound, [`SolveError::IterationLimit`] past
+/// `model.max_pivots` pivots (bound flips count).
+pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+    let n = model.vars.len();
+
+    // An inverted bound box (upper < lower) admits no solution. The dense
+    // oracle discovers this through its explicit bound rows; here bounds
+    // are implicit, so reject up front (same 1e-6 feasibility tolerance).
+    for v in &model.vars {
+        if v.upper.is_some_and(|u| u - v.lower < -1e-6) {
+            return Err(SolveError::Infeasible);
+        }
+    }
+
+    let shift: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+
+    // --- Standard form: shift, sum duplicates, normalize rhs signs ----
+    struct RowSpec {
+        terms: Vec<(usize, f64)>,
+        op: Op,
+        rhs: f64,
+    }
+    let mut rows: Vec<RowSpec> = Vec::with_capacity(model.constraints.len());
+    for c in &model.constraints {
+        // Duplicate `(var, coeff)` entries sum — the same semantics the
+        // dense builder pins (coefficient accumulation and shift
+        // adjustment are both linear in the terms).
+        let mut acc: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut rhs = c.rhs;
+        for &(v, a) in &c.coeffs {
+            *acc.entry(v.0).or_insert(0.0) += a;
+            rhs -= a * shift[v.0];
+        }
+        let mut terms: Vec<(usize, f64)> =
+            acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
+        let mut op = c.op;
+        if rhs < 0.0 {
+            for t in &mut terms {
+                t.1 = -t.1;
+            }
+            rhs = -rhs;
+            op = match op {
+                Op::Le => Op::Ge,
+                Op::Ge => Op::Le,
+                Op::Eq => Op::Eq,
+            };
+        }
+        rows.push(RowSpec { terms, op, rhs });
+    }
+    let m = rows.len();
+
+    // --- Columns: structural | slack/surplus | artificial -------------
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, r) in rows.iter().enumerate() {
+        for &(j, a) in &r.terms {
+            cols[j].push((i, a));
+        }
+    }
+    let mut span: Vec<f64> = model
+        .vars
+        .iter()
+        .map(|v| v.upper.map_or(f64::INFINITY, |u| (u - v.lower).max(0.0)))
+        .collect();
+    let mut basic = vec![usize::MAX; m];
+    let mut artificials = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        match r.op {
+            Op::Le => {
+                cols.push(vec![(i, 1.0)]);
+                span.push(f64::INFINITY);
+                basic[i] = cols.len() - 1;
+            }
+            Op::Ge => {
+                cols.push(vec![(i, -1.0)]); // surplus, nonbasic at 0
+                span.push(f64::INFINITY);
+                cols.push(vec![(i, 1.0)]); // artificial, basic
+                span.push(f64::INFINITY);
+                basic[i] = cols.len() - 1;
+                artificials.push(cols.len() - 1);
+            }
+            Op::Eq => {
+                cols.push(vec![(i, 1.0)]); // artificial, basic
+                span.push(f64::INFINITY);
+                basic[i] = cols.len() - 1;
+                artificials.push(cols.len() - 1);
+            }
+        }
+    }
+    let total = cols.len();
+
+    let mut form = SparseForm {
+        m,
+        cols,
+        span,
+        rhs: rows.iter().map(|r| r.rhs).collect(),
+        artificials,
+    };
+    let mut binv = vec![0.0; m * m];
+    for i in 0..m {
+        binv[i * m + i] = 1.0;
+    }
+    let mut state = Basis {
+        binv,
+        xb: form.rhs.clone(),
+        in_basis: {
+            let mut b = vec![false; total];
+            for &v in &basic {
+                b[v] = true;
+            }
+            b
+        },
+        basic,
+        rest: vec![Bound::Lower; total],
+    };
+    let mut pivots_left = model.max_pivots;
+
+    // --- Phase 1: drive the artificials to zero -----------------------
+    if !form.artificials.is_empty() {
+        let mut obj = vec![0.0; total];
+        for &a in &form.artificials {
+            obj[a] = -1.0;
+        }
+        let value = optimize(&form, &mut state, &obj, &mut pivots_left)?;
+        if value < -1e-6 {
+            return Err(SolveError::Infeasible);
+        }
+        evict_basic_artificials(&form, &mut state);
+        // Fix artificials at zero: a fixed variable is never eligible to
+        // enter, which is the bound-form equivalent of zapping their
+        // columns in the dense tableau.
+        for &a in &form.artificials {
+            form.span[a] = 0.0;
+        }
+    }
+
+    // --- Phase 2: the real objective ----------------------------------
+    let dir = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let mut obj = vec![0.0; total];
+    for (j, &c) in model.objective.iter().enumerate() {
+        obj[j] = dir * c;
+    }
+    optimize(&form, &mut state, &obj, &mut pivots_left)?;
+
+    // --- Extraction ----------------------------------------------------
+    let mut values = shift;
+    for (j, value) in values.iter_mut().enumerate() {
+        if !state.in_basis[j] && state.rest[j] == Bound::Upper {
+            *value += form.span[j];
+        }
+    }
+    for (i, &b) in state.basic.iter().enumerate() {
+        if b < n {
+            values[b] += state.xb[i];
+        }
+    }
+    let objective = model
+        .objective
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(Solution { objective, values })
+}
+
+/// Maximizes `obj` from the current basis; returns the optimal phase
+/// objective value (in the internal maximization direction).
+fn optimize(
+    form: &SparseForm,
+    state: &mut Basis,
+    obj: &[f64],
+    pivots_left: &mut usize,
+) -> Result<f64, SolveError> {
+    let m = form.m;
+    let total = form.cols.len();
+    // Pricing vector y = c_B B⁻¹, recomputed only after a pivot — a bound
+    // flip changes neither the basis nor the objective, so the reduced
+    // costs survive flips unchanged.
+    let mut y = vec![0.0; m];
+    let mut y_valid = false;
+    loop {
+        if !y_valid {
+            y.fill(0.0);
+            for i in 0..m {
+                let cb = obj[state.basic[i]];
+                if cb != 0.0 {
+                    let row = &state.binv[i * m..(i + 1) * m];
+                    for (yk, &bk) in y.iter_mut().zip(row) {
+                        *yk += cb * bk;
+                    }
+                }
+            }
+            y_valid = true;
+        }
+
+        // Bland: first nonbasic, non-fixed column whose reduced cost
+        // improves in its feasible direction.
+        let mut entering = None;
+        for j in 0..total {
+            if state.in_basis[j] || form.span[j] <= EPS {
+                continue;
+            }
+            let d = obj[j]
+                - form.cols[j]
+                    .iter()
+                    .map(|&(r, a)| y[r] * a)
+                    .sum::<f64>();
+            let eligible = match state.rest[j] {
+                Bound::Lower => d > EPS,
+                Bound::Upper => d < -EPS,
+            };
+            if eligible {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            // Optimal: objective at the current point.
+            let mut value = 0.0;
+            for i in 0..m {
+                value += obj[state.basic[i]] * state.xb[i];
+            }
+            for (jj, col_obj) in obj.iter().enumerate() {
+                if !state.in_basis[jj]
+                    && state.rest[jj] == Bound::Upper
+                    && *col_obj != 0.0
+                {
+                    value += col_obj * form.span[jj];
+                }
+            }
+            return Ok(value);
+        };
+
+        // Direction: entering increases from its lower bound or decreases
+        // from its upper bound.
+        let sign = match state.rest[j] {
+            Bound::Lower => 1.0,
+            Bound::Upper => -1.0,
+        };
+        let w = state.ftran(m, &form.cols[j]);
+
+        // Ratio test: basic variables block at their own bounds; the
+        // entering variable blocks at its opposite bound (a flip). Bland:
+        // smallest basis index breaks ties, and a blocking row always
+        // beats a tying flip.
+        let mut best = form.span[j];
+        let mut leave: Option<(usize, Bound)> = None;
+        for i in 0..m {
+            let rate = sign * w[i]; // xb[i] shrinks at `rate` per unit step
+            if rate > EPS {
+                let ratio = state.xb[i] / rate;
+                let tie = (ratio - best).abs() <= EPS;
+                if ratio < best - EPS
+                    || (tie
+                        && leave
+                            .is_none_or(|(l, _)| state.basic[i] < state.basic[l]))
+                {
+                    best = ratio;
+                    leave = Some((i, Bound::Lower));
+                }
+            } else if rate < -EPS {
+                let ub = form.span[state.basic[i]];
+                if ub.is_finite() {
+                    let ratio = (ub - state.xb[i]) / (-rate);
+                    let tie = (ratio - best).abs() <= EPS;
+                    if ratio < best - EPS
+                        || (tie
+                            && leave
+                                .is_none_or(|(l, _)| state.basic[i] < state.basic[l]))
+                    {
+                        best = ratio;
+                        leave = Some((i, Bound::Upper));
+                    }
+                }
+            }
+        }
+        if best.is_infinite() {
+            return Err(SolveError::Unbounded);
+        }
+        if *pivots_left == 0 {
+            return Err(SolveError::IterationLimit);
+        }
+        *pivots_left -= 1;
+        let delta = best.max(0.0);
+
+        match leave {
+            None => {
+                // Bound flip: the entering variable runs to its opposite
+                // bound; the basis is untouched.
+                for i in 0..m {
+                    state.xb[i] -= sign * delta * w[i];
+                }
+                state.rest[j] = match state.rest[j] {
+                    Bound::Lower => Bound::Upper,
+                    Bound::Upper => Bound::Lower,
+                };
+            }
+            Some((r, leaves_to)) => {
+                for i in 0..m {
+                    if i != r {
+                        state.xb[i] -= sign * delta * w[i];
+                    }
+                }
+                let entering_value = match state.rest[j] {
+                    Bound::Lower => delta,
+                    Bound::Upper => form.span[j] - delta,
+                };
+                let leaving = state.basic[r];
+                state.in_basis[leaving] = false;
+                state.rest[leaving] = leaves_to;
+                state.basic[r] = j;
+                state.in_basis[j] = true;
+                state.xb[r] = entering_value;
+                state.pivot(m, &w, r);
+                y_valid = false;
+            }
+        }
+    }
+}
+
+/// After phase 1, swaps basic artificials (all at value 0) out for any
+/// non-artificial column with a nonzero pivot element — a degenerate
+/// basis relabeling at an unchanged solution point. Rows where no such
+/// column exists are redundant; their artificial stays basic at 0.
+fn evict_basic_artificials(form: &SparseForm, state: &mut Basis) {
+    let m = form.m;
+    let is_artificial = {
+        let mut flags = vec![false; form.cols.len()];
+        for &a in &form.artificials {
+            flags[a] = true;
+        }
+        flags
+    };
+    for i in 0..m {
+        if !is_artificial[state.basic[i]] {
+            continue;
+        }
+        let candidate = (0..form.cols.len()).find(|&j| {
+            !is_artificial[j]
+                && !state.in_basis[j]
+                && state.row_dot(m, i, &form.cols[j]).abs() > EPS
+        });
+        if let Some(j) = candidate {
+            let w = state.ftran(m, &form.cols[j]);
+            let entering_value = match state.rest[j] {
+                Bound::Lower => 0.0,
+                Bound::Upper => form.span[j],
+            };
+            let leaving = state.basic[i];
+            state.in_basis[leaving] = false;
+            state.rest[leaving] = Bound::Lower;
+            state.basic[i] = j;
+            state.in_basis[j] = true;
+            state.xb[i] = entering_value;
+            state.pivot(m, &w, i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::simplex::solve_lp_dense;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        m.set_objective(&[(x, 3.0), (y, 5.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+    }
+
+    #[test]
+    fn upper_bounds_stay_implicit() {
+        // Bounds never become rows: a pure box problem has zero rows.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 1.5, Some(3.5));
+        let y = m.add_var("y", -2.0, Some(2.0));
+        m.set_objective(&[(x, 2.0), (y, -1.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert_close(sol.value(x), 3.5);
+        assert_close(sol.value(y), -2.0);
+        assert_close(sol.objective, 9.0);
+    }
+
+    #[test]
+    fn bounded_vars_inside_constraints() {
+        // max x + y s.t. x + y ≤ 5, x ∈ [0, 3], y ∈ [0, 3] → 5, and the
+        // vertex splits across the bounds.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, Some(3.0));
+        let y = m.add_var("y", 0.0, Some(3.0));
+        m.add_le(&[(x, 1.0), (y, 1.0)], 5.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert_close(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let mut inf = Model::new(Sense::Maximize);
+        let x = inf.add_var("x", 0.0, None);
+        inf.add_le(&[(x, 1.0)], 1.0);
+        inf.add_ge(&[(x, 1.0)], 2.0);
+        inf.set_objective(&[(x, 1.0)]);
+        assert_eq!(solve_lp(&inf), Err(SolveError::Infeasible));
+
+        let mut unb = Model::new(Sense::Maximize);
+        let y = unb.add_var("y", 0.0, None);
+        unb.set_objective(&[(y, 1.0)]);
+        assert_eq!(solve_lp(&unb), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn equality_system() {
+        // max x + y s.t. x + y = 7, x - y = 1 → x=4, y=3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 7.0);
+        m.add_eq(&[(x, 1.0), (y, -1.0)], 1.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn duplicate_coefficients_sum() {
+        // `(x, 1) + (x, 2)` is the single term `3x`, with the lower-bound
+        // shift applied to the summed coefficient: x ∈ [1, ∞),
+        // 3x ≤ 6 → x ≤ 2. Pins the builder semantics for both solvers.
+        for solver in [solve_lp, solve_lp_dense] {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_var("x", 1.0, None);
+            m.add_constraint(&[(x, 1.0), (x, 2.0)], Op::Le, 6.0);
+            m.set_objective(&[(x, 1.0)]);
+            let sol = solver(&m).unwrap();
+            assert_close(sol.value(x), 2.0);
+            assert_close(sol.objective, 2.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_coefficients_can_cancel() {
+        // `(x, 2) + (x, -2)` vanishes entirely; the row degenerates to
+        // `0 ≤ 1` and x is governed by its own bound.
+        for solver in [solve_lp, solve_lp_dense] {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_var("x", 0.0, Some(9.0));
+            m.add_constraint(&[(x, 2.0), (x, -2.0)], Op::Le, 1.0);
+            m.set_objective(&[(x, 1.0)]);
+            let sol = solver(&m).unwrap();
+            assert_close(sol.objective, 9.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // The classic Beale-style degenerate LP; Bland's rule must
+        // terminate on the bounded pivoting too.
+        let mut m = Model::new(Sense::Maximize);
+        let x1 = m.add_var("x1", 0.0, None);
+        let x2 = m.add_var("x2", 0.0, None);
+        let x3 = m.add_var("x3", 0.0, None);
+        m.add_le(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], 0.0);
+        m.add_le(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], 0.0);
+        m.add_le(&[(x1, 1.0)], 1.0);
+        m.set_objective(&[(x1, 10.0), (x2, -57.0), (x3, -9.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert!(sol.objective.is_finite());
+        let dense = solve_lp_dense(&m).unwrap();
+        assert_close(sol.objective, dense.objective);
+    }
+
+    #[test]
+    fn pivot_cap_enforced() {
+        // A `≥` row needs at least one phase-1 pivot; a zero cap must
+        // surface as the iteration limit in both solvers.
+        for solver in [solve_lp, solve_lp_dense] {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, None);
+            m.add_ge(&[(x, 1.0)], 3.0);
+            m.set_objective(&[(x, 1.0)]);
+            m.max_pivots = 0;
+            assert_eq!(solver(&m), Err(SolveError::IterationLimit));
+        }
+    }
+
+    #[test]
+    fn fixed_variables_never_enter() {
+        // entry-style variable fixed at 1 contributes through constraints
+        // but is never pivoted on.
+        let mut m = Model::new(Sense::Maximize);
+        let e = m.add_var("entry", 1.0, Some(1.0));
+        let x = m.add_var("x", 0.0, None);
+        // x ≤ 4·entry
+        m.add_le(&[(x, 1.0), (e, -4.0)], 0.0);
+        m.set_objective(&[(x, 3.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert_close(sol.value(e), 1.0);
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.objective, 12.0);
+    }
+
+    #[test]
+    fn inverted_bounds_are_infeasible() {
+        // upper < lower is an empty box; both solvers must refuse rather
+        // than return a bound-violating point.
+        for solver in [solve_lp, solve_lp_dense] {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_var("x", 5.0, Some(3.0));
+            m.set_objective(&[(x, 1.0)]);
+            assert_eq!(solver(&m), Err(SolveError::Infeasible));
+        }
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -5.0, Some(10.0));
+        m.set_objective(&[(x, 1.0)]);
+        let sol = solve_lp(&m).unwrap();
+        assert_close(sol.value(x), -5.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cross-validation of the sparse bounded revised simplex against the
+//! dense reference tableau on random LPs: same feasibility classification
+//! and, when solvable, the same optimal objective value. The two solvers
+//! share no code beyond the `Model` type, so agreement is strong evidence
+//! for both.
+
+use proptest::prelude::*;
+
+use wcet_ilp::model::Op;
+use wcet_ilp::simplex::solve_lp_dense;
+use wcet_ilp::sparse::solve_lp;
+use wcet_ilp::{Model, Sense};
+
+#[derive(Debug, Clone)]
+struct SmallLp {
+    /// Per variable: (lower, optional span above lower).
+    bounds: Vec<(i64, Option<i64>)>,
+    /// (coefficients, op, rhs)
+    constraints: Vec<(Vec<i64>, Op, i64)>,
+    objective: Vec<i64>,
+    sense: Sense,
+}
+
+fn arb_lp() -> impl Strategy<Value = SmallLp> {
+    (1usize..=4)
+        .prop_flat_map(|n| {
+            // Spans down to -2 cover inverted (upper < lower) boxes, which
+            // both solvers must classify as infeasible.
+            let bound = (-3i64..=3).prop_flat_map(|lo| {
+                prop_oneof![
+                    Just((lo, None)),
+                    (-2i64..=6).prop_map(move |s| (lo, Some(s))),
+                ]
+            });
+            let bounds = proptest::collection::vec(bound, n);
+            let constraint = (
+                proptest::collection::vec(-3i64..=3, n),
+                prop_oneof![Just(Op::Le), Just(Op::Ge), Just(Op::Eq)],
+                -10i64..=15,
+            );
+            let constraints = proptest::collection::vec(constraint, 0..4);
+            let objective = proptest::collection::vec(-4i64..=4, n);
+            let sense = prop_oneof![Just(Sense::Maximize), Just(Sense::Minimize)];
+            (bounds, constraints, objective, sense)
+        })
+        .prop_map(|(bounds, constraints, objective, sense)| SmallLp {
+            bounds,
+            constraints,
+            objective,
+            sense,
+        })
+}
+
+fn build(lp: &SmallLp) -> Model {
+    let mut m = Model::new(lp.sense);
+    let vars: Vec<_> = lp
+        .bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, span))| {
+            m.add_var(
+                &format!("x{i}"),
+                lo as f64,
+                span.map(|s| (lo + s) as f64),
+            )
+        })
+        .collect();
+    for (coeffs, op, rhs) in &lp.constraints {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        m.add_constraint(&terms, *op, *rhs as f64);
+    }
+    let obj: Vec<_> = vars
+        .iter()
+        .zip(&lp.objective)
+        .map(|(&v, &c)| (v, c as f64))
+        .collect();
+    m.set_objective(&obj);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    /// Feasible, infeasible, and unbounded instances are classified
+    /// identically, and objective values agree to tolerance.
+    #[test]
+    fn prop_sparse_matches_dense(lp in arb_lp()) {
+        let m = build(&lp);
+        let dense = solve_lp_dense(&m);
+        let sparse = solve_lp(&m);
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => {
+                let scale = 1.0 + d.objective.abs();
+                prop_assert!(
+                    (d.objective - s.objective).abs() / scale < 1e-6,
+                    "objective mismatch: dense {} vs sparse {} on {:?}",
+                    d.objective, s.objective, lp
+                );
+                // Both solutions must satisfy every constraint and bound.
+                for sol in [&d, &s] {
+                    for (i, &(lo, span)) in lp.bounds.iter().enumerate() {
+                        let x = sol.values[i];
+                        prop_assert!(x >= lo as f64 - 1e-6, "{x} below lower {lo}: {lp:?}");
+                        if let Some(s) = span {
+                            prop_assert!(x <= (lo + s) as f64 + 1e-6, "{x} above upper: {lp:?}");
+                        }
+                    }
+                    for (coeffs, op, rhs) in &lp.constraints {
+                        let lhs: f64 = coeffs
+                            .iter()
+                            .zip(&sol.values)
+                            .map(|(&c, &x)| c as f64 * x)
+                            .sum();
+                        let ok = match op {
+                            Op::Le => lhs <= *rhs as f64 + 1e-6,
+                            Op::Ge => lhs >= *rhs as f64 - 1e-6,
+                            Op::Eq => (lhs - *rhs as f64).abs() <= 1e-6,
+                        };
+                        prop_assert!(ok, "violated {coeffs:?} {op:?} {rhs}: lhs {lhs} in {lp:?}");
+                    }
+                }
+            }
+            (Err(d), Err(s)) => prop_assert_eq!(d, s, "error class mismatch on {:?}", lp),
+            (d, s) => {
+                return Err(TestCaseError::fail(format!(
+                    "solvers disagree: dense {d:?} vs sparse {s:?} on {lp:?}"
+                )));
+            }
+        }
+    }
+
+    /// Duplicate `(var, coeff)` entries sum — on random instances, a
+    /// constraint split into two half-coefficient copies of each term is
+    /// equivalent to the merged row, in both solvers.
+    #[test]
+    fn prop_duplicate_terms_equal_merged(lp in arb_lp()) {
+        let merged = build(&lp);
+        let mut split = Model::new(lp.sense);
+        let vars: Vec<_> = lp
+            .bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, span))| {
+                split.add_var(&format!("x{i}"), lo as f64, span.map(|s| (lo + s) as f64))
+            })
+            .collect();
+        for (coeffs, op, rhs) in &lp.constraints {
+            // Each term twice at half weight: Σ (c/2 + c/2) x = Σ c x.
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(coeffs)
+                .flat_map(|(&v, &c)| [(v, c as f64 / 2.0), (v, c as f64 / 2.0)])
+                .collect();
+            split.add_constraint(&terms, *op, *rhs as f64);
+        }
+        let obj: Vec<_> = vars
+            .iter()
+            .zip(&lp.objective)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        split.set_objective(&obj);
+
+        for solver in [solve_lp, solve_lp_dense] {
+            let a = solver(&merged);
+            let b = solver(&split);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    let scale = 1.0 + a.objective.abs();
+                    prop_assert!(
+                        (a.objective - b.objective).abs() / scale < 1e-6,
+                        "split-duplicate mismatch: {} vs {} on {:?}",
+                        a.objective, b.objective, lp
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "duplicate split changed the outcome: {a:?} vs {b:?} on {lp:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

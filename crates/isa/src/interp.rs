@@ -24,7 +24,7 @@ pub const RETURN_SENTINEL: Addr = Addr(0xffff_fffc);
 
 /// The full hardware configuration the interpreter (and static analyses)
 /// run against.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Physical memory regions and latencies.
     pub memmap: MemoryMap,

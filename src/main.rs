@@ -5,6 +5,8 @@
 //!   --annotations <file>         design-level annotation file (§4.3)
 //!   --caches                     enable the i/d-cache machine model
 //!   --unroll                     virtually unroll loops (context expansion)
+//!   --threads <n>                analysis worker threads (default: all
+//!                                cores; 1 = sequential; same report either way)
 //!   --disasm                     print the disassembly listing
 //!   --check-only                 run only the MISRA guideline checker
 //!   --run                        also execute and report observed cycles
@@ -63,6 +65,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut show_disasm = false;
     let mut check_only = false;
     let mut also_run = false;
+    let mut parallelism: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -72,6 +75,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     it.next()
                         .ok_or_else(|| "--annotations needs a file".to_owned())?,
                 );
+            }
+            "--threads" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a count".to_owned())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{raw}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                parallelism = Some(n);
             }
             "--caches" => caches = true,
             "--unroll" => unroll = true,
@@ -117,6 +132,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         machine: machine.clone(),
         annotations,
         unrolling: unroll,
+        parallelism,
         ..AnalyzerConfig::new()
     };
     let report = WcetAnalyzer::with_config(config)
@@ -194,7 +210,7 @@ fn print_usage() {
         "wcet — static WCET analyzer (reproduction of 'Software Structure \
          and WCET Predictability', PPES/DATE 2011)\n\n\
          usage:\n  wcet <program.s> [--annotations <file>] [--caches] \
-         [--unroll] [--disasm] [--check-only] [--run]\n  wcet --table1 [samples]\n  \
-         wcet --experiments\n  wcet --help"
+         [--unroll] [--threads <n>] [--disasm] [--check-only] [--run]\n  \
+         wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }

@@ -52,6 +52,55 @@ fn table1_driver_runs_small_sample_count() {
 }
 
 #[test]
+fn threads_flag_is_validated_and_bounds_agree() {
+    let dir = std::env::temp_dir().join(format!("wcet-cli-threads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let program = dir.join("fanout.s");
+    std::fs::write(
+        &program,
+        ".org 0x1000\n\
+         main:\n\
+             call f0\n\
+             call f1\n\
+             halt\n\
+         f0:\n\
+             li   r1, 6\n\
+         f0l:\n\
+             subi r1, r1, 1\n\
+             bne  r1, r0, f0l\n\
+             ret\n\
+         f1:\n\
+             li   r1, 9\n\
+         f1l:\n\
+             subi r1, r1, 1\n\
+             bne  r1, r0, f1l\n\
+             ret\n",
+    )
+    .expect("write program");
+
+    let bad = wcet(&[program.to_str().unwrap(), "--threads", "0"]);
+    assert!(!bad.status.success(), "--threads 0 must be rejected");
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--threads"));
+
+    // The WCET/BCET headlines must not depend on the worker count
+    // (phase times do — they are wall clocks).
+    let headlines = |threads: &str| {
+        let out = wcet(&[program.to_str().unwrap(), "--threads", threads]);
+        assert!(out.status.success(), "--threads {threads} failed");
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.contains("bound:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let sequential = headlines("1");
+    assert!(sequential.contains("task WCET bound:"), "{sequential}");
+    assert_eq!(sequential, headlines("4"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn analyzes_an_assembly_file_end_to_end() {
     let dir = std::env::temp_dir().join(format!("wcet-cli-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

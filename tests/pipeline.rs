@@ -177,6 +177,55 @@ fn error_handling_budget_is_sound_for_consistent_runs() {
 }
 
 // ---------------------------------------------------------------------
+// Wavefront scheduler determinism (acceptance criterion)
+// ---------------------------------------------------------------------
+
+/// A parallel run (N ≥ 2 workers) must produce a byte-identical
+/// `AnalysisReport` to the sequential run on every workload — phase
+/// timings excluded, since they are real clocks on both paths.
+#[test]
+fn parallel_reports_are_byte_identical_to_sequential() {
+    let mut workloads = vec![
+        workload::flight_control(),
+        workload::message_handler(16),
+        workload::state_machine(6),
+        workload::error_handling(4),
+        workload::matrix_kernel(4),
+        workload::call_fanout(16),
+    ];
+    let (branchy, single) = workload::single_path_pair();
+    workloads.push(branchy);
+    workloads.push(single);
+    let (killer, friendly) = workload::cache_pair();
+    workloads.push(killer);
+    workloads.push(friendly);
+
+    for w in &workloads {
+        let render = |parallelism: Option<usize>| {
+            let config = AnalyzerConfig {
+                annotations: w.annotations.clone(),
+                machine: MachineConfig::with_caches(),
+                // Unrolling exercises the parallel peel-and-reanalyze
+                // fan-out, the one map site the other tests leave cold.
+                unrolling: true,
+                parallelism,
+                ..AnalyzerConfig::new()
+            };
+            let mut report = WcetAnalyzer::with_config(config)
+                .analyze(&w.image)
+                .unwrap_or_else(|e| panic!("{} analyzes: {e}", w.name));
+            report.trace.phase_times = Default::default();
+            report.trace.phase_work_times = Default::default();
+            format!("{:#?}\n{}", report, report.trace)
+        };
+        let sequential = render(Some(1));
+        assert_eq!(sequential, render(Some(2)), "{}: 2 workers diverged", w.name);
+        assert_eq!(sequential, render(Some(5)), "{}: 5 workers diverged", w.name);
+        assert_eq!(sequential, render(None), "{}: auto workers diverged", w.name);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Annotation language round trips
 // ---------------------------------------------------------------------
 

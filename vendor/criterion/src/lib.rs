@@ -33,7 +33,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { measurement: Duration::from_millis(200), sample_size: 50 }
+        // `cargo bench -- --quick` (or CRITERION_QUICK=1) shrinks the
+        // per-benchmark budget for CI smoke runs, mirroring real
+        // criterion's quick mode.
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+        if quick {
+            Criterion { measurement: Duration::from_millis(10), sample_size: 3 }
+        } else {
+            Criterion { measurement: Duration::from_millis(200), sample_size: 50 }
+        }
     }
 }
 
