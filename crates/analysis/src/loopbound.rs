@@ -115,6 +115,16 @@ pub struct LoopBounds {
 }
 
 impl LoopBounds {
+    /// Rebuilds a bounds table from recorded `(loop, result)` pairs — the
+    /// artifact-cache replay path. The pairs must refer to the loop ids of
+    /// the forest the bounds were originally computed over; the cache
+    /// layer guarantees that by keying artifacts on function content
+    /// (identical CFG ⇒ identical, deterministic forest).
+    #[must_use]
+    pub fn from_results(results: Vec<(LoopId, BoundResult)>) -> LoopBounds {
+        LoopBounds { results }
+    }
+
     /// All `(loop, result)` pairs, in loop-id order.
     #[must_use]
     pub fn results(&self) -> &[(LoopId, BoundResult)] {

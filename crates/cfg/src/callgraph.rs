@@ -138,6 +138,27 @@ impl CallGraph {
             .unwrap_or_else(|| vec![fun])
     }
 
+    /// The reverse-dependency closure of `seeds`: every function that can
+    /// (transitively) reach a seed through call edges, *including* the
+    /// seeds themselves. This is the dirtiness propagation primitive of
+    /// the incremental re-analysis engine: when a function's content
+    /// changes, exactly this set of WCET results may change — a caller's
+    /// bound embeds its callees' bounds, so invalidation flows
+    /// callee-to-caller, never sideways.
+    #[must_use]
+    pub fn transitive_callers(&self, seeds: &BTreeSet<Addr>) -> BTreeSet<Addr> {
+        let mut dirty: BTreeSet<Addr> = seeds.clone();
+        let mut work: Vec<Addr> = seeds.iter().copied().collect();
+        while let Some(f) = work.pop() {
+            for caller in self.callers.get(&f).into_iter().flatten() {
+                if dirty.insert(*caller) {
+                    work.push(*caller);
+                }
+            }
+        }
+        dirty
+    }
+
     /// The bottom-up *wavefront*: SCC groups partitioned into levels such
     /// that every callee outside a group lies in an earlier level. Groups
     /// within one level share no call edges, so their analyses are
@@ -357,6 +378,46 @@ mod tests {
         assert_eq!(levels[0].len(), 1, "the f/g cycle is one group");
         assert_eq!(levels[0][0].len(), 2);
         assert_eq!(levels[1], vec![vec![p.entry]]);
+    }
+
+    #[test]
+    fn transitive_callers_closure() {
+        // main → g → f, main → h. Dirtying f reaches g and main but not h.
+        let (p, g) = cg(
+            "main: call g\n call h\n halt\nf: ret\ng: call f\n ret\nh: ret",
+        );
+        let f = p
+            .functions
+            .keys()
+            .copied()
+            .find(|&a| g.callees_of(a).is_empty() && !g.callers_of(a).is_empty()
+                && g.callers_of(a) != vec![p.entry])
+            .unwrap();
+        let dirty = g.transitive_callers(&BTreeSet::from([f]));
+        assert!(dirty.contains(&f), "seeds are included");
+        assert!(dirty.contains(&p.entry), "root is reached through g");
+        assert_eq!(dirty.len(), 3, "h is untouched: {dirty:?}");
+
+        // The empty seed set stays empty; dirtying the root stays at the
+        // root (nothing calls main).
+        assert!(g.transitive_callers(&BTreeSet::new()).is_empty());
+        assert_eq!(
+            g.transitive_callers(&BTreeSet::from([p.entry])),
+            BTreeSet::from([p.entry])
+        );
+    }
+
+    #[test]
+    fn transitive_callers_through_cycles() {
+        // f ↔ g cycle called by main: dirtying f reaches g (cycle member)
+        // and main.
+        let (p, g) = cg(
+            "main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret",
+        );
+        let f = g.recursive_functions()[0];
+        let dirty = g.transitive_callers(&BTreeSet::from([f]));
+        assert_eq!(dirty.len(), 3, "both cycle members and main: {dirty:?}");
+        assert!(dirty.contains(&p.entry));
     }
 
     #[test]

@@ -1,23 +1,29 @@
 //! The complete aiT-style analyzer (Figure 1 end to end).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use wcet_analysis::loopbound::{BoundResult, BoundSource};
+use wcet_analysis::loopbound::{BoundResult, BoundSource, LoopBounds};
 use wcet_analysis::{analyze_function, FunctionAnalysis};
 use wcet_cfg::callgraph::CallGraph;
-use wcet_cfg::graph::{reconstruct, Program};
+use wcet_cfg::dom::Dominators;
+use wcet_cfg::graph::{reconstruct, Cfg, Program};
+use wcet_cfg::loops::LoopForest;
 use wcet_cfg::CfgError;
 use wcet_guidelines::annot::AnnotationSet;
 use wcet_guidelines::report::PredictabilityReport;
-use wcet_guidelines::rules::check_program;
+use wcet_guidelines::rules::{check_function, check_image_level, sort_findings, Finding};
 use wcet_isa::interp::MachineConfig;
 use wcet_isa::{Addr, Image};
 use wcet_micro::blocktime::BlockTimes;
 use wcet_micro::cacheanalysis::CacheAnalysis;
 use wcet_path::ipet::{self, CallCosts, PathError, WcetResult};
 
+use crate::incr::{
+    ipet_full_key, ipet_struct_key, ArtifactCache, FunctionArtifact, IncrStats, IpetEntry,
+    KeyContext,
+};
 use crate::parallel;
 use crate::phases::PhaseTrace;
 
@@ -152,6 +158,10 @@ pub struct AnalysisReport {
     pub guidelines: Option<PredictabilityReport>,
     /// The Figure 1 phase trace.
     pub trace: PhaseTrace,
+    /// Incremental-cache statistics, when the run used an
+    /// [`ArtifactCache`]. Never part of the rendered analysis text — a
+    /// warm report must be byte-identical to a cold one.
+    pub incr: Option<IncrStats>,
 }
 
 impl AnalysisReport {
@@ -213,8 +223,42 @@ impl WcetAnalyzer {
     /// surface as [`AnalyzeError::Path`] with the tier-one diagnosis
     /// attached.
     pub fn analyze(&self, image: &Image) -> Result<AnalysisReport, AnalyzeError> {
+        self.analyze_impl(image, None)
+    }
+
+    /// [`Self::analyze`] against a persistent [`ArtifactCache`].
+    ///
+    /// Functions whose content key (bytes, resolved control flow, image
+    /// data, callee summaries, configuration) matches a cached artifact
+    /// skip value analysis, block timing, guideline checking, and — when
+    /// their callees' bounds are unchanged — the IPET solve; everything
+    /// is replayed from the cache. Changed functions and their transitive
+    /// callers (the [`CallGraph::transitive_callers`] closure) recompute,
+    /// and their artifacts are stored for the next run. The report is
+    /// **byte-identical** to [`Self::analyze`] on the same image and
+    /// configuration, at any thread count; [`AnalysisReport::incr`]
+    /// carries the hit statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::analyze`].
+    pub fn analyze_incremental(
+        &self,
+        image: &Image,
+        cache: &mut ArtifactCache,
+    ) -> Result<AnalysisReport, AnalyzeError> {
+        self.analyze_impl(image, Some(cache))
+    }
+
+    fn analyze_impl(
+        &self,
+        image: &Image,
+        mut cache: Option<&mut ArtifactCache>,
+    ) -> Result<AnalysisReport, AnalyzeError> {
         let mut trace = PhaseTrace::default();
         let threads = parallel::worker_count(self.config.parallelism);
+        let key_ctx = cache.as_ref().map(|_| KeyContext::new(image, &self.config));
+        let mut stats = IncrStats::default();
 
         // --- Phase 1: decoding --------------------------------------
         let t0 = Instant::now();
@@ -228,7 +272,7 @@ impl WcetAnalyzer {
         let mut resolver = self.config.annotations.to_resolver();
         let mut program = reconstruct(image, &resolver)?;
         trace.unresolved_initial = program.unresolved_sites().len();
-        let mut analyses: BTreeMap<Addr, FunctionAnalysis> = BTreeMap::new();
+        let mut phases_map: BTreeMap<Addr, FnPhase> = BTreeMap::new();
         let t2_accum = Instant::now();
         let mut value_time = t2_accum.elapsed();
         let mut value_work = Duration::ZERO;
@@ -236,12 +280,41 @@ impl WcetAnalyzer {
         for round in 0..max_rounds {
             // Phase 3 runs inside the loop: value analysis may resolve
             // indirect targets, requiring re-reconstruction. Functions
-            // are analyzed independently, so every round fans out flat.
+            // are analyzed independently, so every round fans out flat —
+            // after cached functions are peeled off on the coordinator.
             let tv = Instant::now();
             let funcs: Vec<Addr> = program.functions.keys().copied().collect();
+            let mut keys: BTreeMap<Addr, u64> = BTreeMap::new();
+            let mut cold: Vec<Addr> = Vec::new();
+            phases_map = BTreeMap::new();
+            if let Some(ctx) = &key_ctx {
+                let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
+                let store = cache.as_deref_mut().expect("cache present with key context");
+                for &f in &funcs {
+                    let cfg = program.cfg(f).expect("reconstructed");
+                    let key = ctx.function_key(cfg, &summaries);
+                    keys.insert(f, key);
+                    match store.lookup_fn(key) {
+                        Some(artifact) => {
+                            phases_map.insert(f, FnPhase::Warm { key, artifact });
+                        }
+                        None => cold.push(f),
+                    }
+                }
+            } else {
+                cold.clone_from(&funcs);
+            }
             let (results, work) =
-                parallel::map_in_order(&funcs, threads, |&f| analyze_function(&program, f, image));
-            analyses = funcs.into_iter().zip(results).collect();
+                parallel::map_in_order(&cold, threads, |&f| analyze_function(&program, f, image));
+            for (&f, fa) in cold.iter().zip(results) {
+                phases_map.insert(
+                    f,
+                    FnPhase::Fresh {
+                        key: keys.get(&f).copied(),
+                        fa,
+                    },
+                );
+            }
             value_time += tv.elapsed();
             value_work += work;
             trace.resolve_rounds = round + 1;
@@ -250,15 +323,15 @@ impl WcetAnalyzer {
                 break;
             }
             let mut grew = false;
-            for fa in analyses.values() {
-                let hints = fa.resolver_hints();
-                for (at, targets) in hints.call_targets {
+            for phase in phases_map.values() {
+                let (calls, jumps) = phase.hints();
+                for (at, targets) in calls {
                     if resolver.call_targets.get(&at) != Some(&targets) {
                         resolver.add_call_targets(at, targets);
                         grew = true;
                     }
                 }
-                for (at, targets) in hints.jump_targets {
+                for (at, targets) in jumps {
                     if resolver.jump_targets.get(&at) != Some(&targets) {
                         resolver.add_jump_targets(at, targets);
                         grew = true;
@@ -266,9 +339,9 @@ impl WcetAnalyzer {
                 }
             }
             // Never reconstruct on the final round: every phase below
-            // reads `analyses`, which must stay in sync with `program`
-            // (a new reconstruction could contain newly reachable
-            // functions that were never analyzed).
+            // reads the per-function phases, which must stay in sync with
+            // `program` (a new reconstruction could contain newly
+            // reachable functions that were never analyzed).
             if !grew || round + 1 == max_rounds {
                 break;
             }
@@ -283,21 +356,115 @@ impl WcetAnalyzer {
         trace.phase_times[2] = value_time;
         trace.phase_work_times[2] = value_work;
 
-        // Loop statistics.
-        for fa in analyses.values() {
-            let bounds = fa.loop_bounds();
-            trace.loops += fa.forest().len();
-            for (_, r) in bounds.results() {
-                if matches!(r, BoundResult::Bounded { source: BoundSource::Auto, .. }) {
-                    trace.loops_bounded_auto += 1;
+        // --- Warm-unit preparation and validation ---------------------
+        // Every cached artifact is validated against the re-derived
+        // CFG/forest (the peeled pair, under unrolling) *before* anything
+        // downstream reads it. A failure — a corrupted artifact that
+        // still decoded, or a peel decision that no longer reproduces —
+        // downgrades the function to a fresh analysis here, so the front
+        // matter, guideline report, and trace never see stale data, and
+        // the recomputed artifact later overwrites the bad file.
+        let mut warm_prepared: BTreeMap<Addr, (Unit, BlockTimes)> = BTreeMap::new();
+        let mut warm_analyzed_cfgs: BTreeMap<Addr, Cfg> = BTreeMap::new();
+        let mut downgrade: Vec<Addr> = Vec::new();
+        for (&f, phase) in &phases_map {
+            let FnPhase::Warm { key, artifact } = phase else {
+                continue;
+            };
+            let orig = program.cfg(f).expect("reconstructed");
+            let analyzed = if self.config.unrolling && artifact.peeled {
+                let dom = Dominators::compute(orig);
+                let forest = LoopForest::compute(orig, &dom);
+                // Pure, deterministic CFG surgery — no fixpoint re-run.
+                let (peeled, _skipped) = wcet_cfg::unroll::peel_all(orig, &forest);
+                warm_analyzed_cfgs.insert(f, peeled.clone());
+                peeled
+            } else {
+                orig.clone()
+            };
+            let dom = Dominators::compute(&analyzed);
+            let forest = LoopForest::compute(&analyzed, &dom);
+            match replay_unit(*key, artifact, analyzed, forest) {
+                Some(prepared) => {
+                    warm_prepared.insert(f, prepared);
                 }
+                None => downgrade.push(f),
             }
         }
+        for f in downgrade {
+            let key = match &phases_map[&f] {
+                FnPhase::Warm { key, .. } => *key,
+                _ => unreachable!("downgrades come from warm phases"),
+            };
+            warm_analyzed_cfgs.remove(&f);
+            let fa = analyze_function(&program, f, image);
+            phases_map.insert(f, FnPhase::Fresh { key: Some(key), fa });
+        }
+
+        // --- Front matter: hints, findings, loop statistics -----------
+        // Captured per function before virtual unrolling replaces fresh
+        // analyses with their peeled copies; cached functions replay it
+        // from their artifacts.
+        let mut front: BTreeMap<Addr, FrontMatter> = BTreeMap::new();
+        for (&f, phase) in &phases_map {
+            let fm = match phase {
+                FnPhase::Fresh { fa, .. } => {
+                    let bounds = fa.loop_bounds();
+                    let loops_auto = bounds
+                        .results()
+                        .iter()
+                        .filter(|(_, r)| {
+                            matches!(r, BoundResult::Bounded { source: BoundSource::Auto, .. })
+                        })
+                        .count();
+                    let (hint_calls, hint_jumps) = if key_ctx.is_some() {
+                        let hints = fa.resolver_hints();
+                        (
+                            hints.call_targets.into_iter().collect(),
+                            hints.jump_targets.into_iter().collect(),
+                        )
+                    } else {
+                        (BTreeMap::new(), BTreeMap::new())
+                    };
+                    FrontMatter {
+                        hint_calls,
+                        hint_jumps,
+                        findings: if self.config.check_guidelines {
+                            check_function(fa)
+                        } else {
+                            Vec::new()
+                        },
+                        loops_total: fa.forest().len(),
+                        loops_auto,
+                    }
+                }
+                FnPhase::Warm { artifact, .. } => FrontMatter {
+                    hint_calls: artifact.hint_calls.clone(),
+                    hint_jumps: artifact.hint_jumps.clone(),
+                    findings: artifact.findings.clone(),
+                    loops_total: artifact.loops_total,
+                    loops_auto: artifact.loops_auto,
+                },
+            };
+            trace.loops += fm.loops_total;
+            trace.loops_bounded_auto += fm.loops_auto;
+            front.insert(f, fm);
+        }
+
+        let callgraph = CallGraph::build(&program);
 
         // --- Guideline checking (report only) -------------------------
+        // Per-function findings come from the front matter (fresh or
+        // replayed); the image-level rules are recomputed every run. The
+        // composition and sort match `check_program` exactly.
         let guideline_report = if self.config.check_guidelines {
-            let all: Vec<FunctionAnalysis> = analyses.values().cloned().collect();
-            Some(PredictabilityReport::new(check_program(image, &program, &all)))
+            let mut findings: Vec<Finding> = front
+                .values()
+                .flat_map(|fm| fm.findings.iter().cloned())
+                .collect();
+            findings.extend(check_image_level(image, &program, &callgraph));
+            sort_findings(&mut findings);
+            Some(PredictabilityReport::new(findings))
         } else {
             None
         };
@@ -306,7 +473,6 @@ impl WcetAnalyzer {
         // Recursive functions need a `recursion … depth N` annotation —
         // the design-level knowledge the paper says recursion requires
         // (Section 3.2). Without it the analysis must refuse.
-        let callgraph = CallGraph::build(&program);
         let unannotated: Vec<Addr> = callgraph
             .recursive_functions()
             .into_iter()
@@ -323,14 +489,21 @@ impl WcetAnalyzer {
         // would double-report findings); timing and path analysis can use
         // the expanded CFGs for per-context cache precision.
         let mut analyzed_cfgs: BTreeMap<Addr, wcet_cfg::Cfg> = BTreeMap::new();
+        let mut peeled_flags: BTreeMap<Addr, bool> = BTreeMap::new();
         if self.config.unrolling {
             let t_unroll = Instant::now();
             let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
             let entry_state = wcet_analysis::valueanalysis::entry_state_from_image(image);
-            let functions: Vec<Addr> = analyses.keys().copied().collect();
+            let fresh_fns: Vec<Addr> = phases_map
+                .iter()
+                .filter(|(_, p)| matches!(p, FnPhase::Fresh { .. }))
+                .map(|(&f, _)| f)
+                .collect();
             // Peel-and-reanalyze is per-function independent: fan out flat.
-            let (peeled, unroll_work) = parallel::map_in_order(&functions, threads, |&f| {
-                let fa = &analyses[&f];
+            let (peeled, unroll_work) = parallel::map_in_order(&fresh_fns, threads, |&f| {
+                let FnPhase::Fresh { fa, .. } = &phases_map[&f] else {
+                    unreachable!("fresh_fns holds fresh phases only")
+                };
                 let (peeled, _skipped) = wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
                 if peeled.block_count() != fa.cfg().block_count() {
                     Some(wcet_analysis::valueanalysis::analyze_cfg(
@@ -344,11 +517,22 @@ impl WcetAnalyzer {
                     None
                 }
             });
-            for (f, fa2) in functions.into_iter().zip(peeled) {
+            for (f, fa2) in fresh_fns.into_iter().zip(peeled) {
                 if let Some(fa2) = fa2 {
                     analyzed_cfgs.insert(f, fa2.cfg().clone());
-                    analyses.insert(f, fa2);
+                    peeled_flags.insert(f, true);
+                    let key = match phases_map.get(&f) {
+                        Some(FnPhase::Fresh { key, .. }) => *key,
+                        _ => None,
+                    };
+                    phases_map.insert(f, FnPhase::Fresh { key, fa: fa2 });
                 }
+            }
+            // Cached functions whose artifacts recorded a peel: the
+            // validated peeled CFGs were derived above.
+            for (&f, peeled) in &warm_analyzed_cfgs {
+                analyzed_cfgs.insert(f, peeled.clone());
+                peeled_flags.insert(f, true);
             }
             // Context expansion re-runs the value analysis, so its cost
             // belongs to the loop/value phase.
@@ -356,11 +540,38 @@ impl WcetAnalyzer {
             trace.phase_work_times[2] += unroll_work;
         }
 
-        // --- Phase 4: cache/pipeline analysis --------------------------
+        // --- Phase 4: units + cache/pipeline analysis ------------------
+        // Each function becomes a self-contained unit: the analyzed CFG
+        // and forest, automatic loop bounds, and block times — fresh from
+        // the analysis, or replayed from the validated artifact.
         let t3 = Instant::now();
         let overrides = self.config.annotations.access_overrides();
-        let items: Vec<(&Addr, &FunctionAnalysis)> = analyses.iter().collect();
-        let (timed, cache_work) = parallel::map_in_order(&items, threads, |&(_, fa)| {
+        let mut units: BTreeMap<Addr, Unit> = BTreeMap::new();
+        let mut warm_times: BTreeMap<Addr, BlockTimes> = BTreeMap::new();
+        let mut artifacts: BTreeMap<Addr, FunctionArtifact> = BTreeMap::new();
+        for (f, (unit, times_f)) in warm_prepared {
+            if let Some(FnPhase::Warm { artifact, .. }) = phases_map.get(&f) {
+                artifacts.insert(f, artifact.clone());
+            }
+            warm_times.insert(f, times_f);
+            units.insert(f, unit);
+        }
+        let fresh_fns: Vec<Addr> = phases_map
+            .iter()
+            .filter(|(&f, _)| !units.contains_key(&f))
+            .map(|(&f, _)| f)
+            .collect();
+        let mut fresh_fas: BTreeMap<Addr, (Option<u64>, FunctionAnalysis)> = BTreeMap::new();
+        for &f in &fresh_fns {
+            let (key, fa) = match phases_map.remove(&f) {
+                Some(FnPhase::Fresh { key, fa }) => (key, fa),
+                _ => unreachable!("warm phases were validated (or downgraded) above"),
+            };
+            fresh_fas.insert(f, (key, fa));
+        }
+        let items: Vec<(&Addr, &(Option<u64>, FunctionAnalysis))> = fresh_fas.iter().collect();
+        let (timed, cache_work) = parallel::map_in_order(&items, threads, |&(_, entry)| {
+            let fa = &entry.1;
             let block_times =
                 BlockTimes::compute_with_overrides(fa, &self.config.machine, &overrides);
             let cache_summary = self.config.machine.icache.as_ref().map(|icc| {
@@ -368,10 +579,34 @@ impl WcetAnalyzer {
             });
             (block_times, cache_summary)
         });
-        let mut times: BTreeMap<Addr, BlockTimes> = BTreeMap::new();
+        let mut times: BTreeMap<Addr, BlockTimes> = warm_times;
+        let mut fresh_summaries: BTreeMap<Addr, Option<(usize, usize, usize)>> = BTreeMap::new();
         for ((&f, _), (block_times, cache_summary)) in items.iter().zip(timed) {
             times.insert(f, block_times);
-            if let Some((h, m, nc)) = cache_summary {
+            fresh_summaries.insert(f, cache_summary);
+        }
+        for (f, (key, fa)) in fresh_fas {
+            let bounds = fa.loop_bounds();
+            units.insert(
+                f,
+                Unit {
+                    key,
+                    warm: false,
+                    bounds,
+                    body: UnitBody::Fresh(fa),
+                },
+            );
+        }
+        // The cache-classification counters accumulate over all
+        // functions, in address order (the sum is order-independent, but
+        // stay deterministic anyway).
+        for (&f, unit) in &units {
+            let summary = if unit.warm {
+                artifacts[&f].cache_summary
+            } else {
+                fresh_summaries.get(&f).copied().flatten()
+            };
+            if let Some((h, m, nc)) = summary {
                 trace.cache_always_hit += h;
                 trace.cache_always_miss += m;
                 trace.cache_not_classified += nc;
@@ -380,12 +615,35 @@ impl WcetAnalyzer {
         trace.phase_times[3] = t3.elapsed();
         trace.phase_work_times[3] = cache_work;
 
+        // --- Dirtiness propagation ------------------------------------
+        // Changed functions (content-key misses) plus their transitive
+        // callers: exactly the set whose IPET solutions may differ from
+        // the cache. Clean functions are guaranteed full-key hits below —
+        // the property tests pin that invariant.
+        let dirty: BTreeSet<Addr> = if key_ctx.is_some() {
+            let changed: BTreeSet<Addr> = units
+                .iter()
+                .filter(|(_, u)| !u.warm)
+                .map(|(&f, _)| f)
+                .collect();
+            let dirty = callgraph.transitive_callers(&changed);
+            stats.functions = units.len();
+            stats.fn_hits = units.len() - changed.len();
+            stats.fn_misses = changed.len();
+            stats.dirty = dirty.len();
+            dirty
+        } else {
+            BTreeSet::new()
+        };
+
         // --- Phase 5: path analysis as a bottom-up wavefront -----------
         // The call graph is leveled into groups whose callees all lie in
         // earlier levels; groups within one level share no call edges and
         // solve their IPET systems concurrently. Results merge in
         // function-address order, so the report is identical for any
-        // worker count.
+        // worker count. With a cache, the coordinator first serves
+        // `(function, mode, callee costs)`-keyed solutions; only the rest
+        // fan out to the solvers.
         let t4 = Instant::now();
         let mut path_work = Duration::ZERO;
         let mut mode_wcet: BTreeMap<Option<String>, u64> = BTreeMap::new();
@@ -406,11 +664,71 @@ impl WcetAnalyzer {
             let mut bcet_costs = CallCosts::new();
             let mut per_function: BTreeMap<Addr, FunctionReport> = BTreeMap::new();
             for level in &levels {
-                let (outcomes, work) = parallel::map_in_order(level, threads, |group| {
+                // Coordinator pass: serve cached IPET solutions, decide
+                // what still needs solving, and remember where to store
+                // fresh solutions.
+                let mut served: Vec<Option<GroupOutcome>> = Vec::new();
+                served.resize_with(level.len(), || None);
+                let mut to_solve: Vec<usize> = Vec::new();
+                let mut store_keys: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+                for (gi, group) in level.iter().enumerate() {
+                    let cacheable = group.len() == 1
+                        && !callgraph.is_recursive(group[0])
+                        && units[&group[0]].key.is_some();
+                    if !cacheable {
+                        to_solve.push(gi);
+                        continue;
+                    }
+                    let f = group[0];
+                    let unit = &units[&f];
+                    let fn_key = unit.key.expect("checked cacheable");
+                    let skey = ipet_struct_key(fn_key, mode.as_deref());
+                    let costs = callee_costs(unit.cfg(), &wcet_costs, &bcet_costs);
+                    match costs {
+                        Some(costs) => {
+                            let fkey = ipet_full_key(skey, &costs);
+                            // The dirtiness pass is the invalidation rule:
+                            // changed functions and their transitive
+                            // callers never consult the cache — they
+                            // re-solve and overwrite their entry. Clean
+                            // functions must hit (their whole input cone
+                            // is unchanged).
+                            if !dirty.contains(&f) {
+                                let store = cache.as_deref_mut().expect("cache active");
+                                let hit = store.lookup_ipet(skey).filter(|e| {
+                                    e.full_key == fkey && entry_fits(e, unit.cfg())
+                                });
+                                if let Some(entry) = hit {
+                                    stats.ipet_hits += 1;
+                                    let annotation_bounds = if mode.is_none() {
+                                        self.annotation_bound_count(unit, mode.as_deref())
+                                    } else {
+                                        0
+                                    };
+                                    served[gi] = Some(GroupOutcome {
+                                        reports: vec![(
+                                            f,
+                                            FunctionReport {
+                                                wcet: entry.wcet,
+                                                bcet: entry.bcet,
+                                            },
+                                        )],
+                                        annotation_bounds,
+                                    });
+                                    continue;
+                                }
+                            }
+                            store_keys.insert(gi, (skey, fkey));
+                            to_solve.push(gi);
+                        }
+                        None => to_solve.push(gi), // a callee bound is missing: solve (and error there)
+                    }
+                }
+                let (outcomes, work) = parallel::map_in_order(&to_solve, threads, |&gi| {
                     self.analyze_call_group(
-                        group,
+                        &level[gi],
                         mode.as_deref(),
-                        &analyses,
+                        &units,
                         &times,
                         &callgraph,
                         &wcet_costs,
@@ -418,8 +736,27 @@ impl WcetAnalyzer {
                     )
                 });
                 path_work += work;
-                for outcome in outcomes {
+                stats.ipet_solves += to_solve.len();
+                for (&gi, outcome) in to_solve.iter().zip(outcomes) {
                     let outcome = outcome?;
+                    if let (Some(store), Some(&(skey, fkey))) =
+                        (cache.as_deref_mut(), store_keys.get(&gi))
+                    {
+                        let (f, report) = &outcome.reports[0];
+                        debug_assert_eq!(*f, level[gi][0]);
+                        store.store_ipet(
+                            skey,
+                            &IpetEntry {
+                                full_key: fkey,
+                                wcet: report.wcet.clone(),
+                                bcet: report.bcet.clone(),
+                            },
+                        );
+                    }
+                    served[gi] = Some(outcome);
+                }
+                for outcome in served.into_iter() {
+                    let outcome = outcome.expect("every group served or solved");
                     if mode.is_none() {
                         trace.loops_bounded_annot += outcome.annotation_bounds;
                     }
@@ -439,9 +776,50 @@ impl WcetAnalyzer {
         trace.phase_times[4] = t4.elapsed();
         trace.phase_work_times[4] = path_work;
 
+        // --- Store fresh artifacts ------------------------------------
+        if let (Some(ctx), Some(store)) = (&key_ctx, cache) {
+            // Only the rare repair path (fresh unit without a key, i.e. a
+            // corrupted artifact) needs the summaries again.
+            let mut summaries = None;
+            for (&f, unit) in &units {
+                if unit.warm {
+                    continue;
+                }
+                // Key over the *reconstructed* CFG (what the next run will
+                // hash during its rounds), not the peeled copy.
+                let key = unit.key.unwrap_or_else(|| {
+                    let summaries = summaries.get_or_insert_with(|| {
+                        wcet_analysis::valueanalysis::compute_summaries(&program)
+                    });
+                    ctx.function_key(program.cfg(f).expect("reconstructed"), summaries)
+                });
+                let fm = &front[&f];
+                let times_f = &times[&f];
+                let n = unit.cfg().block_count();
+                let artifact = FunctionArtifact {
+                    hint_calls: fm.hint_calls.clone(),
+                    hint_jumps: fm.hint_jumps.clone(),
+                    findings: fm.findings.clone(),
+                    loops_total: fm.loops_total,
+                    loops_auto: fm.loops_auto,
+                    peeled: peeled_flags.get(&f).copied().unwrap_or(false),
+                    bounds: unit
+                        .bounds
+                        .results()
+                        .iter()
+                        .map(|(id, r)| (id.0, *r))
+                        .collect(),
+                    times_wcet: (0..n).map(|b| times_f.wcet(wcet_cfg::BlockId(b))).collect(),
+                    times_bcet: (0..n).map(|b| times_f.bcet(wcet_cfg::BlockId(b))).collect(),
+                    cache_summary: fresh_summaries.get(&f).copied().flatten(),
+                };
+                store.store_fn(key, &artifact);
+            }
+        }
+
         // ILP size statistics for the entry function (recomputed cheaply,
         // over the CFG the ILP was actually built from).
-        let entry_cfg = analyses[&program.entry].cfg();
+        let entry_cfg = units[&program.entry].cfg();
         trace.ilp_vars = entry_cfg.edges().len() + entry_cfg.block_count() + 1;
         trace.ilp_constraints = entry_cfg.block_count() * 2;
 
@@ -456,7 +834,25 @@ impl WcetAnalyzer {
             guidelines: guideline_report,
             trace,
             program,
+            incr: key_ctx.map(|_| stats),
         })
+    }
+
+    /// Replays the deterministic annotation pass to count
+    /// annotation-sourced bounds for a cache-served function (the trace
+    /// statistic the solver path counts inline).
+    fn annotation_bound_count(&self, unit: &Unit, mode: Option<&str>) -> usize {
+        let mut bounds = unit.bounds.clone();
+        self.config
+            .annotations
+            .apply_loop_bounds(unit.cfg(), unit.forest(), &mut bounds, mode);
+        bounds
+            .results()
+            .iter()
+            .filter(|(_, r)| {
+                matches!(r, BoundResult::Bounded { source: BoundSource::Annotation, .. })
+            })
+            .count()
     }
 
     /// Path-analyzes one wavefront group for `mode`: a single function,
@@ -469,7 +865,7 @@ impl WcetAnalyzer {
         &self,
         group: &[Addr],
         mode: Option<&str>,
-        analyses: &BTreeMap<Addr, FunctionAnalysis>,
+        units: &BTreeMap<Addr, Unit>,
         times: &BTreeMap<Addr, BlockTimes>,
         callgraph: &CallGraph,
         wcet_costs: &CallCosts,
@@ -478,9 +874,12 @@ impl WcetAnalyzer {
         let mut reports: Vec<(Addr, FunctionReport)> = Vec::with_capacity(group.len());
         let mut annotation_bounds = 0usize;
         for &f in group {
-            let fa = &analyses[&f];
-            let mut bounds = fa.loop_bounds();
-            self.config.annotations.apply_loop_bounds(fa, &mut bounds, mode);
+            let unit = &units[&f];
+            let (cfg, forest) = (unit.cfg(), unit.forest());
+            let mut bounds = unit.bounds.clone();
+            self.config
+                .annotations
+                .apply_loop_bounds(cfg, forest, &mut bounds, mode);
             if mode.is_none() {
                 for (_, r) in bounds.results() {
                     if matches!(
@@ -491,7 +890,7 @@ impl WcetAnalyzer {
                     }
                 }
             }
-            let facts = self.config.annotations.flow_facts(fa.cfg(), mode);
+            let facts = self.config.annotations.flow_facts(cfg, mode);
             let ft = &times[&f];
 
             // Recursive cycles: compute per-activation body costs with
@@ -510,16 +909,16 @@ impl WcetAnalyzer {
                     b_costs.insert(member, 0);
                 }
                 (
-                    ipet::wcet(fa, ft, &bounds, &facts, &w_costs)
+                    ipet::wcet(cfg, forest, ft, &bounds, &facts, &w_costs)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
-                    ipet::bcet(fa, ft, &bounds, &facts, &b_costs)
+                    ipet::bcet(cfg, forest, ft, &bounds, &facts, &b_costs)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             } else {
                 (
-                    ipet::wcet(fa, ft, &bounds, &facts, wcet_costs)
+                    ipet::wcet(cfg, forest, ft, &bounds, &facts, wcet_costs)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
-                    ipet::bcet(fa, ft, &bounds, &facts, bcet_costs)
+                    ipet::bcet(cfg, forest, ft, &bounds, &facts, bcet_costs)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             };
@@ -562,6 +961,167 @@ struct GroupOutcome {
     reports: Vec<(Addr, FunctionReport)>,
     /// Annotation-sourced loop bounds seen (counted in global mode only).
     annotation_bounds: usize,
+}
+
+/// `(site, targets)` hint pairs for one kind of indirection.
+type TargetPairs = Vec<(Addr, Vec<Addr>)>;
+
+/// One function's state after the resolution rounds: freshly analyzed, or
+/// replayed from the artifact cache.
+enum FnPhase {
+    /// Computed this run (stored into the cache at the end).
+    Fresh {
+        /// Content key under the current reconstruction (cache runs only).
+        key: Option<u64>,
+        /// The value analysis result.
+        fa: FunctionAnalysis,
+    },
+    /// Served from the cache.
+    Warm {
+        /// Content key the artifact was found under.
+        key: u64,
+        /// The replayed artifact.
+        artifact: FunctionArtifact,
+    },
+}
+
+impl FnPhase {
+    /// Indirect-target hints for the resolution loop, as sorted pairs.
+    fn hints(&self) -> (TargetPairs, TargetPairs) {
+        match self {
+            FnPhase::Fresh { fa, .. } => {
+                let hints = fa.resolver_hints();
+                (
+                    hints.call_targets.into_iter().collect(),
+                    hints.jump_targets.into_iter().collect(),
+                )
+            }
+            FnPhase::Warm { artifact, .. } => (
+                artifact
+                    .hint_calls
+                    .iter()
+                    .map(|(a, t)| (*a, t.clone()))
+                    .collect(),
+                artifact
+                    .hint_jumps
+                    .iter()
+                    .map(|(a, t)| (*a, t.clone()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Per-function results captured before virtual unrolling: resolver
+/// hints, guideline findings, and loop statistics (all over the un-peeled
+/// CFG).
+struct FrontMatter {
+    hint_calls: BTreeMap<Addr, Vec<Addr>>,
+    hint_jumps: BTreeMap<Addr, Vec<Addr>>,
+    findings: Vec<Finding>,
+    loops_total: usize,
+    loops_auto: usize,
+}
+
+/// A function ready for the path phase: the analyzed CFG/forest pair and
+/// the automatic loop bounds over it.
+struct Unit {
+    /// Content key (cache runs only).
+    key: Option<u64>,
+    /// Whether this unit was replayed from the cache.
+    warm: bool,
+    /// Automatic loop bounds over the analyzed CFG.
+    bounds: LoopBounds,
+    body: UnitBody,
+}
+
+enum UnitBody {
+    Fresh(FunctionAnalysis),
+    Warm { cfg: Cfg, forest: LoopForest },
+}
+
+impl Unit {
+    fn cfg(&self) -> &Cfg {
+        match &self.body {
+            UnitBody::Fresh(fa) => fa.cfg(),
+            UnitBody::Warm { cfg, .. } => cfg,
+        }
+    }
+
+    fn forest(&self) -> &LoopForest {
+        match &self.body {
+            UnitBody::Fresh(fa) => fa.forest(),
+            UnitBody::Warm { forest, .. } => forest,
+        }
+    }
+}
+
+/// Rebuilds a [`Unit`] and its [`BlockTimes`] from a cached artifact
+/// against the re-derived CFG/forest. `None` — a miss — when the artifact
+/// does not fit the structures (corruption, or a peel decision that no
+/// longer reproduces).
+fn replay_unit(
+    key: u64,
+    artifact: &FunctionArtifact,
+    cfg: Cfg,
+    forest: LoopForest,
+) -> Option<(Unit, BlockTimes)> {
+    let times = BlockTimes::from_raw(artifact.times_wcet.clone(), artifact.times_bcet.clone())?;
+    if times.len() != cfg.block_count() {
+        return None;
+    }
+    if artifact.bounds.len() != forest.len() {
+        return None;
+    }
+    let results: Vec<(wcet_cfg::loops::LoopId, BoundResult)> = artifact
+        .bounds
+        .iter()
+        .map(|(id, r)| (wcet_cfg::loops::LoopId(*id), *r))
+        .collect();
+    // Every recorded loop id must exist in the re-derived forest.
+    if results.iter().any(|(id, _)| id.0 >= forest.len()) {
+        return None;
+    }
+    let unit = Unit {
+        key: Some(key),
+        warm: true,
+        bounds: LoopBounds::from_results(results),
+        body: UnitBody::Warm { cfg, forest },
+    };
+    Some((unit, times))
+}
+
+/// The callee cost vector of one function's IPET system, in callee
+/// address order: the inputs the full cache key must cover. `None` when a
+/// callee's bound is not available yet (the solver will surface the
+/// error).
+fn callee_costs(
+    cfg: &Cfg,
+    wcet_costs: &CallCosts,
+    bcet_costs: &CallCosts,
+) -> Option<Vec<(Addr, u64, u64)>> {
+    let mut callees: BTreeSet<Addr> = BTreeSet::new();
+    for (_, targets) in cfg.call_sites() {
+        callees.extend(targets);
+    }
+    callees
+        .into_iter()
+        .map(|c| {
+            let w = wcet_costs.get(&c)?;
+            let b = bcet_costs.get(&c)?;
+            Some((c, *w, *b))
+        })
+        .collect()
+}
+
+/// Cheap structural validation of a cached IPET solution against the CFG
+/// it claims to describe.
+fn entry_fits(entry: &IpetEntry, cfg: &Cfg) -> bool {
+    let n = cfg.block_count();
+    let fits = |r: &WcetResult| {
+        r.block_counts.keys().all(|b| b.0 < n) && r.worst_path.iter().all(|b| b.0 < n)
+    };
+    fits(&entry.wcet) && fits(&entry.bcet)
 }
 
 #[cfg(test)]
@@ -666,6 +1226,47 @@ mod tests {
         assert_eq!(sequential, render(Some(2)));
         assert_eq!(sequential, render(Some(8)));
         assert_eq!(sequential, render(None));
+    }
+
+    #[test]
+    fn incremental_run_is_byte_identical_and_hits_warm() {
+        // Cold run populates the cache; the warm run must reproduce the
+        // report byte for byte while serving every function and IPET
+        // solution from the cache.
+        let dir = std::env::temp_dir().join(format!(
+            "wcet-analyzer-incr-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let image = assemble(
+            "main: call f\n call g\n halt\nf: li r1, 6\nfl: subi r1, r1, 1\n bne r1, r0, fl\n ret\ng: ret",
+        )
+        .unwrap();
+        let canonical = |mut report: AnalysisReport| {
+            report.trace.phase_times = Default::default();
+            report.trace.phase_work_times = Default::default();
+            report.incr = None;
+            format!("{report:#?}")
+        };
+        let plain = canonical(WcetAnalyzer::new().analyze(&image).unwrap());
+
+        let mut cache = crate::incr::ArtifactCache::open(&dir).unwrap();
+        let cold = WcetAnalyzer::new().analyze_incremental(&image, &mut cache).unwrap();
+        let cold_stats = cold.incr.clone().unwrap();
+        assert_eq!(cold_stats.fn_hits, 0);
+        assert_eq!(cold_stats.fn_misses, 3);
+        assert_eq!(cold_stats.dirty, 3, "everything is dirty on a cold cache");
+        assert_eq!(canonical(cold), plain, "cold cached run matches cacheless run");
+
+        let warm = WcetAnalyzer::new().analyze_incremental(&image, &mut cache).unwrap();
+        let warm_stats = warm.incr.clone().unwrap();
+        assert_eq!(warm_stats.fn_hits, 3, "all functions replay from cache");
+        assert_eq!(warm_stats.dirty, 0);
+        assert_eq!(warm_stats.ipet_solves, 0, "no IPET system re-solved");
+        assert_eq!(warm_stats.ipet_hits, 3);
+        assert_eq!(canonical(warm), plain, "warm run is byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

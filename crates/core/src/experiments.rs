@@ -323,7 +323,7 @@ pub fn e6_rule_14_4() -> Experiment {
     let p = reconstruct(&reducible, &TargetResolver::empty()).expect("reconstructs");
     let fa = analyze_function(&p, p.entry, &reducible);
     let times = BlockTimes::compute(&fa, &machine);
-    let plain = ipet::wcet(&fa, &times, &fa.loop_bounds(), &[], &Default::default())
+    let plain = ipet::wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &Default::default())
         .expect("plain wcet");
 
     let (peeled_cfg, skipped) =
@@ -339,7 +339,8 @@ pub fn e6_rule_14_4() -> Experiment {
     );
     let times_peeled = BlockTimes::compute(&fa_peeled, &machine);
     let peeled = ipet::wcet(
-        &fa_peeled,
+        fa_peeled.cfg(),
+        fa_peeled.forest(),
         &times_peeled,
         &fa_peeled.loop_bounds(),
         &[],

@@ -1,0 +1,933 @@
+//! Incremental re-analysis: a persistent, content-addressed artifact
+//! cache.
+//!
+//! A production analysis service sees mostly *deltas*: a rebuilt image in
+//! which one or two functions changed. Re-running value analysis, block
+//! timing, and IPET over every unchanged function is the dominant waste.
+//! This module caches, per function, everything the pipeline derives from
+//! the function's content:
+//!
+//! * **Function artifacts** (`fn/<key>.art`) — resolver hints, guideline
+//!   findings, loop statistics, automatic loop bounds, per-block WCET/BCET
+//!   times, and the cache-classification summary. Keyed by
+//!   [`function_key`]: a stable hash of the function's reconstructed CFG
+//!   (raw instruction words *and* resolved terminators), the image's
+//!   initialized data, the callees' may-write-memory summaries, and the
+//!   [`config_fingerprint`]. Everything the value/timing phases read is in
+//!   the key, so a hit replays the exact artifact a fresh run would
+//!   compute.
+//! * **IPET solutions** (`ipet/<structkey>.sol`) — the WCET and BCET
+//!   [`WcetResult`] of one `(function, mode)` pair. The file is addressed
+//!   by the *structure* key (function key + mode); inside, the full key
+//!   additionally covers the callee cost vector. A callee whose bound
+//!   changed therefore misses on the full key and re-solves — dirtiness
+//!   propagates caller-ward through content addressing, mirroring the
+//!   explicit [`wcet_cfg::callgraph::CallGraph::transitive_callers`] pass
+//!   the analyzer runs for its statistics.
+//!
+//! Soundness stance: a cache hit must be byte-identical to a fresh run.
+//! That holds because every input of the cached computation is hashed
+//! into the key and the pipeline itself is deterministic (fixed worklist
+//! orders, Bland's rule in the simplex, address-ordered merges). Entries
+//! that fail structural validation (wrong block/loop counts, truncated
+//! bytes, version mismatch) are treated as misses. Recursive SCCs are
+//! never cached — their costs are computed jointly per run.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use wcet_analysis::loopbound::{BoundResult, BoundSource, UnboundedReason};
+use wcet_analysis::valueanalysis::FunctionSummary;
+use wcet_cfg::block::BlockId;
+use wcet_cfg::graph::Cfg;
+use wcet_guidelines::rules::{Finding, RuleId};
+use wcet_isa::hash::StableHasher;
+use wcet_isa::{Addr, Image};
+use wcet_path::ipet::WcetResult;
+
+use crate::analyzer::AnalyzerConfig;
+
+/// Bumped whenever the artifact layout or any hashed semantic changes;
+/// part of every key, so stale caches read as cold, never as wrong.
+const CACHE_VERSION: u32 = 1;
+
+/// Magic prefix of every artifact file.
+const MAGIC: &[u8; 4] = b"WCAC";
+
+// ---------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------
+
+/// Fingerprint of everything in the [`AnalyzerConfig`] that can influence
+/// per-function results: the machine model, the annotation set, and the
+/// pipeline switches. `parallelism` is deliberately excluded — the report
+/// is identical at any worker count, so one cache serves every `--threads`
+/// setting (and the tests hold it to that).
+#[must_use]
+pub fn config_fingerprint(config: &AnalyzerConfig) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u32(CACHE_VERSION);
+    // `Debug` renderings are stable for a given build of this crate, and
+    // the cache version gates across builds; this avoids hand-maintaining
+    // a field-by-field serialization that silently rots when a config
+    // field is added.
+    h.write_str(&format!("{:?}", config.machine));
+    h.write_str(&format!("{:?}", config.annotations));
+    h.write_u64(config.max_resolve_rounds as u64);
+    h.write_u64(u64::from(config.check_guidelines));
+    h.write_u64(u64::from(config.unrolling));
+    h.finish()
+}
+
+/// Content key of one function: CFG structure (instruction words, block
+/// boundaries, resolved terminators, unresolved sites), the image's data
+/// hash, the callee write summaries, and the configuration fingerprint.
+#[must_use]
+pub fn function_key(
+    cfg: &Cfg,
+    data_hash: u64,
+    config_fp: u64,
+    summaries: &HashMap<Addr, FunctionSummary>,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u32(CACHE_VERSION);
+    h.write_u64(config_fp);
+    h.write_u64(data_hash);
+    h.write_usize(cfg.block_count());
+    for (_, block) in cfg.iter() {
+        h.write_u32(block.start.0);
+        h.write_usize(block.insts.len());
+        for (addr, inst) in &block.insts {
+            h.write_u32(addr.0);
+            // The raw word where the instruction round-trips (the normal
+            // case), the debug rendering otherwise — both stable.
+            match wcet_isa::encode::encode(inst, *addr) {
+                Ok(word) => h.write_u32(word),
+                Err(_) => h.write_str(&format!("{inst:?}")),
+            }
+        }
+        // The terminator carries the *resolved* control flow, which can
+        // differ between resolution rounds over identical bytes. Hashed
+        // structurally (discriminant + every embedded address/condition)
+        // rather than through `Debug` — this runs once per block per
+        // round, so no allocation.
+        hash_terminator(&mut h, &block.term);
+    }
+    h.write_usize(cfg.unresolved.len());
+    for site in &cfg.unresolved {
+        h.write_u32(site.0);
+    }
+    // The value analysis consults callees only through their
+    // may-write-memory summaries; hash exactly that.
+    for (site, callees) in cfg.call_sites() {
+        h.write_u32(site.0);
+        for callee in callees {
+            h.write_u32(callee.0);
+            let writes = summaries.get(&callee).is_none_or(|s| s.writes_mem);
+            h.write_u64(u64::from(writes));
+        }
+    }
+    h.finish()
+}
+
+/// Absorbs a terminator's full resolved structure into the hasher.
+fn hash_terminator(h: &mut StableHasher, term: &wcet_cfg::block::Terminator) {
+    use wcet_cfg::block::Terminator;
+    match term {
+        Terminator::CondBranch { cond, taken, fallthrough, float } => {
+            h.write_u32(0);
+            h.write_u32(match cond {
+                None => 0,
+                Some(wcet_isa::Cond::Eq) => 1,
+                Some(wcet_isa::Cond::Ne) => 2,
+                Some(wcet_isa::Cond::Lt) => 3,
+                Some(wcet_isa::Cond::Ge) => 4,
+                Some(wcet_isa::Cond::Ltu) => 5,
+                Some(wcet_isa::Cond::Geu) => 6,
+            });
+            h.write_u32(taken.0);
+            h.write_u32(fallthrough.0);
+            h.write_u64(u64::from(*float));
+        }
+        Terminator::Jump { target } => {
+            h.write_u32(1);
+            h.write_u32(target.0);
+        }
+        Terminator::Call { callee, ret_to } => {
+            h.write_u32(2);
+            h.write_u32(callee.0);
+            h.write_u32(ret_to.0);
+        }
+        Terminator::CallInd { callees, ret_to } => {
+            h.write_u32(3);
+            h.write_usize(callees.len());
+            for c in callees {
+                h.write_u32(c.0);
+            }
+            h.write_u32(ret_to.0);
+        }
+        Terminator::JumpInd { targets } => {
+            h.write_u32(4);
+            h.write_usize(targets.len());
+            for t in targets {
+                h.write_u32(t.0);
+            }
+        }
+        Terminator::Ret => h.write_u32(5),
+        Terminator::Halt => h.write_u32(6),
+        Terminator::Fallthrough { next } => {
+            h.write_u32(7);
+            h.write_u32(next.0);
+        }
+    }
+}
+
+/// Structure key of one `(function, mode)` IPET system.
+#[must_use]
+pub fn ipet_struct_key(fn_key: u64, mode: Option<&str>) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(fn_key);
+    match mode {
+        Some(m) => h.write_str(m),
+        None => h.write_str("\u{0}global"),
+    }
+    h.finish()
+}
+
+/// Full key of one IPET solve: the structure key plus the callee cost
+/// vector it was priced with.
+#[must_use]
+pub fn ipet_full_key(struct_key: u64, costs: &[(Addr, u64, u64)]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(struct_key);
+    h.write_usize(costs.len());
+    for &(callee, wcet, bcet) in costs {
+        h.write_u32(callee.0);
+        h.write_u64(wcet);
+        h.write_u64(bcet);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------
+
+/// Everything the value/timing phases derive from one function, recorded
+/// for replay. Bounds, times, and the cache summary refer to the
+/// *analyzed* CFG — the peeled copy when `peeled` is set and unrolling is
+/// on; the analyzer re-derives that CFG deterministically from the
+/// reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FunctionArtifact {
+    /// Indirect-call target hints the value analysis recovered.
+    pub hint_calls: BTreeMap<Addr, Vec<Addr>>,
+    /// Indirect-jump target hints.
+    pub hint_jumps: BTreeMap<Addr, Vec<Addr>>,
+    /// Per-function guideline findings (empty when checking was off).
+    pub findings: Vec<Finding>,
+    /// Loops found in the (un-peeled) function.
+    pub loops_total: usize,
+    /// Loops bounded automatically.
+    pub loops_auto: usize,
+    /// Whether virtual unrolling changed the CFG (only meaningful for
+    /// artifacts produced under `unrolling: true`).
+    pub peeled: bool,
+    /// Automatic loop-bound results over the analyzed CFG's forest, in
+    /// loop-id order.
+    pub bounds: Vec<(usize, BoundResult)>,
+    /// Per-block WCET cycles over the analyzed CFG.
+    pub times_wcet: Vec<u64>,
+    /// Per-block BCET cycles over the analyzed CFG.
+    pub times_bcet: Vec<u64>,
+    /// Instruction-cache classification counts `(hit, miss, unclassified)`
+    /// when an icache was configured.
+    pub cache_summary: Option<(usize, usize, usize)>,
+}
+
+/// A cached `(function, mode)` IPET solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpetEntry {
+    /// The full key (structure + callee costs) this solution is valid for.
+    pub full_key: u64,
+    /// The WCET solve.
+    pub wcet: WcetResult,
+    /// The BCET solve.
+    pub bcet: WcetResult,
+}
+
+/// Per-run incremental statistics, attached to the report when a cache
+/// was in use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrStats {
+    /// Functions in the final reconstruction.
+    pub functions: usize,
+    /// Function artifacts served from the cache in the final round.
+    pub fn_hits: usize,
+    /// Function artifacts computed fresh (and stored).
+    pub fn_misses: usize,
+    /// Functions invalidated by the dirtiness pass: changed functions
+    /// plus their transitive callers.
+    pub dirty: usize,
+    /// `(function, mode)` IPET solutions served from the cache.
+    pub ipet_hits: usize,
+    /// IPET systems solved this run.
+    pub ipet_solves: usize,
+}
+
+impl fmt::Display for IncrStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: {}/{} function artifact(s) hit, {} dirty, \
+             {} IPET hit(s), {} IPET solve(s)",
+            self.fn_hits, self.functions, self.dirty, self.ipet_hits, self.ipet_solves
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------
+
+/// A persistent artifact cache rooted at a directory, shared by every
+/// analysis run (and every `wcet batch` request) pointed at it.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    mem_fn: HashMap<u64, FunctionArtifact>,
+    mem_ipet: HashMap<u64, IpetEntry>,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if necessary) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating `fn/` and `ipet/`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
+        let root = root.into();
+        fs::create_dir_all(root.join("fn"))?;
+        fs::create_dir_all(root.join("ipet"))?;
+        Ok(ArtifactCache {
+            root,
+            mem_fn: HashMap::new(),
+            mem_ipet: HashMap::new(),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn fn_path(&self, key: u64) -> PathBuf {
+        self.root.join("fn").join(format!("{key:016x}.art"))
+    }
+
+    fn ipet_path(&self, struct_key: u64) -> PathBuf {
+        self.root.join("ipet").join(format!("{struct_key:016x}.sol"))
+    }
+
+    /// Looks up a function artifact by content key.
+    pub fn lookup_fn(&mut self, key: u64) -> Option<FunctionArtifact> {
+        if let Some(a) = self.mem_fn.get(&key) {
+            return Some(a.clone());
+        }
+        let bytes = fs::read(self.fn_path(key)).ok()?;
+        let artifact = decode_fn_artifact(&bytes)?;
+        self.mem_fn.insert(key, artifact.clone());
+        Some(artifact)
+    }
+
+    /// Stores a function artifact (idempotent; best-effort on disk — an
+    /// unwritable cache degrades to in-memory for this process).
+    pub fn store_fn(&mut self, key: u64, artifact: &FunctionArtifact) {
+        // Overwrite-on-difference, not skip-on-presence: after a
+        // corrupted artifact was looked up (and rejected downstream), the
+        // recomputed artifact must replace the bad bytes on disk.
+        if self.mem_fn.get(&key) == Some(artifact) {
+            return;
+        }
+        let _ = write_atomically(&self.fn_path(key), &encode_fn_artifact(artifact));
+        self.mem_fn.insert(key, artifact.clone());
+    }
+
+    /// Looks up the IPET entry stored for a `(function, mode)` structure
+    /// key. The caller must still compare [`IpetEntry::full_key`] before
+    /// trusting the solution.
+    pub fn lookup_ipet(&mut self, struct_key: u64) -> Option<IpetEntry> {
+        if let Some(e) = self.mem_ipet.get(&struct_key) {
+            return Some(e.clone());
+        }
+        let bytes = fs::read(self.ipet_path(struct_key)).ok()?;
+        let entry = decode_ipet_entry(&bytes)?;
+        self.mem_ipet.insert(struct_key, entry.clone());
+        Some(entry)
+    }
+
+    /// Stores (or replaces — newest costs win) an IPET entry.
+    pub fn store_ipet(&mut self, struct_key: u64, entry: &IpetEntry) {
+        if self.mem_ipet.get(&struct_key) == Some(entry) {
+            return;
+        }
+        let _ = write_atomically(&self.ipet_path(struct_key), &encode_ipet_entry(entry));
+        self.mem_ipet.insert(struct_key, entry.clone());
+    }
+}
+
+/// Temp-file-then-rename, so a reader never observes a half-written
+/// artifact even when two batch processes share the directory.
+fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(kind: u8) -> Enc {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        buf.push(kind);
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn addr_map(&mut self, map: &BTreeMap<Addr, Vec<Addr>>) {
+        self.usize(map.len());
+        for (at, targets) in map {
+            self.u32(at.0);
+            self.usize(targets.len());
+            for t in targets {
+                self.u32(t.0);
+            }
+        }
+    }
+
+    /// Appends the payload digest and yields the final bytes. Structural
+    /// validation alone cannot catch a bit flip that leaves lengths and
+    /// invariants intact but changes a cycle count — the checksum turns
+    /// *any* corruption into a decode failure, i.e. a cache miss.
+    fn seal(mut self) -> Vec<u8> {
+        let digest = wcet_isa::hash::hash_bytes(&self.buf);
+        self.buf.extend_from_slice(&digest.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8], kind: u8) -> Option<Dec<'a>> {
+        // Verify the trailing payload digest first: flipped bits anywhere
+        // in the body must read as a miss, never as data.
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let digest = u64::from_le_bytes(tail.try_into().ok()?);
+        if wcet_isa::hash::hash_bytes(body) != digest {
+            return None;
+        }
+        let mut d = Dec { bytes: body, pos: 0 };
+        if d.take(4)? != MAGIC.as_slice() || d.u32()? != CACHE_VERSION || d.u8()? != kind {
+            return None;
+        }
+        Some(d)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// A length read from untrusted bytes, sanity-capped so a corrupted
+    /// file cannot request a huge allocation.
+    fn len(&mut self) -> Option<usize> {
+        let n = self.usize()?;
+        (n <= self.bytes.len().max(1 << 20)).then_some(n)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn addr_map(&mut self) -> Option<BTreeMap<Addr, Vec<Addr>>> {
+        let n = self.len()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let at = Addr(self.u32()?);
+            let k = self.len()?;
+            let mut targets = Vec::with_capacity(k.min(1024));
+            for _ in 0..k {
+                targets.push(Addr(self.u32()?));
+            }
+            map.insert(at, targets);
+        }
+        Some(map)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn rule_to_u8(rule: RuleId) -> u8 {
+    RuleId::ALL
+        .iter()
+        .position(|r| *r == rule)
+        .expect("every rule is in ALL") as u8
+}
+
+fn rule_from_u8(v: u8) -> Option<RuleId> {
+    RuleId::ALL.get(v as usize).copied()
+}
+
+fn bound_to_bytes(e: &mut Enc, result: &BoundResult) {
+    match result {
+        BoundResult::Bounded { max_iterations, source } => {
+            e.u8(0);
+            e.u64(*max_iterations);
+            e.u8(match source {
+                BoundSource::Auto => 0,
+                BoundSource::Annotation => 1,
+            });
+        }
+        BoundResult::Unbounded { reason } => {
+            e.u8(1);
+            e.u8(match reason {
+                UnboundedReason::FloatControlled => 0,
+                UnboundedReason::ComplexCounterUpdate => 1,
+                UnboundedReason::Irreducible => 2,
+                UnboundedReason::DataDependent => 3,
+                UnboundedReason::NoExit => 4,
+                UnboundedReason::NoPattern => 5,
+            });
+        }
+    }
+}
+
+fn bound_from_bytes(d: &mut Dec<'_>) -> Option<BoundResult> {
+    match d.u8()? {
+        0 => {
+            let max_iterations = d.u64()?;
+            let source = match d.u8()? {
+                0 => BoundSource::Auto,
+                1 => BoundSource::Annotation,
+                _ => return None,
+            };
+            Some(BoundResult::Bounded { max_iterations, source })
+        }
+        1 => {
+            let reason = match d.u8()? {
+                0 => UnboundedReason::FloatControlled,
+                1 => UnboundedReason::ComplexCounterUpdate,
+                2 => UnboundedReason::Irreducible,
+                3 => UnboundedReason::DataDependent,
+                4 => UnboundedReason::NoExit,
+                5 => UnboundedReason::NoPattern,
+                _ => return None,
+            };
+            Some(BoundResult::Unbounded { reason })
+        }
+        _ => None,
+    }
+}
+
+fn encode_fn_artifact(a: &FunctionArtifact) -> Vec<u8> {
+    let mut e = Enc::new(b'F');
+    e.addr_map(&a.hint_calls);
+    e.addr_map(&a.hint_jumps);
+    e.usize(a.findings.len());
+    for f in &a.findings {
+        e.u8(rule_to_u8(f.rule));
+        e.u32(f.addr.0);
+        match f.function {
+            Some(fun) => {
+                e.u8(1);
+                e.u32(fun.0);
+            }
+            None => e.u8(0),
+        }
+        e.str(&f.message);
+    }
+    e.usize(a.loops_total);
+    e.usize(a.loops_auto);
+    e.u8(u8::from(a.peeled));
+    e.usize(a.bounds.len());
+    for (id, result) in &a.bounds {
+        e.usize(*id);
+        bound_to_bytes(&mut e, result);
+    }
+    e.usize(a.times_wcet.len());
+    for &t in &a.times_wcet {
+        e.u64(t);
+    }
+    e.usize(a.times_bcet.len());
+    for &t in &a.times_bcet {
+        e.u64(t);
+    }
+    match a.cache_summary {
+        Some((h, m, nc)) => {
+            e.u8(1);
+            e.usize(h);
+            e.usize(m);
+            e.usize(nc);
+        }
+        None => e.u8(0),
+    }
+    e.seal()
+}
+
+fn decode_fn_artifact(bytes: &[u8]) -> Option<FunctionArtifact> {
+    let mut d = Dec::new(bytes, b'F')?;
+    let hint_calls = d.addr_map()?;
+    let hint_jumps = d.addr_map()?;
+    let n_findings = d.len()?;
+    let mut findings = Vec::with_capacity(n_findings.min(1024));
+    for _ in 0..n_findings {
+        let rule = rule_from_u8(d.u8()?)?;
+        let addr = Addr(d.u32()?);
+        let function = match d.u8()? {
+            0 => None,
+            1 => Some(Addr(d.u32()?)),
+            _ => return None,
+        };
+        let message = d.str()?;
+        findings.push(Finding { rule, addr, function, message });
+    }
+    let loops_total = d.usize()?;
+    let loops_auto = d.usize()?;
+    let peeled = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let n_bounds = d.len()?;
+    let mut bounds = Vec::with_capacity(n_bounds.min(1024));
+    for _ in 0..n_bounds {
+        let id = d.usize()?;
+        bounds.push((id, bound_from_bytes(&mut d)?));
+    }
+    let n_w = d.len()?;
+    let mut times_wcet = Vec::with_capacity(n_w.min(1 << 16));
+    for _ in 0..n_w {
+        times_wcet.push(d.u64()?);
+    }
+    let n_b = d.len()?;
+    let mut times_bcet = Vec::with_capacity(n_b.min(1 << 16));
+    for _ in 0..n_b {
+        times_bcet.push(d.u64()?);
+    }
+    let cache_summary = match d.u8()? {
+        0 => None,
+        1 => Some((d.usize()?, d.usize()?, d.usize()?)),
+        _ => return None,
+    };
+    d.done().then_some(FunctionArtifact {
+        hint_calls,
+        hint_jumps,
+        findings,
+        loops_total,
+        loops_auto,
+        peeled,
+        bounds,
+        times_wcet,
+        times_bcet,
+        cache_summary,
+    })
+}
+
+fn encode_wcet_result(e: &mut Enc, r: &WcetResult) {
+    e.u64(r.wcet_cycles);
+    e.usize(r.block_counts.len());
+    for (b, c) in &r.block_counts {
+        e.usize(b.0);
+        e.u64(*c);
+    }
+    e.usize(r.worst_path.len());
+    for b in &r.worst_path {
+        e.usize(b.0);
+    }
+}
+
+fn decode_wcet_result(d: &mut Dec<'_>) -> Option<WcetResult> {
+    let wcet_cycles = d.u64()?;
+    let n_counts = d.len()?;
+    let mut block_counts = BTreeMap::new();
+    for _ in 0..n_counts {
+        let b = BlockId(d.usize()?);
+        block_counts.insert(b, d.u64()?);
+    }
+    let n_path = d.len()?;
+    let mut worst_path = Vec::with_capacity(n_path.min(1 << 16));
+    for _ in 0..n_path {
+        worst_path.push(BlockId(d.usize()?));
+    }
+    Some(WcetResult { wcet_cycles, block_counts, worst_path })
+}
+
+fn encode_ipet_entry(entry: &IpetEntry) -> Vec<u8> {
+    let mut e = Enc::new(b'I');
+    e.u64(entry.full_key);
+    encode_wcet_result(&mut e, &entry.wcet);
+    encode_wcet_result(&mut e, &entry.bcet);
+    e.seal()
+}
+
+fn decode_ipet_entry(bytes: &[u8]) -> Option<IpetEntry> {
+    let mut d = Dec::new(bytes, b'I')?;
+    let full_key = d.u64()?;
+    let wcet = decode_wcet_result(&mut d)?;
+    let bcet = decode_wcet_result(&mut d)?;
+    d.done().then_some(IpetEntry { full_key, wcet, bcet })
+}
+
+// ---------------------------------------------------------------------
+// Key helpers used by the analyzer
+// ---------------------------------------------------------------------
+
+/// The per-image inputs of [`function_key`] that are shared by every
+/// function: computed once per reconstruction round.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyContext {
+    /// [`Image::data_hash`] of the analyzed image.
+    pub data_hash: u64,
+    /// [`config_fingerprint`] of the analyzer configuration.
+    pub config_fp: u64,
+}
+
+impl KeyContext {
+    /// Builds the shared key context for one run.
+    #[must_use]
+    pub fn new(image: &Image, config: &AnalyzerConfig) -> KeyContext {
+        KeyContext {
+            data_hash: image.data_hash(),
+            config_fp: config_fingerprint(config),
+        }
+    }
+
+    /// [`function_key`] with this context.
+    #[must_use]
+    pub fn function_key(
+        &self,
+        cfg: &Cfg,
+        summaries: &HashMap<Addr, FunctionSummary>,
+    ) -> u64 {
+        function_key(cfg, self.data_hash, self.config_fp, summaries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> FunctionArtifact {
+        FunctionArtifact {
+            hint_calls: BTreeMap::from([(Addr(0x1010), vec![Addr(0x2000), Addr(0x2040)])]),
+            hint_jumps: BTreeMap::from([(Addr(0x1020), vec![Addr(0x1100)])]),
+            findings: vec![Finding {
+                rule: RuleId::Misra20_4,
+                addr: Addr(0x1004),
+                function: Some(Addr(0x1000)),
+                message: "dynamic heap allocation".to_owned(),
+            }],
+            loops_total: 2,
+            loops_auto: 1,
+            peeled: true,
+            bounds: vec![
+                (0, BoundResult::Bounded { max_iterations: 16, source: BoundSource::Auto }),
+                (1, BoundResult::Unbounded { reason: UnboundedReason::DataDependent }),
+            ],
+            times_wcet: vec![10, 42, 7],
+            times_bcet: vec![4, 40, 7],
+            cache_summary: Some((12, 3, 1)),
+        }
+    }
+
+    #[test]
+    fn fn_artifact_round_trip() {
+        let a = sample_artifact();
+        let bytes = encode_fn_artifact(&a);
+        assert_eq!(decode_fn_artifact(&bytes), Some(a));
+    }
+
+    #[test]
+    fn truncated_or_garbled_artifacts_are_misses() {
+        let bytes = encode_fn_artifact(&sample_artifact());
+        for cut in [0, 4, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(decode_fn_artifact(&bytes[..cut]), None, "cut at {cut}");
+        }
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xff;
+        assert_eq!(decode_fn_artifact(&wrong_magic), None);
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] ^= 0xff;
+        assert_eq!(decode_fn_artifact(&wrong_version), None);
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode_fn_artifact(&trailing), None, "trailing bytes rejected");
+    }
+
+    #[test]
+    fn any_flipped_bit_fails_the_checksum() {
+        // Structural validation alone would accept flips that keep
+        // lengths/invariants intact but change a cycle count; the payload
+        // digest must reject *every* single-byte corruption.
+        let bytes = encode_fn_artifact(&sample_artifact());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                decode_fn_artifact(&bad),
+                None,
+                "flip at byte {i} must read as a miss"
+            );
+        }
+        let entry_bytes = {
+            let entry = IpetEntry {
+                full_key: 1,
+                wcet: WcetResult {
+                    wcet_cycles: 99,
+                    block_counts: BTreeMap::from([(BlockId(0), 1)]),
+                    worst_path: vec![BlockId(0)],
+                },
+                bcet: WcetResult {
+                    wcet_cycles: 7,
+                    block_counts: BTreeMap::new(),
+                    worst_path: Vec::new(),
+                },
+            };
+            encode_ipet_entry(&entry)
+        };
+        for i in 0..entry_bytes.len() {
+            let mut bad = entry_bytes.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(decode_ipet_entry(&bad), None, "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn ipet_entry_round_trip() {
+        let entry = IpetEntry {
+            full_key: 0xdead_beef_0bad_cafe,
+            wcet: WcetResult {
+                wcet_cycles: 420,
+                block_counts: BTreeMap::from([(BlockId(0), 1), (BlockId(2), 16)]),
+                worst_path: vec![BlockId(0), BlockId(2), BlockId(2)],
+            },
+            bcet: WcetResult {
+                wcet_cycles: 17,
+                block_counts: BTreeMap::from([(BlockId(0), 1)]),
+                worst_path: vec![BlockId(0)],
+            },
+        };
+        let bytes = encode_ipet_entry(&entry);
+        assert_eq!(decode_ipet_entry(&bytes), Some(entry));
+        assert_eq!(decode_fn_artifact(&bytes), None, "kind bytes are checked");
+    }
+
+    #[test]
+    fn cache_persists_across_instances() {
+        let dir = std::env::temp_dir().join(format!("wcet-incr-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = sample_artifact();
+        {
+            let mut cache = ArtifactCache::open(&dir).unwrap();
+            assert_eq!(cache.lookup_fn(7), None);
+            cache.store_fn(7, &a);
+            assert_eq!(cache.lookup_fn(7), Some(a.clone()));
+        }
+        {
+            let mut cache = ArtifactCache::open(&dir).unwrap();
+            assert_eq!(cache.lookup_fn(7), Some(a), "artifact survived the process");
+            assert_eq!(cache.lookup_fn(8), None);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_mode_and_costs() {
+        let k = ipet_struct_key(1, None);
+        assert_ne!(k, ipet_struct_key(1, Some("ground")));
+        assert_ne!(k, ipet_struct_key(2, None));
+        let costs = [(Addr(0x2000), 10, 5)];
+        assert_ne!(ipet_full_key(k, &costs), ipet_full_key(k, &[]));
+        assert_ne!(
+            ipet_full_key(k, &costs),
+            ipet_full_key(k, &[(Addr(0x2000), 11, 5)])
+        );
+        assert_eq!(ipet_full_key(k, &costs), ipet_full_key(k, &costs));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_semantic_fields_not_parallelism() {
+        let base = AnalyzerConfig::new();
+        let fp = config_fingerprint(&base);
+        let mut threads = base.clone();
+        threads.parallelism = Some(3);
+        assert_eq!(fp, config_fingerprint(&threads), "one cache for all thread counts");
+        let mut unroll = base.clone();
+        unroll.unrolling = true;
+        assert_ne!(fp, config_fingerprint(&unroll));
+        let mut machine = base;
+        machine.machine = wcet_isa::interp::MachineConfig::with_caches();
+        assert_ne!(fp, config_fingerprint(&machine));
+    }
+}

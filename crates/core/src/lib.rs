@@ -40,8 +40,10 @@
 
 pub mod analyzer;
 pub mod experiments;
+pub mod incr;
 pub mod parallel;
 pub mod phases;
 pub mod workload;
 
 pub use analyzer::{AnalysisReport, AnalyzeError, AnalyzerConfig, WcetAnalyzer};
+pub use incr::{ArtifactCache, IncrStats};

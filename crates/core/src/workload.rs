@@ -450,14 +450,38 @@ pub fn matrix_kernel(n: u32) -> Workload {
 /// Panics if `n` is not in `1..=64`.
 #[must_use]
 pub fn call_fanout(n: u32) -> Workload {
+    call_fanout_with(n, &[])
+}
+
+/// [`call_fanout`] with per-leaf iteration-count overrides: `(leaf,
+/// iters)` replaces leaf `f<leaf>`'s default counter bound. Two images
+/// built with overrides differing in one leaf differ in exactly that
+/// function's bytes — the single-function-mutation substrate of the
+/// incremental re-analysis tests and benches.
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=64`, or an override names a leaf `>= n`
+/// or a zero iteration count (the loop structure must survive).
+#[must_use]
+pub fn call_fanout_with(n: u32, overrides: &[(u32, u32)]) -> Workload {
     assert!((1..=64).contains(&n), "fan-out must be 1..=64, got {n}");
+    for &(leaf, iters) in overrides {
+        assert!(leaf < n, "override names leaf {leaf} of {n}");
+        assert!(iters > 0, "leaf loops need at least one iteration");
+    }
     let mut src = String::from("        .org 0x1000\nmain:\n");
     for i in 0..n {
         src.push_str(&format!("            call f{i}\n"));
     }
     src.push_str("            halt\n");
     for i in 0..n {
-        let iters = 4 + (i % 7) * 3; // vary per-function work
+        let default = 4 + (i % 7) * 3; // vary per-function work
+        let iters = overrides
+            .iter()
+            .rev()
+            .find(|(leaf, _)| *leaf == i)
+            .map_or(default, |&(_, it)| it);
         src.push_str(&format!(
             "f{i}:\n\
              \x20            li   r1, {iters}\n\
@@ -474,6 +498,125 @@ pub fn call_fanout(n: u32) -> Workload {
         &src,
         "",
     )
+}
+
+/// The heavyweight call tree: `main` calls `groups` mid-level
+/// dispatchers, each of which calls `per_group` leaves, and every leaf is
+/// a realistic function body — nested loops, a data-dependent diamond,
+/// SRAM traffic — so per-function value analysis carries
+/// production-shaped cost. This is the largest workload in the
+/// repository (instructions and analysis time) and the subject of the
+/// `incremental` bench group: against a warm cache, a one-leaf mutation
+/// re-analyzes exactly the leaf plus its dirt cone (one mid-level
+/// dispatcher and `main`) instead of all `groups × per_group + groups +
+/// 1` functions — the call graph's depth is what keeps the cone narrow.
+///
+/// `overrides` name leaves by flat index `0..groups*per_group`, as in
+/// [`call_fanout_with`].
+///
+/// # Panics
+///
+/// Panics if `groups * per_group` is not in `1..=64`, or an override
+/// names a missing leaf or a zero iteration count.
+#[must_use]
+pub fn call_tree_heavy(groups: u32, per_group: u32, overrides: &[(u32, u32)]) -> Workload {
+    let n = groups * per_group;
+    assert!((1..=64).contains(&n), "leaf count must be 1..=64, got {n}");
+    for &(leaf, iters) in overrides {
+        assert!(leaf < n, "override names leaf {leaf} of {n}");
+        assert!(iters > 0, "leaf loops need at least one iteration");
+    }
+    let mut src = String::from("        .org 0x1000\nmain:\n");
+    for g in 0..groups {
+        src.push_str(&format!("            call g{g}\n"));
+    }
+    src.push_str("            halt\n");
+    for g in 0..groups {
+        src.push_str(&format!("g{g}:\n"));
+        src.push_str(
+            "            subi sp, sp, 4\n\
+             \x20            sw   lr, 0(sp)\n",
+        );
+        for l in 0..per_group {
+            src.push_str(&format!("            call f{}\n", g * per_group + l));
+        }
+        src.push_str(
+            "            lw   lr, 0(sp)\n\
+             \x20            addi sp, sp, 4\n\
+             \x20            ret\n",
+        );
+    }
+    for i in 0..n {
+        let default = 3 + (i % 5) * 2;
+        let iters = overrides
+            .iter()
+            .rev()
+            .find(|(leaf, _)| *leaf == i)
+            .map_or(default, |&(_, it)| it);
+        let scratch = 0x8000 + 16 * i;
+        src.push_str(&format!(
+            "f{i}:\n\
+             \x20            li   r1, {iters}\n\
+             f{i}_outer:\n\
+             \x20            li   r2, 6\n\
+             f{i}_inner:\n\
+             \x20            mul  r3, r2, r2\n\
+             \x20            add  r4, r4, r3\n\
+             \x20            shli r6, r3, 2\n\
+             \x20            and  r6, r6, r3\n\
+             \x20            or   r8, r6, r4\n\
+             \x20            sub  r9, r8, r3\n\
+             \x20            li   r7, {scratch:#x}\n\
+             \x20            sw   r4, 0(r7)\n\
+             \x20            sw   r9, 4(r7)\n\
+             \x20            lw   r5, 0(r7)\n\
+             \x20            xor  r4, r4, r5\n\
+             \x20            beq  r9, r0, f{i}_skip\n\
+             \x20            addi r8, r8, 3\n\
+             \x20            mul  r8, r8, r3\n\
+             \x20            j    f{i}_join\n\
+             f{i}_skip:\n\
+             \x20            shri r8, r8, 1\n\
+             \x20            addi r8, r8, 1\n\
+             f{i}_join:\n\
+             \x20            sw   r8, 8(r7)\n\
+             \x20            lw   r6, 4(r7)\n\
+             \x20            add  r4, r4, r6\n\
+             \x20            subi r2, r2, 1\n\
+             \x20            bne  r2, r0, f{i}_inner\n\
+             \x20            subi r1, r1, 1\n\
+             \x20            bne  r1, r0, f{i}_outer\n\
+             \x20            ret\n"
+        ));
+    }
+    build(
+        "call_tree_heavy",
+        "two-level call tree with production-shaped leaf bodies (incremental bench workload)",
+        &src,
+        "",
+    )
+}
+
+/// The ten named workloads, with their design-level annotations — the
+/// corpus of the end-to-end soundness oracle, the golden report
+/// snapshots, and the incremental benches.
+#[must_use]
+pub fn all_ten() -> Vec<Workload> {
+    let mut workloads = vec![
+        flight_control(),
+        message_handler(16),
+        state_machine(4),
+        error_handling(4),
+        matrix_kernel(4),
+    ];
+    let (branchy, single_path) = single_path_pair();
+    workloads.push(branchy);
+    workloads.push(single_path);
+    let (killer, friendly) = cache_pair();
+    workloads.push(killer);
+    workloads.push(friendly);
+    workloads.push(call_fanout(8));
+    workloads
 }
 
 /// A device-driver routine with a pointer-indirect access the analysis
@@ -613,6 +756,78 @@ mod tests {
         let observed = interp.run(10_000_000).unwrap().cycles;
         assert!(report.wcet_cycles >= observed);
         assert!(report.bcet_cycles <= observed);
+    }
+
+    #[test]
+    fn call_fanout_overrides_change_one_function_only() {
+        let base = call_fanout_with(8, &[]);
+        let same = call_fanout(8);
+        assert_eq!(base.image, same.image, "no overrides = the default workload");
+        let mutated = call_fanout_with(8, &[(3, 29)]);
+        assert_ne!(base.image.code, mutated.image.code);
+        // Exactly the victim leaf's bytes differ: compare per function.
+        let f3 = base.image.symbol("f3").unwrap();
+        let f4 = base.image.symbol("f4").unwrap();
+        assert_ne!(
+            base.image.code_range_hash(f3, f4),
+            mutated.image.code_range_hash(f3, f4),
+            "the mutated leaf's bytes changed"
+        );
+        let end = base.image.code.end();
+        assert_eq!(
+            base.image.code_range_hash(f4, end),
+            mutated.image.code_range_hash(f4, end),
+            "everything after the victim is untouched"
+        );
+        assert_eq!(
+            base.image.code_range_hash(base.image.entry, f3),
+            mutated.image.code_range_hash(mutated.image.entry, f3),
+            "everything before the victim is untouched"
+        );
+    }
+
+    #[test]
+    fn call_tree_heavy_analyzes_and_is_sound() {
+        let w = call_tree_heavy(3, 4, &[(5, 9)]);
+        let report = WcetAnalyzer::new().analyze(&w.image).unwrap();
+        assert_eq!(report.functions.len(), 16, "main + 3 mids + 12 leaves");
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        let observed = interp.run(100_000_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+        assert!(report.bcet_cycles <= observed);
+
+        // Mutating one leaf changes exactly that leaf's bytes.
+        let base = call_tree_heavy(3, 4, &[]);
+        let f5 = base.image.symbol("f5").unwrap();
+        let f6 = base.image.symbol("f6").unwrap();
+        assert_ne!(
+            base.image.code_range_hash(f5, f6),
+            w.image.code_range_hash(f5, f6)
+        );
+        assert_eq!(
+            base.image.code_range_hash(base.image.entry, f5),
+            w.image.code_range_hash(w.image.entry, f5)
+        );
+    }
+
+    #[test]
+    fn all_ten_is_the_documented_corpus() {
+        let names: Vec<&str> = all_ten().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "flight_control",
+                "message_handler",
+                "state_machine",
+                "error_handling",
+                "matrix_kernel",
+                "branchy",
+                "single_path",
+                "cache_killer",
+                "cache_friendly",
+                "call_fanout",
+            ]
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use wcet_analysis::loopbound::LoopBounds;
-use wcet_analysis::FunctionAnalysis;
 use wcet_cfg::graph::Cfg;
+use wcet_cfg::loops::LoopForest;
 use wcet_cfg::TargetResolver;
 use wcet_isa::Addr;
 use wcet_micro::blocktime::AccessOverrides;
@@ -372,9 +372,13 @@ impl AnnotationSet {
 
     /// Applies loop-bound annotations valid in `mode` (mode-specific
     /// bounds override global ones) to a function's computed bounds.
+    /// Takes the CFG/forest pair the bounds were computed over (the
+    /// peeled pair under virtual unrolling) — annotations name header
+    /// *addresses*, which survive peeling.
     pub fn apply_loop_bounds(
         &self,
-        fa: &FunctionAnalysis,
+        cfg: &Cfg,
+        forest: &LoopForest,
         bounds: &mut LoopBounds,
         mode: Option<&str>,
     ) {
@@ -389,8 +393,8 @@ impl AnnotationSet {
                 if !applies {
                     continue;
                 }
-                for info in fa.forest().loops() {
-                    if fa.cfg().block(info.header).start == ann.header {
+                for info in forest.loops() {
+                    if cfg.block(info.header).start == ann.header {
                         bounds.apply_annotation(info.id, ann.bound);
                     }
                 }
@@ -469,7 +473,10 @@ impl AnnotationSet {
     pub fn access_overrides(&self) -> AccessOverrides {
         let mut o = AccessOverrides::none();
         for a in &self.accesses {
-            o.restrict(a.at, a.lo, a.hi);
+            // The parser rejects inverted `LO..HI` ranges, so every stored
+            // annotation satisfies the restriction's precondition.
+            o.restrict(a.at, a.lo, a.hi)
+                .expect("parse guarantees lo <= hi");
         }
         o
     }
@@ -566,17 +573,17 @@ mod tests {
 
         // Global bound.
         let mut bounds = fa.loop_bounds();
-        set.apply_loop_bounds(&fa, &mut bounds, None);
+        set.apply_loop_bounds(fa.cfg(), fa.forest(), &mut bounds, None);
         assert_eq!(bounds.results()[0].1.max_iterations(), Some(100));
 
         // Mode-specific bound wins in its mode.
         let mut bounds = fa.loop_bounds();
-        set.apply_loop_bounds(&fa, &mut bounds, Some("ground"));
+        set.apply_loop_bounds(fa.cfg(), fa.forest(), &mut bounds, Some("ground"));
         assert_eq!(bounds.results()[0].1.max_iterations(), Some(10));
 
         // Other mode falls back to the global bound.
         let mut bounds = fa.loop_bounds();
-        set.apply_loop_bounds(&fa, &mut bounds, Some("air"));
+        set.apply_loop_bounds(fa.cfg(), fa.forest(), &mut bounds, Some("air"));
         assert_eq!(bounds.results()[0].1.max_iterations(), Some(100));
     }
 

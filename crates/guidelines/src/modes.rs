@@ -29,7 +29,7 @@ pub struct ModePlan {
 pub fn plans_for(fa: &FunctionAnalysis, annots: &AnnotationSet) -> Vec<ModePlan> {
     let mut plans = Vec::new();
     let mut global_bounds = fa.loop_bounds();
-    annots.apply_loop_bounds(fa, &mut global_bounds, None);
+    annots.apply_loop_bounds(fa.cfg(), fa.forest(), &mut global_bounds, None);
     plans.push(ModePlan {
         mode: None,
         bounds: global_bounds,
@@ -37,7 +37,7 @@ pub fn plans_for(fa: &FunctionAnalysis, annots: &AnnotationSet) -> Vec<ModePlan>
     });
     for mode in annots.modes() {
         let mut bounds = fa.loop_bounds();
-        annots.apply_loop_bounds(fa, &mut bounds, Some(mode));
+        annots.apply_loop_bounds(fa.cfg(), fa.forest(), &mut bounds, Some(mode));
         plans.push(ModePlan {
             mode: Some(mode.clone()),
             bounds,

@@ -167,17 +167,42 @@ impl fmt::Display for Finding {
 ///
 /// `analyses` must contain one [`FunctionAnalysis`] per function of
 /// `program` (as produced by `wcet_analysis::analyze_function`).
+///
+/// Composed from [`check_function`] (per-function rules — cacheable by
+/// function content) and [`check_image_level`] (whole-image rules), then
+/// sorted into the canonical `(address, rule)` order. The incremental
+/// analyzer reproduces exactly this composition from cached per-function
+/// findings, which is what keeps warm and cold reports byte-identical.
 #[must_use]
 pub fn check_program(
     image: &Image,
     program: &Program,
     analyses: &[FunctionAnalysis],
 ) -> Vec<Finding> {
-    let mut findings = Vec::new();
     let callgraph = CallGraph::build(program);
-
-    // --- Per-function loop-based rules ---------------------------------
+    let mut findings = Vec::new();
     for fa in analyses {
+        findings.extend(check_function(fa));
+    }
+    findings.extend(check_image_level(image, program, &callgraph));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Sorts findings into the canonical report order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by_key(|f| (f.addr, f.rule));
+}
+
+/// The per-function rules (13.4/13.6/14.4/16.1 via loop-bound failures,
+/// 14.5, 20.4, 20.7, and the function-pointer challenge). These depend
+/// only on the function's own analysis, which makes their findings
+/// content-addressable: same function bytes, data, and configuration →
+/// same findings.
+#[must_use]
+pub fn check_function(fa: &FunctionAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    {
         let bounds = fa.loop_bounds();
         for (id, result) in bounds.results() {
             let info = fa.forest().info(*id);
@@ -278,6 +303,20 @@ pub fn check_program(
             }
         }
     }
+    findings
+}
+
+/// The whole-image rules: 14.1 (unreachable code, needs image coverage)
+/// and 16.2 (recursion, needs the call graph). Cheap enough to recompute
+/// on every run — cached per-function findings merge with a fresh pass of
+/// these.
+#[must_use]
+pub fn check_image_level(
+    image: &Image,
+    program: &Program,
+    callgraph: &CallGraph,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
 
     // --- 14.1: unreachable code (image level) ---------------------------
     let cov = coverage(image, program);
@@ -307,7 +346,6 @@ pub fn check_program(
         });
     }
 
-    findings.sort_by_key(|f| (f.addr, f.rule));
     findings
 }
 

@@ -6,6 +6,7 @@
 //! (mutual exclusions, relative capacity constraints).
 
 use crate::model::{Model, Sense, Solution, SolveError};
+use crate::sparse::BasisSnapshot;
 
 const INT_TOL: f64 = 1e-6;
 
@@ -17,16 +18,24 @@ const INT_TOL: f64 = 1e-6;
 /// [`SolveError::Unbounded`] if the relaxation is unbounded,
 /// [`SolveError::IterationLimit`] past `model.max_nodes` nodes.
 pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
-    // Each stack entry is a set of tightened bounds overlaying the model.
+    // Each stack entry is a set of tightened bounds overlaying the model,
+    // plus the parent relaxation's basis. A child differs from its parent
+    // by exactly one variable bound, so the parent's optimal basis is the
+    // canonical warm start: `solve_lp_from` reuses it when it stays
+    // primal-feasible under the tightened bound and falls back to a cold
+    // two-phase start otherwise. Search order, pruning, and the incumbent
+    // are untouched — the tree is identical, only node solves get cheaper.
     #[derive(Clone)]
     struct Node {
         lower: Vec<f64>,
         upper: Vec<Option<f64>>,
+        warm: Option<BasisSnapshot>,
     }
 
     let root = Node {
         lower: model.vars.iter().map(|v| v.lower).collect(),
         upper: model.vars.iter().map(|v| v.upper).collect(),
+        warm: None,
     };
 
     let mut stack = vec![root];
@@ -61,7 +70,7 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
         {
             continue;
         }
-        let sol = match crate::sparse::solve_lp(&relaxed) {
+        let (sol, basis) = match crate::sparse::solve_lp_from(&relaxed, node.warm.as_ref()) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),
@@ -109,9 +118,11 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
                     None => floor,
                 };
                 down.upper[i] = Some(new_up);
+                down.warm = Some(basis.clone());
                 // Up branch: x ≥ floor + 1.
                 let mut up = node;
                 up.lower[i] = up.lower[i].max(floor + 1.0);
+                up.warm = Some(basis);
                 stack.push(down);
                 stack.push(up);
             }

@@ -105,6 +105,26 @@ impl Basis {
     }
 }
 
+/// A restartable snapshot of the simplex end state: which column is basic
+/// in each row, and at which bound every nonbasic column rests.
+///
+/// Taken from a finished solve and handed to [`solve_lp_from`] on a model
+/// with the *same constraint structure* — typically a branch-and-bound
+/// child node, which differs from its parent by one variable bound only.
+/// The solver validates the snapshot against the new model (shape, basis
+/// invertibility, primal feasibility under the new bounds) and silently
+/// falls back to a cold two-phase start when anything fails, so a stale
+/// snapshot can cost time but never correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSnapshot {
+    /// Basic column of each row, in row order (structural, slack/surplus,
+    /// and artificial columns share one index space).
+    basic: Vec<usize>,
+    /// For every column: whether it rests at its upper bound while
+    /// nonbasic (ignored for basic columns).
+    at_upper: Vec<bool>,
+}
+
 /// Solves the LP relaxation of `model` with the sparse revised simplex.
 ///
 /// # Errors
@@ -114,6 +134,29 @@ impl Basis {
 /// basic variable and no bound, [`SolveError::IterationLimit`] past
 /// `model.max_pivots` pivots (bound flips count).
 pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+    solve_lp_from(model, None).map(|(solution, _)| solution)
+}
+
+/// [`solve_lp`], optionally warm-started from a previous solve's
+/// [`BasisSnapshot`], and returning the snapshot of this solve.
+///
+/// A usable snapshot skips phase 1 entirely and starts phase 2 at the old
+/// vertex; when only bounds changed between the two models (the
+/// branch-and-bound case) that vertex is usually optimal or one pivot
+/// away. The result is **identical** to a cold solve of the same model in
+/// objective value; the chosen vertex may differ between warm and cold
+/// starts when the optimum is degenerate, which is why callers that
+/// require bit-stable *solutions* (not just objectives) must use the same
+/// start deterministically — `solve_lp_from` is a pure function of
+/// `(model, start)`.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lp`].
+pub fn solve_lp_from(
+    model: &Model,
+    start: Option<&BasisSnapshot>,
+) -> Result<(Solution, BasisSnapshot), SolveError> {
     let n = model.vars.len();
 
     // An inverted bound box (upper < lower) admits no solution. The dense
@@ -208,43 +251,71 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
         rhs: rows.iter().map(|r| r.rhs).collect(),
         artificials,
     };
-    let mut binv = vec![0.0; m * m];
-    for i in 0..m {
-        binv[i * m + i] = 1.0;
-    }
-    let mut state = Basis {
-        binv,
-        xb: form.rhs.clone(),
-        in_basis: {
-            let mut b = vec![false; total];
-            for &v in &basic {
-                b[v] = true;
-            }
-            b
-        },
-        basic,
-        rest: vec![Bound::Lower; total],
-    };
     let mut pivots_left = model.max_pivots;
 
-    // --- Phase 1: drive the artificials to zero -----------------------
-    if !form.artificials.is_empty() {
-        let mut obj = vec![0.0; total];
-        for &a in &form.artificials {
-            obj[a] = -1.0;
+    // --- Start: restore the warm basis, or run phase 1 cold -----------
+    let mut state = match start.and_then(|snap| restore_basis(&form, snap)) {
+        Some(warm_state) => {
+            // The restored vertex already satisfies `A x = b` within its
+            // bounds, so phase 1 is unnecessary. Artificials are fixed at
+            // zero exactly as the cold path does after phase 1.
+            for &a in &form.artificials {
+                form.span[a] = 0.0;
+            }
+            warm_state
         }
-        let value = optimize(&form, &mut state, &obj, &mut pivots_left)?;
-        if value < -1e-6 {
-            return Err(SolveError::Infeasible);
+        None => {
+            let mut binv = vec![0.0; m * m];
+            for i in 0..m {
+                binv[i * m + i] = 1.0;
+            }
+            let mut cold = Basis {
+                binv,
+                xb: form.rhs.clone(),
+                in_basis: {
+                    let mut b = vec![false; total];
+                    for &v in &basic {
+                        b[v] = true;
+                    }
+                    b
+                },
+                basic,
+                rest: vec![Bound::Lower; total],
+            };
+            // Phase 1: drive the artificials to zero. When every
+            // artificial row's rhs is already zero — the IPET shape: flow
+            // conservation is homogeneous — the all-slack start *is*
+            // phase-1 optimal, and running the simplex would only churn
+            // through ~m degenerate pivots to relabel the basis. Skip
+            // straight to the relabeling.
+            if !form.artificials.is_empty() {
+                let mut is_artificial = vec![false; total];
+                for &a in &form.artificials {
+                    is_artificial[a] = true;
+                }
+                let already_feasible = (0..m)
+                    .all(|i| !is_artificial[cold.basic[i]] || cold.xb[i] <= EPS);
+                if !already_feasible {
+                    let mut obj = vec![0.0; total];
+                    for &a in &form.artificials {
+                        obj[a] = -1.0;
+                    }
+                    let value = optimize(&form, &mut cold, &obj, &mut pivots_left)?;
+                    if value < -1e-6 {
+                        return Err(SolveError::Infeasible);
+                    }
+                }
+                evict_basic_artificials(&form, &mut cold);
+                // Fix artificials at zero: a fixed variable is never
+                // eligible to enter, which is the bound-form equivalent of
+                // zapping their columns in the dense tableau.
+                for &a in &form.artificials {
+                    form.span[a] = 0.0;
+                }
+            }
+            cold
         }
-        evict_basic_artificials(&form, &mut state);
-        // Fix artificials at zero: a fixed variable is never eligible to
-        // enter, which is the bound-form equivalent of zapping their
-        // columns in the dense tableau.
-        for &a in &form.artificials {
-            form.span[a] = 0.0;
-        }
-    }
+    };
 
     // --- Phase 2: the real objective ----------------------------------
     let dir = match model.sense {
@@ -275,7 +346,136 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
         .zip(&values)
         .map(|(c, v)| c * v)
         .sum();
-    Ok(Solution { objective, values })
+    // Canonicalized: a basic column's rest flag is meaningless (and may
+    // hold a stale value from before it entered), so it is recorded as
+    // `false` — snapshots of the same vertex always compare equal.
+    let snapshot = BasisSnapshot {
+        basic: state.basic.clone(),
+        at_upper: state
+            .rest
+            .iter()
+            .enumerate()
+            .map(|(j, r)| !state.in_basis[j] && *r == Bound::Upper)
+            .collect(),
+    };
+    Ok((Solution { objective, values }, snapshot))
+}
+
+/// Rebuilds a [`Basis`] from a snapshot against a (possibly re-bounded)
+/// standard form. Returns `None` — cold start — when the snapshot does
+/// not fit: wrong shape, artificial columns in the basis, a singular
+/// basis matrix, or a restored vertex that violates the new bounds.
+fn restore_basis(form: &SparseForm, snap: &BasisSnapshot) -> Option<Basis> {
+    let m = form.m;
+    let total = form.cols.len();
+    if snap.basic.len() != m || snap.at_upper.len() != total {
+        return None;
+    }
+    let mut is_artificial = vec![false; total];
+    for &a in &form.artificials {
+        is_artificial[a] = true;
+    }
+    let mut in_basis = vec![false; total];
+    for &j in &snap.basic {
+        if j >= total || is_artificial[j] || in_basis[j] {
+            return None; // out of range, artificial, or duplicated
+        }
+        in_basis[j] = true;
+    }
+    // Nonbasic columns resting at an upper bound need a finite span under
+    // the *new* bounds; artificials always rest at zero (their span is
+    // fixed after restoration).
+    for j in 0..total {
+        if !in_basis[j] && snap.at_upper[j] && !is_artificial[j] && !form.span[j].is_finite()
+        {
+            return None;
+        }
+    }
+
+    // Invert the basis matrix by Gauss–Jordan with partial pivoting.
+    let mut aug = vec![0.0; m * 2 * m]; // [B | I], row-major
+    for (i, &j) in snap.basic.iter().enumerate() {
+        for &(r, a) in &form.cols[j] {
+            aug[r * 2 * m + i] = a;
+        }
+    }
+    for i in 0..m {
+        aug[i * 2 * m + m + i] = 1.0;
+    }
+    for col in 0..m {
+        let pivot_row = (col..m)
+            .max_by(|&a, &b| {
+                aug[a * 2 * m + col]
+                    .abs()
+                    .total_cmp(&aug[b * 2 * m + col].abs())
+            })
+            .expect("nonempty range");
+        if aug[pivot_row * 2 * m + col].abs() <= EPS {
+            return None; // singular basis
+        }
+        if pivot_row != col {
+            for k in 0..2 * m {
+                aug.swap(col * 2 * m + k, pivot_row * 2 * m + k);
+            }
+        }
+        let p = aug[col * 2 * m + col];
+        for k in 0..2 * m {
+            aug[col * 2 * m + k] /= p;
+        }
+        for r in 0..m {
+            if r != col {
+                let f = aug[r * 2 * m + col];
+                if f.abs() > EPS {
+                    for k in 0..2 * m {
+                        aug[r * 2 * m + k] -= f * aug[col * 2 * m + k];
+                    }
+                }
+            }
+        }
+    }
+    let mut binv = vec![0.0; m * m];
+    for i in 0..m {
+        binv[i * m..(i + 1) * m].copy_from_slice(&aug[i * 2 * m + m..i * 2 * m + 2 * m]);
+    }
+
+    // x_B = B⁻¹ (b − N x_N): only upper-resting nonbasics contribute.
+    let mut rhs = form.rhs.clone();
+    for j in 0..total {
+        if !in_basis[j] && snap.at_upper[j] && !is_artificial[j] {
+            for &(r, a) in &form.cols[j] {
+                rhs[r] -= a * form.span[j];
+            }
+        }
+    }
+    let mut xb = vec![0.0; m];
+    for i in 0..m {
+        let row = &binv[i * m..(i + 1) * m];
+        xb[i] = row.iter().zip(&rhs).map(|(b, r)| b * r).sum();
+    }
+    // Primal feasibility under the new bounds (same tolerance as the
+    // inverted-box check).
+    for (i, &j) in snap.basic.iter().enumerate() {
+        if xb[i] < -1e-6 || xb[i] > form.span[j] + 1e-6 {
+            return None;
+        }
+    }
+
+    let rest = (0..total)
+        .map(|j| {
+            if !in_basis[j] && snap.at_upper[j] && !is_artificial[j] {
+                Bound::Upper
+            } else {
+                Bound::Lower
+            }
+        })
+        .collect();
+    Some(Basis {
+        binv,
+        basic: snap.basic.clone(),
+        xb,
+        rest,
+        in_basis,
+    })
 }
 
 /// Maximizes `obj` from the current basis; returns the optimal phase
@@ -641,6 +841,78 @@ mod tests {
             m.set_objective(&[(x, 1.0)]);
             assert_eq!(solver(&m), Err(SolveError::Infeasible));
         }
+    }
+
+    #[test]
+    fn warm_start_from_own_basis_skips_to_optimal() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        let y = m.add_var("y", 0.0, None);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        m.set_objective(&[(x, 3.0), (y, 5.0)]);
+        let (cold, basis) = solve_lp_from(&m, None).unwrap();
+        let (warm, basis2) = solve_lp_from(&m, Some(&basis)).unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert_eq!(basis, basis2, "optimal basis is a fixpoint");
+    }
+
+    #[test]
+    fn warm_start_after_objective_change() {
+        // Same constraints, different objective: the old vertex is a valid
+        // (feasible) start even when no longer optimal.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, Some(10.0));
+        let y = m.add_var("y", 0.0, Some(10.0));
+        m.add_le(&[(x, 1.0), (y, 1.0)], 12.0);
+        m.set_objective(&[(x, 1.0), (y, 3.0)]);
+        let (_, basis) = solve_lp_from(&m, None).unwrap();
+
+        m.set_objective(&[(x, 3.0), (y, 1.0)]);
+        let (warm, _) = solve_lp_from(&m, Some(&basis)).unwrap();
+        let cold = solve_lp(&m).unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert_close(warm.objective, 32.0); // x = 10, y = 2
+    }
+
+    #[test]
+    fn mismatched_snapshot_falls_back_to_cold() {
+        // A snapshot from a structurally different model must be rejected,
+        // not trusted: the solve still succeeds via the cold path.
+        let mut small = Model::new(Sense::Maximize);
+        let a = small.add_var("a", 0.0, Some(1.0));
+        small.set_objective(&[(a, 1.0)]);
+        let (_, foreign) = solve_lp_from(&small, None).unwrap();
+
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None);
+        m.add_le(&[(x, 1.0)], 7.0);
+        m.set_objective(&[(x, 1.0)]);
+        let (sol, _) = solve_lp_from(&m, Some(&foreign)).unwrap();
+        assert_close(sol.objective, 7.0);
+    }
+
+    #[test]
+    fn warm_start_infeasible_under_tightened_bounds_falls_back() {
+        // Parent optimum x = 7; child fixes x ≤ 2. The parent basis is
+        // primal-infeasible in the child, so restoration is refused and
+        // the cold path must deliver the right answer anyway.
+        let mut parent = Model::new(Sense::Maximize);
+        let x = parent.add_var("x", 0.0, Some(7.0));
+        let s = parent.add_var("s", 0.0, None);
+        parent.add_eq(&[(x, 1.0), (s, 1.0)], 7.0);
+        parent.set_objective(&[(x, 1.0)]);
+        let (psol, pbasis) = solve_lp_from(&parent, None).unwrap();
+        assert_close(psol.objective, 7.0);
+
+        let mut child = Model::new(Sense::Maximize);
+        let x = child.add_var("x", 0.0, Some(2.0));
+        let s = child.add_var("s", 0.0, None);
+        child.add_eq(&[(x, 1.0), (s, 1.0)], 7.0);
+        child.set_objective(&[(x, 1.0)]);
+        let (warm, _) = solve_lp_from(&child, Some(&pbasis)).unwrap();
+        assert_close(warm.objective, 2.0);
     }
 
     #[test]

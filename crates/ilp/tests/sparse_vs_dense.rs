@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use wcet_ilp::model::Op;
 use wcet_ilp::simplex::solve_lp_dense;
-use wcet_ilp::sparse::solve_lp;
+use wcet_ilp::sparse::{solve_lp, solve_lp_from};
 use wcet_ilp::{Model, Sense};
 
 #[derive(Debug, Clone)]
@@ -128,6 +128,73 @@ proptest! {
             (d, s) => {
                 return Err(TestCaseError::fail(format!(
                     "solvers disagree: dense {d:?} vs sparse {s:?} on {lp:?}"
+                )));
+            }
+        }
+    }
+
+    /// Warm-starting a solve from its own final basis is a no-op: the
+    /// restored vertex is already optimal, and the result matches the
+    /// cold solve (the incremental engine's byte-identity relies on the
+    /// solver being a pure function of `(model, start)`).
+    #[test]
+    fn prop_warm_start_from_own_basis_is_identity(lp in arb_lp()) {
+        let m = build(&lp);
+        if let Ok((cold, basis)) = solve_lp_from(&m, None) {
+            let (warm, basis2) = solve_lp_from(&m, Some(&basis))
+                .expect("feasible model stays feasible under its own basis");
+            let scale = 1.0 + cold.objective.abs();
+            prop_assert!(
+                (cold.objective - warm.objective).abs() / scale < 1e-6,
+                "warm restart drifted: {} vs {} on {:?}",
+                cold.objective, warm.objective, lp
+            );
+            prop_assert_eq!(&basis, &basis2, "optimal basis must be stable: {:?}", lp);
+        }
+    }
+
+    /// The branch-and-bound pattern: tighten one variable's bounds, then
+    /// warm-start from the parent basis. Classification and objective
+    /// must match a cold solve of the tightened model exactly — the warm
+    /// start is an accelerator, never an oracle.
+    #[test]
+    fn prop_warm_start_survives_bound_tightening(
+        lp in arb_lp(),
+        var_pick in 0usize..4,
+        cut in 0i64..4,
+    ) {
+        let parent = build(&lp);
+        let Ok((psol, pbasis)) = solve_lp_from(&parent, None) else {
+            return Ok(());
+        };
+        // Tighten: clamp one variable below the floor of its parent value
+        // (an empty box is fine — both paths must agree it is infeasible).
+        let mut tightened = lp.clone();
+        let i = var_pick % lp.bounds.len();
+        let (lo, old_span) = lp.bounds[i];
+        let new_span = (psol.values[i].floor() as i64 - cut).saturating_sub(lo);
+        let new_span = match old_span {
+            Some(s) => s.min(new_span),
+            None => new_span,
+        };
+        tightened.bounds[i].1 = Some(new_span);
+        let child = build(&tightened);
+
+        let cold = solve_lp(&child);
+        let warm = solve_lp_from(&child, Some(&pbasis)).map(|(s, _)| s);
+        match (cold, warm) {
+            (Ok(c), Ok(w)) => {
+                let scale = 1.0 + c.objective.abs();
+                prop_assert!(
+                    (c.objective - w.objective).abs() / scale < 1e-6,
+                    "warm vs cold after tightening: {} vs {} on {:?}",
+                    c.objective, w.objective, lp
+                );
+            }
+            (Err(c), Err(w)) => prop_assert_eq!(c, w),
+            (c, w) => {
+                return Err(TestCaseError::fail(format!(
+                    "warm start changed the outcome: cold {c:?} vs warm {w:?} on {lp:?}"
                 )));
             }
         }

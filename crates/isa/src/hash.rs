@@ -1,0 +1,208 @@
+//! Stable content hashing for binary images.
+//!
+//! The incremental re-analysis engine keys its persistent artifact cache
+//! by *content*: the bytes of a function, the initialized data the value
+//! analysis reads at load time, and the analyzer/machine configuration.
+//! Rust's `std::hash::Hasher` makes no stability promise across
+//! processes, so the cache uses this explicit 64-bit FNV-1a hasher — the
+//! same value for the same bytes on every run, platform, and thread
+//! count.
+//!
+//! Nothing here is cryptographic. A collision costs a stale artifact
+//! being trusted, so the cache layer additionally stores cheap structural
+//! invariants (block counts, loop counts) and rejects entries that fail
+//! them; FNV-1a over kilobyte-scale inputs is more than adequate for the
+//! remaining risk.
+
+use crate::image::{Image, Segment};
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable (process-independent) 64-bit FNV-1a hasher.
+///
+/// # Example
+///
+/// ```
+/// use wcet_isa::hash::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_str("main");
+/// a.write_u32(0x1000);
+/// let mut b = StableHasher::new();
+/// b.write_str("main");
+/// b.write_u32(0x1000);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize`, widened to `u64` so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// differ.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hashes one byte slice directly.
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+impl Segment {
+    /// Absorbs the segment (base address + raw contents) into `h`.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_u32(self.base.0);
+        h.write_usize(self.data.len());
+        h.write(&self.data);
+    }
+}
+
+impl Image {
+    /// Stable hash of every *initialized data* segment plus the entry
+    /// point. This is the part of the image the value analysis consumes
+    /// besides a function's own code: load-time memory facts and jump
+    /// tables. Function code is hashed separately, per function, by the
+    /// cache layer.
+    #[must_use]
+    pub fn data_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u32(self.entry.0);
+        h.write_usize(self.data.len());
+        for seg in &self.data {
+            seg.hash_into(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Stable hash of the raw code words in `[start, end)`, as stored in
+    /// the code segment. Used to fingerprint one function's bytes.
+    /// Addresses outside the code segment contribute nothing (the decoder
+    /// would have rejected them long before any cache lookup).
+    #[must_use]
+    pub fn code_range_hash(&self, start: crate::Addr, end: crate::Addr) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u32(start.0);
+        let mut at = start;
+        while at < end {
+            if let Some(w) = self.code.word_at(at) {
+                h.write_u32(w);
+            }
+            at = at.next();
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::Addr;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a 64 reference values.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn field_separation() {
+        // Length prefixes keep adjacent strings from gluing together.
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn data_hash_tracks_content_and_placement() {
+        let base = assemble("main: halt").unwrap();
+        let mut with_data = base.clone();
+        with_data
+            .data
+            .push(Segment::from_words(Addr(0x5000), &[1, 2, 3]));
+        assert_ne!(base.data_hash(), with_data.data_hash());
+
+        let mut moved = base.clone();
+        moved
+            .data
+            .push(Segment::from_words(Addr(0x6000), &[1, 2, 3]));
+        assert_ne!(with_data.data_hash(), moved.data_hash());
+
+        let mut same = base;
+        same.data
+            .push(Segment::from_words(Addr(0x5000), &[1, 2, 3]));
+        assert_eq!(with_data.data_hash(), same.data_hash());
+    }
+
+    #[test]
+    fn code_range_hash_sees_single_word_edits() {
+        let a = assemble("main: li r1, 4\n halt").unwrap();
+        let b = assemble("main: li r1, 5\n halt").unwrap();
+        let end = a.code.end();
+        assert_ne!(
+            a.code_range_hash(a.entry, end),
+            b.code_range_hash(b.entry, end)
+        );
+        assert_eq!(
+            a.code_range_hash(a.entry, end),
+            a.clone().code_range_hash(a.entry, end)
+        );
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`timing`] — the base instruction cost model shared by the
 //!   interpreter and the static pipeline analysis,
 //! * [`interp`] — a concrete interpreter that counts cycles, used to check
-//!   the soundness invariant (observed cycles ≤ WCET bound).
+//!   the soundness invariant (observed cycles ≤ WCET bound),
+//! * [`hash`] — stable (process-independent) content hashing, the key
+//!   substrate of the incremental analysis artifact cache.
 //!
 //! The ISA is deliberately expressive enough to encode every software
 //! structure the paper discusses: indirect jumps and calls (function
@@ -57,6 +59,7 @@ pub mod cache;
 pub mod decode;
 pub mod disasm;
 pub mod encode;
+pub mod hash;
 pub mod image;
 pub mod inst;
 pub mod interp;

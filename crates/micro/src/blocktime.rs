@@ -20,6 +20,7 @@
 //! MMIO window".
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use wcet_analysis::{FunctionAnalysis, Interval, Value};
 use wcet_cfg::block::BlockId;
@@ -29,6 +30,32 @@ use wcet_isa::{Addr, Inst};
 
 use crate::acs::Classification;
 use crate::cacheanalysis::CacheAnalysis;
+
+/// An access override whose range is inverted (`lo > hi`): the empty
+/// interval. Such a "fact" would silently drop the data-access charge for
+/// the instruction entirely — an unsound annotation must be rejected, not
+/// absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvertedRange {
+    /// The access the override named.
+    pub inst: Addr,
+    /// The (inverted) lower bound.
+    pub lo: u32,
+    /// The (inverted) upper bound.
+    pub hi: u32,
+}
+
+impl fmt::Display for InvertedRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access override for {} has an inverted range {:#x}..{:#x} (lo > hi)",
+            self.inst, self.lo, self.hi
+        )
+    }
+}
+
+impl std::error::Error for InvertedRange {}
 
 /// Annotation-supplied address ranges for specific accesses, keyed by the
 /// instruction address of the load/store. The analysis *intersects* its
@@ -46,8 +73,18 @@ impl AccessOverrides {
     }
 
     /// Declares that the access at `inst` only touches `[lo, hi]`.
-    pub fn restrict(&mut self, inst: Addr, lo: u32, hi: u32) {
+    ///
+    /// # Errors
+    ///
+    /// [`InvertedRange`] when `lo > hi`. This used to be accepted
+    /// silently, registering an *empty* interval whose meet with the
+    /// analysis result erased the access's memory charge.
+    pub fn restrict(&mut self, inst: Addr, lo: u32, hi: u32) -> Result<(), InvertedRange> {
+        if lo > hi {
+            return Err(InvertedRange { inst, lo, hi });
+        }
         self.ranges.insert(inst, Interval::new(lo, hi));
+        Ok(())
     }
 
     /// The override for `inst`, if any.
@@ -143,6 +180,18 @@ impl BlockTimes {
             bcet.push(lo);
         }
         BlockTimes { wcet, bcet }
+    }
+
+    /// Rebuilds block times from recorded per-block bounds (the
+    /// artifact-cache replay path). Returns `None` when the vectors
+    /// disagree in length or any worst case undercuts its best case —
+    /// a corrupted artifact must read as a cache miss, not as timing.
+    #[must_use]
+    pub fn from_raw(wcet: Vec<u64>, bcet: Vec<u64>) -> Option<BlockTimes> {
+        if wcet.len() != bcet.len() || wcet.iter().zip(&bcet).any(|(w, b)| w < b) {
+            return None;
+        }
+        Some(BlockTimes { wcet, bcet })
     }
 
     /// Worst-case cycles for block `b`.
@@ -367,10 +416,56 @@ mod tests {
             .map(|(a, _)| *a)
             .unwrap();
         let mut overrides = AccessOverrides::none();
-        overrides.restrict(lw_addr, 0x0, 0x000f_ffff); // SRAM only
+        overrides.restrict(lw_addr, 0x0, 0x000f_ffff).unwrap(); // SRAM only
         let tightened = BlockTimes::compute_with_overrides(&fa, &machine, &overrides);
         let b = fa.cfg().entry_block();
         assert!(tightened.wcet(b) < plain.wcet(b));
+    }
+
+    #[test]
+    fn inverted_override_range_is_rejected() {
+        // Regression: `restrict(_, lo, hi)` with lo > hi used to register
+        // an empty interval silently. It must be a hard error now.
+        let mut overrides = AccessOverrides::none();
+        let err = overrides.restrict(Addr(0x1004), 0x9000, 0x8000).unwrap_err();
+        assert_eq!(
+            err,
+            InvertedRange { inst: Addr(0x1004), lo: 0x9000, hi: 0x8000 }
+        );
+        assert!(err.to_string().contains("inverted"));
+        assert!(overrides.is_empty(), "a rejected override leaves no trace");
+
+        // Degenerate-but-valid single-address ranges still register.
+        overrides.restrict(Addr(0x1004), 0x8000, 0x8000).unwrap();
+        assert_eq!(overrides.len(), 1);
+        assert_eq!(
+            overrides.range_of(Addr(0x1004)),
+            Some(Interval::new(0x8000, 0x8000))
+        );
+    }
+
+    #[test]
+    fn rejected_override_does_not_change_block_times() {
+        // The unsound old behavior: an inverted range zeroed the memory
+        // charge of the access. Now the failed restrict leaves the
+        // conservative (slowest-region) charge in place.
+        let (_, fa) = analyze("main: mov r1, r4\n lw r2, 0(r1)\n halt");
+        let machine = MachineConfig::simple();
+        let plain = BlockTimes::compute(&fa, &machine);
+        let lw_addr = fa
+            .cfg()
+            .block(fa.cfg().entry_block())
+            .insts
+            .iter()
+            .find(|(_, i)| i.is_memory_access())
+            .map(|(a, _)| *a)
+            .unwrap();
+        let mut overrides = AccessOverrides::none();
+        assert!(overrides.restrict(lw_addr, 0x9000, 0x8000).is_err());
+        let after = BlockTimes::compute_with_overrides(&fa, &machine, &overrides);
+        let b = fa.cfg().entry_block();
+        assert_eq!(after.wcet(b), plain.wcet(b));
+        assert_eq!(after.bcet(b), plain.bcet(b));
     }
 
     #[test]

@@ -13,8 +13,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use wcet_analysis::loopbound::{BoundResult, LoopBounds, UnboundedReason};
-use wcet_analysis::FunctionAnalysis;
 use wcet_cfg::block::{BlockId, Terminator};
+use wcet_cfg::graph::Cfg;
+use wcet_cfg::loops::LoopForest;
 use wcet_ilp::{Model, Sense, SolveError, VarId};
 use wcet_micro::blocktime::BlockTimes;
 use wcet_isa::Addr;
@@ -101,17 +102,23 @@ impl WcetResult {
 
 /// Computes the WCET bound of the analyzed function.
 ///
+/// Takes the CFG and loop forest the timing phase analyzed (for virtual
+/// unrolling, the *peeled* pair) rather than a full `FunctionAnalysis`:
+/// the path phase never needs abstract states, and the incremental engine
+/// rebuilds exactly these two structures when replaying cached artifacts.
+///
 /// # Errors
 ///
 /// See [`PathError`].
 pub fn wcet(
-    fa: &FunctionAnalysis,
+    cfg: &Cfg,
+    forest: &LoopForest,
     times: &BlockTimes,
     bounds: &LoopBounds,
     facts: &[FlowFact],
     call_costs: &CallCosts,
 ) -> Result<WcetResult, PathError> {
-    solve(fa, times, bounds, facts, call_costs, Sense::Maximize)
+    solve(cfg, forest, times, bounds, facts, call_costs, Sense::Maximize)
 }
 
 /// Computes the BCET bound of the analyzed function (same system,
@@ -121,25 +128,26 @@ pub fn wcet(
 ///
 /// See [`PathError`].
 pub fn bcet(
-    fa: &FunctionAnalysis,
+    cfg: &Cfg,
+    forest: &LoopForest,
     times: &BlockTimes,
     bounds: &LoopBounds,
     facts: &[FlowFact],
     call_costs: &CallCosts,
 ) -> Result<WcetResult, PathError> {
-    solve(fa, times, bounds, facts, call_costs, Sense::Minimize)
+    solve(cfg, forest, times, bounds, facts, call_costs, Sense::Minimize)
 }
 
+#[allow(clippy::too_many_arguments)] // one IPET system, fully spelled out
 fn solve(
-    fa: &FunctionAnalysis,
+    cfg: &Cfg,
+    forest: &LoopForest,
     times: &BlockTimes,
     bounds: &LoopBounds,
     facts: &[FlowFact],
     call_costs: &CallCosts,
     sense: Sense,
 ) -> Result<WcetResult, PathError> {
-    let cfg = fa.cfg();
-
     // Precondition 1: no unresolved calls (unknown callees void any bound).
     if !cfg.unresolved.is_empty() {
         return Err(PathError::UnresolvedCall {
@@ -151,7 +159,7 @@ fn solve(
     let mut unbounded = Vec::new();
     for (id, result) in bounds.results() {
         if let BoundResult::Unbounded { reason } = result {
-            let header = fa.forest().info(*id).header;
+            let header = forest.info(*id).header;
             unbounded.push((cfg.block(header).start, *reason));
         }
     }
@@ -214,7 +222,7 @@ fn solve(
         let BoundResult::Bounded { max_iterations, .. } = result else {
             continue; // already rejected above
         };
-        let info = fa.forest().info(*id);
+        let info = forest.info(*id);
         let header = info.header;
         let mut terms: Vec<(VarId, f64)> = vec![(block_vars[header.0], 1.0)];
         let bound = *max_iterations as f64;
@@ -303,7 +311,7 @@ mod tests {
     use wcet_isa::asm::assemble;
     use wcet_isa::interp::{Interpreter, MachineConfig};
 
-    fn setup(src: &str) -> (wcet_isa::Image, FunctionAnalysis, BlockTimes) {
+    fn setup(src: &str) -> (wcet_isa::Image, wcet_analysis::FunctionAnalysis, BlockTimes) {
         let image = assemble(src).unwrap();
         let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
         let fa = analyze_function(&p, p.entry, &image);
@@ -314,7 +322,7 @@ mod tests {
     fn wcet_of(src: &str) -> (u64, u64) {
         // Returns (bound, observed).
         let (image, fa, times) = setup(src);
-        let result = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let result = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         let outcome = interp.run(1_000_000).unwrap();
         (result.wcet_cycles, outcome.cycles)
@@ -350,7 +358,7 @@ mod tests {
             done: halt
             "#,
         );
-        let result = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let result = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         let expensive = fa
             .cfg()
             .iter()
@@ -363,7 +371,7 @@ mod tests {
     #[test]
     fn unbounded_loop_is_an_error_with_reason() {
         let (_, fa, times) = setup("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
-        let err = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap_err();
+        let err = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap_err();
         match err {
             PathError::UnboundedLoop { loops } => {
                 assert_eq!(loops.len(), 1);
@@ -380,7 +388,7 @@ mod tests {
         let mut bounds = fa.loop_bounds();
         let id = bounds.results()[0].0;
         bounds.apply_annotation(id, 20);
-        let result = wcet(&fa, &times, &bounds, &[], &CallCosts::new()).unwrap();
+        let result = wcet(fa.cfg(), fa.forest(), &times, &bounds, &[], &CallCosts::new()).unwrap();
         // Observed with r4 = 20 must stay below the bound.
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         interp.set_reg(wcet_isa::Reg::new(4), 20);
@@ -401,7 +409,7 @@ mod tests {
             done: halt
             "#,
         );
-        let plain = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let plain = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         let expensive = fa
             .cfg()
             .iter()
@@ -410,14 +418,14 @@ mod tests {
             .0;
         let fact = FlowFact::exclude(expensive, "mode: expensive arm infeasible");
         let constrained =
-            wcet(&fa, &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
+            wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
         assert!(constrained.wcet_cycles < plain.wcet_cycles);
     }
 
     #[test]
     fn unresolved_call_is_an_error() {
         let (_, fa, times) = setup("main: callr r4\n halt");
-        let err = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap_err();
+        let err = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap_err();
         assert!(matches!(err, PathError::UnresolvedCall { .. }));
     }
 
@@ -432,12 +440,12 @@ mod tests {
 
         let mut costs = CallCosts::new();
         costs.insert(f_entry, 0);
-        let base = wcet(&fa, &times, &fa.loop_bounds(), &[], &costs).unwrap();
+        let base = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &costs).unwrap();
         costs.insert(f_entry, 100);
-        let with_callee = wcet(&fa, &times, &fa.loop_bounds(), &[], &costs).unwrap();
+        let with_callee = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &costs).unwrap();
         assert_eq!(with_callee.wcet_cycles, base.wcet_cycles + 100);
 
-        let missing = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new());
+        let missing = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new());
         assert!(matches!(missing, Err(PathError::MissingCallee { .. })));
     }
 
@@ -446,8 +454,8 @@ mod tests {
         let (_, fa, times) = setup(
             "main: beq r4, r0, cheap\n mul r1, r2, r3\n j done\ncheap: nop\ndone: halt",
         );
-        let hi = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
-        let lo = bcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let hi = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let lo = bcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         assert!(lo.wcet_cycles < hi.wcet_cycles);
     }
 
@@ -465,9 +473,9 @@ mod tests {
             2.0,
             "calibration runs at least twice",
         );
-        let lo_plain = bcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let lo_plain = bcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         let lo_forced =
-            bcet(&fa, &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
+            bcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
         assert!(lo_forced.wcet_cycles >= lo_plain.wcet_cycles);
         assert!(lo_forced.count(loop_block) >= 2);
     }
@@ -492,10 +500,10 @@ mod tests {
         );
         let a_arm = fa.cfg().block_at(fa.entry.offset(12)).unwrap();
         let b_arm = fa.cfg().block_at(fa.entry.offset(20)).unwrap();
-        let plain = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let plain = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         // Budget: the two arms together may run at most 3 of the 6 times…
         let fact = FlowFact::mutually_exclusive(a_arm, b_arm, 3, "arm budget");
-        let tight = wcet(&fa, &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
+        let tight = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
         assert!(tight.wcet_cycles < plain.wcet_cycles);
         assert!(tight.count(a_arm) + tight.count(b_arm) <= 3);
     }
@@ -507,7 +515,7 @@ mod tests {
         // The entry must execute exactly once, so forbidding it is
         // infeasible.
         let fact = FlowFact::exclude(entry, "contradiction");
-        let err = wcet(&fa, &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap_err();
+        let err = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap_err();
         assert!(matches!(err, PathError::Solver(_)));
     }
 
@@ -516,7 +524,7 @@ mod tests {
         let (_, fa, times) = setup(
             "main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
         );
-        let result = wcet(&fa, &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let result = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
         assert_eq!(result.worst_path.first(), Some(&fa.cfg().entry_block()));
         // The path visits the loop block `bound` times.
         let loop_block = fa.cfg().block_at(fa.entry.offset(4)).unwrap();

@@ -30,7 +30,14 @@
 //! let p = reconstruct(&image, &TargetResolver::empty())?;
 //! let fa = analyze_function(&p, p.entry, &image);
 //! let times = BlockTimes::compute(&fa, &MachineConfig::simple());
-//! let result = ipet::wcet(&fa, &times, &fa.loop_bounds(), &[], &Default::default())?;
+//! let result = ipet::wcet(
+//!     fa.cfg(),
+//!     fa.forest(),
+//!     &times,
+//!     &fa.loop_bounds(),
+//!     &[],
+//!     &ipet::CallCosts::new(),
+//! )?;
 //! assert!(result.wcet_cycles > 0);
 //! # Ok(())
 //! # }

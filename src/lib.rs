@@ -6,6 +6,8 @@
 //! through one dependency. See the repository `README.md`, `DESIGN.md`,
 //! and `EXPERIMENTS.md` for the system inventory and experiment index.
 
+pub mod render;
+
 pub use wcet_analysis as analysis;
 pub use wcet_arith as arith;
 pub use wcet_cfg as cfg;

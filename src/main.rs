@@ -7,21 +7,31 @@
 //!   --unroll                     virtually unroll loops (context expansion)
 //!   --threads <n>                analysis worker threads (default: all
 //!                                cores; 1 = sequential; same report either way)
+//!   --cache-dir <dir>            persistent artifact cache: unchanged
+//!                                functions replay cached analysis results
+//!                                (hit statistics go to stderr; stdout is
+//!                                byte-identical to an uncached run)
 //!   --disasm                     print the disassembly listing
 //!   --check-only                 run only the MISRA guideline checker
 //!   --run                        also execute and report observed cycles
+//! wcet batch <manifest> [opts]   analyze a stream of requests against a
+//!                                shared cache; manifest lines are
+//!                                `<program.s> [annotations-file]`
 //! wcet --table1 [samples]        regenerate the paper's Table 1
 //! wcet --experiments             regenerate every experiment (E1–E16)
 //! ```
 
 use std::process::ExitCode;
 
-use wcet_predictability::core::analyzer::{AnalyzerConfig, WcetAnalyzer};
+use wcet_predictability::core::analyzer::{AnalysisReport, AnalyzerConfig, WcetAnalyzer};
+use wcet_predictability::core::incr::ArtifactCache;
 use wcet_predictability::core::experiments;
 use wcet_predictability::guidelines::annot::AnnotationSet;
 use wcet_predictability::isa::asm::assemble;
 use wcet_predictability::isa::disasm::disassemble;
 use wcet_predictability::isa::interp::{Interpreter, MachineConfig};
+use wcet_predictability::isa::Image;
+use wcet_predictability::render;
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -31,6 +41,19 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Options shared by the single-image and batch front ends.
+#[derive(Default)]
+struct CliOptions {
+    annot_path: Option<String>,
+    caches: bool,
+    unroll: bool,
+    show_disasm: bool,
+    check_only: bool,
+    also_run: bool,
+    parallelism: Option<usize>,
+    cache_dir: Option<String>,
 }
 
 fn run(args: Vec<String>) -> Result<(), String> {
@@ -57,139 +80,47 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Ok(());
     }
 
-    // Analyze mode.
-    let mut source_path: Option<String> = None;
-    let mut annot_path: Option<String> = None;
-    let mut caches = false;
-    let mut unroll = false;
-    let mut show_disasm = false;
-    let mut check_only = false;
-    let mut also_run = false;
-    let mut parallelism: Option<usize> = None;
-
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--annotations" => {
-                annot_path = Some(
-                    it.next()
-                        .ok_or_else(|| "--annotations needs a file".to_owned())?,
-                );
-            }
-            "--threads" => {
-                let raw = it
-                    .next()
-                    .ok_or_else(|| "--threads needs a count".to_owned())?;
-                let n: usize = raw
-                    .parse()
-                    .map_err(|_| format!("invalid thread count `{raw}`"))?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".to_owned());
-                }
-                parallelism = Some(n);
-            }
-            "--caches" => caches = true,
-            "--unroll" => unroll = true,
-            "--disasm" => show_disasm = true,
-            "--check-only" => check_only = true,
-            "--run" => also_run = true,
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option `{other}` (try --help)"));
-            }
-            path => {
-                if source_path.replace(path.to_owned()).is_some() {
-                    return Err("more than one program file given".to_owned());
-                }
-            }
-        }
+    if args[0] == "batch" {
+        let (opts, files) = parse_options(&args[1..])?;
+        let manifest = match files.as_slice() {
+            [one] => one.clone(),
+            [] => return Err("batch mode needs a manifest file".to_owned()),
+            _ => return Err("batch mode takes exactly one manifest file".to_owned()),
+        };
+        return run_batch(&manifest, &opts);
     }
-    let source_path = source_path.ok_or_else(|| "no program file given".to_owned())?;
 
-    let source = std::fs::read_to_string(&source_path)
-        .map_err(|e| format!("cannot read {source_path}: {e}"))?;
-    let image = assemble(&source).map_err(|e| format!("{source_path}: {e}"))?;
-
-    let annotations = match &annot_path {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            AnnotationSet::parse(&text).map_err(|e| format!("{path}: {e}"))?
-        }
-        None => AnnotationSet::new(),
+    // Single-image analyze mode.
+    let (opts, files) = parse_options(&args)?;
+    let source_path = match files.as_slice() {
+        [one] => one.clone(),
+        [] => return Err("no program file given".to_owned()),
+        _ => return Err("more than one program file given".to_owned()),
     };
+    let image = load_image(&source_path)?;
+    let annotations = load_annotations(opts.annot_path.as_deref())?;
 
-    if show_disasm {
+    if opts.show_disasm {
         println!("── disassembly ──");
         println!("{}", disassemble(&image).map_err(|e| e.to_string())?);
     }
 
-    let machine = if caches {
-        MachineConfig::with_caches()
-    } else {
-        MachineConfig::simple()
-    };
-    let config = AnalyzerConfig {
-        machine: machine.clone(),
-        annotations,
-        unrolling: unroll,
-        parallelism,
-        ..AnalyzerConfig::new()
-    };
-    let report = WcetAnalyzer::with_config(config)
-        .analyze(&image)
-        .map_err(|e| e.to_string())?;
+    let mut cache = open_cache(opts.cache_dir.as_deref())?;
+    let (report, machine) = analyze_one(&image, annotations, &opts, cache.as_mut())?;
+    if let Some(stats) = &report.incr {
+        eprintln!("wcet: {stats}");
+    }
 
-    if let Some(guidelines) = &report.guidelines {
-        println!("── guideline check ──");
-        print!("{guidelines}");
+    print!("{}", render::render_guidelines(&report));
+    if report.guidelines.is_some() {
         println!();
-        if check_only {
+        if opts.check_only {
             return Ok(());
         }
     }
+    print!("{}", render::render_analysis(&image, &report));
 
-    println!("── analysis ──");
-    println!("{}", report.trace);
-    println!();
-    println!("task WCET bound: {} cycles", report.wcet_cycles);
-    println!("task BCET bound: {} cycles", report.bcet_cycles);
-    if report.mode_wcet.len() > 1 {
-        println!();
-        println!("── per-mode WCET bounds ──");
-        for (mode, wcet) in &report.mode_wcet {
-            println!(
-                "  {:<12} {wcet} cycles",
-                mode.as_deref().unwrap_or("(global)")
-            );
-        }
-    }
-
-    // The worst-case path as a symbolized block trace (abbreviated). Use
-    // the CFG the path was computed on: under --unroll that is the peeled
-    // copy, whose ids exceed the original entry CFG's range.
-    let entry_cfg = report.analyzed_entry_cfg();
-    let path_blocks: Vec<String> = report
-        .worst_path
-        .iter()
-        .take(24)
-        .map(|&b| {
-            let start = entry_cfg.block(b).start;
-            image
-                .symbol_at(start)
-                .map(str::to_owned)
-                .unwrap_or_else(|| start.to_string())
-        })
-        .collect();
-    if !path_blocks.is_empty() {
-        println!();
-        println!(
-            "worst-case path: {}{}",
-            path_blocks.join(" → "),
-            if report.worst_path.len() > 24 { " → …" } else { "" }
-        );
-    }
-
-    if also_run {
+    if opts.also_run {
         let mut interp = Interpreter::with_config(&image, machine);
         let outcome = interp
             .run(100_000_000)
@@ -205,12 +136,182 @@ fn run(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Analyzes a manifest of `<program.s> [annotations]` requests against a
+/// shared artifact cache — the service-shaped entry point: most requests
+/// in a stream are small deltas, and the cache turns them into replays.
+fn run_batch(manifest_path: &str, opts: &CliOptions) -> Result<(), String> {
+    let manifest = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+    let manifest_dir = std::path::Path::new(manifest_path)
+        .parent()
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
+    let mut cache = open_cache(opts.cache_dir.as_deref())?;
+
+    let mut requests = 0usize;
+    let mut total_fn_hits = 0usize;
+    let mut total_fns = 0usize;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let program = parts.next().expect("nonempty line");
+        let annot = parts.next();
+        if parts.next().is_some() {
+            return Err(format!(
+                "{manifest_path}:{}: expected `<program.s> [annotations]`",
+                idx + 1
+            ));
+        }
+        // Paths resolve relative to the manifest, so a request file can
+        // ship next to its programs.
+        let resolve = |p: &str| {
+            let as_path = std::path::Path::new(p);
+            if as_path.is_absolute() || manifest_dir.as_os_str().is_empty() {
+                p.to_owned()
+            } else {
+                manifest_dir.join(as_path).to_string_lossy().into_owned()
+            }
+        };
+        let program = resolve(program);
+        let annot = annot.map(resolve);
+
+        let image = load_image(&program)?;
+        let annotations = load_annotations(annot.as_deref())?;
+        let (report, _) = analyze_one(&image, annotations, opts, cache.as_mut())?;
+
+        requests += 1;
+        println!("── batch: {program} ──");
+        print!("{}", render::render_report(&image, &report));
+        println!();
+        if let Some(stats) = &report.incr {
+            eprintln!("wcet: {program}: {stats}");
+            total_fn_hits += stats.fn_hits;
+            total_fns += stats.functions;
+        }
+    }
+    if requests == 0 {
+        return Err(format!("{manifest_path}: no requests in manifest"));
+    }
+    if opts.cache_dir.is_some() {
+        eprintln!(
+            "wcet: batch done: {requests} request(s), {total_fn_hits}/{total_fns} \
+             function artifact(s) served from cache"
+        );
+    }
+    Ok(())
+}
+
+fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
+    let mut opts = CliOptions::default();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--annotations" => {
+                opts.annot_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--annotations needs a file".to_owned())?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a count".to_owned())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{raw}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                opts.parallelism = Some(n);
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--cache-dir needs a directory".to_owned())?
+                        .clone(),
+                );
+            }
+            "--caches" => opts.caches = true,
+            "--unroll" => opts.unroll = true,
+            "--disasm" => opts.show_disasm = true,
+            "--check-only" => opts.check_only = true,
+            "--run" => opts.also_run = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"));
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    Ok((opts, files))
+}
+
+fn load_image(source_path: &str) -> Result<Image, String> {
+    let source = std::fs::read_to_string(source_path)
+        .map_err(|e| format!("cannot read {source_path}: {e}"))?;
+    assemble(&source).map_err(|e| format!("{source_path}: {e}"))
+}
+
+fn load_annotations(path: Option<&str>) -> Result<AnnotationSet, String> {
+    match path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            AnnotationSet::parse(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        None => Ok(AnnotationSet::new()),
+    }
+}
+
+fn open_cache(dir: Option<&str>) -> Result<Option<ArtifactCache>, String> {
+    match dir {
+        Some(dir) => ArtifactCache::open(dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open cache directory {dir}: {e}")),
+        None => Ok(None),
+    }
+}
+
+fn analyze_one(
+    image: &Image,
+    annotations: AnnotationSet,
+    opts: &CliOptions,
+    cache: Option<&mut ArtifactCache>,
+) -> Result<(AnalysisReport, MachineConfig), String> {
+    let machine = if opts.caches {
+        MachineConfig::with_caches()
+    } else {
+        MachineConfig::simple()
+    };
+    let config = AnalyzerConfig {
+        machine: machine.clone(),
+        annotations,
+        unrolling: opts.unroll,
+        parallelism: opts.parallelism,
+        ..AnalyzerConfig::new()
+    };
+    let analyzer = WcetAnalyzer::with_config(config);
+    let report = match cache {
+        Some(cache) => analyzer.analyze_incremental(image, cache),
+        None => analyzer.analyze(image),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok((report, machine))
+}
+
 fn print_usage() {
     println!(
         "wcet — static WCET analyzer (reproduction of 'Software Structure \
          and WCET Predictability', PPES/DATE 2011)\n\n\
          usage:\n  wcet <program.s> [--annotations <file>] [--caches] \
-         [--unroll] [--threads <n>] [--disasm] [--check-only] [--run]\n  \
+         [--unroll] [--threads <n>] [--cache-dir <dir>] [--disasm] \
+         [--check-only] [--run]\n  \
+         wcet batch <manifest> [--cache-dir <dir>] [--caches] [--unroll] \
+         [--threads <n>]\n  \
          wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }

@@ -100,6 +100,151 @@ fn threads_flag_is_validated_and_bounds_agree() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The CI contract for the warm-cache job, enforced on every test run:
+/// analyzing twice against a shared cache directory leaves stdout
+/// byte-identical, and the second (warm) run reports a nonzero cache-hit
+/// count on stderr.
+#[test]
+fn warm_cache_run_is_byte_identical_with_nonzero_hits() {
+    let dir = std::env::temp_dir().join(format!("wcet-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let program = dir.join("fanout.s");
+    std::fs::write(
+        &program,
+        ".org 0x1000\n\
+         main:\n\
+             call f0\n\
+             call f1\n\
+             halt\n\
+         f0:\n\
+             li   r1, 6\n\
+         f0l:\n\
+             subi r1, r1, 1\n\
+             bne  r1, r0, f0l\n\
+             ret\n\
+         f1:\n\
+             li   r1, 9\n\
+         f1l:\n\
+             subi r1, r1, 1\n\
+             bne  r1, r0, f1l\n\
+             ret\n",
+    )
+    .expect("write program");
+    let cache_dir = dir.join("cache");
+    let args = [
+        program.to_str().unwrap(),
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ];
+
+    let strip_timings = |stdout: &[u8]| {
+        // Phase lines carry wall clocks; everything else must match.
+        String::from_utf8_lossy(stdout)
+            .lines()
+            .filter(|l| !l.contains("Phase") && !l.contains("Graph") && !l.contains("Analysis:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let cold = wcet(&args);
+    assert!(cold.status.success(), "cold cached run exits 0");
+    let cold_stderr = String::from_utf8_lossy(&cold.stderr).into_owned();
+    assert!(
+        cold_stderr.contains("0/3 function artifact(s) hit"),
+        "cold run misses everything:\n{cold_stderr}"
+    );
+
+    let warm = wcet(&args);
+    assert!(warm.status.success(), "warm cached run exits 0");
+    assert_eq!(
+        strip_timings(&cold.stdout),
+        strip_timings(&warm.stdout),
+        "warm stdout diverged from cold"
+    );
+    let warm_stderr = String::from_utf8_lossy(&warm.stderr).into_owned();
+    assert!(
+        warm_stderr.contains("3/3 function artifact(s) hit"),
+        "warm run hits everything:\n{warm_stderr}"
+    );
+    assert!(
+        warm_stderr.contains("0 IPET solve(s)"),
+        "warm run re-solved nothing:\n{warm_stderr}"
+    );
+
+    // An uncached run of the same program prints the same analysis.
+    let plain = wcet(&[program.to_str().unwrap()]);
+    assert!(plain.status.success());
+    assert_eq!(strip_timings(&plain.stdout), strip_timings(&warm.stdout));
+    assert!(plain.stderr.is_empty(), "no cache chatter without --cache-dir");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_mode_analyzes_a_manifest_against_a_shared_cache() {
+    let dir = std::env::temp_dir().join(format!("wcet-cli-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(
+        dir.join("counter.s"),
+        ".org 0x1000\nmain:\n li r1, 12\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n halt\n",
+    )
+    .expect("write counter");
+    std::fs::write(
+        dir.join("bounded.s"),
+        ".org 0x1000\nmain:\n mov r1, r4\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n halt\n",
+    )
+    .expect("write bounded");
+    std::fs::write(dir.join("bounded.ann"), "loop 0x1004 bound 32;\n").expect("write annots");
+    // The same program twice: the second request replays the first's
+    // artifacts within one batch run.
+    std::fs::write(
+        dir.join("requests.txt"),
+        "# one request per line: <program.s> [annotations]\n\
+         counter.s\n\
+         bounded.s bounded.ann\n\
+         counter.s\n",
+    )
+    .expect("write manifest");
+
+    let cache_dir = dir.join("cache");
+    let out = wcet(&[
+        "batch",
+        dir.join("requests.txt").to_str().unwrap(),
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "batch run exits 0: {:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(
+        stdout.matches("── batch: ").count(),
+        3,
+        "three request banners:\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("task WCET bound:").count(),
+        3,
+        "three analyses:\n{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("batch done: 3 request(s)"),
+        "summary missing:\n{stderr}"
+    );
+    // counter.s appears twice; its single function replays on the repeat.
+    assert!(
+        stderr.contains("1/1 function artifact(s) hit"),
+        "repeat request hits the shared cache:\n{stderr}"
+    );
+
+    // Batch without a manifest fails with a diagnostic.
+    let bad = wcet(&["batch"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("manifest"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn analyzes_an_assembly_file_end_to_end() {
     let dir = std::env::temp_dir().join(format!("wcet-cli-smoke-{}", std::process::id()));

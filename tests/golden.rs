@@ -1,0 +1,99 @@
+//! Golden snapshot tests for the `wcet` report rendering: one canonical
+//! text report per named workload, checked into `tests/golden/`. Any
+//! formatting or result drift fails here; regenerate *deliberately* with
+//!
+//! ```text
+//! WCET_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! and review the diff like any other code change. Timings are zeroed
+//! before rendering (they are real clocks); everything else — phase
+//! counters, guideline findings, bounds, mode tables, the symbolized
+//! worst-case path — is pinned byte for byte.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use wcet_predictability::core::analyzer::{AnalyzerConfig, WcetAnalyzer};
+use wcet_predictability::core::workload::{self, Workload};
+use wcet_predictability::render;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The canonical report text of one workload under the default machine
+/// (its annotations applied), with clocks zeroed.
+fn canonical_report(w: &Workload) -> String {
+    let config = AnalyzerConfig {
+        annotations: w.annotations.clone(),
+        ..AnalyzerConfig::new()
+    };
+    let mut report = WcetAnalyzer::with_config(config)
+        .analyze(&w.image)
+        .unwrap_or_else(|e| panic!("workload {} analyzes: {e}", w.name));
+    report.trace.phase_times = Default::default();
+    report.trace.phase_work_times = Default::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "# workload: {} — {}", w.name, w.description);
+    out.push_str(&render::render_report(&w.image, &report));
+    out
+}
+
+#[test]
+fn golden_reports_for_all_workloads() {
+    let bless = std::env::var_os("WCET_BLESS").is_some();
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("golden dir creatable");
+    }
+    let mut drifted = Vec::new();
+    for w in workload::all_ten() {
+        let rendered = canonical_report(&w);
+        let path = dir.join(format!("{}.txt", w.name));
+        if bless {
+            std::fs::write(&path, &rendered).expect("golden file writable");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden snapshot {}; regenerate with WCET_BLESS=1 cargo test --test golden",
+                path.display()
+            )
+        });
+        if rendered != expected {
+            drifted.push(format!(
+                "{}: rendered report differs from {}\n--- expected\n{expected}\n--- rendered\n{rendered}",
+                w.name,
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "{} golden snapshot(s) drifted (regenerate deliberately with WCET_BLESS=1):\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn golden_corpus_is_exactly_the_checked_in_set() {
+    if std::env::var_os("WCET_BLESS").is_some() {
+        // The blessing test may still be writing files concurrently.
+        return;
+    }
+    // A snapshot on disk without a generating workload is dead weight —
+    // catch removals in both directions.
+    let mut expected: Vec<String> = workload::all_ten()
+        .iter()
+        .map(|w| format!("{}.txt", w.name))
+        .collect();
+    expected.sort();
+    let mut on_disk: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("golden dir exists (bless once with WCET_BLESS=1)")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, expected);
+}

@@ -163,6 +163,111 @@ fn soundness_sweep() {
     }
 }
 
+/// The end-to-end soundness oracle over the ten named workloads: each
+/// runs concretely through `isa::interp` with cycle accounting, and the
+/// observed cycles must lie within the analyzer's [BCET, WCET] envelope —
+/// under the default configuration, under `--unroll`, and under the
+/// cached machine model with unrolling.
+#[test]
+fn workload_soundness_oracle() {
+    use wcet_predictability::core::analyzer::AnalyzerConfig;
+    use wcet_predictability::core::workload;
+
+    for w in workload::all_ten() {
+        for (machine, unrolling) in [
+            (MachineConfig::simple(), false),
+            (MachineConfig::simple(), true),
+            (MachineConfig::with_caches(), true),
+        ] {
+            let config = AnalyzerConfig {
+                machine: machine.clone(),
+                annotations: w.annotations.clone(),
+                unrolling,
+                ..AnalyzerConfig::new()
+            };
+            let report = WcetAnalyzer::with_config(config)
+                .analyze(&w.image)
+                .unwrap_or_else(|e| {
+                    panic!("workload {} (unroll: {unrolling}) analyzes: {e}", w.name)
+                });
+            let mut interp = Interpreter::with_config(&w.image, machine);
+            let outcome = interp
+                .run(10_000_000)
+                .unwrap_or_else(|e| panic!("workload {} halts: {e}", w.name));
+            assert!(
+                outcome.cycles <= report.wcet_cycles,
+                "{} (unroll: {unrolling}): observed {} > WCET bound {}",
+                w.name,
+                outcome.cycles,
+                report.wcet_cycles
+            );
+            assert!(
+                outcome.cycles >= report.bcet_cycles,
+                "{} (unroll: {unrolling}): observed {} < BCET bound {}",
+                w.name,
+                outcome.cycles,
+                report.bcet_cycles
+            );
+        }
+    }
+}
+
+/// The oracle again, driving the workloads with adversarial inputs: the
+/// mode register, device flags, and transfer lengths are forced to their
+/// documented worst cases, which must still sit under the bound.
+#[test]
+fn workload_oracle_with_forced_inputs() {
+    use wcet_predictability::core::analyzer::AnalyzerConfig;
+    use wcet_predictability::core::workload;
+    use wcet_predictability::isa::Addr;
+
+    // (workload, MMIO pokes): each poke drives the worst documented case.
+    let cases: Vec<(_, Vec<(u32, u32)>)> = vec![
+        // Air mode (the long gain-scheduling loop).
+        (workload::flight_control(), vec![(0xf000_0000, 1)]),
+        // rx pending with the full 16-word transfer length. (Forcing rx
+        // *and* tx together would violate the workload's documented
+        // design contract — `mutex rx_head, tx_head capacity 1` — and
+        // the bound is conditional on that contract.)
+        (
+            workload::message_handler(16),
+            vec![(0xf000_0000, 1), (0xf000_0008, 16)],
+        ),
+        // The most expensive handler of the state machine.
+        (workload::state_machine(4), vec![(0xf000_0000, 3)]),
+        // Every error flag raised at once (the paper's "all errors at
+        // once" pessimism — still within the un-annotated bound).
+        (
+            workload::error_handling(4),
+            vec![
+                (0xf000_0000, 1),
+                (0xf000_0004, 1),
+                (0xf000_0008, 1),
+                (0xf000_000c, 1),
+            ],
+        ),
+    ];
+    for (w, pokes) in cases {
+        let config = AnalyzerConfig {
+            annotations: w.annotations.clone(),
+            ..AnalyzerConfig::new()
+        };
+        let report = WcetAnalyzer::with_config(config).analyze(&w.image).unwrap();
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        for (addr, value) in pokes {
+            interp.poke_word(Addr(addr), value);
+        }
+        let outcome = interp.run(10_000_000).unwrap();
+        assert!(
+            outcome.cycles <= report.wcet_cycles,
+            "{}: forced-input run {} > WCET {}",
+            w.name,
+            outcome.cycles,
+            report.wcet_cycles
+        );
+    }
+}
+
 /// The division kernels obey the same envelope once annotated.
 #[test]
 fn kernel_soundness() {
