@@ -154,9 +154,10 @@ mod tests {
         let mut image = assemble(src).unwrap();
         let h1 = image.symbol("h1").unwrap();
         let h2 = image.symbol("h2").unwrap();
-        image
-            .data
-            .push(wcet_isa::image::Segment::from_words(Addr(0x5000), &[h1.0, h2.0]));
+        image.data.push(wcet_isa::image::Segment::from_words(
+            Addr(0x5000),
+            &[h1.0, h2.0],
+        ));
         let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
         assert_eq!(p.unresolved_sites().len(), 1, "callr initially unresolved");
 

@@ -399,7 +399,9 @@ mod tests {
         let near_max = Interval::new(u32::MAX - 1, u32::MAX);
         assert!(near_max.add(Interval::constant(5)).is_top());
         assert!(Interval::constant(0).sub(Interval::constant(1)).is_top());
-        assert!(Interval::constant(1 << 20).mul(Interval::constant(1 << 20)).is_top());
+        assert!(Interval::constant(1 << 20)
+            .mul(Interval::constant(1 << 20))
+            .is_top());
     }
 
     #[test]
@@ -432,18 +434,20 @@ mod tests {
         let x = Interval::new(0, 100);
         assert_eq!(x.refine_ltu(Interval::constant(10)), Interval::new(0, 9));
         assert_eq!(x.refine_geu(Interval::constant(90)), Interval::new(90, 100));
-        assert!(Interval::constant(5).refine_geu(Interval::constant(6)).is_bottom());
+        assert!(Interval::constant(5)
+            .refine_geu(Interval::constant(6))
+            .is_bottom());
     }
 
     #[test]
     fn signed_bounds() {
         assert_eq!(Interval::new(1, 5).signed_bounds(), Some((1, 5)));
-        assert_eq!(
-            Interval::constant(u32::MAX).signed_bounds(),
-            Some((-1, -1))
-        );
+        assert_eq!(Interval::constant(u32::MAX).signed_bounds(), Some((-1, -1)));
         // Straddles the sign boundary.
-        assert_eq!(Interval::new(0x7fff_ffff, 0x8000_0000).signed_bounds(), None);
+        assert_eq!(
+            Interval::new(0x7fff_ffff, 0x8000_0000).signed_bounds(),
+            None
+        );
     }
 
     #[test]

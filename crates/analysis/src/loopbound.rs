@@ -256,9 +256,7 @@ fn exit_bound(
             fallthrough,
             float: false,
         } => (c, taken, fallthrough),
-        Terminator::CondBranch { float: true, .. } => {
-            return Err(UnboundedReason::FloatControlled)
-        }
+        Terminator::CondBranch { float: true, .. } => return Err(UnboundedReason::FloatControlled),
         _ => return Err(UnboundedReason::NoPattern),
     };
     let Some((_, Inst::Branch { rs1, rs2, .. })) = block.insts.last().copied() else {
@@ -275,10 +273,8 @@ fn exit_bound(
             .copied()
             .find(|&s| cfg.block(s).start == addr)
     };
-    let taken_in_loop = successor_starting_at(taken)
-        .is_some_and(|b| info.blocks.contains(&b));
-    let fall_in_loop = successor_starting_at(fallthrough)
-        .is_some_and(|b| info.blocks.contains(&b));
+    let taken_in_loop = successor_starting_at(taken).is_some_and(|b| info.blocks.contains(&b));
+    let fall_in_loop = successor_starting_at(fallthrough).is_some_and(|b| info.blocks.contains(&b));
     let continue_cond = match (taken_in_loop, fall_in_loop) {
         (true, false) => cond,
         (false, true) => cond.negate(),
@@ -294,7 +290,10 @@ fn exit_bound(
     let limit_value_at_branch = |reg: Reg| -> Option<crate::interval::Interval> {
         let branch_addr = block.insts.last().map(|(a, _)| *a)?;
         let state = fa.state_before(branch_addr)?;
-        state.reg(reg).as_constant().map(crate::interval::Interval::constant)
+        state
+            .reg(reg)
+            .as_constant()
+            .map(crate::interval::Interval::constant)
     };
     let limit_ok = |defs: &[Inst], reg: Reg| -> bool {
         defs.is_empty() || limit_value_at_branch(reg).is_some()
@@ -312,8 +311,8 @@ fn exit_bound(
             return Err(UnboundedReason::NoPattern);
         };
 
-    let (update_block, update_idx) = counter_def_site(fa, info, counter)
-        .ok_or(UnboundedReason::NoPattern)?;
+    let (update_block, update_idx) =
+        counter_def_site(fa, info, counter).ok_or(UnboundedReason::NoPattern)?;
     let step = counter_step(&counter_defs, counter).ok_or(UnboundedReason::ComplexCounterUpdate)?;
     if step == 0 {
         return Err(UnboundedReason::NoPattern);
@@ -414,11 +413,7 @@ fn counter_step(defs: &[Inst], counter: Reg) -> Option<i64> {
 }
 
 /// The block and in-block index of the (single) counter update.
-fn counter_def_site(
-    fa: &FunctionAnalysis,
-    info: &LoopInfo,
-    reg: Reg,
-) -> Option<(BlockId, usize)> {
+fn counter_def_site(fa: &FunctionAnalysis, info: &LoopInfo, reg: Reg) -> Option<(BlockId, usize)> {
     for &b in info.blocks.iter() {
         for (idx, (_, inst)) in fa.cfg().block(b).insts.iter().enumerate() {
             if inst.def_reg() == Some(reg) {
@@ -727,10 +722,7 @@ mod tests {
         assert!(!b.all_bounded());
         b.apply_annotation(id, 64);
         assert!(b.all_bounded());
-        assert_eq!(
-            b.bound(id).unwrap().max_iterations(),
-            Some(64)
-        );
+        assert_eq!(b.bound(id).unwrap().max_iterations(), Some(64));
         assert!(matches!(
             b.bound(id).unwrap(),
             BoundResult::Bounded {

@@ -112,9 +112,7 @@ impl AbstractState {
         let mem = self
             .mem
             .iter()
-            .filter_map(|(addr, v)| {
-                other.mem.get(addr).map(|w| (*addr, v.join(w)))
-            })
+            .filter_map(|(addr, v)| other.mem.get(addr).map(|w| (*addr, v.join(w))))
             .collect();
         AbstractState { regs, mem }
     }
@@ -126,12 +124,28 @@ impl AbstractState {
         let mem = self
             .mem
             .iter()
-            .filter_map(|(addr, v)| {
-                next.mem.get(addr).map(|w| (*addr, v.widen(w)))
-            })
+            .filter_map(|(addr, v)| next.mem.get(addr).map(|w| (*addr, v.widen(w))))
             .filter(|(_, v)| !v.is_top())
             .collect();
         AbstractState { regs, mem }
+    }
+
+    /// A stable content digest of the state (FNV-1a via
+    /// [`wcet_isa::hash`]): the incremental engine keys per-context IPET
+    /// solutions on the digest of the context's entry state, so two runs
+    /// (and two processes) must agree on it byte for byte.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = wcet_isa::hash::StableHasher::new();
+        for v in &self.regs {
+            v.digest_into(&mut h);
+        }
+        h.write_usize(self.mem.len());
+        for (addr, v) in &self.mem {
+            h.write_u32(*addr);
+            v.digest_into(&mut h);
+        }
+        h.finish()
     }
 
     /// The domain partial order: true if `self` is at least as precise as
@@ -145,11 +159,10 @@ impl AbstractState {
             }
         }
         // Every memory fact claimed by `other` must be implied by `self`.
-        other.mem.iter().all(|(addr, w)| {
-            self.mem
-                .get(addr)
-                .is_some_and(|v| v.is_subsumed_by(w))
-        })
+        other
+            .mem
+            .iter()
+            .all(|(addr, w)| self.mem.get(addr).is_some_and(|v| v.is_subsumed_by(w)))
     }
 }
 
@@ -195,7 +208,10 @@ mod tests {
         let j = a.join(&b);
         assert!(j.mem_word(0x100).may_be(1));
         assert!(j.mem_word(0x100).may_be(5));
-        assert!(j.mem_word(0x104).is_top(), "0x104 unknown in b → unknown in join");
+        assert!(
+            j.mem_word(0x104).is_top(),
+            "0x104 unknown in b → unknown in join"
+        );
     }
 
     #[test]

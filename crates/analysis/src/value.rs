@@ -196,6 +196,29 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Absorbs the value into a stable hasher (the incremental engine's
+    /// context-entry digests; `std::hash` makes no cross-process
+    /// promise).
+    pub fn digest_into(&self, h: &mut wcet_isa::hash::StableHasher) {
+        match self {
+            Value::Bot => h.write_u32(0),
+            Value::Set(s) => {
+                h.write_u32(1);
+                h.write_usize(s.len());
+                for &v in s {
+                    h.write_u32(v);
+                }
+            }
+            Value::Range(iv) => {
+                h.write_u32(2);
+                h.write_u32(iv.lo().unwrap_or(1));
+                h.write_u32(iv.hi().unwrap_or(0));
+            }
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -250,10 +273,7 @@ mod tests {
         let a = Value::from_set(BTreeSet::from([1, 2]));
         let b = Value::from_set(BTreeSet::from([10, 20]));
         let sum = a.lift_binop(&b, |x, y| x + y, |x, y| x.add(y));
-        assert_eq!(
-            sum.as_set().unwrap(),
-            &BTreeSet::from([11, 12, 21, 22])
-        );
+        assert_eq!(sum.as_set().unwrap(), &BTreeSet::from([11, 12, 21, 22]));
     }
 
     #[test]

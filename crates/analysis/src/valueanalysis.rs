@@ -12,6 +12,7 @@
 //! precise enough for the paper's experiments while staying sound.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use wcet_cfg::block::{BlockId, Terminator};
 use wcet_cfg::dom::Dominators;
@@ -63,7 +64,7 @@ pub struct FunctionAnalysis {
     block_in: Vec<Option<AbstractState>>,
     block_out: Vec<Option<AbstractState>>,
     config: AnalysisConfig,
-    summaries: HashMap<Addr, FunctionSummary>,
+    summaries: Arc<HashMap<Addr, FunctionSummary>>,
 }
 
 /// Analyzes the function entered at `entry` with an all-unknown register
@@ -93,7 +94,7 @@ pub fn analyze_function_with(
         .cfg(entry)
         .unwrap_or_else(|| panic!("function {entry} not reconstructed"))
         .clone();
-    let summaries = compute_summaries(program);
+    let summaries = Arc::new(compute_summaries(program));
 
     // Load-time memory: the image's initialized data.
     let entry_state = entry_state_from_image(image);
@@ -125,7 +126,7 @@ pub fn analyze_cfg(
     entry: Addr,
     entry_state: AbstractState,
     config: AnalysisConfig,
-    summaries: HashMap<Addr, FunctionSummary>,
+    summaries: Arc<HashMap<Addr, FunctionSummary>>,
 ) -> FunctionAnalysis {
     let dom = Dominators::compute(&cfg);
     let forest = LoopForest::compute(&cfg, &dom);
@@ -197,6 +198,49 @@ impl FunctionAnalysis {
             self.transfer_inst(&mut state, *inst);
         }
         None
+    }
+
+    /// The abstract state immediately *before* each call terminator,
+    /// keyed by call-site address: the registers and memory the callee
+    /// observes at entry — the caller side of VIVU-style context
+    /// propagation. Virtual unrolling can duplicate a call site into
+    /// several peeled blocks; their states are joined (the callee may be
+    /// entered from any copy). Unreachable call blocks contribute
+    /// nothing.
+    #[must_use]
+    pub fn pre_call_states(&self) -> BTreeMap<Addr, AbstractState> {
+        let mut out: BTreeMap<Addr, AbstractState> = BTreeMap::new();
+        for (id, block) in self.cfg.iter() {
+            let ret_to = match block.term {
+                Terminator::Call { ret_to, .. } | Terminator::CallInd { ret_to, .. } => ret_to,
+                _ => continue,
+            };
+            let site = block.insts.last().map(|(a, _)| *a).unwrap_or(block.start);
+            let Some(mut state) = self.block_in[id.0].clone() else {
+                continue;
+            };
+            // The call instruction itself has no data effect
+            // (`transfer_inst` ignores control transfers); the call's
+            // clobber happens in the *caller's* post-call state only.
+            for (_, inst) in &block.insts {
+                self.transfer_inst(&mut state, *inst);
+            }
+            // The hardware writes the return address into the link
+            // register *before* the callee runs: the callee must see
+            // that, not whatever the caller last held in `lr` — a stale
+            // pinned value there could refine the callee against a fact
+            // that is concretely false at entry (unsound).
+            state.set_reg(Reg::LINK, Value::constant(ret_to.0));
+            match out.remove(&site) {
+                Some(prev) => {
+                    out.insert(site, prev.join(&state));
+                }
+                None => {
+                    out.insert(site, state);
+                }
+            }
+        }
+        out
     }
 
     /// Loop-bound analysis over this function (see [`crate::loopbound`]).
@@ -276,9 +320,10 @@ impl FunctionAnalysis {
                     self.block_in[succ.0] = Some(new_in);
                     // Process in RPO-ish order for fast convergence.
                     let pos = rpo_pos.get(&succ).copied().unwrap_or(usize::MAX);
-                    if work.front().is_none_or(|&f| {
-                        rpo_pos.get(&f).copied().unwrap_or(usize::MAX) > pos
-                    }) {
+                    if work
+                        .front()
+                        .is_none_or(|&f| rpo_pos.get(&f).copied().unwrap_or(usize::MAX) > pos)
+                    {
                         work.push_front(succ);
                     } else {
                         work.push_back(succ);
@@ -337,11 +382,9 @@ impl FunctionAnalysis {
     }
 
     fn apply_call_effect(&self, state: &mut AbstractState, callees: &[Addr], ret_to: Addr) {
-        let writes_mem = callees.iter().any(|c| {
-            self.summaries
-                .get(c)
-                .is_none_or(|s| s.writes_mem)
-        });
+        let writes_mem = callees
+            .iter()
+            .any(|c| self.summaries.get(c).is_none_or(|s| s.writes_mem));
         state.clobber_call();
         if writes_mem {
             state.havoc_mem();
@@ -429,9 +472,7 @@ impl FunctionAnalysis {
             }
             Inst::Alloc { rd, .. } => {
                 let v = match self.config.heap_range {
-                    Some((lo, hi)) if lo < hi => {
-                        Value::from_interval(Interval::new(lo, hi - 1))
-                    }
+                    Some((lo, hi)) if lo < hi => Value::from_interval(Interval::new(lo, hi - 1)),
                     _ => Value::top(),
                 };
                 state.set_reg(rd, v);
@@ -496,10 +537,7 @@ pub fn compute_summaries(program: &Program) -> HashMap<Addr, FunctionSummary> {
     let mut writes: HashMap<Addr, bool> = HashMap::new();
     for (&f, cfg) in &program.functions {
         let direct = cfg.blocks.iter().any(|b| {
-            b.insts
-                .iter()
-                .any(|(_, i)| matches!(i, Inst::Store { .. }))
-                || b.term.is_unresolved()
+            b.insts.iter().any(|(_, i)| matches!(i, Inst::Store { .. })) || b.term.is_unresolved()
         });
         writes.insert(f, direct);
     }
@@ -585,20 +623,18 @@ fn alu_value(op: AluOp, a: &Value, b: &Value) -> Value {
                 None => Interval::TOP,
             },
             AluOp::Sra => Interval::TOP,
-            AluOp::Slt => {
-                match (x.signed_bounds(), y.signed_bounds()) {
-                    (Some((xl, xh)), Some((yl, yh))) => {
-                        if xh < yl {
-                            Interval::constant(1)
-                        } else if xl >= yh {
-                            Interval::constant(0)
-                        } else {
-                            Interval::new(0, 1)
-                        }
+            AluOp::Slt => match (x.signed_bounds(), y.signed_bounds()) {
+                (Some((xl, xh)), Some((yl, yh))) => {
+                    if xh < yl {
+                        Interval::constant(1)
+                    } else if xl >= yh {
+                        Interval::constant(0)
+                    } else {
+                        Interval::new(0, 1)
                     }
-                    _ => Interval::new(0, 1),
                 }
-            }
+                _ => Interval::new(0, 1),
+            },
             AluOp::Sltu => match (x.lo(), x.hi(), y.lo(), y.hi()) {
                 (Some(xl), Some(xh), Some(yl), Some(yh)) => {
                     if xh < yl {
@@ -623,9 +659,7 @@ fn refine_pair(cond: Cond, a: Value, b: Value) -> (Value, Value) {
         Cond::Eq => {
             let met = Value::from_interval(a.to_interval().meet(b.to_interval()));
             let met = match (a.as_set(), b.as_set()) {
-                (Some(sa), Some(sb)) => {
-                    Value::from_set(sa.intersection(sb).copied().collect())
-                }
+                (Some(sa), Some(sb)) => Value::from_set(sa.intersection(sb).copied().collect()),
                 _ => met,
             };
             (met.clone(), met)
@@ -641,9 +675,11 @@ fn refine_pair(cond: Cond, a: Value, b: Value) -> (Value, Value) {
                     _ => {
                         // Shrink interval endpoints touching the excluded
                         // constant.
-                        if let (Some(c), Some(lo), Some(hi)) =
-                            (other.as_constant(), v.to_interval().lo(), v.to_interval().hi())
-                        {
+                        if let (Some(c), Some(lo), Some(hi)) = (
+                            other.as_constant(),
+                            v.to_interval().lo(),
+                            v.to_interval().hi(),
+                        ) {
                             if lo == c && lo < hi {
                                 return Value::from_interval(Interval::new(lo + 1, hi));
                             }
@@ -677,9 +713,16 @@ fn refine_pair(cond: Cond, a: Value, b: Value) -> (Value, Value) {
         Cond::Lt | Cond::Ge => {
             // Signed refinement only when both operands stay on one side
             // of the sign boundary, where the unsigned order agrees.
-            match (a.to_interval().signed_bounds(), b.to_interval().signed_bounds()) {
+            match (
+                a.to_interval().signed_bounds(),
+                b.to_interval().signed_bounds(),
+            ) {
                 (Some((al, _)), Some((bl, _))) if al >= 0 && bl >= 0 => {
-                    let unsigned = if cond == Cond::Lt { Cond::Ltu } else { Cond::Geu };
+                    let unsigned = if cond == Cond::Lt {
+                        Cond::Ltu
+                    } else {
+                        Cond::Geu
+                    };
                     refine_pair(unsigned, a, b)
                 }
                 _ => (a, b),
@@ -734,9 +777,8 @@ mod tests {
     fn loop_counter_interval_bounded_by_refinement() {
         // r1 counts 10 → 0; at loop exit the fallthrough refinement pins
         // r1 = 0.
-        let (_, _, fa) = analyze(
-            "main: li r1, 10\nloop: subi r1, r1, 1\n bne r1, r0, loop\n done: halt",
-        );
+        let (_, _, fa) =
+            analyze("main: li r1, 10\nloop: subi r1, r1, 1\n bne r1, r0, loop\n done: halt");
         let done = fa.cfg().block_at(fa.entry.offset(12)).unwrap();
         let state = fa.block_in(done).unwrap();
         assert_eq!(state.reg(Reg::new(1)).as_constant(), Some(0));
@@ -744,9 +786,8 @@ mod tests {
 
     #[test]
     fn memory_constant_round_trip() {
-        let (_, _, fa) = analyze(
-            "main: li r1, 0x100\n li r2, 42\n sw r2, 0(r1)\n lw r3, 0(r1)\n halt",
-        );
+        let (_, _, fa) =
+            analyze("main: li r1, 0x100\n li r2, 42\n sw r2, 0(r1)\n lw r3, 0(r1)\n halt");
         let exit = fa.block_out(fa.cfg().entry_block()).unwrap();
         assert_eq!(exit.reg(Reg::new(3)).as_constant(), Some(42));
     }
@@ -764,18 +805,14 @@ mod tests {
 
     #[test]
     fn data_segment_readable() {
-        let (_, _, fa) = analyze(
-            ".data 0x5000 17, 99\nmain: li r1, 0x5004\n lw r2, 0(r1)\n halt",
-        );
+        let (_, _, fa) = analyze(".data 0x5000 17, 99\nmain: li r1, 0x5004\n lw r2, 0(r1)\n halt");
         let exit = fa.block_out(fa.cfg().entry_block()).unwrap();
         assert_eq!(exit.reg(Reg::new(2)).as_constant(), Some(99));
     }
 
     #[test]
     fn call_clobbers_caller_saved_but_not_callee_saved() {
-        let (_, _, fa) = analyze(
-            "main: li r1, 5\n li r10, 7\n call f\n halt\nf: ret",
-        );
+        let (_, _, fa) = analyze("main: li r1, 5\n li r10, 7\n call f\n halt\nf: ret");
         let halt_block = fa
             .cfg()
             .iter()
@@ -830,9 +867,7 @@ mod tests {
 
     #[test]
     fn select_joins_both_arms() {
-        let (_, _, fa) = analyze(
-            "main: li r2, 10\n li r3, 20\n sel r4, r5, r2, r3\n halt",
-        );
+        let (_, _, fa) = analyze("main: li r2, 10\n li r3, 20\n sel r4, r5, r2, r3\n halt");
         let exit = fa.block_out(fa.cfg().entry_block()).unwrap();
         let v = exit.reg(Reg::new(4));
         assert!(v.may_be(10) && v.may_be(20));
@@ -850,10 +885,56 @@ mod tests {
     }
 
     #[test]
-    fn diamond_join_merges_constants() {
-        let (_, _, fa) = analyze(
-            "main: beq r5, r0, other\n li r1, 1\n j join\nother: li r1, 2\njoin: halt",
+    fn pre_call_states_expose_argument_registers() {
+        // r1 = 7 at the first site, r1 = 19 at the second: the callee's
+        // per-context entry states must see exactly those values.
+        let (p, _, fa) = analyze("main: li r1, 7\n call f\n li r1, 19\n call f\n halt\nf: ret");
+        let sites = fa.pre_call_states();
+        assert_eq!(sites.len(), 2);
+        let values: Vec<Option<u32>> = p
+            .entry_cfg()
+            .call_sites()
+            .iter()
+            .map(|(site, _)| sites[site].reg(Reg::new(1)).as_constant())
+            .collect();
+        assert_eq!(values, vec![Some(7), Some(19)]);
+    }
+
+    #[test]
+    fn pre_call_states_carry_the_return_address_in_lr() {
+        // Regression: the snapshot used to keep the caller's *stale* lr.
+        // The hardware writes the return address before callee entry, so
+        // a caller that pins lr (here: mov lr, r0 → lr = 0) must not
+        // leak that into the callee's entry state — a callee branching
+        // on lr would be refined against a concretely false fact.
+        let (p, _, fa) = analyze("main: mov lr, r0\n call f\n halt\nf: ret");
+        let (site, _) = p.entry_cfg().call_sites()[0];
+        let state = &fa.pre_call_states()[&site];
+        let lr = state.reg(Reg::LINK);
+        assert_eq!(
+            lr.as_constant(),
+            Some(site.next().0),
+            "callee sees the return address, not the caller's stale lr: {lr}"
         );
+    }
+
+    #[test]
+    fn state_digest_is_stable_and_discriminating() {
+        let (_, _, fa) = analyze("main: li r1, 7\n call f\n halt\nf: ret");
+        let state = fa.pre_call_states().into_values().next().unwrap();
+        assert_eq!(state.digest(), state.digest(), "deterministic");
+        let mut other = state.clone();
+        other.set_reg(Reg::new(1), crate::value::Value::constant(8));
+        assert_ne!(state.digest(), other.digest(), "value changes the digest");
+        let mut mem = state.clone();
+        mem.set_mem_word(0x100, crate::value::Value::constant(1));
+        assert_ne!(state.digest(), mem.digest(), "memory changes the digest");
+    }
+
+    #[test]
+    fn diamond_join_merges_constants() {
+        let (_, _, fa) =
+            analyze("main: beq r5, r0, other\n li r1, 1\n j join\nother: li r1, 2\njoin: halt");
         let join = fa
             .cfg()
             .iter()

@@ -16,7 +16,10 @@ fn abstract_with_member() -> impl Strategy<Value = (Value, u32)> {
         // Constant.
         any::<u32>().prop_map(|v| (Value::constant(v), v)),
         // Small set.
-        (proptest::collection::btree_set(any::<u32>(), 1..5), any::<prop::sample::Index>())
+        (
+            proptest::collection::btree_set(any::<u32>(), 1..5),
+            any::<prop::sample::Index>()
+        )
             .prop_map(|(set, idx)| {
                 let member = *idx.get(&set.iter().copied().collect::<Vec<_>>());
                 (Value::from_set(set), member)

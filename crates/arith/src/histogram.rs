@@ -202,8 +202,7 @@ mod tests {
         assert!(hist.bucket_counts[1] > hist.bucket_counts[2]);
         assert!(hist.bucket_counts[2] > hist.bucket_counts[4]);
         // A tail exists beyond 40 iterations.
-        let tail: u64 = hist.bucket_counts[7..].iter().sum::<u64>()
-            + hist.outliers.len() as u64;
+        let tail: u64 = hist.bucket_counts[7..].iter().sum::<u64>() + hist.outliers.len() as u64;
         assert!(tail > 0, "expected a pathological tail");
         // But it is rare.
         assert!((tail as f64) / (hist.samples as f64) < 0.01);

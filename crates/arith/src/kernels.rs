@@ -162,7 +162,13 @@ mod tests {
     #[test]
     fn restoring_kernel_matches_rust_model() {
         let kernel = restoring_kernel();
-        for (n, d) in [(100u32, 7u32), (0, 1), (0xffff_ffff, 3), (12345, 12345), (5, 9)] {
+        for (n, d) in [
+            (100u32, 7u32),
+            (0, 1),
+            (0xffff_ffff, 3),
+            (12345, 12345),
+            (5, 9),
+        ] {
             let (q, r, _) = run_kernel(&kernel, n, d);
             let expect = restoring_div(n, d).unwrap();
             assert_eq!((q, r), (expect.quotient, expect.remainder), "{n}/{d}");

@@ -137,11 +137,19 @@ mod tests {
     fn small_cases() {
         assert_eq!(
             ldivmod(0, 3).unwrap(),
-            DivResult { quotient: 0, remainder: 0, iterations: 0 }
+            DivResult {
+                quotient: 0,
+                remainder: 0,
+                iterations: 0
+            }
         );
         assert_eq!(
             ldivmod(2, 3).unwrap(),
-            DivResult { quotient: 0, remainder: 2, iterations: 0 }
+            DivResult {
+                quotient: 0,
+                remainder: 2,
+                iterations: 0
+            }
         );
         let r = ldivmod(100, 7).unwrap();
         assert_eq!((r.quotient, r.remainder), (14, 2));

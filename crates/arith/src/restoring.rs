@@ -96,7 +96,13 @@ mod tests {
 
     #[test]
     fn constant_iteration_count() {
-        for (n, d) in [(0u32, 1u32), (1, 1), (u32::MAX, 1), (u32::MAX, u32::MAX), (7, 3)] {
+        for (n, d) in [
+            (0u32, 1u32),
+            (1, 1),
+            (u32::MAX, 1),
+            (u32::MAX, u32::MAX),
+            (7, 3),
+        ] {
             assert_eq!(restoring_div(n, d).unwrap().iterations, 32);
         }
     }

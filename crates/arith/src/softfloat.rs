@@ -190,7 +190,12 @@ pub fn soft_mul(a: f32, b: f32) -> Result<SoftOpResult, UnsupportedValue> {
         return Err(UnsupportedValue); // overflow/underflow outside the model
     }
     Ok(SoftOpResult {
-        value: SoftF32 { sign, exp, frac: frac.min(0xff_ffff) }.pack(),
+        value: SoftF32 {
+            sign,
+            exp,
+            frac: frac.min(0xff_ffff),
+        }
+        .pack(),
         norm_iterations,
     })
 }

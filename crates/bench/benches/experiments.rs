@@ -34,22 +34,42 @@ fn experiment_tables(c: &mut Criterion) {
         b.iter(|| experiments::e1_table1(black_box(100_000)))
     });
     group.bench_function("fig1_pipeline", |b| b.iter(experiments::e2_pipeline));
-    group.bench_function("rule_13_4_float_loop", |b| b.iter(experiments::e3_rule_13_4));
-    group.bench_function("rule_13_6_counter_mod", |b| b.iter(experiments::e4_rule_13_6));
-    group.bench_function("rule_14_1_unreachable", |b| b.iter(experiments::e5_rule_14_1));
-    group.bench_function("rule_14_4_goto_irreducible", |b| b.iter(experiments::e6_rule_14_4));
+    group.bench_function("rule_13_4_float_loop", |b| {
+        b.iter(experiments::e3_rule_13_4)
+    });
+    group.bench_function("rule_13_6_counter_mod", |b| {
+        b.iter(experiments::e4_rule_13_6)
+    });
+    group.bench_function("rule_14_1_unreachable", |b| {
+        b.iter(experiments::e5_rule_14_1)
+    });
+    group.bench_function("rule_14_4_goto_irreducible", |b| {
+        b.iter(experiments::e6_rule_14_4)
+    });
     group.bench_function("rule_16_2_recursion", |b| b.iter(experiments::e7_rule_16_2));
-    group.bench_function("rule_20_4_dynamic_alloc", |b| b.iter(experiments::e8_rule_20_4));
+    group.bench_function("rule_20_4_dynamic_alloc", |b| {
+        b.iter(experiments::e8_rule_20_4)
+    });
     group.bench_function("modes_flight_control", |b| b.iter(experiments::e9_modes));
-    group.bench_function("data_dependent_messages", |b| b.iter(experiments::e10_messages));
+    group.bench_function("data_dependent_messages", |b| {
+        b.iter(experiments::e10_messages)
+    });
     group.bench_function("imprecise_memory", |b| b.iter(experiments::e11_memory));
     group.bench_function("error_handling", |b| {
         b.iter(|| experiments::e12_errors(black_box(6), black_box(1)))
     });
-    group.bench_function("single_path_transform", |b| b.iter(experiments::e13_single_path));
-    group.bench_function("software_arithmetic", |b| b.iter(experiments::e14_arithmetic));
-    group.bench_function("function_pointers", |b| b.iter(experiments::e15_function_pointers));
-    group.bench_function("cache_predictability", |b| b.iter(experiments::e16_cache_layout));
+    group.bench_function("single_path_transform", |b| {
+        b.iter(experiments::e13_single_path)
+    });
+    group.bench_function("software_arithmetic", |b| {
+        b.iter(experiments::e14_arithmetic)
+    });
+    group.bench_function("function_pointers", |b| {
+        b.iter(experiments::e15_function_pointers)
+    });
+    group.bench_function("cache_predictability", |b| {
+        b.iter(experiments::e16_cache_layout)
+    });
     group.finish();
 }
 
@@ -75,7 +95,8 @@ fn pipeline_phases(c: &mut Criterion) {
     });
     let times = BlockTimes::compute(&fa, &machine);
     let mut bounds = fa.loop_bounds();
-    w.annotations.apply_loop_bounds(fa.cfg(), fa.forest(), &mut bounds, None);
+    w.annotations
+        .apply_loop_bounds(fa.cfg(), fa.forest(), &mut bounds, None);
     let facts = w.annotations.flow_facts(fa.cfg(), None);
     group.bench_function("path_analysis_ilp", |b| {
         b.iter(|| {
@@ -121,6 +142,31 @@ fn scaling(c: &mut Criterion) {
             };
             let analyzer = WcetAnalyzer::with_config(config);
             group.bench_function(format!("{tag}/{label}"), |b| {
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Context expansion: the full analyzer on the context workloads at
+/// depth 0 (merged) vs depth 1 (per call-string unit) — the cost of the
+/// precision the `context` tests pin.
+fn context_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context");
+    group.sample_size(20);
+    for (w, tag) in [
+        (workload::context_killer(), "context_killer"),
+        (workload::call_tree_heavy(4, 4, &[]), "call_tree_4x4"),
+    ] {
+        for depth in [0usize, 1] {
+            let config = AnalyzerConfig {
+                annotations: w.annotations.clone(),
+                context_depth: depth,
+                ..AnalyzerConfig::new()
+            };
+            let analyzer = WcetAnalyzer::with_config(config);
+            group.bench_function(format!("{tag}/depth_{depth}"), |b| {
                 b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
             });
         }
@@ -175,7 +221,9 @@ fn incremental(c: &mut Criterion) {
     let cold_time = (0..5)
         .map(|_| {
             let t = Instant::now();
-            analyzer.analyze(black_box(&mutated.image)).expect("cold analyzes");
+            analyzer
+                .analyze(black_box(&mutated.image))
+                .expect("cold analyzes");
             t.elapsed()
         })
         .min()
@@ -203,7 +251,11 @@ fn incremental(c: &mut Criterion) {
     let mut group = c.benchmark_group("incremental");
     group.sample_size(10);
     group.bench_function("cold_full_analysis_tree8x8", |b| {
-        b.iter(|| analyzer.analyze(black_box(&mutated.image)).expect("analyzes"))
+        b.iter(|| {
+            analyzer
+                .analyze(black_box(&mutated.image))
+                .expect("analyzes")
+        })
     });
     group.bench_function("warm_one_mutation_tree8x8", |b| {
         b.iter_batched(
@@ -335,6 +387,7 @@ criterion_group!(
     experiment_tables,
     pipeline_phases,
     scaling,
+    context_depth,
     incremental,
     ilp_solvers,
     arithmetic,

@@ -170,8 +170,15 @@ mod tests {
     #[test]
     fn unresolved_detection() {
         assert!(Terminator::JumpInd { targets: vec![] }.is_unresolved());
-        assert!(!Terminator::JumpInd { targets: vec![Addr(4)] }.is_unresolved());
-        assert!(Terminator::CallInd { callees: vec![], ret_to: Addr(8) }.is_unresolved());
+        assert!(!Terminator::JumpInd {
+            targets: vec![Addr(4)]
+        }
+        .is_unresolved());
+        assert!(Terminator::CallInd {
+            callees: vec![],
+            ret_to: Addr(8)
+        }
+        .is_unresolved());
         assert!(!Terminator::Ret.is_unresolved());
     }
 

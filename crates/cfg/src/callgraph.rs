@@ -200,6 +200,209 @@ impl CallGraph {
     }
 }
 
+// ---------------------------------------------------------------------
+// Call-string contexts (VIVU-style context expansion)
+// ---------------------------------------------------------------------
+
+/// Identifier of one *(function, call string)* analysis context. Indexes
+/// [`ContextTable::info`]. Ids are assigned in `(function, call string)`
+/// order, so iteration over them is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(pub usize);
+
+impl std::fmt::Display for CtxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// One enumerated context: a function together with the (truncated) call
+/// string under which it is analyzed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextInfo {
+    /// The function this context belongs to.
+    pub function: Addr,
+    /// Call-site addresses, outermost first, most recent call last;
+    /// length ≤ the enumeration depth. Empty for the task entry, for
+    /// members of recursive SCCs (truncated to the merged behaviour),
+    /// and for every function at depth 0.
+    pub call_string: Vec<Addr>,
+    /// Producing call edges `(caller context, call-site address)`, in
+    /// sorted order. Empty for the entry function's root context and for
+    /// fallback contexts of functions without a resolved call path.
+    pub preds: Vec<(CtxId, Addr)>,
+}
+
+/// The enumerated *(function, call string)* contexts of a program: the
+/// unit set of the context-sensitive pipeline. At depth 0 every function
+/// has exactly one context with the empty string — the classic merged
+/// analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextTable {
+    depth: usize,
+    contexts: Vec<ContextInfo>,
+    by_function: BTreeMap<Addr, Vec<CtxId>>,
+    /// `(caller context, site, callee)` → callee context.
+    edges: BTreeMap<(CtxId, Addr, Addr), CtxId>,
+}
+
+impl ContextTable {
+    /// The enumeration depth `k`.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total number of contexts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Returns true if no contexts were enumerated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// The context data for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn info(&self, id: CtxId) -> &ContextInfo {
+        &self.contexts[id.0]
+    }
+
+    /// The contexts of one function, in id order. Every reconstructed
+    /// function has at least one.
+    #[must_use]
+    pub fn ctxs_of(&self, fun: Addr) -> &[CtxId] {
+        self.by_function
+            .get(&fun)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// The context a call from `caller_ctx` at `site` targets when it
+    /// resolves to `callee`. `None` only for call edges that were not
+    /// part of the enumeration (e.g. an unreachable caller context).
+    #[must_use]
+    pub fn callee_ctx(&self, caller_ctx: CtxId, site: Addr, callee: Addr) -> Option<CtxId> {
+        self.edges.get(&(caller_ctx, site, callee)).copied()
+    }
+
+    /// Iterates over all `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CtxId, &ContextInfo)> {
+        self.contexts.iter().enumerate().map(|(i, c)| (CtxId(i), c))
+    }
+}
+
+impl CallGraph {
+    /// Enumerates the *(function, call-string)* contexts reachable from
+    /// `entry`, with call strings truncated to the last `depth` sites —
+    /// the virtual-inlining unit set (reference \[13\]'s VIVU scheme,
+    /// restricted to call contexts; loop contexts stay with the virtual
+    /// unroller).
+    ///
+    /// Truncation rules:
+    ///
+    /// * `depth == 0` — every function keeps the empty string: exactly
+    ///   today's merged per-function analysis.
+    /// * recursive functions (members of call-graph cycles) are truncated
+    ///   to the empty string — the existing SCC-merged behaviour — so the
+    ///   enumeration terminates without annotations.
+    /// * otherwise a call from `(caller, s)` at `site` reaches
+    ///   `(callee, last_k(s · site))`.
+    ///
+    /// `functions` is the full reconstructed function set; any member
+    /// without a resolved call path from `entry` (e.g. reached only
+    /// through unresolved indirections) receives a fallback empty-string
+    /// context with no producers, so the pipeline still analyzes it
+    /// (conservatively, from the ⊤ entry state).
+    #[must_use]
+    pub fn enumerate_contexts<'a>(
+        &self,
+        functions: impl IntoIterator<Item = &'a Addr>,
+        entry: Addr,
+        depth: usize,
+    ) -> ContextTable {
+        type Key = (Addr, Vec<Addr>);
+        // Call sites grouped by caller for the walk below.
+        let mut sites_of: BTreeMap<Addr, Vec<(Addr, Addr)>> = BTreeMap::new();
+        for &(site, caller, callee) in &self.sites {
+            sites_of.entry(caller).or_default().push((site, callee));
+        }
+
+        let mut preds: BTreeMap<Key, BTreeSet<(Key, Addr)>> = BTreeMap::new();
+        let root: Key = (entry, Vec::new());
+        preds.insert(root.clone(), BTreeSet::new());
+        let mut work: Vec<Key> = vec![root];
+        while let Some(key) = work.pop() {
+            let (fun, string) = &key;
+            for (site, callee) in sites_of.get(fun).into_iter().flatten() {
+                let child_string = if depth == 0 || self.is_recursive(*callee) {
+                    Vec::new()
+                } else {
+                    let mut s = string.clone();
+                    s.push(*site);
+                    if s.len() > depth {
+                        s.drain(..s.len() - depth);
+                    }
+                    s
+                };
+                let child: Key = (*callee, child_string);
+                let entry = preds.entry(child.clone()).or_insert_with(|| {
+                    work.push(child.clone());
+                    BTreeSet::new()
+                });
+                entry.insert((key.clone(), *site));
+            }
+        }
+        // Fallback contexts for functions without a resolved call path.
+        let covered: BTreeSet<Addr> = preds.keys().map(|(f, _)| *f).collect();
+        for &fun in functions {
+            if !covered.contains(&fun) {
+                preds.insert((fun, Vec::new()), BTreeSet::new());
+            }
+        }
+
+        // Ids in sorted (function, string) order — `preds` is a BTreeMap,
+        // so its iteration order *is* that order.
+        let ids: BTreeMap<Key, CtxId> = preds
+            .keys()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), CtxId(i)))
+            .collect();
+        let mut contexts = Vec::with_capacity(preds.len());
+        let mut by_function: BTreeMap<Addr, Vec<CtxId>> = BTreeMap::new();
+        let mut edges: BTreeMap<(CtxId, Addr, Addr), CtxId> = BTreeMap::new();
+        for ((fun, string), pred_keys) in &preds {
+            let id = ids[&(*fun, string.clone())];
+            let pred_ids: Vec<(CtxId, Addr)> = pred_keys
+                .iter()
+                .map(|(pk, site)| (ids[pk], *site))
+                .collect();
+            for &(caller, site) in &pred_ids {
+                edges.insert((caller, site, *fun), id);
+            }
+            by_function.entry(*fun).or_default().push(id);
+            contexts.push(ContextInfo {
+                function: *fun,
+                call_string: string.clone(),
+                preds: pred_ids,
+            });
+        }
+        ContextTable {
+            depth,
+            contexts,
+            by_function,
+            edges,
+        }
+    }
+}
+
 /// Tarjan SCC over the call graph; returns (recursive set, bottom-up
 /// order, SCC partition).
 fn scc_analysis(
@@ -269,10 +472,8 @@ fn scc_analysis(
     let mut bottom_up = Vec::new();
     // Tarjan emits SCCs in reverse topological order: callees first.
     for comp in &state.comps {
-        let self_loop = comp.len() == 1
-            && callees
-                .get(&comp[0])
-                .is_some_and(|s| s.contains(&comp[0]));
+        let self_loop =
+            comp.len() == 1 && callees.get(&comp[0]).is_some_and(|s| s.contains(&comp[0]));
         if comp.len() > 1 || self_loop {
             recursive.extend(comp.iter().copied());
         }
@@ -302,7 +503,12 @@ mod tests {
         // comes last and `f` (called by both others) comes before `g`.
         let order = g.bottom_up_order();
         assert_eq!(*order.last().unwrap(), p.entry, "main analyzed last");
-        let f = p.functions.keys().copied().find(|&a| g.callees_of(a).is_empty()).unwrap();
+        let f = p
+            .functions
+            .keys()
+            .copied()
+            .find(|&a| g.callees_of(a).is_empty())
+            .unwrap();
         let g_fun = p
             .functions
             .keys()
@@ -321,9 +527,8 @@ mod tests {
 
     #[test]
     fn indirect_recursion_detected() {
-        let (p, g) = cg(
-            "main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret",
-        );
+        let (p, g) =
+            cg("main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret");
         assert_eq!(g.recursive_functions().len(), 2, "f and g form a cycle");
         assert!(!g.is_recursive(p.entry));
     }
@@ -370,9 +575,8 @@ mod tests {
 
     #[test]
     fn recursive_cycle_stays_one_group() {
-        let (p, g) = cg(
-            "main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret",
-        );
+        let (p, g) =
+            cg("main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret");
         let levels = g.bottom_up_levels();
         assert_eq!(levels.len(), 2);
         assert_eq!(levels[0].len(), 1, "the f/g cycle is one group");
@@ -383,15 +587,16 @@ mod tests {
     #[test]
     fn transitive_callers_closure() {
         // main → g → f, main → h. Dirtying f reaches g and main but not h.
-        let (p, g) = cg(
-            "main: call g\n call h\n halt\nf: ret\ng: call f\n ret\nh: ret",
-        );
+        let (p, g) = cg("main: call g\n call h\n halt\nf: ret\ng: call f\n ret\nh: ret");
         let f = p
             .functions
             .keys()
             .copied()
-            .find(|&a| g.callees_of(a).is_empty() && !g.callers_of(a).is_empty()
-                && g.callers_of(a) != vec![p.entry])
+            .find(|&a| {
+                g.callees_of(a).is_empty()
+                    && !g.callers_of(a).is_empty()
+                    && g.callers_of(a) != vec![p.entry]
+            })
             .unwrap();
         let dirty = g.transitive_callers(&BTreeSet::from([f]));
         assert!(dirty.contains(&f), "seeds are included");
@@ -411,13 +616,116 @@ mod tests {
     fn transitive_callers_through_cycles() {
         // f ↔ g cycle called by main: dirtying f reaches g (cycle member)
         // and main.
-        let (p, g) = cg(
-            "main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret",
-        );
+        let (p, g) =
+            cg("main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret");
         let f = g.recursive_functions()[0];
         let dirty = g.transitive_callers(&BTreeSet::from([f]));
         assert_eq!(dirty.len(), 3, "both cycle members and main: {dirty:?}");
         assert!(dirty.contains(&p.entry));
+    }
+
+    #[test]
+    fn depth_zero_contexts_are_one_per_function() {
+        let (p, g) = cg("main: call f\n call g\n halt\nf: ret\ng: call f\n ret");
+        let table = g.enumerate_contexts(p.functions.keys(), p.entry, 0);
+        assert_eq!(table.len(), p.functions.len());
+        for (id, info) in table.iter() {
+            assert!(info.call_string.is_empty(), "depth 0 keeps empty strings");
+            assert_eq!(table.ctxs_of(info.function), &[id]);
+        }
+        // Every resolved call edge maps onto the callee's single context.
+        for &(site, caller, callee) in g.sites() {
+            let caller_ctx = table.ctxs_of(caller)[0];
+            assert_eq!(
+                table.callee_ctx(caller_ctx, site, callee),
+                Some(table.ctxs_of(callee)[0])
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_distinguishes_call_sites() {
+        // main calls f twice: two distinct depth-1 contexts, each with one
+        // producing edge from main's root context.
+        let (p, g) = cg("main: call f\n call f\n halt\nf: ret");
+        let f = p.functions.keys().copied().find(|&a| a != p.entry).unwrap();
+        let table = g.enumerate_contexts(p.functions.keys(), p.entry, 1);
+        assert_eq!(
+            table.ctxs_of(p.entry).len(),
+            1,
+            "entry keeps its root context"
+        );
+        let f_ctxs = table.ctxs_of(f);
+        assert_eq!(f_ctxs.len(), 2, "one context per call site");
+        let main_ctx = table.ctxs_of(p.entry)[0];
+        for &ctx in f_ctxs {
+            let info = table.info(ctx);
+            assert_eq!(info.function, f);
+            assert_eq!(info.call_string.len(), 1);
+            assert_eq!(info.preds, vec![(main_ctx, info.call_string[0])]);
+            assert_eq!(
+                table.callee_ctx(main_ctx, info.call_string[0], f),
+                Some(ctx)
+            );
+        }
+    }
+
+    #[test]
+    fn depth_truncation_keeps_most_recent_sites() {
+        // main → g → f at depth 1: f's string holds only g's call site.
+        let (p, g) = cg("main: call g\n halt\ng: call f\n ret\nf: ret");
+        let f = p
+            .functions
+            .keys()
+            .copied()
+            .find(|&a| g.callees_of(a).is_empty())
+            .unwrap();
+        let table = g.enumerate_contexts(p.functions.keys(), p.entry, 1);
+        let f_ctxs = table.ctxs_of(f);
+        assert_eq!(f_ctxs.len(), 1);
+        let info = table.info(f_ctxs[0]);
+        assert_eq!(info.call_string.len(), 1, "truncated to the last site");
+        let g_fun = g.callers_of(f)[0];
+        let g_site = g
+            .sites()
+            .iter()
+            .find(|(_, caller, callee)| *caller == g_fun && *callee == f)
+            .map(|(s, _, _)| *s)
+            .unwrap();
+        assert_eq!(info.call_string, vec![g_site]);
+
+        // Depth 2 keeps the full chain.
+        let deep = g.enumerate_contexts(p.functions.keys(), p.entry, 2);
+        let info2 = deep.info(deep.ctxs_of(f)[0]);
+        assert_eq!(info2.call_string.len(), 2, "room for both sites");
+    }
+
+    #[test]
+    fn recursion_truncates_to_merged_context() {
+        let (p, g) =
+            cg("main: call f\n halt\nf: beq r1, r0, fdone\n call g\nfdone: ret\ng: call f\n ret");
+        let table = g.enumerate_contexts(p.functions.keys(), p.entry, 3);
+        for f in g.recursive_functions() {
+            let ctxs = table.ctxs_of(f);
+            assert_eq!(ctxs.len(), 1, "recursive SCC members stay merged");
+            assert!(table.info(ctxs[0]).call_string.is_empty());
+        }
+        assert!(!table.is_empty());
+        assert_eq!(table.depth(), 3);
+    }
+
+    #[test]
+    fn every_function_has_a_context() {
+        let (p, g) = cg("main: call f\n halt\nf: ret");
+        for depth in [0, 1, 4] {
+            let table = g.enumerate_contexts(p.functions.keys(), p.entry, depth);
+            for f in p.functions.keys() {
+                assert!(
+                    !table.ctxs_of(*f).is_empty(),
+                    "function {f} has a context at depth {depth}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -148,9 +148,8 @@ mod tests {
 
     #[test]
     fn diamond_dominators() {
-        let (p, dom) = dom_of(
-            "main: beq r1, r0, then\n li r2, 1\n j join\nthen: li r2, 2\njoin: halt",
-        );
+        let (p, dom) =
+            dom_of("main: beq r1, r0, then\n li r2, 1\n j join\nthen: li r2, 2\njoin: halt");
         let cfg = p.entry_cfg();
         let entry = cfg.entry_block();
         let join = cfg
@@ -166,9 +165,8 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body() {
-        let (p, dom) = dom_of(
-            "main: li r1, 4\nhead: beq r1, r0, done\n subi r1, r1, 1\n j head\ndone: halt",
-        );
+        let (p, dom) =
+            dom_of("main: li r1, 4\nhead: beq r1, r0, done\n subi r1, r1, 1\n j head\ndone: halt");
         let cfg = p.entry_cfg();
         let head = cfg.block_at(p.entry.offset(4)).unwrap();
         let body = cfg.block_at(p.entry.offset(8)).unwrap();
@@ -185,7 +183,8 @@ mod tests {
 
     #[test]
     fn dominance_is_transitive_on_chain() {
-        let (p, dom) = dom_of("main: nop\n beq r1, r0, a\n nop\na: nop\n beq r2, r0, b\n nop\nb: halt");
+        let (p, dom) =
+            dom_of("main: nop\n beq r1, r0, a\n nop\na: nop\n beq r2, r0, b\n nop\nb: halt");
         let cfg = p.entry_cfg();
         let rpo = cfg.reverse_postorder();
         // Entry dominates everything reachable.

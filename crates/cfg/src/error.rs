@@ -36,13 +36,19 @@ impl fmt::Display for CfgError {
         match self {
             CfgError::Decode(e) => write!(f, "decode failure during reconstruction: {e}"),
             CfgError::FlowLeavesCode { from, to } => {
-                write!(f, "control flow from {from} leaves the code segment (target {to})")
+                write!(
+                    f,
+                    "control flow from {from} leaves the code segment (target {to})"
+                )
             }
             CfgError::BadEntry { entry } => {
                 write!(f, "function entry {entry} holds no instruction")
             }
             CfgError::BadResolvedTarget { at, target } => {
-                write!(f, "resolved indirect target {target} at {at} is not a code address")
+                write!(
+                    f,
+                    "resolved indirect target {target} at {at} is not a code address"
+                )
             }
         }
     }

@@ -330,7 +330,12 @@ fn build_function(
         }
         let inst = match insts.get(&addr) {
             Some(i) => *i,
-            None => return Err(CfgError::FlowLeavesCode { from: addr, to: addr }),
+            None => {
+                return Err(CfgError::FlowLeavesCode {
+                    from: addr,
+                    to: addr,
+                })
+            }
         };
         match inst {
             Inst::Branch { target, .. } | Inst::FBranch { target, .. } => {
@@ -352,10 +357,16 @@ fn build_function(
                 work.push(addr.next());
             }
             Inst::CallInd { .. } => {
-                let callees = resolver.call_targets.get(&addr).cloned().unwrap_or_default();
+                let callees = resolver
+                    .call_targets
+                    .get(&addr)
+                    .cloned()
+                    .unwrap_or_default();
                 for c in &callees {
-                    check_target(addr, *c)
-                        .map_err(|_| CfgError::BadResolvedTarget { at: addr, target: *c })?;
+                    check_target(addr, *c).map_err(|_| CfgError::BadResolvedTarget {
+                        at: addr,
+                        target: *c,
+                    })?;
                 }
                 if callees.is_empty() {
                     unresolved.push(addr);
@@ -364,10 +375,16 @@ fn build_function(
                 work.push(addr.next());
             }
             Inst::JumpInd { .. } => {
-                let targets = resolver.jump_targets.get(&addr).cloned().unwrap_or_default();
+                let targets = resolver
+                    .jump_targets
+                    .get(&addr)
+                    .cloned()
+                    .unwrap_or_default();
                 for t in &targets {
-                    check_target(addr, *t)
-                        .map_err(|_| CfgError::BadResolvedTarget { at: addr, target: *t })?;
+                    check_target(addr, *t).map_err(|_| CfgError::BadResolvedTarget {
+                        at: addr,
+                        target: *t,
+                    })?;
                     leaders.insert(*t);
                     work.push(*t);
                 }
@@ -500,9 +517,7 @@ mod tests {
 
     #[test]
     fn diamond_shape() {
-        let p = program(
-            "main: beq r1, r0, then\n li r2, 1\n j join\nthen: li r2, 2\njoin: halt",
-        );
+        let p = program("main: beq r1, r0, then\n li r2, 1\n j join\nthen: li r2, 2\njoin: halt");
         let cfg = p.entry_cfg();
         assert_eq!(cfg.block_count(), 4);
         // Entry has two successors, join has two predecessors.
@@ -579,7 +594,10 @@ mod tests {
         let mut resolver = TargetResolver::empty();
         resolver.add_jump_targets(
             jr,
-            [image.symbol("case_a").unwrap(), image.symbol("case_b").unwrap()],
+            [
+                image.symbol("case_a").unwrap(),
+                image.symbol("case_b").unwrap(),
+            ],
         );
         let p = reconstruct(&image, &resolver).unwrap();
         let cfg = p.entry_cfg();
@@ -593,7 +611,9 @@ mod tests {
         // A jump past the end of the code segment must be reported.
         let mut b = wcet_isa::builder::ProgramBuilder::new(0x1000);
         b.label("main");
-        b.inst(Inst::Jump { target: Addr(0x2000) });
+        b.inst(Inst::Jump {
+            target: Addr(0x2000),
+        });
         let image = b.build("main").unwrap();
         assert!(matches!(
             reconstruct(&image, &TargetResolver::empty()),

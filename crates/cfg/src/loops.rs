@@ -161,8 +161,7 @@ impl LoopForest {
         let in_subset: BTreeSet<BlockId> = subset.iter().copied().collect();
         for scc in sccs(cfg, &in_subset) {
             let scc_set: BTreeSet<BlockId> = scc.iter().copied().collect();
-            let is_cycle = scc.len() > 1
-                || cfg.succs[scc[0].0].contains(&scc[0]);
+            let is_cycle = scc.len() > 1 || cfg.succs[scc[0].0].contains(&scc[0]);
             if !is_cycle {
                 continue;
             }
@@ -174,8 +173,7 @@ impl LoopForest {
                 .iter()
                 .copied()
                 .filter(|&b| {
-                    b == cfg.entry_block()
-                        || cfg.preds[b.0].iter().any(|p| !scc_set.contains(p))
+                    b == cfg.entry_block() || cfg.preds[b.0].iter().any(|p| !scc_set.contains(p))
                 })
                 .collect();
             entries.sort_by_key(|&b| dom.rpo_number(b));
@@ -400,7 +398,10 @@ mod tests {
         );
         assert_eq!(f.len(), 1);
         let l = &f.loops()[0];
-        assert!(!l.irreducible, "continue must not make the loop irreducible");
+        assert!(
+            !l.irreducible,
+            "continue must not make the loop irreducible"
+        );
         assert_eq!(l.back_edges.len(), 2);
     }
 

@@ -222,9 +222,7 @@ mod tests {
 
     #[test]
     fn peel_simple_loop_adds_copy() {
-        let (cfg, forest) = setup(
-            "main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
-        );
+        let (cfg, forest) = setup("main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
         let peeled = peel(&cfg, &forest, forest.loops()[0].id).unwrap();
         assert_eq!(peeled.block_count(), cfg.block_count() + 1);
         // Exactly one ctx-1 block, and the loop entry edge reaches it.
@@ -240,9 +238,7 @@ mod tests {
 
     #[test]
     fn peeled_cfg_still_loops_in_steady_state() {
-        let (cfg, forest) = setup(
-            "main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
-        );
+        let (cfg, forest) = setup("main: li r1, 8\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
         let peeled = peel(&cfg, &forest, forest.loops()[0].id).unwrap();
         let dom = Dominators::compute(&peeled);
         let f2 = LoopForest::compute(&peeled, &dom);

@@ -5,8 +5,10 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use wcet_analysis::loopbound::{BoundResult, BoundSource, LoopBounds};
+use wcet_analysis::state::AbstractState;
+use wcet_analysis::valueanalysis::AnalysisConfig;
 use wcet_analysis::{analyze_function, FunctionAnalysis};
-use wcet_cfg::callgraph::CallGraph;
+use wcet_cfg::callgraph::{CallGraph, ContextTable, CtxId};
 use wcet_cfg::dom::Dominators;
 use wcet_cfg::graph::{reconstruct, Cfg, Program};
 use wcet_cfg::loops::LoopForest;
@@ -14,15 +16,16 @@ use wcet_cfg::CfgError;
 use wcet_guidelines::annot::AnnotationSet;
 use wcet_guidelines::report::PredictabilityReport;
 use wcet_guidelines::rules::{check_function, check_image_level, sort_findings, Finding};
+use wcet_isa::hash::StableHasher;
 use wcet_isa::interp::MachineConfig;
 use wcet_isa::{Addr, Image};
 use wcet_micro::blocktime::BlockTimes;
-use wcet_micro::cacheanalysis::CacheAnalysis;
+use wcet_micro::cacheanalysis::{CacheAnalysis, CacheStates};
 use wcet_path::ipet::{self, CallCosts, PathError, WcetResult};
 
 use crate::incr::{
-    ipet_full_key, ipet_struct_key, ArtifactCache, FunctionArtifact, IncrStats, IpetEntry,
-    KeyContext,
+    ipet_ctx_struct_key, ipet_full_key, ipet_site_full_key, ipet_struct_key, ArtifactCache,
+    FunctionArtifact, IncrStats, IpetEntry, KeyContext,
 };
 use crate::parallel;
 use crate::phases::PhaseTrace;
@@ -51,6 +54,14 @@ pub struct AnalyzerConfig {
     /// identical for every setting — the schedule is deterministic and
     /// results merge in function-address order.
     pub parallelism: Option<usize>,
+    /// Call-string context depth `k` for VIVU-style context expansion
+    /// (reference \[13\]): `0` (the default) analyzes one merged unit per
+    /// function — exactly the classic pipeline — while `k ≥ 1` analyzes
+    /// one *(function, call-string)* unit per distinct suffix of up to
+    /// `k` call sites, propagating the caller's register intervals and
+    /// abstract cache state into each callee context instead of ⊤.
+    /// Recursive SCCs are always truncated to one merged context.
+    pub context_depth: usize,
 }
 
 impl AnalyzerConfig {
@@ -65,6 +76,7 @@ impl AnalyzerConfig {
             check_guidelines: true,
             unrolling: false,
             parallelism: None,
+            context_depth: 0,
         }
     }
 }
@@ -289,7 +301,9 @@ impl WcetAnalyzer {
             phases_map = BTreeMap::new();
             if let Some(ctx) = &key_ctx {
                 let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
-                let store = cache.as_deref_mut().expect("cache present with key context");
+                let store = cache
+                    .as_deref_mut()
+                    .expect("cache present with key context");
                 for &f in &funcs {
                     let cfg = program.cfg(f).expect("reconstructed");
                     let key = ctx.function_key(cfg, &summaries);
@@ -364,10 +378,18 @@ impl WcetAnalyzer {
         // downgrades the function to a fresh analysis here, so the front
         // matter, guideline report, and trace never see stale data, and
         // the recomputed artifact later overwrites the bad file.
+        //
+        // The context-sensitive pipeline (`context_depth ≥ 1`) replays
+        // only the front matter from artifacts — bounds and block times
+        // are per *(function, context)* and recomputed each run — so the
+        // structural replay below is skipped there.
         let mut warm_prepared: BTreeMap<Addr, (Unit, BlockTimes)> = BTreeMap::new();
         let mut warm_analyzed_cfgs: BTreeMap<Addr, Cfg> = BTreeMap::new();
         let mut downgrade: Vec<Addr> = Vec::new();
         for (&f, phase) in &phases_map {
+            if self.config.context_depth > 0 {
+                break;
+            }
             let FnPhase::Warm { key, artifact } = phase else {
                 continue;
             };
@@ -414,7 +436,13 @@ impl WcetAnalyzer {
                         .results()
                         .iter()
                         .filter(|(_, r)| {
-                            matches!(r, BoundResult::Bounded { source: BoundSource::Auto, .. })
+                            matches!(
+                                r,
+                                BoundResult::Bounded {
+                                    source: BoundSource::Auto,
+                                    ..
+                                }
+                            )
                         })
                         .count();
                     let (hint_calls, hint_jumps) = if key_ctx.is_some() {
@@ -484,6 +512,28 @@ impl WcetAnalyzer {
             });
         }
 
+        // --- Context-sensitive pipeline (depth ≥ 1) --------------------
+        // From here the two pipelines diverge: the classic path below
+        // schedules one merged unit per function; the VIVU path schedules
+        // one unit per (function, call-string context), propagating entry
+        // states caller → callee. Depth 0 must stay byte-identical to the
+        // pre-context analyzer, so its code path is untouched.
+        if self.config.context_depth > 0 {
+            return self.analyze_contexts(CtxPipeline {
+                image,
+                program,
+                callgraph,
+                phases_map,
+                front,
+                guideline_report,
+                trace,
+                cache,
+                key_ctx,
+                stats,
+                threads,
+            });
+        }
+
         // --- Virtual unrolling (optional context expansion) -------------
         // Guideline checking above used the un-peeled CFGs (peeled copies
         // would double-report findings); timing and path analysis can use
@@ -492,7 +542,8 @@ impl WcetAnalyzer {
         let mut peeled_flags: BTreeMap<Addr, bool> = BTreeMap::new();
         if self.config.unrolling {
             let t_unroll = Instant::now();
-            let summaries = wcet_analysis::valueanalysis::compute_summaries(&program);
+            let summaries =
+                std::sync::Arc::new(wcet_analysis::valueanalysis::compute_summaries(&program));
             let entry_state = wcet_analysis::valueanalysis::entry_state_from_image(image);
             let fresh_fns: Vec<Addr> = phases_map
                 .iter()
@@ -695,9 +746,9 @@ impl WcetAnalyzer {
                             // is unchanged).
                             if !dirty.contains(&f) {
                                 let store = cache.as_deref_mut().expect("cache active");
-                                let hit = store.lookup_ipet(skey).filter(|e| {
-                                    e.full_key == fkey && entry_fits(e, unit.cfg())
-                                });
+                                let hit = store
+                                    .lookup_ipet(skey)
+                                    .filter(|e| e.full_key == fkey && entry_fits(e, unit.cfg()));
                                 if let Some(entry) = hit {
                                     stats.ipet_hits += 1;
                                     let annotation_bounds = if mode.is_none() {
@@ -850,7 +901,13 @@ impl WcetAnalyzer {
             .results()
             .iter()
             .filter(|(_, r)| {
-                matches!(r, BoundResult::Bounded { source: BoundSource::Annotation, .. })
+                matches!(
+                    r,
+                    BoundResult::Bounded {
+                        source: BoundSource::Annotation,
+                        ..
+                    }
+                )
             })
             .count()
     }
@@ -884,7 +941,10 @@ impl WcetAnalyzer {
                 for (_, r) in bounds.results() {
                     if matches!(
                         r,
-                        BoundResult::Bounded { source: BoundSource::Annotation, .. }
+                        BoundResult::Bounded {
+                            source: BoundSource::Annotation,
+                            ..
+                        }
                     ) {
                         annotation_bounds += 1;
                     }
@@ -902,7 +962,7 @@ impl WcetAnalyzer {
             // always singletons whose callees sit in earlier levels, so
             // they borrow the level-shared maps clone-free.
             let recursive = callgraph.is_recursive(f);
-            let (mut wcet, bcet) = if recursive {
+            let (wcet, bcet) = if recursive {
                 let (mut w_costs, mut b_costs) = (wcet_costs.clone(), bcet_costs.clone());
                 for member in callgraph.scc_members(f) {
                     w_costs.insert(member, 0);
@@ -922,37 +982,775 @@ impl WcetAnalyzer {
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             };
-            if recursive {
-                let depth = self
-                    .config
-                    .annotations
-                    .recursion_depth(f)
-                    .expect("checked above");
-                let body_sum: u64 = callgraph
-                    .scc_members(f)
-                    .iter()
-                    .map(|m| {
-                        if *m == f {
-                            wcet.wcet_cycles
-                        } else {
-                            reports
-                                .iter()
-                                .find(|(member, _)| member == m)
-                                .map(|(_, r)| r.wcet.wcet_cycles)
-                                .unwrap_or(wcet.wcet_cycles)
-                        }
-                    })
-                    .sum();
-                wcet.wcet_cycles = depth.saturating_mul(body_sum);
-                // One activation is the sound lower bound.
-            }
             reports.push((f, FunctionReport { wcet, bcet }));
+        }
+        // Scale recursive members by depth × Σ(per-activation body costs
+        // over the cycle), from a snapshot of the *raw* per-activation
+        // costs. Scaling used to happen inside the member loop, which
+        // read already-scaled siblings (compounding the factor, order-
+        // dependently) and substituted a member's own cost for siblings
+        // not yet solved (undercutting the first member's bound in
+        // asymmetric cycles) — both wrong; the group holds the whole SCC,
+        // so every member's raw cost is available here.
+        let raw: BTreeMap<Addr, u64> = reports
+            .iter()
+            .map(|(f, r)| (*f, r.wcet.wcet_cycles))
+            .collect();
+        for (f, report) in &mut reports {
+            if !callgraph.is_recursive(*f) {
+                continue;
+            }
+            let depth = self
+                .config
+                .annotations
+                .recursion_depth(*f)
+                .expect("checked above");
+            let body_sum: u64 = callgraph.scc_members(*f).iter().map(|m| raw[m]).sum();
+            report.wcet.wcet_cycles = depth.saturating_mul(body_sum);
+            // One activation is the sound lower bound.
         }
         Ok(GroupOutcome {
             reports,
             annotation_bounds,
         })
     }
+}
+
+// ---------------------------------------------------------------------
+// The context-sensitive (VIVU) pipeline: one unit per (function, ctx)
+// ---------------------------------------------------------------------
+
+/// Everything the shared front end hands to the context-sensitive back
+/// end: the reconstructed program with its per-function phases, the
+/// report sections that are context-oblivious (front matter, guideline
+/// findings), and the incremental-cache plumbing.
+struct CtxPipeline<'a, 'c> {
+    image: &'a Image,
+    program: Program,
+    callgraph: CallGraph,
+    phases_map: BTreeMap<Addr, FnPhase>,
+    front: BTreeMap<Addr, FrontMatter>,
+    guideline_report: Option<PredictabilityReport>,
+    trace: PhaseTrace,
+    cache: Option<&'c mut ArtifactCache>,
+    key_ctx: Option<KeyContext>,
+    stats: IncrStats,
+    threads: usize,
+}
+
+/// Coordinator-computed inputs of one *(function, context)* unit: the
+/// joined entry states from the producing call edges and their stable
+/// digest (the incremental cache key component).
+struct CtxInput {
+    id: CtxId,
+    entry_state: AbstractState,
+    icache_entry: Option<CacheStates>,
+    dcache_entry: Option<CacheStates>,
+    digest: u64,
+}
+
+/// One analyzed *(function, context)* unit: the full per-context value
+/// analysis, loop bounds, block times, and the caller-side propagation
+/// hooks (pre-call value states and ACS pairs per call site).
+struct CtxUnit {
+    fa: FunctionAnalysis,
+    bounds: LoopBounds,
+    times: BlockTimes,
+    cache_summary: Option<(usize, usize, usize)>,
+    digest: u64,
+    peeled: bool,
+    pre_call: BTreeMap<Addr, AbstractState>,
+    icache_calls: Option<BTreeMap<Addr, CacheStates>>,
+    dcache_calls: Option<BTreeMap<Addr, CacheStates>>,
+}
+
+/// One schedulable path-analysis item of the context pipeline.
+enum CtxGroup {
+    /// A single non-recursive context.
+    Single(CtxId),
+    /// A recursive SCC, processed jointly (each member has exactly one,
+    /// merged, context).
+    Scc(Vec<Addr>),
+}
+
+/// What one context group's path analysis produced.
+struct CtxOutcome {
+    reports: Vec<(CtxId, FunctionReport)>,
+}
+
+impl WcetAnalyzer {
+    /// The context-sensitive pipeline behind [`Self::analyze`] when
+    /// `context_depth ≥ 1`: enumerates call-string contexts, runs the
+    /// value and cache/pipeline analyses per *(function, context)* unit
+    /// top-down (callers first, so entry states are ready), and solves
+    /// one IPET system per unit bottom-up with per-call-site callee
+    /// costs. Reports merge per function by max (WCET) / min (BCET);
+    /// the task headline numbers come from the entry function's root
+    /// context.
+    fn analyze_contexts(&self, p: CtxPipeline<'_, '_>) -> Result<AnalysisReport, AnalyzeError> {
+        let CtxPipeline {
+            image,
+            program,
+            callgraph,
+            phases_map,
+            front,
+            guideline_report,
+            mut trace,
+            mut cache,
+            key_ctx,
+            mut stats,
+            threads,
+        } = p;
+        let contexts = callgraph.enumerate_contexts(
+            program.functions.keys(),
+            program.entry,
+            self.config.context_depth,
+        );
+        let summaries =
+            std::sync::Arc::new(wcet_analysis::valueanalysis::compute_summaries(&program));
+        let base_entry = wcet_analysis::valueanalysis::entry_state_from_image(image);
+        let overrides = self.config.annotations.access_overrides();
+        let levels = callgraph.bottom_up_levels();
+
+        // --- Phases 3–4 per unit: the top-down wavefront ---------------
+        // Reversing the bottom-up levels puts every caller context in an
+        // earlier level than the contexts it produces, so entry states
+        // join over already-analyzed units. Units within one level share
+        // no call edges and fan out in parallel; merges land in ctx-id
+        // order, so the report is thread-count independent.
+        let t3 = Instant::now();
+        let mut ctx_work = Duration::ZERO;
+        let mut units: BTreeMap<CtxId, CtxUnit> = BTreeMap::new();
+        let mut analyzed_cfgs: BTreeMap<Addr, Cfg> = BTreeMap::new();
+        for level in levels.iter().rev() {
+            let ids: Vec<CtxId> = level
+                .iter()
+                .flatten()
+                .flat_map(|&f| contexts.ctxs_of(f).iter().copied())
+                .collect();
+            let inputs: Vec<CtxInput> = ids
+                .iter()
+                .map(|&id| ctx_entry_input(id, &contexts, &callgraph, &units, &base_entry))
+                .collect();
+            let (results, work) = parallel::map_in_order(&inputs, threads, |input| {
+                self.analyze_ctx_unit(input, &contexts, &program, &summaries, &overrides)
+            });
+            ctx_work += work;
+            for (input, unit) in inputs.into_iter().zip(results) {
+                let f = contexts.info(input.id).function;
+                if unit.peeled && !analyzed_cfgs.contains_key(&f) {
+                    // Peeling is pure CFG surgery: every context of `f`
+                    // derives the same expanded CFG.
+                    analyzed_cfgs.insert(f, unit.fa.cfg().clone());
+                }
+                units.insert(input.id, unit);
+            }
+        }
+        for unit in units.values() {
+            if let Some((h, m, nc)) = unit.cache_summary {
+                trace.cache_always_hit += h;
+                trace.cache_always_miss += m;
+                trace.cache_not_classified += nc;
+            }
+        }
+        trace.phase_times[3] = t3.elapsed();
+        trace.phase_work_times[3] = ctx_work;
+
+        // --- Dirtiness propagation (function-level, as at depth 0) -----
+        let dirty: BTreeSet<Addr> = if key_ctx.is_some() {
+            let changed: BTreeSet<Addr> = phases_map
+                .iter()
+                .filter(|(_, phase)| matches!(phase, FnPhase::Fresh { .. }))
+                .map(|(&f, _)| f)
+                .collect();
+            let dirty = callgraph.transitive_callers(&changed);
+            stats.functions = phases_map.len();
+            stats.fn_hits = phases_map.len() - changed.len();
+            stats.fn_misses = changed.len();
+            stats.dirty = dirty.len();
+            dirty
+        } else {
+            BTreeSet::new()
+        };
+
+        // Annotation-sourced bound statistic: per function (not per
+        // context — the count describes the code), over the first
+        // context's analyzed forest, mirroring the depth-0 semantics.
+        for &f in program.functions.keys() {
+            let unit = &units[&contexts.ctxs_of(f)[0]];
+            let mut bounds = unit.bounds.clone();
+            self.config.annotations.apply_loop_bounds(
+                unit.fa.cfg(),
+                unit.fa.forest(),
+                &mut bounds,
+                None,
+            );
+            trace.loops_bounded_annot += bounds
+                .results()
+                .iter()
+                .filter(|(_, r)| {
+                    matches!(
+                        r,
+                        BoundResult::Bounded {
+                            source: BoundSource::Annotation,
+                            ..
+                        }
+                    )
+                })
+                .count();
+        }
+
+        let fn_keys: BTreeMap<Addr, Option<u64>> = phases_map
+            .iter()
+            .map(|(&f, phase)| {
+                let key = match phase {
+                    FnPhase::Fresh { key, .. } => *key,
+                    FnPhase::Warm { key, .. } => Some(*key),
+                };
+                (f, key)
+            })
+            .collect();
+
+        // --- Phase 5: per-context path analysis, bottom-up -------------
+        let t4 = Instant::now();
+        let mut path_work = Duration::ZERO;
+        let mut mode_wcet: BTreeMap<Option<String>, u64> = BTreeMap::new();
+        let mut global_functions: BTreeMap<Addr, FunctionReport> = BTreeMap::new();
+        let mut root_report: Option<FunctionReport> = None;
+        // The entry function's *root* context (empty call string — id
+        // order puts it first): the task activation the headline bounds
+        // describe.
+        let root_ctx = contexts.ctxs_of(program.entry)[0];
+
+        let mut modes: Vec<Option<String>> = vec![None];
+        modes.extend(
+            self.config
+                .annotations
+                .modes()
+                .iter()
+                .map(|m| Some(m.clone())),
+        );
+
+        for mode in &modes {
+            let mut wcet_costs: BTreeMap<CtxId, u64> = BTreeMap::new();
+            let mut bcet_costs: BTreeMap<CtxId, u64> = BTreeMap::new();
+            let mut per_ctx: BTreeMap<CtxId, FunctionReport> = BTreeMap::new();
+            for level in &levels {
+                let mut groups: Vec<CtxGroup> = Vec::new();
+                for group in level {
+                    if group.len() == 1 && !callgraph.is_recursive(group[0]) {
+                        groups.extend(
+                            contexts
+                                .ctxs_of(group[0])
+                                .iter()
+                                .map(|&c| CtxGroup::Single(c)),
+                        );
+                    } else {
+                        groups.push(CtxGroup::Scc(group.clone()));
+                    }
+                }
+                // Coordinator pass: price every Single context's call
+                // sites once (the solvers reuse the vector) and serve
+                // cached per-context solutions.
+                let mut served: Vec<Option<CtxOutcome>> = Vec::new();
+                served.resize_with(groups.len(), || None);
+                let mut to_solve: Vec<usize> = Vec::new();
+                let mut store_keys: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+                let mut priced: BTreeMap<usize, Vec<(Addr, u64, u64)>> = BTreeMap::new();
+                for (gi, group) in groups.iter().enumerate() {
+                    let CtxGroup::Single(ctx) = group else {
+                        to_solve.push(gi);
+                        continue;
+                    };
+                    let f = contexts.info(*ctx).function;
+                    let unit = &units[ctx];
+                    if let Some(costs) =
+                        ctx_site_costs(unit, *ctx, &contexts, &wcet_costs, &bcet_costs)
+                    {
+                        priced.insert(gi, costs);
+                    }
+                    let (Some(fn_key), true) = (fn_keys[&f], cache.is_some()) else {
+                        to_solve.push(gi);
+                        continue;
+                    };
+                    let Some(costs) = priced.get(&gi) else {
+                        // A callee bound is missing: solve (and error
+                        // there).
+                        to_solve.push(gi);
+                        continue;
+                    };
+                    let skey = ipet_ctx_struct_key(fn_key, unit.digest, mode.as_deref());
+                    let fkey = ipet_site_full_key(skey, costs);
+                    if !dirty.contains(&f) {
+                        let store = cache.as_deref_mut().expect("cache active");
+                        let hit = store
+                            .lookup_ipet(skey)
+                            .filter(|e| e.full_key == fkey && entry_fits(e, unit.fa.cfg()));
+                        if let Some(entry) = hit {
+                            stats.ipet_hits += 1;
+                            served[gi] = Some(CtxOutcome {
+                                reports: vec![(
+                                    *ctx,
+                                    FunctionReport {
+                                        wcet: entry.wcet,
+                                        bcet: entry.bcet,
+                                    },
+                                )],
+                            });
+                            continue;
+                        }
+                    }
+                    store_keys.insert(gi, (skey, fkey));
+                    to_solve.push(gi);
+                }
+                let (outcomes, work) = parallel::map_in_order(&to_solve, threads, |&gi| {
+                    self.solve_ctx_group(
+                        &groups[gi],
+                        priced.get(&gi).map(Vec::as_slice),
+                        mode.as_deref(),
+                        &units,
+                        &contexts,
+                        &callgraph,
+                        &wcet_costs,
+                        &bcet_costs,
+                    )
+                });
+                path_work += work;
+                stats.ipet_solves += to_solve.len();
+                for (&gi, outcome) in to_solve.iter().zip(outcomes) {
+                    let outcome = outcome?;
+                    if let (Some(store), Some(&(skey, fkey))) =
+                        (cache.as_deref_mut(), store_keys.get(&gi))
+                    {
+                        let (_, report) = &outcome.reports[0];
+                        store.store_ipet(
+                            skey,
+                            &IpetEntry {
+                                full_key: fkey,
+                                wcet: report.wcet.clone(),
+                                bcet: report.bcet.clone(),
+                            },
+                        );
+                    }
+                    served[gi] = Some(outcome);
+                }
+                for outcome in served {
+                    let outcome = outcome.expect("every group served or solved");
+                    for (ctx, report) in outcome.reports {
+                        wcet_costs.insert(ctx, report.wcet.wcet_cycles);
+                        bcet_costs.insert(ctx, report.bcet.wcet_cycles);
+                        per_ctx.insert(ctx, report);
+                    }
+                }
+            }
+            mode_wcet.insert(mode.clone(), per_ctx[&root_ctx].wcet.wcet_cycles);
+            if mode.is_none() {
+                // Per-function reports merge over contexts: WCET by max,
+                // BCET by min — a bound for *any* invocation.
+                for &f in program.functions.keys() {
+                    let mut merged: Option<FunctionReport> = None;
+                    for &ctx in contexts.ctxs_of(f) {
+                        let r = &per_ctx[&ctx];
+                        merged = Some(match merged {
+                            None => r.clone(),
+                            Some(mut m) => {
+                                if r.wcet.wcet_cycles > m.wcet.wcet_cycles {
+                                    m.wcet = r.wcet.clone();
+                                }
+                                if r.bcet.wcet_cycles < m.bcet.wcet_cycles {
+                                    m.bcet = r.bcet.clone();
+                                }
+                                m
+                            }
+                        });
+                    }
+                    global_functions.insert(f, merged.expect("every function has a context"));
+                }
+                root_report = Some(per_ctx[&root_ctx].clone());
+            }
+        }
+        trace.phase_times[4] = t4.elapsed();
+        trace.phase_work_times[4] = path_work;
+
+        // --- Store fresh function artifacts ----------------------------
+        // Bounds/times are per-context at depth ≥ 1, so artifacts carry
+        // only the context-oblivious front matter (plus the merged-unit
+        // loop bounds for completeness); the structural replay path is
+        // exclusive to depth 0, whose config fingerprint differs.
+        if let (Some(_), Some(store)) = (&key_ctx, cache) {
+            for (&f, phase) in &phases_map {
+                let FnPhase::Fresh { key, fa } = phase else {
+                    continue;
+                };
+                let key = key.expect("keys are computed for every function under a cache");
+                let fm = &front[&f];
+                let artifact = FunctionArtifact {
+                    hint_calls: fm.hint_calls.clone(),
+                    hint_jumps: fm.hint_jumps.clone(),
+                    findings: fm.findings.clone(),
+                    loops_total: fm.loops_total,
+                    loops_auto: fm.loops_auto,
+                    peeled: false,
+                    bounds: fa
+                        .loop_bounds()
+                        .results()
+                        .iter()
+                        .map(|(id, r)| (id.0, *r))
+                        .collect(),
+                    times_wcet: Vec::new(),
+                    times_bcet: Vec::new(),
+                    cache_summary: None,
+                };
+                store.store_fn(key, &artifact);
+            }
+        }
+
+        let entry_cfg = units[&root_ctx].fa.cfg();
+        trace.ilp_vars = entry_cfg.edges().len() + entry_cfg.block_count() + 1;
+        trace.ilp_constraints = entry_cfg.block_count() * 2;
+
+        let root_report = root_report.expect("global mode ran");
+        Ok(AnalysisReport {
+            wcet_cycles: root_report.wcet.wcet_cycles,
+            bcet_cycles: root_report.bcet.wcet_cycles,
+            worst_path: root_report.wcet.worst_path.clone(),
+            analyzed_cfgs,
+            functions: global_functions,
+            mode_wcet,
+            guidelines: guideline_report,
+            trace,
+            program,
+            incr: key_ctx.map(|_| stats),
+        })
+    }
+
+    /// Analyzes one *(function, context)* unit: value analysis from the
+    /// context's entry state, optional virtual unrolling (re-analyzed
+    /// under the same entry state), cache fixpoints seeded with the entry
+    /// ACS pair, and block times.
+    fn analyze_ctx_unit(
+        &self,
+        input: &CtxInput,
+        contexts: &ContextTable,
+        program: &Program,
+        summaries: &std::sync::Arc<
+            std::collections::HashMap<Addr, wcet_analysis::valueanalysis::FunctionSummary>,
+        >,
+        overrides: &wcet_micro::blocktime::AccessOverrides,
+    ) -> CtxUnit {
+        let machine = &self.config.machine;
+        let f = contexts.info(input.id).function;
+        let cfg = program.cfg(f).expect("reconstructed").clone();
+        let mut fa = wcet_analysis::valueanalysis::analyze_cfg(
+            cfg,
+            f,
+            input.entry_state.clone(),
+            AnalysisConfig::default(),
+            summaries.clone(),
+        );
+        let mut peeled_flag = false;
+        if self.config.unrolling {
+            let (peeled, _skipped) = wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
+            if peeled.block_count() != fa.cfg().block_count() {
+                fa = wcet_analysis::valueanalysis::analyze_cfg(
+                    peeled,
+                    f,
+                    input.entry_state.clone(),
+                    AnalysisConfig::default(),
+                    summaries.clone(),
+                );
+                peeled_flag = true;
+            }
+        }
+        let accesses = fa.access_values();
+        let (icache, icache_calls) = match &machine.icache {
+            Some(cc) => {
+                let r = CacheAnalysis::instruction_ctx(
+                    fa.cfg(),
+                    cc,
+                    &machine.memmap,
+                    input.icache_entry.as_ref(),
+                );
+                (Some(r.analysis), Some(r.call_states))
+            }
+            None => (None, None),
+        };
+        let (dcache, dcache_calls) = match &machine.dcache {
+            Some(cc) => {
+                let r = CacheAnalysis::data_ctx(
+                    fa.cfg(),
+                    cc,
+                    &machine.memmap,
+                    &accesses,
+                    input.dcache_entry.as_ref(),
+                );
+                (Some(r.analysis), Some(r.call_states))
+            }
+            None => (None, None),
+        };
+        let times = BlockTimes::compute_from_parts(
+            &fa,
+            machine,
+            overrides,
+            icache.as_ref(),
+            dcache.as_ref(),
+        );
+        let cache_summary = icache.as_ref().map(CacheAnalysis::summary);
+        let bounds = fa.loop_bounds();
+        let pre_call = fa.pre_call_states();
+        CtxUnit {
+            bounds,
+            times,
+            cache_summary,
+            digest: input.digest,
+            peeled: peeled_flag,
+            pre_call,
+            icache_calls,
+            dcache_calls,
+            fa,
+        }
+    }
+
+    /// Path-analyzes one context group for `mode` — the per-context
+    /// analogue of the depth-0 `analyze_call_group`.
+    #[allow(clippy::too_many_arguments)] // phase state, plumbed not stored
+    fn solve_ctx_group(
+        &self,
+        group: &CtxGroup,
+        priced: Option<&[(Addr, u64, u64)]>,
+        mode: Option<&str>,
+        units: &BTreeMap<CtxId, CtxUnit>,
+        contexts: &ContextTable,
+        callgraph: &CallGraph,
+        wcet_costs: &BTreeMap<CtxId, u64>,
+        bcet_costs: &BTreeMap<CtxId, u64>,
+    ) -> Result<CtxOutcome, AnalyzeError> {
+        let solve_one = |ctx: CtxId,
+                         zero_members: &[Addr],
+                         priced: Option<&[(Addr, u64, u64)]>|
+         -> Result<FunctionReport, AnalyzeError> {
+            let f = contexts.info(ctx).function;
+            let unit = &units[&ctx];
+            let (cfg, forest) = (unit.fa.cfg(), unit.fa.forest());
+            let mut bounds = unit.bounds.clone();
+            self.config
+                .annotations
+                .apply_loop_bounds(cfg, forest, &mut bounds, mode);
+            let facts = self.config.annotations.flow_facts(cfg, mode);
+            // The coordinator already priced this context's sites when it
+            // probed the cache; reuse its vector instead of re-deriving.
+            let (w_costs, b_costs) = match priced {
+                Some(costs) => {
+                    let (mut w, mut b) = (CallCosts::new(), CallCosts::new());
+                    for &(site, sw, sb) in costs {
+                        w.insert_site(site, sw);
+                        b.insert_site(site, sb);
+                    }
+                    (w, b)
+                }
+                None => site_cost_tables(unit, ctx, contexts, wcet_costs, bcet_costs, zero_members),
+            };
+            let wcet = ipet::wcet(cfg, forest, &unit.times, &bounds, &facts, &w_costs)
+                .map_err(|error| AnalyzeError::Path { function: f, error })?;
+            let bcet = ipet::bcet(cfg, forest, &unit.times, &bounds, &facts, &b_costs)
+                .map_err(|error| AnalyzeError::Path { function: f, error })?;
+            Ok(FunctionReport { wcet, bcet })
+        };
+
+        match group {
+            CtxGroup::Single(ctx) => {
+                let report = solve_one(*ctx, &[], priced)?;
+                Ok(CtxOutcome {
+                    reports: vec![(*ctx, report)],
+                })
+            }
+            CtxGroup::Scc(members) => {
+                // Recursive cycles: per-activation body costs with the
+                // cycle's internal calls priced at zero, scaled by the
+                // annotated depth — exactly the depth-0 rule (members
+                // have one merged context each).
+                let mut reports: Vec<(CtxId, FunctionReport)> = Vec::with_capacity(members.len());
+                for &f in members {
+                    let ctx = contexts.ctxs_of(f)[0];
+                    let report = solve_one(ctx, members, None)?;
+                    reports.push((ctx, report));
+                }
+                // Scale from a snapshot of the *raw* per-activation
+                // costs: mutating `reports` while reading siblings from
+                // it would compound the depth factor order-dependently
+                // (the depth-0 path had exactly that bug).
+                let raw: BTreeMap<Addr, u64> = reports
+                    .iter()
+                    .map(|(c, r)| (contexts.info(*c).function, r.wcet.wcet_cycles))
+                    .collect();
+                for (ctx, report) in &mut reports {
+                    let f = contexts.info(*ctx).function;
+                    let depth = self
+                        .config
+                        .annotations
+                        .recursion_depth(f)
+                        .expect("recursion checked before the pipeline split");
+                    let body_sum: u64 = callgraph.scc_members(f).iter().map(|m| raw[m]).sum();
+                    report.wcet.wcet_cycles = depth.saturating_mul(body_sum);
+                    // One activation stays the sound lower bound.
+                }
+                Ok(CtxOutcome { reports })
+            }
+        }
+    }
+}
+
+/// Computes the entry inputs of one context on the coordinator: the join
+/// of the producing callers' pre-call value states and ACS pairs, and
+/// the digest that keys per-context IPET solutions. Recursive functions
+/// and functions without resolved producers fall back to the ⊤ image
+/// entry state (today's merged behaviour) — sound for any call path.
+fn ctx_entry_input(
+    id: CtxId,
+    contexts: &ContextTable,
+    callgraph: &CallGraph,
+    units: &BTreeMap<CtxId, CtxUnit>,
+    base_entry: &AbstractState,
+) -> CtxInput {
+    let info = contexts.info(id);
+    let mut state: Option<AbstractState> = None;
+    let mut icache_entry: Option<CacheStates> = None;
+    let mut dcache_entry: Option<CacheStates> = None;
+    if !callgraph.is_recursive(info.function) {
+        // `preds` is sorted, so the joins fold in a fixed order:
+        // deterministic at any thread count.
+        for &(caller, site) in &info.preds {
+            let Some(caller_unit) = units.get(&caller) else {
+                continue;
+            };
+            if let Some(s) = caller_unit.pre_call.get(&site) {
+                state = Some(match state {
+                    Some(cur) => cur.join(s),
+                    None => s.clone(),
+                });
+            }
+            for (pair, entry) in [
+                (&caller_unit.icache_calls, &mut icache_entry),
+                (&caller_unit.dcache_calls, &mut dcache_entry),
+            ] {
+                if let Some(p) = pair.as_ref().and_then(|m| m.get(&site)) {
+                    *entry = Some(match entry.take() {
+                        Some(cur) => cur.join(p),
+                        None => p.clone(),
+                    });
+                }
+            }
+        }
+    }
+    let entry_state = state.unwrap_or_else(|| base_entry.clone());
+    let mut h = StableHasher::new();
+    h.write_str("ctx-entry");
+    h.write_u64(entry_state.digest());
+    for entry in [&icache_entry, &dcache_entry] {
+        match entry {
+            Some(pair) => {
+                h.write_u32(1);
+                h.write_u64(pair.digest());
+            }
+            None => h.write_u32(0),
+        }
+    }
+    CtxInput {
+        id,
+        entry_state,
+        icache_entry,
+        dcache_entry,
+        digest: h.finish(),
+    }
+}
+
+/// The per-site cost tables of one context's IPET system: every resolved
+/// call site priced with the *(callee, context)* bounds it targets
+/// (merged max/min over an indirect site's callee set). `zero_members`
+/// are SCC members priced at zero for the recursion rule. Sites with a
+/// missing callee bound stay unpriced — the solver surfaces
+/// [`PathError::MissingCallee`].
+fn site_cost_tables(
+    unit: &CtxUnit,
+    ctx: CtxId,
+    contexts: &ContextTable,
+    wcet_costs: &BTreeMap<CtxId, u64>,
+    bcet_costs: &BTreeMap<CtxId, u64>,
+    zero_members: &[Addr],
+) -> (CallCosts, CallCosts) {
+    let mut w = CallCosts::new();
+    let mut b = CallCosts::new();
+    for (site, w_cost, b_cost) in
+        site_costs(unit, ctx, contexts, wcet_costs, bcet_costs, zero_members)
+    {
+        w.insert_site(site, w_cost);
+        b.insert_site(site, b_cost);
+    }
+    (w, b)
+}
+
+/// The priced call sites of one context, in site order: `(site, WCET,
+/// BCET)`. Sites whose callee contexts lack a bound are omitted.
+fn site_costs(
+    unit: &CtxUnit,
+    ctx: CtxId,
+    contexts: &ContextTable,
+    wcet_costs: &BTreeMap<CtxId, u64>,
+    bcet_costs: &BTreeMap<CtxId, u64>,
+    zero_members: &[Addr],
+) -> Vec<(Addr, u64, u64)> {
+    let mut out: BTreeMap<Addr, (u64, u64)> = BTreeMap::new();
+    for (site, targets) in unit.fa.cfg().call_sites() {
+        let mut site_w: Option<u64> = None;
+        let mut site_b: Option<u64> = None;
+        let mut complete = true;
+        for callee in targets {
+            let (cw, cb) = if zero_members.contains(&callee) {
+                (0, 0)
+            } else {
+                let Some(cctx) = contexts.callee_ctx(ctx, site, callee) else {
+                    complete = false;
+                    break;
+                };
+                match (wcet_costs.get(&cctx), bcet_costs.get(&cctx)) {
+                    (Some(&cw), Some(&cb)) => (cw, cb),
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            };
+            site_w = Some(site_w.map_or(cw, |v| v.max(cw)));
+            site_b = Some(site_b.map_or(cb, |v| v.min(cb)));
+        }
+        if let (true, Some(sw), Some(sb)) = (complete, site_w, site_b) {
+            // Peeled copies repeat a site with identical targets; the
+            // map keeps one deterministic entry.
+            out.insert(site, (sw, sb));
+        }
+    }
+    out.into_iter().map(|(s, (w, b))| (s, w, b)).collect()
+}
+
+/// The full-key cost vector of one context's IPET system, or `None` when
+/// a callee bound is still missing (the solver will error there).
+fn ctx_site_costs(
+    unit: &CtxUnit,
+    ctx: CtxId,
+    contexts: &ContextTable,
+    wcet_costs: &BTreeMap<CtxId, u64>,
+    bcet_costs: &BTreeMap<CtxId, u64>,
+) -> Option<Vec<(Addr, u64, u64)>> {
+    let priced = site_costs(unit, ctx, contexts, wcet_costs, bcet_costs, &[]);
+    let wanted: BTreeSet<Addr> = unit
+        .fa
+        .cfg()
+        .call_sites()
+        .into_iter()
+        .filter(|(_, targets)| !targets.is_empty())
+        .map(|(s, _)| s)
+        .collect();
+    (priced.len() == wanted.len()).then_some(priced)
 }
 
 /// What one wavefront group's path analysis produced.
@@ -1131,7 +1929,9 @@ mod tests {
     use wcet_isa::interp::Interpreter;
 
     fn analyze_src(src: &str) -> AnalysisReport {
-        WcetAnalyzer::new().analyze(&assemble(src).unwrap()).unwrap()
+        WcetAnalyzer::new()
+            .analyze(&assemble(src).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -1148,12 +1948,20 @@ mod tests {
         assert_eq!(derived.check_guidelines, documented.check_guidelines);
         assert_eq!(derived.unrolling, documented.unrolling);
         assert_eq!(derived.parallelism, documented.parallelism);
+        assert_eq!(derived.context_depth, documented.context_depth);
         assert_eq!(derived, documented);
         // The documented defaults really are in force.
         assert_eq!(derived.max_resolve_rounds, 3);
         assert!(derived.check_guidelines);
+        assert_eq!(
+            derived.context_depth, 0,
+            "depth 0 is the golden-compatible default"
+        );
         // And the derived-Default analyzer is the documented analyzer.
-        assert_eq!(WcetAnalyzer::default().config(), WcetAnalyzer::new().config());
+        assert_eq!(
+            WcetAnalyzer::default().config(),
+            WcetAnalyzer::new().config()
+        );
     }
 
     #[test]
@@ -1252,19 +2060,199 @@ mod tests {
         let plain = canonical(WcetAnalyzer::new().analyze(&image).unwrap());
 
         let mut cache = crate::incr::ArtifactCache::open(&dir).unwrap();
-        let cold = WcetAnalyzer::new().analyze_incremental(&image, &mut cache).unwrap();
+        let cold = WcetAnalyzer::new()
+            .analyze_incremental(&image, &mut cache)
+            .unwrap();
         let cold_stats = cold.incr.clone().unwrap();
         assert_eq!(cold_stats.fn_hits, 0);
         assert_eq!(cold_stats.fn_misses, 3);
         assert_eq!(cold_stats.dirty, 3, "everything is dirty on a cold cache");
-        assert_eq!(canonical(cold), plain, "cold cached run matches cacheless run");
+        assert_eq!(
+            canonical(cold),
+            plain,
+            "cold cached run matches cacheless run"
+        );
 
-        let warm = WcetAnalyzer::new().analyze_incremental(&image, &mut cache).unwrap();
+        let warm = WcetAnalyzer::new()
+            .analyze_incremental(&image, &mut cache)
+            .unwrap();
         let warm_stats = warm.incr.clone().unwrap();
         assert_eq!(warm_stats.fn_hits, 3, "all functions replay from cache");
         assert_eq!(warm_stats.dirty, 0);
         assert_eq!(warm_stats.ipet_solves, 0, "no IPET system re-solved");
         assert_eq!(warm_stats.ipet_hits, 3);
+        assert_eq!(canonical(warm), plain, "warm run is byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A caller with two sites passing different work sizes to a clamped
+    /// callee: the canonical context-sensitivity shape.
+    fn two_site_src() -> &'static str {
+        r#"
+        main: li   r1, 3
+              call compute
+              li   r1, 40
+              call compute
+              halt
+        compute:
+              andi r1, r1, 63
+              beq  r1, r0, cdone
+        cloop:
+              mul  r3, r1, r1
+              subi r1, r1, 1
+              bne  r1, r0, cloop
+        cdone:
+              ret
+        "#
+    }
+
+    fn analyze_depth(image: &wcet_isa::Image, depth: usize) -> AnalysisReport {
+        let config = AnalyzerConfig {
+            context_depth: depth,
+            ..AnalyzerConfig::new()
+        };
+        WcetAnalyzer::with_config(config).analyze(image).unwrap()
+    }
+
+    #[test]
+    fn context_depth_one_tightens_and_stays_sound() {
+        let image = assemble(two_site_src()).unwrap();
+        let merged = analyze_depth(&image, 0);
+        let ctx = analyze_depth(&image, 1);
+        // Depth 0 prices both sites at the clamp bound (64 iterations);
+        // depth 1 prices the cheap site at its actual 3.
+        assert!(
+            ctx.wcet_cycles < merged.wcet_cycles,
+            "context expansion must tighten: {} vs {}",
+            ctx.wcet_cycles,
+            merged.wcet_cycles
+        );
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        let observed = interp.run(1_000_000).unwrap().cycles;
+        for (label, r) in [("merged", &merged), ("ctx", &ctx)] {
+            assert!(r.wcet_cycles >= observed, "{label} WCET covers observed");
+            assert!(r.bcet_cycles <= observed, "{label} BCET under observed");
+        }
+        // The per-function report of `compute` merges its contexts by
+        // max — still at most (here: strictly below) the merged ⊤
+        // analysis, because every context entry is tighter than ⊤.
+        let compute = image.symbol("compute").unwrap();
+        assert!(
+            ctx.functions[&compute].wcet.wcet_cycles <= merged.functions[&compute].wcet.wcet_cycles
+        );
+        assert!(
+            ctx.functions[&compute].bcet.wcet_cycles >= merged.functions[&compute].bcet.wcet_cycles
+        );
+        // Depths beyond the call-graph height change nothing more.
+        let deep = analyze_depth(&image, 4);
+        assert_eq!(deep.wcet_cycles, ctx.wcet_cycles);
+    }
+
+    #[test]
+    fn context_pipeline_thread_invariant() {
+        let image = assemble(two_site_src()).unwrap();
+        let render = |parallelism: Option<usize>| {
+            let config = AnalyzerConfig {
+                parallelism,
+                context_depth: 1,
+                ..AnalyzerConfig::new()
+            };
+            let mut report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+            report.trace.phase_times = Default::default();
+            report.trace.phase_work_times = Default::default();
+            format!("{report:#?}")
+        };
+        let sequential = render(Some(1));
+        assert_eq!(sequential, render(Some(4)));
+        assert_eq!(sequential, render(None));
+    }
+
+    #[test]
+    fn context_pipeline_handles_modes_unrolling_and_recursion() {
+        // Modes + annotation-bounded loop at depth 1.
+        let src = "main: li r1, 100\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let image = assemble(src).unwrap();
+        let header = image.symbol("loop").unwrap();
+        let mut config = AnalyzerConfig {
+            context_depth: 1,
+            ..AnalyzerConfig::new()
+        };
+        config.annotations = AnnotationSet::parse(&format!(
+            "mode ground, air;\nloop {header} bound 10 in mode ground;"
+        ))
+        .unwrap();
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        assert!(report.mode_wcet[&Some("ground".to_owned())] < report.mode_wcet[&None]);
+
+        // Annotated recursion still analyzes (merged contexts inside the
+        // SCC), at depth 2 with unrolling on.
+        let image = assemble(
+            r#"
+            main: li r1, 3
+                  call down
+                  halt
+            down: beq r1, r0, base
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  subi r1, r1, 1
+                  call down
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            base: ret
+            "#,
+        )
+        .unwrap();
+        let down = image.symbol("down").unwrap();
+        let mut config = AnalyzerConfig {
+            context_depth: 2,
+            unrolling: true,
+            ..AnalyzerConfig::new()
+        };
+        config.annotations = AnnotationSet::parse(&format!("recursion {down} depth 4;")).unwrap();
+        let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+        let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+        let observed = interp.run(100_000).unwrap().cycles;
+        assert!(report.wcet_cycles >= observed);
+        assert!(report.bcet_cycles <= observed);
+    }
+
+    #[test]
+    fn context_incremental_warm_run_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "wcet-analyzer-ctx-incr-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let image = assemble(two_site_src()).unwrap();
+        let config = AnalyzerConfig {
+            context_depth: 1,
+            ..AnalyzerConfig::new()
+        };
+        let analyzer = WcetAnalyzer::with_config(config);
+        let canonical = |mut report: AnalysisReport| {
+            report.trace.phase_times = Default::default();
+            report.trace.phase_work_times = Default::default();
+            report.incr = None;
+            format!("{report:#?}")
+        };
+        let plain = canonical(analyzer.analyze(&image).unwrap());
+
+        let mut cache = crate::incr::ArtifactCache::open(&dir).unwrap();
+        let cold = analyzer.analyze_incremental(&image, &mut cache).unwrap();
+        let cold_stats = cold.incr.clone().unwrap();
+        assert_eq!(cold_stats.fn_hits, 0);
+        assert_eq!(canonical(cold), plain, "cold cached run matches cacheless");
+
+        let warm = analyzer.analyze_incremental(&image, &mut cache).unwrap();
+        let warm_stats = warm.incr.clone().unwrap();
+        assert_eq!(warm_stats.fn_hits, 2, "both functions replay front matter");
+        assert_eq!(warm_stats.dirty, 0);
+        assert_eq!(
+            warm_stats.ipet_solves, 0,
+            "per-context IPET solutions replay: {warm_stats:?}"
+        );
+        assert!(warm_stats.ipet_hits >= 3, "main + two compute contexts");
         assert_eq!(canonical(warm), plain, "warm run is byte-identical");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1337,8 +2325,7 @@ mod tests {
         .unwrap();
         let down = image.symbol("down").unwrap();
         let mut config = AnalyzerConfig::new();
-        config.annotations =
-            AnnotationSet::parse(&format!("recursion {down} depth 7;")).unwrap();
+        config.annotations = AnnotationSet::parse(&format!("recursion {down} depth 7;")).unwrap();
         let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         let observed = interp.run(100_000).unwrap().cycles;
@@ -1379,14 +2366,81 @@ mod tests {
         let f = image.symbol("f").unwrap();
         let g = image.symbol("g").unwrap();
         let mut config = AnalyzerConfig::new();
-        config.annotations = AnnotationSet::parse(&format!(
-            "recursion {f} depth 5;\nrecursion {g} depth 5;"
-        ))
-        .unwrap();
+        config.annotations =
+            AnnotationSet::parse(&format!("recursion {f} depth 5;\nrecursion {g} depth 5;"))
+                .unwrap();
         let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         let observed = interp.run(100_000).unwrap().cycles;
         assert!(report.wcet_cycles >= observed);
+    }
+
+    #[test]
+    fn asymmetric_mutual_recursion_scales_from_raw_body_costs() {
+        // Regression: the SCC scaling pass used to (a) substitute a
+        // member's own body cost for siblings not yet solved — the
+        // first member of an asymmetric cycle undercut its bound — and
+        // (b) read already-scaled siblings, compounding the depth factor
+        // order-dependently. With equal depth annotations both members
+        // must end at exactly depth × Σ(raw body costs): equal bounds.
+        let image = assemble(
+            r#"
+            main: li r1, 4
+                  call f
+                  halt
+            f:    beq r1, r0, fo
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  li   r3, 40
+            fw:   mul  r4, r3, r3
+                  subi r3, r3, 1
+                  bne  r3, r0, fw
+                  subi r1, r1, 1
+                  call g
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            fo:   ret
+            g:    beq r1, r0, go
+                  subi sp, sp, 4
+                  sw   lr, 0(sp)
+                  subi r1, r1, 1
+                  call f
+                  lw   lr, 0(sp)
+                  addi sp, sp, 4
+            go:   ret
+            "#,
+        )
+        .unwrap();
+        let f = image.symbol("f").unwrap();
+        let g = image.symbol("g").unwrap();
+        for depth in [0usize, 1] {
+            let mut config = AnalyzerConfig {
+                context_depth: depth,
+                ..AnalyzerConfig::new()
+            };
+            config.annotations =
+                AnnotationSet::parse(&format!("recursion {f} depth 5;\nrecursion {g} depth 5;"))
+                    .unwrap();
+            let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
+            let (wf, wg) = (
+                report.functions[&f].wcet.wcet_cycles,
+                report.functions[&g].wcet.wcet_cycles,
+            );
+            assert_eq!(
+                wf, wg,
+                "ctx depth {depth}: equal depths over one cycle must scale identically"
+            );
+            let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
+            let observed = interp.run(1_000_000).unwrap().cycles;
+            assert!(report.wcet_cycles >= observed, "ctx depth {depth}");
+            // The cheap member's published bound covers a real activation
+            // (a `g` activation runs the whole remaining cycle): it must
+            // not undercut the expensive member's body.
+            assert!(
+                wg >= observed - 50,
+                "ctx depth {depth}: wg {wg} vs observed {observed}"
+            );
+        }
     }
 
     #[test]
@@ -1395,7 +2449,10 @@ mod tests {
             assemble("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt").unwrap();
         let err = WcetAnalyzer::new().analyze(&image).unwrap_err();
         match err {
-            AnalyzeError::Path { error: PathError::UnboundedLoop { .. }, .. } => {}
+            AnalyzeError::Path {
+                error: PathError::UnboundedLoop { .. },
+                ..
+            } => {}
             other => panic!("expected unbounded-loop path error, got {other}"),
         }
     }
@@ -1406,8 +2463,7 @@ mod tests {
             assemble("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt").unwrap();
         let header = image.symbol("loop").unwrap();
         let mut config = AnalyzerConfig::new();
-        config.annotations =
-            AnnotationSet::parse(&format!("loop {header} bound 32;")).unwrap();
+        config.annotations = AnnotationSet::parse(&format!("loop {header} bound 32;")).unwrap();
         let report = WcetAnalyzer::with_config(config).analyze(&image).unwrap();
         assert!(report.wcet_cycles > 0);
         assert_eq!(report.trace.loops_bounded_annot, 1);
@@ -1442,9 +2498,10 @@ mod tests {
         let mut image = assemble(src).unwrap();
         let h1 = image.symbol("h1").unwrap();
         let h2 = image.symbol("h2").unwrap();
-        image
-            .data
-            .push(wcet_isa::image::Segment::from_words(Addr(0x5000), &[h1.0, h2.0]));
+        image.data.push(wcet_isa::image::Segment::from_words(
+            Addr(0x5000),
+            &[h1.0, h2.0],
+        ));
         let report = WcetAnalyzer::new().analyze(&image).unwrap();
         assert_eq!(report.trace.unresolved_initial, 1);
         assert_eq!(report.trace.unresolved_final, 0);
@@ -1485,14 +2542,18 @@ mod tests {
             machine: machine.clone(),
             ..AnalyzerConfig::new()
         };
-        let plain = WcetAnalyzer::with_config(plain_cfg).analyze(&image).unwrap();
+        let plain = WcetAnalyzer::with_config(plain_cfg)
+            .analyze(&image)
+            .unwrap();
 
         let unroll_cfg = AnalyzerConfig {
             machine: machine.clone(),
             unrolling: true,
             ..AnalyzerConfig::new()
         };
-        let unrolled = WcetAnalyzer::with_config(unroll_cfg).analyze(&image).unwrap();
+        let unrolled = WcetAnalyzer::with_config(unroll_cfg)
+            .analyze(&image)
+            .unwrap();
 
         assert!(
             unrolled.wcet_cycles < plain.wcet_cycles,
@@ -1508,7 +2569,8 @@ mod tests {
 
     #[test]
     fn unrolling_handles_interprocedural_programs() {
-        let src = "main: call f\n call f\n halt\nf: li r1, 5\nfl: subi r1, r1, 1\n bne r1, r0, fl\n ret";
+        let src =
+            "main: call f\n call f\n halt\nf: li r1, 5\nfl: subi r1, r1, 1\n bne r1, r0, fl\n ret";
         let image = assemble(src).unwrap();
         let config = AnalyzerConfig {
             unrolling: true,

@@ -53,7 +53,11 @@ fn row(label: impl Into<String>, value: impl fmt::Display) -> (String, String) {
     (label.into(), value.to_string())
 }
 
-fn analyze_with(image: &Image, annots: &AnnotationSet, machine: MachineConfig) -> Result<crate::analyzer::AnalysisReport, AnalyzeError> {
+fn analyze_with(
+    image: &Image,
+    annots: &AnnotationSet,
+    machine: MachineConfig,
+) -> Result<crate::analyzer::AnalysisReport, AnalyzeError> {
     let config = AnalyzerConfig {
         machine,
         annotations: annots.clone(),
@@ -62,7 +66,11 @@ fn analyze_with(image: &Image, annots: &AnnotationSet, machine: MachineConfig) -
     WcetAnalyzer::with_config(config).analyze(image)
 }
 
-fn observed_cycles(image: &Image, machine: MachineConfig, setup: impl FnOnce(&mut Interpreter)) -> u64 {
+fn observed_cycles(
+    image: &Image,
+    machine: MachineConfig,
+    setup: impl FnOnce(&mut Interpreter),
+) -> u64 {
     let mut interp = Interpreter::with_config(image, machine);
     setup(&mut interp);
     interp.run(50_000_000).expect("workload halts").cycles
@@ -143,10 +151,8 @@ pub fn e2_pipeline() -> Experiment {
 /// and needs an annotation.
 #[must_use]
 pub fn e3_rule_13_4() -> Experiment {
-    let int_loop = assemble(
-        "main: li r1, 10\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
-    )
-    .expect("assembles");
+    let int_loop = assemble("main: li r1, 10\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt")
+        .expect("assembles");
     let float_loop = assemble(
         r#"
         main: fmov f0, r0
@@ -162,7 +168,9 @@ pub fn e3_rule_13_4() -> Experiment {
     .expect("assembles");
 
     let mut rows = Vec::new();
-    let ok = WcetAnalyzer::new().analyze(&int_loop).expect("int loop analyzes");
+    let ok = WcetAnalyzer::new()
+        .analyze(&int_loop)
+        .expect("int loop analyzes");
     rows.push(row("integer counter loop: WCET (cycles)", ok.wcet_cycles));
     rows.push(row(
         "integer counter loop: bounded automatically",
@@ -200,14 +208,19 @@ pub fn e4_rule_13_6() -> Experiment {
     .expect("assembles");
 
     let mut rows = Vec::new();
-    let ok = WcetAnalyzer::new().analyze(&clean).expect("clean counter analyzes");
+    let ok = WcetAnalyzer::new()
+        .analyze(&clean)
+        .expect("clean counter analyzes");
     rows.push(row("single-update counter: WCET (cycles)", ok.wcet_cycles));
     let err = WcetAnalyzer::new().analyze(&dirty).unwrap_err();
     rows.push(row("double-update counter: analysis result", &err));
     let header = dirty.symbol("loop").expect("label");
     let annots = AnnotationSet::parse(&format!("loop {header} bound 8;")).expect("parses");
     let fixed = analyze_with(&dirty, &annots, MachineConfig::simple()).expect("annotated");
-    rows.push(row("double-update + annotation: WCET (cycles)", fixed.wcet_cycles));
+    rows.push(row(
+        "double-update + annotation: WCET (cycles)",
+        fixed.wcet_cycles,
+    ));
     Experiment {
         id: "E4",
         title: "complex counter updates defeat loop analysis",
@@ -251,7 +264,10 @@ pub fn e5_rule_14_1() -> Experiment {
 
     let mut rows = Vec::new();
     let plain = WcetAnalyzer::new().analyze(&image).expect("analyzes");
-    rows.push(row("WCET with spurious diagnostic path (cycles)", plain.wcet_cycles));
+    rows.push(row(
+        "WCET with spurious diagnostic path (cycles)",
+        plain.wcet_cycles,
+    ));
     let findings = plain.guidelines.as_ref().expect("checking enabled");
     let dead = findings
         .findings()
@@ -314,7 +330,9 @@ pub fn e6_rule_14_4() -> Experiment {
     let mut rows = Vec::new();
     let err = WcetAnalyzer::new().analyze(&irreducible).unwrap_err();
     rows.push(row("irreducible (goto) version: analysis result", &err));
-    let ok = WcetAnalyzer::new().analyze(&reducible).expect("reducible analyzes");
+    let ok = WcetAnalyzer::new()
+        .analyze(&reducible)
+        .expect("reducible analyzes");
     rows.push(row("reducible version: WCET (cycles)", ok.wcet_cycles));
 
     // Virtual unrolling on the reducible version under an icache: the
@@ -323,11 +341,17 @@ pub fn e6_rule_14_4() -> Experiment {
     let p = reconstruct(&reducible, &TargetResolver::empty()).expect("reconstructs");
     let fa = analyze_function(&p, p.entry, &reducible);
     let times = BlockTimes::compute(&fa, &machine);
-    let plain = ipet::wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &Default::default())
-        .expect("plain wcet");
+    let plain = ipet::wcet(
+        fa.cfg(),
+        fa.forest(),
+        &times,
+        &fa.loop_bounds(),
+        &[],
+        &Default::default(),
+    )
+    .expect("plain wcet");
 
-    let (peeled_cfg, skipped) =
-        wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
+    let (peeled_cfg, skipped) = wcet_cfg::unroll::peel_all(fa.cfg(), fa.forest());
     assert!(skipped.is_empty());
     let summaries = wcet_analysis::valueanalysis::compute_summaries(&p);
     let fa_peeled = wcet_analysis::valueanalysis::analyze_cfg(
@@ -335,7 +359,7 @@ pub fn e6_rule_14_4() -> Experiment {
         p.entry,
         wcet_analysis::state::AbstractState::all_unknown(),
         wcet_analysis::valueanalysis::AnalysisConfig::default(),
-        summaries,
+        summaries.into(),
     );
     let times_peeled = BlockTimes::compute(&fa_peeled, &machine);
     let peeled = ipet::wcet(
@@ -347,7 +371,10 @@ pub fn e6_rule_14_4() -> Experiment {
         &Default::default(),
     )
     .expect("peeled wcet");
-    rows.push(row("reducible, icache, no unrolling: WCET (cycles)", plain.wcet_cycles));
+    rows.push(row(
+        "reducible, icache, no unrolling: WCET (cycles)",
+        plain.wcet_cycles,
+    ));
     rows.push(row(
         "reducible, icache, first iteration peeled: WCET (cycles)",
         peeled.wcet_cycles,
@@ -408,7 +435,9 @@ pub fn e7_rule_16_2() -> Experiment {
     let mut rows = Vec::new();
     let err = WcetAnalyzer::new().analyze(&recursive).unwrap_err();
     rows.push(row("recursive version: analysis result", &err));
-    let ok = WcetAnalyzer::new().analyze(&iterative).expect("iterative analyzes");
+    let ok = WcetAnalyzer::new()
+        .analyze(&iterative)
+        .expect("iterative analyzes");
     rows.push(row("iterative version: WCET (cycles)", ok.wcet_cycles));
     let observed = observed_cycles(&iterative, MachineConfig::simple(), |_| {});
     rows.push(row("iterative version: observed (cycles)", observed));
@@ -485,19 +514,18 @@ pub fn e8_rule_20_4() -> Experiment {
 
     let machine = MachineConfig::with_caches();
     let mut rows = Vec::new();
-    for (name, image) in [("static buffer", &static_buf), ("heap buffer (alloc)", &heap_buf)] {
-        let report = analyze_with(image, &AnnotationSet::new(), machine.clone())
-            .expect("analyzes");
+    for (name, image) in [
+        ("static buffer", &static_buf),
+        ("heap buffer (alloc)", &heap_buf),
+    ] {
+        let report = analyze_with(image, &AnnotationSet::new(), machine.clone()).expect("analyzes");
         let findings = report.guidelines.as_ref().expect("on");
         let allocs = findings
             .findings()
             .iter()
             .filter(|f| f.rule == RuleId::Misra20_4)
             .count();
-        rows.push(row(
-            format!("{name}: WCET (cycles)"),
-            report.wcet_cycles,
-        ));
+        rows.push(row(format!("{name}: WCET (cycles)"), report.wcet_cycles));
         rows.push(row(format!("{name}: rule 20.4 findings"), allocs));
     }
     // Data-cache classification comparison.
@@ -577,15 +605,15 @@ pub fn e10_messages() -> Experiment {
     let bare = WcetAnalyzer::new().analyze(&w.image);
     rows.push(row(
         "no annotations: analysis result",
-        bare.err().map_or("unexpected success".to_owned(), |e| e.to_string()),
+        bare.err()
+            .map_or("unexpected success".to_owned(), |e| e.to_string()),
     ));
 
     // Bounds only (strip the mutex): rebuild annotations with loops only.
     let rx = w.image.symbol("rx_loop").expect("rx");
     let tx = w.image.symbol("tx_loop").expect("tx");
     let bounds_only =
-        AnnotationSet::parse(&format!("loop {rx} bound 16;\nloop {tx} bound 16;"))
-            .expect("parses");
+        AnnotationSet::parse(&format!("loop {rx} bound 16;\nloop {tx} bound 16;")).expect("parses");
     let with_bounds = analyze_with(&w.image, &bounds_only, MachineConfig::simple())
         .expect("bounded handler analyzes");
     rows.push(row(
@@ -632,8 +660,8 @@ pub fn e10_messages() -> Experiment {
 pub fn e11_memory() -> Experiment {
     let (w, annots) = workload::driver_imprecise_access();
     let machine = MachineConfig::simple();
-    let plain = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
-        .expect("driver analyzes");
+    let plain =
+        analyze_with(&w.image, &AnnotationSet::new(), machine.clone()).expect("driver analyzes");
     let tightened = analyze_with(&w.image, &annots, machine).expect("annotated driver analyzes");
     let rows = vec![
         row("unknown access: WCET (cycles)", plain.wcet_cycles),
@@ -665,8 +693,7 @@ pub fn e12_errors(n_checks: u32, k: u64) -> Experiment {
     let w = workload::error_handling(n_checks);
     let (exclude, budget) = workload::error_annotations(&w, n_checks, k);
     let machine = MachineConfig::simple();
-    let all = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
-        .expect("analyzes");
+    let all = analyze_with(&w.image, &AnnotationSet::new(), machine.clone()).expect("analyzes");
     let none = analyze_with(&w.image, &exclude, machine.clone()).expect("analyzes");
     let some = analyze_with(&w.image, &budget, machine).expect("analyzes");
     let rows = vec![
@@ -707,8 +734,8 @@ pub fn e13_single_path() -> Experiment {
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for w in [&branchy, &single] {
-        let report = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
-            .expect("analyzes");
+        let report =
+            analyze_with(&w.image, &AnnotationSet::new(), machine.clone()).expect("analyzes");
         rows.push(row(
             format!("{}: WCET / BCET (cycles)", w.name),
             format!("{} / {}", report.wcet_cycles, report.bcet_cycles),
@@ -776,10 +803,10 @@ pub fn e14_arithmetic() -> Experiment {
     let d_min = 0x0010_0000u32;
     let bound = correction_bound(d_min);
     let corr = ldiv.correction_loop.expect("correction loop labeled");
-    let annots = AnnotationSet::parse(&format!("loop {corr} bound {};", bound + 1))
-        .expect("parses");
-    let fixed = analyze_with(&ldiv.image, &annots, machine.clone())
-        .expect("annotated ldivmod analyzes");
+    let annots =
+        AnnotationSet::parse(&format!("loop {corr} bound {};", bound + 1)).expect("parses");
+    let fixed =
+        analyze_with(&ldiv.image, &annots, machine.clone()).expect("annotated ldivmod analyzes");
     rows.push(row(
         format!("ldivmod + domain annotation (d ≥ 0x{d_min:x}, bound {bound}): WCET (cycles)"),
         fixed.wcet_cycles,
@@ -790,7 +817,10 @@ pub fn e14_arithmetic() -> Experiment {
         i.set_reg(ldiv.d_reg, 0x0107_d228);
         i.run(1_000_000).expect("halts").cycles
     };
-    rows.push(row("ldivmod: observed on a typical input (cycles)", typical));
+    rows.push(row(
+        "ldivmod: observed on a typical input (cycles)",
+        typical,
+    ));
     rows.push(row(
         "ldivmod over-estimation vs typical (the paper's 'big over-estimation')",
         format!("{:.1}×", fixed.wcet_cycles as f64 / typical as f64),
@@ -814,7 +844,9 @@ pub fn e14_arithmetic() -> Experiment {
 pub fn e15_function_pointers() -> Experiment {
     let w = workload::state_machine(4);
     let mut rows = Vec::new();
-    let report = WcetAnalyzer::new().analyze(&w.image).expect("resolves and analyzes");
+    let report = WcetAnalyzer::new()
+        .analyze(&w.image)
+        .expect("resolves and analyzes");
     rows.push(row(
         "unresolved call sites before value analysis",
         report.trace.unresolved_initial,
@@ -841,7 +873,12 @@ pub fn e15_function_pointers() -> Experiment {
         .map(|(a, _)| *a)
         .expect("callr present");
     let handlers: Vec<String> = (0..4)
-        .map(|s| opaque.symbol(&format!("handler{s}")).expect("handler").to_string())
+        .map(|s| {
+            opaque
+                .symbol(&format!("handler{s}"))
+                .expect("handler")
+                .to_string()
+        })
         .collect();
     let annots = AnnotationSet::parse(&format!(
         "call {callr_site} targets {};",
@@ -879,8 +916,8 @@ pub fn e16_cache_layout() -> Experiment {
     };
     let mut rows = Vec::new();
     for w in [&killer, &friendly] {
-        let report = analyze_with(&w.image, &AnnotationSet::new(), machine.clone())
-            .expect("analyzes");
+        let report =
+            analyze_with(&w.image, &AnnotationSet::new(), machine.clone()).expect("analyzes");
         let p = reconstruct(&w.image, &TargetResolver::empty()).expect("reconstructs");
         let fa = analyze_function(&p, p.entry, &w.image);
         let ic = CacheAnalysis::instruction(
@@ -926,8 +963,16 @@ pub fn ablation() -> Experiment {
     .expect("assembles");
     for (label, machine, unrolling) in [
         ("no caches", MachineConfig::simple(), false),
-        ("icache+dcache, no unrolling", MachineConfig::with_caches(), false),
-        ("icache+dcache + virtual unrolling", MachineConfig::with_caches(), true),
+        (
+            "icache+dcache, no unrolling",
+            MachineConfig::with_caches(),
+            false,
+        ),
+        (
+            "icache+dcache + virtual unrolling",
+            MachineConfig::with_caches(),
+            true,
+        ),
     ] {
         let config = AnalyzerConfig {
             machine,
@@ -950,7 +995,10 @@ pub fn ablation() -> Experiment {
     let rx_head = w.image.symbol("rx_head").expect("rx_head");
     let tx_head = w.image.symbol("tx_head").expect("tx_head");
     let variants: Vec<(&str, String)> = vec![
-        ("loop bounds only", format!("loop {rx} bound 16;\nloop {tx} bound 16;")),
+        (
+            "loop bounds only",
+            format!("loop {rx} bound 16;\nloop {tx} bound 16;"),
+        ),
         (
             "loop bounds + mutex",
             format!(
@@ -974,8 +1022,7 @@ pub fn ablation() -> Experiment {
     ));
     for (label, text) in variants {
         let annots = AnnotationSet::parse(&text).expect("parses");
-        let report = analyze_with(&w.image, &annots, MachineConfig::simple())
-            .expect("analyzes");
+        let report = analyze_with(&w.image, &annots, MachineConfig::simple()).expect("analyzes");
         rows.push(row(
             format!("message handler | {label}: WCET (cycles)"),
             report.wcet_cycles,

@@ -52,7 +52,10 @@ use crate::analyzer::AnalyzerConfig;
 
 /// Bumped whenever the artifact layout or any hashed semantic changes;
 /// part of every key, so stale caches read as cold, never as wrong.
-const CACHE_VERSION: u32 = 1;
+/// Version 2: cache analysis clobbers the ACS at call sites (soundness
+/// fix), and the context-sensitive pipeline keys IPET solutions on
+/// per-context entry-state digests.
+const CACHE_VERSION: u32 = 2;
 
 /// Magic prefix of every artifact file.
 const MAGIC: &[u8; 4] = b"WCAC";
@@ -79,6 +82,7 @@ pub fn config_fingerprint(config: &AnalyzerConfig) -> u64 {
     h.write_u64(config.max_resolve_rounds as u64);
     h.write_u64(u64::from(config.check_guidelines));
     h.write_u64(u64::from(config.unrolling));
+    h.write_u64(config.context_depth as u64);
     h.finish()
 }
 
@@ -137,7 +141,12 @@ pub fn function_key(
 fn hash_terminator(h: &mut StableHasher, term: &wcet_cfg::block::Terminator) {
     use wcet_cfg::block::Terminator;
     match term {
-        Terminator::CondBranch { cond, taken, fallthrough, float } => {
+        Terminator::CondBranch {
+            cond,
+            taken,
+            fallthrough,
+            float,
+        } => {
             h.write_u32(0);
             h.write_u32(match cond {
                 None => 0,
@@ -206,6 +215,42 @@ pub fn ipet_full_key(struct_key: u64, costs: &[(Addr, u64, u64)]) -> u64 {
     h.write_usize(costs.len());
     for &(callee, wcet, bcet) in costs {
         h.write_u32(callee.0);
+        h.write_u64(wcet);
+        h.write_u64(bcet);
+    }
+    h.finish()
+}
+
+/// Structure key of one *(function, context, mode)* IPET system in the
+/// context-sensitive pipeline: the function's content key plus the
+/// digest of the context's entry state (register/memory intervals and,
+/// when caches are configured, the entry ACS pair). Two contexts with
+/// identical entry digests legitimately share a solution — the pipeline
+/// is a pure function of the entry state.
+#[must_use]
+pub fn ipet_ctx_struct_key(fn_key: u64, ctx_digest: u64, mode: Option<&str>) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("ctx-ipet");
+    h.write_u64(fn_key);
+    h.write_u64(ctx_digest);
+    match mode {
+        Some(m) => h.write_str(m),
+        None => h.write_str("\u{0}global"),
+    }
+    h.finish()
+}
+
+/// Full key of one per-context IPET solve: the structure key plus the
+/// per-call-site `(site, WCET, BCET)` cost vector (already merged over
+/// each site's callee contexts) the system was priced with.
+#[must_use]
+pub fn ipet_site_full_key(struct_key: u64, costs: &[(Addr, u64, u64)]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("ctx-sites");
+    h.write_u64(struct_key);
+    h.write_usize(costs.len());
+    for &(site, wcet, bcet) in costs {
+        h.write_u32(site.0);
         h.write_u64(wcet);
         h.write_u64(bcet);
     }
@@ -330,7 +375,9 @@ impl ArtifactCache {
     }
 
     fn ipet_path(&self, struct_key: u64) -> PathBuf {
-        self.root.join("ipet").join(format!("{struct_key:016x}.sol"))
+        self.root
+            .join("ipet")
+            .join(format!("{struct_key:016x}.sol"))
     }
 
     /// Looks up a function artifact by content key.
@@ -465,7 +512,10 @@ impl<'a> Dec<'a> {
         if wcet_isa::hash::hash_bytes(body) != digest {
             return None;
         }
-        let mut d = Dec { bytes: body, pos: 0 };
+        let mut d = Dec {
+            bytes: body,
+            pos: 0,
+        };
         if d.take(4)? != MAGIC.as_slice() || d.u32()? != CACHE_VERSION || d.u8()? != kind {
             return None;
         }
@@ -541,7 +591,10 @@ fn rule_from_u8(v: u8) -> Option<RuleId> {
 
 fn bound_to_bytes(e: &mut Enc, result: &BoundResult) {
     match result {
-        BoundResult::Bounded { max_iterations, source } => {
+        BoundResult::Bounded {
+            max_iterations,
+            source,
+        } => {
             e.u8(0);
             e.u64(*max_iterations);
             e.u8(match source {
@@ -572,7 +625,10 @@ fn bound_from_bytes(d: &mut Dec<'_>) -> Option<BoundResult> {
                 1 => BoundSource::Annotation,
                 _ => return None,
             };
-            Some(BoundResult::Bounded { max_iterations, source })
+            Some(BoundResult::Bounded {
+                max_iterations,
+                source,
+            })
         }
         1 => {
             let reason = match d.u8()? {
@@ -650,7 +706,12 @@ fn decode_fn_artifact(bytes: &[u8]) -> Option<FunctionArtifact> {
             _ => return None,
         };
         let message = d.str()?;
-        findings.push(Finding { rule, addr, function, message });
+        findings.push(Finding {
+            rule,
+            addr,
+            function,
+            message,
+        });
     }
     let loops_total = d.usize()?;
     let loops_auto = d.usize()?;
@@ -720,7 +781,11 @@ fn decode_wcet_result(d: &mut Dec<'_>) -> Option<WcetResult> {
     for _ in 0..n_path {
         worst_path.push(BlockId(d.usize()?));
     }
-    Some(WcetResult { wcet_cycles, block_counts, worst_path })
+    Some(WcetResult {
+        wcet_cycles,
+        block_counts,
+        worst_path,
+    })
 }
 
 fn encode_ipet_entry(entry: &IpetEntry) -> Vec<u8> {
@@ -736,7 +801,11 @@ fn decode_ipet_entry(bytes: &[u8]) -> Option<IpetEntry> {
     let full_key = d.u64()?;
     let wcet = decode_wcet_result(&mut d)?;
     let bcet = decode_wcet_result(&mut d)?;
-    d.done().then_some(IpetEntry { full_key, wcet, bcet })
+    d.done().then_some(IpetEntry {
+        full_key,
+        wcet,
+        bcet,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -765,11 +834,7 @@ impl KeyContext {
 
     /// [`function_key`] with this context.
     #[must_use]
-    pub fn function_key(
-        &self,
-        cfg: &Cfg,
-        summaries: &HashMap<Addr, FunctionSummary>,
-    ) -> u64 {
+    pub fn function_key(&self, cfg: &Cfg, summaries: &HashMap<Addr, FunctionSummary>) -> u64 {
         function_key(cfg, self.data_hash, self.config_fp, summaries)
     }
 }
@@ -792,8 +857,19 @@ mod tests {
             loops_auto: 1,
             peeled: true,
             bounds: vec![
-                (0, BoundResult::Bounded { max_iterations: 16, source: BoundSource::Auto }),
-                (1, BoundResult::Unbounded { reason: UnboundedReason::DataDependent }),
+                (
+                    0,
+                    BoundResult::Bounded {
+                        max_iterations: 16,
+                        source: BoundSource::Auto,
+                    },
+                ),
+                (
+                    1,
+                    BoundResult::Unbounded {
+                        reason: UnboundedReason::DataDependent,
+                    },
+                ),
             ],
             times_wcet: vec![10, 42, 7],
             times_bcet: vec![4, 40, 7],
@@ -822,7 +898,11 @@ mod tests {
         assert_eq!(decode_fn_artifact(&wrong_version), None);
         let mut trailing = bytes;
         trailing.push(0);
-        assert_eq!(decode_fn_artifact(&trailing), None, "trailing bytes rejected");
+        assert_eq!(
+            decode_fn_artifact(&trailing),
+            None,
+            "trailing bytes rejected"
+        );
     }
 
     #[test]
@@ -922,7 +1002,11 @@ mod tests {
         let fp = config_fingerprint(&base);
         let mut threads = base.clone();
         threads.parallelism = Some(3);
-        assert_eq!(fp, config_fingerprint(&threads), "one cache for all thread counts");
+        assert_eq!(
+            fp,
+            config_fingerprint(&threads),
+            "one cache for all thread counts"
+        );
         let mut unroll = base.clone();
         unroll.unrolling = true;
         assert_ne!(fp, config_fingerprint(&unroll));

@@ -184,11 +184,17 @@ mod tests {
         let mut trace = PhaseTrace::default();
         trace.phase_times[4] = Duration::from_millis(3);
         trace.phase_work_times[4] = Duration::from_millis(3);
-        assert!(!trace.to_string().contains("work"), "wall == work stays terse");
+        assert!(
+            !trace.to_string().contains("work"),
+            "wall == work stays terse"
+        );
         // Sequential runs: work trails wall by measurement overhead —
         // still terse, never rendered as under-reported work.
         trace.phase_work_times[4] = Duration::from_millis(2);
-        assert!(!trace.to_string().contains("work"), "work < wall stays terse");
+        assert!(
+            !trace.to_string().contains("work"),
+            "work < wall stays terse"
+        );
         trace.phase_work_times[4] = Duration::from_millis(9);
         let text = trace.to_string();
         assert!(text.contains("3ms wall, 9ms work"), "divergent: {text}");

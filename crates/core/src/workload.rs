@@ -23,6 +23,11 @@ pub struct Workload {
     pub annotations: AnnotationSet,
     /// What the workload demonstrates.
     pub description: &'static str,
+    /// The assembly source the image was built from — the CLI smoke
+    /// tests feed it to the `wcet` binary. Workloads that append data
+    /// segments programmatically (e.g. the state machine's jump table)
+    /// are not fully reproduced by re-assembling this text.
+    pub source: String,
 }
 
 fn build(name: &'static str, description: &'static str, src: &str, annots: &str) -> Workload {
@@ -34,6 +39,7 @@ fn build(name: &'static str, description: &'static str, src: &str, annots: &str)
         image,
         annotations,
         description,
+        source: src.to_owned(),
     }
 }
 
@@ -200,6 +206,7 @@ pub fn state_machine(n_states: u32) -> Workload {
         image,
         annotations: AnnotationSet::new(),
         description: "jump-table state machine: function-pointer resolution (Section 3.2)",
+        source: src,
     }
 }
 
@@ -254,7 +261,11 @@ pub fn error_handling(n_checks: u32) -> Workload {
 /// "error case irrelevant for the worst case" analysis, and the
 /// "at most `k` errors per activation" analysis.
 #[must_use]
-pub fn error_annotations(workload: &Workload, n_checks: u32, k: u64) -> (AnnotationSet, AnnotationSet) {
+pub fn error_annotations(
+    workload: &Workload,
+    n_checks: u32,
+    k: u64,
+) -> (AnnotationSet, AnnotationSet) {
     let err_blocks: Vec<String> = (0..n_checks)
         .map(|i| {
             workload
@@ -504,7 +515,12 @@ pub fn call_fanout_with(n: u32, overrides: &[(u32, u32)]) -> Workload {
 /// dispatchers, each of which calls `per_group` leaves, and every leaf is
 /// a realistic function body — nested loops, a data-dependent diamond,
 /// SRAM traffic — so per-function value analysis carries
-/// production-shaped cost. This is the largest workload in the
+/// production-shaped cost. Every leaf additionally calls the shared
+/// `scale` subroutine with a *per-leaf* work-size argument that `scale`
+/// clamps to its table capacity (31): the guideline-conforming shape
+/// whose merged analysis pays the clamp bound at every call, and whose
+/// context-sensitive analysis (`context_depth ≥ 1`) prices each leaf's
+/// call with its actual argument. This is the largest workload in the
 /// repository (instructions and analysis time) and the subject of the
 /// `incremental` bench group: against a warm cache, a one-leaf mutation
 /// re-analyzes exactly the leaf plus its dirt cone (one mid-level
@@ -554,8 +570,11 @@ pub fn call_tree_heavy(groups: u32, per_group: u32, overrides: &[(u32, u32)]) ->
             .find(|(leaf, _)| *leaf == i)
             .map_or(default, |&(_, it)| it);
         let scratch = 0x8000 + 16 * i;
+        let scale_arg = 1 + (i % 4) * 2; // 1, 3, 5, 7 — all below the clamp
         src.push_str(&format!(
             "f{i}:\n\
+             \x20            subi sp, sp, 4\n\
+             \x20            sw   lr, 0(sp)\n\
              \x20            li   r1, {iters}\n\
              f{i}_outer:\n\
              \x20            li   r2, 6\n\
@@ -586,22 +605,80 @@ pub fn call_tree_heavy(groups: u32, per_group: u32, overrides: &[(u32, u32)]) ->
              \x20            bne  r2, r0, f{i}_inner\n\
              \x20            subi r1, r1, 1\n\
              \x20            bne  r1, r0, f{i}_outer\n\
+             \x20            li   r1, {scale_arg}\n\
+             \x20            call scale\n\
+             \x20            lw   lr, 0(sp)\n\
+             \x20            addi sp, sp, 4\n\
              \x20            ret\n"
         ));
     }
+    // The shared work-scaler: clamps its argument to the table capacity
+    // (a design-level guarantee the clamp makes machine-checkable), then
+    // loops that many times. Under the merged analysis every caller pays
+    // the clamp bound; per-context analysis recovers each leaf's actual
+    // argument.
+    src.push_str(
+        "scale:\n\
+         \x20            andi r1, r1, 31\n\
+         \x20            beq  r1, r0, scale_done\n\
+         scale_loop:\n\
+         \x20            mul  r2, r1, r1\n\
+         \x20            subi r1, r1, 1\n\
+         \x20            bne  r1, r0, scale_loop\n\
+         scale_done:\n\
+         \x20            ret\n",
+    );
     build(
         "call_tree_heavy",
-        "two-level call tree with production-shaped leaf bodies (incremental bench workload)",
+        "two-level call tree with a shared clamped subroutine (incremental + context workload)",
         &src,
         "",
     )
 }
 
-/// The ten named workloads, with their design-level annotations — the
-/// corpus of the end-to-end soundness oracle, the golden report
-/// snapshots, and the incremental benches.
+/// The context-sensitivity killer: `main` passes very different work
+/// sizes to the same clamped `compute` routine from two call sites. The
+/// merged (depth-0) analysis sees ⊤ at `compute`'s entry, so the clamp
+/// bound (63 iterations) prices *both* calls; at `--context-depth 1`
+/// each site's context carries the caller's register intervals and the
+/// loop is bounded by the actual argument — 3 and 60 — so the WCET bound
+/// drops strictly. The soundness oracle holds at both depths.
 #[must_use]
-pub fn all_ten() -> Vec<Workload> {
+pub fn context_killer() -> Workload {
+    let src = r#"
+        .org 0x1000
+        main:
+            li   r1, 3
+            call compute            # light request
+            li   r1, 60
+            call compute            # heavy request
+            halt
+        compute:
+            andi r1, r1, 63         # clamp to the table capacity
+            beq  r1, r0, cdone
+        cloop:
+            mul  r2, r1, r1
+            addi r3, r3, 1
+            subi r1, r1, 1
+            bne  r1, r0, cloop
+        cdone:
+            ret
+    "#;
+    build(
+        "context_killer",
+        "one clamped callee, two very different call sites: the VIVU precision lever (reference [13])",
+        src,
+        "",
+    )
+}
+
+/// The named workload corpus, with design-level annotations — the unit
+/// set of the end-to-end soundness oracle, the golden report snapshots,
+/// and the incremental benches. Grew past the original ten with
+/// `call_tree_heavy` (the two-level call tree) and `context_killer` (the
+/// context-sensitivity workload).
+#[must_use]
+pub fn corpus() -> Vec<Workload> {
     let mut workloads = vec![
         flight_control(),
         message_handler(16),
@@ -616,6 +693,18 @@ pub fn all_ten() -> Vec<Workload> {
     workloads.push(killer);
     workloads.push(friendly);
     workloads.push(call_fanout(8));
+    workloads.push(call_tree_heavy(2, 3, &[]));
+    workloads.push(context_killer());
+    workloads
+}
+
+/// The first ten corpus workloads, under the name the corpus carried
+/// when it had exactly ten members.
+#[deprecated(note = "the corpus grew past ten workloads; use `corpus()`")]
+#[must_use]
+pub fn all_ten() -> Vec<Workload> {
+    let mut workloads = corpus();
+    workloads.truncate(10);
     workloads
 }
 
@@ -649,10 +738,8 @@ pub fn driver_imprecise_access() -> (Workload, AnnotationSet) {
     // Design knowledge: the descriptor table lives entirely in SRAM, so
     // the access never touches flash or MMIO — without the annotation the
     // analysis must charge the slowest module in the map.
-    let annots = AnnotationSet::parse(&format!(
-        "access {target} range 0x8000..0x9000;\n"
-    ))
-    .expect("driver annotations parse");
+    let annots = AnnotationSet::parse(&format!("access {target} range 0x8000..0x9000;\n"))
+        .expect("driver annotations parse");
     (w, annots)
 }
 
@@ -680,7 +767,12 @@ mod tests {
         for w in &workloads {
             let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
             let outcome = interp.run(10_000_000);
-            assert!(outcome.is_ok(), "workload {} must run: {:?}", w.name, outcome.err());
+            assert!(
+                outcome.is_ok(),
+                "workload {} must run: {:?}",
+                w.name,
+                outcome.err()
+            );
         }
     }
 
@@ -762,7 +854,10 @@ mod tests {
     fn call_fanout_overrides_change_one_function_only() {
         let base = call_fanout_with(8, &[]);
         let same = call_fanout(8);
-        assert_eq!(base.image, same.image, "no overrides = the default workload");
+        assert_eq!(
+            base.image, same.image,
+            "no overrides = the default workload"
+        );
         let mutated = call_fanout_with(8, &[(3, 29)]);
         assert_ne!(base.image.code, mutated.image.code);
         // Exactly the victim leaf's bytes differ: compare per function.
@@ -790,7 +885,11 @@ mod tests {
     fn call_tree_heavy_analyzes_and_is_sound() {
         let w = call_tree_heavy(3, 4, &[(5, 9)]);
         let report = WcetAnalyzer::new().analyze(&w.image).unwrap();
-        assert_eq!(report.functions.len(), 16, "main + 3 mids + 12 leaves");
+        assert_eq!(
+            report.functions.len(),
+            17,
+            "main + 3 mids + 12 leaves + scale"
+        );
         let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
         let observed = interp.run(100_000_000).unwrap().cycles;
         assert!(report.wcet_cycles >= observed);
@@ -811,8 +910,8 @@ mod tests {
     }
 
     #[test]
-    fn all_ten_is_the_documented_corpus() {
-        let names: Vec<&str> = all_ten().iter().map(|w| w.name).collect();
+    fn corpus_is_the_documented_set() {
+        let names: Vec<&str> = corpus().iter().map(|w| w.name).collect();
         assert_eq!(
             names,
             [
@@ -826,8 +925,74 @@ mod tests {
                 "cache_killer",
                 "cache_friendly",
                 "call_fanout",
+                "call_tree_heavy",
+                "context_killer",
             ]
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn all_ten_shim_is_the_corpus_prefix() {
+        let ten: Vec<&str> = all_ten().iter().map(|w| w.name).collect();
+        let corpus_names: Vec<&str> = corpus().iter().map(|w| w.name).collect();
+        assert_eq!(ten.len(), 10);
+        assert_eq!(&corpus_names[..10], ten.as_slice());
+    }
+
+    #[test]
+    fn context_killer_tightens_at_depth_one() {
+        let w = context_killer();
+        let analyze = |depth: usize| {
+            let config = AnalyzerConfig {
+                context_depth: depth,
+                ..AnalyzerConfig::new()
+            };
+            WcetAnalyzer::with_config(config).analyze(&w.image).unwrap()
+        };
+        let merged = analyze(0);
+        let ctx = analyze(1);
+        assert!(
+            ctx.wcet_cycles < merged.wcet_cycles,
+            "depth 1 must tighten: {} vs {}",
+            ctx.wcet_cycles,
+            merged.wcet_cycles
+        );
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        let observed = interp.run(1_000_000).unwrap().cycles;
+        for r in [&merged, &ctx] {
+            assert!(r.wcet_cycles >= observed);
+            assert!(r.bcet_cycles <= observed);
+        }
+    }
+
+    #[test]
+    fn call_tree_heavy_tightens_at_depth_one() {
+        // The shared clamped `scale` subroutine: merged analysis pays the
+        // clamp bound (31) at every leaf's call; context-sensitive
+        // analysis pays each leaf's actual argument (1..7).
+        let w = call_tree_heavy(2, 3, &[]);
+        let analyze = |depth: usize| {
+            let config = AnalyzerConfig {
+                context_depth: depth,
+                ..AnalyzerConfig::new()
+            };
+            WcetAnalyzer::with_config(config).analyze(&w.image).unwrap()
+        };
+        let merged = analyze(0);
+        let ctx = analyze(1);
+        assert!(
+            ctx.wcet_cycles < merged.wcet_cycles,
+            "depth 1 must tighten the call tree: {} vs {}",
+            ctx.wcet_cycles,
+            merged.wcet_cycles
+        );
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        let observed = interp.run(100_000_000).unwrap().cycles;
+        for r in [&merged, &ctx] {
+            assert!(r.wcet_cycles >= observed);
+            assert!(r.bcet_cycles <= observed);
+        }
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub struct AnnotError {
 
 impl fmt::Display for AnnotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "annotation error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "annotation error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -192,7 +196,11 @@ impl AnnotationSet {
                 let header = parse_addr(parts[0]).map_err(&err)?;
                 let bound = parse_u64(parts[2]).map_err(&err)?;
                 self.check_mode(&mode, line)?;
-                self.loop_bounds.push(LoopBoundAnn { header, bound, mode });
+                self.loop_bounds.push(LoopBoundAnn {
+                    header,
+                    bound,
+                    mode,
+                });
                 Ok(())
             }
             "exclude" => {
@@ -426,9 +434,7 @@ impl AnnotationSet {
             }
         }
         for mx in &self.mutexes {
-            if let (Some(a), Some(b)) =
-                (cfg.block_containing(mx.a), cfg.block_containing(mx.b))
-            {
+            if let (Some(a), Some(b)) = (cfg.block_containing(mx.a), cfg.block_containing(mx.b)) {
                 facts.push(FlowFact::mutually_exclusive(
                     a,
                     b,
@@ -439,11 +445,7 @@ impl AnnotationSet {
         }
         for mc in &self.max_counts {
             if let Some(block) = cfg.block_containing(mc.at) {
-                facts.push(FlowFact::max_count(
-                    block,
-                    mc.count,
-                    "max-count annotation",
-                ));
+                facts.push(FlowFact::max_count(block, mc.count, "max-count annotation"));
             }
         }
         for sc in &self.sum_counts {
@@ -607,8 +609,7 @@ mod tests {
 
     #[test]
     fn access_override_translation() {
-        let set =
-            AnnotationSet::parse("access 0x1200 range 0x100..0x200;").unwrap();
+        let set = AnnotationSet::parse("access 0x1200 range 0x100..0x200;").unwrap();
         let o = set.access_overrides();
         assert_eq!(o.len(), 1);
         let range = o.range_of(Addr(0x1200)).unwrap();
@@ -618,10 +619,9 @@ mod tests {
 
     #[test]
     fn recursion_and_sumcount_parse() {
-        let set = AnnotationSet::parse(
-            "recursion 0x2000 depth 4;\nsumcount 0x10, 0x20, 0x30 max 2;",
-        )
-        .unwrap();
+        let set =
+            AnnotationSet::parse("recursion 0x2000 depth 4;\nsumcount 0x10, 0x20, 0x30 max 2;")
+                .unwrap();
         assert_eq!(set.recursion_depth(Addr(0x2000)), Some(4));
         assert_eq!(set.recursion_depth(Addr(0x9999)), None);
 

@@ -71,10 +71,16 @@ mod tests {
         // Global keeps the automatic bound (8)...
         assert_eq!(plans[0].bounds.results()[0].1.max_iterations(), Some(8));
         // ...ground mode tightens it to 2...
-        let ground = plans.iter().find(|p| p.mode.as_deref() == Some("ground")).unwrap();
+        let ground = plans
+            .iter()
+            .find(|p| p.mode.as_deref() == Some("ground"))
+            .unwrap();
         assert_eq!(ground.bounds.results()[0].1.max_iterations(), Some(2));
         // ...air mode keeps the automatic bound.
-        let air = plans.iter().find(|p| p.mode.as_deref() == Some("air")).unwrap();
+        let air = plans
+            .iter()
+            .find(|p| p.mode.as_deref() == Some("air"))
+            .unwrap();
         assert_eq!(air.bounds.results()[0].1.max_iterations(), Some(8));
     }
 }

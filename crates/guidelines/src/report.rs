@@ -59,7 +59,11 @@ impl PredictabilityReport {
 
 impl fmt::Display for PredictabilityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "predictability report: {} finding(s)", self.findings.len())?;
+        writeln!(
+            f,
+            "predictability report: {} finding(s)",
+            self.findings.len()
+        )?;
         let counts = self.counts();
         for rule in RuleId::ALL {
             if let Some(&n) = counts.get(&rule) {

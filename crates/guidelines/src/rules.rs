@@ -311,11 +311,7 @@ pub fn check_function(fa: &FunctionAnalysis) -> Vec<Finding> {
 /// on every run — cached per-function findings merge with a fresh pass of
 /// these.
 #[must_use]
-pub fn check_image_level(
-    image: &Image,
-    program: &Program,
-    callgraph: &CallGraph,
-) -> Vec<Finding> {
+pub fn check_image_level(image: &Image, program: &Program, callgraph: &CallGraph) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // --- 14.1: unreachable code (image level) ---------------------------
@@ -390,8 +386,9 @@ mod tests {
 
     #[test]
     fn rule_13_6_double_update() {
-        let findings =
-            check("main: li r1, 8\nloop: subi r1, r1, 1\n subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let findings = check(
+            "main: li r1, 8\nloop: subi r1, r1, 1\n subi r1, r1, 1\n bne r1, r0, loop\n halt",
+        );
         assert!(rules_found(&findings).contains(&RuleId::Misra13_6));
     }
 

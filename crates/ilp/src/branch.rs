@@ -142,7 +142,9 @@ mod tests {
         // max 8x1 + 11x2 + 6x3 + 4x4, 5x1+7x2+4x3+3x4 ≤ 14, xi ∈ {0,1}
         // LP optimum is fractional; ILP optimum is 21 (x1=0,x2=1,x3=1,x4=1).
         let mut m = Model::new(crate::model::Sense::Maximize);
-        let xs: Vec<_> = (0..4).map(|i| m.add_int_var(&format!("x{i}"), 0, Some(1))).collect();
+        let xs: Vec<_> = (0..4)
+            .map(|i| m.add_int_var(&format!("x{i}"), 0, Some(1)))
+            .collect();
         m.add_le(
             &[(xs[0], 5.0), (xs[1], 7.0), (xs[2], 4.0), (xs[3], 3.0)],
             14.0,

@@ -222,8 +222,7 @@ fn run_simplex(
             if t[i][j] > EPS {
                 let ratio = t[i][rhs_col] / t[i][j];
                 if ratio < best - EPS
-                    || ((ratio - best).abs() <= EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || ((ratio - best).abs() <= EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);

@@ -187,8 +187,7 @@ pub fn solve_lp_from(
             *acc.entry(v.0).or_insert(0.0) += a;
             rhs -= a * shift[v.0];
         }
-        let mut terms: Vec<(usize, f64)> =
-            acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
+        let mut terms: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
         let mut op = c.op;
         if rhs < 0.0 {
             for t in &mut terms {
@@ -293,8 +292,8 @@ pub fn solve_lp_from(
                 for &a in &form.artificials {
                     is_artificial[a] = true;
                 }
-                let already_feasible = (0..m)
-                    .all(|i| !is_artificial[cold.basic[i]] || cold.xb[i] <= EPS);
+                let already_feasible =
+                    (0..m).all(|i| !is_artificial[cold.basic[i]] || cold.xb[i] <= EPS);
                 if !already_feasible {
                     let mut obj = vec![0.0; total];
                     for &a in &form.artificials {
@@ -386,8 +385,7 @@ fn restore_basis(form: &SparseForm, snap: &BasisSnapshot) -> Option<Basis> {
     // the *new* bounds; artificials always rest at zero (their span is
     // fixed after restoration).
     for j in 0..total {
-        if !in_basis[j] && snap.at_upper[j] && !is_artificial[j] && !form.span[j].is_finite()
-        {
+        if !in_basis[j] && snap.at_upper[j] && !is_artificial[j] && !form.span[j].is_finite() {
             return None;
         }
     }
@@ -515,11 +513,7 @@ fn optimize(
             if state.in_basis[j] || form.span[j] <= EPS {
                 continue;
             }
-            let d = obj[j]
-                - form.cols[j]
-                    .iter()
-                    .map(|&(r, a)| y[r] * a)
-                    .sum::<f64>();
+            let d = obj[j] - form.cols[j].iter().map(|&(r, a)| y[r] * a).sum::<f64>();
             let eligible = match state.rest[j] {
                 Bound::Lower => d > EPS,
                 Bound::Upper => d < -EPS,
@@ -536,10 +530,7 @@ fn optimize(
                 value += obj[state.basic[i]] * state.xb[i];
             }
             for (jj, col_obj) in obj.iter().enumerate() {
-                if !state.in_basis[jj]
-                    && state.rest[jj] == Bound::Upper
-                    && *col_obj != 0.0
-                {
+                if !state.in_basis[jj] && state.rest[jj] == Bound::Upper && *col_obj != 0.0 {
                     value += col_obj * form.span[jj];
                 }
             }
@@ -566,9 +557,7 @@ fn optimize(
                 let ratio = state.xb[i] / rate;
                 let tie = (ratio - best).abs() <= EPS;
                 if ratio < best - EPS
-                    || (tie
-                        && leave
-                            .is_none_or(|(l, _)| state.basic[i] < state.basic[l]))
+                    || (tie && leave.is_none_or(|(l, _)| state.basic[i] < state.basic[l]))
                 {
                     best = ratio;
                     leave = Some((i, Bound::Lower));
@@ -579,9 +568,7 @@ fn optimize(
                     let ratio = (ub - state.xb[i]) / (-rate);
                     let tie = (ratio - best).abs() <= EPS;
                     if ratio < best - EPS
-                        || (tie
-                            && leave
-                                .is_none_or(|(l, _)| state.basic[i] < state.basic[l]))
+                        || (tie && leave.is_none_or(|(l, _)| state.basic[i] < state.basic[l]))
                     {
                         best = ratio;
                         leave = Some((i, Bound::Upper));

@@ -42,11 +42,7 @@ fn arb_ilp() -> impl Strategy<Value = SmallIlp> {
 
 /// Exhaustive optimum over the integer box.
 fn brute_force(ilp: &SmallIlp) -> Option<i64> {
-    fn recurse(
-        ilp: &SmallIlp,
-        assignment: &mut Vec<i64>,
-        best: &mut Option<i64>,
-    ) {
+    fn recurse(ilp: &SmallIlp, assignment: &mut Vec<i64>, best: &mut Option<i64>) {
         if assignment.len() == ilp.n_vars {
             for (coeffs, op, rhs) in &ilp.constraints {
                 let lhs: i64 = coeffs

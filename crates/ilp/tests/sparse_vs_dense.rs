@@ -58,11 +58,7 @@ fn build(lp: &SmallLp) -> Model {
         .iter()
         .enumerate()
         .map(|(i, &(lo, span))| {
-            m.add_var(
-                &format!("x{i}"),
-                lo as f64,
-                span.map(|s| (lo + s) as f64),
-            )
+            m.add_var(&format!("x{i}"), lo as f64, span.map(|s| (lo + s) as f64))
         })
         .collect();
     for (coeffs, op, rhs) in &lp.constraints {

@@ -144,11 +144,7 @@ impl Assembler {
             if !is_ident(name) {
                 return Err(parse_err(line_no, format!("invalid label name `{name}`")));
             }
-            if self
-                .labels_seen
-                .insert(name.to_owned(), line_no)
-                .is_some()
-            {
+            if self.labels_seen.insert(name.to_owned(), line_no).is_some() {
                 return Err(IsaError::DuplicateLabel {
                     name: name.to_owned(),
                     line: line_no,
@@ -243,7 +239,12 @@ impl Assembler {
         // Register-register ALU ops.
         if let Some(op) = alu_by_name(mnemonic) {
             argc(3)?;
-            b.alu(op, self.reg(&ops[0], line)?, self.reg(&ops[1], line)?, self.reg(&ops[2], line)?);
+            b.alu(
+                op,
+                self.reg(&ops[0], line)?,
+                self.reg(&ops[1], line)?,
+                self.reg(&ops[2], line)?,
+            );
             return Ok(());
         }
         // Immediate ALU ops (`addi`, `subi`, ...).
@@ -491,7 +492,9 @@ fn split_operands(rest: &str) -> (&str, Vec<String>) {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -553,11 +556,21 @@ mod tests {
         let code = image.decode_code().unwrap();
         assert_eq!(
             code[0].1,
-            Inst::Load { width: Width::Word, rd: Reg::new(1), base: Reg::new(2), offset: 8 }
+            Inst::Load {
+                width: Width::Word,
+                rd: Reg::new(1),
+                base: Reg::new(2),
+                offset: 8
+            }
         );
         assert_eq!(
             code[1].1,
-            Inst::Store { width: Width::Byte, rs: Reg::new(3), base: Reg::SP, offset: -4 }
+            Inst::Store {
+                width: Width::Byte,
+                rs: Reg::new(3),
+                base: Reg::SP,
+                offset: -4
+            }
         );
     }
 
@@ -581,10 +594,9 @@ mod tests {
 
     #[test]
     fn comments_and_aliases() {
-        let image = assemble(
-            "# header comment\nmain: mov r1, lr ; trailing\n nop # another\n halt",
-        )
-        .unwrap();
+        let image =
+            assemble("# header comment\nmain: mov r1, lr ; trailing\n nop # another\n halt")
+                .unwrap();
         assert_eq!(image.code_len(), 3);
     }
 

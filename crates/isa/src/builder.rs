@@ -125,7 +125,10 @@ impl ProgramBuilder {
         if (-32768..=32767).contains(&signed) {
             self.alui(AluOp::Add, rd, Reg::ZERO, signed)
         } else {
-            self.inst(Inst::Lui { rd, imm: value >> 16 });
+            self.inst(Inst::Lui {
+                rd,
+                imm: value >> 16,
+            });
             if value & 0xffff != 0 {
                 self.alui(AluOp::Or, rd, rd, (value & 0xffff) as i32);
             }
@@ -269,13 +272,20 @@ impl ProgramBuilder {
                     fs2: *fs2,
                     target: addr_of(label)?,
                 },
-                Pending::Jump(label) => Inst::Jump { target: addr_of(label)? },
-                Pending::Call(label) => Inst::Call { target: addr_of(label)? },
+                Pending::Jump(label) => Inst::Jump {
+                    target: addr_of(label)?,
+                },
+                Pending::Call(label) => Inst::Call {
+                    target: addr_of(label)?,
+                },
                 Pending::FixupLa(rd, label) => {
                     let addr = addr_of(label)?;
                     // Patch the preceding `lui` with the high half.
                     let lui_idx = insts.len() - 1;
-                    insts[lui_idx] = Inst::Lui { rd: *rd, imm: addr.0 >> 16 };
+                    insts[lui_idx] = Inst::Lui {
+                        rd: *rd,
+                        imm: addr.0 >> 16,
+                    };
                     Inst::AluImm {
                         op: AluOp::Or,
                         rd: *rd,
@@ -315,8 +325,18 @@ mod tests {
         b.halt();
         let image = b.build("start").unwrap();
         let code = image.decode_code().unwrap();
-        assert_eq!(code[0].1, Inst::Jump { target: Addr(0x100c) });
-        assert_eq!(code[2].1, Inst::Jump { target: Addr(0x1004) });
+        assert_eq!(
+            code[0].1,
+            Inst::Jump {
+                target: Addr(0x100c)
+            }
+        );
+        assert_eq!(
+            code[2].1,
+            Inst::Jump {
+                target: Addr(0x1004)
+            }
+        );
     }
 
     #[test]
@@ -361,7 +381,13 @@ mod tests {
         let image = b.build("main").unwrap();
         let target = image.symbol("target").unwrap();
         let code = image.decode_code().unwrap();
-        assert_eq!(code[0].1, Inst::Lui { rd: Reg::new(1), imm: target.0 >> 16 });
+        assert_eq!(
+            code[0].1,
+            Inst::Lui {
+                rd: Reg::new(1),
+                imm: target.0 >> 16
+            }
+        );
         assert_eq!(
             code[1].1,
             Inst::AluImm {

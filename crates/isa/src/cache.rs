@@ -53,7 +53,10 @@ impl CacheConfig {
     #[must_use]
     pub fn new(sets: usize, assoc: usize, line_bytes: u32, hit_latency: u32) -> CacheConfig {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
         CacheConfig {
             sets,

@@ -74,11 +74,13 @@ pub fn decode(word: u32, at: Addr) -> Result<Inst, IsaError> {
         opcode::RET => Inst::Ret,
         opcode::ALU => {
             let funct = field(word, 25, 22);
-            let alu_op = *AluOp::ALL.get(funct as usize).ok_or(IsaError::InvalidField {
-                field: "alu function",
-                value: funct,
-                at,
-            })?;
+            let alu_op = *AluOp::ALL
+                .get(funct as usize)
+                .ok_or(IsaError::InvalidField {
+                    field: "alu function",
+                    value: funct,
+                    at,
+                })?;
             Inst::Alu {
                 op: alu_op,
                 rd: reg(word, 21, 18),
@@ -96,8 +98,12 @@ pub fn decode(word: u32, at: Addr) -> Result<Inst, IsaError> {
         opcode::CALL => Inst::Call {
             target: disp_target(at, field(word, 25, 0), 26),
         },
-        opcode::JUMP_IND => Inst::JumpInd { rs: reg(word, 25, 22) },
-        opcode::CALL_IND => Inst::CallInd { rs: reg(word, 25, 22) },
+        opcode::JUMP_IND => Inst::JumpInd {
+            rs: reg(word, 25, 22),
+        },
+        opcode::CALL_IND => Inst::CallInd {
+            rs: reg(word, 25, 22),
+        },
         opcode::SELECT => Inst::Select {
             rd: reg(word, 25, 22),
             rc: reg(word, 21, 18),
@@ -106,11 +112,13 @@ pub fn decode(word: u32, at: Addr) -> Result<Inst, IsaError> {
         },
         opcode::FALU => {
             let funct = field(word, 25, 22);
-            let falu_op = *FAluOp::ALL.get(funct as usize).ok_or(IsaError::InvalidField {
-                field: "falu function",
-                value: funct,
-                at,
-            })?;
+            let falu_op = *FAluOp::ALL
+                .get(funct as usize)
+                .ok_or(IsaError::InvalidField {
+                    field: "falu function",
+                    value: funct,
+                    at,
+                })?;
             Inst::FAlu {
                 op: falu_op,
                 fd: freg(word, 21, 18, at)?,
@@ -202,7 +210,10 @@ mod tests {
         let word = 63u32 << 26;
         assert!(matches!(
             decode(word, Addr(0x40)),
-            Err(IsaError::UnknownOpcode { opcode: 63, at: Addr(0x40) })
+            Err(IsaError::UnknownOpcode {
+                opcode: 63,
+                at: Addr(0x40)
+            })
         ));
     }
 
@@ -211,7 +222,10 @@ mod tests {
         let word = (u32::from(opcode::ALU) << 26) | (15 << 22);
         assert!(matches!(
             decode(word, Addr(0)),
-            Err(IsaError::InvalidField { field: "alu function", .. })
+            Err(IsaError::InvalidField {
+                field: "alu function",
+                ..
+            })
         ));
     }
 
@@ -221,14 +235,19 @@ mod tests {
         let word = (u32::from(opcode::FMOV) << 26) | (12 << 22);
         assert!(matches!(
             decode(word, Addr(0)),
-            Err(IsaError::InvalidField { field: "floating-point register", .. })
+            Err(IsaError::InvalidField {
+                field: "floating-point register",
+                ..
+            })
         ));
     }
 
     #[test]
     fn relative_targets_resolve_absolutely() {
         let at = Addr(0x2000);
-        let inst = Inst::Jump { target: Addr(0x1000) };
+        let inst = Inst::Jump {
+            target: Addr(0x1000),
+        };
         let word = encode(&inst, at).unwrap();
         assert_eq!(decode(word, at).unwrap(), inst);
     }

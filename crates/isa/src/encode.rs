@@ -56,19 +56,31 @@ pub(crate) fn alu_funct(op: AluOp) -> u32 {
 }
 
 pub(crate) fn falu_funct(op: FAluOp) -> u32 {
-    FAluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32
+    FAluOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in ALL") as u32
 }
 
 pub(crate) fn width_index(width: Width) -> u8 {
-    Width::ALL.iter().position(|&w| w == width).expect("width in ALL") as u8
+    Width::ALL
+        .iter()
+        .position(|&w| w == width)
+        .expect("width in ALL") as u8
 }
 
 pub(crate) fn cond_index(cond: Cond) -> u8 {
-    Cond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u8
+    Cond::ALL
+        .iter()
+        .position(|&c| c == cond)
+        .expect("cond in ALL") as u8
 }
 
 pub(crate) fn fcond_index(cond: FCond) -> u8 {
-    FCond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u8
+    FCond::ALL
+        .iter()
+        .position(|&c| c == cond)
+        .expect("cond in ALL") as u8
 }
 
 fn check_imm16(value: i32, at: Addr) -> Result<u32, IsaError> {
@@ -233,15 +245,18 @@ pub fn encode(inst: &Inst, at: Addr) -> Result<u32, IsaError> {
                 | ((fs1.index() as u32) << 14)
                 | ((fs2.index() as u32) << 10),
         ),
-        Inst::FMov { fd, rs } => {
-            word(FMOV, ((fd.index() as u32) << 22) | ((rs.index() as u32) << 18))
-        }
-        Inst::FCvt { fd, rs } => {
-            word(FCVT, ((fd.index() as u32) << 22) | ((rs.index() as u32) << 18))
-        }
-        Inst::Alloc { rd, rs } => {
-            word(ALLOC, ((rd.index() as u32) << 22) | ((rs.index() as u32) << 18))
-        }
+        Inst::FMov { fd, rs } => word(
+            FMOV,
+            ((fd.index() as u32) << 22) | ((rs.index() as u32) << 18),
+        ),
+        Inst::FCvt { fd, rs } => word(
+            FCVT,
+            ((fd.index() as u32) << 22) | ((rs.index() as u32) << 18),
+        ),
+        Inst::Alloc { rd, rs } => word(
+            ALLOC,
+            ((rd.index() as u32) << 22) | ((rs.index() as u32) << 18),
+        ),
     })
 }
 
@@ -309,7 +324,9 @@ mod tests {
 
     #[test]
     fn misaligned_target_rejected() {
-        let j = Inst::Jump { target: Addr(0x1002) };
+        let j = Inst::Jump {
+            target: Addr(0x1002),
+        };
         assert!(matches!(
             encode(&j, Addr(0)),
             Err(IsaError::MisalignedTarget { .. })
@@ -318,13 +335,29 @@ mod tests {
 
     #[test]
     fn backward_jump_encodes() {
-        let j = Inst::Jump { target: Addr(0x1000) };
+        let j = Inst::Jump {
+            target: Addr(0x1000),
+        };
         assert!(encode(&j, Addr(0x2000)).is_ok());
     }
 
     #[test]
     fn lui_range_enforced() {
-        assert!(encode(&Inst::Lui { rd: Reg::new(1), imm: 0xffff }, Addr(0)).is_ok());
-        assert!(encode(&Inst::Lui { rd: Reg::new(1), imm: 0x1_0000 }, Addr(0)).is_err());
+        assert!(encode(
+            &Inst::Lui {
+                rd: Reg::new(1),
+                imm: 0xffff
+            },
+            Addr(0)
+        )
+        .is_ok());
+        assert!(encode(
+            &Inst::Lui {
+                rd: Reg::new(1),
+                imm: 0x1_0000
+            },
+            Addr(0)
+        )
+        .is_err());
     }
 }

@@ -97,7 +97,10 @@ impl fmt::Display for IsaError {
                 None => write!(f, "immediate {value} out of 16-bit range"),
             },
             IsaError::DisplacementOutOfRange { from, to } => {
-                write!(f, "control-flow displacement from {from} to {to} out of range")
+                write!(
+                    f,
+                    "control-flow displacement from {from} to {to} out of range"
+                )
             }
             IsaError::MisalignedTarget { target } => {
                 write!(f, "control-flow target {target} is not 4-byte aligned")

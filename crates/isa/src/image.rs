@@ -125,7 +125,10 @@ impl Image {
     /// Returns [`IsaError::BadFetch`] outside the code segment, and decode
     /// errors for malformed words.
     pub fn inst_at(&self, addr: Addr) -> Result<Inst, IsaError> {
-        let word = self.code.word_at(addr).ok_or(IsaError::BadFetch { pc: addr })?;
+        let word = self
+            .code
+            .word_at(addr)
+            .ok_or(IsaError::BadFetch { pc: addr })?;
         decode(word, addr)
     }
 

@@ -430,7 +430,9 @@ impl Interpreter {
             Width::Byte => b(&self.mem, 0),
             Width::Half => b(&self.mem, 0) | (b(&self.mem, 1) << 8),
             Width::Word => {
-                b(&self.mem, 0) | (b(&self.mem, 1) << 8) | (b(&self.mem, 2) << 16)
+                b(&self.mem, 0)
+                    | (b(&self.mem, 1) << 8)
+                    | (b(&self.mem, 2) << 16)
                     | (b(&self.mem, 3) << 24)
             }
         })
@@ -440,8 +442,7 @@ impl Interpreter {
         self.cycles += u64::from(self.data_cost(addr, false, pc)?);
         let bytes = value.to_le_bytes();
         for i in 0..width.bytes() {
-            self.mem
-                .insert(addr.0.wrapping_add(i), bytes[i as usize]);
+            self.mem.insert(addr.0.wrapping_add(i), bytes[i as usize]);
         }
         Ok(())
     }
@@ -472,24 +473,19 @@ mod tests {
 
     #[test]
     fn memory_round_trip_and_fault() {
-        let (interp, _) = run_src(
-            "main: li r1, 0x100\n li r2, 0xabcd\n sw r2, 0(r1)\n lw r3, 0(r1)\n halt",
-        );
+        let (interp, _) =
+            run_src("main: li r1, 0x100\n li r2, 0xabcd\n sw r2, 0(r1)\n lw r3, 0(r1)\n halt");
         assert_eq!(interp.reg(Reg::new(3)), 0xabcd);
 
         let image = assemble("main: li r1, 0x60000000\n lw r2, 0(r1)\n halt").unwrap();
         let mut interp = Interpreter::new(&image, MemoryMap::default_embedded());
-        assert!(matches!(
-            interp.run(100),
-            Err(IsaError::MemoryFault { .. })
-        ));
+        assert!(matches!(interp.run(100), Err(IsaError::MemoryFault { .. })));
     }
 
     #[test]
     fn call_and_return() {
-        let (interp, outcome) = run_src(
-            "main: li r1, 1\n call f\n addi r1, r1, 10\n halt\nf: addi r1, r1, 100\n ret",
-        );
+        let (interp, outcome) =
+            run_src("main: li r1, 1\n call f\n addi r1, r1, 10\n halt\nf: addi r1, r1, 100\n ret");
         assert_eq!(outcome.stop, StopReason::Halt);
         assert_eq!(interp.reg(Reg::new(1)), 111);
     }
@@ -604,7 +600,9 @@ mod tests {
     fn mmio_access_is_slow() {
         // Same program, one store to SRAM vs one to MMIO: MMIO costs more.
         let sram = run_src("main: li r1, 0x100\n sw r0, 0(r1)\n halt").1.cycles;
-        let mmio = run_src("main: li r1, 0xf0000000\n sw r0, 0(r1)\n halt").1.cycles;
+        let mmio = run_src("main: li r1, 0xf0000000\n sw r0, 0(r1)\n halt")
+            .1
+            .cycles;
         assert!(mmio > sram, "mmio {mmio} should exceed sram {sram}");
     }
 
@@ -627,7 +625,8 @@ mod tests {
 
     #[test]
     fn profile_counts_visits() {
-        let (_, outcome) = run_src("main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let (_, outcome) =
+            run_src("main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
         let loop_addr = outcome
             .profile
             .iter()

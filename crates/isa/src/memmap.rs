@@ -212,13 +212,21 @@ impl MemoryMap {
     /// *unknown* address must be charged.
     #[must_use]
     pub fn worst_read_latency(&self) -> u32 {
-        self.regions.iter().map(|r| r.read_latency).max().unwrap_or(1)
+        self.regions
+            .iter()
+            .map(|r| r.read_latency)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Worst write latency over the whole map.
     #[must_use]
     pub fn worst_write_latency(&self) -> u32 {
-        self.regions.iter().map(|r| r.write_latency).max().unwrap_or(1)
+        self.regions
+            .iter()
+            .map(|r| r.write_latency)
+            .max()
+            .unwrap_or(1)
     }
 
     /// The heap region, if the map has one.
@@ -242,8 +250,14 @@ mod tests {
     fn default_map_lookup() {
         let map = MemoryMap::default_embedded();
         assert_eq!(map.region_at(Addr(0x0)).unwrap().kind, RegionKind::Sram);
-        assert_eq!(map.region_at(Addr(0x20_0000)).unwrap().kind, RegionKind::Flash);
-        assert_eq!(map.region_at(Addr(0xf000_0004)).unwrap().kind, RegionKind::Mmio);
+        assert_eq!(
+            map.region_at(Addr(0x20_0000)).unwrap().kind,
+            RegionKind::Flash
+        );
+        assert_eq!(
+            map.region_at(Addr(0xf000_0004)).unwrap().kind,
+            RegionKind::Mmio
+        );
         assert!(map.region_at(Addr(0x9000_0000)).is_none());
     }
 

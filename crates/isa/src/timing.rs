@@ -157,7 +157,12 @@ mod tests {
     #[test]
     fn worst_equals_base_for_non_branches() {
         let t = TimingModel::new();
-        for inst in [Inst::Nop, Inst::Halt, Inst::Ret, Inst::Jump { target: Addr(0) }] {
+        for inst in [
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Ret,
+            Inst::Jump { target: Addr(0) },
+        ] {
             assert_eq!(t.base_cost(&inst), t.worst_base_cost(&inst));
         }
     }

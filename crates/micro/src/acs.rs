@@ -181,9 +181,7 @@ impl AbstractCache {
                         set.insert(*l, a);
                     }
                     for (l, &b) in &other.sets[i] {
-                        set.entry(*l)
-                            .and_modify(|a| *a = (*a).min(b))
-                            .or_insert(b);
+                        set.entry(*l).and_modify(|a| *a = (*a).min(b)).or_insert(b);
                     }
                 }
             }
@@ -201,18 +199,36 @@ impl AbstractCache {
             Polarity::Must => {
                 // Other's guarantees must all follow from self's.
                 other.sets.iter().enumerate().all(|(i, oset)| {
-                    oset.iter().all(|(l, &ob)| {
-                        self.sets[i].get(l).is_some_and(|&a| a <= ob)
-                    })
+                    oset.iter()
+                        .all(|(l, &ob)| self.sets[i].get(l).is_some_and(|&a| a <= ob))
                 })
             }
             Polarity::May => {
                 // Self's possibilities must all be admitted by other.
                 self.sets.iter().enumerate().all(|(i, sset)| {
-                    sset.iter().all(|(l, &a)| {
-                        other.sets[i].get(l).is_some_and(|&ob| ob <= a)
-                    })
+                    sset.iter()
+                        .all(|(l, &a)| other.sets[i].get(l).is_some_and(|&ob| ob <= a))
                 })
+            }
+        }
+    }
+
+    /// Absorbs the abstract cache into a stable hasher (for the
+    /// incremental engine's context-entry digests).
+    pub fn digest_into(&self, h: &mut wcet_isa::hash::StableHasher) {
+        h.write_u32(match self.polarity {
+            Polarity::Must => 0,
+            Polarity::May => 1,
+        });
+        h.write_u64(u64::from(self.poisoned));
+        h.write_usize(self.config.sets);
+        h.write_usize(self.config.assoc);
+        h.write_usize(self.sets.len());
+        for set in &self.sets {
+            h.write_usize(set.len());
+            for (&line, &age) in set {
+                h.write_u32(line);
+                h.write_u32(u32::from(age));
             }
         }
     }

@@ -137,6 +137,23 @@ impl BlockTimes {
             .dcache
             .as_ref()
             .map(|cc| CacheAnalysis::data(cfg, cc, &machine.memmap, &accesses));
+        BlockTimes::compute_from_parts(fa, machine, overrides, icache.as_ref(), dcache.as_ref())
+    }
+
+    /// [`BlockTimes::compute_with_overrides`] against *prebuilt* cache
+    /// analyses — the context-sensitive pipeline runs the cache fixpoints
+    /// itself (with per-context entry ACS pairs) and hands the results
+    /// in, so timing and classification always agree.
+    #[must_use]
+    pub fn compute_from_parts(
+        fa: &FunctionAnalysis,
+        machine: &MachineConfig,
+        overrides: &AccessOverrides,
+        icache: Option<&CacheAnalysis>,
+        dcache: Option<&CacheAnalysis>,
+    ) -> BlockTimes {
+        let cfg = fa.cfg();
+        let accesses = fa.access_values();
 
         let mut wcet = Vec::with_capacity(cfg.block_count());
         let mut bcet = Vec::with_capacity(cfg.block_count());
@@ -149,13 +166,7 @@ impl BlockTimes {
                 lo += u64::from(machine.timing.base_cost(inst));
 
                 // Fetch cost.
-                let (f_hi, f_lo) = fetch_cost(
-                    *inst_addr,
-                    icache.as_ref(),
-                    machine,
-                    id,
-                    idx,
-                );
+                let (f_hi, f_lo) = fetch_cost(*inst_addr, icache, machine, id, idx);
                 hi += u64::from(f_hi);
                 lo += u64::from(f_lo);
 
@@ -164,14 +175,7 @@ impl BlockTimes {
                     let value = accesses.get(inst_addr).cloned().unwrap_or_else(Value::top);
                     let value = apply_override(value, overrides.range_of(*inst_addr));
                     let is_read = matches!(inst, Inst::Load { .. });
-                    let (m_hi, m_lo) = data_cost(
-                        &value,
-                        is_read,
-                        dcache.as_ref(),
-                        machine,
-                        id,
-                        idx,
-                    );
+                    let (m_hi, m_lo) = data_cost(&value, is_read, dcache, machine, id, idx);
                     hi += u64::from(m_hi);
                     lo += u64::from(m_lo);
                 }
@@ -260,15 +264,27 @@ fn fetch_cost(
     match icache {
         Some(analysis) => match analysis.classification(block, idx) {
             Some(Classification::AlwaysHit) => {
-                let h = machine.icache.as_ref().expect("icache configured").hit_latency;
+                let h = machine
+                    .icache
+                    .as_ref()
+                    .expect("icache configured")
+                    .hit_latency;
                 (h, h)
             }
             Some(Classification::AlwaysMiss) => {
-                let h = machine.icache.as_ref().expect("icache configured").hit_latency;
+                let h = machine
+                    .icache
+                    .as_ref()
+                    .expect("icache configured")
+                    .hit_latency;
                 (h + region_latency, h + region_latency)
             }
             Some(Classification::NotClassified) => {
-                let h = machine.icache.as_ref().expect("icache configured").hit_latency;
+                let h = machine
+                    .icache
+                    .as_ref()
+                    .expect("icache configured")
+                    .hit_latency;
                 (h + region_latency, h)
             }
             None => (region_latency, region_latency),
@@ -323,7 +339,11 @@ fn data_cost(
 
     match dcache {
         Some(analysis) if any_cacheable => {
-            let h = machine.dcache.as_ref().expect("dcache configured").hit_latency;
+            let h = machine
+                .dcache
+                .as_ref()
+                .expect("dcache configured")
+                .hit_latency;
             match analysis.classification(block, idx) {
                 Some(Classification::AlwaysHit) if all_cacheable => (h, h),
                 Some(Classification::AlwaysMiss) if all_cacheable => {
@@ -427,10 +447,16 @@ mod tests {
         // Regression: `restrict(_, lo, hi)` with lo > hi used to register
         // an empty interval silently. It must be a hard error now.
         let mut overrides = AccessOverrides::none();
-        let err = overrides.restrict(Addr(0x1004), 0x9000, 0x8000).unwrap_err();
+        let err = overrides
+            .restrict(Addr(0x1004), 0x9000, 0x8000)
+            .unwrap_err();
         assert_eq!(
             err,
-            InvertedRange { inst: Addr(0x1004), lo: 0x9000, hi: 0x8000 }
+            InvertedRange {
+                inst: Addr(0x1004),
+                lo: 0x9000,
+                hi: 0x8000
+            }
         );
         assert!(err.to_string().contains("inverted"));
         assert!(overrides.is_empty(), "a rejected override leaves no trace");

@@ -9,7 +9,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use wcet_analysis::Value;
-use wcet_cfg::block::BlockId;
+use wcet_cfg::block::{BlockId, Terminator};
 use wcet_cfg::graph::Cfg;
 use wcet_isa::cache::CacheConfig;
 use wcet_isa::memmap::MemoryMap;
@@ -37,42 +37,103 @@ pub struct CacheAnalysis {
     class: Vec<Vec<Option<Classification>>>,
 }
 
-#[derive(Clone)]
-struct Acs {
+/// A must/may abstract-cache pair: the state the fixpoint flows along
+/// edges, and — publicly — the unit of VIVU-style *entry-state
+/// propagation*: the caller's pair at a call site becomes the callee's
+/// per-context entry pair, replacing the cold (nothing-guaranteed)
+/// default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStates {
     must: AbstractCache,
     may: AbstractCache,
 }
 
-impl Acs {
-    fn cold(config: &CacheConfig) -> Acs {
-        Acs {
+impl CacheStates {
+    /// The cold pair: no must guarantees, an empty (machine-start) may
+    /// cache. The sound entry state when nothing is known about callers.
+    #[must_use]
+    pub fn cold(config: &CacheConfig) -> CacheStates {
+        CacheStates {
             must: AbstractCache::new(config.clone(), Polarity::Must),
             may: AbstractCache::new(config.clone(), Polarity::May),
         }
     }
 
-    fn join(&self, other: &Acs) -> Acs {
-        Acs {
+    /// Control-flow (and call-edge) merge.
+    #[must_use]
+    pub fn join(&self, other: &CacheStates) -> CacheStates {
+        CacheStates {
             must: self.must.join(&other.must),
             may: self.may.join(&other.may),
         }
     }
 
-    fn is_subsumed_by(&self, other: &Acs) -> bool {
+    /// A stable content digest (for incremental context-entry keys).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = wcet_isa::hash::StableHasher::new();
+        self.must.digest_into(&mut h);
+        self.may.digest_into(&mut h);
+        h.finish()
+    }
+
+    fn is_subsumed_by(&self, other: &CacheStates) -> bool {
         self.must.is_subsumed_by(&other.must) && self.may.is_subsumed_by(&other.may)
     }
+
+    /// The effect of an opaque callee on the caller's view of the cache:
+    /// the callee may touch arbitrarily many lines, so nothing stays
+    /// *guaranteed* cached (must empties) and nothing stays guaranteed
+    /// absent (may poisons). Before this existed, a caller's post-call
+    /// fetches kept their pre-call hit guarantees even though the callee
+    /// could have evicted every line — unsound with the interpreter's
+    /// real cache.
+    fn clobber_call(&mut self) {
+        self.must.access_unknown();
+        self.may.access_unknown();
+    }
+}
+
+type Acs = CacheStates;
+
+/// A cache analysis together with the context-propagation hooks: the
+/// must/may pair immediately before every call terminator, keyed by call
+/// site. The per-context pipeline joins these across a callee's
+/// producing call edges to form the callee's entry pair.
+#[derive(Debug, Clone)]
+pub struct CtxCacheAnalysis {
+    /// The classifications.
+    pub analysis: CacheAnalysis,
+    /// ACS pair before each call terminator (virtual unrolling can
+    /// duplicate a site; duplicates are joined).
+    pub call_states: BTreeMap<Addr, CacheStates>,
 }
 
 impl CacheAnalysis {
     /// Instruction-cache analysis: classifies every fetch in `cfg`.
     #[must_use]
     pub fn instruction(cfg: &Cfg, config: &CacheConfig, memmap: &MemoryMap) -> CacheAnalysis {
+        CacheAnalysis::instruction_ctx(cfg, config, memmap, None).analysis
+    }
+
+    /// [`CacheAnalysis::instruction`] with an explicit entry ACS pair
+    /// (the join of the caller states at this function's producing call
+    /// sites under one context); `None` = the cold pair. Also returns
+    /// the per-call-site ACS pairs for propagation into callees.
+    #[must_use]
+    pub fn instruction_ctx(
+        cfg: &Cfg,
+        config: &CacheConfig,
+        memmap: &MemoryMap,
+        entry: Option<&CacheStates>,
+    ) -> CtxCacheAnalysis {
         run(
             cfg,
             config,
             CacheKind::Instruction,
             |_, addr, _| Access::Fetch(addr),
             memmap,
+            entry,
         )
     }
 
@@ -86,12 +147,26 @@ impl CacheAnalysis {
         memmap: &MemoryMap,
         accesses: &BTreeMap<Addr, Value>,
     ) -> CacheAnalysis {
+        CacheAnalysis::data_ctx(cfg, config, memmap, accesses, None).analysis
+    }
+
+    /// [`CacheAnalysis::data`] with an explicit entry ACS pair; see
+    /// [`CacheAnalysis::instruction_ctx`].
+    #[must_use]
+    pub fn data_ctx(
+        cfg: &Cfg,
+        config: &CacheConfig,
+        memmap: &MemoryMap,
+        accesses: &BTreeMap<Addr, Value>,
+        entry: Option<&CacheStates>,
+    ) -> CtxCacheAnalysis {
         run(
             cfg,
             config,
             CacheKind::Data,
             |inst, addr, mm| data_access(inst, addr, accesses, mm),
             memmap,
+            entry,
         )
     }
 
@@ -183,12 +258,19 @@ fn run(
     kind: CacheKind,
     classify_inst: impl Fn(&Inst, Addr, &MemoryMap) -> Access,
     memmap: &MemoryMap,
-) -> CacheAnalysis {
+    entry_state: Option<&CacheStates>,
+) -> CtxCacheAnalysis {
     let n = cfg.block_count();
     let mut in_states: Vec<Option<Acs>> = vec![None; n];
     let entry = cfg.entry_block();
-    in_states[entry.0] = Some(Acs::cold(config));
+    in_states[entry.0] = Some(match entry_state {
+        Some(s) => s.clone(),
+        None => Acs::cold(config),
+    });
 
+    // The per-instruction transfer of one block, *excluding* the call
+    // clobber (the classification pass and the pre-call snapshots need
+    // the state right before the terminator).
     let transfer = |acs: &mut Acs, block: BlockId| {
         for (inst_addr, inst) in &cfg.block(block).insts {
             let access = match kind {
@@ -205,6 +287,12 @@ fn run(
             apply(acs, &access);
         }
     };
+    let is_call = |b: BlockId| {
+        matches!(
+            cfg.block(b).term,
+            Terminator::Call { .. } | Terminator::CallInd { .. }
+        )
+    };
 
     // Worklist fixpoint.
     let mut work: VecDeque<BlockId> = VecDeque::from([entry]);
@@ -214,6 +302,9 @@ fn run(
         };
         let mut out = in_acs;
         transfer(&mut out, b);
+        if is_call(b) {
+            out.clobber_call();
+        }
         for &succ in &cfg.succs[b.0] {
             let new_in = match &in_states[succ.0] {
                 Some(old) => old.join(&out),
@@ -230,7 +321,9 @@ fn run(
         }
     }
 
-    // Classification pass.
+    // Classification pass (and pre-call ACS snapshots for context
+    // propagation).
+    let mut call_states: BTreeMap<Addr, CacheStates> = BTreeMap::new();
     let mut class: Vec<Vec<Option<Classification>>> = Vec::with_capacity(n);
     for (id, block) in cfg.iter() {
         let mut row = Vec::with_capacity(block.insts.len());
@@ -250,12 +343,22 @@ fn run(
                     let c = match &access {
                         Access::None | Access::Bypass => None,
                         Access::Fetch(a) => Some(classify(&acs.must, &acs.may, *a)),
-                        Access::OneOf(_) | Access::Unknown => {
-                            Some(Classification::NotClassified)
-                        }
+                        Access::OneOf(_) | Access::Unknown => Some(Classification::NotClassified),
                     };
                     row.push(c);
                     apply(&mut acs, &access);
+                }
+                if is_call(id) {
+                    // `acs` now holds the state right before the call.
+                    let site = block.insts.last().map(|(a, _)| *a).unwrap_or(block.start);
+                    match call_states.remove(&site) {
+                        Some(prev) => {
+                            call_states.insert(site, prev.join(&acs));
+                        }
+                        None => {
+                            call_states.insert(site, acs);
+                        }
+                    }
                 }
             }
             None => {
@@ -273,7 +376,10 @@ fn run(
         class.push(row);
     }
 
-    CacheAnalysis { kind, class }
+    CtxCacheAnalysis {
+        analysis: CacheAnalysis { kind, class },
+        call_states,
+    }
 }
 
 fn apply(acs: &mut Acs, access: &Access) {
@@ -341,6 +447,57 @@ mod tests {
         assert_eq!(c, Some(Classification::NotClassified));
         let (hit, _, _) = a.summary();
         assert!(hit > 0, "within-line fetches still hit");
+    }
+
+    #[test]
+    fn call_clobbers_must_guarantees() {
+        // Two call instructions in one icache line: before the clobber
+        // fix the second fetch was an AlwaysHit even though the first
+        // callee can evict the line. It must be NotClassified now (the
+        // callee's footprint is unknown), never AlwaysMiss (poisoned may).
+        let (p, a) = icache_of(".org 0x100000\nmain: call f\n call f\n halt\nf: ret");
+        let cfg = p.entry_cfg();
+        let second_call = cfg.block_at(wcet_isa::Addr(0x0010_0004)).unwrap();
+        assert_eq!(
+            a.classification(second_call, 0),
+            Some(Classification::NotClassified),
+            "post-call fetches lose their guarantees"
+        );
+    }
+
+    #[test]
+    fn entry_acs_propagation_turns_cold_misses_into_hits() {
+        // A leaf fetched under a caller context whose ACS already holds
+        // the leaf's line: the entry fetch classifies AlwaysHit instead
+        // of the cold AlwaysMiss — the VIVU payoff in miniature.
+        let config = CacheConfig::small_icache();
+        let memmap = MemoryMap::default_embedded();
+        // Analyze a caller whose call sites expose its ACS, then feed the
+        // pre-call pair into the callee's analysis.
+        let caller_src = ".org 0x100000\nmain: nop\n call f\n halt\nf: ret";
+        let caller_image = assemble(caller_src).unwrap();
+        let cp = reconstruct(&caller_image, &TargetResolver::empty()).unwrap();
+        let caller = CacheAnalysis::instruction_ctx(cp.entry_cfg(), &config, &memmap, None);
+        let (&site, pre_call) = caller.call_states.iter().next().unwrap();
+        assert_eq!(site, caller_image.entry.offset(4));
+
+        // f sits at 0x10000c — the same 16-byte line as main's code:
+        // under the propagated entry the leaf's first fetch hits.
+        let f = caller_image.symbol("f").unwrap();
+        let f_cfg = cp.cfg(f).unwrap();
+        let leaf_cold = CacheAnalysis::instruction_ctx(f_cfg, &config, &memmap, None);
+        let leaf_warm = CacheAnalysis::instruction_ctx(f_cfg, &config, &memmap, Some(pre_call));
+        let fb = f_cfg.entry_block();
+        assert_eq!(
+            leaf_cold.analysis.classification(fb, 0),
+            Some(Classification::AlwaysMiss)
+        );
+        assert_eq!(
+            leaf_warm.analysis.classification(fb, 0),
+            Some(Classification::AlwaysHit),
+            "caller's ACS pair warms the callee entry"
+        );
+        assert_ne!(pre_call.digest(), CacheStates::cold(&config).digest());
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub mod cacheanalysis;
 
 pub use acs::{AbstractCache, Classification};
 pub use blocktime::BlockTimes;
-pub use cacheanalysis::{CacheAnalysis, CacheKind};
+pub use cacheanalysis::{CacheAnalysis, CacheKind, CacheStates, CtxCacheAnalysis};

@@ -40,7 +40,9 @@ pub fn extract_path(cfg: &Cfg, edge_counts: &BTreeMap<(BlockId, BlockId), u64>) 
         // drains loop back edges before exit edges.
         candidates.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s));
         let (next, _) = candidates[0];
-        *remaining.get_mut(&(current, next)).expect("candidate exists") -= 1;
+        *remaining
+            .get_mut(&(current, next))
+            .expect("candidate exists") -= 1;
         path.push(next);
         current = next;
     }

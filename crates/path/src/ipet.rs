@@ -17,14 +17,62 @@ use wcet_cfg::block::{BlockId, Terminator};
 use wcet_cfg::graph::Cfg;
 use wcet_cfg::loops::LoopForest;
 use wcet_ilp::{Model, Sense, SolveError, VarId};
-use wcet_micro::blocktime::BlockTimes;
 use wcet_isa::Addr;
+use wcet_micro::blocktime::BlockTimes;
 
 use crate::flowfacts::{FactOp, FlowFact};
 
-/// Per-callee WCET costs, added to blocks that call them (bottom-up
-/// interprocedural composition). Keyed by callee entry address.
-pub type CallCosts = BTreeMap<Addr, u64>;
+/// Callee costs, added to blocks that call them (bottom-up
+/// interprocedural composition).
+///
+/// Two addressing levels:
+///
+/// * **by callee** ([`CallCosts::insert`]) — one merged cost per callee
+///   entry address, the classic context-insensitive pricing;
+/// * **by call site** ([`CallCosts::insert_site`]) — a cost for one
+///   specific call instruction. The context-sensitive pipeline prices
+///   each site with the WCET of the *(callee, context)* pair the site
+///   resolves to, so two calls to the same function can carry different
+///   costs. Site costs take precedence over callee costs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallCosts {
+    by_callee: BTreeMap<Addr, u64>,
+    by_site: BTreeMap<Addr, u64>,
+}
+
+impl CallCosts {
+    /// An empty cost table.
+    #[must_use]
+    pub fn new() -> CallCosts {
+        CallCosts::default()
+    }
+
+    /// Sets the merged cost of `callee` (used by every call site without
+    /// a site-specific cost).
+    pub fn insert(&mut self, callee: Addr, cost: u64) {
+        self.by_callee.insert(callee, cost);
+    }
+
+    /// The merged cost of `callee`, if set.
+    #[must_use]
+    pub fn get(&self, callee: &Addr) -> Option<&u64> {
+        self.by_callee.get(callee)
+    }
+
+    /// Sets the cost charged at the call instruction `site`, overriding
+    /// any per-callee cost there. For indirect calls the caller must
+    /// pass the already-merged (max for WCET, min for BCET) cost over
+    /// the site's possible callee contexts.
+    pub fn insert_site(&mut self, site: Addr, cost: u64) {
+        self.by_site.insert(site, cost);
+    }
+
+    /// The site-specific cost at `site`, if set.
+    #[must_use]
+    pub fn site(&self, site: Addr) -> Option<u64> {
+        self.by_site.get(&site).copied()
+    }
+}
 
 /// Why path analysis failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,7 +166,15 @@ pub fn wcet(
     facts: &[FlowFact],
     call_costs: &CallCosts,
 ) -> Result<WcetResult, PathError> {
-    solve(cfg, forest, times, bounds, facts, call_costs, Sense::Maximize)
+    solve(
+        cfg,
+        forest,
+        times,
+        bounds,
+        facts,
+        call_costs,
+        Sense::Maximize,
+    )
 }
 
 /// Computes the BCET bound of the analyzed function (same system,
@@ -135,7 +191,15 @@ pub fn bcet(
     facts: &[FlowFact],
     call_costs: &CallCosts,
 ) -> Result<WcetResult, PathError> {
-    solve(cfg, forest, times, bounds, facts, call_costs, Sense::Minimize)
+    solve(
+        cfg,
+        forest,
+        times,
+        bounds,
+        facts,
+        call_costs,
+        Sense::Minimize,
+    )
 }
 
 #[allow(clippy::too_many_arguments)] // one IPET system, fully spelled out
@@ -258,24 +322,35 @@ fn solve(
             Sense::Maximize => times.wcet(BlockId(b)),
             Sense::Minimize => times.bcet(BlockId(b)),
         };
-        let call_cost: u64 = match &cfg.block(BlockId(b)).term {
-            Terminator::Call { callee, .. } => *call_costs
-                .get(callee)
-                .ok_or(PathError::MissingCallee { callee: *callee })?,
+        let block = cfg.block(BlockId(b));
+        let call_site = block.insts.last().map(|(a, _)| *a).unwrap_or(block.start);
+        let call_cost: u64 = match &block.term {
+            Terminator::Call { callee, .. } => match call_costs.site(call_site) {
+                Some(cost) => cost,
+                None => *call_costs
+                    .get(callee)
+                    .ok_or(PathError::MissingCallee { callee: *callee })?,
+            },
             Terminator::CallInd { callees, .. } if !callees.is_empty() => {
-                let per: Result<Vec<u64>, PathError> = callees
-                    .iter()
-                    .map(|c| {
-                        call_costs
-                            .get(c)
-                            .copied()
-                            .ok_or(PathError::MissingCallee { callee: *c })
-                    })
-                    .collect();
-                let per = per?;
-                match sense {
-                    Sense::Maximize => per.into_iter().max().unwrap_or(0),
-                    Sense::Minimize => per.into_iter().min().unwrap_or(0),
+                match call_costs.site(call_site) {
+                    // Already merged over the site's callee contexts.
+                    Some(cost) => cost,
+                    None => {
+                        let per: Result<Vec<u64>, PathError> = callees
+                            .iter()
+                            .map(|c| {
+                                call_costs
+                                    .get(c)
+                                    .copied()
+                                    .ok_or(PathError::MissingCallee { callee: *c })
+                            })
+                            .collect();
+                        let per = per?;
+                        match sense {
+                            Sense::Maximize => per.into_iter().max().unwrap_or(0),
+                            Sense::Minimize => per.into_iter().min().unwrap_or(0),
+                        }
+                    }
                 }
             }
             _ => 0,
@@ -322,7 +397,15 @@ mod tests {
     fn wcet_of(src: &str) -> (u64, u64) {
         // Returns (bound, observed).
         let (image, fa, times) = setup(src);
-        let result = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let result = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         let outcome = interp.run(1_000_000).unwrap();
         (result.wcet_cycles, outcome.cycles)
@@ -358,11 +441,25 @@ mod tests {
             done: halt
             "#,
         );
-        let result = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let result = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
         let expensive = fa
             .cfg()
             .iter()
-            .find(|(_, b)| b.insts.iter().filter(|(_, i)| matches!(i, wcet_isa::Inst::Alu { .. })).count() == 2)
+            .find(|(_, b)| {
+                b.insts
+                    .iter()
+                    .filter(|(_, i)| matches!(i, wcet_isa::Inst::Alu { .. }))
+                    .count()
+                    == 2
+            })
             .unwrap()
             .0;
         assert_eq!(result.count(expensive), 1, "worst path takes the mul arm");
@@ -370,8 +467,17 @@ mod tests {
 
     #[test]
     fn unbounded_loop_is_an_error_with_reason() {
-        let (_, fa, times) = setup("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
-        let err = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap_err();
+        let (_, fa, times) =
+            setup("main: mov r1, r4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let err = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap_err();
         match err {
             PathError::UnboundedLoop { loops } => {
                 assert_eq!(loops.len(), 1);
@@ -388,7 +494,15 @@ mod tests {
         let mut bounds = fa.loop_bounds();
         let id = bounds.results()[0].0;
         bounds.apply_annotation(id, 20);
-        let result = wcet(fa.cfg(), fa.forest(), &times, &bounds, &[], &CallCosts::new()).unwrap();
+        let result = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &bounds,
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
         // Observed with r4 = 20 must stay below the bound.
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         interp.set_reg(wcet_isa::Reg::new(4), 20);
@@ -409,23 +523,41 @@ mod tests {
             done: halt
             "#,
         );
-        let plain = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
-        let expensive = fa
-            .cfg()
-            .iter()
-            .find(|(_, b)| b.insts.len() == 4)
-            .unwrap()
-            .0;
+        let plain = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
+        let expensive = fa.cfg().iter().find(|(_, b)| b.insts.len() == 4).unwrap().0;
         let fact = FlowFact::exclude(expensive, "mode: expensive arm infeasible");
-        let constrained =
-            wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
+        let constrained = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[fact],
+            &CallCosts::new(),
+        )
+        .unwrap();
         assert!(constrained.wcet_cycles < plain.wcet_cycles);
     }
 
     #[test]
     fn unresolved_call_is_an_error() {
         let (_, fa, times) = setup("main: callr r4\n halt");
-        let err = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap_err();
+        let err = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, PathError::UnresolvedCall { .. }));
     }
 
@@ -440,22 +572,108 @@ mod tests {
 
         let mut costs = CallCosts::new();
         costs.insert(f_entry, 0);
-        let base = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &costs).unwrap();
+        let base = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &costs,
+        )
+        .unwrap();
         costs.insert(f_entry, 100);
-        let with_callee = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &costs).unwrap();
+        let with_callee = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &costs,
+        )
+        .unwrap();
         assert_eq!(with_callee.wcet_cycles, base.wcet_cycles + 100);
 
-        let missing = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new());
+        let missing = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        );
         assert!(matches!(missing, Err(PathError::MissingCallee { .. })));
     }
 
     #[test]
-    fn bcet_below_wcet() {
-        let (_, fa, times) = setup(
-            "main: beq r4, r0, cheap\n mul r1, r2, r3\n j done\ncheap: nop\ndone: halt",
+    fn site_costs_override_callee_costs() {
+        // Two calls to the same callee priced differently per site: the
+        // WCET charges each site its own context cost, not twice the
+        // merged worst case.
+        let src = "main: call f\n call f\n halt\nf: ret";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let f_entry = image.symbol("f").unwrap();
+        let fa = analyze_function(&p, p.entry, &image);
+        let times = BlockTimes::compute(&fa, &MachineConfig::simple());
+
+        let mut merged = CallCosts::new();
+        merged.insert(f_entry, 100);
+        let both_merged = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &merged,
+        )
+        .unwrap();
+
+        let sites = fa.cfg().call_sites();
+        assert_eq!(sites.len(), 2);
+        let mut per_site = CallCosts::new();
+        per_site.insert(f_entry, 100); // fallback, shadowed below
+        per_site.insert_site(sites[0].0, 10);
+        per_site.insert_site(sites[1].0, 100);
+        let contexted = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &per_site,
+        )
+        .unwrap();
+        assert_eq!(
+            both_merged.wcet_cycles - contexted.wcet_cycles,
+            90,
+            "the cheap site saves exactly its context delta"
         );
-        let hi = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
-        let lo = bcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        assert_eq!(per_site.site(sites[0].0), Some(10));
+        assert_eq!(per_site.get(&f_entry), Some(&100));
+    }
+
+    #[test]
+    fn bcet_below_wcet() {
+        let (_, fa, times) =
+            setup("main: beq r4, r0, cheap\n mul r1, r2, r3\n j done\ncheap: nop\ndone: halt");
+        let hi = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
+        let lo = bcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
         assert!(lo.wcet_cycles < hi.wcet_cycles);
     }
 
@@ -463,9 +681,8 @@ mod tests {
     fn ge_flow_fact_forces_minimum_visits() {
         // A Ge fact can force the BCET path through otherwise-skippable
         // work (e.g. "the calibration block runs at least twice").
-        let (_, fa, times) = setup(
-            "main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
-        );
+        let (_, fa, times) =
+            setup("main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
         let loop_block = fa.cfg().block_at(fa.entry.offset(4)).unwrap();
         let fact = FlowFact::linear(
             vec![(loop_block, 1.0)],
@@ -473,9 +690,24 @@ mod tests {
             2.0,
             "calibration runs at least twice",
         );
-        let lo_plain = bcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
-        let lo_forced =
-            bcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
+        let lo_plain = bcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
+        let lo_forced = bcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[fact],
+            &CallCosts::new(),
+        )
+        .unwrap();
         assert!(lo_forced.wcet_cycles >= lo_plain.wcet_cycles);
         assert!(lo_forced.count(loop_block) >= 2);
     }
@@ -500,10 +732,26 @@ mod tests {
         );
         let a_arm = fa.cfg().block_at(fa.entry.offset(12)).unwrap();
         let b_arm = fa.cfg().block_at(fa.entry.offset(20)).unwrap();
-        let plain = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let plain = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
         // Budget: the two arms together may run at most 3 of the 6 times…
         let fact = FlowFact::mutually_exclusive(a_arm, b_arm, 3, "arm budget");
-        let tight = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap();
+        let tight = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[fact],
+            &CallCosts::new(),
+        )
+        .unwrap();
         assert!(tight.wcet_cycles < plain.wcet_cycles);
         assert!(tight.count(a_arm) + tight.count(b_arm) <= 3);
     }
@@ -515,16 +763,31 @@ mod tests {
         // The entry must execute exactly once, so forbidding it is
         // infeasible.
         let fact = FlowFact::exclude(entry, "contradiction");
-        let err = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[fact], &CallCosts::new()).unwrap_err();
+        let err = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[fact],
+            &CallCosts::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, PathError::Solver(_)));
     }
 
     #[test]
     fn worst_path_is_a_real_path() {
-        let (_, fa, times) = setup(
-            "main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt",
-        );
-        let result = wcet(fa.cfg(), fa.forest(), &times, &fa.loop_bounds(), &[], &CallCosts::new()).unwrap();
+        let (_, fa, times) =
+            setup("main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let result = wcet(
+            fa.cfg(),
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
         assert_eq!(result.worst_path.first(), Some(&fa.cfg().entry_block()));
         // The path visits the loop block `bound` times.
         let loop_block = fa.cfg().block_at(fa.entry.offset(4)).unwrap();

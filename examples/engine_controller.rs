@@ -149,8 +149,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for state in 0..4u32 {
             for pending in [0u32, 8] {
                 for fault in [(0u32, 0u32), (1, 0), (0, 1)] {
-                    let mut interp =
-                        Interpreter::with_config(&image, MachineConfig::simple());
+                    let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
                     interp.poke_word(Addr(0xf000_0000), mode);
                     interp.poke_word(Addr(0xf000_0004), state);
                     interp.poke_word(Addr(0xf000_0008), pending);

@@ -6,9 +6,7 @@
 //! cargo run --release --example table1 -- 100000000   # the paper's 10^8
 //! ```
 
-use wcet_predictability::arith::histogram::{
-    paper_pathological_inputs, run_table1, Table1Config,
-};
+use wcet_predictability::arith::histogram::{paper_pathological_inputs, run_table1, Table1Config};
 use wcet_predictability::arith::ldivmod::correction_bound;
 use wcet_predictability::arith::restoring::restoring_div;
 

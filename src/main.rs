@@ -5,6 +5,9 @@
 //!   --annotations <file>         design-level annotation file (§4.3)
 //!   --caches                     enable the i/d-cache machine model
 //!   --unroll                     virtually unroll loops (context expansion)
+//!   --context-depth <k>          analyze one unit per (function, call-string
+//!                                of length ≤ k) — VIVU-style context
+//!                                sensitivity; default 0 = merged analysis
 //!   --threads <n>                analysis worker threads (default: all
 //!                                cores; 1 = sequential; same report either way)
 //!   --cache-dir <dir>            persistent artifact cache: unchanged
@@ -24,8 +27,8 @@
 use std::process::ExitCode;
 
 use wcet_predictability::core::analyzer::{AnalysisReport, AnalyzerConfig, WcetAnalyzer};
-use wcet_predictability::core::incr::ArtifactCache;
 use wcet_predictability::core::experiments;
+use wcet_predictability::core::incr::ArtifactCache;
 use wcet_predictability::guidelines::annot::AnnotationSet;
 use wcet_predictability::isa::asm::assemble;
 use wcet_predictability::isa::disasm::disassemble;
@@ -54,6 +57,7 @@ struct CliOptions {
     also_run: bool,
     parallelism: Option<usize>,
     cache_dir: Option<String>,
+    context_depth: usize,
 }
 
 fn run(args: Vec<String>) -> Result<(), String> {
@@ -236,6 +240,14 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                         .clone(),
                 );
             }
+            "--context-depth" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--context-depth needs a depth".to_owned())?;
+                opts.context_depth = raw
+                    .parse()
+                    .map_err(|_| format!("invalid context depth `{raw}`"))?;
+            }
             "--caches" => opts.caches = true,
             "--unroll" => opts.unroll = true,
             "--disasm" => opts.show_disasm = true,
@@ -259,8 +271,8 @@ fn load_image(source_path: &str) -> Result<Image, String> {
 fn load_annotations(path: Option<&str>) -> Result<AnnotationSet, String> {
     match path {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             AnnotationSet::parse(&text).map_err(|e| format!("{path}: {e}"))
         }
         None => Ok(AnnotationSet::new()),
@@ -292,6 +304,7 @@ fn analyze_one(
         annotations,
         unrolling: opts.unroll,
         parallelism: opts.parallelism,
+        context_depth: opts.context_depth,
         ..AnalyzerConfig::new()
     };
     let analyzer = WcetAnalyzer::with_config(config);
@@ -308,10 +321,10 @@ fn print_usage() {
         "wcet — static WCET analyzer (reproduction of 'Software Structure \
          and WCET Predictability', PPES/DATE 2011)\n\n\
          usage:\n  wcet <program.s> [--annotations <file>] [--caches] \
-         [--unroll] [--threads <n>] [--cache-dir <dir>] [--disasm] \
-         [--check-only] [--run]\n  \
+         [--unroll] [--context-depth <k>] [--threads <n>] [--cache-dir <dir>] \
+         [--disasm] [--check-only] [--run]\n  \
          wcet batch <manifest> [--cache-dir <dir>] [--caches] [--unroll] \
-         [--threads <n>]\n  \
+         [--context-depth <k>] [--threads <n>]\n  \
          wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }

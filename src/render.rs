@@ -68,7 +68,11 @@ pub fn render_analysis(image: &Image, report: &AnalysisReport) -> String {
             out,
             "worst-case path: {}{}",
             path_blocks.join(" → "),
-            if report.worst_path.len() > 24 { " → …" } else { "" }
+            if report.worst_path.len() > 24 {
+                " → …"
+            } else {
+                ""
+            }
         );
     }
     out

@@ -32,7 +32,10 @@ fn unknown_option_fails_with_diagnostic() {
     let out = wcet(&["--frobnicate"]);
     assert!(!out.status.success(), "unknown options must fail");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("unknown option"), "diagnostic missing:\n{stderr}");
+    assert!(
+        stderr.contains("unknown option"),
+        "diagnostic missing:\n{stderr}"
+    );
 }
 
 #[test]
@@ -40,7 +43,10 @@ fn missing_file_fails_with_diagnostic() {
     let out = wcet(&["/nonexistent/program.s"]);
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("cannot read"), "diagnostic missing:\n{stderr}");
+    assert!(
+        stderr.contains("cannot read"),
+        "diagnostic missing:\n{stderr}"
+    );
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn table1_driver_runs_small_sample_count() {
     let out = wcet(&["--table1", "20000"]);
     assert!(out.status.success(), "--table1 must exit 0");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("ldivmod"), "Table 1 output missing:\n{stdout}");
+    assert!(
+        stdout.contains("ldivmod"),
+        "Table 1 output missing:\n{stdout}"
+    );
 }
 
 #[test]
@@ -175,7 +184,10 @@ fn warm_cache_run_is_byte_identical_with_nonzero_hits() {
     let plain = wcet(&[program.to_str().unwrap()]);
     assert!(plain.status.success());
     assert_eq!(strip_timings(&plain.stdout), strip_timings(&warm.stdout));
-    assert!(plain.stderr.is_empty(), "no cache chatter without --cache-dir");
+    assert!(
+        plain.stderr.is_empty(),
+        "no cache chatter without --cache-dir"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -245,6 +257,65 @@ fn batch_mode_analyzes_a_manifest_against_a_shared_cache() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The annotation-free corpus workloads through the binary: the
+/// call-tree and context workloads analyze end to end from their
+/// assembly sources, and `--context-depth 1` prints a strictly smaller
+/// WCET headline than the merged default on both.
+#[test]
+fn corpus_workloads_analyze_via_cli_and_context_depth_tightens() {
+    use wcet_predictability::core::workload;
+
+    let dir = std::env::temp_dir().join(format!("wcet-cli-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wcet_bound = |stdout: &[u8]| -> u64 {
+        String::from_utf8_lossy(stdout)
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix("task WCET bound: ")?
+                    .strip_suffix(" cycles")?
+                    .parse()
+                    .ok()
+            })
+            .expect("WCET headline present")
+    };
+    for w in [
+        workload::call_tree_heavy(2, 3, &[]),
+        workload::context_killer(),
+    ] {
+        let program = dir.join(format!("{}.s", w.name));
+        std::fs::write(&program, &w.source).expect("write workload source");
+        let merged = wcet(&[program.to_str().unwrap(), "--context-depth", "0"]);
+        assert!(
+            merged.status.success(),
+            "{} analyzes at depth 0: {}",
+            w.name,
+            String::from_utf8_lossy(&merged.stderr)
+        );
+        let ctx = wcet(&[program.to_str().unwrap(), "--context-depth", "1"]);
+        assert!(ctx.status.success(), "{} analyzes at depth 1", w.name);
+        assert!(
+            wcet_bound(&ctx.stdout) < wcet_bound(&merged.stdout),
+            "{}: --context-depth 1 must print a smaller bound",
+            w.name
+        );
+        // Depth 0 is the flag-free default.
+        let plain = wcet(&[program.to_str().unwrap()]);
+        assert!(plain.status.success());
+        assert_eq!(wcet_bound(&plain.stdout), wcet_bound(&merged.stdout));
+    }
+
+    // The flag is validated.
+    let bad = wcet(&["--context-depth"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--context-depth"));
+    let garbage = wcet(&["prog.s", "--context-depth", "lots"]);
+    assert!(!garbage.status.success());
+    assert!(String::from_utf8_lossy(&garbage.stderr).contains("invalid context depth"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn analyzes_an_assembly_file_end_to_end() {
     let dir = std::env::temp_dir().join(format!("wcet-cli-smoke-{}", std::process::id()));
@@ -277,9 +348,18 @@ fn analyzes_an_assembly_file_end_to_end() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(out.status.success(), "analyze failed:\n{stdout}\n{stderr}");
-    assert!(stdout.contains("task WCET bound:"), "no WCET headline:\n{stdout}");
-    assert!(stdout.contains("disassembly"), "disassembly listing missing:\n{stdout}");
-    assert!(stdout.contains("within bounds: true"), "observed run outside bounds:\n{stdout}");
+    assert!(
+        stdout.contains("task WCET bound:"),
+        "no WCET headline:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("disassembly"),
+        "disassembly listing missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("within bounds: true"),
+        "observed run outside bounds:\n{stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -16,7 +16,9 @@ fn run_example(name: &str, args: &[&str]) -> String {
     if !args.is_empty() {
         cmd.arg("--").args(args);
     }
-    let out = cmd.output().unwrap_or_else(|e| panic!("spawning example {name}: {e}"));
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("spawning example {name}: {e}"));
     assert!(
         out.status.success(),
         "example {name} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
@@ -46,7 +48,10 @@ fn number_after(text: &str, prefix: &str) -> u64 {
 #[test]
 fn quickstart_reports_positive_bounds() {
     let out = run_example("quickstart", &[]);
-    assert!(out.contains("Figure 1 pipeline"), "missing pipeline banner:\n{out}");
+    assert!(
+        out.contains("Figure 1 pipeline"),
+        "missing pipeline banner:\n{out}"
+    );
     let wcet = number_after(&out, "WCET bound:");
     let bcet = number_after(&out, "BCET bound:");
     assert!(wcet > 0, "WCET bound must be positive");
@@ -57,14 +62,23 @@ fn quickstart_reports_positive_bounds() {
 fn table1_histogram_covers_all_samples() {
     let out = run_example("table1", &["50000"]);
     assert!(out.contains("Table 1"), "missing Table 1 banner:\n{out}");
-    assert!(out.contains("Iteration Counts"), "missing histogram header:\n{out}");
-    assert!(out.contains("50000 random inputs"), "sample count not echoed:\n{out}");
+    assert!(
+        out.contains("Iteration Counts"),
+        "missing histogram header:\n{out}"
+    );
+    assert!(
+        out.contains("50000 random inputs"),
+        "sample count not echoed:\n{out}"
+    );
 }
 
 #[test]
 fn misra_audit_flags_tier1_and_tier2_rules() {
     let out = run_example("misra_audit", &[]);
-    assert!(out.contains("clean: WCET computable"), "clean task must pass:\n{out}");
+    assert!(
+        out.contains("clean: WCET computable"),
+        "clean task must pass:\n{out}"
+    );
     assert!(out.contains("tier-1 BLOCKED"), "no tier-1 findings:\n{out}");
     assert!(out.contains("tier-2 only"), "no tier-2 findings:\n{out}");
     // The headline rules of the paper's Section 3 must each be exercised.
@@ -90,7 +104,10 @@ fn engine_controller_per_mode_bounds_within_global() {
     let global = number_after(&out, "WCET in (global)");
     let idle = number_after(&out, "WCET in idle");
     assert!(global > 0);
-    assert!(idle <= global, "idle {idle} must not exceed global {global}");
+    assert!(
+        idle <= global,
+        "idle {idle} must not exceed global {global}"
+    );
 }
 
 #[test]
@@ -99,5 +116,8 @@ fn message_handler_annotations_tighten_the_bound() {
     let both = number_after(&out, "with buffer-size annotations:");
     let excl = number_after(&out, "with rx/tx exclusion documented:");
     assert!(both > 0);
-    assert!(excl <= both, "documenting exclusion must tighten the bound ({excl} vs {both})");
+    assert!(
+        excl <= both,
+        "documenting exclusion must tighten the bound ({excl} vs {both})"
+    );
 }

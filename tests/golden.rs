@@ -48,7 +48,7 @@ fn golden_reports_for_all_workloads() {
         std::fs::create_dir_all(&dir).expect("golden dir creatable");
     }
     let mut drifted = Vec::new();
-    for w in workload::all_ten() {
+    for w in workload::corpus() {
         let rendered = canonical_report(&w);
         let path = dir.join(format!("{}.txt", w.name));
         if bless {
@@ -85,14 +85,19 @@ fn golden_corpus_is_exactly_the_checked_in_set() {
     }
     // A snapshot on disk without a generating workload is dead weight —
     // catch removals in both directions.
-    let mut expected: Vec<String> = workload::all_ten()
+    let mut expected: Vec<String> = workload::corpus()
         .iter()
         .map(|w| format!("{}.txt", w.name))
         .collect();
     expected.sort();
     let mut on_disk: Vec<String> = std::fs::read_dir(golden_dir())
         .expect("golden dir exists (bless once with WCET_BLESS=1)")
-        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
         .collect();
     on_disk.sort();
     assert_eq!(on_disk, expected);

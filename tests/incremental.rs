@@ -157,8 +157,7 @@ fn unrolled_cached_machine_replays_exactly() {
     let mutated = workload::call_fanout_with(6, &[(2, 17)]);
     let tmp = TempCache::new("unroll");
     let mut cache = tmp.open();
-    let analyzer =
-        WcetAnalyzer::with_config(config(MachineConfig::with_caches(), true, None));
+    let analyzer = WcetAnalyzer::with_config(config(MachineConfig::with_caches(), true, None));
     analyzer
         .analyze_incremental(&base.image, &mut cache)
         .expect("base analyzes");
@@ -171,11 +170,11 @@ fn unrolled_cached_machine_replays_exactly() {
     assert_eq!(canonical(warm), canonical(fresh));
 }
 
-/// Every one of the ten named workloads replays byte-identically from a
+/// Every corpus workload replays byte-identically from a
 /// warm cache, with zero IPET re-solves on the second run.
 #[test]
 fn all_workloads_replay_from_warm_cache() {
-    for w in workload::all_ten() {
+    for w in workload::corpus() {
         let tmp = TempCache::new(&format!("wl-{}", w.name));
         let mut cache = tmp.open();
         let analyzer = WcetAnalyzer::with_config(AnalyzerConfig {
@@ -194,7 +193,11 @@ fn all_workloads_replay_from_warm_cache() {
             "{}: every function replays: {stats:?}",
             w.name
         );
-        assert_eq!(stats.ipet_solves, 0, "{}: nothing re-solves: {stats:?}", w.name);
+        assert_eq!(
+            stats.ipet_solves, 0,
+            "{}: nothing re-solves: {stats:?}",
+            w.name
+        );
         assert_eq!(stats.dirty, 0, "{}: nothing is dirty: {stats:?}", w.name);
         assert_eq!(
             canonical(cold),
@@ -243,7 +246,10 @@ fn corrupted_cache_degrades_to_miss() {
         .analyze_incremental(&w.image, &mut cache)
         .expect("analyzes despite corruption");
     let stats = report.incr.clone().expect("stats present");
-    assert_eq!(stats.fn_hits, 0, "corrupted artifacts read as misses: {stats:?}");
+    assert_eq!(
+        stats.fn_hits, 0,
+        "corrupted artifacts read as misses: {stats:?}"
+    );
     assert_eq!(canonical(report), reference, "report is still exact");
 
     // The recompute must have *replaced* the bad bytes: a further run is

@@ -32,7 +32,12 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Nop),
         Just(Inst::Halt),
         Just(Inst::Ret),
-        (proptest::sample::select(AluOp::ALL.to_vec()), arb_reg(), arb_reg(), arb_reg())
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
             .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
         (
             proptest::sample::select(AluOp::ALL.to_vec()),
@@ -56,28 +61,52 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             arb_reg(),
             -32768i32..=32767
         )
-            .prop_map(|(width, rd, base, offset)| Inst::Load { width, rd, base, offset }),
+            .prop_map(|(width, rd, base, offset)| Inst::Load {
+                width,
+                rd,
+                base,
+                offset
+            }),
         (
             proptest::sample::select(Width::ALL.to_vec()),
             arb_reg(),
             arb_reg(),
             -32768i32..=32767
         )
-            .prop_map(|(width, rs, base, offset)| Inst::Store { width, rs, base, offset }),
+            .prop_map(|(width, rs, base, offset)| Inst::Store {
+                width,
+                rs,
+                base,
+                offset
+            }),
         (
             proptest::sample::select(Cond::ALL.to_vec()),
             arb_reg(),
             arb_reg(),
             near.clone()
         )
-            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target
+            }),
         near.clone().prop_map(|target| Inst::Jump { target }),
         near.clone().prop_map(|target| Inst::Call { target }),
         arb_reg().prop_map(|rs| Inst::JumpInd { rs }),
         arb_reg().prop_map(|rs| Inst::CallInd { rs }),
-        (arb_reg(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rc, rt, rf)| Inst::Select { rd, rc, rt, rf }),
-        (proptest::sample::select(FAluOp::ALL.to_vec()), arb_freg(), arb_freg(), arb_freg())
+        (arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rc, rt, rf)| Inst::Select {
+            rd,
+            rc,
+            rt,
+            rf
+        }),
+        (
+            proptest::sample::select(FAluOp::ALL.to_vec()),
+            arb_freg(),
+            arb_freg(),
+            arb_freg()
+        )
             .prop_map(|(op, fd, fs1, fs2)| Inst::FAlu { op, fd, fs1, fs2 }),
         (
             proptest::sample::select(FCond::ALL.to_vec()),
@@ -85,7 +114,12 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             arb_freg(),
             near
         )
-            .prop_map(|(cond, fs1, fs2, target)| Inst::FBranch { cond, fs1, fs2, target }),
+            .prop_map(|(cond, fs1, fs2, target)| Inst::FBranch {
+                cond,
+                fs1,
+                fs2,
+                target
+            }),
         (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Inst::FMov { fd, rs }),
         (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Inst::FCvt { fd, rs }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Inst::Alloc { rd, rs }),
@@ -110,7 +144,10 @@ proptest! {
 #[test]
 fn every_annotated_workload_is_analyzable_and_sound() {
     let cases: Vec<(workload::Workload, Vec<(u32, u32)>)> = vec![
-        (workload::flight_control(), vec![(0xf000_0000, 0), (0xf000_0000, 1)]),
+        (
+            workload::flight_control(),
+            vec![(0xf000_0000, 0), (0xf000_0000, 1)],
+        ),
         (workload::matrix_kernel(4), vec![]),
         (workload::state_machine(4), vec![(0xf000_0000, 2)]),
     ];
@@ -166,7 +203,9 @@ fn error_handling_budget_is_sound_for_consistent_runs() {
         annotations: budget,
         ..AnalyzerConfig::new()
     };
-    let report = WcetAnalyzer::with_config(config).analyze(&w.image).expect("analyzes");
+    let report = WcetAnalyzer::with_config(config)
+        .analyze(&w.image)
+        .expect("analyzes");
     // Any run with at most one error flag set respects the budget bound.
     for error_at in 0..n {
         let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
@@ -219,9 +258,24 @@ fn parallel_reports_are_byte_identical_to_sequential() {
             format!("{:#?}\n{}", report, report.trace)
         };
         let sequential = render(Some(1));
-        assert_eq!(sequential, render(Some(2)), "{}: 2 workers diverged", w.name);
-        assert_eq!(sequential, render(Some(5)), "{}: 5 workers diverged", w.name);
-        assert_eq!(sequential, render(None), "{}: auto workers diverged", w.name);
+        assert_eq!(
+            sequential,
+            render(Some(2)),
+            "{}: 2 workers diverged",
+            w.name
+        );
+        assert_eq!(
+            sequential,
+            render(Some(5)),
+            "{}: 5 workers diverged",
+            w.name
+        );
+        assert_eq!(
+            sequential,
+            render(None),
+            "{}: auto workers diverged",
+            w.name
+        );
     }
 }
 

@@ -25,7 +25,14 @@ fn random_program(seed: u64, segments: usize) -> Image {
         format!("L{label}")
     };
     let scratch = |rng: &mut StdRng| Reg::new(rng.gen_range(1..=7));
-    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul];
+    let ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Mul,
+    ];
 
     b.label("main");
     for _ in 0..segments {
@@ -163,7 +170,7 @@ fn soundness_sweep() {
     }
 }
 
-/// The end-to-end soundness oracle over the ten named workloads: each
+/// The end-to-end soundness oracle over the named workload corpus: each
 /// runs concretely through `isa::interp` with cycle accounting, and the
 /// observed cycles must lie within the analyzer's [BCET, WCET] envelope —
 /// under the default configuration, under `--unroll`, and under the
@@ -173,7 +180,7 @@ fn workload_soundness_oracle() {
     use wcet_predictability::core::analyzer::AnalyzerConfig;
     use wcet_predictability::core::workload;
 
-    for w in workload::all_ten() {
+    for w in workload::corpus() {
         for (machine, unrolling) in [
             (MachineConfig::simple(), false),
             (MachineConfig::simple(), true),
@@ -207,6 +214,66 @@ fn workload_soundness_oracle() {
                 w.name,
                 outcome.cycles,
                 report.bcet_cycles
+            );
+        }
+    }
+}
+
+/// The oracle under context expansion: every corpus workload analyzed at
+/// `--context-depth 1` (and the context workloads at depth 2) must keep
+/// the observed execution inside `[BCET, WCET]`, and the context bound
+/// must never exceed the merged bound — context expansion only ever
+/// *refines* entry states.
+#[test]
+fn workload_soundness_oracle_context_depth_1() {
+    use wcet_predictability::core::analyzer::AnalyzerConfig;
+    use wcet_predictability::core::workload;
+
+    for w in workload::corpus() {
+        let analyze = |depth: usize| {
+            let config = AnalyzerConfig {
+                annotations: w.annotations.clone(),
+                context_depth: depth,
+                ..AnalyzerConfig::new()
+            };
+            WcetAnalyzer::with_config(config)
+                .analyze(&w.image)
+                .unwrap_or_else(|e| panic!("workload {} (depth {depth}) analyzes: {e}", w.name))
+        };
+        let merged = analyze(0);
+        let depths: &[usize] = if w.name == "context_killer" || w.name == "call_tree_heavy" {
+            &[1, 2]
+        } else {
+            &[1]
+        };
+        let mut interp = Interpreter::with_config(&w.image, MachineConfig::simple());
+        let observed = interp
+            .run(10_000_000)
+            .unwrap_or_else(|e| panic!("workload {} halts: {e}", w.name))
+            .cycles;
+        assert!(merged.wcet_cycles >= observed, "{}: merged WCET", w.name);
+        for &depth in depths {
+            let ctx = analyze(depth);
+            assert!(
+                ctx.wcet_cycles <= merged.wcet_cycles,
+                "{} depth {depth}: context bound {} above merged {}",
+                w.name,
+                ctx.wcet_cycles,
+                merged.wcet_cycles
+            );
+            assert!(
+                ctx.wcet_cycles >= observed,
+                "{} depth {depth}: observed {} > WCET {}",
+                w.name,
+                observed,
+                ctx.wcet_cycles
+            );
+            assert!(
+                ctx.bcet_cycles <= observed,
+                "{} depth {depth}: observed {} < BCET {}",
+                w.name,
+                observed,
+                ctx.bcet_cycles
             );
         }
     }
@@ -278,8 +345,15 @@ fn kernel_soundness() {
 
     // Restoring kernel: automatic.
     let kernel = restoring_kernel();
-    let report = WcetAnalyzer::new().analyze(&kernel.image).expect("automatic");
-    for (n, d) in [(0u32, 1u32), (u32::MAX, 1), (u32::MAX, 0x7fff_ffff), (12345, 678)] {
+    let report = WcetAnalyzer::new()
+        .analyze(&kernel.image)
+        .expect("automatic");
+    for (n, d) in [
+        (0u32, 1u32),
+        (u32::MAX, 1),
+        (u32::MAX, 0x7fff_ffff),
+        (12345, 678),
+    ] {
         let mut interp = Interpreter::with_config(&kernel.image, MachineConfig::simple());
         interp.set_reg(kernel.n_reg, n);
         interp.set_reg(kernel.d_reg, d);

@@ -9,6 +9,12 @@
 //! iteration. `--no-run`-style compile checks and CI smoke runs work the
 //! same as with real criterion (`harness = false` benches are plain
 //! binaries).
+//!
+//! Machine-readable summaries: every finished benchmark group writes
+//! `BENCH_<group>.json` — median nanoseconds per bench id — into
+//! `$WCET_BENCH_DIR` (default `target/bench-summaries`), so CI can
+//! archive a perf trajectory from the `--quick` smoke runs without
+//! scraping the human-oriented log.
 
 use std::time::{Duration, Instant};
 
@@ -39,9 +45,15 @@ impl Default for Criterion {
         let quick = std::env::args().any(|a| a == "--quick")
             || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
         if quick {
-            Criterion { measurement: Duration::from_millis(10), sample_size: 3 }
+            Criterion {
+                measurement: Duration::from_millis(10),
+                sample_size: 3,
+            }
         } else {
-            Criterion { measurement: Duration::from_millis(200), sample_size: 50 }
+            Criterion {
+                measurement: Duration::from_millis(200),
+                sample_size: 50,
+            }
         }
     }
 }
@@ -52,6 +64,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            medians: Vec::new(),
         };
         println!("group {}", group.name);
         group
@@ -74,6 +87,8 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    /// `(bench id, median ns/iter)` pairs collected for the summary file.
+    medians: Vec<(String, u128)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -90,11 +105,39 @@ impl BenchmarkGroup<'_> {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let mut bencher = Bencher::new(self.criterion.measurement, samples);
         f(&mut bencher);
-        bencher.report(&format!("{}/{}", self.name, id.into()));
+        let id = id.into();
+        bencher.report(&format!("{}/{}", self.name, id));
+        if let Some(median) = bencher.median_ns() {
+            self.medians.push((id, median));
+        }
         self
     }
 
-    pub fn finish(self) {}
+    /// Ends the group and drops its `BENCH_<group>.json` summary (median
+    /// ns per bench id) into `$WCET_BENCH_DIR` (default
+    /// `target/bench-summaries`). Failures to write are non-fatal — the
+    /// benches themselves already ran.
+    pub fn finish(self) {
+        if self.medians.is_empty() {
+            return;
+        }
+        let dir = std::env::var_os("WCET_BENCH_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target/bench-summaries"));
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        json.push_str("  \"median_ns\": {\n");
+        for (i, (id, median)) in self.medians.iter().enumerate() {
+            let comma = if i + 1 < self.medians.len() { "," } else { "" };
+            json.push_str(&format!("    \"{id}\": {median}{comma}\n"));
+        }
+        json.push_str("  }\n}\n");
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let _ = std::fs::write(path, json);
+    }
 }
 
 /// Passed to each benchmark closure; records the measured routine.
@@ -103,18 +146,28 @@ pub struct Bencher {
     max_iters: usize,
     iters: u64,
     elapsed: Duration,
+    /// Per-iteration wall-clock samples (ns), for the median summary.
+    samples: Vec<u128>,
 }
 
 impl Bencher {
     fn new(budget: Duration, max_iters: usize) -> Self {
-        Bencher { budget, max_iters, iters: 0, elapsed: Duration::ZERO }
+        Bencher {
+            budget,
+            max_iters,
+            iters: 0,
+            elapsed: Duration::ZERO,
+            samples: Vec::new(),
+        }
     }
 
     /// Time `routine` repeatedly until the time budget or iteration cap.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         let start = Instant::now();
         loop {
+            let t = Instant::now();
             let out = routine();
+            self.samples.push(t.elapsed().as_nanos());
             std::hint::black_box(&out);
             self.iters += 1;
             if start.elapsed() >= self.budget || self.iters as usize >= self.max_iters {
@@ -137,7 +190,9 @@ impl Bencher {
             let input = setup();
             let t = Instant::now();
             let out = routine(input);
-            measured += t.elapsed();
+            let spent = t.elapsed();
+            self.samples.push(spent.as_nanos());
+            measured += spent;
             std::hint::black_box(&out);
             self.iters += 1;
             if started.elapsed() >= self.budget || self.iters as usize >= self.max_iters {
@@ -145,6 +200,16 @@ impl Bencher {
             }
         }
         self.elapsed = measured;
+    }
+
+    /// Median nanoseconds per iteration, if anything was measured.
+    fn median_ns(&self) -> Option<u128> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
     }
 
     fn report(&self, id: &str) {

@@ -13,7 +13,9 @@ pub struct TestRng {
 
 impl TestRng {
     fn from_seed(seed: u64) -> Self {
-        TestRng { inner: StdRng::seed_from_u64(seed) }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform sample from `[0, 1)`.
@@ -39,7 +41,10 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
@@ -49,7 +54,10 @@ impl Default for ProptestConfig {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(256);
-        ProptestConfig { cases, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
@@ -104,7 +112,12 @@ impl TestRunner {
             .and_then(|s| s.parse().ok())
             .unwrap_or(DEFAULT_SEED);
         let seed = base ^ fnv1a(name);
-        TestRunner { config, name, seed, rng: TestRng::from_seed(seed) }
+        TestRunner {
+            config,
+            name,
+            seed,
+            rng: TestRng::from_seed(seed),
+        }
     }
 
     /// Run the property to completion; panics (failing the `#[test]`) on the
@@ -135,7 +148,9 @@ impl TestRunner {
                         "proptest `{}` failed after {passed} passing case(s): {msg}\n\
                          (deterministic stream seed {:#x}; rerun with \
                          PROPTEST_SEED={} to reproduce)",
-                        self.name, self.seed, self.seed ^ fnv1a(self.name)
+                        self.name,
+                        self.seed,
+                        self.seed ^ fnv1a(self.name)
                     );
                 }
             }
