@@ -215,7 +215,7 @@ impl FunctionAnalysis {
                 Terminator::Call { ret_to, .. } | Terminator::CallInd { ret_to, .. } => ret_to,
                 _ => continue,
             };
-            let site = block.insts.last().map(|(a, _)| *a).unwrap_or(block.start);
+            let site = block.site_addr();
             let Some(mut state) = self.block_in[id.0].clone() else {
                 continue;
             };

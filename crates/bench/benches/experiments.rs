@@ -174,6 +174,34 @@ fn context_depth(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cache persistence: the context-depth-1 analyzer on the cached machine
+/// with the clobbering call transfer (PR-4 behavior) vs footprint
+/// summaries + first-miss classification — the cost of the precision the
+/// `persistence` tests pin.
+fn persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(20);
+    for (w, tag) in [
+        (workload::persistence_killer(), "persistence_killer"),
+        (workload::call_tree_heavy(2, 3, &[]), "call_tree_2x3"),
+    ] {
+        for (persistence, label) in [(false, "clobber"), (true, "persist")] {
+            let config = AnalyzerConfig {
+                machine: MachineConfig::with_caches(),
+                annotations: w.annotations.clone(),
+                context_depth: 1,
+                persistence,
+                ..AnalyzerConfig::new()
+            };
+            let analyzer = WcetAnalyzer::with_config(config);
+            group.bench_function(format!("{tag}/{label}"), |b| {
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The incremental re-analysis engine: cold full analysis vs warm-cache
 /// re-analysis of a one-function mutation on the largest workload
 /// (`call_tree_heavy(8, 8)`: 73 functions, 146 IPET systems). The headline
@@ -388,6 +416,7 @@ criterion_group!(
     pipeline_phases,
     scaling,
     context_depth,
+    persistence,
     incremental,
     ilp_solvers,
     arithmetic,

@@ -121,6 +121,17 @@ impl BasicBlock {
             .unwrap_or(self.start)
     }
 
+    /// The address of the block's last instruction — the canonical
+    /// *site* key of a call terminator. Everything that prices, joins,
+    /// or summarizes per call site ([`crate::graph::Cfg::call_sites`],
+    /// the pre-call state snapshots, IPET per-site costs, footprint
+    /// maps) must key on exactly this address; deriving it ad hoc in
+    /// each consumer risked the keys silently diverging.
+    #[must_use]
+    pub fn site_addr(&self) -> Addr {
+        self.insts.last().map(|(a, _)| *a).unwrap_or(self.start)
+    }
+
     /// Number of instructions in the block.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -183,11 +183,11 @@ impl Cfg {
         for b in &self.blocks {
             match &b.term {
                 Terminator::Call { callee, .. } => {
-                    let site = b.insts.last().map(|(a, _)| *a).unwrap_or(b.start);
+                    let site = b.site_addr();
                     sites.push((site, vec![*callee]));
                 }
                 Terminator::CallInd { callees, .. } if !callees.is_empty() => {
-                    let site = b.insts.last().map(|(a, _)| *a).unwrap_or(b.start);
+                    let site = b.site_addr();
                     sites.push((site, callees.clone()));
                 }
                 _ => {}

@@ -20,12 +20,13 @@ use wcet_isa::hash::StableHasher;
 use wcet_isa::interp::MachineConfig;
 use wcet_isa::{Addr, Image};
 use wcet_micro::blocktime::BlockTimes;
-use wcet_micro::cacheanalysis::{CacheAnalysis, CacheStates};
+use wcet_micro::cacheanalysis::{CacheAnalysis, CacheCtx, CacheStates};
+use wcet_micro::footprint::{self, CacheFootprint};
 use wcet_path::ipet::{self, CallCosts, PathError, WcetResult};
 
 use crate::incr::{
     ipet_ctx_struct_key, ipet_full_key, ipet_site_full_key, ipet_struct_key, ArtifactCache,
-    FunctionArtifact, IncrStats, IpetEntry, KeyContext,
+    FootprintArtifact, FunctionArtifact, IncrStats, IpetEntry, KeyContext,
 };
 use crate::parallel;
 use crate::phases::PhaseTrace;
@@ -62,6 +63,16 @@ pub struct AnalyzerConfig {
     /// abstract cache state into each callee context instead of ⊤.
     /// Recursive SCCs are always truncated to one merged context.
     pub context_depth: usize,
+    /// Per-context cache **persistence analysis** (first-miss
+    /// classification) with callee **footprint summaries**: calls age the
+    /// caller's abstract cache by what the callee can actually touch
+    /// instead of clobbering it, and accesses whose line provably never
+    /// ages out are charged one miss per activation instead of one per
+    /// iteration. Takes effect in the context-sensitive pipeline
+    /// (`context_depth ≥ 1`) on machines with caches; the depth-0
+    /// pipeline ignores it (its reports must stay byte-identical to the
+    /// classic analyzer). Off by default.
+    pub persistence: bool,
 }
 
 impl AnalyzerConfig {
@@ -77,6 +88,7 @@ impl AnalyzerConfig {
             unrolling: false,
             parallelism: None,
             context_depth: 0,
+            persistence: false,
         }
     }
 }
@@ -1056,7 +1068,9 @@ struct CtxUnit {
     fa: FunctionAnalysis,
     bounds: LoopBounds,
     times: BlockTimes,
-    cache_summary: Option<(usize, usize, usize)>,
+    /// Instruction-cache classification counts, as
+    /// `(hit, miss, first_miss, not_classified)`.
+    cache_summary: Option<(usize, usize, usize, usize)>,
     digest: u64,
     peeled: bool,
     pre_call: BTreeMap<Addr, AbstractState>,
@@ -1076,6 +1090,28 @@ enum CtxGroup {
 /// What one context group's path analysis produced.
 struct CtxOutcome {
     reports: Vec<(CtxId, FunctionReport)>,
+}
+
+/// One function's call sites priced with the joined transitive
+/// footprints of their possible callees, per configured cache. Keys are
+/// call-instruction addresses (virtual unrolling duplicates sites with
+/// identical addresses, so peeled copies resolve too). Every resolved
+/// site is present; an unresolvable one carries the all-`Any` footprint,
+/// which the cache analysis treats exactly like the opaque clobber.
+#[derive(Default)]
+struct SiteFootprints {
+    icache: BTreeMap<Addr, CacheFootprint>,
+    dcache: BTreeMap<Addr, CacheFootprint>,
+}
+
+/// Unions `other` into `acc`, per configured cache.
+fn union_footprint_artifacts(acc: &mut FootprintArtifact, other: &FootprintArtifact) {
+    if let (Some(a), Some(b)) = (&mut acc.icache, &other.icache) {
+        a.union(b);
+    }
+    if let (Some(a), Some(b)) = (&mut acc.dcache, &other.dcache) {
+        a.union(b);
+    }
 }
 
 impl WcetAnalyzer {
@@ -1111,6 +1147,36 @@ impl WcetAnalyzer {
         let base_entry = wcet_analysis::valueanalysis::entry_state_from_image(image);
         let overrides = self.config.annotations.access_overrides();
         let levels = callgraph.bottom_up_levels();
+        let fn_keys: BTreeMap<Addr, Option<u64>> = phases_map
+            .iter()
+            .map(|(&f, phase)| {
+                let key = match phase {
+                    FnPhase::Fresh { key, .. } => *key,
+                    FnPhase::Warm { key, .. } => Some(*key),
+                };
+                (f, key)
+            })
+            .collect();
+
+        // --- Footprint summaries (persistence runs only) ---------------
+        // Bottom-up over the call graph, *before* the top-down cache
+        // wavefront: every call site is priced with the joined transitive
+        // footprint of its possible callees, so the per-context cache
+        // analysis ages the caller's ACS instead of clobbering it. Warm
+        // functions replay their own-footprints from the artifact cache
+        // (they have no fresh value analysis to derive them from).
+        let footprints: Option<BTreeMap<Addr, SiteFootprints>> = (self.config.persistence
+            && (self.config.machine.icache.is_some() || self.config.machine.dcache.is_some()))
+        .then(|| {
+            self.compute_footprints(
+                &program,
+                &callgraph,
+                &phases_map,
+                &fn_keys,
+                image,
+                cache.as_deref_mut(),
+            )
+        });
 
         // --- Phases 3–4 per unit: the top-down wavefront ---------------
         // Reversing the bottom-up levels puts every caller context in an
@@ -1133,7 +1199,14 @@ impl WcetAnalyzer {
                 .map(|&id| ctx_entry_input(id, &contexts, &callgraph, &units, &base_entry))
                 .collect();
             let (results, work) = parallel::map_in_order(&inputs, threads, |input| {
-                self.analyze_ctx_unit(input, &contexts, &program, &summaries, &overrides)
+                self.analyze_ctx_unit(
+                    input,
+                    &contexts,
+                    &program,
+                    &summaries,
+                    &overrides,
+                    footprints.as_ref(),
+                )
             });
             ctx_work += work;
             for (input, unit) in inputs.into_iter().zip(results) {
@@ -1147,9 +1220,10 @@ impl WcetAnalyzer {
             }
         }
         for unit in units.values() {
-            if let Some((h, m, nc)) = unit.cache_summary {
+            if let Some((h, m, fm, nc)) = unit.cache_summary {
                 trace.cache_always_hit += h;
                 trace.cache_always_miss += m;
+                trace.cache_first_miss += fm;
                 trace.cache_not_classified += nc;
             }
         }
@@ -1199,17 +1273,6 @@ impl WcetAnalyzer {
                 })
                 .count();
         }
-
-        let fn_keys: BTreeMap<Addr, Option<u64>> = phases_map
-            .iter()
-            .map(|(&f, phase)| {
-                let key = match phase {
-                    FnPhase::Fresh { key, .. } => *key,
-                    FnPhase::Warm { key, .. } => Some(*key),
-                };
-                (f, key)
-            })
-            .collect();
 
         // --- Phase 5: per-context path analysis, bottom-up -------------
         let t4 = Instant::now();
@@ -1424,6 +1487,160 @@ impl WcetAnalyzer {
         })
     }
 
+    /// A function's *own* cache footprints, from its CFG and abstract
+    /// data addresses, for each cache the machine configures.
+    fn own_footprints(&self, fa: &FunctionAnalysis) -> FootprintArtifact {
+        let machine = &self.config.machine;
+        FootprintArtifact {
+            icache: machine
+                .icache
+                .as_ref()
+                .map(|cc| footprint::instruction_footprint(fa.cfg(), cc, &machine.memmap)),
+            dcache: machine.dcache.as_ref().map(|cc| {
+                footprint::data_footprint(fa.cfg(), cc, &machine.memmap, &fa.access_values())
+            }),
+        }
+    }
+
+    /// The all-`Any` artifact: a callee about which nothing is known.
+    fn unknown_footprints(&self) -> FootprintArtifact {
+        let machine = &self.config.machine;
+        FootprintArtifact {
+            icache: machine.icache.as_ref().map(CacheFootprint::unknown),
+            dcache: machine.dcache.as_ref().map(CacheFootprint::unknown),
+        }
+    }
+
+    /// Does a (possibly replayed) footprint artifact describe exactly the
+    /// caches this run configures? A mismatch reads as a cache miss.
+    fn footprints_fit(&self, art: &FootprintArtifact) -> bool {
+        let machine = &self.config.machine;
+        let fits =
+            |fp: &Option<CacheFootprint>, cc: &Option<wcet_isa::cache::CacheConfig>| match (fp, cc)
+            {
+                (Some(fp), Some(cc)) => fp.config() == cc,
+                (None, None) => true,
+                _ => false,
+            };
+        fits(&art.icache, &machine.icache) && fits(&art.dcache, &machine.dcache)
+    }
+
+    /// Computes the per-caller, per-call-site callee footprints the
+    /// persistence analysis prices calls with:
+    ///
+    /// 1. **own footprints** per function — fresh from each function's
+    ///    value analysis, or replayed from the `fp/` artifact cache for
+    ///    warm functions (recomputed deterministically when the artifact
+    ///    is missing or corrupt, so warm runs stay byte-identical);
+    /// 2. **transitive closure** bottom-up over the call graph (a
+    ///    recursive SCC unions all of its members); functions with
+    ///    unresolved call sites degrade to the all-`Any` footprint;
+    /// 3. **per-site joins** over each site's possible callees.
+    fn compute_footprints(
+        &self,
+        program: &Program,
+        callgraph: &CallGraph,
+        phases_map: &BTreeMap<Addr, FnPhase>,
+        fn_keys: &BTreeMap<Addr, Option<u64>>,
+        image: &Image,
+        mut cache: Option<&mut ArtifactCache>,
+    ) -> BTreeMap<Addr, SiteFootprints> {
+        // Step 1: own footprints (replayed or fresh).
+        let mut own: BTreeMap<Addr, FootprintArtifact> = BTreeMap::new();
+        for (&f, phase) in phases_map {
+            let key = fn_keys.get(&f).copied().flatten();
+            let art = match phase {
+                FnPhase::Fresh { fa, .. } => self.own_footprints(fa),
+                FnPhase::Warm { .. } => {
+                    let replayed = key
+                        .and_then(|k| cache.as_deref_mut().and_then(|store| store.lookup_fp(k)))
+                        .filter(|art| self.footprints_fit(art));
+                    match replayed {
+                        Some(art) => art,
+                        None => {
+                            // No (valid) artifact: re-derive the value
+                            // analysis just for the footprint. Slow but
+                            // deterministic — identical to a cold run.
+                            self.own_footprints(&analyze_function(program, f, image))
+                        }
+                    }
+                }
+            };
+            if let (Some(store), Some(k)) = (cache.as_deref_mut(), key) {
+                store.store_fp(k, &art);
+            }
+            own.insert(f, art);
+        }
+
+        // Step 2: transitive closure, bottom-up (callees before callers;
+        // groups within a level share no call edges).
+        let mut trans: BTreeMap<Addr, FootprintArtifact> = BTreeMap::new();
+        for level in callgraph.bottom_up_levels() {
+            for group in level {
+                let mut acc = own[&group[0]].clone();
+                for &f in group.iter().skip(1) {
+                    union_footprint_artifacts(&mut acc, &own[&f]);
+                }
+                for &f in &group {
+                    let cfg = program.cfg(f).expect("reconstructed");
+                    if !cfg.unresolved.is_empty() {
+                        union_footprint_artifacts(&mut acc, &self.unknown_footprints());
+                    }
+                    for (_, targets) in cfg.call_sites() {
+                        for callee in targets {
+                            if group.contains(&callee) {
+                                continue; // intra-SCC: already unioned
+                            }
+                            match trans.get(&callee) {
+                                Some(t) => union_footprint_artifacts(&mut acc, t),
+                                // A call into something the reconstruction
+                                // did not produce: treat as opaque.
+                                None => {
+                                    union_footprint_artifacts(&mut acc, &self.unknown_footprints());
+                                }
+                            }
+                        }
+                    }
+                }
+                for &f in &group {
+                    trans.insert(f, acc.clone());
+                }
+            }
+        }
+
+        // Step 3: per-site joins.
+        let mut result: BTreeMap<Addr, SiteFootprints> = BTreeMap::new();
+        for &f in program.functions.keys() {
+            let cfg = program.cfg(f).expect("reconstructed");
+            let mut sites = SiteFootprints::default();
+            for (site, targets) in cfg.call_sites() {
+                let mut acc: Option<FootprintArtifact> = None;
+                let mut complete = !targets.is_empty();
+                for callee in targets {
+                    match trans.get(&callee) {
+                        Some(t) => match &mut acc {
+                            Some(a) => union_footprint_artifacts(a, t),
+                            None => acc = Some(t.clone()),
+                        },
+                        None => complete = false,
+                    }
+                }
+                let joined = match (complete, acc) {
+                    (true, Some(a)) => a,
+                    _ => self.unknown_footprints(),
+                };
+                if let Some(fp) = joined.icache {
+                    sites.icache.insert(site, fp);
+                }
+                if let Some(fp) = joined.dcache {
+                    sites.dcache.insert(site, fp);
+                }
+            }
+            result.insert(f, sites);
+        }
+        result
+    }
+
     /// Analyzes one *(function, context)* unit: value analysis from the
     /// context's entry state, optional virtual unrolling (re-analyzed
     /// under the same entry state), cache fixpoints seeded with the entry
@@ -1437,9 +1654,14 @@ impl WcetAnalyzer {
             std::collections::HashMap<Addr, wcet_analysis::valueanalysis::FunctionSummary>,
         >,
         overrides: &wcet_micro::blocktime::AccessOverrides,
+        footprints: Option<&BTreeMap<Addr, SiteFootprints>>,
     ) -> CtxUnit {
         let machine = &self.config.machine;
         let f = contexts.info(input.id).function;
+        let site_fps = footprints.and_then(|m| m.get(&f));
+        // Footprints exist exactly when the persistence analysis is on
+        // (and a cache is configured).
+        let persistence = footprints.is_some();
         let cfg = program.cfg(f).expect("reconstructed").clone();
         let mut fa = wcet_analysis::valueanalysis::analyze_cfg(
             cfg,
@@ -1465,11 +1687,15 @@ impl WcetAnalyzer {
         let accesses = fa.access_values();
         let (icache, icache_calls) = match &machine.icache {
             Some(cc) => {
-                let r = CacheAnalysis::instruction_ctx(
+                let r = CacheAnalysis::instruction_with(
                     fa.cfg(),
                     cc,
                     &machine.memmap,
-                    input.icache_entry.as_ref(),
+                    &CacheCtx {
+                        entry: input.icache_entry.as_ref(),
+                        call_footprints: site_fps.map(|s| &s.icache),
+                        persistence,
+                    },
                 );
                 (Some(r.analysis), Some(r.call_states))
             }
@@ -1477,12 +1703,16 @@ impl WcetAnalyzer {
         };
         let (dcache, dcache_calls) = match &machine.dcache {
             Some(cc) => {
-                let r = CacheAnalysis::data_ctx(
+                let r = CacheAnalysis::data_with(
                     fa.cfg(),
                     cc,
                     &machine.memmap,
                     &accesses,
-                    input.dcache_entry.as_ref(),
+                    &CacheCtx {
+                        entry: input.dcache_entry.as_ref(),
+                        call_footprints: site_fps.map(|s| &s.dcache),
+                        persistence,
+                    },
                 );
                 (Some(r.analysis), Some(r.call_states))
             }
@@ -1495,7 +1725,7 @@ impl WcetAnalyzer {
             icache.as_ref(),
             dcache.as_ref(),
         );
-        let cache_summary = icache.as_ref().map(CacheAnalysis::summary);
+        let cache_summary = icache.as_ref().map(CacheAnalysis::summary4);
         let bounds = fa.loop_bounds();
         let pre_call = fa.pre_call_states();
         CtxUnit {
@@ -1949,6 +2179,7 @@ mod tests {
         assert_eq!(derived.unrolling, documented.unrolling);
         assert_eq!(derived.parallelism, documented.parallelism);
         assert_eq!(derived.context_depth, documented.context_depth);
+        assert_eq!(derived.persistence, documented.persistence);
         assert_eq!(derived, documented);
         // The documented defaults really are in force.
         assert_eq!(derived.max_resolve_rounds, 3);
@@ -1956,6 +2187,10 @@ mod tests {
         assert_eq!(
             derived.context_depth, 0,
             "depth 0 is the golden-compatible default"
+        );
+        assert!(
+            !derived.persistence,
+            "persistence is opt-in (goldens pin the classic classifications)"
         );
         // And the derived-Default analyzer is the documented analyzer.
         assert_eq!(

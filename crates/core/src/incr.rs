@@ -55,7 +55,10 @@ use crate::analyzer::AnalyzerConfig;
 /// Version 2: cache analysis clobbers the ACS at call sites (soundness
 /// fix), and the context-sensitive pipeline keys IPET solutions on
 /// per-context entry-state digests.
-const CACHE_VERSION: u32 = 2;
+/// Version 3: per-context persistence analysis — footprint artifacts
+/// (`fp/`), the persistence flag in the config fingerprint, per-set may
+/// poisoning and the persistence instance in the entry-ACS digests.
+const CACHE_VERSION: u32 = 3;
 
 /// Magic prefix of every artifact file.
 const MAGIC: &[u8; 4] = b"WCAC";
@@ -83,6 +86,11 @@ pub fn config_fingerprint(config: &AnalyzerConfig) -> u64 {
     h.write_u64(u64::from(config.check_guidelines));
     h.write_u64(u64::from(config.unrolling));
     h.write_u64(config.context_depth as u64);
+    // The persistence fingerprint: first-miss classification changes
+    // block times and IPET systems, so cached solutions must not cross
+    // the flag. Function keys embed this fingerprint, and every IPET key
+    // embeds a function key — the whole cache space forks on the flag.
+    h.write_u64(u64::from(config.persistence));
     h.finish()
 }
 
@@ -293,6 +301,20 @@ pub struct FunctionArtifact {
     pub cache_summary: Option<(usize, usize, usize)>,
 }
 
+/// One function's *own* (non-transitive) cache footprints — the lines
+/// its body can touch in the instruction and data caches, mirroring the
+/// machine configuration's cache presence. A third artifact kind
+/// (`fp/<key>.fpt`), keyed like function artifacts: the per-context
+/// pipeline needs every function's footprint to summarize calls, but a
+/// warm run only has fresh value analyses for *changed* functions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FootprintArtifact {
+    /// Instruction-cache footprint (when an icache is configured).
+    pub icache: Option<wcet_micro::footprint::CacheFootprint>,
+    /// Data-cache footprint (when a dcache is configured).
+    pub dcache: Option<wcet_micro::footprint::CacheFootprint>,
+}
+
 /// A cached `(function, mode)` IPET solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IpetEntry {
@@ -344,6 +366,7 @@ impl fmt::Display for IncrStats {
 pub struct ArtifactCache {
     root: PathBuf,
     mem_fn: HashMap<u64, FunctionArtifact>,
+    mem_fp: HashMap<u64, FootprintArtifact>,
     mem_ipet: HashMap<u64, IpetEntry>,
 }
 
@@ -352,14 +375,16 @@ impl ArtifactCache {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors creating `fn/` and `ipet/`.
+    /// Propagates filesystem errors creating `fn/`, `fp/`, and `ipet/`.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
         let root = root.into();
         fs::create_dir_all(root.join("fn"))?;
+        fs::create_dir_all(root.join("fp"))?;
         fs::create_dir_all(root.join("ipet"))?;
         Ok(ArtifactCache {
             root,
             mem_fn: HashMap::new(),
+            mem_fp: HashMap::new(),
             mem_ipet: HashMap::new(),
         })
     }
@@ -402,6 +427,31 @@ impl ArtifactCache {
         }
         let _ = write_atomically(&self.fn_path(key), &encode_fn_artifact(artifact));
         self.mem_fn.insert(key, artifact.clone());
+    }
+
+    fn fp_path(&self, key: u64) -> PathBuf {
+        self.root.join("fp").join(format!("{key:016x}.fpt"))
+    }
+
+    /// Looks up a function's own-footprint artifact by content key.
+    pub fn lookup_fp(&mut self, key: u64) -> Option<FootprintArtifact> {
+        if let Some(a) = self.mem_fp.get(&key) {
+            return Some(a.clone());
+        }
+        let bytes = fs::read(self.fp_path(key)).ok()?;
+        let artifact = decode_fp_artifact(&bytes)?;
+        self.mem_fp.insert(key, artifact.clone());
+        Some(artifact)
+    }
+
+    /// Stores a function's own-footprint artifact (idempotent,
+    /// best-effort on disk — like [`ArtifactCache::store_fn`]).
+    pub fn store_fp(&mut self, key: u64, artifact: &FootprintArtifact) {
+        if self.mem_fp.get(&key) == Some(artifact) {
+            return;
+        }
+        let _ = write_atomically(&self.fp_path(key), &encode_fp_artifact(artifact));
+        self.mem_fp.insert(key, artifact.clone());
     }
 
     /// Looks up the IPET entry stored for a `(function, mode)` structure
@@ -755,6 +805,93 @@ fn decode_fn_artifact(bytes: &[u8]) -> Option<FunctionArtifact> {
     })
 }
 
+fn encode_cache_footprint(e: &mut Enc, fp: &wcet_micro::footprint::CacheFootprint) {
+    use wcet_micro::footprint::SetFootprint;
+    let config = fp.config();
+    e.usize(config.sets);
+    e.usize(config.assoc);
+    e.u32(config.line_bytes);
+    e.u32(config.hit_latency);
+    for set in fp.sets() {
+        match set {
+            SetFootprint::Any => e.u8(1),
+            SetFootprint::Lines(lines) => {
+                e.u8(0);
+                e.usize(lines.len());
+                for &l in lines {
+                    e.u32(l);
+                }
+            }
+        }
+    }
+}
+
+fn decode_cache_footprint(d: &mut Dec<'_>) -> Option<wcet_micro::footprint::CacheFootprint> {
+    use std::collections::BTreeSet;
+    use wcet_isa::cache::CacheConfig;
+    use wcet_micro::footprint::{CacheFootprint, SetFootprint};
+    let sets = d.usize()?;
+    let assoc = d.usize()?;
+    let line_bytes = d.u32()?;
+    let hit_latency = d.u32()?;
+    // `CacheConfig::new` panics on bad geometry; a corrupted artifact
+    // must read as a miss instead.
+    if sets == 0 || !sets.is_power_of_two() || sets > 1 << 20 {
+        return None;
+    }
+    if assoc == 0 || assoc > 1 << 10 {
+        return None;
+    }
+    if line_bytes == 0 || !line_bytes.is_power_of_two() {
+        return None;
+    }
+    let config = CacheConfig::new(sets, assoc, line_bytes, hit_latency);
+    let mut parts = Vec::with_capacity(sets);
+    for _ in 0..sets {
+        parts.push(match d.u8()? {
+            1 => SetFootprint::Any,
+            0 => {
+                let n = d.len()?;
+                let mut lines = BTreeSet::new();
+                for _ in 0..n {
+                    lines.insert(d.u32()?);
+                }
+                SetFootprint::Lines(lines)
+            }
+            _ => return None,
+        });
+    }
+    CacheFootprint::from_parts(config, parts)
+}
+
+fn encode_fp_artifact(a: &FootprintArtifact) -> Vec<u8> {
+    let mut e = Enc::new(b'P');
+    for fp in [&a.icache, &a.dcache] {
+        match fp {
+            Some(fp) => {
+                e.u8(1);
+                encode_cache_footprint(&mut e, fp);
+            }
+            None => e.u8(0),
+        }
+    }
+    e.seal()
+}
+
+fn decode_fp_artifact(bytes: &[u8]) -> Option<FootprintArtifact> {
+    let mut d = Dec::new(bytes, b'P')?;
+    let mut fps = [None, None];
+    for fp in &mut fps {
+        *fp = match d.u8()? {
+            0 => None,
+            1 => Some(decode_cache_footprint(&mut d)?),
+            _ => return None,
+        };
+    }
+    let [icache, dcache] = fps;
+    d.done().then_some(FootprintArtifact { icache, dcache })
+}
+
 fn encode_wcet_result(e: &mut Enc, r: &WcetResult) {
     e.u64(r.wcet_cycles);
     e.usize(r.block_counts.len());
@@ -961,6 +1098,58 @@ mod tests {
         let bytes = encode_ipet_entry(&entry);
         assert_eq!(decode_ipet_entry(&bytes), Some(entry));
         assert_eq!(decode_fn_artifact(&bytes), None, "kind bytes are checked");
+    }
+
+    #[test]
+    fn fp_artifact_round_trip_and_corruption() {
+        use wcet_isa::cache::CacheConfig;
+        use wcet_micro::footprint::CacheFootprint;
+        let mut icache_fp = CacheFootprint::empty(&CacheConfig::small_icache());
+        icache_fp.absorb_addr(Addr(0x0010_0040));
+        icache_fp.absorb_addr(Addr(0x0010_0200));
+        let mut dcache_fp = CacheFootprint::empty(&CacheConfig::small_dcache());
+        dcache_fp.absorb_range(Addr(0x8000), Addr(0x8fff));
+        let artifact = FootprintArtifact {
+            icache: Some(icache_fp),
+            dcache: Some(dcache_fp),
+        };
+        let bytes = encode_fp_artifact(&artifact);
+        assert_eq!(decode_fp_artifact(&bytes), Some(artifact.clone()));
+        // Flips anywhere must read as misses.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert_eq!(decode_fp_artifact(&bad), None, "flip at {i}");
+        }
+        // Kind bytes separate artifact families.
+        assert_eq!(decode_fn_artifact(&bytes), None);
+        // The cache-less variant round-trips too.
+        let none = FootprintArtifact::default();
+        assert_eq!(decode_fp_artifact(&encode_fp_artifact(&none)), Some(none));
+
+        // And the store/lookup path persists across instances.
+        let dir = std::env::temp_dir().join(format!("wcet-incr-fp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut cache = ArtifactCache::open(&dir).unwrap();
+            assert_eq!(cache.lookup_fp(11), None);
+            cache.store_fp(11, &artifact);
+        }
+        let mut cache = ArtifactCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup_fp(11), Some(artifact));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_persistence() {
+        let base = AnalyzerConfig::new();
+        let mut persist = base.clone();
+        persist.persistence = true;
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&persist),
+            "persistence forks the cache space"
+        );
     }
 
     #[test]

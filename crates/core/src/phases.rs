@@ -34,6 +34,9 @@ pub struct PhaseTrace {
     pub cache_always_hit: usize,
     /// Accesses classified always-miss.
     pub cache_always_miss: usize,
+    /// Accesses classified first-miss (persistence analysis runs only;
+    /// always zero otherwise).
+    pub cache_first_miss: usize,
     /// Accesses not classified.
     pub cache_not_classified: usize,
     /// Path analysis: ILP variables of the entry function's system.
@@ -125,9 +128,16 @@ impl fmt::Display for PhaseTrace {
             self.fmt_time(2)
         )?;
         writeln!(f, "      |")?;
+        // First-miss counts render only when the persistence analysis
+        // produced any, so persistence-off reports stay byte-identical.
+        let first_miss = if self.cache_first_miss > 0 {
+            format!(" / {} first-miss", self.cache_first_miss)
+        } else {
+            String::new()
+        };
         writeln!(
             f,
-            "  [4] {}: {} always-hit / {} always-miss / {} not-classified ({})",
+            "  [4] {}: {} always-hit / {} always-miss{first_miss} / {} not-classified ({})",
             Self::PHASE_NAMES[3],
             self.cache_always_hit,
             self.cache_always_miss,
@@ -169,6 +179,17 @@ mod tests {
         }
         assert!(text.starts_with("Input Executable"));
         assert!(text.ends_with("WCET Bound"));
+    }
+
+    #[test]
+    fn first_miss_rendered_only_when_present() {
+        let mut trace = PhaseTrace::default();
+        assert!(
+            !trace.to_string().contains("first-miss"),
+            "persistence-off traces stay byte-identical"
+        );
+        trace.cache_first_miss = 4;
+        assert!(trace.to_string().contains("/ 4 first-miss /"));
     }
 
     #[test]

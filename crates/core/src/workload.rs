@@ -672,11 +672,52 @@ pub fn context_killer() -> Workload {
     )
 }
 
+/// The persistence killer: a tight loop in flash calling a small
+/// subroutine every iteration. PR 4's call clobber wipes the caller's
+/// abstract cache at the call, so every post-call fetch in the loop body
+/// is charged a cold flash miss *per iteration* — forever. With
+/// `--persistence` the call is priced by `work`'s footprint summary
+/// (two lines, disjoint from the loop head's set), the loop body keeps
+/// its must-cache guarantees across the call, and the one genuinely
+/// joined-away line classifies first-miss: one miss per activation
+/// instead of 48. The bound tightens strictly at `--context-depth 1
+/// --caches --persistence`; the soundness oracle holds either way.
+#[must_use]
+pub fn persistence_killer() -> Workload {
+    let src = r#"
+        .org 0x100000
+        main:
+            li   r1, 48             # iterations
+        loop:
+            call work               # the clobber-vs-footprint lever
+            addi r5, r5, 1
+            subi r1, r1, 1
+            bne  r1, r0, loop
+            halt
+        work:
+            mul  r2, r6, r6
+            addi r2, r2, 3
+            ret
+    "#;
+    let image = assemble(src).expect("persistence killer assembles");
+    let header = image.symbol("loop").expect("loop label");
+    // The call inside the body hides the counter pattern from the
+    // automatic bound analysis; the iteration count is design knowledge.
+    let annots = format!("loop {header} bound 48;\n");
+    build(
+        "persistence_killer",
+        "tight loop calling a small callee: warm-cache knowledge across calls (persistence lever)",
+        src,
+        &annots,
+    )
+}
+
 /// The named workload corpus, with design-level annotations — the unit
 /// set of the end-to-end soundness oracle, the golden report snapshots,
 /// and the incremental benches. Grew past the original ten with
-/// `call_tree_heavy` (the two-level call tree) and `context_killer` (the
-/// context-sensitivity workload).
+/// `call_tree_heavy` (the two-level call tree), `context_killer` (the
+/// context-sensitivity workload), and `persistence_killer` (the
+/// cache-persistence workload).
 #[must_use]
 pub fn corpus() -> Vec<Workload> {
     let mut workloads = vec![
@@ -695,16 +736,7 @@ pub fn corpus() -> Vec<Workload> {
     workloads.push(call_fanout(8));
     workloads.push(call_tree_heavy(2, 3, &[]));
     workloads.push(context_killer());
-    workloads
-}
-
-/// The first ten corpus workloads, under the name the corpus carried
-/// when it had exactly ten members.
-#[deprecated(note = "the corpus grew past ten workloads; use `corpus()`")]
-#[must_use]
-pub fn all_ten() -> Vec<Workload> {
-    let mut workloads = corpus();
-    workloads.truncate(10);
+    workloads.push(persistence_killer());
     workloads
 }
 
@@ -927,17 +959,26 @@ mod tests {
                 "call_fanout",
                 "call_tree_heavy",
                 "context_killer",
+                "persistence_killer",
             ]
         );
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn all_ten_shim_is_the_corpus_prefix() {
-        let ten: Vec<&str> = all_ten().iter().map(|w| w.name).collect();
-        let corpus_names: Vec<&str> = corpus().iter().map(|w| w.name).collect();
-        assert_eq!(ten.len(), 10);
-        assert_eq!(&corpus_names[..10], ten.as_slice());
+    fn persistence_killer_analyzes_and_is_sound() {
+        let w = persistence_killer();
+        for machine in [MachineConfig::simple(), MachineConfig::with_caches()] {
+            let config = AnalyzerConfig {
+                machine: machine.clone(),
+                annotations: w.annotations.clone(),
+                ..AnalyzerConfig::new()
+            };
+            let report = WcetAnalyzer::with_config(config).analyze(&w.image).unwrap();
+            let mut interp = Interpreter::with_config(&w.image, machine);
+            let observed = interp.run(10_000_000).unwrap().cycles;
+            assert!(report.wcet_cycles >= observed);
+            assert!(report.bcet_cycles <= observed);
+        }
     }
 
     #[test]

@@ -229,6 +229,28 @@ impl MemoryMap {
             .unwrap_or(1)
     }
 
+    /// Best read latency over the whole map — what a BCET bound may
+    /// charge an access whose region cannot be pinned down (charging the
+    /// worst there would *raise* the lower bound above reality).
+    #[must_use]
+    pub fn best_read_latency(&self) -> u32 {
+        self.regions
+            .iter()
+            .map(|r| r.read_latency)
+            .min()
+            .unwrap_or(1)
+    }
+
+    /// Best write latency over the whole map.
+    #[must_use]
+    pub fn best_write_latency(&self) -> u32 {
+        self.regions
+            .iter()
+            .map(|r| r.write_latency)
+            .min()
+            .unwrap_or(1)
+    }
+
     /// The heap region, if the map has one.
     #[must_use]
     pub fn heap(&self) -> Option<&Region> {

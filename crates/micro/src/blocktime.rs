@@ -106,11 +106,17 @@ impl AccessOverrides {
     }
 }
 
-/// WCET/BCET cycle bounds per basic block.
+/// WCET/BCET cycle bounds per basic block, plus the block's *first-miss*
+/// penalty: the summed miss penalties of accesses the persistence
+/// analysis classified [`Classification::FirstMiss`]. Those accesses are
+/// charged the hit latency in [`BlockTimes::wcet`]; the path analysis
+/// charges the penalty **once per activation** through a dedicated ILP
+/// variable instead of once per execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockTimes {
     wcet: Vec<u64>,
     bcet: Vec<u64>,
+    first_miss: Vec<u64>,
 }
 
 impl BlockTimes {
@@ -157,45 +163,78 @@ impl BlockTimes {
 
         let mut wcet = Vec::with_capacity(cfg.block_count());
         let mut bcet = Vec::with_capacity(cfg.block_count());
+        let mut first_miss = Vec::with_capacity(cfg.block_count());
         for (id, block) in cfg.iter() {
             let mut hi = 0u64;
             let mut lo = 0u64;
+            let mut fm = 0u64;
             for (idx, (inst_addr, inst)) in block.insts.iter().enumerate() {
                 // Base execution cost.
                 hi += u64::from(machine.timing.worst_base_cost(inst));
                 lo += u64::from(machine.timing.base_cost(inst));
 
                 // Fetch cost.
-                let (f_hi, f_lo) = fetch_cost(*inst_addr, icache, machine, id, idx);
+                let (f_hi, f_lo, f_fm) = fetch_cost(*inst_addr, icache, machine, id, idx);
                 hi += u64::from(f_hi);
                 lo += u64::from(f_lo);
+                fm += u64::from(f_fm);
 
                 // Data access cost.
                 if inst.is_memory_access() {
                     let value = accesses.get(inst_addr).cloned().unwrap_or_else(Value::top);
                     let value = apply_override(value, overrides.range_of(*inst_addr));
                     let is_read = matches!(inst, Inst::Load { .. });
-                    let (m_hi, m_lo) = data_cost(&value, is_read, dcache, machine, id, idx);
+                    let (m_hi, m_lo, m_fm) = data_cost(&value, is_read, dcache, machine, id, idx);
                     hi += u64::from(m_hi);
                     lo += u64::from(m_lo);
+                    fm += u64::from(m_fm);
                 }
             }
             wcet.push(hi);
             bcet.push(lo);
+            first_miss.push(fm);
         }
-        BlockTimes { wcet, bcet }
+        BlockTimes {
+            wcet,
+            bcet,
+            first_miss,
+        }
     }
 
     /// Rebuilds block times from recorded per-block bounds (the
-    /// artifact-cache replay path). Returns `None` when the vectors
-    /// disagree in length or any worst case undercuts its best case —
-    /// a corrupted artifact must read as a cache miss, not as timing.
+    /// artifact-cache replay path; first-miss penalties are always zero
+    /// there — persistence runs recompute their block times). Returns
+    /// `None` when the vectors disagree in length or any worst case
+    /// undercuts its best case — a corrupted artifact must read as a
+    /// cache miss, not as timing.
     #[must_use]
     pub fn from_raw(wcet: Vec<u64>, bcet: Vec<u64>) -> Option<BlockTimes> {
         if wcet.len() != bcet.len() || wcet.iter().zip(&bcet).any(|(w, b)| w < b) {
             return None;
         }
-        Some(BlockTimes { wcet, bcet })
+        let first_miss = vec![0; wcet.len()];
+        Some(BlockTimes {
+            wcet,
+            bcet,
+            first_miss,
+        })
+    }
+
+    /// [`BlockTimes::from_raw`] with explicit per-block first-miss
+    /// penalties (a persistence-enabled timing table). `None` on length
+    /// mismatch, as for `from_raw`.
+    #[must_use]
+    pub fn from_raw_with_first_miss(
+        wcet: Vec<u64>,
+        bcet: Vec<u64>,
+        first_miss: Vec<u64>,
+    ) -> Option<BlockTimes> {
+        if first_miss.len() != wcet.len() {
+            return None;
+        }
+        let mut t = BlockTimes::from_raw(wcet, bcet)?;
+        t.first_miss = first_miss;
+        Some(t)
     }
 
     /// Worst-case cycles for block `b`.
@@ -216,6 +255,19 @@ impl BlockTimes {
     #[must_use]
     pub fn bcet(&self, b: BlockId) -> u64 {
         self.bcet[b.0]
+    }
+
+    /// Summed first-miss penalties of block `b`: extra worst-case cycles
+    /// that occur **at most once per activation** (not per execution).
+    /// Zero unless the persistence analysis classified an access in `b`
+    /// as [`Classification::FirstMiss`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn first_miss(&self, b: BlockId) -> u64 {
+        self.first_miss[b.0]
     }
 
     /// Number of blocks covered.
@@ -248,19 +300,26 @@ fn apply_override(value: Value, over: Option<Interval>) -> Value {
     }
 }
 
-/// Returns (worst, best) fetch cycles for the instruction at `addr`.
+/// Returns (worst, best, first-miss penalty) fetch cycles for the
+/// instruction at `addr`.
 fn fetch_cost(
     addr: Addr,
     icache: Option<&CacheAnalysis>,
     machine: &MachineConfig,
     block: BlockId,
     idx: usize,
-) -> (u32, u32) {
-    let region_latency = machine
-        .memmap
-        .region_at(addr)
-        .map(|r| r.read_latency)
-        .unwrap_or_else(|| machine.memmap.worst_read_latency());
+) -> (u32, u32, u32) {
+    // A fetch outside every mapped region faults; charging the slowest
+    // region keeps the WCET conservative, but the BCET must charge the
+    // *fastest* — a lower bound above what any module could deliver
+    // would be unsound.
+    let (region_hi, region_lo) = match machine.memmap.region_at(addr) {
+        Some(r) => (r.read_latency, r.read_latency),
+        None => (
+            machine.memmap.worst_read_latency(),
+            machine.memmap.best_read_latency(),
+        ),
+    };
     match icache {
         Some(analysis) => match analysis.classification(block, idx) {
             Some(Classification::AlwaysHit) => {
@@ -269,7 +328,7 @@ fn fetch_cost(
                     .as_ref()
                     .expect("icache configured")
                     .hit_latency;
-                (h, h)
+                (h, h, 0)
             }
             Some(Classification::AlwaysMiss) => {
                 let h = machine
@@ -277,7 +336,19 @@ fn fetch_cost(
                     .as_ref()
                     .expect("icache configured")
                     .hit_latency;
-                (h + region_latency, h + region_latency)
+                (h + region_hi, h + region_lo, 0)
+            }
+            Some(Classification::FirstMiss) => {
+                // Hit latency per execution; the miss penalty is charged
+                // once per activation by the path analysis. BCET charges
+                // a hit — a warm entry cache can make every execution
+                // hit.
+                let h = machine
+                    .icache
+                    .as_ref()
+                    .expect("icache configured")
+                    .hit_latency;
+                (h, h, region_hi)
             }
             Some(Classification::NotClassified) => {
                 let h = machine
@@ -285,15 +356,15 @@ fn fetch_cost(
                     .as_ref()
                     .expect("icache configured")
                     .hit_latency;
-                (h + region_latency, h)
+                (h + region_hi, h, 0)
             }
-            None => (region_latency, region_latency),
+            None => (region_hi, region_lo, 0),
         },
-        None => (region_latency, region_latency),
+        None => (region_hi, region_lo, 0),
     }
 }
 
-/// Returns (worst, best) data-access cycles.
+/// Returns (worst, best, first-miss penalty) data-access cycles.
 fn data_cost(
     value: &Value,
     is_read: bool,
@@ -301,29 +372,30 @@ fn data_cost(
     machine: &MachineConfig,
     block: BlockId,
     idx: usize,
-) -> (u32, u32) {
+) -> (u32, u32, u32) {
     let memmap: &MemoryMap = &machine.memmap;
     // Candidate regions: everything the abstract address overlaps.
     let iv = value.to_interval();
-    let (regions, any_unmapped) = match (iv.lo(), iv.hi()) {
+    let regions = match (iv.lo(), iv.hi()) {
         (Some(lo), Some(hi)) => {
-            let rs = memmap.regions_overlapping(Addr(lo), Addr(hi));
             // If the interval covers addresses outside all regions we do
             // not add extra cost: unmapped accesses fault rather than
             // stall. (The interpreter enforces this.)
-            (rs, false)
+            memmap.regions_overlapping(Addr(lo), Addr(hi))
         }
-        _ => (memmap.regions().iter().collect(), false),
+        _ => memmap.regions().iter().collect(),
     };
-    let _ = any_unmapped;
     if regions.is_empty() {
-        // Faulting access: charge the worst latency to stay conservative.
-        let w = if is_read {
-            memmap.worst_read_latency()
+        // Faulting access: charge the worst latency to keep the WCET
+        // conservative. The BCET must charge the *best* latency in the
+        // map — charging the worst here raised the lower bound above
+        // what a real (mis-annotated but executing) access could cost.
+        let (w, b) = if is_read {
+            (memmap.worst_read_latency(), memmap.best_read_latency())
         } else {
-            memmap.worst_write_latency()
+            (memmap.worst_write_latency(), memmap.best_write_latency())
         };
-        return (w, w);
+        return (w, b, 0);
     }
     let latency = |r: &wcet_isa::memmap::Region| {
         if is_read {
@@ -345,14 +417,15 @@ fn data_cost(
                 .expect("dcache configured")
                 .hit_latency;
             match analysis.classification(block, idx) {
-                Some(Classification::AlwaysHit) if all_cacheable => (h, h),
+                Some(Classification::AlwaysHit) if all_cacheable => (h, h, 0),
                 Some(Classification::AlwaysMiss) if all_cacheable => {
-                    (h + worst_region, h + best_region)
+                    (h + worst_region, h + best_region, 0)
                 }
-                _ => (h + worst_region, h.min(best_region)),
+                Some(Classification::FirstMiss) if all_cacheable => (h, h, worst_region),
+                _ => (h + worst_region, h.min(best_region), 0),
             }
         }
-        _ => (worst_region, best_region),
+        _ => (worst_region, best_region, 0),
     }
 }
 
@@ -492,6 +565,57 @@ mod tests {
         let b = fa.cfg().entry_block();
         assert_eq!(after.wcet(b), plain.wcet(b));
         assert_eq!(after.bcet(b), plain.bcet(b));
+    }
+
+    #[test]
+    fn faulting_access_charges_best_case_for_bcet() {
+        // Regression: an access whose abstract address lies entirely
+        // outside every mapped region ("faulting/unknown-region") was
+        // charged the slowest-region latency in *both* bounds. That is
+        // right for WCET but unsound for BCET: it raises the lower bound
+        // above what a real execution can take. A contradicting (wrong)
+        // access annotation makes this observable end to end — the
+        // analysis trusts the annotated range (an unmapped hole) while
+        // the real access goes to fast SRAM and the program completes.
+        let (image, fa) = analyze("main: li r1, 0x100\n lw r2, 0(r1)\n halt");
+        let machine = MachineConfig::simple();
+        let lw_addr = fa
+            .cfg()
+            .block(fa.cfg().entry_block())
+            .insts
+            .iter()
+            .find(|(_, i)| i.is_memory_access())
+            .map(|(a, _)| *a)
+            .unwrap();
+        let mut overrides = AccessOverrides::none();
+        // 0x0100_0000 sits in the hole between flash and heap.
+        assert!(machine.memmap.region_at(Addr(0x0100_0000)).is_none());
+        overrides
+            .restrict(lw_addr, 0x0100_0000, 0x0100_0fff)
+            .unwrap();
+        let t = BlockTimes::compute_with_overrides(&fa, &machine, &overrides);
+        let b = fa.cfg().entry_block();
+
+        let mut interp = Interpreter::with_config(&image, machine.clone());
+        let observed = interp.run(1000).unwrap().cycles;
+        assert!(
+            t.bcet(b) <= observed,
+            "BCET {} must not exceed the observed {} cycles",
+            t.bcet(b),
+            observed
+        );
+        assert!(t.wcet(b) >= observed, "WCET still covers the run");
+        // The WCET keeps the conservative slowest-region charge.
+        assert!(t.wcet(b) >= u64::from(machine.memmap.worst_read_latency()));
+    }
+
+    #[test]
+    fn memmap_best_latencies_are_the_minima() {
+        let map = MemoryMap::default_embedded();
+        assert_eq!(map.best_read_latency(), 1);
+        assert_eq!(map.best_write_latency(), 1);
+        assert!(map.best_read_latency() <= map.worst_read_latency());
+        assert!(map.best_write_latency() <= map.worst_write_latency());
     }
 
     #[test]

@@ -15,7 +15,8 @@ use wcet_isa::cache::CacheConfig;
 use wcet_isa::memmap::MemoryMap;
 use wcet_isa::{Addr, Inst};
 
-use crate::acs::{classify, AbstractCache, Classification, Polarity};
+use crate::acs::{classify_with_persist, AbstractCache, Classification, Polarity};
+use crate::footprint::CacheFootprint;
 
 /// Which cache an analysis instance models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,11 @@ pub struct CacheAnalysis {
 pub struct CacheStates {
     must: AbstractCache,
     may: AbstractCache,
+    /// The persistence instance, present only when the analysis runs
+    /// with first-miss classification enabled (its ages feed the
+    /// context-entry digests, so it must not exist when the feature is
+    /// off — depth-insensitive runs stay byte-identical).
+    persist: Option<AbstractCache>,
 }
 
 impl CacheStates {
@@ -56,6 +62,29 @@ impl CacheStates {
         CacheStates {
             must: AbstractCache::new(config.clone(), Polarity::Must),
             may: AbstractCache::new(config.clone(), Polarity::May),
+            persist: None,
+        }
+    }
+
+    /// The cold triple with an (empty) persistence instance attached —
+    /// the entry state of a persistence-enabled analysis.
+    #[must_use]
+    pub fn cold_persistent(config: &CacheConfig) -> CacheStates {
+        let mut s = CacheStates::cold(config);
+        s.persist = Some(AbstractCache::new(config.clone(), Polarity::Persist));
+        s
+    }
+
+    /// Attaches or strips the persistence instance so the state matches
+    /// what the current analysis tracks. A freshly attached instance is
+    /// empty — sound for any entry (nothing is claimed loaded yet).
+    fn normalize_persistence(&mut self, on: bool, config: &CacheConfig) {
+        match (on, &self.persist) {
+            (true, None) => {
+                self.persist = Some(AbstractCache::new(config.clone(), Polarity::Persist));
+            }
+            (false, Some(_)) => self.persist = None,
+            _ => {}
         }
     }
 
@@ -65,6 +94,10 @@ impl CacheStates {
         CacheStates {
             must: self.must.join(&other.must),
             may: self.may.join(&other.may),
+            persist: match (&self.persist, &other.persist) {
+                (Some(a), Some(b)) => Some(a.join(b)),
+                _ => None,
+            },
         }
     }
 
@@ -74,27 +107,78 @@ impl CacheStates {
         let mut h = wcet_isa::hash::StableHasher::new();
         self.must.digest_into(&mut h);
         self.may.digest_into(&mut h);
+        match &self.persist {
+            Some(p) => {
+                h.write_u32(1);
+                p.digest_into(&mut h);
+            }
+            None => h.write_u32(0),
+        }
         h.finish()
     }
 
     fn is_subsumed_by(&self, other: &CacheStates) -> bool {
-        self.must.is_subsumed_by(&other.must) && self.may.is_subsumed_by(&other.may)
+        let persist_ok = match (&self.persist, &other.persist) {
+            (Some(a), Some(b)) => a.is_subsumed_by(b),
+            (None, None) => true,
+            _ => false,
+        };
+        persist_ok && self.must.is_subsumed_by(&other.must) && self.may.is_subsumed_by(&other.may)
     }
 
     /// The effect of an opaque callee on the caller's view of the cache:
     /// the callee may touch arbitrarily many lines, so nothing stays
-    /// *guaranteed* cached (must empties) and nothing stays guaranteed
-    /// absent (may poisons). Before this existed, a caller's post-call
-    /// fetches kept their pre-call hit guarantees even though the callee
-    /// could have evicted every line — unsound with the interpreter's
-    /// real cache.
+    /// *guaranteed* cached (must empties), nothing stays guaranteed
+    /// absent (may poisons), and nothing stays persistent. Before this
+    /// existed, a caller's post-call fetches kept their pre-call hit
+    /// guarantees even though the callee could have evicted every line —
+    /// unsound with the interpreter's real cache.
     fn clobber_call(&mut self) {
         self.must.access_unknown();
         self.may.access_unknown();
+        if let Some(p) = &mut self.persist {
+            p.access_unknown();
+        }
+    }
+
+    /// The effect of a callee with a known [`CacheFootprint`]: age the
+    /// must and persistence instances by the callee's per-set conflict
+    /// counts (keeping guarantees for untouched lines), and admit the
+    /// callee's possible lines into the may cache without poisoning it.
+    /// `None` — no summary available — falls back to the opaque clobber.
+    fn apply_callee(&mut self, footprint: Option<&CacheFootprint>) {
+        match footprint {
+            Some(fp) => {
+                self.must.apply_footprint(fp);
+                self.may.apply_footprint(fp);
+                if let Some(p) = &mut self.persist {
+                    p.apply_footprint(fp);
+                }
+            }
+            None => self.clobber_call(),
+        }
     }
 }
 
 type Acs = CacheStates;
+
+/// Context inputs of one cache fixpoint beyond the CFG itself: the entry
+/// ACS from the callers, per-call-site callee footprints, and whether to
+/// run the persistence (first-miss) instance.
+#[derive(Default)]
+pub struct CacheCtx<'a> {
+    /// The entry ACS (the join of the caller states at this function's
+    /// producing call sites under one context); `None` = the cold state.
+    pub entry: Option<&'a CacheStates>,
+    /// Per call site (keyed by the call instruction's address): the
+    /// joined transitive footprint of the site's possible callees, for
+    /// *this* cache. A site absent from the map — or the whole map absent
+    /// — is treated as an opaque call (full clobber).
+    pub call_footprints: Option<&'a BTreeMap<Addr, CacheFootprint>>,
+    /// Track the persistence instance and classify
+    /// [`Classification::FirstMiss`].
+    pub persistence: bool,
+}
 
 /// A cache analysis together with the context-propagation hooks: the
 /// must/may pair immediately before every call terminator, keyed by call
@@ -127,13 +211,33 @@ impl CacheAnalysis {
         memmap: &MemoryMap,
         entry: Option<&CacheStates>,
     ) -> CtxCacheAnalysis {
+        CacheAnalysis::instruction_with(
+            cfg,
+            config,
+            memmap,
+            &CacheCtx {
+                entry,
+                ..CacheCtx::default()
+            },
+        )
+    }
+
+    /// [`CacheAnalysis::instruction_ctx`] with the full context inputs:
+    /// per-site callee footprints and the persistence instance.
+    #[must_use]
+    pub fn instruction_with(
+        cfg: &Cfg,
+        config: &CacheConfig,
+        memmap: &MemoryMap,
+        ctx: &CacheCtx<'_>,
+    ) -> CtxCacheAnalysis {
         run(
             cfg,
             config,
             CacheKind::Instruction,
             |_, addr, _| Access::Fetch(addr),
             memmap,
-            entry,
+            ctx,
         )
     }
 
@@ -160,13 +264,35 @@ impl CacheAnalysis {
         accesses: &BTreeMap<Addr, Value>,
         entry: Option<&CacheStates>,
     ) -> CtxCacheAnalysis {
+        CacheAnalysis::data_with(
+            cfg,
+            config,
+            memmap,
+            accesses,
+            &CacheCtx {
+                entry,
+                ..CacheCtx::default()
+            },
+        )
+    }
+
+    /// [`CacheAnalysis::data_ctx`] with the full context inputs; see
+    /// [`CacheAnalysis::instruction_with`].
+    #[must_use]
+    pub fn data_with(
+        cfg: &Cfg,
+        config: &CacheConfig,
+        memmap: &MemoryMap,
+        accesses: &BTreeMap<Addr, Value>,
+        ctx: &CacheCtx<'_>,
+    ) -> CtxCacheAnalysis {
         run(
             cfg,
             config,
             CacheKind::Data,
             |inst, addr, mm| data_access(inst, addr, accesses, mm),
             memmap,
-            entry,
+            ctx,
         )
     }
 
@@ -188,22 +314,34 @@ impl CacheAnalysis {
     }
 
     /// Counts classifications across the whole function, as
-    /// `(always_hit, always_miss, not_classified)`.
+    /// `(always_hit, always_miss, not_classified)`. First-miss accesses
+    /// (persistence runs only) count as not-classified here; use
+    /// [`CacheAnalysis::summary4`] when the split matters.
     #[must_use]
     pub fn summary(&self) -> (usize, usize, usize) {
+        let (hit, miss, fm, nc) = self.summary4();
+        (hit, miss, fm + nc)
+    }
+
+    /// Counts classifications across the whole function, as
+    /// `(always_hit, always_miss, first_miss, not_classified)`.
+    #[must_use]
+    pub fn summary4(&self) -> (usize, usize, usize, usize) {
         let mut hit = 0;
         let mut miss = 0;
+        let mut fm = 0;
         let mut nc = 0;
         for block in &self.class {
             for c in block.iter().flatten() {
                 match c {
                     Classification::AlwaysHit => hit += 1,
                     Classification::AlwaysMiss => miss += 1,
+                    Classification::FirstMiss => fm += 1,
                     Classification::NotClassified => nc += 1,
                 }
             }
         }
-        (hit, miss, nc)
+        (hit, miss, fm, nc)
     }
 }
 
@@ -258,15 +396,17 @@ fn run(
     kind: CacheKind,
     classify_inst: impl Fn(&Inst, Addr, &MemoryMap) -> Access,
     memmap: &MemoryMap,
-    entry_state: Option<&CacheStates>,
+    ctx: &CacheCtx<'_>,
 ) -> CtxCacheAnalysis {
     let n = cfg.block_count();
     let mut in_states: Vec<Option<Acs>> = vec![None; n];
     let entry = cfg.entry_block();
-    in_states[entry.0] = Some(match entry_state {
+    let mut entry_acs = match ctx.entry {
         Some(s) => s.clone(),
         None => Acs::cold(config),
-    });
+    };
+    entry_acs.normalize_persistence(ctx.persistence, config);
+    in_states[entry.0] = Some(entry_acs);
 
     // The per-instruction transfer of one block, *excluding* the call
     // clobber (the classification pass and the pre-call snapshots need
@@ -293,6 +433,13 @@ fn run(
             Terminator::Call { .. } | Terminator::CallInd { .. }
         )
     };
+    // The call transfer: a summarized callee ages the ACS by its
+    // footprint; an unsummarized one clobbers it.
+    let apply_call = |acs: &mut Acs, b: BlockId| {
+        let block = cfg.block(b);
+        let site = block.site_addr();
+        acs.apply_callee(ctx.call_footprints.and_then(|m| m.get(&site)));
+    };
 
     // Worklist fixpoint.
     let mut work: VecDeque<BlockId> = VecDeque::from([entry]);
@@ -303,7 +450,7 @@ fn run(
         let mut out = in_acs;
         transfer(&mut out, b);
         if is_call(b) {
-            out.clobber_call();
+            apply_call(&mut out, b);
         }
         for &succ in &cfg.succs[b.0] {
             let new_in = match &in_states[succ.0] {
@@ -342,7 +489,12 @@ fn run(
                     };
                     let c = match &access {
                         Access::None | Access::Bypass => None,
-                        Access::Fetch(a) => Some(classify(&acs.must, &acs.may, *a)),
+                        Access::Fetch(a) => Some(classify_with_persist(
+                            &acs.must,
+                            &acs.may,
+                            acs.persist.as_ref(),
+                            *a,
+                        )),
                         Access::OneOf(_) | Access::Unknown => Some(Classification::NotClassified),
                     };
                     row.push(c);
@@ -350,7 +502,7 @@ fn run(
                 }
                 if is_call(id) {
                     // `acs` now holds the state right before the call.
-                    let site = block.insts.last().map(|(a, _)| *a).unwrap_or(block.start);
+                    let site = block.site_addr();
                     match call_states.remove(&site) {
                         Some(prev) => {
                             call_states.insert(site, prev.join(&acs));
@@ -388,14 +540,23 @@ fn apply(acs: &mut Acs, access: &Access) {
         Access::Fetch(a) => {
             acs.must.access(*a);
             acs.may.access(*a);
+            if let Some(p) = &mut acs.persist {
+                p.access(*a);
+            }
         }
         Access::OneOf(addrs) => {
             acs.must.access_one_of(addrs);
             acs.may.access_one_of(addrs);
+            if let Some(p) = &mut acs.persist {
+                p.access_one_of(addrs);
+            }
         }
         Access::Unknown => {
             acs.must.access_unknown();
             acs.may.access_unknown();
+            if let Some(p) = &mut acs.persist {
+                p.access_unknown();
+            }
         }
     }
 }
@@ -498,6 +659,105 @@ mod tests {
             "caller's ACS pair warms the callee entry"
         );
         assert_ne!(pre_call.digest(), CacheStates::cold(&config).digest());
+    }
+
+    #[test]
+    fn footprint_call_transfer_keeps_disjoint_guarantees() {
+        // Two calls to a one-line callee: with the callee's footprint
+        // known, the caller's own line (a different set) keeps its must
+        // guarantee across the calls, so the second call-block fetch is
+        // an AlwaysHit instead of the clobbered NotClassified.
+        let config = CacheConfig::small_icache();
+        let memmap = MemoryMap::default_embedded();
+        // 13 padding nops push `f` to 0x100040 — a different cache set
+        // (set 4) than main's code (set 0).
+        let pad = " nop\n".repeat(13);
+        let src = format!(".org 0x100000\nmain: call f\n call f\n halt\n{pad}f: ret");
+        let src = src.as_str();
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let cfg = p.entry_cfg();
+
+        // f's footprint: the single line at 0x100040 (set 4).
+        let mut fp = crate::footprint::CacheFootprint::empty(&config);
+        fp.absorb_addr(wcet_isa::Addr(0x0010_0040));
+        let mut footprints = BTreeMap::new();
+        for (site, _) in cfg.call_sites() {
+            footprints.insert(site, fp.clone());
+        }
+
+        let clobbered = CacheAnalysis::instruction_ctx(cfg, &config, &memmap, None);
+        let summarized = CacheAnalysis::instruction_with(
+            cfg,
+            &config,
+            &memmap,
+            &CacheCtx {
+                call_footprints: Some(&footprints),
+                ..CacheCtx::default()
+            },
+        );
+        let second_call = cfg.block_at(wcet_isa::Addr(0x0010_0004)).unwrap();
+        assert_eq!(
+            clobbered.analysis.classification(second_call, 0),
+            Some(Classification::NotClassified),
+            "opaque call wipes the caller's line"
+        );
+        assert_eq!(
+            summarized.analysis.classification(second_call, 0),
+            Some(Classification::AlwaysHit),
+            "summarized call keeps the disjoint-set guarantee"
+        );
+    }
+
+    #[test]
+    fn persistence_classifies_loop_header_first_miss() {
+        // The steady-state loop case the must/may pair cannot classify:
+        // the entry-edge/back-edge join loses the must guarantee, but the
+        // line is persistent — it classifies FirstMiss instead of
+        // NotClassified.
+        let config = CacheConfig::small_icache();
+        let memmap = MemoryMap::default_embedded();
+        let src = ".org 0x100000\nmain: li r1, 4\n nop\n nop\n nop\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let image = assemble(src).unwrap();
+        let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+        let cfg = p.entry_cfg();
+        let plain = CacheAnalysis::instruction_ctx(cfg, &config, &memmap, None);
+        let persistent = CacheAnalysis::instruction_with(
+            cfg,
+            &config,
+            &memmap,
+            &CacheCtx {
+                persistence: true,
+                ..CacheCtx::default()
+            },
+        );
+        let loop_block = cfg.block_at(wcet_isa::Addr(0x0010_0010)).unwrap();
+        assert_eq!(
+            plain.analysis.classification(loop_block, 0),
+            Some(Classification::NotClassified)
+        );
+        assert_eq!(
+            persistent.analysis.classification(loop_block, 0),
+            Some(Classification::FirstMiss),
+            "the loop line persists across iterations"
+        );
+        // Guaranteed hits stay guaranteed hits under persistence.
+        let (hit_plain, _, _) = plain.analysis.summary();
+        let (hit_persist, _, _, _) = persistent.analysis.summary4();
+        assert_eq!(hit_plain, hit_persist);
+    }
+
+    #[test]
+    fn persistence_entry_state_digests_differ() {
+        // The persistence instance is part of the propagated entry state
+        // and therefore of the context digests the incremental cache
+        // keys on.
+        let config = CacheConfig::small_icache();
+        let cold = CacheStates::cold(&config);
+        let cold_p = CacheStates::cold_persistent(&config);
+        assert_ne!(cold.digest(), cold_p.digest());
+        assert_eq!(cold.join(&cold).digest(), cold.digest());
+        assert_eq!(cold_p.join(&cold_p).digest(), cold_p.digest());
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! computes *lower and upper execution-time bounds for basic blocks*.
 //!
 //! * [`acs`] — abstract cache states: Ferdinand-style LRU **must** (maximal
-//!   age) and **may** (minimal age) analyses, whose classifications are
-//!   *always-hit* / *always-miss* / *not-classified*,
+//!   age), **may** (minimal age), and **persistence** (maximal age since
+//!   last load, with a virtual evicted-line top element) analyses, whose
+//!   classifications are *always-hit* / *always-miss* / *first-miss* /
+//!   *not-classified*,
+//! * [`footprint`] — per-set summaries of the cache lines a callee
+//!   subtree can touch; calls age the caller's abstract cache by them
+//!   instead of clobbering it,
 //! * [`cacheanalysis`] — instruction- and data-cache fixpoints over a CFG;
 //!   the data-cache analysis consumes the value analysis' address values
 //!   and reproduces the paper's headline effect: **an access with an
@@ -39,7 +44,9 @@
 pub mod acs;
 pub mod blocktime;
 pub mod cacheanalysis;
+pub mod footprint;
 
 pub use acs::{AbstractCache, Classification};
 pub use blocktime::BlockTimes;
-pub use cacheanalysis::{CacheAnalysis, CacheKind, CacheStates, CtxCacheAnalysis};
+pub use cacheanalysis::{CacheAnalysis, CacheCtx, CacheKind, CacheStates, CtxCacheAnalysis};
+pub use footprint::{CacheFootprint, SetFootprint};

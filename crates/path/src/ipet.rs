@@ -323,7 +323,7 @@ fn solve(
             Sense::Minimize => times.bcet(BlockId(b)),
         };
         let block = cfg.block(BlockId(b));
-        let call_site = block.insts.last().map(|(a, _)| *a).unwrap_or(block.start);
+        let call_site = block.site_addr();
         let call_cost: u64 = match &block.term {
             Terminator::Call { callee, .. } => match call_costs.site(call_site) {
                 Some(cost) => cost,
@@ -356,6 +356,27 @@ fn solve(
             _ => 0,
         };
         objective.push((block_vars[b], (base + call_cost) as f64));
+    }
+
+    // First-miss (persistence) penalties: an access classified FirstMiss
+    // costs the hit latency per execution (already in the block time)
+    // plus its miss penalty **at most once per activation**. Encoded as
+    // one extra 0/1 variable per penalized block, bounded by the block's
+    // execution count; maximization drives it to 1 exactly when the
+    // block executes at all — one miss per activation instead of one per
+    // iteration. Minimization would drive the variable to 0 (a warm
+    // entry cache can serve every execution), so the BCET system skips
+    // the variables entirely.
+    if matches!(sense, Sense::Maximize) {
+        for b in 0..n {
+            let penalty = times.first_miss(BlockId(b));
+            if penalty == 0 {
+                continue;
+            }
+            let fm = model.add_int_var(&format!("fm_{b}"), 0, Some(1));
+            model.add_le(&[(fm, 1.0), (block_vars[b], -1.0)], 0.0);
+            objective.push((fm, penalty as f64));
+        }
     }
     model.set_objective(&objective);
 
@@ -650,6 +671,107 @@ mod tests {
         );
         assert_eq!(per_site.site(sites[0].0), Some(10));
         assert_eq!(per_site.get(&f_entry), Some(&100));
+    }
+
+    #[test]
+    fn first_miss_penalty_charged_once_per_activation() {
+        // A 10-iteration loop whose body carries a first-miss penalty of
+        // 40 cycles: the WCET charges the penalty once — not per
+        // iteration — and the BCET ignores it entirely.
+        let (_, fa, times) =
+            setup("main: li r1, 10\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt");
+        let cfg = fa.cfg();
+        let loop_block = cfg.block_at(fa.entry.offset(4)).unwrap();
+        let n = cfg.block_count();
+        let raw_w: Vec<u64> = (0..n).map(|b| times.wcet(BlockId(b))).collect();
+        let raw_b: Vec<u64> = (0..n).map(|b| times.bcet(BlockId(b))).collect();
+        let mut fm = vec![0u64; n];
+        fm[loop_block.0] = 40;
+        let with_fm =
+            BlockTimes::from_raw_with_first_miss(raw_w.clone(), raw_b.clone(), fm).unwrap();
+        let plain = BlockTimes::from_raw(raw_w, raw_b).unwrap();
+
+        let solve_w = |t: &BlockTimes| {
+            wcet(
+                cfg,
+                fa.forest(),
+                t,
+                &fa.loop_bounds(),
+                &[],
+                &CallCosts::new(),
+            )
+            .unwrap()
+            .wcet_cycles
+        };
+        let solve_b = |t: &BlockTimes| {
+            bcet(
+                cfg,
+                fa.forest(),
+                t,
+                &fa.loop_bounds(),
+                &[],
+                &CallCosts::new(),
+            )
+            .unwrap()
+            .wcet_cycles
+        };
+        assert_eq!(
+            solve_w(&with_fm),
+            solve_w(&plain) + 40,
+            "exactly one activation-scoped penalty"
+        );
+        assert_eq!(solve_b(&with_fm), solve_b(&plain), "BCET never charges it");
+    }
+
+    #[test]
+    fn first_miss_penalty_skipped_when_block_does_not_execute() {
+        // The penalized block sits on the cheap arm the WCET path avoids
+        // (the penalty is too small to make that arm worth taking): the
+        // fm variable is capped by the block count (0), so the penalty
+        // must not leak into the bound.
+        let (_, fa, times) = setup(
+            r#"
+            main: beq r4, r0, cheap
+                  mul r1, r2, r3
+                  mul r1, r2, r3
+                  mul r1, r2, r3
+                  j done
+            cheap: addi r1, r0, 1
+            done: halt
+            "#,
+        );
+        let cfg = fa.cfg();
+        // The cheap arm starts at main+20 (beq, three muls, j precede it).
+        let cheap = cfg.block_at(fa.entry.offset(20)).unwrap();
+        let n = cfg.block_count();
+        let raw_w: Vec<u64> = (0..n).map(|b| times.wcet(BlockId(b))).collect();
+        let raw_b: Vec<u64> = (0..n).map(|b| times.bcet(BlockId(b))).collect();
+        let mut fm = vec![0u64; n];
+        fm[cheap.0] = 1;
+        let with_fm = BlockTimes::from_raw_with_first_miss(raw_w, raw_b, fm).unwrap();
+        let result = wcet(
+            cfg,
+            fa.forest(),
+            &with_fm,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
+        assert_eq!(result.count(cheap), 0, "worst path avoids the cheap arm");
+        let plain = wcet(
+            cfg,
+            fa.forest(),
+            &times,
+            &fa.loop_bounds(),
+            &[],
+            &CallCosts::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            result.wcet_cycles, plain.wcet_cycles,
+            "an unexecuted block's first-miss penalty is not charged"
+        );
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   --context-depth <k>          analyze one unit per (function, call-string
 //!                                of length ≤ k) — VIVU-style context
 //!                                sensitivity; default 0 = merged analysis
+//!   --persistence                per-context cache persistence analysis:
+//!                                callee footprint summaries at calls and
+//!                                first-miss classification (one miss per
+//!                                activation); needs --caches and
+//!                                --context-depth ≥ 1
 //!   --threads <n>                analysis worker threads (default: all
 //!                                cores; 1 = sequential; same report either way)
 //!   --cache-dir <dir>            persistent artifact cache: unchanged
@@ -58,6 +63,7 @@ struct CliOptions {
     parallelism: Option<usize>,
     cache_dir: Option<String>,
     context_depth: usize,
+    persistence: bool,
 }
 
 fn run(args: Vec<String>) -> Result<(), String> {
@@ -249,6 +255,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                     .map_err(|_| format!("invalid context depth `{raw}`"))?;
             }
             "--caches" => opts.caches = true,
+            "--persistence" => opts.persistence = true,
             "--unroll" => opts.unroll = true,
             "--disasm" => opts.show_disasm = true,
             "--check-only" => opts.check_only = true,
@@ -257,6 +264,21 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                 return Err(format!("unknown option `{other}` (try --help)"));
             }
             path => files.push(path.to_owned()),
+        }
+    }
+    if opts.persistence {
+        // The persistence analysis lives in the context-sensitive
+        // pipeline and classifies against the cache model; without
+        // either it would silently change nothing.
+        if !opts.caches {
+            return Err("--persistence requires --caches (there is no cache to persist in)".into());
+        }
+        if opts.context_depth == 0 {
+            return Err(
+                "--persistence requires --context-depth 1 or higher (it runs in the \
+                 context-sensitive pipeline)"
+                    .into(),
+            );
         }
     }
     Ok((opts, files))
@@ -305,6 +327,7 @@ fn analyze_one(
         unrolling: opts.unroll,
         parallelism: opts.parallelism,
         context_depth: opts.context_depth,
+        persistence: opts.persistence,
         ..AnalyzerConfig::new()
     };
     let analyzer = WcetAnalyzer::with_config(config);
@@ -321,10 +344,10 @@ fn print_usage() {
         "wcet — static WCET analyzer (reproduction of 'Software Structure \
          and WCET Predictability', PPES/DATE 2011)\n\n\
          usage:\n  wcet <program.s> [--annotations <file>] [--caches] \
-         [--unroll] [--context-depth <k>] [--threads <n>] [--cache-dir <dir>] \
-         [--disasm] [--check-only] [--run]\n  \
+         [--unroll] [--context-depth <k>] [--persistence] [--threads <n>] \
+         [--cache-dir <dir>] [--disasm] [--check-only] [--run]\n  \
          wcet batch <manifest> [--cache-dir <dir>] [--caches] [--unroll] \
-         [--context-depth <k>] [--threads <n>]\n  \
+         [--context-depth <k>] [--persistence] [--threads <n>]\n  \
          wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }

@@ -305,6 +305,52 @@ fn corpus_workloads_analyze_via_cli_and_context_depth_tightens() {
         assert_eq!(wcet_bound(&plain.stdout), wcet_bound(&merged.stdout));
     }
 
+    // --persistence on top of --caches --context-depth 1 must print a
+    // strictly smaller bound on the persistence workload. The loop-bound
+    // annotation is reconstructed inline (mirroring the workload's own
+    // `bound 48`; drift only loosens this fixture's bound, which stays
+    // sound) — this block smokes the CLI plumbing, the corpus-level
+    // tightening itself is gated by tests/persistence.rs.
+    {
+        use wcet_predictability::core::workload;
+        let w = workload::persistence_killer();
+        let program = dir.join("persistence_killer.s");
+        std::fs::write(&program, &w.source).expect("write workload source");
+        let annots = dir.join("persistence_killer.annot");
+        let header = w.image.symbol("loop").expect("loop label");
+        std::fs::write(&annots, format!("loop {header} bound 48;\n")).expect("write annotations");
+        let base = [
+            program.to_str().unwrap(),
+            "--annotations",
+            annots.to_str().unwrap(),
+            "--caches",
+            "--context-depth",
+            "1",
+        ];
+        let clobbered = wcet(&base);
+        assert!(
+            clobbered.status.success(),
+            "persistence_killer analyzes: {}",
+            String::from_utf8_lossy(&clobbered.stderr)
+        );
+        let mut with_persistence = base.to_vec();
+        with_persistence.push("--persistence");
+        let persistent = wcet(&with_persistence);
+        assert!(persistent.status.success(), "--persistence analyzes");
+        assert!(
+            wcet_bound(&persistent.stdout) < wcet_bound(&clobbered.stdout),
+            "--persistence must print a smaller bound"
+        );
+    }
+
+    // --persistence is validated against its prerequisites.
+    let no_caches = wcet(&["prog.s", "--persistence", "--context-depth", "1"]);
+    assert!(!no_caches.status.success());
+    assert!(String::from_utf8_lossy(&no_caches.stderr).contains("--caches"));
+    let no_depth = wcet(&["prog.s", "--persistence", "--caches"]);
+    assert!(!no_depth.status.success());
+    assert!(String::from_utf8_lossy(&no_depth.stderr).contains("--context-depth"));
+
     // The flag is validated.
     let bad = wcet(&["--context-depth"]);
     assert!(!bad.status.success());
