@@ -313,6 +313,187 @@ fn incremental(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The serve daemon's engine on a synthetic 100-request stream: one
+/// [`AnalysisService`] fed a hundred distinct `call_tree_heavy` variants
+/// through [`serve_connection`], cold (empty artifact cache) vs warm
+/// (every request replays from the store the cold pass left behind).
+/// The headline speedup prints before the Criterion group; the
+/// acceptance bar is warm ≥ 3.5x cold.
+///
+/// [`AnalysisService`]: wcet_core::serve::AnalysisService
+/// [`serve_connection`]: wcet_core::serve::serve_connection
+fn serve_stream(c: &mut Criterion) {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wcet_core::incr::ArtifactCache;
+    use wcet_core::parallel::WorkerPool;
+    use wcet_core::serve::{serve_connection, AnalysisService};
+    use wcet_isa::asm::assemble;
+
+    let root = std::env::temp_dir().join(format!("wcet-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // One request program per variant: a two-group call tree whose six
+    // leaves each run several sequential loop nests with a data-dependent
+    // branch in the body. Every loop bound varies per variant, so no two
+    // requests share a single function artifact — the cold pass really
+    // computes 100 analyses, and the warm pass replays all 100 from the
+    // store. The many-block leaves are deliberate: value/cache/IPET cost
+    // grows with the CFG while the stored summary does not, which is the
+    // asymmetry a warm daemon exploits.
+    let stream_program = |variant: u32| -> String {
+        const LEAVES: u32 = 6;
+        const SEGMENTS: u32 = 12;
+        let mut src = String::from("        .org 0x1000\nmain:\n");
+        for g in 0..2 {
+            src.push_str(&format!("            call g{g}\n"));
+        }
+        src.push_str("            halt\n");
+        for g in 0..2u32 {
+            src.push_str(&format!(
+                "g{g}:\n\
+                 \x20            subi sp, sp, 4\n\
+                 \x20            sw   lr, 0(sp)\n"
+            ));
+            for l in 0..LEAVES / 2 {
+                src.push_str(&format!("            call f{}\n", g * (LEAVES / 2) + l));
+            }
+            src.push_str(
+                "            lw   lr, 0(sp)\n\
+                 \x20            addi sp, sp, 4\n\
+                 \x20            ret\n",
+            );
+        }
+        for i in 0..LEAVES {
+            src.push_str(&format!("f{i}:\n"));
+            for k in 0..SEGMENTS {
+                let bound = 2 + (variant * 7 + i * 11 + k * 5) % 29;
+                let scratch = 0x8000 + 64 * i + 8 * k;
+                src.push_str(&format!(
+                    "f{i}_s{k}:\n\
+                     \x20            li   r1, {bound}\n\
+                     f{i}_s{k}_outer:\n\
+                     \x20            li   r2, 4\n\
+                     f{i}_s{k}_inner:\n\
+                     \x20            mul  r3, r2, r2\n\
+                     \x20            add  r4, r4, r3\n\
+                     \x20            li   r7, {scratch:#x}\n\
+                     \x20            sw   r4, 0(r7)\n\
+                     \x20            lw   r5, 0(r7)\n\
+                     \x20            xor  r4, r4, r5\n\
+                     \x20            beq  r5, r0, f{i}_s{k}_skip\n\
+                     \x20            addi r8, r8, 3\n\
+                     \x20            j    f{i}_s{k}_join\n\
+                     f{i}_s{k}_skip:\n\
+                     \x20            shri r8, r8, 1\n\
+                     f{i}_s{k}_join:\n\
+                     \x20            subi r2, r2, 1\n\
+                     \x20            bne  r2, r0, f{i}_s{k}_inner\n\
+                     \x20            subi r1, r1, 1\n\
+                     \x20            bne  r1, r0, f{i}_s{k}_outer\n"
+                ));
+            }
+            src.push_str("            ret\n");
+        }
+        src
+    };
+    let mut requests = String::new();
+    for i in 0..100u32 {
+        let path = root.join(format!("req{i}.s"));
+        std::fs::create_dir_all(&root).expect("bench dir");
+        std::fs::write(&path, stream_program(i)).expect("write request program");
+        requests.push_str(&format!("{}\n", path.display()));
+    }
+
+    // The daemon's handler, minus the CLI rendering: assemble the
+    // requested file and run the incremental analyzer against the shared
+    // store — the same per-request cache-open discipline `wcet serve`
+    // uses.
+    let make_service = |cache_dir: PathBuf| -> AnalysisService {
+        let pool = Arc::new(WorkerPool::new(1));
+        AnalysisService::new(
+            0,
+            Box::new(move |program: &Path, _| {
+                let source = std::fs::read_to_string(program).map_err(|e| e.to_string())?;
+                let image = assemble(&source).map_err(|e| e.to_string())?;
+                let mut cache = ArtifactCache::open(&cache_dir).map_err(|e| e.to_string())?;
+                // Cached-machine configuration: must-analysis dominates
+                // the per-unit work and every phase of it replays from
+                // the artifact store on a warm hit — exactly the shape
+                // the daemon amortizes across the stream. (The deeper
+                // context/persistence modes recompute their interference
+                // pass even on warm hits, which measures the analyzer,
+                // not the store.)
+                let config = AnalyzerConfig {
+                    machine: MachineConfig::with_caches(),
+                    ..AnalyzerConfig::new()
+                };
+                let analyzer = WcetAnalyzer::with_config(config).with_pool(Arc::clone(&pool));
+                let report = analyzer
+                    .analyze_incremental(&image, &mut cache)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "wcet {} bcet {}\n",
+                    report.wcet_cycles, report.bcet_cycles
+                ))
+            }),
+        )
+    };
+    static STREAM: AtomicUsize = AtomicUsize::new(0);
+    let fresh_dir = || root.join(format!("cache-{}", STREAM.fetch_add(1, Ordering::Relaxed)));
+    let run_stream = |service: &AnalysisService| {
+        let mut sink = Vec::new();
+        let stats =
+            serve_connection(service, black_box(requests.as_bytes()), &mut sink).expect("stream");
+        assert_eq!(stats.requests, 100, "every request answered");
+        assert_eq!(stats.failures, 0, "no failures in the synthetic stream");
+        sink
+    };
+
+    // Headline: best-of-2 each (the acceptance criterion's number).
+    let cold_time = (0..2)
+        .map(|_| {
+            let service = make_service(fresh_dir());
+            let t = Instant::now();
+            run_stream(&service);
+            t.elapsed()
+        })
+        .min()
+        .expect("nonempty");
+    let warm_dir = fresh_dir();
+    let primed = make_service(warm_dir.clone());
+    let cold_frames = run_stream(&primed);
+    let warm_time = (0..2)
+        .map(|_| {
+            let t = Instant::now();
+            let warm_frames = run_stream(&primed);
+            assert_eq!(warm_frames, cold_frames, "warm stream is byte-identical");
+            t.elapsed()
+        })
+        .min()
+        .expect("nonempty");
+    let speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+    println!(
+        "serve: 100-request stream: cold {cold_time:?} vs warm {warm_time:?} \
+         → {speedup:.1}x throughput"
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(3);
+    group.bench_function("cold_stream_100", |b| {
+        b.iter_batched(
+            || make_service(fresh_dir()),
+            |service| run_stream(&service),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("warm_stream_100", |b| b.iter(|| run_stream(&primed)));
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// The ILP backends head to head on an IPET-shaped LP: a chain of `k`
 /// blocks with flow conservation, a loop bound, and upper-bounded
 /// variables (which the dense solver materializes as rows and the sparse
@@ -418,6 +599,7 @@ criterion_group!(
     context_depth,
     persistence,
     incremental,
+    serve_stream,
     ilp_solvers,
     arithmetic,
     interpreter

@@ -28,7 +28,7 @@ use crate::incr::{
     ipet_ctx_struct_key, ipet_full_key, ipet_site_full_key, ipet_struct_key, ArtifactCache,
     FootprintArtifact, FunctionArtifact, IncrStats, IpetEntry, KeyContext,
 };
-use crate::parallel;
+use crate::parallel::{self, WorkerPool};
 use crate::phases::PhaseTrace;
 
 /// Configuration of a [`WcetAnalyzer`].
@@ -216,6 +216,10 @@ impl AnalysisReport {
 #[derive(Debug, Clone, Default)]
 pub struct WcetAnalyzer {
     config: AnalyzerConfig,
+    /// A shared persistent [`WorkerPool`]. `None` (the default) builds a
+    /// private pool per run, sized by `config.parallelism`; the serve
+    /// daemon passes one pool so every request reuses the same threads.
+    pool: Option<std::sync::Arc<WorkerPool>>,
 }
 
 impl WcetAnalyzer {
@@ -224,13 +228,23 @@ impl WcetAnalyzer {
     pub fn new() -> WcetAnalyzer {
         WcetAnalyzer {
             config: AnalyzerConfig::new(),
+            pool: None,
         }
     }
 
     /// An analyzer with explicit configuration.
     #[must_use]
     pub fn with_config(config: AnalyzerConfig) -> WcetAnalyzer {
-        WcetAnalyzer { config }
+        WcetAnalyzer { config, pool: None }
+    }
+
+    /// Runs every fan-out on `pool` instead of a run-private pool. The
+    /// report stays byte-identical at any pool size; `config.parallelism`
+    /// is ignored while a shared pool is attached.
+    #[must_use]
+    pub fn with_pool(mut self, pool: std::sync::Arc<WorkerPool>) -> WcetAnalyzer {
+        self.pool = Some(pool);
+        self
     }
 
     /// The configuration in use.
@@ -280,7 +294,14 @@ impl WcetAnalyzer {
         mut cache: Option<&mut ArtifactCache>,
     ) -> Result<AnalysisReport, AnalyzeError> {
         let mut trace = PhaseTrace::default();
-        let threads = parallel::worker_count(self.config.parallelism);
+        let owned_pool;
+        let pool: &WorkerPool = match &self.pool {
+            Some(shared) => shared.as_ref(),
+            None => {
+                owned_pool = WorkerPool::new(parallel::worker_count(self.config.parallelism));
+                &owned_pool
+            }
+        };
         let key_ctx = cache.as_ref().map(|_| KeyContext::new(image, &self.config));
         let mut stats = IncrStats::default();
 
@@ -331,7 +352,7 @@ impl WcetAnalyzer {
                 cold.clone_from(&funcs);
             }
             let (results, work) =
-                parallel::map_in_order(&cold, threads, |&f| analyze_function(&program, f, image));
+                pool.map_in_order(&cold, |&f| analyze_function(&program, f, image));
             for (&f, fa) in cold.iter().zip(results) {
                 phases_map.insert(
                     f,
@@ -542,7 +563,7 @@ impl WcetAnalyzer {
                 cache,
                 key_ctx,
                 stats,
-                threads,
+                pool,
             });
         }
 
@@ -563,7 +584,7 @@ impl WcetAnalyzer {
                 .map(|(&f, _)| f)
                 .collect();
             // Peel-and-reanalyze is per-function independent: fan out flat.
-            let (peeled, unroll_work) = parallel::map_in_order(&fresh_fns, threads, |&f| {
+            let (peeled, unroll_work) = pool.map_in_order(&fresh_fns, |&f| {
                 let FnPhase::Fresh { fa, .. } = &phases_map[&f] else {
                     unreachable!("fresh_fns holds fresh phases only")
                 };
@@ -633,7 +654,7 @@ impl WcetAnalyzer {
             fresh_fas.insert(f, (key, fa));
         }
         let items: Vec<(&Addr, &(Option<u64>, FunctionAnalysis))> = fresh_fas.iter().collect();
-        let (timed, cache_work) = parallel::map_in_order(&items, threads, |&(_, entry)| {
+        let (timed, cache_work) = pool.map_in_order(&items, |&(_, entry)| {
             let fa = &entry.1;
             let block_times =
                 BlockTimes::compute_with_overrides(fa, &self.config.machine, &overrides);
@@ -787,7 +808,7 @@ impl WcetAnalyzer {
                         None => to_solve.push(gi), // a callee bound is missing: solve (and error there)
                     }
                 }
-                let (outcomes, work) = parallel::map_in_order(&to_solve, threads, |&gi| {
+                let (outcomes, work) = pool.map_in_order(&to_solve, |&gi| {
                     self.analyze_call_group(
                         &level[gi],
                         mode.as_deref(),
@@ -1047,7 +1068,7 @@ struct CtxPipeline<'a, 'c> {
     cache: Option<&'c mut ArtifactCache>,
     key_ctx: Option<KeyContext>,
     stats: IncrStats,
-    threads: usize,
+    pool: &'a WorkerPool,
 }
 
 /// Coordinator-computed inputs of one *(function, context)* unit: the
@@ -1135,7 +1156,7 @@ impl WcetAnalyzer {
             mut cache,
             key_ctx,
             mut stats,
-            threads,
+            pool,
         } = p;
         let contexts = callgraph.enumerate_contexts(
             program.functions.keys(),
@@ -1198,7 +1219,7 @@ impl WcetAnalyzer {
                 .iter()
                 .map(|&id| ctx_entry_input(id, &contexts, &callgraph, &units, &base_entry))
                 .collect();
-            let (results, work) = parallel::map_in_order(&inputs, threads, |input| {
+            let (results, work) = pool.map_in_order(&inputs, |input| {
                 self.analyze_ctx_unit(
                     input,
                     &contexts,
@@ -1366,7 +1387,7 @@ impl WcetAnalyzer {
                     store_keys.insert(gi, (skey, fkey));
                     to_solve.push(gi);
                 }
-                let (outcomes, work) = parallel::map_in_order(&to_solve, threads, |&gi| {
+                let (outcomes, work) = pool.map_in_order(&to_solve, |&gi| {
                     self.solve_ctx_group(
                         &groups[gi],
                         priced.get(&gi).map(Vec::as_slice),

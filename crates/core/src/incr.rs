@@ -371,7 +371,9 @@ pub struct ArtifactCache {
 }
 
 impl ArtifactCache {
-    /// Opens (creating if necessary) a cache directory.
+    /// Opens (creating if necessary) a cache directory, sweeping any
+    /// stale temp files a crashed or killed writer left behind (see
+    /// [`ArtifactCache::sweep_stale_tmp`]).
     ///
     /// # Errors
     ///
@@ -381,12 +383,30 @@ impl ArtifactCache {
         fs::create_dir_all(root.join("fn"))?;
         fs::create_dir_all(root.join("fp"))?;
         fs::create_dir_all(root.join("ipet"))?;
-        Ok(ArtifactCache {
+        let cache = ArtifactCache {
             root,
             mem_fn: HashMap::new(),
             mem_fp: HashMap::new(),
             mem_ipet: HashMap::new(),
-        })
+        };
+        // Sweep each store at most once per process: the serve daemon
+        // opens the cache once per request, and re-listing a large
+        // store's directories every time would dwarf the analysis it
+        // fronts. `gc` sweeps unconditionally. Best-effort: an
+        // unreadable subdirectory degrades to no sweep, exactly like
+        // an unwritable store degrades to in-memory.
+        static SWEPT_ROOTS: std::sync::OnceLock<
+            std::sync::Mutex<std::collections::HashSet<PathBuf>>,
+        > = std::sync::OnceLock::new();
+        let first_open = SWEPT_ROOTS
+            .get_or_init(Default::default)
+            .lock()
+            .map(|mut roots| roots.insert(cache.root.clone()))
+            .unwrap_or(true);
+        if first_open {
+            let _ = cache.sweep_stale_tmp();
+        }
+        Ok(cache)
     }
 
     /// The cache directory.
@@ -410,8 +430,10 @@ impl ArtifactCache {
         if let Some(a) = self.mem_fn.get(&key) {
             return Some(a.clone());
         }
-        let bytes = fs::read(self.fn_path(key)).ok()?;
+        let path = self.fn_path(key);
+        let bytes = fs::read(&path).ok()?;
         let artifact = decode_fn_artifact(&bytes)?;
+        touch_for_lru(&path);
         self.mem_fn.insert(key, artifact.clone());
         Some(artifact)
     }
@@ -438,8 +460,10 @@ impl ArtifactCache {
         if let Some(a) = self.mem_fp.get(&key) {
             return Some(a.clone());
         }
-        let bytes = fs::read(self.fp_path(key)).ok()?;
+        let path = self.fp_path(key);
+        let bytes = fs::read(&path).ok()?;
         let artifact = decode_fp_artifact(&bytes)?;
+        touch_for_lru(&path);
         self.mem_fp.insert(key, artifact.clone());
         Some(artifact)
     }
@@ -461,8 +485,10 @@ impl ArtifactCache {
         if let Some(e) = self.mem_ipet.get(&struct_key) {
             return Some(e.clone());
         }
-        let bytes = fs::read(self.ipet_path(struct_key)).ok()?;
+        let path = self.ipet_path(struct_key);
+        let bytes = fs::read(&path).ok()?;
         let entry = decode_ipet_entry(&bytes)?;
+        touch_for_lru(&path);
         self.mem_ipet.insert(struct_key, entry.clone());
         Some(entry)
     }
@@ -477,12 +503,266 @@ impl ArtifactCache {
     }
 }
 
+// ---------------------------------------------------------------------
+// Garbage collection and eviction
+// ---------------------------------------------------------------------
+
+/// What one [`ArtifactCache::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Artifact files found across `fn/`, `fp/`, and `ipet/`.
+    pub scanned: usize,
+    /// Their total size before eviction.
+    pub bytes_before: u64,
+    /// Total size after eviction.
+    pub bytes_after: u64,
+    /// Artifact files evicted (least recently used first).
+    pub evicted: usize,
+    /// Stale temp files swept.
+    pub tmp_swept: usize,
+}
+
+impl fmt::Display for GcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gc: {} artifact(s) scanned ({} bytes), {} evicted ({} bytes kept), \
+             {} stale temp file(s) swept",
+            self.scanned, self.bytes_before, self.evicted, self.bytes_after, self.tmp_swept
+        )
+    }
+}
+
+impl ArtifactCache {
+    /// The artifact subdirectories, in deterministic order.
+    const KINDS: [&'static str; 3] = ["fn", "fp", "ipet"];
+
+    /// Removes temp files left behind by crashed or killed writers.
+    ///
+    /// A live writer's temp file exists only for the instant between
+    /// `write` and `rename`; anything that lingers belongs to a process
+    /// that died mid-store and would otherwise shadow the cache
+    /// directory forever. A temp file is *stale* — and removed — when
+    /// the pid embedded in its name is provably not running (Linux:
+    /// no `/proc/<pid>`), or, where pid liveness cannot be checked, when
+    /// it is over an hour old. Our own pid is always live, so two
+    /// threads of this process racing a store never sweep each other.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures; per-file removal errors
+    /// (a concurrent sweep won the race) are ignored.
+    pub fn sweep_stale_tmp(&self) -> io::Result<usize> {
+        let mut swept = 0;
+        for kind in Self::KINDS {
+            let dir = self.root.join(kind);
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(suffix) = name.split_once(".tmp.").map(|(_, s)| s) else {
+                    continue;
+                };
+                // `<pid>` (legacy) or `<pid>.<seq>`.
+                let pid = suffix.split('.').next().and_then(|p| p.parse::<u32>().ok());
+                let stale = match pid {
+                    Some(pid) if pid == std::process::id() => false,
+                    Some(pid) => match pid_is_live(pid) {
+                        Some(live) => !live,
+                        None => older_than_an_hour(&entry),
+                    },
+                    // Unparseable suffix: not ours, not anyone's.
+                    None => true,
+                };
+                if stale && fs::remove_file(entry.path()).is_ok() {
+                    swept += 1;
+                }
+            }
+        }
+        Ok(swept)
+    }
+
+    /// Evicts least-recently-used artifacts until the store fits under
+    /// `max_bytes`, sweeping stale temp files first.
+    ///
+    /// The LRU stamp is the file's modification time: stores write it,
+    /// and disk lookups bump it (see `touch_for_lru`), so `mtime` is a
+    /// portable access clock that survives `relatime` mounts. When the
+    /// store exceeds `max_bytes` (the high watermark), eviction deletes
+    /// oldest-first down to the **low watermark** of ¾ · `max_bytes`, so
+    /// a daemon hovering at the limit does not re-trigger on every
+    /// store.
+    ///
+    /// Safe against concurrent writers by construction: artifacts are
+    /// only ever created whole via temp-file-then-rename, so deleting a
+    /// file can never expose a torn artifact — a racing writer either
+    /// re-creates the entry afterwards (its rename wins) or its freshly
+    /// renamed file is evicted like any other cold entry; a racing
+    /// reader that already opened the file keeps its data (POSIX), and
+    /// one that lost the race sees a plain miss and recomputes.
+    ///
+    /// In-memory copies of evicted entries are dropped too, so a
+    /// long-lived process's memory footprint tracks the disk watermark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures; per-file stat/removal
+    /// errors are skipped (the file raced away — which is the goal).
+    pub fn gc(&mut self, max_bytes: u64) -> io::Result<GcStats> {
+        let mut stats = GcStats {
+            tmp_swept: self.sweep_stale_tmp().unwrap_or(0),
+            ..GcStats::default()
+        };
+        // (mtime, path, size, kind, key) — path is the deterministic
+        // tiebreak for identical stamps.
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64, usize, Option<u64>)> = Vec::new();
+        for (ki, kind) in Self::KINDS.iter().enumerate() {
+            let dir = self.root.join(kind);
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let expected_ext = ["art", "fpt", "sol"][ki];
+                let Some(stem) = name.strip_suffix(&format!(".{expected_ext}")) else {
+                    continue;
+                };
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                let stamp = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                let key = u64::from_str_radix(stem, 16).ok();
+                files.push((stamp, entry.path(), meta.len(), ki, key));
+            }
+        }
+        stats.scanned = files.len();
+        stats.bytes_before = files.iter().map(|f| f.2).sum();
+        stats.bytes_after = stats.bytes_before;
+        if stats.bytes_before <= max_bytes {
+            return Ok(stats);
+        }
+        let low_watermark = max_bytes / 4 * 3;
+        files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, path, size, kind, key) in files {
+            if stats.bytes_after <= low_watermark {
+                break;
+            }
+            if fs::remove_file(&path).is_err() {
+                continue;
+            }
+            stats.bytes_after = stats.bytes_after.saturating_sub(size);
+            stats.evicted += 1;
+            if let Some(key) = key {
+                match kind {
+                    0 => {
+                        self.mem_fn.remove(&key);
+                    }
+                    1 => {
+                        self.mem_fp.remove(&key);
+                    }
+                    _ => {
+                        self.mem_ipet.remove(&key);
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Total artifact bytes currently on disk — the serve daemon's cheap
+    /// watermark probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn disk_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for kind in Self::KINDS {
+            for entry in fs::read_dir(self.root.join(kind))? {
+                let entry = entry?;
+                if let Ok(meta) = entry.metadata() {
+                    if meta.is_file() {
+                        total += meta.len();
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Is `pid` a running process? `None` when the platform offers no way
+/// to tell (no procfs).
+fn pid_is_live(pid: u32) -> Option<bool> {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return None;
+    }
+    Some(proc_root.join(pid.to_string()).is_dir())
+}
+
+/// Age fallback for platforms without pid liveness: anything older than
+/// an hour has long outlived the microseconds a live temp file exists.
+fn older_than_an_hour(entry: &fs::DirEntry) -> bool {
+    entry
+        .metadata()
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_some_and(|age| age > std::time::Duration::from_secs(3600))
+}
+
+/// Best-effort LRU stamp bump on a disk hit: re-stamps `mtime` so the
+/// GC's oldest-first eviction spares what is actually being used.
+/// Failures (read-only store, concurrent eviction) are ignored — the
+/// entry just looks colder than it is.
+fn touch_for_lru(path: &Path) {
+    // Relatime-style: rewriting the stamp costs a write-open per hit,
+    // which a busy daemon pays thousands of times a second, while GC
+    // only needs minute-granular recency. Skip the write when the
+    // stamp is already fresh.
+    let now = std::time::SystemTime::now();
+    if let Ok(meta) = fs::metadata(path) {
+        if let Ok(mtime) = meta.modified() {
+            let fresh = now
+                .duration_since(mtime)
+                .map(|age| age.as_secs() < 60)
+                .unwrap_or(true);
+            if fresh {
+                return;
+            }
+        }
+    }
+    let _ = fs::File::options()
+        .write(true)
+        .open(path)
+        .and_then(|f| f.set_modified(now));
+}
+
+/// Process-global temp-file sequence: the pid alone is not collision
+/// proof — two threads of one process storing the same key would write
+/// one temp file from both ends.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The temp path a store of `path` writes before its rename: unique per
+/// (process, store) so concurrent writers — threads or processes —
+/// never collide.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    path.with_extension(format!("tmp.{}.{seq}", std::process::id()))
+}
+
 /// Temp-file-then-rename, so a reader never observes a half-written
-/// artifact even when two batch processes share the directory.
+/// artifact even when two batch processes share the directory. A failed
+/// write or rename removes its own temp file — only a *crashed* writer
+/// leaves droppings, and those are swept on the next cache open.
 fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
+    let tmp = tmp_sibling(path);
+    let outcome = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    if outcome.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    outcome
 }
 
 // ---------------------------------------------------------------------
@@ -1202,5 +1482,143 @@ mod tests {
         let mut machine = base;
         machine.machine = wcet_isa::interp::MachineConfig::with_caches();
         assert_ne!(fp, config_fingerprint(&machine));
+    }
+
+    #[test]
+    fn tmp_siblings_never_collide() {
+        let base = Path::new("/store/fn/00ff.art");
+        let a = tmp_sibling(base);
+        let b = tmp_sibling(base);
+        assert_ne!(a, b, "two stores of one key need two temp files");
+        for p in [&a, &b] {
+            let name = p.file_name().unwrap().to_str().unwrap();
+            let suffix = name.split_once(".tmp.").unwrap().1;
+            let mut parts = suffix.split('.');
+            assert_eq!(
+                parts.next().unwrap().parse::<u32>().unwrap(),
+                std::process::id()
+            );
+            parts.next().unwrap().parse::<u64>().unwrap();
+            assert_eq!(parts.next(), None);
+        }
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open_but_live_ones_survive() {
+        let dir = std::env::temp_dir().join(format!("wcet-incr-sweep-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Plant the leftovers before the first open: the open-time
+        // sweep runs once per store root per process.
+        for sub in ["fn", "fp", "ipet"] {
+            fs::create_dir_all(dir.join(sub)).unwrap();
+        }
+        // A pid far above any kernel pid_max: provably dead.
+        let dead_pid = 4_000_000_000u32;
+        let legacy = dir.join("fn").join(format!("aa.art.tmp.{dead_pid}"));
+        let seqed = dir.join("fp").join(format!("bb.fpt.tmp.{dead_pid}.17"));
+        let garbled = dir.join("ipet").join("cc.sol.tmp.notapid");
+        let ours = dir
+            .join("fn")
+            .join(format!("dd.art.tmp.{}.3", std::process::id()));
+        for p in [&legacy, &seqed, &garbled, &ours] {
+            fs::write(p, b"half-written").unwrap();
+        }
+        let real = dir.join("fn").join("00ff.art");
+        fs::write(&real, b"not a tmp file").unwrap();
+
+        let cache = ArtifactCache::open(&dir).unwrap();
+        assert!(!legacy.exists(), "dead-pid legacy tmp swept");
+        assert!(!seqed.exists(), "dead-pid seq tmp swept");
+        assert!(!garbled.exists(), "unparseable tmp swept");
+        assert!(ours.exists(), "own-pid tmp is a live writer, kept");
+        assert!(real.exists(), "artifacts are never touched by the sweep");
+        // Re-sweeping is idempotent (only `ours` and `real` remain).
+        assert_eq!(cache.sweep_stale_tmp().unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_down_to_the_low_watermark() {
+        let dir = std::env::temp_dir().join(format!("wcet-incr-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::open(&dir).unwrap();
+        let artifact = sample_artifact();
+        for key in 1..=8u64 {
+            cache.store_fn(key, &artifact);
+        }
+        let per_file = fs::metadata(cache.fn_path(1)).unwrap().len();
+        // Backdate keys 1..=4 so they are the LRU tail; 1 is coldest.
+        let epoch = std::time::SystemTime::UNIX_EPOCH;
+        for key in 1..=4u64 {
+            let age = std::time::Duration::from_secs(1_000_000 + key);
+            fs::File::options()
+                .write(true)
+                .open(cache.fn_path(key))
+                .unwrap()
+                .set_modified(epoch + age)
+                .unwrap();
+        }
+
+        // Under the watermark: nothing happens.
+        let idle = cache.gc(per_file * 100).unwrap();
+        assert_eq!(idle.evicted, 0);
+        assert_eq!(idle.scanned, 8);
+        assert_eq!(idle.bytes_before, idle.bytes_after);
+
+        // Over it: evict oldest-first until ≤ ¾·max. max = 6 files, low
+        // watermark = 4.5 files, so exactly the 4 backdated ones go.
+        let stats = cache.gc(per_file * 6).unwrap();
+        assert_eq!(stats.evicted, 4, "{stats}");
+        assert_eq!(stats.bytes_after, per_file * 4);
+        assert!(stats.bytes_after <= per_file * 6 / 4 * 3);
+        for key in 1..=4u64 {
+            assert!(!cache.fn_path(key).exists(), "cold key {key} evicted");
+            assert_eq!(cache.lookup_fn(key), None, "mem copy evicted too");
+        }
+        for key in 5..=8u64 {
+            assert_eq!(
+                cache.lookup_fn(key),
+                Some(artifact.clone()),
+                "warm key {key} survives"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hits_bump_the_lru_stamp() {
+        let dir = std::env::temp_dir().join(format!("wcet-incr-lru-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let artifact = sample_artifact();
+        {
+            let mut cache = ArtifactCache::open(&dir).unwrap();
+            cache.store_fn(42, &artifact);
+        }
+        let path = {
+            let cache = ArtifactCache::open(&dir).unwrap();
+            cache.fn_path(42)
+        };
+        let backdated = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1);
+        fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(backdated)
+            .unwrap();
+        let mut cache = ArtifactCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup_fn(42), Some(artifact));
+        let stamped = fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(
+            stamped > backdated + std::time::Duration::from_secs(3600),
+            "disk hit re-stamps mtime so GC sees the entry as hot"
+        );
+        // Relatime discipline: a hit on an already-fresh entry leaves
+        // the stamp alone (no write-open per lookup in a busy daemon).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut reopened = ArtifactCache::open(&dir).unwrap();
+        assert_eq!(reopened.lookup_fn(42), Some(sample_artifact()));
+        let restamped = fs::metadata(&path).unwrap().modified().unwrap();
+        assert_eq!(restamped, stamped, "fresh stamps are not rewritten");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

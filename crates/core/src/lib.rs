@@ -43,6 +43,7 @@ pub mod experiments;
 pub mod incr;
 pub mod parallel;
 pub mod phases;
+pub mod serve;
 pub mod workload;
 
 pub use analyzer::{AnalysisReport, AnalyzeError, AnalyzerConfig, WcetAnalyzer};

@@ -1,16 +1,41 @@
-//! The scoped worker pool behind the analyzer's per-function fan-out.
+//! The persistent worker pool behind the analyzer's per-function fan-out.
 //!
 //! Every per-function phase (value analysis, cache/pipeline analysis,
-//! virtual unrolling, IPET) is a map over independent work items. This
-//! module runs such maps on a pool of scoped `std::thread` workers pulling
-//! items off a shared atomic cursor, and returns the results **in input
-//! order** — callers merge into `BTreeMap`s, so a parallel run is
-//! bit-identical to a sequential one. Alongside the results it reports the
-//! summed per-item work time, which [`crate::phases::PhaseTrace`] records
-//! next to the wall-clock phase time so fan-out never under-reports work.
+//! virtual unrolling, IPET) is a map over independent work items. A
+//! [`WorkerPool`] owns a fixed set of long-lived worker threads; each
+//! [`WorkerPool::map_in_order`] call hands them one batch of items via a
+//! shared atomic cursor and returns the results **in input order** —
+//! callers merge into `BTreeMap`s, so a parallel run is bit-identical to
+//! a sequential one. Alongside the results it reports the summed per-item
+//! work time, which [`crate::phases::PhaseTrace`] records next to the
+//! wall-clock phase time so fan-out never under-reports work.
+//!
+//! The pool replaced a per-phase `std::thread::scope` spawn (a DESIGN.md
+//! open question): one analysis run makes half a dozen fan-outs, and a
+//! long-lived `wcet serve` daemon makes half a dozen *per request* — the
+//! spawn/join cost and the unbounded thread churn both matter there. The
+//! calling thread always participates in the map, so a pool of size 1
+//! owns no threads at all (the sequential path and the parallel path are
+//! the same code), and a busy pool can never deadlock a nested or
+//! concurrent map: the caller itself guarantees progress.
+//!
+//! # Safety
+//!
+//! Map closures borrow the caller's stack (`items`, the `work` closure,
+//! the per-map job state). They cross into the pool's `'static` queue
+//! through one lifetime-erasing transmute, which is sound because
+//! `map_in_order` *blocks on a completion latch* until every enqueued
+//! thunk has finished (including panicked ones — panics are caught,
+//! carried back, and re-raised on the caller). No borrow outlives the
+//! call.
 
+use std::any::Any;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Resolves the configured parallelism to a worker count: `Some(n)` is
@@ -26,71 +51,243 @@ pub fn worker_count(parallelism: Option<usize>) -> usize {
     }
 }
 
-/// Maps `work` over `items` on up to `threads` workers; returns the
-/// results in input order plus the summed per-item work time.
-///
-/// With one worker (or one item) the map runs inline on the caller's
-/// thread — the sequential path and the parallel path are the same code.
-///
-/// # Panics
-///
-/// Propagates panics from `work` (a worker panic aborts the analysis).
-pub fn map_in_order<T, R, F>(items: &[T], threads: usize, work: F) -> (Vec<R>, Duration)
+/// A thunk in the pool's queue. Genuinely `'static` from the pool's
+/// perspective; the submitting map call guarantees the erased borrows
+/// stay alive by blocking until the thunk ran.
+type Thunk = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signals workers: work arrived, or shutdown.
+    wake: Condvar,
+}
+
+struct PoolQueue {
+    thunks: VecDeque<Thunk>,
+    shutdown: bool,
+}
+
+/// A persistent pool of worker threads shared by every fan-out of one
+/// analysis run — or, under `wcet serve`, by every fan-out of every
+/// request the daemon ever handles.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `size` workers (minimum 1). The calling thread counts
+    /// as one of them: `size - 1` threads are spawned, and a pool of
+    /// size 1 spawns none — every map runs inline on the caller.
+    #[must_use]
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                thunks: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let workers = (1..size)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let thunk = {
+                        let mut q = shared.queue.lock().expect("pool queue");
+                        loop {
+                            if let Some(t) = q.thunks.pop_front() {
+                                break t;
+                            }
+                            if q.shutdown {
+                                return;
+                            }
+                            q = shared.wake.wait(q).expect("pool queue");
+                        }
+                    };
+                    thunk();
+                })
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            size,
+        }
+    }
+
+    /// The worker count this pool was built with (including the calling
+    /// thread's slot).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Maps `work` over `items` on the pool; returns the results in
+    /// input order plus the summed per-item work time.
+    ///
+    /// The caller participates: with a pool of size 1 (or a single item)
+    /// the whole map runs inline. Blocks until every item is done, even
+    /// when the pool is busy with other maps — thunks queue and the
+    /// caller drains items itself in the meantime.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `work` (a worker panic aborts the map; the
+    /// first caught payload is re-raised after all helpers finished).
+    pub fn map_in_order<T, R, F>(&self, items: &[T], work: F) -> (Vec<R>, Duration)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // Helpers beyond the caller's own slot; never more than there
+        // are items to share.
+        let helpers = (self.size - 1).min(items.len().saturating_sub(1));
+        if helpers == 0 {
+            let mut total = Duration::ZERO;
+            let results = items
+                .iter()
+                .map(|item| {
+                    let t = Instant::now();
+                    let r = work(item);
+                    total += t.elapsed();
+                    r
+                })
+                .collect();
+            return (results, total);
+        }
+
+        let job: Job<'_, T, R, F> = Job {
+            items,
+            work,
+            cursor: AtomicUsize::new(0),
+            harvest: Mutex::new(Vec::with_capacity(items.len())),
+            panic: Mutex::new(None),
+            latch: Mutex::new(helpers),
+            done: Condvar::new(),
+        };
+
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue");
+            for _ in 0..helpers {
+                let body: Box<dyn FnOnce() + Send + '_> = Box::new(|| job.run_helper());
+                // SAFETY: the latch wait below does not return until
+                // every one of these thunks has run to completion, so
+                // the borrows of `job` (and through it `items`/`work`)
+                // outlive all uses despite the erased lifetime.
+                let body: Thunk =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Thunk>(body) };
+                q.thunks.push_back(body);
+            }
+            drop(q);
+            self.shared.wake.notify_all();
+        }
+
+        // The caller drains items too — this is what makes a saturated
+        // or size-1 pool deadlock-free.
+        let own = catch_unwind(AssertUnwindSafe(|| job.drain()));
+
+        // Wait for every helper, unconditionally: borrows must stay
+        // alive until the last helper is done, panic or not.
+        let mut pending = job.latch.lock().expect("latch");
+        while *pending > 0 {
+            pending = job.done.wait(pending).expect("latch");
+        }
+        drop(pending);
+
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = job.panic.lock().expect("panic slot").take() {
+            resume_unwind(payload);
+        }
+
+        let mut harvest = job.harvest.into_inner().expect("harvest");
+        harvest.sort_unstable_by_key(|&(i, _, _)| i);
+        let mut total = Duration::ZERO;
+        let mut results = Vec::with_capacity(items.len());
+        for (i, r, spent) in harvest {
+            debug_assert_eq!(i, results.len(), "every item processed exactly once");
+            results.push(r);
+            total += spent;
+        }
+        assert_eq!(results.len(), items.len(), "every item processed");
+        (results, total)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // `drop` has exclusive ownership, so no map is in flight and the
+        // queue is empty: workers exit as soon as they observe the flag.
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue");
+            q.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Per-map shared state: the cursor the workers race on, the harvest
+/// they merge into, and the completion latch the caller blocks on.
+struct Job<'a, T, R, F> {
+    items: &'a [T],
+    work: F,
+    cursor: AtomicUsize,
+    harvest: Mutex<Vec<(usize, R, Duration)>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<T, R, F> Job<'_, T, R, F>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        let mut total = Duration::ZERO;
-        let results = items
-            .iter()
-            .map(|item| {
-                let t = Instant::now();
-                let r = work(item);
-                total += t.elapsed();
-                r
-            })
-            .collect();
-        return (results, total);
+    /// Claims and processes items until the cursor runs out.
+    fn drain(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = self.items.get(i) else { break };
+            let t = Instant::now();
+            let r = (self.work)(item);
+            let spent = t.elapsed();
+            self.harvest.lock().expect("harvest").push((i, r, spent));
+        }
     }
 
-    let cursor = AtomicUsize::new(0);
-    let mut harvests: Vec<Vec<(usize, R, Duration)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        let t = Instant::now();
-                        let r = work(item);
-                        local.push((i, r, t.elapsed()));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("analysis worker panicked"))
-            .collect()
-    });
-
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let mut total = Duration::ZERO;
-    for (i, r, spent) in harvests.drain(..).flatten() {
-        slots[i] = Some(r);
-        total += spent;
+    /// A helper thread's body: drain, catch panics, count down the
+    /// latch no matter what.
+    fn run_helper(&self) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.drain()));
+        if let Err(payload) = outcome {
+            // Poison the cursor so siblings stop claiming new items —
+            // the map is failed either way.
+            self.cursor.store(usize::MAX - (1 << 20), Ordering::Relaxed);
+            let mut slot = self.panic.lock().expect("panic slot");
+            slot.get_or_insert(payload);
+        }
+        let mut pending = self.latch.lock().expect("latch");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
     }
-    let results = slots
-        .into_iter()
-        .map(|s| s.expect("every item processed exactly once"))
-        .collect();
-    (results, total)
 }
 
 #[cfg(test)]
@@ -101,29 +298,79 @@ mod tests {
     fn results_keep_input_order() {
         let items: Vec<usize> = (0..100).collect();
         for threads in [1, 2, 7] {
-            let (out, _) = map_in_order(&items, threads, |&i| i * 3);
+            let pool = WorkerPool::new(threads);
+            let (out, _) = pool.map_in_order(&items, |&i| i * 3);
             assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
         }
     }
 
     #[test]
+    fn pool_is_reusable_across_maps() {
+        let pool = WorkerPool::new(4);
+        for round in 0..50usize {
+            let items: Vec<usize> = (0..17).collect();
+            let (out, _) = pool.map_in_order(&items, |&i| i + round);
+            assert_eq!(out, (0..17).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn empty_and_single_item_maps() {
+        let pool = WorkerPool::new(8);
         let none: Vec<u32> = Vec::new();
-        let (out, work) = map_in_order(&none, 8, |&x| x);
+        let (out, work) = pool.map_in_order(&none, |&x| x);
         assert!(out.is_empty());
         assert_eq!(work, Duration::ZERO);
-        let (out, _) = map_in_order(&[41u32], 8, |&x| x + 1);
+        let (out, _) = pool.map_in_order(&[41u32], |&x| x + 1);
         assert_eq!(out, vec![42]);
     }
 
     #[test]
     fn work_time_accumulates_across_workers() {
+        let pool = WorkerPool::new(4);
         let items: Vec<u32> = (0..16).collect();
-        let (_, work) = map_in_order(&items, 4, |&x| {
+        let (_, work) = pool.map_in_order(&items, |&x| {
             std::thread::sleep(Duration::from_millis(1));
             x
         });
         assert!(work >= Duration::from_millis(16), "summed work {work:?}");
+    }
+
+    #[test]
+    fn concurrent_maps_share_one_pool() {
+        // The serve daemon's shape: several request threads mapping over
+        // one shared pool at once. Every map must complete with its own
+        // results, in order.
+        let pool = Arc::new(WorkerPool::new(3));
+        let handles: Vec<_> = (0..4u64)
+            .map(|salt| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let items: Vec<u64> = (0..64).collect();
+                    let (out, _) = pool.map_in_order(&items, |&i| i * 2 + salt);
+                    assert_eq!(out, (0..64).map(|i| i * 2 + salt).collect::<Vec<_>>());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("map thread");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..32).collect();
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_in_order(&items, |&i| {
+                assert!(i != 9, "injected failure");
+                i
+            })
+        }));
+        assert!(boom.is_err(), "panic must propagate to the caller");
+        // The pool is still serviceable afterwards.
+        let (out, _) = pool.map_in_order(&items, |&i| i + 1);
+        assert_eq!(out, (1..33).collect::<Vec<_>>());
     }
 
     #[test]

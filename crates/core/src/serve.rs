@@ -1,0 +1,544 @@
+//! The long-lived analysis service behind `wcet serve`.
+//!
+//! The paper's industrial framing treats WCET analysis as a routine
+//! certification step: a build farm fires streams of mostly-identical
+//! requests at an analysis *service*, not at one-shot CLI invocations.
+//! This module is that service's engine, shared by the Unix-socket
+//! daemon and the `--stdio` mode:
+//!
+//! * **Request protocol** — one request per line, in exactly the batch
+//!   manifest syntax: `<program.s> [annotations]`, `#` comments (only at
+//!   start-of-line or after whitespace — `#` can appear in file names),
+//!   blank lines ignored, plus the control line `@shutdown`.
+//! * **Response framing** — requests are answered **in request order**
+//!   with length-prefixed frames, so a client can carry reports with
+//!   embedded newlines over one stream:
+//!
+//!   ```text
+//!   ok <seq> <len>\n<len bytes of report>
+//!   err <seq> <len>\n<len bytes of error text>
+//!   bye <requests> <failures>\n
+//!   ```
+//!
+//!   The `ok` payload is byte-identical to single-shot `wcet` stdout for
+//!   the same request (the integration tests hold it to that). `bye`
+//!   closes every connection — after EOF or `@shutdown` — and carries
+//!   the per-connection request/failure totals.
+//! * **Error isolation** — a failing request produces an `err` frame and
+//!   the loop continues; one poison request can never kill the daemon.
+//!   This is the same policy `wcet batch` applies per manifest line.
+//! * **In-flight dedup** — concurrent identical requests (same config
+//!   fingerprint, same program bytes, same annotation bytes) compute
+//!   once: the first arrival becomes the leader, followers block on its
+//!   slot and share the finished report (`Arc<str>`, no copy). The
+//!   artifact cache already dedups *across time*; this table dedups
+//!   *across simultaneous connections*, where both would otherwise miss
+//!   the cache and burn a full analysis each.
+//!
+//! Concurrency shape: each connection is handled by one thread that
+//! processes its requests sequentially (which makes in-order responses
+//! trivial), while every analysis fans its `(function, context)` units
+//! out over one shared persistent [`WorkerPool`]. Request-level thunks
+//! deliberately do **not** run on that pool: a pool worker blocking in a
+//! nested `map_in_order` latch while all of its siblings do the same
+//! would deadlock the queue. Connection threads are external callers, so
+//! the pool's caller-participation guarantee applies and a saturated
+//! pool still makes progress.
+//!
+//! [`WorkerPool`]: crate::parallel::WorkerPool
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use wcet_isa::hash::StableHasher;
+
+// ---------------------------------------------------------------------
+// Request lines
+// ---------------------------------------------------------------------
+
+/// Strips a manifest/serve comment: `#` opens a comment only at the
+/// start of the line or after whitespace, so `build#42/prog.s` is a
+/// path, while `prog.s # smoke test` is a request plus a comment.
+#[must_use]
+pub fn strip_comment(raw: &str) -> &str {
+    let bytes = raw.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && (i == 0 || bytes[i - 1].is_ascii_whitespace()) {
+            return &raw[..i];
+        }
+    }
+    raw
+}
+
+/// One parsed line of the request stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestLine {
+    /// Blank or comment-only: skipped without a response frame.
+    Empty,
+    /// The `@shutdown` control line: answer `bye`, stop the daemon.
+    Shutdown,
+    /// An analysis request: program path plus optional annotation path.
+    Analyze {
+        program: PathBuf,
+        annotations: Option<PathBuf>,
+    },
+}
+
+/// Parses one raw line of a manifest or serve stream.
+#[must_use]
+pub fn parse_request_line(raw: &str) -> RequestLine {
+    let line = strip_comment(raw).trim();
+    if line.is_empty() {
+        return RequestLine::Empty;
+    }
+    if line == "@shutdown" {
+        return RequestLine::Shutdown;
+    }
+    let mut fields = line.split_whitespace();
+    let program = PathBuf::from(fields.next().expect("non-empty line"));
+    let annotations = fields.next().map(PathBuf::from);
+    RequestLine::Analyze {
+        program,
+        annotations,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service: handler + in-flight dedup
+// ---------------------------------------------------------------------
+
+/// The per-request analysis closure: loads the program (and optional
+/// annotations), runs the pipeline, and returns the rendered report —
+/// byte-identical to single-shot `wcet` stdout — or a one-line error.
+/// Lives in the binary crate, which owns option parsing and rendering.
+pub type Handler = dyn Fn(&Path, Option<&Path>) -> Result<String, String> + Send + Sync;
+
+/// A completed-or-pending request shared between a dedup leader and its
+/// followers.
+struct InflightSlot {
+    /// `None` while the leader computes; the shared outcome afterwards.
+    outcome: Mutex<Option<Result<Arc<str>, Arc<str>>>>,
+    ready: Condvar,
+}
+
+/// The shared engine of one daemon: the analysis handler plus the
+/// in-flight dedup table. One instance serves every connection.
+pub struct AnalysisService {
+    handler: Box<Handler>,
+    /// [`crate::incr::config_fingerprint`] of the daemon's analyzer
+    /// configuration — the config half of the dedup key, mirroring the
+    /// artifact cache's keying.
+    fingerprint: u64,
+    inflight: Mutex<HashMap<u64, Arc<InflightSlot>>>,
+    dedup_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for AnalysisService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisService")
+            .field("fingerprint", &self.fingerprint)
+            .field("dedup_hits", &self.dedup_hits.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl AnalysisService {
+    /// A service running `handler` for each request, deduping in-flight
+    /// requests under the given config fingerprint.
+    #[must_use]
+    pub fn new(fingerprint: u64, handler: Box<Handler>) -> AnalysisService {
+        AnalysisService {
+            handler,
+            fingerprint,
+            inflight: Mutex::new(HashMap::new()),
+            dedup_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// How many requests were answered from another request's in-flight
+    /// computation instead of computing themselves.
+    #[must_use]
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// The dedup key: config fingerprint + program bytes + annotation
+    /// bytes. Content-addressed like the artifact cache, so two paths to
+    /// one file dedup too. `None` when an input cannot be read — then
+    /// the request runs undeduped and the handler reports the real
+    /// error.
+    fn request_key(&self, program: &Path, annotations: Option<&Path>) -> Option<u64> {
+        let mut h = StableHasher::new();
+        h.write_u64(self.fingerprint);
+        let source = fs::read(program).ok()?;
+        h.write(&source);
+        match annotations {
+            Some(path) => {
+                h.write_u32(1);
+                h.write(&fs::read(path).ok()?);
+            }
+            None => h.write_u32(0),
+        }
+        Some(h.finish())
+    }
+
+    /// Runs one request through the dedup table: the first arrival for a
+    /// key computes, concurrent arrivals for the same key block and
+    /// share the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the handler's error text (shared verbatim by deduped
+    /// followers).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panicking handler to the leader's caller; followers
+    /// of a panicked leader would otherwise hang, so the slot is
+    /// published (as an error) before unwinding continues.
+    pub fn process(
+        &self,
+        program: &Path,
+        annotations: Option<&Path>,
+    ) -> Result<Arc<str>, Arc<str>> {
+        let Some(key) = self.request_key(program, annotations) else {
+            return (self.handler)(program, annotations)
+                .map(Arc::from)
+                .map_err(Arc::from);
+        };
+        let (slot, leader) = {
+            let mut table = self.inflight.lock().expect("inflight table");
+            match table.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot = Arc::new(InflightSlot {
+                        outcome: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    e.insert(Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if leader {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (self.handler)(program, annotations)
+            }));
+            let outcome: Result<Arc<str>, Arc<str>> = match &run {
+                Ok(result) => result
+                    .as_ref()
+                    .map(|s| Arc::from(s.as_str()))
+                    .map_err(|e| Arc::from(e.as_str())),
+                Err(_) => Err(Arc::from("analysis panicked")),
+            };
+            *slot.outcome.lock().expect("inflight slot") = Some(outcome.clone());
+            slot.ready.notify_all();
+            self.inflight.lock().expect("inflight table").remove(&key);
+            match run {
+                Ok(_) => outcome,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        } else {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            let mut guard = slot.outcome.lock().expect("inflight slot");
+            while guard.is_none() {
+                guard = slot.ready.wait(guard).expect("inflight slot");
+            }
+            guard.clone().expect("published outcome")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection loop and framing
+// ---------------------------------------------------------------------
+
+/// What one connection did, reported after its `bye` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Analysis requests answered (ok or err frames written).
+    pub requests: u64,
+    /// Of those, how many answered with an `err` frame.
+    pub failures: u64,
+    /// Whether the connection ended with `@shutdown` (vs plain EOF).
+    pub shutdown: bool,
+}
+
+/// Writes one length-prefixed response frame.
+fn write_frame(w: &mut impl Write, kind: &str, seq: u64, payload: &str) -> io::Result<()> {
+    write!(w, "{kind} {seq} {}\n{payload}", payload.len())?;
+    w.flush()
+}
+
+/// Serves one request stream to completion: reads request lines, writes
+/// response frames in request order, always finishes with a `bye` frame.
+/// Used verbatim by the Unix-socket daemon (per connection) and by
+/// `wcet serve --stdio`.
+///
+/// # Errors
+///
+/// Only transport errors (a dropped connection) abort the loop; analysis
+/// failures become `err` frames and the stream continues.
+pub fn serve_connection(
+    service: &AnalysisService,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> io::Result<ConnectionStats> {
+    let mut stats = ConnectionStats::default();
+    for line in reader.lines() {
+        match parse_request_line(&line?) {
+            RequestLine::Empty => {}
+            RequestLine::Shutdown => {
+                stats.shutdown = true;
+                break;
+            }
+            RequestLine::Analyze {
+                program,
+                annotations,
+            } => {
+                stats.requests += 1;
+                let seq = stats.requests;
+                match service.process(&program, annotations.as_deref()) {
+                    Ok(report) => write_frame(&mut writer, "ok", seq, &report)?,
+                    Err(error) => {
+                        stats.failures += 1;
+                        let mut text = error.to_string();
+                        if !text.ends_with('\n') {
+                            text.push('\n');
+                        }
+                        write_frame(&mut writer, "err", seq, &text)?;
+                    }
+                }
+            }
+        }
+    }
+    writeln!(writer, "bye {} {}", stats.requests, stats.failures)?;
+    writer.flush()?;
+    Ok(stats)
+}
+
+/// What a whole daemon run did, reported when the listener stops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Requests answered across all connections.
+    pub requests: u64,
+    /// Of those, answered with an `err` frame.
+    pub failures: u64,
+}
+
+/// Runs the daemon on a Unix socket at `socket`: accepts connections
+/// until one of them sends `@shutdown`, serving each on its own thread
+/// against the shared `service`. A stale socket file from a dead daemon
+/// is replaced; the socket is removed again on clean shutdown.
+///
+/// `on_ready` runs once the listener is bound — the CLI prints its
+/// "listening" line from there, so clients (and the CI smoke test) can
+/// synchronize on it.
+///
+/// # Errors
+///
+/// Returns bind/accept errors. Per-connection transport errors are
+/// printed to stderr and do not stop the daemon.
+pub fn serve_unix(
+    service: &Arc<AnalysisService>,
+    socket: &Path,
+    on_ready: impl FnOnce(),
+) -> io::Result<ServeSummary> {
+    let _ = fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    on_ready();
+    let stop = Arc::new(AtomicBool::new(false));
+    let totals = Arc::new(Mutex::new(ServeSummary::default()));
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        totals.lock().expect("serve totals").connections += 1;
+        let service = Arc::clone(service);
+        let stop = Arc::clone(&stop);
+        let totals = Arc::clone(&totals);
+        let socket = socket.to_path_buf();
+        handles.push(std::thread::spawn(move || {
+            let outcome = stream.try_clone().and_then(|read_half| {
+                serve_connection(&service, BufReader::new(read_half), stream)
+            });
+            match outcome {
+                Ok(stats) => {
+                    let mut t = totals.lock().expect("serve totals");
+                    t.requests += stats.requests;
+                    t.failures += stats.failures;
+                    drop(t);
+                    if stats.shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it observes the flag.
+                        let _ = UnixStream::connect(&socket);
+                    }
+                }
+                Err(error) => eprintln!("wcet serve: connection error: {error}"),
+            }
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = fs::remove_file(socket);
+    let summary = *totals.lock().expect("serve totals");
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn comments_open_only_at_start_or_after_whitespace() {
+        assert_eq!(strip_comment("# whole line"), "");
+        assert_eq!(strip_comment("prog.s # trailing"), "prog.s ");
+        assert_eq!(strip_comment("prog.s\t#tab-led"), "prog.s\t");
+        assert_eq!(strip_comment("build#42/prog.s"), "build#42/prog.s");
+        assert_eq!(
+            strip_comment("build#42/prog.s ann#1.txt # note"),
+            "build#42/prog.s ann#1.txt "
+        );
+        assert_eq!(strip_comment(""), "");
+    }
+
+    #[test]
+    fn request_lines_parse() {
+        assert_eq!(parse_request_line("   "), RequestLine::Empty);
+        assert_eq!(parse_request_line("# comment"), RequestLine::Empty);
+        assert_eq!(parse_request_line(" @shutdown "), RequestLine::Shutdown);
+        assert_eq!(
+            parse_request_line("p.s"),
+            RequestLine::Analyze {
+                program: PathBuf::from("p.s"),
+                annotations: None,
+            }
+        );
+        assert_eq!(
+            parse_request_line("dir#7/p.s a.txt # note"),
+            RequestLine::Analyze {
+                program: PathBuf::from("dir#7/p.s"),
+                annotations: Some(PathBuf::from("a.txt")),
+            }
+        );
+    }
+
+    /// A service whose handler counts invocations and waits until the
+    /// test observed at least one dedup follower, making the
+    /// compute-once assertion deterministic.
+    fn counting_service(
+        computed: &'static AtomicUsize,
+        gate: &'static AtomicBool,
+    ) -> AnalysisService {
+        AnalysisService::new(
+            0,
+            Box::new(move |program, _| {
+                computed.fetch_add(1, Ordering::SeqCst);
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(format!("report for {}", program.display()))
+            }),
+        )
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_once() {
+        static COMPUTED: AtomicUsize = AtomicUsize::new(0);
+        static GATE: AtomicBool = AtomicBool::new(false);
+        let dir = std::env::temp_dir().join(format!("wcet-serve-dedup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let program = dir.join("p.s");
+        fs::write(&program, "add r1, r1, 1\n").unwrap();
+
+        let service = Arc::new(counting_service(&COMPUTED, &GATE));
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let program = program.clone();
+                std::thread::spawn(move || service.process(&program, None))
+            })
+            .collect();
+        // Wait until every non-leader parked on the slot, then release
+        // the leader: exactly one computation can have started.
+        while service.dedup_hits() < 2 {
+            std::thread::yield_now();
+        }
+        GATE.store(true, Ordering::SeqCst);
+        for handle in followers {
+            let report = handle.join().expect("follower").expect("handler ok");
+            assert_eq!(&*report, &format!("report for {}", program.display()));
+        }
+        assert_eq!(COMPUTED.load(Ordering::SeqCst), 1, "computed exactly once");
+        assert_eq!(service.dedup_hits(), 2);
+
+        // The slot is gone afterwards: a new request recomputes.
+        let again = service.process(&program, None).expect("recompute");
+        assert_eq!(COMPUTED.load(Ordering::SeqCst), 2);
+        assert!(again.contains("report for"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connection_isolates_failures_and_frames_in_order() {
+        let dir = std::env::temp_dir().join(format!("wcet-serve-conn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.s");
+        fs::write(&good, "ok\n").unwrap();
+        let service = AnalysisService::new(
+            0,
+            Box::new(|program, _| {
+                if program.exists() {
+                    Ok(format!("report:{}\n", program.display()))
+                } else {
+                    Err(format!("no such program: {}", program.display()))
+                }
+            }),
+        );
+        let input = format!(
+            "# corpus\n{good}\nmissing.s\n\n{good} # again\n@shutdown\nignored.s\n",
+            good = good.display()
+        );
+        let mut out = Vec::new();
+        let stats = serve_connection(&service, input.as_bytes(), &mut out).expect("serve");
+        assert_eq!(
+            stats,
+            ConnectionStats {
+                requests: 3,
+                failures: 1,
+                shutdown: true,
+            }
+        );
+        let report = format!("report:{}\n", good.display());
+        let error = "no such program: missing.s\n";
+        let expected = format!(
+            "ok 1 {rl}\n{report}err 2 {el}\n{error}ok 3 {rl}\n{report}bye 3 1\n",
+            rl = report.len(),
+            el = error.len(),
+        );
+        assert_eq!(String::from_utf8(out).expect("utf8"), expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eof_without_shutdown_still_says_bye() {
+        let service = AnalysisService::new(0, Box::new(|_, _| Ok("r\n".to_owned())));
+        let mut out = Vec::new();
+        let stats = serve_connection(&service, &b""[..], &mut out).expect("serve");
+        assert_eq!(stats, ConnectionStats::default());
+        assert_eq!(out, b"bye 0 0\n");
+    }
+}

@@ -24,16 +24,34 @@
 //!   --run                        also execute and report observed cycles
 //! wcet batch <manifest> [opts]   analyze a stream of requests against a
 //!                                shared cache; manifest lines are
-//!                                `<program.s> [annotations-file]`
+//!                                `<program.s> [annotations-file]`; a
+//!                                failing request is reported and skipped,
+//!                                and the exit code reflects the failures
+//! wcet serve <socket> [opts]     long-lived analysis daemon on a Unix
+//!                                socket (or --stdio): batch-manifest
+//!                                request lines in, length-prefixed report
+//!                                frames out, `@shutdown` to stop
+//!   --workers <n>                persistent worker-pool size shared by
+//!                                every request (default: all cores)
+//!   --max-cache-bytes <size>     GC watermark: when the --cache-dir store
+//!                                grows past this, evict LRU artifacts
+//!                                (suffixes k/m/g are binary units)
+//! wcet gc --cache-dir <dir>      sweep stale temp files and, with
+//!        [--max-bytes <size>]    --max-bytes, evict LRU artifacts until
+//!                                the store fits under the watermark
 //! wcet --table1 [samples]        regenerate the paper's Table 1
 //! wcet --experiments             regenerate every experiment (E1–E16)
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use wcet_predictability::core::analyzer::{AnalysisReport, AnalyzerConfig, WcetAnalyzer};
 use wcet_predictability::core::experiments;
-use wcet_predictability::core::incr::ArtifactCache;
+use wcet_predictability::core::incr::{config_fingerprint, ArtifactCache};
+use wcet_predictability::core::parallel::{worker_count, WorkerPool};
+use wcet_predictability::core::serve::{self, AnalysisService};
 use wcet_predictability::guidelines::annot::AnnotationSet;
 use wcet_predictability::isa::asm::assemble;
 use wcet_predictability::isa::disasm::disassemble;
@@ -51,8 +69,8 @@ fn main() -> ExitCode {
     }
 }
 
-/// Options shared by the single-image and batch front ends.
-#[derive(Default)]
+/// Options shared by the single-image, batch, serve, and gc front ends.
+#[derive(Default, Clone)]
 struct CliOptions {
     annot_path: Option<String>,
     caches: bool,
@@ -64,6 +82,12 @@ struct CliOptions {
     cache_dir: Option<String>,
     context_depth: usize,
     persistence: bool,
+    /// Serve: persistent worker-pool size (falls back to --threads).
+    workers: Option<usize>,
+    /// Serve/gc: cache-store size watermark triggering LRU eviction.
+    max_cache_bytes: Option<u64>,
+    /// Serve: speak the frame protocol on stdin/stdout, no socket.
+    stdio: bool,
 }
 
 fn run(args: Vec<String>) -> Result<(), String> {
@@ -100,6 +124,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return run_batch(&manifest, &opts);
     }
 
+    if args[0] == "serve" {
+        return run_serve(&args[1..]);
+    }
+
+    if args[0] == "gc" {
+        return run_gc(&args[1..]);
+    }
+
     // Single-image analyze mode.
     let (opts, files) = parse_options(&args)?;
     let source_path = match files.as_slice() {
@@ -116,19 +148,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
 
     let mut cache = open_cache(opts.cache_dir.as_deref())?;
-    let (report, machine) = analyze_one(&image, annotations, &opts, cache.as_mut())?;
+    let (report, machine) = analyze_one(&image, annotations, &opts, cache.as_mut(), None)?;
     if let Some(stats) = &report.incr {
         eprintln!("wcet: {stats}");
     }
 
-    print!("{}", render::render_guidelines(&report));
-    if report.guidelines.is_some() {
-        println!();
-        if opts.check_only {
-            return Ok(());
-        }
+    print!("{}", compose_report(&image, &report, opts.check_only));
+    if opts.check_only && report.guidelines.is_some() {
+        return Ok(());
     }
-    print!("{}", render::render_analysis(&image, &report));
 
     if opts.also_run {
         let mut interp = Interpreter::with_config(&image, machine);
@@ -149,6 +177,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
 /// Analyzes a manifest of `<program.s> [annotations]` requests against a
 /// shared artifact cache — the service-shaped entry point: most requests
 /// in a stream are small deltas, and the cache turns them into replays.
+///
+/// Failures are isolated per request: a bad path, unparseable image, or
+/// malformed annotation file is reported on stderr and the stream
+/// continues — one poison request cannot abort a certification batch.
+/// The exit code still reflects them: any failed request turns the whole
+/// run into an error carrying the failure count.
 fn run_batch(manifest_path: &str, opts: &CliOptions) -> Result<(), String> {
     let manifest = std::fs::read_to_string(manifest_path)
         .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
@@ -157,52 +191,62 @@ fn run_batch(manifest_path: &str, opts: &CliOptions) -> Result<(), String> {
         .map(std::path::Path::to_path_buf)
         .unwrap_or_default();
     let mut cache = open_cache(opts.cache_dir.as_deref())?;
+    // One persistent pool for the whole stream — every request's
+    // per-function fan-outs share it instead of spawning fresh threads.
+    let pool = Arc::new(WorkerPool::new(worker_count(
+        opts.workers.or(opts.parallelism),
+    )));
 
     let mut requests = 0usize;
+    let mut failures = 0usize;
     let mut total_fn_hits = 0usize;
     let mut total_fns = 0usize;
     for (idx, raw) in manifest.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
+        let line = serve::strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let program = parts.next().expect("nonempty line");
-        let annot = parts.next();
-        if parts.next().is_some() {
-            return Err(format!(
-                "{manifest_path}:{}: expected `<program.s> [annotations]`",
-                idx + 1
-            ));
-        }
-        // Paths resolve relative to the manifest, so a request file can
-        // ship next to its programs.
-        let resolve = |p: &str| {
-            let as_path = std::path::Path::new(p);
-            if as_path.is_absolute() || manifest_dir.as_os_str().is_empty() {
-                p.to_owned()
-            } else {
-                manifest_dir.join(as_path).to_string_lossy().into_owned()
+        let mut outcome = || -> Result<(), String> {
+            let mut parts = line.split_whitespace();
+            let program = parts.next().expect("nonempty line");
+            let annot = parts.next();
+            if parts.next().is_some() {
+                return Err("expected `<program.s> [annotations]`".to_owned());
             }
+            // Paths resolve relative to the manifest, so a request file
+            // can ship next to its programs.
+            let resolve = |p: &str| {
+                let as_path = std::path::Path::new(p);
+                if as_path.is_absolute() || manifest_dir.as_os_str().is_empty() {
+                    p.to_owned()
+                } else {
+                    manifest_dir.join(as_path).to_string_lossy().into_owned()
+                }
+            };
+            let program = resolve(program);
+            let annot = annot.map(resolve);
+
+            let image = load_image(&program)?;
+            let annotations = load_annotations(annot.as_deref())?;
+            let (report, _) = analyze_one(&image, annotations, opts, cache.as_mut(), Some(&pool))?;
+
+            requests += 1;
+            println!("── batch: {program} ──");
+            print!("{}", render::render_report(&image, &report));
+            println!();
+            if let Some(stats) = &report.incr {
+                eprintln!("wcet: {program}: {stats}");
+                total_fn_hits += stats.fn_hits;
+                total_fns += stats.functions;
+            }
+            Ok(())
         };
-        let program = resolve(program);
-        let annot = annot.map(resolve);
-
-        let image = load_image(&program)?;
-        let annotations = load_annotations(annot.as_deref())?;
-        let (report, _) = analyze_one(&image, annotations, opts, cache.as_mut())?;
-
-        requests += 1;
-        println!("── batch: {program} ──");
-        print!("{}", render::render_report(&image, &report));
-        println!();
-        if let Some(stats) = &report.incr {
-            eprintln!("wcet: {program}: {stats}");
-            total_fn_hits += stats.fn_hits;
-            total_fns += stats.functions;
+        if let Err(error) = outcome() {
+            failures += 1;
+            eprintln!("wcet: {manifest_path}:{}: {error}", idx + 1);
         }
     }
-    if requests == 0 {
+    if requests == 0 && failures == 0 {
         return Err(format!("{manifest_path}: no requests in manifest"));
     }
     if opts.cache_dir.is_some() {
@@ -210,6 +254,12 @@ fn run_batch(manifest_path: &str, opts: &CliOptions) -> Result<(), String> {
             "wcet: batch done: {requests} request(s), {total_fn_hits}/{total_fns} \
              function artifact(s) served from cache"
         );
+    }
+    if failures > 0 {
+        return Err(format!(
+            "batch: {failures} of {} request(s) failed",
+            requests + failures
+        ));
     }
     Ok(())
 }
@@ -254,6 +304,23 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                     .parse()
                     .map_err(|_| format!("invalid context depth `{raw}`"))?;
             }
+            "--workers" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a count".to_owned())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid worker count `{raw}`"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+                opts.workers = Some(n);
+            }
+            "--max-cache-bytes" | "--max-bytes" => {
+                let raw = it.next().ok_or_else(|| format!("{arg} needs a size"))?;
+                opts.max_cache_bytes = Some(parse_byte_size(raw)?);
+            }
+            "--stdio" => opts.stdio = true,
             "--caches" => opts.caches = true,
             "--persistence" => opts.persistence = true,
             "--unroll" => opts.unroll = true,
@@ -310,12 +377,13 @@ fn open_cache(dir: Option<&str>) -> Result<Option<ArtifactCache>, String> {
     }
 }
 
-fn analyze_one(
-    image: &Image,
-    annotations: AnnotationSet,
+/// The analyzer configuration (and its machine model) one set of CLI
+/// options describes — shared by the single-shot, batch, and serve paths
+/// so their reports (and the serve dedup fingerprint) can never diverge.
+fn analyzer_config(
     opts: &CliOptions,
-    cache: Option<&mut ArtifactCache>,
-) -> Result<(AnalysisReport, MachineConfig), String> {
+    annotations: AnnotationSet,
+) -> (AnalyzerConfig, MachineConfig) {
     let machine = if opts.caches {
         MachineConfig::with_caches()
     } else {
@@ -330,13 +398,166 @@ fn analyze_one(
         persistence: opts.persistence,
         ..AnalyzerConfig::new()
     };
-    let analyzer = WcetAnalyzer::with_config(config);
+    (config, machine)
+}
+
+fn analyze_one(
+    image: &Image,
+    annotations: AnnotationSet,
+    opts: &CliOptions,
+    cache: Option<&mut ArtifactCache>,
+    pool: Option<&Arc<WorkerPool>>,
+) -> Result<(AnalysisReport, MachineConfig), String> {
+    let (config, machine) = analyzer_config(opts, annotations);
+    let mut analyzer = WcetAnalyzer::with_config(config);
+    if let Some(pool) = pool {
+        analyzer = analyzer.with_pool(Arc::clone(pool));
+    }
     let report = match cache {
         Some(cache) => analyzer.analyze_incremental(image, cache),
         None => analyzer.analyze(image),
     }
     .map_err(|e| e.to_string())?;
     Ok((report, machine))
+}
+
+/// Renders one analysis exactly as single-shot `wcet` prints it to
+/// stdout — guideline findings, blank separator, analysis body (stopping
+/// after the findings under `--check-only`). The serve handler returns
+/// this same composition, which is what makes serve responses
+/// byte-identical to single-shot runs.
+fn compose_report(image: &Image, report: &AnalysisReport, check_only: bool) -> String {
+    let mut out = render::render_guidelines(report);
+    if report.guidelines.is_some() {
+        out.push('\n');
+        if check_only {
+            return out;
+        }
+    }
+    out.push_str(&render::render_analysis(image, report));
+    out
+}
+
+/// Parses a byte-size argument: a plain byte count, or binary-unit
+/// suffixes `k`, `m`, `g` (case-insensitive), e.g. `64m` = 64 MiB.
+fn parse_byte_size(raw: &str) -> Result<u64, String> {
+    let lower = raw.trim().to_ascii_lowercase();
+    let (digits, unit) = if let Some(n) = lower.strip_suffix('k') {
+        (n, 1u64 << 10)
+    } else if let Some(n) = lower.strip_suffix('m') {
+        (n, 1 << 20)
+    } else if let Some(n) = lower.strip_suffix('g') {
+        (n, 1 << 30)
+    } else {
+        (lower.as_str(), 1)
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|v| v.checked_mul(unit))
+        .ok_or_else(|| format!("invalid size `{raw}` (expected bytes or k/m/g suffix)"))
+}
+
+/// Builds the shared [`AnalysisService`]: one persistent worker pool plus
+/// a handler that runs the full load → analyze → render path per request,
+/// opening the shared `--cache-dir` store per request (the disk store is
+/// shared; the in-memory maps are not, so concurrent connections never
+/// serialize on one cache handle) and triggering the GC watermark.
+fn build_service(opts: &CliOptions) -> Result<AnalysisService, String> {
+    // Surface a bad cache directory at startup, not on every request.
+    open_cache(opts.cache_dir.as_deref())?;
+    let pool = Arc::new(WorkerPool::new(worker_count(
+        opts.workers.or(opts.parallelism),
+    )));
+    // The dedup key's config half: annotations ride per-request, so they
+    // are hashed by the service from the annotation file bytes instead.
+    let (config, _) = analyzer_config(opts, AnnotationSet::new());
+    let fingerprint = config_fingerprint(&config);
+    let opts = opts.clone();
+    let handler = move |program: &Path, annotations: Option<&Path>| -> Result<String, String> {
+        let image = load_image(&program.to_string_lossy())?;
+        let annot_path = annotations.map(|p| p.to_string_lossy().into_owned());
+        let annotations = load_annotations(annot_path.as_deref())?;
+        let mut cache = open_cache(opts.cache_dir.as_deref())?;
+        let (report, _) = analyze_one(&image, annotations, &opts, cache.as_mut(), Some(&pool))?;
+        if let Some(stats) = &report.incr {
+            eprintln!("wcet: {}: {stats}", program.display());
+        }
+        if let (Some(cache), Some(max)) = (cache.as_mut(), opts.max_cache_bytes) {
+            // Best-effort watermark check; a failed GC degrades to an
+            // unbounded cache, never to a failed request.
+            if cache.disk_bytes().is_ok_and(|bytes| bytes > max) {
+                match cache.gc(max) {
+                    Ok(stats) => eprintln!("wcet: {stats}"),
+                    Err(error) => eprintln!("wcet: gc failed: {error}"),
+                }
+            }
+        }
+        Ok(compose_report(&image, &report, opts.check_only))
+    };
+    Ok(AnalysisService::new(fingerprint, Box::new(handler)))
+}
+
+/// `wcet serve`: the long-lived analysis daemon. Request paths resolve
+/// relative to the daemon's working directory.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let (opts, files) = parse_options(args)?;
+    let socket = match (opts.stdio, files.as_slice()) {
+        (true, []) => None,
+        (true, _) => return Err("serve --stdio takes no socket path".to_owned()),
+        (false, [one]) => Some(one.clone()),
+        (false, []) => return Err("serve needs a socket path (or --stdio)".to_owned()),
+        (false, _) => return Err("serve takes exactly one socket path".to_owned()),
+    };
+    let service = Arc::new(build_service(&opts)?);
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let stats = serve::serve_connection(&service, stdin.lock(), stdout.lock())
+                .map_err(|e| format!("serve: {e}"))?;
+            eprintln!(
+                "wcet serve: done: {} request(s), {} failure(s), {} deduped",
+                stats.requests,
+                stats.failures,
+                service.dedup_hits()
+            );
+        }
+        Some(path) => {
+            let summary = serve::serve_unix(&service, Path::new(&path), || {
+                eprintln!("wcet serve: listening on {path}");
+            })
+            .map_err(|e| format!("serve: {e}"))?;
+            eprintln!(
+                "wcet serve: shutdown: {} connection(s), {} request(s), {} failure(s), {} deduped",
+                summary.connections,
+                summary.requests,
+                summary.failures,
+                service.dedup_hits()
+            );
+        }
+    }
+    // Per-request failures were answered with `err` frames — a clean
+    // shutdown is a success for the daemon itself.
+    Ok(())
+}
+
+/// `wcet gc`: one offline GC pass over a cache directory. Without
+/// `--max-bytes` it only sweeps stale temp files.
+fn run_gc(args: &[String]) -> Result<(), String> {
+    let (opts, files) = parse_options(args)?;
+    if !files.is_empty() {
+        return Err("gc takes no positional arguments (use --cache-dir)".to_owned());
+    }
+    let Some(cache) = open_cache(opts.cache_dir.as_deref())? else {
+        return Err("gc needs --cache-dir <dir>".to_owned());
+    };
+    let mut cache = cache;
+    let stats = cache
+        .gc(opts.max_cache_bytes.unwrap_or(u64::MAX))
+        .map_err(|e| format!("gc: {e}"))?;
+    println!("{stats}");
+    Ok(())
 }
 
 fn print_usage() {
@@ -348,6 +569,9 @@ fn print_usage() {
          [--cache-dir <dir>] [--disasm] [--check-only] [--run]\n  \
          wcet batch <manifest> [--cache-dir <dir>] [--caches] [--unroll] \
          [--context-depth <k>] [--persistence] [--threads <n>]\n  \
+         wcet serve <socket> | --stdio [--cache-dir <dir>] [--workers <n>] \
+         [--max-cache-bytes <size>] [analysis options]\n  \
+         wcet gc --cache-dir <dir> [--max-bytes <size>]\n  \
          wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }
