@@ -173,22 +173,39 @@ impl Interval {
         }
     }
 
-    /// Addition (top on possible wrap).
+    /// Addition. The machine adds modulo 2³²; when *every* concrete sum
+    /// wraps (the whole `[lo, hi]` window lies past 2³²), the wrapped
+    /// window is exact and is returned instead of ⊤. This is what keeps
+    /// `addi rd, rs, -1` — the RV32I spelling of `subi rd, rs, 1`, whose
+    /// immediate enters the domain as `0xffff_ffff` — a precise
+    /// decrement. Only a *partial* wrap (the window straddles 2³²) is
+    /// approximated as ⊤.
     #[must_use]
     pub fn add(self, rhs: Interval) -> Interval {
         if self.is_bottom() || rhs.is_bottom() {
             return Interval::BOTTOM;
         }
-        Interval::lift(self.lo + rhs.lo, self.hi + rhs.hi)
+        let (lo, hi) = (self.lo + rhs.lo, self.hi + rhs.hi);
+        if lo > UMAX {
+            // Both ends past 2³² (hi ≤ 2·(2³²−1) for valid inputs).
+            return Interval::lift(lo - (UMAX + 1), hi - (UMAX + 1));
+        }
+        Interval::lift(lo, hi)
     }
 
-    /// Subtraction (top on possible wrap).
+    /// Subtraction, with the same full-wrap precision as [`Interval::add`]:
+    /// a window entirely below zero is exactly its modulo-2³² image.
     #[must_use]
     pub fn sub(self, rhs: Interval) -> Interval {
         if self.is_bottom() || rhs.is_bottom() {
             return Interval::BOTTOM;
         }
-        Interval::lift(self.lo - rhs.hi, self.hi - rhs.lo)
+        let (lo, hi) = (self.lo - rhs.hi, self.hi - rhs.lo);
+        if hi < 0 {
+            // Both ends below zero (lo ≥ −(2³²−1) for valid inputs).
+            return Interval::lift(lo + UMAX + 1, hi + UMAX + 1);
+        }
+        Interval::lift(lo, hi)
     }
 
     /// Multiplication (top on possible wrap).
@@ -395,10 +412,27 @@ mod tests {
     }
 
     #[test]
-    fn wrap_goes_to_top() {
+    fn full_wraps_reduce_partial_wraps_go_to_top() {
+        // Machine arithmetic is wrapping u32, so a window that wraps
+        // *entirely* reduces modulo 2³² exactly — this is what keeps
+        // `addi rd, rs, -1` (the RV32I spelling of `subi`, immediate
+        // 0xffff_ffff in the domain) a precise decrement.
         let near_max = Interval::new(u32::MAX - 1, u32::MAX);
-        assert!(near_max.add(Interval::constant(5)).is_top());
-        assert!(Interval::constant(0).sub(Interval::constant(1)).is_top());
+        assert_eq!(near_max.add(Interval::constant(5)), Interval::new(3, 4));
+        assert_eq!(
+            Interval::constant(0).sub(Interval::constant(1)),
+            Interval::constant(u32::MAX)
+        );
+        assert_eq!(
+            Interval::constant(7).add(Interval::constant(u32::MAX)),
+            Interval::constant(6)
+        );
+        // A window that only *partly* wraps would be a disjoint pair of
+        // ranges — not representable, so it widens to TOP.
+        let straddling = Interval::new(u32::MAX - 1, u32::MAX).add(Interval::new(0, 5));
+        assert!(straddling.is_top());
+        assert!(Interval::new(0, 1).sub(Interval::constant(1)).is_top());
+        // Multiplication keeps the old conservative rule.
         assert!(Interval::constant(1 << 20)
             .mul(Interval::constant(1 << 20))
             .is_top());

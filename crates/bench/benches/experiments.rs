@@ -415,7 +415,7 @@ fn serve_stream(c: &mut Criterion) {
         let pool = Arc::new(WorkerPool::new(1));
         AnalysisService::new(
             0,
-            Box::new(move |program: &Path, _| {
+            Box::new(move |program: &Path, _, _| {
                 let source = std::fs::read_to_string(program).map_err(|e| e.to_string())?;
                 let image = assemble(&source).map_err(|e| e.to_string())?;
                 let mut cache = ArtifactCache::open(&cache_dir).map_err(|e| e.to_string())?;

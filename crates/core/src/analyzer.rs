@@ -18,7 +18,7 @@ use wcet_guidelines::report::PredictabilityReport;
 use wcet_guidelines::rules::{check_function, check_image_level, sort_findings, Finding};
 use wcet_isa::hash::StableHasher;
 use wcet_isa::interp::MachineConfig;
-use wcet_isa::{Addr, Image};
+use wcet_isa::{Addr, Image, IsaKind};
 use wcet_micro::blocktime::BlockTimes;
 use wcet_micro::cacheanalysis::{CacheAnalysis, CacheCtx, CacheStates};
 use wcet_micro::footprint::{self, CacheFootprint};
@@ -73,6 +73,13 @@ pub struct AnalyzerConfig {
     /// pipeline ignores it (its reports must stay byte-identical to the
     /// classic analyzer). Off by default.
     pub persistence: bool,
+    /// Which instruction-set backend the analyzed images use. The decode
+    /// pipeline itself dispatches on [`Image::isa`], so this field exists
+    /// for the *cache key space*: it is hashed into
+    /// [`crate::incr::config_fingerprint`] so artifacts produced under one
+    /// ISA can never be replayed under another. Keep it equal to the tag
+    /// of the images this config analyzes (use [`AnalyzerConfig::for_isa`]).
+    pub isa: IsaKind,
 }
 
 impl AnalyzerConfig {
@@ -89,6 +96,20 @@ impl AnalyzerConfig {
             parallelism: None,
             context_depth: 0,
             persistence: false,
+            isa: IsaKind::House,
+        }
+    }
+
+    /// Defaults retargeted at `isa`: the machine model becomes that ISA's
+    /// simple machine (its base timing over the shared embedded memory
+    /// map) and the config's ISA tag is set so the artifact-cache key
+    /// space forks accordingly.
+    #[must_use]
+    pub fn for_isa(isa: IsaKind) -> AnalyzerConfig {
+        AnalyzerConfig {
+            machine: MachineConfig::simple_for(isa),
+            isa,
+            ..AnalyzerConfig::new()
         }
     }
 }

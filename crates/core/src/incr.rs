@@ -58,7 +58,10 @@ use crate::analyzer::AnalyzerConfig;
 /// Version 3: per-context persistence analysis — footprint artifacts
 /// (`fp/`), the persistence flag in the config fingerprint, per-set may
 /// poisoning and the persistence instance in the entry-ACS digests.
-const CACHE_VERSION: u32 = 3;
+/// Version 4: multi-ISA — the config fingerprint carries the ISA tag, so
+/// the whole key space forks per backend and an artifact produced under
+/// one encoding can never satisfy a lookup under another.
+pub(crate) const CACHE_VERSION: u32 = 4;
 
 /// Magic prefix of every artifact file.
 const MAGIC: &[u8; 4] = b"WCAC";
@@ -91,6 +94,10 @@ pub fn config_fingerprint(config: &AnalyzerConfig) -> u64 {
     // the flag. Function keys embed this fingerprint, and every IPET key
     // embeds a function key — the whole cache space forks on the flag.
     h.write_u64(u64::from(config.persistence));
+    // The ISA tag: instruction words mean different things per backend
+    // (and `function_key` falls back to `Debug` for shapes the house
+    // encoder rejects), so the key space must fork on the ISA outright.
+    h.write_str(config.isa.name());
     h.finish()
 }
 

@@ -7,9 +7,11 @@
 //! daemon and the `--stdio` mode:
 //!
 //! * **Request protocol** — one request per line, in exactly the batch
-//!   manifest syntax: `<program.s> [annotations]`, `#` comments (only at
-//!   start-of-line or after whitespace — `#` can appear in file names),
-//!   blank lines ignored, plus the control line `@shutdown`.
+//!   manifest syntax: `<program.s> [annotations] [--isa <name>]`, `#`
+//!   comments (only at start-of-line or after whitespace — `#` can appear
+//!   in file names), blank lines ignored, plus the control line
+//!   `@shutdown`. The `--isa` token overrides the daemon's CLI-level ISA
+//!   selector for that one request, so a single stream can mix backends.
 //! * **Response framing** — requests are answered **in request order**
 //!   with length-prefixed frames, so a client can carry reports with
 //!   embedded newlines over one stream:
@@ -56,6 +58,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use wcet_isa::hash::StableHasher;
+use wcet_isa::IsaKind;
 
 // ---------------------------------------------------------------------
 // Request lines
@@ -82,11 +85,17 @@ pub enum RequestLine {
     Empty,
     /// The `@shutdown` control line: answer `bye`, stop the daemon.
     Shutdown,
-    /// An analysis request: program path plus optional annotation path.
+    /// An analysis request: program path, optional annotation path, and
+    /// an optional per-request ISA override (`--isa <name>` anywhere on
+    /// the line); `None` means the daemon's CLI-level selector applies.
     Analyze {
         program: PathBuf,
         annotations: Option<PathBuf>,
+        isa: Option<IsaKind>,
     },
+    /// A syntactically broken request line (bad `--isa`, stray tokens):
+    /// answered with an `err` frame so the stream keeps its framing.
+    Malformed { message: String },
 }
 
 /// Parses one raw line of a manifest or serve stream.
@@ -100,11 +109,44 @@ pub fn parse_request_line(raw: &str) -> RequestLine {
         return RequestLine::Shutdown;
     }
     let mut fields = line.split_whitespace();
-    let program = PathBuf::from(fields.next().expect("non-empty line"));
-    let annotations = fields.next().map(PathBuf::from);
+    let mut positional: Vec<&str> = Vec::new();
+    let mut isa = None;
+    while let Some(token) = fields.next() {
+        if token == "--isa" {
+            let Some(name) = fields.next() else {
+                return RequestLine::Malformed {
+                    message: "`--isa` needs a value".to_owned(),
+                };
+            };
+            match IsaKind::parse(name) {
+                Some(kind) => isa = Some(kind),
+                None => {
+                    return RequestLine::Malformed {
+                        message: format!("unknown ISA `{name}` (expected one of: house, rv32i)"),
+                    }
+                }
+            }
+        } else {
+            positional.push(token);
+        }
+    }
+    if positional.len() > 2 {
+        return RequestLine::Malformed {
+            message: format!(
+                "expected `<program.s> [annotations] [--isa <name>]`, got extra token `{}`",
+                positional[2]
+            ),
+        };
+    }
+    let Some(&program) = positional.first() else {
+        return RequestLine::Malformed {
+            message: "missing program path".to_owned(),
+        };
+    };
     RequestLine::Analyze {
-        program,
-        annotations,
+        program: PathBuf::from(program),
+        annotations: positional.get(1).map(PathBuf::from),
+        isa,
     }
 }
 
@@ -113,10 +155,12 @@ pub fn parse_request_line(raw: &str) -> RequestLine {
 // ---------------------------------------------------------------------
 
 /// The per-request analysis closure: loads the program (and optional
-/// annotations), runs the pipeline, and returns the rendered report —
+/// annotations), runs the pipeline under the request's ISA override (or
+/// the daemon's default when `None`), and returns the rendered report —
 /// byte-identical to single-shot `wcet` stdout — or a one-line error.
 /// Lives in the binary crate, which owns option parsing and rendering.
-pub type Handler = dyn Fn(&Path, Option<&Path>) -> Result<String, String> + Send + Sync;
+pub type Handler =
+    dyn Fn(&Path, Option<&Path>, Option<IsaKind>) -> Result<String, String> + Send + Sync;
 
 /// A completed-or-pending request shared between a dedup leader and its
 /// followers.
@@ -168,11 +212,19 @@ impl AnalysisService {
     }
 
     /// The dedup key: config fingerprint + program bytes + annotation
-    /// bytes. Content-addressed like the artifact cache, so two paths to
-    /// one file dedup too. `None` when an input cannot be read — then
-    /// the request runs undeduped and the handler reports the real
-    /// error.
-    fn request_key(&self, program: &Path, annotations: Option<&Path>) -> Option<u64> {
+    /// bytes + the per-request ISA override. Content-addressed like the
+    /// artifact cache, so two paths to one file dedup too. The daemon's
+    /// *default* ISA is already inside the fingerprint; the override is
+    /// hashed separately so one stream mixing backends over identical
+    /// bytes never shares a report across ISAs. `None` when an input
+    /// cannot be read — then the request runs undeduped and the handler
+    /// reports the real error.
+    fn request_key(
+        &self,
+        program: &Path,
+        annotations: Option<&Path>,
+        isa: Option<IsaKind>,
+    ) -> Option<u64> {
         let mut h = StableHasher::new();
         h.write_u64(self.fingerprint);
         let source = fs::read(program).ok()?;
@@ -181,6 +233,13 @@ impl AnalysisService {
             Some(path) => {
                 h.write_u32(1);
                 h.write(&fs::read(path).ok()?);
+            }
+            None => h.write_u32(0),
+        }
+        match isa {
+            Some(kind) => {
+                h.write_u32(1);
+                h.write_str(kind.name());
             }
             None => h.write_u32(0),
         }
@@ -205,9 +264,10 @@ impl AnalysisService {
         &self,
         program: &Path,
         annotations: Option<&Path>,
+        isa: Option<IsaKind>,
     ) -> Result<Arc<str>, Arc<str>> {
-        let Some(key) = self.request_key(program, annotations) else {
-            return (self.handler)(program, annotations)
+        let Some(key) = self.request_key(program, annotations, isa) else {
+            return (self.handler)(program, annotations, isa)
                 .map(Arc::from)
                 .map_err(Arc::from);
         };
@@ -227,7 +287,7 @@ impl AnalysisService {
         };
         if leader {
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                (self.handler)(program, annotations)
+                (self.handler)(program, annotations, isa)
             }));
             let outcome: Result<Arc<str>, Arc<str>> = match &run {
                 Ok(result) => result
@@ -300,10 +360,11 @@ pub fn serve_connection(
             RequestLine::Analyze {
                 program,
                 annotations,
+                isa,
             } => {
                 stats.requests += 1;
                 let seq = stats.requests;
-                match service.process(&program, annotations.as_deref()) {
+                match service.process(&program, annotations.as_deref(), isa) {
                     Ok(report) => write_frame(&mut writer, "ok", seq, &report)?,
                     Err(error) => {
                         stats.failures += 1;
@@ -314,6 +375,12 @@ pub fn serve_connection(
                         write_frame(&mut writer, "err", seq, &text)?;
                     }
                 }
+            }
+            RequestLine::Malformed { message } => {
+                stats.requests += 1;
+                stats.failures += 1;
+                let seq = stats.requests;
+                write_frame(&mut writer, "err", seq, &format!("{message}\n"))?;
             }
         }
     }
@@ -423,6 +490,7 @@ mod tests {
             RequestLine::Analyze {
                 program: PathBuf::from("p.s"),
                 annotations: None,
+                isa: None,
             }
         );
         assert_eq!(
@@ -430,8 +498,48 @@ mod tests {
             RequestLine::Analyze {
                 program: PathBuf::from("dir#7/p.s"),
                 annotations: Some(PathBuf::from("a.txt")),
+                isa: None,
             }
         );
+    }
+
+    #[test]
+    fn request_lines_parse_isa_overrides() {
+        // The `--isa` token works in any position, with or without
+        // annotations.
+        assert_eq!(
+            parse_request_line("p.s --isa rv32i"),
+            RequestLine::Analyze {
+                program: PathBuf::from("p.s"),
+                annotations: None,
+                isa: Some(IsaKind::Rv32i),
+            }
+        );
+        assert_eq!(
+            parse_request_line("--isa house p.s a.txt # note"),
+            RequestLine::Analyze {
+                program: PathBuf::from("p.s"),
+                annotations: Some(PathBuf::from("a.txt")),
+                isa: Some(IsaKind::House),
+            }
+        );
+        // Broken lines degrade to err frames, not panics or silent drops.
+        assert!(matches!(
+            parse_request_line("p.s --isa"),
+            RequestLine::Malformed { .. }
+        ));
+        assert!(matches!(
+            parse_request_line("p.s --isa mips"),
+            RequestLine::Malformed { .. }
+        ));
+        assert!(matches!(
+            parse_request_line("--isa rv32i"),
+            RequestLine::Malformed { .. }
+        ));
+        assert!(matches!(
+            parse_request_line("p.s a.txt extra.txt"),
+            RequestLine::Malformed { .. }
+        ));
     }
 
     /// A service whose handler counts invocations and waits until the
@@ -443,7 +551,7 @@ mod tests {
     ) -> AnalysisService {
         AnalysisService::new(
             0,
-            Box::new(move |program, _| {
+            Box::new(move |program, _, _| {
                 computed.fetch_add(1, Ordering::SeqCst);
                 while !gate.load(Ordering::SeqCst) {
                     std::thread::yield_now();
@@ -468,7 +576,7 @@ mod tests {
             .map(|_| {
                 let service = Arc::clone(&service);
                 let program = program.clone();
-                std::thread::spawn(move || service.process(&program, None))
+                std::thread::spawn(move || service.process(&program, None, None))
             })
             .collect();
         // Wait until every non-leader parked on the slot, then release
@@ -485,9 +593,87 @@ mod tests {
         assert_eq!(service.dedup_hits(), 2);
 
         // The slot is gone afterwards: a new request recomputes.
-        let again = service.process(&program, None).expect("recompute");
+        let again = service.process(&program, None, None).expect("recompute");
         assert_eq!(COMPUTED.load(Ordering::SeqCst), 2);
         assert!(again.contains("report for"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn isa_override_forks_the_dedup_key() {
+        static COMPUTED: AtomicUsize = AtomicUsize::new(0);
+        static GATE: AtomicBool = AtomicBool::new(false);
+        let dir = std::env::temp_dir().join(format!("wcet-serve-isa-key-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let program = dir.join("p.s");
+        fs::write(&program, "add r1, r1, 1\n").unwrap();
+
+        // Identical bytes, different per-request ISA: both must compute —
+        // a dedup hit here would hand an rv32i client a house report.
+        let service = Arc::new(counting_service(&COMPUTED, &GATE));
+        let house = {
+            let service = Arc::clone(&service);
+            let program = program.clone();
+            std::thread::spawn(move || service.process(&program, None, None))
+        };
+        while COMPUTED.load(Ordering::SeqCst) < 1 {
+            std::thread::yield_now();
+        }
+        let rv32 = {
+            let service = Arc::clone(&service);
+            let program = program.clone();
+            std::thread::spawn(move || service.process(&program, None, Some(IsaKind::Rv32i)))
+        };
+        // The rv32i request misses the in-flight slot and starts its own
+        // computation while the house leader is still parked on the gate.
+        while COMPUTED.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        GATE.store(true, Ordering::SeqCst);
+        house.join().expect("house").expect("handler ok");
+        rv32.join().expect("rv32").expect("handler ok");
+        assert_eq!(COMPUTED.load(Ordering::SeqCst), 2, "no cross-ISA sharing");
+        assert_eq!(service.dedup_hits(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_isa_stream_frames_in_order() {
+        let dir = std::env::temp_dir().join(format!("wcet-serve-mixed-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let prog = dir.join("p.s");
+        fs::write(&prog, "halt\n").unwrap();
+        // The handler tags its report with the resolved ISA, standing in
+        // for the real pipeline whose reports differ per backend.
+        let service = AnalysisService::new(
+            0,
+            Box::new(|_, _, isa| {
+                let name = isa.map_or("default", IsaKind::name);
+                Ok(format!("isa:{name}\n"))
+            }),
+        );
+        let input = format!(
+            "{p}\n{p} --isa rv32i\n{p} --isa house\n{p} --isa m68k\n@shutdown\n",
+            p = prog.display()
+        );
+        let mut out = Vec::new();
+        let stats = serve_connection(&service, input.as_bytes(), &mut out).expect("serve");
+        assert_eq!(
+            stats,
+            ConnectionStats {
+                requests: 4,
+                failures: 1,
+                shutdown: true,
+            }
+        );
+        let error = "unknown ISA `m68k` (expected one of: house, rv32i)\n";
+        let expected = format!(
+            "ok 1 12\nisa:default\nok 2 10\nisa:rv32i\nok 3 10\nisa:house\nerr 4 {}\n{error}bye 4 1\n",
+            error.len(),
+        );
+        assert_eq!(String::from_utf8(out).expect("utf8"), expected);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -500,7 +686,7 @@ mod tests {
         fs::write(&good, "ok\n").unwrap();
         let service = AnalysisService::new(
             0,
-            Box::new(|program, _| {
+            Box::new(|program, _, _| {
                 if program.exists() {
                     Ok(format!("report:{}\n", program.display()))
                 } else {
@@ -535,7 +721,7 @@ mod tests {
 
     #[test]
     fn eof_without_shutdown_still_says_bye() {
-        let service = AnalysisService::new(0, Box::new(|_, _| Ok("r\n".to_owned())));
+        let service = AnalysisService::new(0, Box::new(|_, _, _| Ok("r\n".to_owned())));
         let mut out = Vec::new();
         let stats = serve_connection(&service, &b""[..], &mut out).expect("serve");
         assert_eq!(stats, ConnectionStats::default());

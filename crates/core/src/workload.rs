@@ -8,9 +8,9 @@
 //! killers.
 
 use wcet_guidelines::annot::AnnotationSet;
-use wcet_isa::asm::assemble;
+use wcet_isa::asm::{assemble, assemble_for};
 use wcet_isa::image::Segment;
-use wcet_isa::{Addr, Image};
+use wcet_isa::{Addr, Image, IsaKind};
 
 /// A generated workload: binary, annotations, and provenance.
 #[derive(Debug, Clone)]
@@ -31,7 +31,18 @@ pub struct Workload {
 }
 
 fn build(name: &'static str, description: &'static str, src: &str, annots: &str) -> Workload {
-    let image = assemble(src).unwrap_or_else(|e| panic!("workload `{name}` assembles: {e}"));
+    build_for(IsaKind::House, name, description, src, annots)
+}
+
+fn build_for(
+    isa: IsaKind,
+    name: &'static str,
+    description: &'static str,
+    src: &str,
+    annots: &str,
+) -> Workload {
+    let image = assemble_for(isa, src)
+        .unwrap_or_else(|e| panic!("workload `{name}` assembles for {isa}: {e}"));
     let annotations = AnnotationSet::parse(annots)
         .unwrap_or_else(|e| panic!("workload `{name}` annotations parse: {e}"));
     Workload {
@@ -49,6 +60,16 @@ fn build(name: &'static str, description: &'static str, src: &str, annots: &str)
 /// annotations document which code each mode excludes.
 #[must_use]
 pub fn flight_control() -> Workload {
+    flight_control_for(IsaKind::House)
+}
+
+/// [`flight_control`] assembled for `isa`. The assembly surface syntax is
+/// ISA-neutral, so a port re-assembles the same source; the mode
+/// annotations are recomputed from the re-assembled symbol table because
+/// `li` expands to different instruction counts per backend, shifting
+/// every label address.
+#[must_use]
+pub fn flight_control_for(isa: IsaKind) -> Workload {
     let src = r#"
         .org 0x1000
         main:
@@ -72,7 +93,7 @@ pub fn flight_control() -> Workload {
         done:
             halt
     "#;
-    let image = assemble(src).expect("flight control assembles");
+    let image = assemble_for(isa, src).expect("flight control assembles");
     let air = image.symbol("air").expect("air label");
     let ground = image.symbol("ground").expect("ground label");
     let annots = format!(
@@ -80,7 +101,8 @@ pub fn flight_control() -> Workload {
          exclude {air} in mode ground;\n\
          exclude {ground} in mode air;\n"
     );
-    build(
+    build_for(
+        isa,
         "flight_control",
         "operating modes: ground vs air control laws (Section 4.3)",
         src,
@@ -96,6 +118,12 @@ pub fn flight_control() -> Workload {
 /// `buf_words` is the buffer capacity documented at design time.
 #[must_use]
 pub fn message_handler(buf_words: u32) -> Workload {
+    message_handler_for(IsaKind::House, buf_words)
+}
+
+/// [`message_handler`] assembled for `isa` (see [`flight_control_for`]).
+#[must_use]
+pub fn message_handler_for(isa: IsaKind, buf_words: u32) -> Workload {
     let src = r#"
         .org 0x1000
         .equ CAN 0xf0000000
@@ -129,7 +157,7 @@ pub fn message_handler(buf_words: u32) -> Workload {
         skip_tx:
             halt
     "#;
-    let image = assemble(src).expect("message handler assembles");
+    let image = assemble_for(isa, src).expect("message handler assembles");
     let rx_loop = image.symbol("rx_loop").expect("rx_loop");
     let tx_loop = image.symbol("tx_loop").expect("tx_loop");
     let rx_head = image.symbol("rx_head").expect("rx_head");
@@ -141,7 +169,8 @@ pub fn message_handler(buf_words: u32) -> Workload {
          # a scheduling cycle is either read or write, never both\n\
          mutex {rx_head}, {tx_head} capacity 1;\n"
     );
-    build(
+    build_for(
+        isa,
         "message_handler",
         "message-based communication: device-supplied lengths and rx/tx exclusion (Section 4.3)",
         src,
@@ -401,6 +430,16 @@ pub fn cache_pair() -> (Workload, Workload) {
 /// Panics if `n` is not in `1..=32`.
 #[must_use]
 pub fn matrix_kernel(n: u32) -> Workload {
+    matrix_kernel_for(IsaKind::House, n)
+}
+
+/// [`matrix_kernel`] assembled for `isa` (see [`flight_control_for`]).
+///
+/// # Panics
+///
+/// Panics if `n` is not in `1..=32`.
+#[must_use]
+pub fn matrix_kernel_for(isa: IsaKind, n: u32) -> Workload {
     assert!((1..=32).contains(&n), "matrix size must be 1..=32");
     let src = format!(
         r#"
@@ -443,7 +482,8 @@ pub fn matrix_kernel(n: u32) -> Workload {
             halt
         "#
     );
-    build(
+    build_for(
+        isa,
         "matrix_kernel",
         "nested counter loops over SRAM data (quickstart workload)",
         &src,
@@ -645,6 +685,12 @@ pub fn call_tree_heavy(groups: u32, per_group: u32, overrides: &[(u32, u32)]) ->
 /// drops strictly. The soundness oracle holds at both depths.
 #[must_use]
 pub fn context_killer() -> Workload {
+    context_killer_for(IsaKind::House)
+}
+
+/// [`context_killer`] assembled for `isa` (see [`flight_control_for`]).
+#[must_use]
+pub fn context_killer_for(isa: IsaKind) -> Workload {
     let src = r#"
         .org 0x1000
         main:
@@ -664,7 +710,8 @@ pub fn context_killer() -> Workload {
         cdone:
             ret
     "#;
-    build(
+    build_for(
+        isa,
         "context_killer",
         "one clamped callee, two very different call sites: the VIVU precision lever (reference [13])",
         src,
@@ -684,6 +731,12 @@ pub fn context_killer() -> Workload {
 /// --caches --persistence`; the soundness oracle holds either way.
 #[must_use]
 pub fn persistence_killer() -> Workload {
+    persistence_killer_for(IsaKind::House)
+}
+
+/// [`persistence_killer`] assembled for `isa` (see [`flight_control_for`]).
+#[must_use]
+pub fn persistence_killer_for(isa: IsaKind) -> Workload {
     let src = r#"
         .org 0x100000
         main:
@@ -699,12 +752,13 @@ pub fn persistence_killer() -> Workload {
             addi r2, r2, 3
             ret
     "#;
-    let image = assemble(src).expect("persistence killer assembles");
+    let image = assemble_for(isa, src).expect("persistence killer assembles");
     let header = image.symbol("loop").expect("loop label");
     // The call inside the body hides the counter pattern from the
     // automatic bound analysis; the iteration count is design knowledge.
     let annots = format!("loop {header} bound 48;\n");
-    build(
+    build_for(
+        isa,
         "persistence_killer",
         "tight loop calling a small callee: warm-cache knowledge across calls (persistence lever)",
         src,
@@ -738,6 +792,24 @@ pub fn corpus() -> Vec<Workload> {
     workloads.push(context_killer());
     workloads.push(persistence_killer());
     workloads
+}
+
+/// The RV32I port of the corpus: the workloads whose sources stay inside
+/// the RV32I subset (no `sel`, no floating point, no `alloc`, no jump
+/// tables), re-assembled for [`IsaKind::Rv32i`] with their annotations
+/// recomputed against the shifted label addresses. These are the units of
+/// the cross-ISA golden snapshots (`tests/golden/<name>.rv32i.txt`) and
+/// the RV32I soundness oracle.
+#[must_use]
+pub fn rv32i_corpus() -> Vec<Workload> {
+    let isa = IsaKind::Rv32i;
+    vec![
+        flight_control_for(isa),
+        message_handler_for(isa, 16),
+        matrix_kernel_for(isa, 4),
+        context_killer_for(isa),
+        persistence_killer_for(isa),
+    ]
 }
 
 /// A device-driver routine with a pointer-indirect access the analysis
@@ -1034,6 +1106,85 @@ mod tests {
             assert!(r.wcet_cycles >= observed);
             assert!(r.bcet_cycles <= observed);
         }
+    }
+
+    #[test]
+    fn rv32i_corpus_is_the_documented_set() {
+        let ports = rv32i_corpus();
+        let names: Vec<&str> = ports.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "flight_control",
+                "message_handler",
+                "matrix_kernel",
+                "context_killer",
+                "persistence_killer",
+            ]
+        );
+        for w in &ports {
+            assert_eq!(w.image.isa, IsaKind::Rv32i, "{} carries the tag", w.name);
+        }
+    }
+
+    #[test]
+    fn rv32i_ports_run_and_match_house_semantics() {
+        // The same surface source computes the same values on both
+        // backends; only encodings and cycle counts differ.
+        let run = |w: &Workload, pokes: &[(u32, u32)], out: &dyn Fn(&mut Interpreter) -> u32| {
+            let mut i = Interpreter::with_config(&w.image, MachineConfig::simple_for(w.image.isa));
+            for &(addr, value) in pokes {
+                i.poke_word(Addr(addr), value);
+            }
+            i.run(10_000_000).unwrap();
+            out(&mut i)
+        };
+        let r5 = |i: &mut Interpreter| i.reg(wcet_isa::Reg::new(5));
+        for input in [0u32, 1] {
+            assert_eq!(
+                run(&flight_control(), &[(0xf000_0000, input)], &r5),
+                run(
+                    &flight_control_for(IsaKind::Rv32i),
+                    &[(0xf000_0000, input)],
+                    &r5
+                ),
+                "flight_control input {input}"
+            );
+        }
+        let out0 = |i: &mut Interpreter| i.peek_word(Addr(0xb000));
+        let mat = [
+            (0x8000, 1),
+            (0x8004, 2),
+            (0x8008, 3),
+            (0x800c, 4),
+            (0xa000, 5),
+            (0xa004, 6),
+        ];
+        assert_eq!(
+            run(&matrix_kernel(2), &mat, &out0),
+            run(&matrix_kernel_for(IsaKind::Rv32i, 2), &mat, &out0),
+            "matrix_kernel out[0]"
+        );
+        let r3 = |i: &mut Interpreter| i.reg(wcet_isa::Reg::new(3));
+        assert_eq!(
+            run(&context_killer(), &[], &r3),
+            run(&context_killer_for(IsaKind::Rv32i), &[], &r3),
+            "context_killer accumulator"
+        );
+    }
+
+    #[test]
+    fn rv32i_ports_differ_from_house_in_bytes_and_cycles() {
+        let house = persistence_killer();
+        let rv32 = persistence_killer_for(IsaKind::Rv32i);
+        assert_ne!(house.image.code, rv32.image.code, "different encodings");
+        let cycles = |w: &Workload| {
+            let mut i = Interpreter::with_config(&w.image, MachineConfig::simple_for(w.image.isa));
+            i.run(10_000_000).unwrap().cycles
+        };
+        // The timing models are deliberately different, so identical
+        // source must not yield identical cycle counts.
+        assert_ne!(cycles(&house), cycles(&rv32), "different timing models");
     }
 
     #[test]

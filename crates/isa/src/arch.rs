@@ -1,0 +1,251 @@
+//! The ISA boundary: everything downstream phases consume about a backend.
+//!
+//! The analysis pipeline (CFG reconstruction → value analysis → cache and
+//! pipeline analysis → IPET) is ISA-parametric: each phase consumes the
+//! *semantic* instruction set ([`crate::inst::Inst`]) and a handful of
+//! backend facts. This module names those facts explicitly:
+//!
+//! * binary **decoding** (and its inverse, encoding, used by the builder,
+//!   the round-trip tests, and the artifact-cache content hashes),
+//! * the base **timing model** the static pipeline analysis and the
+//!   concrete interpreter both charge,
+//! * the default **memory map** (shared across backends so workload
+//!   sources port unchanged — latency comes from the map, not the ISA).
+//!
+//! Instruction classification and concrete stepping need no per-backend
+//! code: both operate on the decoded semantic [`Inst`], which is the whole
+//! point of decoding into a shared semantic level first.
+//!
+//! Two dispatch surfaces are provided over the same facts:
+//!
+//! * [`IsaSpec`], a trait with one zero-sized implementor per backend
+//!   ([`HouseIsa`], [`Rv32iIsa`]) for code that is generic at compile time;
+//! * [`IsaKind`], a tiny `Copy` enum carried by every [`crate::Image`], for
+//!   the pipeline itself — images are runtime inputs (CLI `--isa`, serve
+//!   requests), so the crates dispatch on the tag. Both routes call the
+//!   same per-backend functions; there is exactly one encoder and one
+//!   decoder per ISA.
+//!
+//! The default is [`IsaKind::House`], and every pre-existing constructor
+//! (`ProgramBuilder::new`, `asm::assemble`, `MachineConfig::simple`, …)
+//! keeps producing it, so existing programs, reports, and cache artifacts
+//! are byte-for-byte unaffected by the boundary.
+
+use std::fmt;
+
+use crate::error::IsaError;
+use crate::inst::{Addr, Inst};
+use crate::memmap::MemoryMap;
+use crate::timing::TimingModel;
+use crate::{decode as house, encode as house_enc, rv32};
+
+/// Identifies an instruction-set backend. Carried by [`crate::Image`] so
+/// every downstream consumer decodes with the right backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IsaKind {
+    /// The in-house RISC this reproduction started from (opcode in the top
+    /// six bits, 16-bit immediates, word displacements).
+    #[default]
+    House,
+    /// The RISC-V RV32I subset backend (plus `mul`/`mulhu` from M).
+    Rv32i,
+}
+
+impl IsaKind {
+    /// Every supported backend, in stable order.
+    pub const ALL: [IsaKind; 2] = [IsaKind::House, IsaKind::Rv32i];
+
+    /// The canonical name used by `--isa`, manifests, and cache keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaKind::House => "house",
+            IsaKind::Rv32i => "rv32i",
+        }
+    }
+
+    /// Parses a canonical name (as accepted by `--isa`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<IsaKind> {
+        IsaKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Encodes one instruction at `at` with this backend's encoder.
+    ///
+    /// # Errors
+    ///
+    /// Backend encode failures: range/alignment errors on both, plus
+    /// [`IsaError::Unencodable`] for shapes outside the RV32I subset.
+    pub fn encode(self, inst: &Inst, at: Addr) -> Result<u32, IsaError> {
+        match self {
+            IsaKind::House => house_enc::encode(inst, at),
+            IsaKind::Rv32i => rv32::encode(inst, at),
+        }
+    }
+
+    /// Encodes a whole sequence starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first encode failure.
+    pub fn encode_all(self, insts: &[Inst], base: Addr) -> Result<Vec<u32>, IsaError> {
+        match self {
+            IsaKind::House => house_enc::encode_all(insts, base),
+            IsaKind::Rv32i => rv32::encode_all(insts, base),
+        }
+    }
+
+    /// Decodes one word at `at` with this backend's decoder.
+    ///
+    /// # Errors
+    ///
+    /// Backend decode failures (unknown opcodes, invalid fields).
+    pub fn decode(self, word: u32, at: Addr) -> Result<Inst, IsaError> {
+        match self {
+            IsaKind::House => house::decode(word, at),
+            IsaKind::Rv32i => rv32::decode(word, at),
+        }
+    }
+
+    /// Decodes a contiguous region of words starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode failure.
+    pub fn decode_region(self, words: &[u32], base: Addr) -> Result<Vec<(Addr, Inst)>, IsaError> {
+        match self {
+            IsaKind::House => house::decode_region(words, base),
+            IsaKind::Rv32i => rv32::decode_region(words, base),
+        }
+    }
+
+    /// The backend's base instruction cost model.
+    #[must_use]
+    pub fn timing(self) -> TimingModel {
+        match self {
+            IsaKind::House => TimingModel::new(),
+            IsaKind::Rv32i => TimingModel::rv32i(),
+        }
+    }
+
+    /// The backend's default memory map. Both backends share the embedded
+    /// layout — latency is a property of the platform regions, not of the
+    /// instruction encoding — which is what lets corpus workload sources
+    /// port across ISAs without relocation.
+    #[must_use]
+    pub fn memory_map(self) -> MemoryMap {
+        MemoryMap::default_embedded()
+    }
+}
+
+impl fmt::Display for IsaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compile-time form of the boundary: one zero-sized implementor per
+/// backend, for code generic over the ISA. Every method agrees with the
+/// [`IsaKind`] dispatch by construction (both call the same backend
+/// functions).
+pub trait IsaSpec {
+    /// The runtime tag for this backend.
+    const KIND: IsaKind;
+
+    /// Canonical backend name.
+    #[must_use]
+    fn name() -> &'static str {
+        Self::KIND.name()
+    }
+
+    /// Encodes one instruction at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Backend encode failures.
+    fn encode(inst: &Inst, at: Addr) -> Result<u32, IsaError> {
+        Self::KIND.encode(inst, at)
+    }
+
+    /// Decodes one word at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Backend decode failures.
+    fn decode(word: u32, at: Addr) -> Result<Inst, IsaError> {
+        Self::KIND.decode(word, at)
+    }
+
+    /// The backend's base instruction cost model.
+    #[must_use]
+    fn timing() -> TimingModel {
+        Self::KIND.timing()
+    }
+
+    /// The backend's default memory map.
+    #[must_use]
+    fn memory_map() -> MemoryMap {
+        Self::KIND.memory_map()
+    }
+}
+
+/// The in-house RISC backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HouseIsa;
+
+impl IsaSpec for HouseIsa {
+    const KIND: IsaKind = IsaKind::House;
+}
+
+/// The RISC-V RV32I subset backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rv32iIsa;
+
+impl IsaSpec for Rv32iIsa {
+    const KIND: IsaKind = IsaKind::Rv32i;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_and_roundtrip() {
+        for kind in IsaKind::ALL {
+            assert_eq!(IsaKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(IsaKind::parse("x86"), None);
+        assert_eq!(IsaKind::default(), IsaKind::House);
+        assert_eq!(IsaKind::Rv32i.to_string(), "rv32i");
+    }
+
+    #[test]
+    fn trait_and_enum_dispatch_agree() {
+        let inst = Inst::Jump { target: Addr(0x20) };
+        let at = Addr(0x10);
+        assert_eq!(
+            HouseIsa::encode(&inst, at).unwrap(),
+            IsaKind::House.encode(&inst, at).unwrap()
+        );
+        assert_eq!(
+            Rv32iIsa::encode(&inst, at).unwrap(),
+            IsaKind::Rv32i.encode(&inst, at).unwrap()
+        );
+        assert_ne!(
+            HouseIsa::encode(&inst, at).unwrap(),
+            Rv32iIsa::encode(&inst, at).unwrap()
+        );
+        assert_eq!(HouseIsa::timing(), TimingModel::new());
+        assert_eq!(Rv32iIsa::timing(), TimingModel::rv32i());
+        assert_ne!(HouseIsa::timing(), Rv32iIsa::timing());
+    }
+
+    #[test]
+    fn backends_decode_their_own_words() {
+        let inst = Inst::Ret;
+        for kind in IsaKind::ALL {
+            let word = kind.encode(&inst, Addr(0)).unwrap();
+            assert_eq!(kind.decode(word, Addr(0)).unwrap(), inst);
+        }
+    }
+}

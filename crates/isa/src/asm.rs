@@ -31,6 +31,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::arch::IsaKind;
 use crate::builder::ProgramBuilder;
 use crate::error::IsaError;
 use crate::image::Image;
@@ -55,10 +56,27 @@ use crate::inst::{AluOp, Cond, FAluOp, FCond, FReg, Inst, Reg, Width};
 /// # }
 /// ```
 pub fn assemble(source: &str) -> Result<Image, IsaError> {
-    Assembler::new().assemble(source)
+    assemble_for(IsaKind::House, source)
+}
+
+/// Assembles source text for a specific ISA backend.
+///
+/// The surface syntax is identical for every backend — same mnemonics,
+/// registers, and directives — because the assembler lowers to the
+/// semantic instruction set; only the [`crate::builder::ProgramBuilder`]'s
+/// constant synthesis, `subi` normalization, and final encoding differ.
+/// Per-backend immediate and displacement limits surface as encode errors.
+///
+/// # Errors
+///
+/// Same conditions as [`assemble`], plus [`IsaError::Unencodable`] when the
+/// source uses shapes outside the backend's subset (e.g. `sel` on RV32I).
+pub fn assemble_for(isa: IsaKind, source: &str) -> Result<Image, IsaError> {
+    Assembler::new(isa).assemble(source)
 }
 
 struct Assembler {
+    isa: IsaKind,
     equs: BTreeMap<String, u32>,
     labels_seen: BTreeMap<String, usize>,
     entry: Option<String>,
@@ -75,8 +93,9 @@ enum Item {
 }
 
 impl Assembler {
-    fn new() -> Assembler {
+    fn new(isa: IsaKind) -> Assembler {
         Assembler {
+            isa,
             equs: BTreeMap::new(),
             labels_seen: BTreeMap::new(),
             entry: None,
@@ -98,7 +117,7 @@ impl Assembler {
         }
 
         let base = self.org.unwrap_or(0x1000);
-        let mut builder = ProgramBuilder::new(base);
+        let mut builder = ProgramBuilder::new_for(self.isa, base);
         for (line, item) in &self.items {
             match item {
                 Item::Label(name) => {
@@ -611,6 +630,42 @@ mod tests {
         // Otherwise the first label.
         let image = assemble("start: halt").unwrap();
         assert_eq!(image.entry, image.symbol("start").unwrap());
+    }
+
+    #[test]
+    fn same_source_assembles_for_both_isas() {
+        use crate::interp::{Interpreter, MachineConfig};
+        let src = r#"
+            .org 0x1000
+            .equ N 5
+            main:
+                li   r1, N
+                li   r2, 0
+            loop:
+                addi r2, r2, 7
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+        "#;
+        let house = assemble(src).unwrap();
+        let rv32 = assemble_for(IsaKind::Rv32i, src).unwrap();
+        assert_eq!(house.isa, IsaKind::House);
+        assert_eq!(rv32.isa, IsaKind::Rv32i);
+        assert_ne!(house.code.data, rv32.code.data);
+        for (image, isa) in [(&house, IsaKind::House), (&rv32, IsaKind::Rv32i)] {
+            let mut interp = Interpreter::with_config(image, MachineConfig::simple_for(isa));
+            interp.run(10_000).unwrap();
+            assert_eq!(interp.reg(Reg::new(2)), 35, "{isa}");
+        }
+    }
+
+    #[test]
+    fn rv32_rejects_out_of_subset_shapes() {
+        let err = assemble_for(IsaKind::Rv32i, "main: sel r1, r2, r3, r4\n halt").unwrap_err();
+        assert!(
+            matches!(err, IsaError::Unencodable { isa: "rv32i", .. }),
+            "{err}"
+        );
     }
 
     #[test]

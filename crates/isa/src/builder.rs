@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::encode::encode_all;
+use crate::arch::IsaKind;
 use crate::error::IsaError;
 use crate::image::{Image, Segment};
 use crate::inst::{Addr, AluOp, Cond, FCond, FReg, Inst, Reg, Width};
@@ -46,14 +46,17 @@ enum Pending {
     Jump(String),
     /// Call to a label.
     Call(String),
-    /// Second half of `la`: an `ori` whose immediate is the low half of a
-    /// label address (the preceding `lui` is patched with the high half).
+    /// Tail of `la`: the final instruction of a fixed-slot constant-load
+    /// sequence whose value is a label address. The preceding placeholder
+    /// slots (one `lui` on the house ISA, four on RV32I) are patched once
+    /// the label resolves.
     FixupLa(Reg, String),
 }
 
 /// Builds a binary [`Image`] instruction by instruction.
 #[derive(Debug, Clone)]
 pub struct ProgramBuilder {
+    isa: IsaKind,
     base: Addr,
     pending: Vec<Pending>,
     labels: BTreeMap<String, usize>,
@@ -61,20 +64,40 @@ pub struct ProgramBuilder {
 }
 
 impl ProgramBuilder {
-    /// Starts a builder whose first instruction will live at `base`.
+    /// Starts a builder for the house ISA whose first instruction will
+    /// live at `base`.
     ///
     /// # Panics
     ///
     /// Panics if `base` is not 4-byte aligned.
     #[must_use]
     pub fn new(base: u32) -> ProgramBuilder {
+        ProgramBuilder::new_for(IsaKind::House, base)
+    }
+
+    /// Starts a builder targeting `isa`. The semantic helpers are shared;
+    /// only constant synthesis (`li`/`la`), `subi` normalization, and the
+    /// final encoding differ per backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    #[must_use]
+    pub fn new_for(isa: IsaKind, base: u32) -> ProgramBuilder {
         assert!(base.is_multiple_of(4), "code base must be 4-byte aligned");
         ProgramBuilder {
+            isa,
             base: Addr(base),
             pending: Vec::new(),
             labels: BTreeMap::new(),
             data: Vec::new(),
         }
+    }
+
+    /// The backend this builder encodes for.
+    #[must_use]
+    pub fn isa(&self) -> IsaKind {
+        self.isa
     }
 
     /// Address the next emitted instruction will occupy.
@@ -108,8 +131,17 @@ impl ProgramBuilder {
         self.inst(Inst::Alu { op, rd, rs1, rs2 })
     }
 
-    /// `rd = rs1 op imm`.
+    /// `rd = rs1 op imm`. On RV32I, `subi` is normalized to `addi` with
+    /// the negated immediate (there is no immediate subtract).
     pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        if self.isa == IsaKind::Rv32i && op == AluOp::Sub {
+            return self.inst(Inst::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                imm: imm.wrapping_neg(),
+            });
+        }
         self.inst(Inst::AluImm { op, rd, rs1, imm })
     }
 
@@ -118,22 +150,63 @@ impl ProgramBuilder {
         self.alu(AluOp::Add, rd, rs, Reg::ZERO)
     }
 
-    /// Loads an arbitrary 32-bit constant, expanding to one or two
-    /// instructions (`addi` for small values, `lui`+`ori` otherwise).
+    /// Loads an arbitrary 32-bit constant, expanding to the backend's
+    /// shortest synthesis sequence: on the house ISA `addi` for small
+    /// values and `lui`(+`ori`) otherwise; on RV32I `addi`, `lui`(+`ori`),
+    /// a shifted `addi`+`slli` pair, or the general five-instruction
+    /// shift chain (the 12-bit immediates and 16-bit-granular `lui` cover
+    /// less ground). All sequences are constant-foldable by the value
+    /// analysis, so synthesized addresses stay precise.
     pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        match self.isa {
+            IsaKind::House => {
+                let signed = value as i32;
+                if (-32768..=32767).contains(&signed) {
+                    self.alui(AluOp::Add, rd, Reg::ZERO, signed)
+                } else {
+                    self.inst(Inst::Lui {
+                        rd,
+                        imm: value >> 16,
+                    });
+                    if value & 0xffff != 0 {
+                        self.alui(AluOp::Or, rd, rd, (value & 0xffff) as i32);
+                    }
+                    self
+                }
+            }
+            IsaKind::Rv32i => self.li_rv32(rd, value),
+        }
+    }
+
+    fn li_rv32(&mut self, rd: Reg, value: u32) -> &mut Self {
         let signed = value as i32;
-        if (-32768..=32767).contains(&signed) {
-            self.alui(AluOp::Add, rd, Reg::ZERO, signed)
-        } else {
+        if (-2048..=2047).contains(&signed) {
+            return self.alui(AluOp::Add, rd, Reg::ZERO, signed);
+        }
+        if value & 0xffff == 0 {
+            return self.inst(Inst::Lui {
+                rd,
+                imm: value >> 16,
+            });
+        }
+        if value & 0xffff <= 0x7ff && value >> 16 != 0 {
             self.inst(Inst::Lui {
                 rd,
                 imm: value >> 16,
             });
-            if value & 0xffff != 0 {
-                self.alui(AluOp::Or, rd, rd, (value & 0xffff) as i32);
-            }
-            self
+            return self.alui(AluOp::Or, rd, rd, (value & 0xffff) as i32);
         }
+        let tz = value.trailing_zeros();
+        if value >> tz <= 2047 {
+            self.alui(AluOp::Add, rd, Reg::ZERO, (value >> tz) as i32);
+            return self.alui(AluOp::Shl, rd, rd, tz as i32);
+        }
+        // General case: build the constant 10 + 11 + 11 bits at a time.
+        self.alui(AluOp::Add, rd, Reg::ZERO, (value >> 22) as i32);
+        self.alui(AluOp::Shl, rd, rd, 11);
+        self.alui(AluOp::Or, rd, rd, ((value >> 11) & 0x7ff) as i32);
+        self.alui(AluOp::Shl, rd, rd, 11);
+        self.alui(AluOp::Or, rd, rd, (value & 0x7ff) as i32)
     }
 
     /// `rd = mem[base + offset]` (word).
@@ -217,12 +290,26 @@ impl ProgramBuilder {
         self.inst(Inst::Halt)
     }
 
-    /// Loads the address of a label into a register (two instructions).
-    /// The label must already be bound or be bound before `build`.
+    /// Loads the address of a label into a register. The label must
+    /// already be bound or be bound before `build`.
+    ///
+    /// The expansion is a *fixed* number of slots per backend (labels bind
+    /// to instruction indices, so the width cannot depend on the address
+    /// value): `lui`+`ori` (two slots) on the house ISA, the general
+    /// five-slot shift chain on RV32I.
     pub fn la(&mut self, rd: Reg, label: &str) -> &mut Self {
-        // Deferred: emit a jump-table-style fixup via lui+ori once the
-        // label resolves. We use a placeholder pair patched in `build`.
-        self.pending.push(Pending::Done(Inst::Lui { rd, imm: 0 }));
+        // Deferred: placeholder slots are patched in `build` once the
+        // label resolves; `FixupLa` marks the final slot of the group.
+        match self.isa {
+            IsaKind::House => {
+                self.pending.push(Pending::Done(Inst::Lui { rd, imm: 0 }));
+            }
+            IsaKind::Rv32i => {
+                for _ in 0..4 {
+                    self.pending.push(Pending::Done(Inst::Nop));
+                }
+            }
+        }
         self.pending.push(Pending::FixupLa(rd, label.to_owned()));
         self
     }
@@ -279,26 +366,50 @@ impl ProgramBuilder {
                     target: addr_of(label)?,
                 },
                 Pending::FixupLa(rd, label) => {
-                    let addr = addr_of(label)?;
-                    // Patch the preceding `lui` with the high half.
-                    let lui_idx = insts.len() - 1;
-                    insts[lui_idx] = Inst::Lui {
-                        rd: *rd,
-                        imm: addr.0 >> 16,
-                    };
-                    Inst::AluImm {
+                    let (rd, v) = (*rd, addr_of(label)?.0);
+                    let or_imm = |imm: i32| Inst::AluImm {
                         op: AluOp::Or,
-                        rd: *rd,
-                        rs1: *rd,
-                        imm: (addr.0 & 0xffff) as i32,
+                        rd,
+                        rs1: rd,
+                        imm,
+                    };
+                    match self.isa {
+                        IsaKind::House => {
+                            // Patch the preceding `lui` with the high half.
+                            let lui_idx = insts.len() - 1;
+                            insts[lui_idx] = Inst::Lui { rd, imm: v >> 16 };
+                            or_imm((v & 0xffff) as i32)
+                        }
+                        IsaKind::Rv32i => {
+                            // Patch the four placeholder slots with the
+                            // 10+11+11-bit shift chain; this slot is the
+                            // final `ori`.
+                            let shl = Inst::AluImm {
+                                op: AluOp::Shl,
+                                rd,
+                                rs1: rd,
+                                imm: 11,
+                            };
+                            let n = insts.len();
+                            insts[n - 4] = Inst::AluImm {
+                                op: AluOp::Add,
+                                rd,
+                                rs1: Reg::ZERO,
+                                imm: (v >> 22) as i32,
+                            };
+                            insts[n - 3] = shl;
+                            insts[n - 2] = or_imm(((v >> 11) & 0x7ff) as i32);
+                            insts[n - 1] = shl;
+                            or_imm((v & 0x7ff) as i32)
+                        }
                     }
                 }
             };
             insts.push(inst);
         }
 
-        let words = encode_all(&insts, self.base)?;
-        let mut image = Image::from_code_words(addr_of(entry)?, self.base, &words);
+        let words = self.isa.encode_all(&insts, self.base)?;
+        let mut image = Image::from_code_words_for(self.isa, addr_of(entry)?, self.base, &words);
         image.data = self.data.clone();
         image.symbols = self
             .labels
@@ -368,6 +479,74 @@ mod tests {
         b.halt();
         let image = b.build("e").unwrap();
         assert_eq!(image.code_len(), 5);
+    }
+
+    #[test]
+    fn rv32_subi_normalizes_to_addi() {
+        let mut b = ProgramBuilder::new_for(IsaKind::Rv32i, 0x1000);
+        b.label("main");
+        b.alui(AluOp::Sub, Reg::new(1), Reg::new(1), 1);
+        b.halt();
+        let image = b.build("main").unwrap();
+        assert_eq!(
+            image.decode_code().unwrap()[0].1,
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::new(1),
+                imm: -1
+            }
+        );
+    }
+
+    #[test]
+    fn rv32_li_synthesizes_exact_constants() {
+        use crate::interp::{Interpreter, MachineConfig};
+        let values = [
+            0u32,
+            7,
+            2047,
+            0x800,
+            0x5000,
+            0xffff,
+            0x1_0000,
+            0xf000_0000,
+            0xdead_beef,
+            u32::MAX,
+        ];
+        let mut b = ProgramBuilder::new_for(IsaKind::Rv32i, 0x1000);
+        b.label("main");
+        for (i, &v) in values.iter().enumerate() {
+            b.li(Reg::new(1 + i as u8 % 12), v);
+        }
+        b.halt();
+        let image = b.build("main").unwrap();
+        let mut interp =
+            Interpreter::with_config(&image, MachineConfig::simple_for(IsaKind::Rv32i));
+        interp.run(10_000).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(interp.reg(Reg::new(1 + i as u8 % 12)), v, "li 0x{v:x}");
+        }
+    }
+
+    #[test]
+    fn rv32_la_loads_label_address() {
+        let mut b = ProgramBuilder::new_for(IsaKind::Rv32i, 0x1000);
+        b.label("main");
+        b.la(Reg::new(1), "target");
+        b.halt();
+        b.label("target");
+        b.nop();
+        let image = b.build("main").unwrap();
+        let target = image.symbol("target").unwrap();
+        // Fixed five-slot expansion: 5 (la) + 1 (halt) + 1 (nop).
+        assert_eq!(image.code_len(), 7);
+        assert_eq!(target, Addr(0x1000 + 5 * 4 + 4));
+        use crate::interp::{Interpreter, MachineConfig};
+        let mut interp =
+            Interpreter::with_config(&image, MachineConfig::simple_for(IsaKind::Rv32i));
+        interp.run(10_000).unwrap();
+        assert_eq!(interp.reg(Reg::new(1)), target.0);
     }
 
     #[test]

@@ -26,6 +26,17 @@ pub enum IsaError {
         /// The unaligned target.
         target: Addr,
     },
+    /// The instruction shape exists at the semantic level but has no
+    /// binary encoding in the selected ISA (e.g. `sel`, floating point,
+    /// or `alloc` on the RV32I subset backend).
+    Unencodable {
+        /// Name of the ISA that rejected the instruction.
+        isa: &'static str,
+        /// Human-readable description of the instruction shape.
+        what: &'static str,
+        /// Instruction address (if known at encode time).
+        at: Option<Addr>,
+    },
     /// The decoder met an opcode it does not know.
     UnknownOpcode {
         /// The raw 6-bit opcode.
@@ -105,6 +116,10 @@ impl fmt::Display for IsaError {
             IsaError::MisalignedTarget { target } => {
                 write!(f, "control-flow target {target} is not 4-byte aligned")
             }
+            IsaError::Unencodable { isa, what, at } => match at {
+                Some(at) => write!(f, "`{what}` has no encoding on the {isa} ISA at {at}"),
+                None => write!(f, "`{what}` has no encoding on the {isa} ISA"),
+            },
             IsaError::UnknownOpcode { opcode, at } => {
                 write!(f, "unknown opcode 0x{opcode:x} at {at}")
             }

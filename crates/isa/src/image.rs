@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::decode::{decode, decode_region};
+use crate::arch::IsaKind;
 use crate::error::IsaError;
 use crate::inst::{Addr, Inst};
 
@@ -82,17 +82,29 @@ pub struct Image {
     /// Symbol table: label name → address. Kept for diagnostics only; the
     /// analyses never rely on it (they are binary-level).
     pub symbols: BTreeMap<String, Addr>,
+    /// Which backend's encoding the code segment uses. Every decode of
+    /// this image — CFG reconstruction, the interpreter's pre-decode, the
+    /// disassembler — dispatches on this tag, so downstream phases are
+    /// ISA-generic without carrying a type parameter.
+    pub isa: IsaKind,
 }
 
 impl Image {
-    /// Creates an image from pre-encoded code words.
+    /// Creates an image from pre-encoded in-house code words.
     #[must_use]
     pub fn from_code_words(entry: Addr, code_base: Addr, words: &[u32]) -> Image {
+        Image::from_code_words_for(IsaKind::House, entry, code_base, words)
+    }
+
+    /// Creates an image from code words pre-encoded for `isa`.
+    #[must_use]
+    pub fn from_code_words_for(isa: IsaKind, entry: Addr, code_base: Addr, words: &[u32]) -> Image {
         Image {
             entry,
             code: Segment::from_words(code_base, words),
             data: Vec::new(),
             symbols: BTreeMap::new(),
+            isa,
         }
     }
 
@@ -114,7 +126,7 @@ impl Image {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        decode_region(&words, self.code.base)
+        self.isa.decode_region(&words, self.code.base)
     }
 
     /// Decodes the single instruction at `addr`, if it lies in the code
@@ -129,7 +141,7 @@ impl Image {
             .code
             .word_at(addr)
             .ok_or(IsaError::BadFetch { pc: addr })?;
-        decode(word, addr)
+        self.isa.decode(word, addr)
     }
 
     /// Looks up the name of a symbol at exactly `addr`, if any.
@@ -185,5 +197,21 @@ mod tests {
             image.inst_at(Addr(0x2000)),
             Err(IsaError::BadFetch { .. })
         ));
+    }
+
+    #[test]
+    fn image_dispatches_decode_on_isa_tag() {
+        let insts = [Inst::Nop, Inst::Halt];
+        let words = crate::rv32::encode_all(&insts, Addr(0x1000)).unwrap();
+        let image = Image::from_code_words_for(IsaKind::Rv32i, Addr(0x1000), Addr(0x1000), &words);
+        assert_eq!(image.isa, IsaKind::Rv32i);
+        let decoded = image.decode_code().unwrap();
+        assert_eq!(decoded[0].1, Inst::Nop);
+        assert_eq!(decoded[1], (Addr(0x1004), Inst::Halt));
+        // The same bytes under the default (house) tag mean something else:
+        // 0x00000013 is not a house `nop`.
+        let house = Image::from_code_words(Addr(0x1000), Addr(0x1000), &words);
+        assert_eq!(house.isa, IsaKind::House);
+        assert_ne!(house.decode_code().ok(), Some(decoded));
     }
 }

@@ -37,24 +37,38 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
-    /// Cacheless machine over the default embedded memory map.
+    /// Cacheless machine over the default embedded memory map, with the
+    /// house ISA's timing.
     #[must_use]
     pub fn simple() -> MachineConfig {
+        MachineConfig::simple_for(crate::arch::IsaKind::House)
+    }
+
+    /// Cacheless machine with `isa`'s base timing model (the memory map is
+    /// shared across backends).
+    #[must_use]
+    pub fn simple_for(isa: crate::arch::IsaKind) -> MachineConfig {
         MachineConfig {
-            memmap: MemoryMap::default_embedded(),
-            timing: TimingModel::new(),
+            memmap: isa.memory_map(),
+            timing: isa.timing(),
             icache: None,
             dcache: None,
         }
     }
 
-    /// Machine with small instruction and data caches.
+    /// Machine with small instruction and data caches (house ISA timing).
     #[must_use]
     pub fn with_caches() -> MachineConfig {
+        MachineConfig::with_caches_for(crate::arch::IsaKind::House)
+    }
+
+    /// Machine with small instruction and data caches and `isa`'s timing.
+    #[must_use]
+    pub fn with_caches_for(isa: crate::arch::IsaKind) -> MachineConfig {
         MachineConfig {
             icache: Some(CacheConfig::small_icache()),
             dcache: Some(CacheConfig::small_dcache()),
-            ..MachineConfig::simple()
+            ..MachineConfig::simple_for(isa)
         }
     }
 }

@@ -5,8 +5,12 @@
 //! cycle-accurate interpreter to validate analysis results against:
 //!
 //! * [`inst`] — the instruction set (semantic level),
-//! * [`encode`]/[`decode`] — the 32-bit binary encoding and its decoder
-//!   (the "Decoding Phase" input of the paper's Figure 1),
+//! * [`arch`] — the ISA boundary: the [`arch::IsaKind`] tag + the
+//!   [`arch::IsaSpec`] trait behind which backends register their
+//!   encoding, timing, and memory-map defaults,
+//! * [`encode`]/[`decode`] — the in-house 32-bit binary encoding and its
+//!   decoder (the "Decoding Phase" input of the paper's Figure 1),
+//! * [`rv32`] — the RISC-V RV32I subset backend's encoding and decoder,
 //! * [`asm`] — a two-pass text assembler,
 //! * [`builder`] — a programmatic program builder with labels,
 //! * [`image`] — linked binary images (code + data segments + entry point),
@@ -53,6 +57,7 @@
 //! # }
 //! ```
 
+pub mod arch;
 pub mod asm;
 pub mod builder;
 pub mod cache;
@@ -64,10 +69,12 @@ pub mod image;
 pub mod inst;
 pub mod interp;
 pub mod memmap;
+pub mod rv32;
 pub mod timing;
 
 mod error;
 
+pub use arch::{HouseIsa, IsaKind, IsaSpec, Rv32iIsa};
 pub use error::IsaError;
 pub use image::Image;
 pub use inst::{Addr, AluOp, Cond, FAluOp, FCond, FReg, Inst, Reg, Width};

@@ -1,0 +1,810 @@
+//! RISC-V RV32I(+M subset) binary encoding of the semantic instruction set.
+//!
+//! This is the second backend behind the [`crate::arch`] boundary: the
+//! *semantic* instruction set ([`crate::inst::Inst`]) stays shared, and this
+//! module maps the encodable subset of it onto standard fixed-width RV32
+//! words (opcode `[6:0]`, rd `[11:7]`, funct3 `[14:12]`, rs1 `[19:15]`,
+//! rs2 `[24:20]`, funct7 `[31:25]`).
+//!
+//! ## Subset and mapping
+//!
+//! | semantic | RV32 encoding |
+//! |---|---|
+//! | `alu` Add/Sub/And/Or/Xor/Shl/Shr/Sra/Slt/Sltu | OP (`0x33`), standard funct3/funct7 |
+//! | `alu` Mul/Mulhu | OP with funct7 `0000001` (RV32M `mul`/`mulhu`) |
+//! | `alui` Add/And/Or/Xor/Slt/Sltu | OP-IMM (`0x13`), 12-bit signed immediate |
+//! | `alui` Shl/Shr/Sra | OP-IMM shifts, 5-bit shamt |
+//! | `lui` (semantic `rd = imm << 16`) | LUI with imm20 = `imm << 4` |
+//! | `lb`/`lh`/`lw` (zero-extending) | LOAD `lbu`/`lhu`/`lw` |
+//! | `sb`/`sh`/`sw` | STORE |
+//! | branches | BRANCH (`beq`/`bne`/`blt`/`bge`/`bltu`/`bgeu`), ±4 KiB |
+//! | `j` / `call` | JAL with rd = `x0` / rd = `x15` (the link register), ±1 MiB |
+//! | `jr rs` / `callr rs` / `ret` | JALR offset 0 with rd = `x0`/`x15`/`x0`+rs1=`x15` |
+//! | `nop` | canonical `addi x0, x0, 0` (`0x00000013`) |
+//! | `halt` | `ebreak` (`0x00100073`) |
+//!
+//! Semantic registers `r0`–`r15` map to `x0`–`x15`; register fields ≥ 16
+//! are decode errors. `alui` Sub/Mul/Mulhu, `sel`, all floating point, and
+//! `alloc` have no RV32I encoding and return [`IsaError::Unencodable`]
+//! (the program builder normalizes `subi` away; the others are simply
+//! outside the subset). `jr lr` is rejected at encode time because its
+//! word is exactly the `ret` encoding.
+//!
+//! Two deliberate asymmetries versus full RISC-V: loads decode only to the
+//! zero-extending forms (`lb`/`lh` words are invalid fields — the semantic
+//! ISA has no sign-extending loads), and LUI immediates must have their low
+//! four bits clear so the 20-bit field reduces losslessly to the semantic
+//! 16-bit-shift `lui`.
+
+use crate::error::IsaError;
+use crate::inst::{Addr, AluOp, Cond, Inst, Reg, Width};
+
+/// The ISA name used in error messages.
+pub(crate) const NAME: &str = "rv32i";
+
+/// Canonical `nop` word: `addi x0, x0, 0`.
+pub const NOP_WORD: u32 = 0x0000_0013;
+/// `ebreak`, used as the machine stop.
+pub const HALT_WORD: u32 = 0x0010_0073;
+
+mod opcode {
+    pub const OP: u32 = 0x33;
+    pub const OP_IMM: u32 = 0x13;
+    pub const LUI: u32 = 0x37;
+    pub const LOAD: u32 = 0x03;
+    pub const STORE: u32 = 0x23;
+    pub const BRANCH: u32 = 0x63;
+    pub const JAL: u32 = 0x6f;
+    pub const JALR: u32 = 0x67;
+    pub const SYSTEM: u32 = 0x73;
+}
+
+fn unencodable(what: &'static str, at: Addr) -> IsaError {
+    IsaError::Unencodable {
+        isa: NAME,
+        what,
+        at: Some(at),
+    }
+}
+
+/// funct3/funct7 for register-register ALU ops (RV32I + RV32M subset).
+fn alu_functs(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0x00),
+        AluOp::Sub => (0b000, 0x20),
+        AluOp::Mul => (0b000, 0x01),
+        AluOp::Mulhu => (0b011, 0x01),
+        AluOp::And => (0b111, 0x00),
+        AluOp::Or => (0b110, 0x00),
+        AluOp::Xor => (0b100, 0x00),
+        AluOp::Shl => (0b001, 0x00),
+        AluOp::Shr => (0b101, 0x00),
+        AluOp::Sra => (0b101, 0x20),
+        AluOp::Slt => (0b010, 0x00),
+        AluOp::Sltu => (0b011, 0x00),
+    }
+}
+
+fn cond_funct3(cond: Cond) -> u32 {
+    match cond {
+        Cond::Eq => 0b000,
+        Cond::Ne => 0b001,
+        Cond::Lt => 0b100,
+        Cond::Ge => 0b101,
+        Cond::Ltu => 0b110,
+        Cond::Geu => 0b111,
+    }
+}
+
+fn check_imm12(value: i32, at: Addr) -> Result<u32, IsaError> {
+    if (-2048..=2047).contains(&value) {
+        Ok((value as u32) & 0xfff)
+    } else {
+        Err(IsaError::ImmediateOutOfRange {
+            value: i64::from(value),
+            at: Some(at),
+        })
+    }
+}
+
+fn check_shamt(value: i32, at: Addr) -> Result<u32, IsaError> {
+    if (0..=31).contains(&value) {
+        Ok(value as u32)
+    } else {
+        Err(IsaError::ImmediateOutOfRange {
+            value: i64::from(value),
+            at: Some(at),
+        })
+    }
+}
+
+/// Byte displacement from `from` to `to`, checked for 4-byte alignment and
+/// signed range `[-(1 << (bits - 1)), (1 << (bits - 1)) - 1]` bytes.
+fn byte_disp(from: Addr, to: Addr, bits: u32) -> Result<i32, IsaError> {
+    if !to.is_aligned() {
+        return Err(IsaError::MisalignedTarget { target: to });
+    }
+    let diff = (to.0.wrapping_sub(from.0)) as i32;
+    if diff % 4 != 0 {
+        return Err(IsaError::MisalignedTarget { target: to });
+    }
+    let wide = i64::from(diff);
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if wide < min || wide > max {
+        return Err(IsaError::DisplacementOutOfRange { from, to });
+    }
+    Ok(diff)
+}
+
+fn r_type(f7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, opc: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opc
+}
+
+fn i_type(imm12: u32, rs1: u32, f3: u32, rd: u32, opc: u32) -> u32 {
+    (imm12 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opc
+}
+
+fn s_type(imm12: u32, rs2: u32, rs1: u32, f3: u32) -> u32 {
+    ((imm12 >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((imm12 & 0x1f) << 7)
+        | opcode::STORE
+}
+
+/// B-type: imm[12|10:5] in [31:25], imm[4:1|11] in [11:7].
+fn b_type(disp: i32, rs2: u32, rs1: u32, f3: u32) -> u32 {
+    let imm = disp as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode::BRANCH
+}
+
+/// J-type: imm[20|10:1|11|19:12] in [31:12].
+fn j_type(disp: i32, rd: u32) -> u32 {
+    let imm = disp as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | (rd << 7)
+        | opcode::JAL
+}
+
+fn r(reg: Reg) -> u32 {
+    reg.index() as u32
+}
+
+/// Encodes a single instruction located at `at` into its RV32 word.
+///
+/// # Errors
+///
+/// [`IsaError::Unencodable`] for semantic shapes outside the RV32I subset
+/// (`sel`, floating point, `alloc`, `subi`/`muli` forms, `jr lr`), plus the
+/// usual immediate-range, displacement-range, and alignment failures.
+pub fn encode(inst: &Inst, at: Addr) -> Result<u32, IsaError> {
+    Ok(match *inst {
+        Inst::Nop => NOP_WORD,
+        Inst::Halt => HALT_WORD,
+        Inst::Ret => i_type(0, r(Reg::LINK), 0b000, 0, opcode::JALR),
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let (f3, f7) = alu_functs(op);
+            r_type(f7, r(rs2), r(rs1), f3, r(rd), opcode::OP)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let f3 = match op {
+                AluOp::Add => 0b000,
+                AluOp::Slt => 0b010,
+                AluOp::Sltu => 0b011,
+                AluOp::Xor => 0b100,
+                AluOp::Or => 0b110,
+                AluOp::And => 0b111,
+                AluOp::Shl | AluOp::Shr | AluOp::Sra => {
+                    let shamt = check_shamt(imm, at)?;
+                    let (f3, f7) = match op {
+                        AluOp::Shl => (0b001, 0x00),
+                        AluOp::Shr => (0b101, 0x00),
+                        _ => (0b101, 0x20),
+                    };
+                    return Ok(i_type((f7 << 5) | shamt, r(rs1), f3, r(rd), opcode::OP_IMM));
+                }
+                AluOp::Sub => return Err(unencodable("immediate subtract", at)),
+                AluOp::Mul => return Err(unencodable("immediate multiply", at)),
+                AluOp::Mulhu => return Err(unencodable("immediate multiply-high", at)),
+            };
+            i_type(check_imm12(imm, at)?, r(rs1), f3, r(rd), opcode::OP_IMM)
+        }
+        Inst::Lui { rd, imm } => {
+            if imm > 0xffff {
+                return Err(IsaError::ImmediateOutOfRange {
+                    value: i64::from(imm),
+                    at: Some(at),
+                });
+            }
+            // Semantic `lui` shifts by 16; RV32 LUI shifts by 12, so the
+            // 20-bit field carries `imm << 4` (low four bits clear).
+            ((imm << 4) << 12) | (r(rd) << 7) | opcode::LUI
+        }
+        Inst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
+            // Zero-extending loads only (the semantic ISA has no others).
+            let f3 = match width {
+                Width::Byte => 0b100, // lbu
+                Width::Half => 0b101, // lhu
+                Width::Word => 0b010, // lw
+            };
+            i_type(check_imm12(offset, at)?, r(base), f3, r(rd), opcode::LOAD)
+        }
+        Inst::Store {
+            width,
+            rs,
+            base,
+            offset,
+        } => {
+            let f3 = match width {
+                Width::Byte => 0b000,
+                Width::Half => 0b001,
+                Width::Word => 0b010,
+            };
+            s_type(check_imm12(offset, at)?, r(rs), r(base), f3)
+        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => b_type(
+            byte_disp(at, target, 13)?,
+            r(rs2),
+            r(rs1),
+            cond_funct3(cond),
+        ),
+        Inst::Jump { target } => j_type(byte_disp(at, target, 21)?, 0),
+        Inst::Call { target } => j_type(byte_disp(at, target, 21)?, r(Reg::LINK)),
+        Inst::JumpInd { rs } => {
+            if rs == Reg::LINK {
+                // `jalr x0, 0(x15)` is exactly the `ret` word.
+                return Err(unencodable("indirect jump through the link register", at));
+            }
+            i_type(0, r(rs), 0b000, 0, opcode::JALR)
+        }
+        Inst::CallInd { rs } => i_type(0, r(rs), 0b000, r(Reg::LINK), opcode::JALR),
+        Inst::FBranch { .. } => return Err(unencodable("floating-point branch", at)),
+        Inst::Select { .. } => return Err(unencodable("predicated select", at)),
+        Inst::FAlu { .. } => return Err(unencodable("floating-point arithmetic", at)),
+        Inst::FMov { .. } => return Err(unencodable("floating-point move", at)),
+        Inst::FCvt { .. } => return Err(unencodable("floating-point convert", at)),
+        Inst::Alloc { .. } => return Err(unencodable("heap allocation", at)),
+    })
+}
+
+/// Encodes a whole instruction sequence starting at `base`, one word each.
+///
+/// # Errors
+///
+/// Propagates the first encoding failure, annotated with its address.
+pub fn encode_all(insts: &[Inst], base: Addr) -> Result<Vec<u32>, IsaError> {
+    insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| encode(inst, base.offset(4 * i as i64)))
+        .collect()
+}
+
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+fn reg_field(word: u32, hi: u32, lo: u32, at: Addr) -> Result<Reg, IsaError> {
+    let value = field(word, hi, lo);
+    if value < Reg::COUNT as u32 {
+        Ok(Reg::new(value as u8))
+    } else {
+        Err(IsaError::InvalidField {
+            field: "register",
+            value,
+            at,
+        })
+    }
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn imm_i(word: u32) -> i32 {
+    sext(field(word, 31, 20), 12)
+}
+
+fn invalid(field: &'static str, value: u32, at: Addr) -> IsaError {
+    IsaError::InvalidField { field, value, at }
+}
+
+/// Decodes the RV32 word at address `at`.
+///
+/// # Errors
+///
+/// [`IsaError::UnknownOpcode`] for opcodes outside the subset and
+/// [`IsaError::InvalidField`] for malformed sub-fields (registers ≥ 16,
+/// unknown funct codes, sign-extending loads, nonzero `jalr` offsets,
+/// LUI immediates below the 16-bit granularity).
+pub fn decode(word: u32, at: Addr) -> Result<Inst, IsaError> {
+    match word & 0x7f {
+        _ if word == NOP_WORD => Ok(Inst::Nop),
+        opcode::SYSTEM => {
+            if word == HALT_WORD {
+                Ok(Inst::Halt)
+            } else {
+                Err(invalid("system function", word >> 7, at))
+            }
+        }
+        opcode::OP => {
+            let (f3, f7) = (field(word, 14, 12), field(word, 31, 25));
+            let op = AluOp::ALL
+                .iter()
+                .copied()
+                .find(|&op| alu_functs(op) == (f3, f7))
+                .ok_or_else(|| invalid("alu function", (f7 << 3) | f3, at))?;
+            Ok(Inst::Alu {
+                op,
+                rd: reg_field(word, 11, 7, at)?,
+                rs1: reg_field(word, 19, 15, at)?,
+                rs2: reg_field(word, 24, 20, at)?,
+            })
+        }
+        opcode::OP_IMM => {
+            let rd = reg_field(word, 11, 7, at)?;
+            let rs1 = reg_field(word, 19, 15, at)?;
+            let (op, imm) = match field(word, 14, 12) {
+                0b000 => (AluOp::Add, imm_i(word)),
+                0b010 => (AluOp::Slt, imm_i(word)),
+                0b011 => (AluOp::Sltu, imm_i(word)),
+                0b100 => (AluOp::Xor, imm_i(word)),
+                0b110 => (AluOp::Or, imm_i(word)),
+                0b111 => (AluOp::And, imm_i(word)),
+                0b001 => {
+                    let f7 = field(word, 31, 25);
+                    if f7 != 0 {
+                        return Err(invalid("shift function", f7, at));
+                    }
+                    (AluOp::Shl, field(word, 24, 20) as i32)
+                }
+                0b101 => {
+                    let op = match field(word, 31, 25) {
+                        0x00 => AluOp::Shr,
+                        0x20 => AluOp::Sra,
+                        f7 => return Err(invalid("shift function", f7, at)),
+                    };
+                    (op, field(word, 24, 20) as i32)
+                }
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Ok(Inst::AluImm { op, rd, rs1, imm })
+        }
+        opcode::LUI => {
+            let imm20 = field(word, 31, 12);
+            if imm20 & 0xf != 0 {
+                return Err(invalid("lui immediate", imm20, at));
+            }
+            Ok(Inst::Lui {
+                rd: reg_field(word, 11, 7, at)?,
+                imm: imm20 >> 4,
+            })
+        }
+        opcode::LOAD => {
+            let width = match field(word, 14, 12) {
+                0b010 => Width::Word,
+                0b100 => Width::Byte,
+                0b101 => Width::Half,
+                f3 => return Err(invalid("load width", f3, at)),
+            };
+            Ok(Inst::Load {
+                width,
+                rd: reg_field(word, 11, 7, at)?,
+                base: reg_field(word, 19, 15, at)?,
+                offset: imm_i(word),
+            })
+        }
+        opcode::STORE => {
+            let width = match field(word, 14, 12) {
+                0b000 => Width::Byte,
+                0b001 => Width::Half,
+                0b010 => Width::Word,
+                f3 => return Err(invalid("store width", f3, at)),
+            };
+            let imm = sext((field(word, 31, 25) << 5) | field(word, 11, 7), 12);
+            Ok(Inst::Store {
+                width,
+                rs: reg_field(word, 24, 20, at)?,
+                base: reg_field(word, 19, 15, at)?,
+                offset: imm,
+            })
+        }
+        opcode::BRANCH => {
+            let f3 = field(word, 14, 12);
+            let cond = Cond::ALL
+                .iter()
+                .copied()
+                .find(|&c| cond_funct3(c) == f3)
+                .ok_or_else(|| invalid("branch condition", f3, at))?;
+            let imm = (field(word, 31, 31) << 12)
+                | (field(word, 7, 7) << 11)
+                | (field(word, 30, 25) << 5)
+                | (field(word, 11, 8) << 1);
+            Ok(Inst::Branch {
+                cond,
+                rs1: reg_field(word, 19, 15, at)?,
+                rs2: reg_field(word, 24, 20, at)?,
+                target: at.offset(i64::from(sext(imm, 13))),
+            })
+        }
+        opcode::JAL => {
+            let imm = (field(word, 31, 31) << 20)
+                | (field(word, 19, 12) << 12)
+                | (field(word, 20, 20) << 11)
+                | (field(word, 30, 21) << 1);
+            let target = at.offset(i64::from(sext(imm, 21)));
+            match field(word, 11, 7) {
+                0 => Ok(Inst::Jump { target }),
+                x if x == Reg::LINK.index() as u32 => Ok(Inst::Call { target }),
+                rd => Err(invalid("jal link register", rd, at)),
+            }
+        }
+        opcode::JALR => {
+            if field(word, 14, 12) != 0 {
+                return Err(invalid("jalr function", field(word, 14, 12), at));
+            }
+            if imm_i(word) != 0 {
+                return Err(invalid("jalr offset", field(word, 31, 20), at));
+            }
+            let rs1 = reg_field(word, 19, 15, at)?;
+            match field(word, 11, 7) {
+                0 if rs1 == Reg::LINK => Ok(Inst::Ret),
+                0 => Ok(Inst::JumpInd { rs: rs1 }),
+                x if x == Reg::LINK.index() as u32 => Ok(Inst::CallInd { rs: rs1 }),
+                rd => Err(invalid("jalr link register", rd, at)),
+            }
+        }
+        opc => Err(IsaError::UnknownOpcode {
+            opcode: opc as u8,
+            at,
+        }),
+    }
+}
+
+/// Decodes a contiguous region of words starting at `base`.
+///
+/// # Errors
+///
+/// Propagates the first decode failure.
+pub fn decode_region(words: &[u32], base: Addr) -> Result<Vec<(Addr, Inst)>, IsaError> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let at = base.offset(4 * i as i64);
+            decode(w, at).map(|inst| (at, inst))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::FReg;
+
+    fn round_trip(inst: Inst, at: Addr) {
+        let word = encode(&inst, at).unwrap_or_else(|e| panic!("{inst} encodes: {e}"));
+        let back =
+            decode(word, at).unwrap_or_else(|e| panic!("{inst} (0x{word:08x}) decodes: {e}"));
+        assert_eq!(back, inst, "word 0x{word:08x}");
+    }
+
+    #[test]
+    fn canonical_words() {
+        assert_eq!(encode(&Inst::Nop, Addr(0)).unwrap(), 0x0000_0013);
+        assert_eq!(encode(&Inst::Halt, Addr(0)).unwrap(), 0x0010_0073);
+        assert_eq!(decode(0x0000_0013, Addr(0)).unwrap(), Inst::Nop);
+        assert_eq!(decode(0x0010_0073, Addr(0)).unwrap(), Inst::Halt);
+    }
+
+    #[test]
+    fn alu_round_trips() {
+        let at = Addr(0x1000);
+        for &op in AluOp::ALL.iter() {
+            round_trip(
+                Inst::Alu {
+                    op,
+                    rd: Reg::new(3),
+                    rs1: Reg::new(14),
+                    rs2: Reg::new(7),
+                },
+                at,
+            );
+        }
+    }
+
+    #[test]
+    fn alui_round_trips_and_rejections() {
+        let at = Addr(0x1000);
+        for (op, imm) in [
+            (AluOp::Add, -2048),
+            (AluOp::Add, 2047),
+            (AluOp::And, -1),
+            (AluOp::Or, 0x7ff),
+            (AluOp::Xor, -7),
+            (AluOp::Slt, 5),
+            (AluOp::Sltu, 9),
+            (AluOp::Shl, 31),
+            (AluOp::Shr, 0),
+            (AluOp::Sra, 11),
+        ] {
+            round_trip(
+                Inst::AluImm {
+                    op,
+                    rd: Reg::new(1),
+                    rs1: Reg::new(2),
+                    imm,
+                },
+                at,
+            );
+        }
+        for op in [AluOp::Sub, AluOp::Mul, AluOp::Mulhu] {
+            let inst = Inst::AluImm {
+                op,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                imm: 1,
+            };
+            assert!(matches!(
+                encode(&inst, at),
+                Err(IsaError::Unencodable { isa: "rv32i", .. })
+            ));
+        }
+        let wide = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            imm: 2048,
+        };
+        assert!(matches!(
+            encode(&wide, at),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+        let shamt = Inst::AluImm {
+            op: AluOp::Shl,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            imm: 32,
+        };
+        assert!(matches!(
+            encode(&shamt, at),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_and_lui_round_trips() {
+        let at = Addr(0x1000);
+        for width in Width::ALL {
+            round_trip(
+                Inst::Load {
+                    width,
+                    rd: Reg::new(4),
+                    base: Reg::SP,
+                    offset: -8,
+                },
+                at,
+            );
+            round_trip(
+                Inst::Store {
+                    width,
+                    rs: Reg::new(4),
+                    base: Reg::SP,
+                    offset: 2047,
+                },
+                at,
+            );
+        }
+        round_trip(
+            Inst::Lui {
+                rd: Reg::new(9),
+                imm: 0xffff,
+            },
+            at,
+        );
+        assert!(matches!(
+            encode(
+                &Inst::Lui {
+                    rd: Reg::new(9),
+                    imm: 0x1_0000
+                },
+                at
+            ),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+        // A raw RV32 `lui` whose imm20 is not 16-bit-granular cannot be
+        // represented semantically.
+        let fine_grained = (0x12345u32 << 12) | (1 << 7) | 0x37;
+        assert!(matches!(
+            decode(fine_grained, at),
+            Err(IsaError::InvalidField {
+                field: "lui immediate",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn sign_extending_loads_rejected() {
+        // lb r1, 0(r2) would be funct3 000 under LOAD.
+        let lb = (2u32 << 15) | (1 << 7) | 0x03;
+        assert!(matches!(
+            decode(lb, Addr(0)),
+            Err(IsaError::InvalidField {
+                field: "load width",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn control_flow_round_trips() {
+        let at = Addr(0x1000);
+        for &cond in Cond::ALL.iter() {
+            round_trip(
+                Inst::Branch {
+                    cond,
+                    rs1: Reg::new(1),
+                    rs2: Reg::new(2),
+                    target: Addr(0x1ffc),
+                },
+                at,
+            );
+        }
+        round_trip(
+            Inst::Jump {
+                target: Addr(0x800),
+            },
+            at,
+        );
+        round_trip(
+            Inst::Call {
+                target: Addr(0x10_0ffc),
+            },
+            at,
+        );
+        round_trip(Inst::JumpInd { rs: Reg::new(3) }, at);
+        round_trip(Inst::CallInd { rs: Reg::new(3) }, at);
+        round_trip(Inst::CallInd { rs: Reg::LINK }, at);
+        round_trip(Inst::Ret, at);
+    }
+
+    #[test]
+    fn branch_reach_is_4k() {
+        let at = Addr(0x10000);
+        let near = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: Addr(0x10000 + 4092),
+        };
+        assert!(encode(&near, at).is_ok());
+        let far = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: Addr(0x10000 + 4096),
+        };
+        assert!(matches!(
+            encode(&far, at),
+            Err(IsaError::DisplacementOutOfRange { .. })
+        ));
+        let misaligned = Inst::Jump {
+            target: Addr(0x10002),
+        };
+        assert!(matches!(
+            encode(&misaligned, at),
+            Err(IsaError::MisalignedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn jr_through_link_register_rejected() {
+        // Its encoding would be byte-identical to `ret`.
+        assert!(matches!(
+            encode(&Inst::JumpInd { rs: Reg::LINK }, Addr(0)),
+            Err(IsaError::Unencodable { .. })
+        ));
+    }
+
+    #[test]
+    fn unencodable_shapes() {
+        let at = Addr(0);
+        for inst in [
+            Inst::Select {
+                rd: Reg::new(1),
+                rc: Reg::new(2),
+                rt: Reg::new(3),
+                rf: Reg::new(4),
+            },
+            Inst::FMov {
+                fd: FReg::new(0),
+                rs: Reg::new(1),
+            },
+            Inst::Alloc {
+                rd: Reg::new(1),
+                rs: Reg::new(2),
+            },
+        ] {
+            assert!(matches!(
+                encode(&inst, at),
+                Err(IsaError::Unencodable { isa: "rv32i", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn malformed_words_rejected() {
+        let at = Addr(0);
+        // Unknown major opcode.
+        assert!(matches!(
+            decode(0x0000_007f, at),
+            Err(IsaError::UnknownOpcode { .. })
+        ));
+        // Register field ≥ 16 (x17 as rd of an add).
+        let x17_rd = r_type(0, 1, 2, 0, 17, opcode::OP);
+        assert!(matches!(
+            decode(x17_rd, at),
+            Err(IsaError::InvalidField {
+                field: "register",
+                ..
+            })
+        ));
+        // jalr with a nonzero offset.
+        let jalr_off = i_type(8, 1, 0, 0, opcode::JALR);
+        assert!(matches!(
+            decode(jalr_off, at),
+            Err(IsaError::InvalidField {
+                field: "jalr offset",
+                ..
+            })
+        ));
+        // Unknown ALU funct7.
+        let bad_funct = r_type(0x11, 1, 2, 0, 3, opcode::OP);
+        assert!(matches!(
+            decode(bad_funct, at),
+            Err(IsaError::InvalidField {
+                field: "alu function",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_region_addresses() {
+        let insts = [
+            Inst::Nop,
+            Inst::Jump {
+                target: Addr(0x1000),
+            },
+            Inst::Halt,
+        ];
+        let words = encode_all(&insts, Addr(0x1000)).unwrap();
+        let decoded = decode_region(&words, Addr(0x1000)).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[1], (Addr(0x1004), insts[1]));
+    }
+}

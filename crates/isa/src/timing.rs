@@ -66,6 +66,30 @@ impl TimingModel {
         }
     }
 
+    /// The RV32I backend's model: cheaper control flow (short pipeline,
+    /// target known early for direct jumps) but a dearer multiplier and
+    /// a software-modelled allocator. Distinct from [`TimingModel::new`]
+    /// on purpose — cross-ISA cycle counts must differ for the cross-ISA
+    /// goldens to pin anything interesting.
+    #[must_use]
+    pub fn rv32i() -> TimingModel {
+        TimingModel {
+            alu: 1,
+            mul: 4,
+            falu: 6,
+            fdiv: 20,
+            branch_taken: 2,
+            branch_not_taken: 1,
+            jump: 1,
+            call: 1,
+            indirect: 3,
+            mem_issue: 1,
+            alloc: 30,
+            select: 1,
+            nop: 1,
+        }
+    }
+
     /// Base cost of `inst`, excluding memory latency; for conditional
     /// branches this is the *not-taken* cost (the taken surcharge is
     /// [`TimingModel::taken_surcharge`]).

@@ -1,0 +1,274 @@
+//! `bench_gate` — the CI perf-regression gate over the bench summaries.
+//!
+//! Compares freshly produced `BENCH_<group>.json` files (median
+//! nanoseconds per bench id, written by the vendored criterion stand-in)
+//! against the committed baselines in `bench-summaries/` and fails when
+//! any gated bench id's median regressed by more than the threshold:
+//!
+//! ```text
+//! bench_gate --baseline bench-summaries --current target/bench-current \
+//!            --groups serve,incremental,persistence [--threshold-pct 15]
+//! ```
+//!
+//! Rules, chosen so a gap never reads as a pass:
+//!
+//! * a gated group missing from `--current` is a failure (the bench run
+//!   silently skipped it);
+//! * a bench id present in the baseline but absent from the current
+//!   summary is a failure (lost coverage);
+//! * a gated group with no committed baseline is reported and skipped —
+//!   that is what a brand-new group looks like on its first run;
+//! * new bench ids in the current summary pass — they gate once a
+//!   baseline containing them is committed.
+//!
+//! Quick-mode medians on shared runners are noisy; the committed
+//! baselines are refreshed deliberately (see `bench-summaries/README.md`)
+//! and the threshold is generous for that reason.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One group's summary: bench id → median nanoseconds.
+type Summary = BTreeMap<String, u64>;
+
+/// Parses the fixed `BENCH_<group>.json` shape the vendored criterion
+/// writes (see `vendor/criterion/src/lib.rs::finish`): a flat
+/// `"median_ns"` object of `"id": integer` pairs. Not a general JSON
+/// parser — both producer and consumer live in this repository.
+fn parse_summary(text: &str) -> Summary {
+    let mut out = Summary::new();
+    let mut in_medians = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"median_ns\"") {
+            in_medians = true;
+            continue;
+        }
+        if !in_medians {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        // `"id": 12345,` — the id may itself contain `/` or spaces.
+        let Some((key, value)) = line.rsplit_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_end_matches(',');
+        if let Ok(ns) = value.parse::<u64>() {
+            out.insert(key.to_owned(), ns);
+        }
+    }
+    out
+}
+
+fn load_summary(dir: &Path, group: &str) -> Option<Summary> {
+    let path = dir.join(format!("BENCH_{group}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(parse_summary(&text))
+}
+
+/// Compares one group; returns human-readable failures (empty = pass).
+fn gate_group(
+    group: &str,
+    baseline: &Summary,
+    current: &Summary,
+    threshold_pct: u64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (id, &base_ns) in baseline {
+        let Some(&cur_ns) = current.get(id) else {
+            failures.push(format!(
+                "{group}/{id}: present in the baseline but missing from the current run"
+            ));
+            continue;
+        };
+        // Integer arithmetic; median_ns values are far below u64::MAX/200.
+        let limit = base_ns + base_ns * threshold_pct / 100;
+        if cur_ns > limit {
+            failures.push(format!(
+                "{group}/{id}: median {cur_ns} ns exceeds baseline {base_ns} ns by more than {threshold_pct}% (limit {limit} ns)"
+            ));
+        }
+    }
+    failures
+}
+
+struct Options {
+    baseline: PathBuf,
+    current: PathBuf,
+    groups: Vec<String>,
+    threshold_pct: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut groups = Vec::new();
+    let mut threshold_pct = 15u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--groups" => {
+                groups = value("--groups")?
+                    .split(',')
+                    .map(|g| g.trim().to_owned())
+                    .filter(|g| !g.is_empty())
+                    .collect();
+            }
+            "--threshold-pct" => {
+                threshold_pct = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("--threshold-pct: {e}"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Options {
+        baseline: baseline.ok_or("--baseline <dir> is required")?,
+        current: current.ok_or("--current <dir> is required")?,
+        groups: if groups.is_empty() {
+            return Err("--groups <a,b,c> is required".to_owned());
+        } else {
+            groups
+        },
+        threshold_pct,
+    })
+}
+
+fn run(opts: &Options) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    for group in &opts.groups {
+        let Some(current) = load_summary(&opts.current, group) else {
+            failures.push(format!(
+                "{group}: no current summary in {} (bench run skipped the group?)",
+                opts.current.display()
+            ));
+            continue;
+        };
+        let Some(baseline) = load_summary(&opts.baseline, group) else {
+            eprintln!(
+                "bench_gate: {group}: no committed baseline in {}; skipping (new group)",
+                opts.baseline.display()
+            );
+            continue;
+        };
+        let group_failures = gate_group(group, &baseline, &current, opts.threshold_pct);
+        if group_failures.is_empty() {
+            eprintln!(
+                "bench_gate: {group}: {} bench id(s) within {}% of baseline",
+                baseline.len(),
+                opts.threshold_pct
+            );
+        }
+        failures.extend(group_failures);
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            eprintln!(
+                "usage: bench_gate --baseline <dir> --current <dir> --groups <a,b,c> [--threshold-pct 15]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("bench_gate: REGRESSION: {f}");
+            }
+            eprintln!(
+                "bench_gate: {} regression(s) against {}",
+                failures.len(),
+                opts.baseline.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "group": "persistence",
+  "median_ns": {
+    "persistence_killer/clobber": 120517,
+    "persistence_killer/persist": 133911,
+    "call_tree_2x3/clobber": 3066217
+  }
+}
+"#;
+
+    #[test]
+    fn parses_the_criterion_summary_shape() {
+        let s = parse_summary(SAMPLE);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s["persistence_killer/clobber"], 120_517);
+        assert_eq!(s["call_tree_2x3/clobber"], 3_066_217);
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let baseline = parse_summary(SAMPLE);
+        let mut current = baseline.clone();
+        // +15% exactly is still within the gate (strictly-greater fails).
+        current.insert(
+            "persistence_killer/clobber".into(),
+            120_517 + 120_517 * 15 / 100,
+        );
+        assert!(gate_group("persistence", &baseline, &current, 15).is_empty());
+        current.insert("persistence_killer/clobber".into(), 120_517 * 2);
+        let failures = gate_group("persistence", &baseline, &current, 15);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("persistence_killer/clobber"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_current_id_is_lost_coverage() {
+        let baseline = parse_summary(SAMPLE);
+        let mut current = baseline.clone();
+        current.remove("persistence_killer/persist");
+        let failures = gate_group("persistence", &baseline, &current, 15);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("missing from the current run"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn improvements_and_new_ids_pass() {
+        let baseline = parse_summary(SAMPLE);
+        let mut current = baseline.clone();
+        for v in current.values_mut() {
+            *v /= 2;
+        }
+        current.insert("brand_new_bench".into(), u64::MAX / 4);
+        assert!(gate_group("persistence", &baseline, &current, 15).is_empty());
+    }
+}

@@ -3,6 +3,10 @@
 //! ```text
 //! wcet <program.s> [options]     analyze an assembly program
 //!   --annotations <file>         design-level annotation file (§4.3)
+//!   --isa <name>                 instruction-set backend: `house` (the
+//!                                default) or `rv32i`; assembly, timing
+//!                                model, and the artifact-cache key space
+//!                                all follow the selection
 //!   --caches                     enable the i/d-cache machine model
 //!   --unroll                     virtually unroll loops (context expansion)
 //!   --context-depth <k>          analyze one unit per (function, call-string
@@ -24,7 +28,9 @@
 //!   --run                        also execute and report observed cycles
 //! wcet batch <manifest> [opts]   analyze a stream of requests against a
 //!                                shared cache; manifest lines are
-//!                                `<program.s> [annotations-file]`; a
+//!                                `<program.s> [annotations-file]
+//!                                [--isa <name>]` (the per-request ISA
+//!                                defaults to the CLI-level selector); a
 //!                                failing request is reported and skipped,
 //!                                and the exit code reflects the failures
 //! wcet serve <socket> [opts]     long-lived analysis daemon on a Unix
@@ -53,10 +59,10 @@ use wcet_predictability::core::incr::{config_fingerprint, ArtifactCache};
 use wcet_predictability::core::parallel::{worker_count, WorkerPool};
 use wcet_predictability::core::serve::{self, AnalysisService};
 use wcet_predictability::guidelines::annot::AnnotationSet;
-use wcet_predictability::isa::asm::assemble;
+use wcet_predictability::isa::asm::assemble_for;
 use wcet_predictability::isa::disasm::disassemble;
 use wcet_predictability::isa::interp::{Interpreter, MachineConfig};
-use wcet_predictability::isa::Image;
+use wcet_predictability::isa::{Image, IsaKind};
 use wcet_predictability::render;
 
 fn main() -> ExitCode {
@@ -82,12 +88,28 @@ struct CliOptions {
     cache_dir: Option<String>,
     context_depth: usize,
     persistence: bool,
+    /// Instruction-set backend; `--isa rv32i` switches assembly,
+    /// timing, and the cache key space. Per-request manifest/serve
+    /// overrides start from this default.
+    isa: IsaKind,
     /// Serve: persistent worker-pool size (falls back to --threads).
     workers: Option<usize>,
     /// Serve/gc: cache-store size watermark triggering LRU eviction.
     max_cache_bytes: Option<u64>,
     /// Serve: speak the frame protocol on stdin/stdout, no socket.
     stdio: bool,
+}
+
+impl CliOptions {
+    /// These options with a per-request ISA override applied (batch
+    /// manifest lines and serve requests may carry `--isa <name>`);
+    /// `None` keeps the CLI-level selector.
+    fn for_request(&self, isa: Option<IsaKind>) -> CliOptions {
+        CliOptions {
+            isa: isa.unwrap_or(self.isa),
+            ..self.clone()
+        }
+    }
 }
 
 fn run(args: Vec<String>) -> Result<(), String> {
@@ -139,7 +161,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         [] => return Err("no program file given".to_owned()),
         _ => return Err("more than one program file given".to_owned()),
     };
-    let image = load_image(&source_path)?;
+    let image = load_image(&source_path, opts.isa)?;
     let annotations = load_annotations(opts.annot_path.as_deref())?;
 
     if opts.show_disasm {
@@ -174,8 +196,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Analyzes a manifest of `<program.s> [annotations]` requests against a
-/// shared artifact cache — the service-shaped entry point: most requests
+/// Analyzes a manifest of `<program.s> [annotations] [--isa <name>]`
+/// requests against a shared artifact cache — the service-shaped entry point: most requests
 /// in a stream are small deltas, and the cache turns them into replays.
 ///
 /// Failures are isolated per request: a bad path, unparseable image, or
@@ -202,33 +224,43 @@ fn run_batch(manifest_path: &str, opts: &CliOptions) -> Result<(), String> {
     let mut total_fn_hits = 0usize;
     let mut total_fns = 0usize;
     for (idx, raw) in manifest.lines().enumerate() {
-        let line = serve::strip_comment(raw).trim();
-        if line.is_empty() {
-            continue;
-        }
         let mut outcome = || -> Result<(), String> {
-            let mut parts = line.split_whitespace();
-            let program = parts.next().expect("nonempty line");
-            let annot = parts.next();
-            if parts.next().is_some() {
-                return Err("expected `<program.s> [annotations]`".to_owned());
-            }
+            // Manifest lines share the serve request grammar, so batch
+            // and serve can never drift apart on `--isa` or comments.
+            let (program, annot, isa) = match serve::parse_request_line(raw) {
+                serve::RequestLine::Empty => return Ok(()),
+                serve::RequestLine::Shutdown => {
+                    return Err("`@shutdown` is a serve control line, not a batch request".into())
+                }
+                serve::RequestLine::Malformed { message } => return Err(message),
+                serve::RequestLine::Analyze {
+                    program,
+                    annotations,
+                    isa,
+                } => (program, annotations, isa),
+            };
             // Paths resolve relative to the manifest, so a request file
             // can ship next to its programs.
-            let resolve = |p: &str| {
-                let as_path = std::path::Path::new(p);
-                if as_path.is_absolute() || manifest_dir.as_os_str().is_empty() {
-                    p.to_owned()
+            let resolve = |p: &std::path::Path| {
+                if p.is_absolute() || manifest_dir.as_os_str().is_empty() {
+                    p.to_string_lossy().into_owned()
                 } else {
-                    manifest_dir.join(as_path).to_string_lossy().into_owned()
+                    manifest_dir.join(p).to_string_lossy().into_owned()
                 }
             };
-            let program = resolve(program);
-            let annot = annot.map(resolve);
+            let program = resolve(&program);
+            let annot = annot.as_deref().map(resolve);
 
-            let image = load_image(&program)?;
+            let request_opts = opts.for_request(isa);
+            let image = load_image(&program, request_opts.isa)?;
             let annotations = load_annotations(annot.as_deref())?;
-            let (report, _) = analyze_one(&image, annotations, opts, cache.as_mut(), Some(&pool))?;
+            let (report, _) = analyze_one(
+                &image,
+                annotations,
+                &request_opts,
+                cache.as_mut(),
+                Some(&pool),
+            )?;
 
             requests += 1;
             println!("── batch: {program} ──");
@@ -288,6 +320,12 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                     return Err("--threads must be at least 1".to_owned());
                 }
                 opts.parallelism = Some(n);
+            }
+            "--isa" => {
+                let raw = it.next().ok_or_else(|| "--isa needs a name".to_owned())?;
+                opts.isa = IsaKind::parse(raw).ok_or_else(|| {
+                    format!("unknown ISA `{raw}` (expected one of: house, rv32i)")
+                })?;
             }
             "--cache-dir" => {
                 opts.cache_dir = Some(
@@ -351,10 +389,10 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
     Ok((opts, files))
 }
 
-fn load_image(source_path: &str) -> Result<Image, String> {
+fn load_image(source_path: &str, isa: IsaKind) -> Result<Image, String> {
     let source = std::fs::read_to_string(source_path)
         .map_err(|e| format!("cannot read {source_path}: {e}"))?;
-    assemble(&source).map_err(|e| format!("{source_path}: {e}"))
+    assemble_for(isa, &source).map_err(|e| format!("{source_path}: {e}"))
 }
 
 fn load_annotations(path: Option<&str>) -> Result<AnnotationSet, String> {
@@ -385,9 +423,9 @@ fn analyzer_config(
     annotations: AnnotationSet,
 ) -> (AnalyzerConfig, MachineConfig) {
     let machine = if opts.caches {
-        MachineConfig::with_caches()
+        MachineConfig::with_caches_for(opts.isa)
     } else {
-        MachineConfig::simple()
+        MachineConfig::simple_for(opts.isa)
     };
     let config = AnalyzerConfig {
         machine: machine.clone(),
@@ -396,6 +434,7 @@ fn analyzer_config(
         parallelism: opts.parallelism,
         context_depth: opts.context_depth,
         persistence: opts.persistence,
+        isa: opts.isa,
         ..AnalyzerConfig::new()
     };
     (config, machine)
@@ -474,8 +513,12 @@ fn build_service(opts: &CliOptions) -> Result<AnalysisService, String> {
     let (config, _) = analyzer_config(opts, AnnotationSet::new());
     let fingerprint = config_fingerprint(&config);
     let opts = opts.clone();
-    let handler = move |program: &Path, annotations: Option<&Path>| -> Result<String, String> {
-        let image = load_image(&program.to_string_lossy())?;
+    let handler = move |program: &Path,
+                        annotations: Option<&Path>,
+                        isa: Option<IsaKind>|
+          -> Result<String, String> {
+        let opts = opts.for_request(isa);
+        let image = load_image(&program.to_string_lossy(), opts.isa)?;
         let annot_path = annotations.map(|p| p.to_string_lossy().into_owned());
         let annotations = load_annotations(annot_path.as_deref())?;
         let mut cache = open_cache(opts.cache_dir.as_deref())?;
@@ -564,11 +607,12 @@ fn print_usage() {
     println!(
         "wcet — static WCET analyzer (reproduction of 'Software Structure \
          and WCET Predictability', PPES/DATE 2011)\n\n\
-         usage:\n  wcet <program.s> [--annotations <file>] [--caches] \
-         [--unroll] [--context-depth <k>] [--persistence] [--threads <n>] \
-         [--cache-dir <dir>] [--disasm] [--check-only] [--run]\n  \
-         wcet batch <manifest> [--cache-dir <dir>] [--caches] [--unroll] \
-         [--context-depth <k>] [--persistence] [--threads <n>]\n  \
+         usage:\n  wcet <program.s> [--annotations <file>] [--isa <name>] \
+         [--caches] [--unroll] [--context-depth <k>] [--persistence] \
+         [--threads <n>] [--cache-dir <dir>] [--disasm] [--check-only] \
+         [--run]\n  \
+         wcet batch <manifest> [--cache-dir <dir>] [--isa <name>] [--caches] \
+         [--unroll] [--context-depth <k>] [--persistence] [--threads <n>]\n  \
          wcet serve <socket> | --stdio [--cache-dir <dir>] [--workers <n>] \
          [--max-cache-bytes <size>] [analysis options]\n  \
          wcet gc --cache-dir <dir> [--max-bytes <size>]\n  \

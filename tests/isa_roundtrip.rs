@@ -1,0 +1,529 @@
+//! Per-backend binary round-trip properties and the cache-key forking
+//! contract of the ISA boundary.
+//!
+//! The property tests drive each backend's encoder and decoder with
+//! randomly generated *encodable* instructions (the generators honor each
+//! ISA's immediate ranges, displacement reach, and subset restrictions)
+//! and pin `decode(encode(inst)) == inst`, plus the disassembler listing
+//! rendering every instruction it decodes. The vendored proptest runner
+//! is deterministic (fixed seed per test name), so failures reproduce.
+//!
+//! The cache tests pin the multi-ISA artifact-cache contract: the config
+//! fingerprint forks on the ISA tag alone, and a store warmed under one
+//! backend yields *zero* artifact hits under the other — instruction
+//! words mean different things per backend, so replaying across ISAs
+//! would be unsound.
+
+use std::process::Command;
+
+use proptest::prelude::*;
+use proptest::sample::select;
+use wcet_predictability::core::analyzer::AnalyzerConfig;
+use wcet_predictability::core::incr::config_fingerprint;
+use wcet_predictability::isa::{
+    disasm, Addr, AluOp, Cond, FAluOp, FCond, FReg, Image, Inst, IsaKind, Reg, Width,
+};
+
+/// Every instruction is encoded as if placed at this address; branch and
+/// jump targets are generated relative to it so displacements stay in
+/// range for both backends.
+const AT: Addr = Addr(0x0001_0000);
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..16u8).prop_map(Reg::new)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..8u8).prop_map(FReg::new)
+}
+
+/// A word-aligned target within `words` instruction slots of [`AT`].
+fn target(words: i64) -> impl Strategy<Value = Addr> {
+    (-words..=words).prop_map(|w| AT.offset(4 * w))
+}
+
+/// Any instruction the house encoder accepts at [`AT`]: the full semantic
+/// set, with 16-bit immediates (zero-extended for the logical ops,
+/// sign-extended otherwise) and word displacements well inside the 16-bit
+/// branch / 26-bit jump fields.
+fn house_inst() -> BoxedStrategy<Inst> {
+    prop_oneof![
+        (select(AluOp::ALL.to_vec()), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        // Logical immediates are unsigned 16-bit, everything else signed.
+        (
+            select(vec![AluOp::And, AluOp::Or, AluOp::Xor]),
+            reg(),
+            reg(),
+            0i32..=0xffff,
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (
+            select(vec![
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::Mulhu,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::Sra,
+                AluOp::Slt,
+                AluOp::Sltu,
+            ]),
+            reg(),
+            reg(),
+            -32768i32..=32767,
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (reg(), 0u32..=0xffff).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (select(Width::ALL.to_vec()), reg(), reg(), -32768i32..=32767).prop_map(
+            |(width, rd, base, offset)| Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            }
+        ),
+        (select(Width::ALL.to_vec()), reg(), reg(), -32768i32..=32767).prop_map(
+            |(width, rs, base, offset)| Inst::Store {
+                width,
+                rs,
+                base,
+                offset,
+            }
+        ),
+        (select(Cond::ALL.to_vec()), reg(), reg(), target(900)).prop_map(
+            |(cond, rs1, rs2, target)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
+        ),
+        target(200_000).prop_map(|target| Inst::Jump { target }),
+        target(200_000).prop_map(|target| Inst::Call { target }),
+        reg().prop_map(|rs| Inst::JumpInd { rs }),
+        reg().prop_map(|rs| Inst::CallInd { rs }),
+        Just(Inst::Ret),
+        (reg(), reg(), reg(), reg()).prop_map(|(rd, rc, rt, rf)| Inst::Select { rd, rc, rt, rf }),
+        (select(FAluOp::ALL.to_vec()), freg(), freg(), freg())
+            .prop_map(|(op, fd, fs1, fs2)| Inst::FAlu { op, fd, fs1, fs2 }),
+        (select(FCond::ALL.to_vec()), freg(), freg(), target(900)).prop_map(
+            |(cond, fs1, fs2, target)| Inst::FBranch {
+                cond,
+                fs1,
+                fs2,
+                target,
+            }
+        ),
+        (freg(), reg()).prop_map(|(fd, rs)| Inst::FMov { fd, rs }),
+        (freg(), reg()).prop_map(|(fd, rs)| Inst::FCvt { fd, rs }),
+        (reg(), reg()).prop_map(|(rd, rs)| Inst::Alloc { rd, rs }),
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+    ]
+    .boxed()
+}
+
+/// Any instruction the RV32I backend encodes at [`AT`]: no FP, no select,
+/// no alloc, 12-bit immediates, ±4 KiB branches, ±1 MiB jumps. Two shapes
+/// are remapped rather than filtered because they alias canonical words:
+/// `addi x0, x0, 0` *is* the NOP word (decodes as `Inst::Nop`), and
+/// `jalr x0, 0(x15)` *is* the `ret` word (the encoder rejects
+/// `JumpInd { rs: r15 }` as unencodable).
+fn rv32i_inst() -> BoxedStrategy<Inst> {
+    prop_oneof![
+        // All twelve ALU ops exist in R-type form (mul/mulhu via M).
+        (select(AluOp::ALL.to_vec()), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (
+            select(vec![
+                AluOp::Add,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Or,
+                AluOp::And,
+            ]),
+            reg(),
+            reg(),
+            -2048i32..=2047,
+        )
+            .prop_map(|(op, rd, rs1, imm)| {
+                // Dodge the canonical NOP alias, keeping the case valid.
+                let imm = if op == AluOp::Add && rd == Reg::new(0) && rs1 == Reg::new(0) && imm == 0
+                {
+                    1
+                } else {
+                    imm
+                };
+                Inst::AluImm { op, rd, rs1, imm }
+            }),
+        (
+            select(vec![AluOp::Shl, AluOp::Shr, AluOp::Sra]),
+            reg(),
+            reg(),
+            0i32..=31,
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (reg(), 0u32..=0xffff).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (select(Width::ALL.to_vec()), reg(), reg(), -2048i32..=2047).prop_map(
+            |(width, rd, base, offset)| Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            }
+        ),
+        (select(Width::ALL.to_vec()), reg(), reg(), -2048i32..=2047).prop_map(
+            |(width, rs, base, offset)| Inst::Store {
+                width,
+                rs,
+                base,
+                offset,
+            }
+        ),
+        (select(Cond::ALL.to_vec()), reg(), reg(), target(500)).prop_map(
+            |(cond, rs1, rs2, target)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
+        ),
+        target(200_000).prop_map(|target| Inst::Jump { target }),
+        target(200_000).prop_map(|target| Inst::Call { target }),
+        (0u8..15u8).prop_map(|i| Inst::JumpInd { rs: Reg::new(i) }),
+        reg().prop_map(|rs| Inst::CallInd { rs }),
+        Just(Inst::Ret),
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+    ]
+    .boxed()
+}
+
+/// The shared round-trip body: encode at [`AT`], decode the word back,
+/// and check the disassembler renders the instruction from a one-word
+/// image (disassembly goes through [`Image::decode_code`], so this also
+/// exercises the tagged-image dispatch path).
+fn round_trip(isa: IsaKind, inst: &Inst) -> TestCaseResult {
+    let word = match isa.encode(inst, AT) {
+        Ok(w) => w,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{isa} refuses a generated instruction {inst:?}: {e}"
+            )))
+        }
+    };
+    let back = match isa.decode(word, AT) {
+        Ok(i) => i,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{isa} cannot decode its own word {word:#010x} for {inst:?}: {e}"
+            )))
+        }
+    };
+    prop_assert_eq!(&back, inst, "{} round trip of {:#010x}", isa, word);
+
+    let image = Image::from_code_words_for(isa, AT, AT, &[word]);
+    let listing = match disasm::disassemble(&image) {
+        Ok(l) => l,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{isa} disassembly of {word:#010x} fails: {e}"
+            )))
+        }
+    };
+    prop_assert!(
+        listing.contains(&inst.to_string()),
+        "{} listing omits `{}`:\n{}",
+        isa,
+        inst,
+        listing
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn house_encode_decode_disasm_round_trip(inst in house_inst()) {
+        round_trip(IsaKind::House, &inst)?;
+    }
+
+    #[test]
+    fn rv32i_encode_decode_disasm_round_trip(inst in rv32i_inst()) {
+        round_trip(IsaKind::Rv32i, &inst)?;
+    }
+
+    /// Whole-sequence consistency: `encode_all` agrees with per-word
+    /// `encode` at each address, and `decode_region` inverts it.
+    #[test]
+    fn house_encode_all_agrees_with_decode_region(
+        a in house_inst(), b in house_inst(), c in house_inst(),
+    ) {
+        sequence_round_trip(IsaKind::House, &[a, b, c])?;
+    }
+
+    #[test]
+    fn rv32i_encode_all_agrees_with_decode_region(
+        a in rv32i_inst(), b in rv32i_inst(), c in rv32i_inst(),
+    ) {
+        sequence_round_trip(IsaKind::Rv32i, &[a, b, c])?;
+    }
+
+    /// The disassembler's rendering re-assembles: an instruction's
+    /// `Display` text, fed back through `assemble_for`, produces the
+    /// same instruction under the same backend. Control transfers are
+    /// skipped — they render absolute hex targets where the assembler
+    /// takes label identifiers only.
+    #[test]
+    fn house_display_reassembles(inst in house_inst()) {
+        display_reassembles(IsaKind::House, &inst)?;
+    }
+
+    #[test]
+    fn rv32i_display_reassembles(inst in rv32i_inst()) {
+        display_reassembles(IsaKind::Rv32i, &inst)?;
+    }
+}
+
+fn display_reassembles(isa: IsaKind, inst: &Inst) -> TestCaseResult {
+    if matches!(
+        inst,
+        Inst::Branch { .. } | Inst::FBranch { .. } | Inst::Jump { .. } | Inst::Call { .. }
+    ) {
+        return Ok(());
+    }
+    let src = format!(".org 0x{:x}\nmain:\n {inst}\n halt\n", AT.0);
+    let image = match wcet_predictability::isa::asm::assemble_for(isa, &src) {
+        Ok(i) => i,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{isa} assembler rejects the rendering `{inst}`: {e}"
+            )))
+        }
+    };
+    let decoded = image
+        .decode_code()
+        .map_err(|e| TestCaseError::fail(format!("{isa} decode of reassembly: {e}")))?;
+    prop_assert_eq!(
+        &decoded[0].1,
+        inst,
+        "{}: `{}` reassembled to something else",
+        isa,
+        inst
+    );
+    Ok(())
+}
+
+fn sequence_round_trip(isa: IsaKind, insts: &[Inst]) -> TestCaseResult {
+    let words = match isa.encode_all(insts, AT) {
+        Ok(w) => w,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{isa} refuses a generated sequence {insts:?}: {e}"
+            )))
+        }
+    };
+    for (i, (&word, inst)) in words.iter().zip(insts).enumerate() {
+        let at = AT.offset(4 * i as i64);
+        prop_assert_eq!(
+            isa.encode(inst, at).expect("single encode agrees"),
+            word,
+            "word {} of the sequence",
+            i
+        );
+    }
+    let decoded = match isa.decode_region(&words, AT) {
+        Ok(d) => d,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{isa} cannot decode its own region: {e}"
+            )))
+        }
+    };
+    let back: Vec<Inst> = decoded.into_iter().map(|(_, i)| i).collect();
+    prop_assert_eq!(&back[..], insts, "{} region round trip", isa);
+    Ok(())
+}
+
+/// The subset boundary is explicit, not a decode surprise: every
+/// house-only shape comes back [`wcet_predictability::isa::IsaError::Unencodable`]
+/// from the RV32I encoder.
+#[test]
+fn rv32i_rejects_house_only_shapes_as_unencodable() {
+    use wcet_predictability::isa::IsaError;
+    let shapes = [
+        Inst::Select {
+            rd: Reg::new(1),
+            rc: Reg::new(2),
+            rt: Reg::new(3),
+            rf: Reg::new(4),
+        },
+        Inst::FAlu {
+            op: FAluOp::FAdd,
+            fd: FReg::new(0),
+            fs1: FReg::new(1),
+            fs2: FReg::new(2),
+        },
+        Inst::FBranch {
+            cond: FCond::FEq,
+            fs1: FReg::new(0),
+            fs2: FReg::new(1),
+            target: AT,
+        },
+        Inst::FMov {
+            fd: FReg::new(0),
+            rs: Reg::new(1),
+        },
+        Inst::FCvt {
+            fd: FReg::new(0),
+            rs: Reg::new(1),
+        },
+        Inst::Alloc {
+            rd: Reg::new(1),
+            rs: Reg::new(2),
+        },
+        Inst::AluImm {
+            op: AluOp::Sub,
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 1,
+        },
+        Inst::JumpInd { rs: Reg::LINK },
+    ];
+    for inst in &shapes {
+        assert!(
+            matches!(
+                IsaKind::Rv32i.encode(inst, AT),
+                Err(IsaError::Unencodable { isa: "rv32i", .. })
+            ),
+            "{inst:?} must be unencodable on rv32i"
+        );
+        // ... while the house backend takes every one of them.
+        IsaKind::House
+            .encode(inst, AT)
+            .unwrap_or_else(|e| panic!("house encodes {inst:?}: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The artifact-cache key space forks on the ISA tag.
+// ---------------------------------------------------------------------------
+
+/// Two configs differing in *nothing but* the ISA tag fingerprint
+/// differently — the fork does not depend on the machine model also
+/// changing. And `for_isa(House)` is exactly the pre-multi-ISA default,
+/// so house cache keys (and goldens) are unchanged by the boundary.
+#[test]
+fn config_fingerprint_forks_on_the_isa_tag_alone() {
+    let house = AnalyzerConfig::new();
+    let rv = AnalyzerConfig {
+        isa: IsaKind::Rv32i,
+        ..AnalyzerConfig::new()
+    };
+    assert_ne!(
+        config_fingerprint(&house),
+        config_fingerprint(&rv),
+        "the fingerprint must fork on the ISA tag alone"
+    );
+    assert_eq!(
+        config_fingerprint(&AnalyzerConfig::for_isa(IsaKind::House)),
+        config_fingerprint(&house),
+        "for_isa(House) is the pre-multi-ISA configuration"
+    );
+}
+
+fn wcet(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_wcet"))
+        .args(args)
+        .output()
+        .expect("spawning wcet binary")
+}
+
+/// Drops the wall-clock lines from a report so runs compare byte-for-byte.
+fn strip_timings(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.contains("Phase") && !l.contains("Graph") && !l.contains("Analysis:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// End to end through the binary: warming the store under one ISA buys
+/// nothing under the other (zero artifact hits — the key spaces are
+/// disjoint), while each ISA's own warm rerun hits everything and prints
+/// a byte-identical report.
+#[test]
+fn artifact_cache_space_forks_on_the_isa() {
+    let dir = std::env::temp_dir().join(format!("wcet-isa-fork-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // A source portable across backends: `li`/`subi` assemble on both
+    // (the rv32 builder normalizes `subi` to `addi` with a negated
+    // immediate), so the *same bytes on disk* exercise both key spaces.
+    let program = dir.join("countdown.s");
+    std::fs::write(
+        &program,
+        ".org 0x1000\nmain:\n li r1, 4\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n halt\n",
+    )
+    .expect("write program");
+    let cache_dir = dir.join("cache");
+
+    let run = |isa: &str| {
+        let out = wcet(&[
+            program.to_str().unwrap(),
+            "--isa",
+            isa,
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "--isa {isa} run exits 0: {out:?}");
+        (
+            strip_timings(&out.stdout),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    let (house_cold_out, house_cold_err) = run("house");
+    assert!(
+        house_cold_err.contains("0/1 function artifact(s) hit"),
+        "house cold run misses:\n{house_cold_err}"
+    );
+    let (house_warm_out, house_warm_err) = run("house");
+    assert!(
+        house_warm_err.contains("1/1 function artifact(s) hit"),
+        "house warm run replays:\n{house_warm_err}"
+    );
+    assert_eq!(house_cold_out, house_warm_out, "house warm == cold");
+
+    // Same source, same cache directory, other backend: nothing replays.
+    let (rv_cold_out, rv_cold_err) = run("rv32i");
+    assert!(
+        rv_cold_err.contains("0/1 function artifact(s) hit"),
+        "a house-warmed store must yield zero rv32i hits:\n{rv_cold_err}"
+    );
+    let (rv_warm_out, rv_warm_err) = run("rv32i");
+    assert!(
+        rv_warm_err.contains("1/1 function artifact(s) hit"),
+        "rv32i warm run replays:\n{rv_warm_err}"
+    );
+    assert_eq!(rv_cold_out, rv_warm_out, "rv32i warm == cold");
+
+    assert_ne!(
+        house_cold_out, rv_cold_out,
+        "the two backends analyze to different reports"
+    );
+
+    // And back: the rv32i traffic did not evict or alias the house keys.
+    let (house_again_out, house_again_err) = run("house");
+    assert!(
+        house_again_err.contains("1/1 function artifact(s) hit"),
+        "house artifacts survive rv32i traffic:\n{house_again_err}"
+    );
+    assert_eq!(house_again_out, house_cold_out);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -139,7 +139,7 @@ fn batch_isolates_failing_requests_and_reports_them_in_the_exit_code() {
     for needle in [
         "batch.txt:2: cannot read",
         "batch.txt:3:",
-        "batch.txt:4: expected `<program.s> [annotations]`",
+        "batch.txt:4: expected `<program.s> [annotations] [--isa <name>]`",
         "batch: 3 of 5 request(s) failed",
     ] {
         assert!(stderr.contains(needle), "missing `{needle}`:\n{stderr}");
@@ -149,6 +149,91 @@ fn batch_isolates_failing_requests_and_reports_them_in_the_exit_code() {
         stderr.contains("batch done: 2 request(s), 1/2 function artifact(s) served from cache"),
         "summary line intact after failures:\n{stderr}"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_stdio_mixed_isa_stream() {
+    let dir = scratch_dir("stdio-mixed-isa");
+    let prog = dir.join("p.s");
+    // In the RV32I subset, so the same source analyzes on both backends.
+    std::fs::write(
+        &prog,
+        "main:\n li r1, 4\nl:\n subi r1, r1, 1\n bne r1, r0, l\n halt\n",
+    )
+    .expect("write program");
+    let p = prog.to_str().unwrap();
+
+    let requests = format!("{p}\n{p} --isa rv32i\n{p} --isa house\n@shutdown\n");
+    let (frames, bye, out) = serve_stdio(&requests, &[]);
+    assert!(out.status.success());
+    assert_eq!(bye, Some((3, 0)));
+    assert_eq!(frames.len(), 3);
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.kind, "ok", "request {} succeeds", i + 1);
+        assert_eq!(frame.seq, (i + 1) as u64);
+    }
+    // Identity oracle per ISA: each frame matches the single-shot run
+    // with the same selector byte-for-byte modulo wall clocks.
+    let house_single = wcet(&[p]);
+    let rv32_single = wcet(&[p, "--isa", "rv32i"]);
+    assert!(house_single.status.success() && rv32_single.status.success());
+    assert_eq!(
+        strip_timings(&frames[0].payload),
+        strip_timings(&house_single.stdout),
+        "default request = single-shot house report"
+    );
+    assert_eq!(
+        strip_timings(&frames[1].payload),
+        strip_timings(&rv32_single.stdout),
+        "--isa rv32i request = single-shot rv32i report"
+    );
+    assert_eq!(
+        strip_timings(&frames[2].payload),
+        strip_timings(&house_single.stdout),
+        "--isa house override = the default backend"
+    );
+    // And the two backends genuinely disagree (different timing models),
+    // so any cross-ISA report sharing would be visible here.
+    assert_ne!(
+        strip_timings(&frames[0].payload),
+        strip_timings(&frames[1].payload),
+        "house and rv32i reports must differ"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_manifest_isa_tokens_select_backends() {
+    let dir = scratch_dir("batch-mixed-isa");
+    let prog = dir.join("p.s");
+    std::fs::write(
+        &prog,
+        "main:\n li r1, 3\nl:\n subi r1, r1, 1\n bne r1, r0, l\n halt\n",
+    )
+    .expect("write program");
+    let manifest = dir.join("batch.txt");
+    // Relative paths resolve against the manifest; per-line `--isa`
+    // overrides the CLI default (rv32i here, so line 1 is the override).
+    std::fs::write(&manifest, "p.s --isa house\np.s\n").expect("write manifest");
+
+    let out = wcet(&["batch", manifest.to_str().unwrap(), "--isa", "rv32i"]);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "mixed-ISA batch succeeds:\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(stdout.matches("── batch: ").count(), 2, "{stdout}");
+    // The two runs differ: same source, different backend bounds.
+    let house_single = wcet(&[prog.to_str().unwrap()]);
+    let rv32_single = wcet(&[prog.to_str().unwrap(), "--isa", "rv32i"]);
+    let wcet_line = |o: &Output| {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .find(|l| l.starts_with("task WCET bound:"))
+            .expect("wcet line")
+            .to_owned()
+    };
+    assert!(stdout.contains(&wcet_line(&house_single)), "{stdout}");
+    assert!(stdout.contains(&wcet_line(&rv32_single)), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

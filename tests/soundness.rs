@@ -219,6 +219,56 @@ fn workload_soundness_oracle() {
     }
 }
 
+/// The cross-ISA soundness oracle: every RV32I corpus port runs
+/// concretely through the interpreter's RV32I cycle accounting (its own
+/// timing model over rv32i-encoded words) and the observed cycles must
+/// lie within the RV32I analysis's [BCET, WCET] envelope — the same
+/// guarantee the house backend gives, end to end through the generic
+/// pipeline.
+#[test]
+fn rv32i_workload_soundness_oracle() {
+    use wcet_predictability::core::analyzer::AnalyzerConfig;
+    use wcet_predictability::core::workload;
+    use wcet_predictability::isa::IsaKind;
+
+    for w in workload::rv32i_corpus() {
+        assert_eq!(w.image.isa, IsaKind::Rv32i);
+        for (machine, unrolling) in [
+            (MachineConfig::simple_for(IsaKind::Rv32i), false),
+            (MachineConfig::simple_for(IsaKind::Rv32i), true),
+            (MachineConfig::with_caches_for(IsaKind::Rv32i), true),
+        ] {
+            let config = AnalyzerConfig {
+                machine: machine.clone(),
+                annotations: w.annotations.clone(),
+                unrolling,
+                ..AnalyzerConfig::for_isa(IsaKind::Rv32i)
+            };
+            let report = WcetAnalyzer::with_config(config)
+                .analyze(&w.image)
+                .unwrap_or_else(|e| panic!("rv32i {} (unroll: {unrolling}) analyzes: {e}", w.name));
+            let mut interp = Interpreter::with_config(&w.image, machine);
+            let outcome = interp
+                .run(10_000_000)
+                .unwrap_or_else(|e| panic!("rv32i {} halts: {e}", w.name));
+            assert!(
+                outcome.cycles <= report.wcet_cycles,
+                "rv32i {} (unroll: {unrolling}): observed {} > WCET bound {}",
+                w.name,
+                outcome.cycles,
+                report.wcet_cycles
+            );
+            assert!(
+                outcome.cycles >= report.bcet_cycles,
+                "rv32i {} (unroll: {unrolling}): observed {} < BCET bound {}",
+                w.name,
+                outcome.cycles,
+                report.bcet_cycles
+            );
+        }
+    }
+}
+
 /// The oracle under context expansion: every corpus workload analyzed at
 /// `--context-depth 1` (and the context workloads at depth 2) must keep
 /// the observed execution inside `[BCET, WCET]`, and the context bound
