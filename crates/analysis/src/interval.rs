@@ -208,7 +208,12 @@ impl Interval {
         Interval::lift(lo, hi)
     }
 
-    /// Multiplication (top on possible wrap).
+    /// Multiplication, with the same full-wrap precision as
+    /// [`Interval::add`]/[`Interval::sub`]: when the whole product window
+    /// lands in a single 2³²-lap, its modulo-2³² image is a contiguous
+    /// window and is returned exactly — `(1 << 20) · (1 << 20)` is a
+    /// precise 0, not ⊤. Only a window straddling a lap boundary (whose
+    /// image would be a disjoint pair of ranges) widens to ⊤.
     #[must_use]
     pub fn mul(self, rhs: Interval) -> Interval {
         if self.is_bottom() || rhs.is_bottom() {
@@ -223,13 +228,15 @@ impl Interval {
         ];
         let lo = candidates.iter().copied().min().expect("nonempty");
         let hi = candidates.iter().copied().max().expect("nonempty");
-        if lo < 0 || hi > i128::from(UMAX) {
-            Interval::TOP
-        } else {
+        // Operands are u32 values, so every candidate is nonnegative;
+        // `lo >> 32 == hi >> 32` puts the whole window in one lap.
+        if lo >> 32 == hi >> 32 {
             Interval {
-                lo: lo as i64,
-                hi: hi as i64,
+                lo: (lo & i128::from(UMAX)) as i64,
+                hi: (hi & i128::from(UMAX)) as i64,
             }
+        } else {
+            Interval::TOP
         }
     }
 
@@ -432,10 +439,28 @@ mod tests {
         let straddling = Interval::new(u32::MAX - 1, u32::MAX).add(Interval::new(0, 5));
         assert!(straddling.is_top());
         assert!(Interval::new(0, 1).sub(Interval::constant(1)).is_top());
-        // Multiplication keeps the old conservative rule.
-        assert!(Interval::constant(1 << 20)
-            .mul(Interval::constant(1 << 20))
+        // Multiplication reduces full wraps the same way: 2²⁰ · 2²⁰ =
+        // 2⁴⁰ ≡ 0 (mod 2³²), a single point in one lap — exact.
+        assert_eq!(
+            Interval::constant(1 << 20).mul(Interval::constant(1 << 20)),
+            Interval::constant(0)
+        );
+        // A wider wrapping product window stays exact while it fits one
+        // lap: [2³¹, 2³¹+4] · 2 = [2³², 2³²+8] ≡ [0, 8].
+        assert_eq!(
+            Interval::new(1 << 31, (1 << 31) + 4).mul(Interval::constant(2)),
+            Interval::new(0, 8)
+        );
+        // A product window straddling a lap boundary would be a disjoint
+        // pair of ranges — not representable, so it widens to TOP.
+        assert!(Interval::new((1 << 31) - 1, 1 << 31)
+            .mul(Interval::constant(2))
             .is_top());
+        // The extreme corner: MAX · MAX = (2³²−1)² wraps to exactly 1.
+        assert_eq!(
+            Interval::constant(u32::MAX).mul(Interval::constant(u32::MAX)),
+            Interval::constant(1)
+        );
     }
 
     #[test]

@@ -675,13 +675,52 @@ impl WcetAnalyzer {
             fresh_fas.insert(f, (key, fa));
         }
         let items: Vec<(&Addr, &(Option<u64>, FunctionAnalysis))> = fresh_fas.iter().collect();
-        let (timed, cache_work) = pool.map_in_order(&items, |&(_, entry)| {
+        let (timed, cache_work) = pool.map_in_order(&items, |&(&f, entry)| {
             let fa = &entry.1;
-            let block_times =
-                BlockTimes::compute_with_overrides(fa, &self.config.machine, &overrides);
-            let cache_summary = self.config.machine.icache.as_ref().map(|icc| {
-                CacheAnalysis::instruction(fa.cfg(), icc, &self.config.machine.memmap).summary()
+            let machine = &self.config.machine;
+            // The flat pipeline does not track caller cache states, so a
+            // callee's fixpoint must start from the *unknown* ACS: the
+            // cold default proves absence for every line and classifies
+            // entry fetches always-miss, inflating the BCET whenever the
+            // caller's own fetches already warmed a shared line. Only the
+            // task entry genuinely starts on the cold machine.
+            let is_entry = f == program.entry;
+            let icache = machine.icache.as_ref().map(|cc| {
+                let unknown = (!is_entry).then(|| CacheStates::unknown(cc));
+                CacheAnalysis::instruction_with(
+                    fa.cfg(),
+                    cc,
+                    &machine.memmap,
+                    &CacheCtx {
+                        entry: unknown.as_ref(),
+                        ..CacheCtx::default()
+                    },
+                )
+                .analysis
             });
+            let accesses = fa.access_values();
+            let dcache = machine.dcache.as_ref().map(|cc| {
+                let unknown = (!is_entry).then(|| CacheStates::unknown(cc));
+                CacheAnalysis::data_with(
+                    fa.cfg(),
+                    cc,
+                    &machine.memmap,
+                    &accesses,
+                    &CacheCtx {
+                        entry: unknown.as_ref(),
+                        ..CacheCtx::default()
+                    },
+                )
+                .analysis
+            });
+            let block_times = BlockTimes::compute_from_parts(
+                fa,
+                machine,
+                &overrides,
+                icache.as_ref(),
+                dcache.as_ref(),
+            );
+            let cache_summary = icache.as_ref().map(CacheAnalysis::summary);
             (block_times, cache_summary)
         });
         let mut times: BTreeMap<Addr, BlockTimes> = warm_times;
@@ -1238,7 +1277,17 @@ impl WcetAnalyzer {
                 .collect();
             let inputs: Vec<CtxInput> = ids
                 .iter()
-                .map(|&id| ctx_entry_input(id, &contexts, &callgraph, &units, &base_entry))
+                .map(|&id| {
+                    ctx_entry_input(
+                        id,
+                        &contexts,
+                        &callgraph,
+                        &units,
+                        &base_entry,
+                        &self.config.machine,
+                        program.entry,
+                    )
+                })
                 .collect();
             let (results, work) = pool.map_in_order(&inputs, |input| {
                 self.analyze_ctx_unit(
@@ -1877,12 +1926,19 @@ impl WcetAnalyzer {
 /// the digest that keys per-context IPET solutions. Recursive functions
 /// and functions without resolved producers fall back to the ⊤ image
 /// entry state (today's merged behaviour) — sound for any call path.
+/// Their cache entries fall back to [`CacheStates::unknown`], not cold:
+/// only `task_entry`'s root context genuinely starts on a cold machine,
+/// and a cold fallback would classify entry fetches always-miss — an
+/// unsound BCET when a real caller already warmed the lines.
+#[allow(clippy::too_many_arguments)] // coordinator state, plumbed not stored
 fn ctx_entry_input(
     id: CtxId,
     contexts: &ContextTable,
     callgraph: &CallGraph,
     units: &BTreeMap<CtxId, CtxUnit>,
     base_entry: &AbstractState,
+    machine: &MachineConfig,
+    task_entry: Addr,
 ) -> CtxInput {
     let info = contexts.info(id);
     let mut state: Option<AbstractState> = None;
@@ -1915,6 +1971,15 @@ fn ctx_entry_input(
         }
     }
     let entry_state = state.unwrap_or_else(|| base_entry.clone());
+    let genuinely_cold = info.function == task_entry && info.preds.is_empty();
+    if !genuinely_cold {
+        if icache_entry.is_none() {
+            icache_entry = machine.icache.as_ref().map(CacheStates::unknown);
+        }
+        if dcache_entry.is_none() {
+            dcache_entry = machine.dcache.as_ref().map(CacheStates::unknown);
+        }
+    }
     let mut h = StableHasher::new();
     h.write_str("ctx-entry");
     h.write_u64(entry_state.digest());

@@ -61,7 +61,7 @@ use crate::analyzer::AnalyzerConfig;
 /// Version 4: multi-ISA — the config fingerprint carries the ISA tag, so
 /// the whole key space forks per backend and an artifact produced under
 /// one encoding can never satisfy a lookup under another.
-pub(crate) const CACHE_VERSION: u32 = 4;
+pub(crate) const CACHE_VERSION: u32 = 5;
 
 /// Magic prefix of every artifact file.
 const MAGIC: &[u8; 4] = b"WCAC";

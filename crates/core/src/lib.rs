@@ -40,6 +40,7 @@
 
 pub mod analyzer;
 pub mod experiments;
+pub mod fuzz;
 pub mod incr;
 pub mod parallel;
 pub mod phases;

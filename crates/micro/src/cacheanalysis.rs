@@ -56,7 +56,10 @@ pub struct CacheStates {
 
 impl CacheStates {
     /// The cold pair: no must guarantees, an empty (machine-start) may
-    /// cache. The sound entry state when nothing is known about callers.
+    /// cache. Sound only where the machine really starts cold (the task
+    /// entry); for a function with untracked callers use
+    /// [`CacheStates::unknown`] — cold's empty may cache proves absence,
+    /// which understates nothing but *overstates the BCET*.
     #[must_use]
     pub fn cold(config: &CacheConfig) -> CacheStates {
         CacheStates {
@@ -72,6 +75,22 @@ impl CacheStates {
     pub fn cold_persistent(config: &CacheConfig) -> CacheStates {
         let mut s = CacheStates::cold(config);
         s.persist = Some(AbstractCache::new(config.clone(), Polarity::Persist));
+        s
+    }
+
+    /// The unknown pair: no hit guarantees *and* no absence guarantees
+    /// (the may cache is poisoned in every set). This is the sound entry
+    /// state for a function whose callers are not tracked: the cold pair
+    /// claims every line *guaranteed absent*, classifying entry fetches
+    /// always-miss — which overstates the **BCET** whenever the caller
+    /// already warmed the lines (the call-site fetch alone warms the
+    /// callee's first line when they share one). Worst cases are
+    /// unaffected: not-classified and always-miss charge the same upper
+    /// latency. Only the task entry genuinely starts on a cold machine.
+    #[must_use]
+    pub fn unknown(config: &CacheConfig) -> CacheStates {
+        let mut s = CacheStates::cold(config);
+        s.may.access_unknown();
         s
     }
 

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! bench_gate --baseline bench-summaries --current target/bench-current \
-//!            --groups serve,incremental,persistence [--threshold-pct 15]
+//!            --groups serve,incremental,persistence [--threshold-pct 15] \
+//!            [--history bench-summaries/BENCH_history.jsonl]
 //! ```
 //!
 //! Rules, chosen so a gap never reads as a pass:
@@ -16,10 +17,21 @@
 //!   silently skipped it);
 //! * a bench id present in the baseline but absent from the current
 //!   summary is a failure (lost coverage);
-//! * a gated group with no committed baseline is reported and skipped —
+//! * a gated group with no committed baseline falls back to the *latest*
+//!   `--history` entry, so a group gates from its very first recorded
+//!   run; with no history entry either it is reported and skipped —
 //!   that is what a brand-new group looks like on its first run;
 //! * new bench ids in the current summary pass — they gate once a
 //!   baseline containing them is committed.
+//!
+//! The history file is a per-PR perf trajectory, one JSON line per CI
+//! run, appended by the bench job after the gate passes:
+//!
+//! ```text
+//! bench_gate append-history --current target/bench-current \
+//!            --history bench-summaries/BENCH_history.jsonl \
+//!            --sha <commit> --date <iso-utc>
+//! ```
 //!
 //! Quick-mode medians on shared runners are noisy; the committed
 //! baselines are refreshed deliberately (see `bench-summaries/README.md`)
@@ -70,6 +82,67 @@ fn load_summary(dir: &Path, group: &str) -> Option<Summary> {
     Some(parse_summary(&text))
 }
 
+/// Renders one history line. Medians are keyed `"<group>/<id>"` so the
+/// whole entry stays a single flat object — the same
+/// producer-and-consumer-in-one-repo bargain as `parse_summary`, and the
+/// reason `history_latest` can get away without a JSON parser.
+fn history_line(sha: &str, date: &str, groups: &BTreeMap<String, Summary>) -> String {
+    let mut medians = Vec::new();
+    for (group, summary) in groups {
+        for (id, ns) in summary {
+            medians.push(format!("\"{group}/{id}\":{ns}"));
+        }
+    }
+    format!(
+        "{{\"sha\":\"{sha}\",\"date\":\"{date}\",\"medians\":{{{}}}}}",
+        medians.join(",")
+    )
+}
+
+/// Parses the *latest* (last non-empty) history line back into
+/// per-group summaries. Returns `None` on an empty or absent history.
+fn history_latest(text: &str) -> Option<BTreeMap<String, Summary>> {
+    let line = text.lines().rev().find(|l| !l.trim().is_empty())?;
+    let (_, medians) = line.split_once("\"medians\":{")?;
+    let medians = medians.strip_suffix("}}").unwrap_or(medians);
+    let mut out: BTreeMap<String, Summary> = BTreeMap::new();
+    for entry in medians.split(',') {
+        let Some((key, value)) = entry.rsplit_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let Some((group, id)) = key.split_once('/') else {
+            continue;
+        };
+        if let Ok(ns) = value.trim().parse::<u64>() {
+            out.entry(group.to_owned())
+                .or_default()
+                .insert(id.to_owned(), ns);
+        }
+    }
+    Some(out)
+}
+
+/// Loads every `BENCH_<group>.json` under `dir` (the append side records
+/// *all* groups the run produced, not just the gated ones — the history
+/// is the trajectory, the gate is the subset with acceptance bars).
+fn load_all_summaries(dir: &Path) -> std::io::Result<BTreeMap<String, Summary>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(group) = name
+            .strip_prefix("BENCH_")
+            .and_then(|n| n.strip_suffix(".json"))
+        {
+            let text = std::fs::read_to_string(entry.path())?;
+            out.insert(group.to_owned(), parse_summary(&text));
+        }
+    }
+    Ok(out)
+}
+
 /// Compares one group; returns human-readable failures (empty = pass).
 fn gate_group(
     group: &str,
@@ -101,13 +174,30 @@ struct Options {
     current: PathBuf,
     groups: Vec<String>,
     threshold_pct: u64,
+    history: Option<PathBuf>,
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
+struct AppendOptions {
+    current: PathBuf,
+    history: PathBuf,
+    sha: String,
+    date: String,
+}
+
+enum Mode {
+    Gate(Options),
+    AppendHistory(AppendOptions),
+}
+
+fn parse_args(args: &[String]) -> Result<Mode, String> {
+    if args.first().map(String::as_str) == Some("append-history") {
+        return parse_append_args(&args[1..]).map(Mode::AppendHistory);
+    }
     let mut baseline = None;
     let mut current = None;
     let mut groups = Vec::new();
     let mut threshold_pct = 15u64;
+    let mut history = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -130,10 +220,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--threshold-pct: {e}"))?;
             }
+            "--history" => history = Some(PathBuf::from(value("--history")?)),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    Ok(Options {
+    Ok(Mode::Gate(Options {
         baseline: baseline.ok_or("--baseline <dir> is required")?,
         current: current.ok_or("--current <dir> is required")?,
         groups: if groups.is_empty() {
@@ -142,10 +233,43 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             groups
         },
         threshold_pct,
+        history,
+    }))
+}
+
+fn parse_append_args(args: &[String]) -> Result<AppendOptions, String> {
+    let mut current = None;
+    let mut history = None;
+    let mut sha = None;
+    let mut date = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--history" => history = Some(PathBuf::from(value("--history")?)),
+            "--sha" => sha = Some(value("--sha")?),
+            "--date" => date = Some(value("--date")?),
+            other => return Err(format!("append-history: unknown option `{other}`")),
+        }
+    }
+    Ok(AppendOptions {
+        current: current.ok_or("append-history: --current <dir> is required")?,
+        history: history.ok_or("append-history: --history <file> is required")?,
+        sha: sha.ok_or("append-history: --sha <commit> is required")?,
+        date: date.ok_or("append-history: --date <iso-utc> is required")?,
     })
 }
 
 fn run(opts: &Options) -> Result<(), Vec<String>> {
+    let mut history = opts.history.as_ref().and_then(|path| {
+        let text = std::fs::read_to_string(path).ok()?;
+        history_latest(&text)
+    });
     let mut failures = Vec::new();
     for group in &opts.groups {
         let Some(current) = load_summary(&opts.current, group) else {
@@ -155,12 +279,26 @@ fn run(opts: &Options) -> Result<(), Vec<String>> {
             ));
             continue;
         };
-        let Some(baseline) = load_summary(&opts.baseline, group) else {
-            eprintln!(
-                "bench_gate: {group}: no committed baseline in {}; skipping (new group)",
-                opts.baseline.display()
-            );
-            continue;
+        // The committed baseline wins; the latest history entry covers a
+        // gated group whose baseline has not been committed yet.
+        let baseline = match load_summary(&opts.baseline, group) {
+            Some(b) => b,
+            None => match history.as_mut().and_then(|h| h.remove(group)) {
+                Some(b) => {
+                    eprintln!(
+                        "bench_gate: {group}: no committed baseline in {}; gating against the latest history entry",
+                        opts.baseline.display()
+                    );
+                    b
+                }
+                None => {
+                    eprintln!(
+                        "bench_gate: {group}: no committed baseline in {} and no history entry; skipping (new group)",
+                        opts.baseline.display()
+                    );
+                    continue;
+                }
+            },
         };
         let group_failures = gate_group(group, &baseline, &current, opts.threshold_pct);
         if group_failures.is_empty() {
@@ -179,14 +317,57 @@ fn run(opts: &Options) -> Result<(), Vec<String>> {
     }
 }
 
+fn append_history(opts: &AppendOptions) -> Result<(), String> {
+    let groups = load_all_summaries(&opts.current)
+        .map_err(|e| format!("append-history: {}: {e}", opts.current.display()))?;
+    if groups.is_empty() {
+        return Err(format!(
+            "append-history: no BENCH_*.json in {} (bench run skipped?)",
+            opts.current.display()
+        ));
+    }
+    let line = history_line(&opts.sha, &opts.date, &groups);
+    let mut text = match std::fs::read_to_string(&opts.history) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("append-history: {}: {e}", opts.history.display())),
+    };
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&line);
+    text.push('\n');
+    std::fs::write(&opts.history, text)
+        .map_err(|e| format!("append-history: {}: {e}", opts.history.display()))?;
+    eprintln!(
+        "bench_gate: appended {} group(s) for {} to {}",
+        groups.len(),
+        opts.sha,
+        opts.history.display()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
-        Ok(o) => o,
+        Ok(Mode::Gate(o)) => o,
+        Ok(Mode::AppendHistory(o)) => {
+            return match append_history(&o) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("bench_gate: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Err(e) => {
             eprintln!("bench_gate: {e}");
             eprintln!(
-                "usage: bench_gate --baseline <dir> --current <dir> --groups <a,b,c> [--threshold-pct 15]"
+                "usage: bench_gate --baseline <dir> --current <dir> --groups <a,b,c> [--threshold-pct 15] [--history <file>]"
+            );
+            eprintln!(
+                "       bench_gate append-history --current <dir> --history <file> --sha <commit> --date <iso-utc>"
             );
             return ExitCode::from(2);
         }
@@ -259,6 +440,28 @@ mod tests {
             failures[0].contains("missing from the current run"),
             "{failures:?}"
         );
+    }
+
+    #[test]
+    fn history_line_round_trips_through_history_latest() {
+        let mut groups: BTreeMap<String, Summary> = BTreeMap::new();
+        groups.insert("persistence".into(), parse_summary(SAMPLE));
+        let mut serve = Summary::new();
+        serve.insert("stream/100 requests".into(), 42);
+        groups.insert("serve".into(), serve);
+        let line = history_line("deadbeef", "2026-08-08T00:00:00Z", &groups);
+        assert!(line.starts_with("{\"sha\":\"deadbeef\""), "{line}");
+        // Older entries are ignored: only the last non-empty line counts.
+        let stale = history_line("00000000", "2026-01-01T00:00:00Z", &groups);
+        let text = format!("{stale}\n{line}\n");
+        let parsed = history_latest(&text).expect("latest entry parses");
+        assert_eq!(parsed, groups);
+    }
+
+    #[test]
+    fn empty_history_yields_no_baseline() {
+        assert!(history_latest("").is_none());
+        assert!(history_latest("\n\n").is_none());
     }
 
     #[test]

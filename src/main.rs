@@ -45,6 +45,13 @@
 //! wcet gc --cache-dir <dir>      sweep stale temp files and, with
 //!        [--max-bytes <size>]    --max-bytes, evict LRU artifacts until
 //!                                the store fits under the watermark
+//! wcet fuzz [--programs N]       differential fuzzing: generate N random
+//!           [--seed S]           programs per ISA (deterministic in S),
+//!           [--isa <name>]       check interpreter-observed cycles against
+//!                                the analyzer's [BCET, WCET] across the
+//!                                whole config matrix, and shrink the first
+//!                                violation to a minimal reproducer;
+//!                                default: both ISAs
 //! wcet --table1 [samples]        regenerate the paper's Table 1
 //! wcet --experiments             regenerate every experiment (E1–E16)
 //! ```
@@ -55,6 +62,7 @@ use std::sync::Arc;
 
 use wcet_predictability::core::analyzer::{AnalysisReport, AnalyzerConfig, WcetAnalyzer};
 use wcet_predictability::core::experiments;
+use wcet_predictability::core::fuzz;
 use wcet_predictability::core::incr::{config_fingerprint, ArtifactCache};
 use wcet_predictability::core::parallel::{worker_count, WorkerPool};
 use wcet_predictability::core::serve::{self, AnalysisService};
@@ -152,6 +160,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     if args[0] == "gc" {
         return run_gc(&args[1..]);
+    }
+
+    if args[0] == "fuzz" {
+        return run_fuzz(&args[1..]);
     }
 
     // Single-image analyze mode.
@@ -585,6 +597,67 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `wcet fuzz`: the differential-fuzzing campaign (see `wcet_core::fuzz`).
+/// Deterministic in `--seed`: a CI failure replays locally with the same
+/// seed and program count.
+fn run_fuzz(args: &[String]) -> Result<(), String> {
+    let mut opts = fuzz::FuzzOptions {
+        programs: 500,
+        progress_every: 100,
+        ..fuzz::FuzzOptions::default()
+    };
+    let mut isa_override = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--programs" => {
+                let raw = value("--programs")?;
+                opts.programs = raw
+                    .parse()
+                    .map_err(|_| format!("invalid program count `{raw}`"))?;
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                opts.seed = raw.parse().map_err(|_| format!("invalid seed `{raw}`"))?;
+            }
+            "--isa" => {
+                let raw = value("--isa")?;
+                isa_override = Some(IsaKind::parse(&raw).ok_or_else(|| {
+                    format!("unknown ISA `{raw}` (expected one of: house, rv32i)")
+                })?);
+            }
+            other => return Err(format!("unknown fuzz option `{other}`")),
+        }
+    }
+    if let Some(isa) = isa_override {
+        opts.isas = vec![isa];
+    }
+    let isa_names: Vec<&str> = opts.isas.iter().map(|i| i.name()).collect();
+    eprintln!(
+        "wcet fuzz: {} program(s) per ISA [{}], seed {}",
+        opts.programs,
+        isa_names.join(", "),
+        opts.seed
+    );
+    let report = fuzz::run_campaign(&opts);
+    match report.failure {
+        None => {
+            eprintln!(
+                "wcet fuzz: {} program(s) checked across {} analyzer configs — no violations",
+                report.programs_checked,
+                fuzz::MATRIX.len()
+            );
+            Ok(())
+        }
+        Some(failure) => Err(format!("{failure}")),
+    }
+}
+
 /// `wcet gc`: one offline GC pass over a cache directory. Without
 /// `--max-bytes` it only sweeps stale temp files.
 fn run_gc(args: &[String]) -> Result<(), String> {
@@ -616,6 +689,7 @@ fn print_usage() {
          wcet serve <socket> | --stdio [--cache-dir <dir>] [--workers <n>] \
          [--max-cache-bytes <size>] [analysis options]\n  \
          wcet gc --cache-dir <dir> [--max-bytes <size>]\n  \
+         wcet fuzz [--programs <n>] [--seed <s>] [--isa <name>]\n  \
          wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }
