@@ -549,6 +549,106 @@ fn ilp_solvers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The LP engine end to end on IPET-shaped systems at three sizes:
+/// cold factorize-and-solve, warm re-solve from a recorded basis (the
+/// incremental-replay path — factorize once, no Gauss–Jordan), and
+/// branch-and-bound with a fractionality-forcing flow fact. The warm
+/// case at the largest size carries the tentpole acceptance bar
+/// (warm ≥ 3x over the pre-LU dense-inverse baseline); the headline
+/// ratio of this build's own cold/warm prints before the group.
+fn ipet_lp(c: &mut Criterion) {
+    use wcet_ilp::{Model, Sense, VarId};
+
+    // A chain of `segments` loop segments in the shape ipet.rs emits:
+    // per segment a taken/fallthrough split of the incoming flow, a
+    // rejoin, and a loop-bound row `body ≤ bound · taken`; the entry is
+    // pinned to one execution. Every row has 2-3 nonzeros — the
+    // sparsity the LU factorization exploits and a dense inverse
+    // squanders.
+    fn ipet_model(segments: usize, integer: bool) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let entry = if integer {
+            m.add_int_var("entry", 1, Some(1))
+        } else {
+            m.add_var("entry", 1.0, Some(1.0))
+        };
+        let mut prev = entry;
+        let mut objective: Vec<(VarId, f64)> = Vec::new();
+        for i in 0..segments {
+            let mut var = |name: String| {
+                if integer {
+                    m.add_int_var(&name, 0, None)
+                } else {
+                    m.add_var(&name, 0.0, None)
+                }
+            };
+            let t = var(format!("t{i}"));
+            let e = var(format!("f{i}"));
+            let b = var(format!("b{i}"));
+            let j = var(format!("j{i}"));
+            let bound = 4.0 + (i % 7) as f64;
+            m.add_eq(&[(t, 1.0), (e, 1.0), (prev, -1.0)], 0.0);
+            m.add_eq(&[(j, 1.0), (t, -1.0), (e, -1.0)], 0.0);
+            m.add_le(&[(b, 1.0), (t, -bound)], 0.0);
+            if integer && i % 8 == 0 {
+                // A flow-fact-style capacity row binding at a half-
+                // integral body count: the relaxation lands on
+                // `b = bound - 0.5`, so branch-and-bound really
+                // branches instead of accepting the root relaxation.
+                m.add_le(&[(b, 2.0)], 2.0 * bound - 1.0);
+            }
+            objective.push((t, 5.0 + (i % 3) as f64));
+            objective.push((e, 2.0));
+            objective.push((b, 7.0 + (i % 5) as f64));
+            objective.push((j, 1.0));
+            prev = j;
+        }
+        m.set_objective(&objective);
+        m
+    }
+
+    // Sizes land at m = 66/129/258 constraint rows (~the issue's
+    // 64/128/256 ladder).
+    let sizes = [(22usize, "m66"), (43, "m129"), (86, "m258")];
+
+    // The dense simplex is the oracle: both backends must agree on
+    // every size before anything is timed.
+    for (segments, tag) in sizes {
+        let model = ipet_model(segments, false);
+        let dense = wcet_ilp::simplex::solve_lp_dense(&model).expect("dense solves");
+        let sparse = wcet_ilp::sparse::solve_lp(&model).expect("sparse solves");
+        assert!(
+            (dense.objective - sparse.objective).abs() < 1e-6,
+            "{tag}: solver mismatch: {} vs {}",
+            dense.objective,
+            sparse.objective
+        );
+    }
+
+    let mut group = c.benchmark_group("ipet");
+    group.sample_size(20);
+    for (segments, tag) in sizes {
+        let model = ipet_model(segments, false);
+        group.bench_function(format!("cold/{tag}"), |b| {
+            b.iter(|| wcet_ilp::sparse::solve_lp_from(black_box(&model), None).expect("solves"))
+        });
+        let (cold_sol, snap) = wcet_ilp::sparse::solve_lp_from(&model, None).expect("cold solves");
+        group.bench_function(format!("warm/{tag}"), |b| {
+            b.iter(|| {
+                let (sol, _) = wcet_ilp::sparse::solve_lp_from(black_box(&model), Some(&snap))
+                    .expect("warm solves");
+                assert!((sol.objective - cold_sol.objective).abs() < 1e-6);
+                sol
+            })
+        });
+        let ilp = ipet_model(segments, true);
+        group.bench_function(format!("bnb/{tag}"), |b| {
+            b.iter(|| ilp.solve().expect("branches and bounds"))
+        });
+    }
+    group.finish();
+}
+
 /// Software-arithmetic throughput: the average-case-optimized routine vs
 /// the constant-time one (the paper's trade-off, measured).
 fn arithmetic(c: &mut Criterion) {
@@ -601,6 +701,7 @@ criterion_group!(
     incremental,
     serve_stream,
     ilp_solvers,
+    ipet_lp,
     arithmetic,
     interpreter
 );

@@ -22,7 +22,7 @@ use wcet_isa::{Addr, Image, IsaKind};
 use wcet_micro::blocktime::BlockTimes;
 use wcet_micro::cacheanalysis::{CacheAnalysis, CacheCtx, CacheStates};
 use wcet_micro::footprint::{self, CacheFootprint};
-use wcet_path::ipet::{self, CallCosts, PathError, WcetResult};
+use wcet_path::ipet::{self, CallCosts, LpStats, PathError, WcetResult};
 
 use crate::incr::{
     ipet_ctx_struct_key, ipet_full_key, ipet_site_full_key, ipet_struct_key, ArtifactCache,
@@ -858,6 +858,7 @@ impl WcetAnalyzer {
                                             },
                                         )],
                                         annotation_bounds,
+                                        lp: entry.lp,
                                     });
                                     continue;
                                 }
@@ -894,6 +895,7 @@ impl WcetAnalyzer {
                                 full_key: fkey,
                                 wcet: report.wcet.clone(),
                                 bcet: report.bcet.clone(),
+                                lp: outcome.lp,
                             },
                         );
                     }
@@ -904,6 +906,9 @@ impl WcetAnalyzer {
                     if mode.is_none() {
                         trace.loops_bounded_annot += outcome.annotation_bounds;
                     }
+                    trace.lp_pivots += outcome.lp.pivots;
+                    trace.lp_refactorizations += outcome.lp.refactorizations;
+                    trace.lp_presolve_removed += outcome.lp.presolve_removed;
                     for (f, report) in outcome.reports {
                         wcet_costs.insert(f, report.wcet.wcet_cycles);
                         bcet_costs.insert(f, report.bcet.wcet_cycles);
@@ -1023,6 +1028,7 @@ impl WcetAnalyzer {
     ) -> Result<GroupOutcome, AnalyzeError> {
         let mut reports: Vec<(Addr, FunctionReport)> = Vec::with_capacity(group.len());
         let mut annotation_bounds = 0usize;
+        let mut lp = LpStats::default();
         for &f in group {
             let unit = &units[&f];
             let (cfg, forest) = (unit.cfg(), unit.forest());
@@ -1062,16 +1068,16 @@ impl WcetAnalyzer {
                     b_costs.insert(member, 0);
                 }
                 (
-                    ipet::wcet(cfg, forest, ft, &bounds, &facts, &w_costs)
+                    ipet::wcet_with_stats(cfg, forest, ft, &bounds, &facts, &w_costs, &mut lp)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
-                    ipet::bcet(cfg, forest, ft, &bounds, &facts, &b_costs)
+                    ipet::bcet_with_stats(cfg, forest, ft, &bounds, &facts, &b_costs, &mut lp)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             } else {
                 (
-                    ipet::wcet(cfg, forest, ft, &bounds, &facts, wcet_costs)
+                    ipet::wcet_with_stats(cfg, forest, ft, &bounds, &facts, wcet_costs, &mut lp)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
-                    ipet::bcet(cfg, forest, ft, &bounds, &facts, bcet_costs)
+                    ipet::bcet_with_stats(cfg, forest, ft, &bounds, &facts, bcet_costs, &mut lp)
                         .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             };
@@ -1105,6 +1111,7 @@ impl WcetAnalyzer {
         Ok(GroupOutcome {
             reports,
             annotation_bounds,
+            lp,
         })
     }
 }
@@ -1171,6 +1178,9 @@ enum CtxGroup {
 /// What one context group's path analysis produced.
 struct CtxOutcome {
     reports: Vec<(CtxId, FunctionReport)>,
+    /// LP solver effort over the group's solves (replayed from the cache
+    /// on a hit, so warm and cold traces match).
+    lp: LpStats,
 }
 
 /// One function's call sites priced with the joined transitive
@@ -1450,6 +1460,7 @@ impl WcetAnalyzer {
                                         bcet: entry.bcet,
                                     },
                                 )],
+                                lp: entry.lp,
                             });
                             continue;
                         }
@@ -1483,6 +1494,7 @@ impl WcetAnalyzer {
                                 full_key: fkey,
                                 wcet: report.wcet.clone(),
                                 bcet: report.bcet.clone(),
+                                lp: outcome.lp,
                             },
                         );
                     }
@@ -1490,6 +1502,9 @@ impl WcetAnalyzer {
                 }
                 for outcome in served {
                     let outcome = outcome.expect("every group served or solved");
+                    trace.lp_pivots += outcome.lp.pivots;
+                    trace.lp_refactorizations += outcome.lp.refactorizations;
+                    trace.lp_presolve_removed += outcome.lp.presolve_removed;
                     for (ctx, report) in outcome.reports {
                         wcet_costs.insert(ctx, report.wcet.wcet_cycles);
                         bcet_costs.insert(ctx, report.bcet.wcet_cycles);
@@ -1848,7 +1863,8 @@ impl WcetAnalyzer {
     ) -> Result<CtxOutcome, AnalyzeError> {
         let solve_one = |ctx: CtxId,
                          zero_members: &[Addr],
-                         priced: Option<&[(Addr, u64, u64)]>|
+                         priced: Option<&[(Addr, u64, u64)]>,
+                         lp: &mut LpStats|
          -> Result<FunctionReport, AnalyzeError> {
             let f = contexts.info(ctx).function;
             let unit = &units[&ctx];
@@ -1871,18 +1887,22 @@ impl WcetAnalyzer {
                 }
                 None => site_cost_tables(unit, ctx, contexts, wcet_costs, bcet_costs, zero_members),
             };
-            let wcet = ipet::wcet(cfg, forest, &unit.times, &bounds, &facts, &w_costs)
-                .map_err(|error| AnalyzeError::Path { function: f, error })?;
-            let bcet = ipet::bcet(cfg, forest, &unit.times, &bounds, &facts, &b_costs)
-                .map_err(|error| AnalyzeError::Path { function: f, error })?;
+            let wcet =
+                ipet::wcet_with_stats(cfg, forest, &unit.times, &bounds, &facts, &w_costs, lp)
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
+            let bcet =
+                ipet::bcet_with_stats(cfg, forest, &unit.times, &bounds, &facts, &b_costs, lp)
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
             Ok(FunctionReport { wcet, bcet })
         };
 
+        let mut lp = LpStats::default();
         match group {
             CtxGroup::Single(ctx) => {
-                let report = solve_one(*ctx, &[], priced)?;
+                let report = solve_one(*ctx, &[], priced, &mut lp)?;
                 Ok(CtxOutcome {
                     reports: vec![(*ctx, report)],
+                    lp,
                 })
             }
             CtxGroup::Scc(members) => {
@@ -1893,7 +1913,7 @@ impl WcetAnalyzer {
                 let mut reports: Vec<(CtxId, FunctionReport)> = Vec::with_capacity(members.len());
                 for &f in members {
                     let ctx = contexts.ctxs_of(f)[0];
-                    let report = solve_one(ctx, members, None)?;
+                    let report = solve_one(ctx, members, None, &mut lp)?;
                     reports.push((ctx, report));
                 }
                 // Scale from a snapshot of the *raw* per-activation
@@ -1915,7 +1935,7 @@ impl WcetAnalyzer {
                     report.wcet.wcet_cycles = depth.saturating_mul(body_sum);
                     // One activation stays the sound lower bound.
                 }
-                Ok(CtxOutcome { reports })
+                Ok(CtxOutcome { reports, lp })
             }
         }
     }
@@ -2096,6 +2116,9 @@ struct GroupOutcome {
     reports: Vec<(Addr, FunctionReport)>,
     /// Annotation-sourced loop bounds seen (counted in global mode only).
     annotation_bounds: usize,
+    /// LP solver effort over the group's solves (replayed from the cache
+    /// on a hit, so warm and cold traces match).
+    lp: LpStats,
 }
 
 /// `(site, targets)` hint pairs for one kind of indirection.

@@ -46,7 +46,7 @@ use wcet_cfg::graph::Cfg;
 use wcet_guidelines::rules::{Finding, RuleId};
 use wcet_isa::hash::StableHasher;
 use wcet_isa::{Addr, Image};
-use wcet_path::ipet::WcetResult;
+use wcet_path::ipet::{LpStats, WcetResult};
 
 use crate::analyzer::AnalyzerConfig;
 
@@ -61,7 +61,10 @@ use crate::analyzer::AnalyzerConfig;
 /// Version 4: multi-ISA — the config fingerprint carries the ISA tag, so
 /// the whole key space forks per backend and an artifact produced under
 /// one encoding can never satisfy a lookup under another.
-pub(crate) const CACHE_VERSION: u32 = 5;
+/// Version 6: IPET entries carry the LP solver statistics (pivots,
+/// refactorizations, presolve eliminations) so a warm replay restores the
+/// exact trace counters the fresh solve produced.
+pub(crate) const CACHE_VERSION: u32 = 6;
 
 /// Magic prefix of every artifact file.
 const MAGIC: &[u8; 4] = b"WCAC";
@@ -331,6 +334,9 @@ pub struct IpetEntry {
     pub wcet: WcetResult,
     /// The BCET solve.
     pub bcet: WcetResult,
+    /// Solver effort of the two solves, replayed into the phase trace on
+    /// a hit so warm and cold runs render identical statistics.
+    pub lp: LpStats,
 }
 
 /// Per-run incremental statistics, attached to the report when a cache
@@ -1217,6 +1223,9 @@ fn encode_ipet_entry(entry: &IpetEntry) -> Vec<u8> {
     e.u64(entry.full_key);
     encode_wcet_result(&mut e, &entry.wcet);
     encode_wcet_result(&mut e, &entry.bcet);
+    e.u64(entry.lp.pivots);
+    e.u64(entry.lp.refactorizations);
+    e.u64(entry.lp.presolve_removed);
     e.seal()
 }
 
@@ -1225,10 +1234,16 @@ fn decode_ipet_entry(bytes: &[u8]) -> Option<IpetEntry> {
     let full_key = d.u64()?;
     let wcet = decode_wcet_result(&mut d)?;
     let bcet = decode_wcet_result(&mut d)?;
+    let lp = LpStats {
+        pivots: d.u64()?,
+        refactorizations: d.u64()?,
+        presolve_removed: d.u64()?,
+    };
     d.done().then_some(IpetEntry {
         full_key,
         wcet,
         bcet,
+        lp,
     })
 }
 
@@ -1357,6 +1372,11 @@ mod tests {
                     block_counts: BTreeMap::new(),
                     worst_path: Vec::new(),
                 },
+                lp: LpStats {
+                    pivots: 3,
+                    refactorizations: 1,
+                    presolve_removed: 2,
+                },
             };
             encode_ipet_entry(&entry)
         };
@@ -1380,6 +1400,11 @@ mod tests {
                 wcet_cycles: 17,
                 block_counts: BTreeMap::from([(BlockId(0), 1)]),
                 worst_path: vec![BlockId(0)],
+            },
+            lp: LpStats {
+                pivots: 41,
+                refactorizations: 2,
+                presolve_removed: 13,
             },
         };
         let bytes = encode_ipet_entry(&entry);

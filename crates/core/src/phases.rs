@@ -43,6 +43,15 @@ pub struct PhaseTrace {
     pub ilp_vars: usize,
     /// Path analysis: ILP constraints of the entry function's system.
     pub ilp_constraints: usize,
+    /// Path analysis: simplex pivots (including bound flips) summed over
+    /// every IPET solve of the run.
+    pub lp_pivots: u64,
+    /// Path analysis: basis refactorizations triggered by the eta-file
+    /// length or stability threshold, summed over every IPET solve.
+    pub lp_refactorizations: u64,
+    /// Path analysis: variables plus rows eliminated by LP presolve,
+    /// summed over every IPET solve.
+    pub lp_presolve_removed: u64,
     /// Wall-clock time per phase, in pipeline order (decode, cfg,
     /// loop/value, cache/pipeline, path).
     pub phase_times: [Duration; 5],
@@ -145,9 +154,25 @@ impl fmt::Display for PhaseTrace {
             self.fmt_time(3)
         )?;
         writeln!(f, "      |")?;
+        // Solver counters render only when nonzero (same rule as
+        // first-miss above): cached-replay and trivial runs keep the
+        // exact line older versions emitted.
+        let mut lp = String::new();
+        if self.lp_pivots > 0 {
+            lp.push_str(&format!(", {} pivot(s)", self.lp_pivots));
+        }
+        if self.lp_refactorizations > 0 {
+            lp.push_str(&format!(
+                ", {} refactorization(s)",
+                self.lp_refactorizations
+            ));
+        }
+        if self.lp_presolve_removed > 0 {
+            lp.push_str(&format!(", {} presolved away", self.lp_presolve_removed));
+        }
         writeln!(
             f,
-            "  [5] {}: ILP with {} variable(s), {} constraint(s) ({})",
+            "  [5] {}: ILP with {} variable(s), {} constraint(s){lp} ({})",
             Self::PHASE_NAMES[4],
             self.ilp_vars,
             self.ilp_constraints,
@@ -190,6 +215,27 @@ mod tests {
         );
         trace.cache_first_miss = 4;
         assert!(trace.to_string().contains("/ 4 first-miss /"));
+    }
+
+    #[test]
+    fn lp_counters_rendered_only_when_nonzero() {
+        let mut trace = PhaseTrace::default();
+        let plain = trace.to_string();
+        assert!(
+            !plain.contains("pivot") && !plain.contains("presolved"),
+            "zero LP counters stay invisible"
+        );
+        trace.lp_pivots = 12;
+        trace.lp_presolve_removed = 7;
+        let text = trace.to_string();
+        assert!(text.contains(", 12 pivot(s)"), "{text}");
+        assert!(
+            !text.contains("refactorization"),
+            "zero refactorizations stay invisible: {text}"
+        );
+        assert!(text.contains(", 7 presolved away"), "{text}");
+        trace.lp_refactorizations = 2;
+        assert!(trace.to_string().contains(", 2 refactorization(s)"));
     }
 
     #[test]

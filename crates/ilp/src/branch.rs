@@ -4,9 +4,21 @@
 //! are network-like), so branch-and-bound rarely branches — but it must
 //! exist for the flow-fact constraints that break total unimodularity
 //! (mutual exclusions, relative capacity constraints).
+//!
+//! The model is presolved **once at the root** ([`crate::presolve`], in
+//! integral mode): the whole tree then runs on the reduced model, and the
+//! incumbent is postsolved back to the original variable order at the
+//! end. Every node carries a [`WarmStart`] handle from its parent — the
+//! parent's optimal basis *and* its LU factorization. A child differs
+//! from its parent by one variable bound, which leaves the basis matrix
+//! untouched, so the child's solve reuses the factorization outright and
+//! starts phase 2 at the parent's vertex; the solver falls back to a
+//! fresh factorization or a cold two-phase start when the snapshot does
+//! not fit. Search order, pruning, and the incumbent are untouched — the
+//! tree is identical, only node solves get cheaper.
 
-use crate::model::{Model, Sense, Solution, SolveError};
-use crate::sparse::BasisSnapshot;
+use crate::model::{LpStats, Model, Sense, Solution, SolveError};
+use crate::sparse::{solve_lp_core, Start, WarmStart};
 
 const INT_TOL: f64 = 1e-6;
 
@@ -18,23 +30,31 @@ const INT_TOL: f64 = 1e-6;
 /// [`SolveError::Unbounded`] if the relaxation is unbounded,
 /// [`SolveError::IterationLimit`] past `model.max_nodes` nodes.
 pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
-    // Each stack entry is a set of tightened bounds overlaying the model,
-    // plus the parent relaxation's basis. A child differs from its parent
-    // by exactly one variable bound, so the parent's optimal basis is the
-    // canonical warm start: `solve_lp_from` reuses it when it stays
-    // primal-feasible under the tightened bound and falls back to a cold
-    // two-phase start otherwise. Search order, pruning, and the incumbent
-    // are untouched — the tree is identical, only node solves get cheaper.
-    #[derive(Clone)]
+    solve_ilp_with_stats(model, &mut LpStats::default())
+}
+
+/// [`solve_ilp`], accumulating solver effort counters (summed over every
+/// node relaxation) into `stats`.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_ilp`].
+pub fn solve_ilp_with_stats(model: &Model, stats: &mut LpStats) -> Result<Solution, SolveError> {
+    let pre = crate::presolve::presolve(model, true)?;
+    stats.presolve_removed += pre.removed as u64;
+    let reduced = &pre.reduced;
+
+    // Each stack entry is a set of tightened bounds overlaying the reduced
+    // model, plus the parent relaxation's warm-start handle.
     struct Node {
         lower: Vec<f64>,
         upper: Vec<Option<f64>>,
-        warm: Option<BasisSnapshot>,
+        warm: Option<WarmStart>,
     }
 
     let root = Node {
-        lower: model.vars.iter().map(|v| v.lower).collect(),
-        upper: model.vars.iter().map(|v| v.upper).collect(),
+        lower: reduced.vars.iter().map(|v| v.lower).collect(),
+        upper: reduced.vars.iter().map(|v| v.upper).collect(),
         warm: None,
     };
 
@@ -42,7 +62,11 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
     let mut incumbent: Option<Solution> = None;
     let mut nodes = 0usize;
 
-    let better = |candidate: f64, best: f64| match model.sense {
+    // Pruning compares *reduced* objectives: substitution may have
+    // dropped a constant term, but a constant shift cancels in every
+    // comparison, so the tree is the same one the unpresolved model
+    // would produce.
+    let better = |candidate: f64, best: f64| match reduced.sense {
         Sense::Maximize => candidate > best + INT_TOL,
         Sense::Minimize => candidate < best - INT_TOL,
     };
@@ -53,24 +77,40 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
             return Err(SolveError::IterationLimit);
         }
 
-        // Solve the relaxation with the node's bounds.
-        let mut relaxed = model.clone();
-        for (i, v) in relaxed.vars.iter_mut().enumerate() {
-            v.lower = node.lower[i];
-            v.upper = node.upper[i];
-            if v.upper.is_some_and(|u| u < v.lower - INT_TOL) {
-                // Empty box.
-                v.upper = Some(v.lower - 1.0); // force infeasibility below
-            }
-        }
-        if relaxed
-            .vars
+        // Solve the relaxation with the node's bounds. The root (and any
+        // node whose bound set matches the reduced model — the common,
+        // non-branching IPET case) borrows the reduced model outright
+        // instead of cloning it per node.
+        if node
+            .lower
             .iter()
-            .any(|v| v.upper.is_some_and(|u| u < v.lower))
+            .zip(&node.upper)
+            .any(|(&l, u)| u.is_some_and(|u| u < l))
         {
             continue;
         }
-        let (sol, basis) = match crate::sparse::solve_lp_from(&relaxed, node.warm.as_ref()) {
+        let unchanged = reduced
+            .vars
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.lower == node.lower[i] && v.upper == node.upper[i]);
+        let storage;
+        let relaxed: &Model = if unchanged {
+            reduced
+        } else {
+            let mut m = reduced.clone();
+            for (i, v) in m.vars.iter_mut().enumerate() {
+                v.lower = node.lower[i];
+                v.upper = node.upper[i];
+            }
+            storage = m;
+            &storage
+        };
+        let start = match &node.warm {
+            Some(warm) => Start::Warm(warm),
+            None => Start::Cold,
+        };
+        let (sol, warm) = match solve_lp_core(relaxed, start, stats) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),
@@ -86,7 +126,7 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
         // Find the most fractional integer variable.
         let mut branch_var = None;
         let mut worst_frac = INT_TOL;
-        for (i, v) in model.vars.iter().enumerate() {
+        for (i, v) in reduced.vars.iter().enumerate() {
             if !v.integer {
                 continue;
             }
@@ -112,24 +152,43 @@ pub fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
                 let x = sol.values[i];
                 let floor = x.floor();
                 // Down branch: x ≤ floor.
-                let mut down = node.clone();
-                let new_up = match down.upper[i] {
+                let new_up = match node.upper[i] {
                     Some(u) => u.min(floor),
                     None => floor,
                 };
-                down.upper[i] = Some(new_up);
-                down.warm = Some(basis.clone());
+                let mut down_upper = node.upper.clone();
+                down_upper[i] = Some(new_up);
+                let down = Node {
+                    lower: node.lower.clone(),
+                    upper: down_upper,
+                    warm: Some(warm.clone()),
+                };
                 // Up branch: x ≥ floor + 1.
-                let mut up = node;
-                up.lower[i] = up.lower[i].max(floor + 1.0);
-                up.warm = Some(basis);
+                let mut up_lower = node.lower;
+                up_lower[i] = up_lower[i].max(floor + 1.0);
+                let up = Node {
+                    lower: up_lower,
+                    upper: node.upper,
+                    warm: Some(warm),
+                };
                 stack.push(down);
                 stack.push(up);
             }
         }
     }
 
-    incumbent.ok_or(SolveError::Infeasible)
+    // Map the incumbent back onto the original variable space and price
+    // it with the original objective (presolve may have rewritten
+    // coefficients and dropped constants).
+    let best = incumbent.ok_or(SolveError::Infeasible)?;
+    let values = pre.postsolve(&best.values);
+    let objective = model
+        .objective
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(Solution { objective, values })
 }
 
 #[cfg(test)]
@@ -200,5 +259,44 @@ mod tests {
         let sol = m.solve().unwrap();
         assert!((sol.objective - 3.5).abs() < 1e-6);
         assert_eq!(sol.int_value(x), 2);
+    }
+
+    #[test]
+    fn presolve_shrinks_ipet_style_systems() {
+        // entry is fixed at 1 and flow conservation chains propagate it:
+        // presolve should eliminate structure before any pivot happens.
+        let mut m = Model::new(crate::model::Sense::Maximize);
+        let entry = m.add_int_var("entry", 1, Some(1));
+        let t = m.add_int_var("t", 0, None);
+        let e = m.add_int_var("e", 0, None);
+        let b = m.add_int_var("b", 0, None);
+        m.add_eq(&[(t, 1.0), (e, 1.0), (entry, -1.0)], 0.0);
+        m.add_le(&[(b, 1.0), (t, -5.0)], 0.0);
+        m.set_objective(&[(t, 3.0), (e, 1.0), (b, 2.0)]);
+        let mut stats = LpStats::default();
+        let sol = m.solve_with_stats(&mut stats).unwrap();
+        assert_eq!(sol.objective.round() as i64, 13); // t=1, e=0, b=5
+        assert_eq!(sol.int_value(entry), 1);
+        assert!(
+            stats.presolve_removed > 0,
+            "the fixed entry variable alone must be presolved away"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_the_tree() {
+        let mut m = Model::new(crate::model::Sense::Maximize);
+        let xs: Vec<_> = (0..4)
+            .map(|i| m.add_int_var(&format!("x{i}"), 0, Some(1)))
+            .collect();
+        m.add_le(
+            &[(xs[0], 5.0), (xs[1], 7.0), (xs[2], 4.0), (xs[3], 3.0)],
+            14.0,
+        );
+        m.set_objective(&[(xs[0], 8.0), (xs[1], 11.0), (xs[2], 6.0), (xs[3], 4.0)]);
+        let mut stats = LpStats::default();
+        let sol = m.solve_with_stats(&mut stats).unwrap();
+        assert_eq!(sol.objective.round() as i64, 21);
+        assert!(stats.pivots > 0, "branching knapsack must pivot");
     }
 }

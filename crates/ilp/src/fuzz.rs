@@ -1,0 +1,285 @@
+//! Differential fuzzing for the LP backends.
+//!
+//! The sparse LU/eta engine ([`crate::sparse`]) and the dense tableau
+//! simplex ([`crate::simplex`]) implement the same mathematics through
+//! entirely different linear algebra, which makes each the other's
+//! oracle: on any model they must agree on status (optimal, infeasible,
+//! unbounded) and, when optimal, on the objective value. The campaign
+//! here generates small random models from a seeded generator and checks
+//! that agreement three ways per model:
+//!
+//! 1. dense vs sparse *with* presolve (the [`crate::model::Model::solve`]
+//!    path);
+//! 2. dense vs sparse *without* presolve
+//!    ([`crate::sparse::solve_lp_from`] cold), so a presolve bug cannot
+//!    mask a solver bug or vice versa;
+//! 3. warm vs cold: re-solving from the cold solve's own basis snapshot
+//!    must reproduce the objective exactly and return the same snapshot
+//!    (the fixpoint the incremental replay path depends on).
+//!
+//! Everything is deterministic from the seed — a CI failure reproduces
+//! locally verbatim from the model index it prints.
+
+use crate::model::{Model, Sense, SolveError};
+
+/// Campaign knobs.
+#[derive(Debug, Clone)]
+pub struct LpFuzzOptions {
+    /// Number of random models to generate and check.
+    pub models: u64,
+    /// Campaign seed; each model derives its own seed from it.
+    pub seed: u64,
+    /// Progress line cadence on stderr (0 = silent).
+    pub progress_every: u64,
+}
+
+impl Default for LpFuzzOptions {
+    fn default() -> Self {
+        Self {
+            models: 500,
+            seed: 1,
+            progress_every: 0,
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Debug)]
+pub struct LpFuzzReport {
+    /// Models generated and checked.
+    pub models_checked: u64,
+    /// First disagreement found, rendered with the model index and seed
+    /// needed to reproduce it; `None` on a clean run.
+    pub failure: Option<String>,
+}
+
+/// Splitmix64 — the same tiny deterministic generator the program fuzzer
+/// uses; no external RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Small signed integer coefficient in `[-4, 4]`, never zero.
+    fn coeff(&mut self) -> f64 {
+        let mag = 1 + self.below(4) as i64;
+        if self.below(2) == 0 {
+            mag as f64
+        } else {
+            -mag as f64
+        }
+    }
+}
+
+/// The per-model seed: mixes the campaign seed with the model index the
+/// same way each run, so a printed index reproduces one model alone.
+#[must_use]
+pub fn model_seed(campaign_seed: u64, index: u64) -> u64 {
+    campaign_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xd134_2543_de82_ef95))
+        | 1
+}
+
+/// Generates one random LP. Shapes skew toward the feasible/bounded
+/// region (integer coefficients, mostly boxed variables, small rhs) so
+/// most models exercise full solves, but infeasible and unbounded models
+/// still occur and pin the status agreement.
+#[must_use]
+pub fn generate(seed: u64) -> Model {
+    let mut rng = Rng(seed);
+    let sense = if rng.below(2) == 0 {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = Model::new(sense);
+    let nvars = 2 + rng.below(10) as usize;
+    let nrows = 1 + rng.below(12) as usize;
+
+    let vars: Vec<_> = (0..nvars)
+        .map(|i| {
+            let lower = rng.below(3) as f64;
+            // Mostly boxed: unbounded-above variables make unbounded
+            // models too common to be interesting.
+            let upper = if rng.below(5) == 0 {
+                None
+            } else {
+                Some(lower + rng.below(9) as f64)
+            };
+            m.add_var(&format!("x{i}"), lower, upper)
+        })
+        .collect();
+
+    for _ in 0..nrows {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.below(3) < 2 {
+                terms.push((v, rng.coeff()));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs = rng.below(25) as f64 - 4.0;
+        match rng.below(4) {
+            0 => m.add_ge(&terms, rhs),
+            1 => m.add_eq(&terms, rhs),
+            _ => m.add_le(&terms, rhs),
+        };
+    }
+
+    let objective: Vec<_> = vars.iter().map(|&v| (v, rng.coeff())).collect();
+    m.set_objective(&objective);
+    m
+}
+
+/// `|a - b|` within a relative-absolute mixed tolerance.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Checks one model against every oracle; returns the first
+/// disagreement rendered for humans.
+fn check_model(model: &Model) -> Result<(), String> {
+    let dense = crate::simplex::solve_lp_dense(model);
+    let presolved = crate::sparse::solve_lp(model);
+    let raw = crate::sparse::solve_lp_from(model, None);
+
+    // Status agreement across all three paths. Objective agreement when
+    // everyone solved.
+    match (&dense, &presolved, &raw) {
+        (Ok(d), Ok(p), Ok((r, snap))) => {
+            if !close(d.objective, p.objective) {
+                return Err(format!(
+                    "dense {} vs sparse+presolve {}",
+                    d.objective, p.objective
+                ));
+            }
+            if !close(d.objective, r.objective) {
+                return Err(format!(
+                    "dense {} vs sparse raw {}",
+                    d.objective, r.objective
+                ));
+            }
+            // Warm restore from the cold snapshot: same objective, and
+            // the returned snapshot reaches a fixpoint immediately.
+            let (warm, warm_snap) = crate::sparse::solve_lp_from(model, Some(snap))
+                .map_err(|e| format!("warm re-solve failed: {e}"))?;
+            if !close(warm.objective, r.objective) {
+                return Err(format!("cold {} vs warm {}", r.objective, warm.objective));
+            }
+            if &warm_snap != snap {
+                return Err("warm snapshot is not a fixpoint of the cold snapshot".into());
+            }
+        }
+        (Err(de), Err(pe), Err(re)) => {
+            if de != pe || de != re {
+                return Err(format!(
+                    "status disagreement: dense {de}, sparse+presolve {pe}, sparse raw {re}"
+                ));
+            }
+        }
+        _ => {
+            fn status<T>(r: &Result<T, SolveError>) -> String {
+                match r {
+                    Ok(_) => "optimal".to_owned(),
+                    Err(e) => format!("{e}"),
+                }
+            }
+            return Err(format!(
+                "status disagreement: dense {}, sparse+presolve {}, sparse raw {}",
+                status(&dense),
+                status(&presolved),
+                status(&raw),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the campaign; stops at the first disagreement.
+#[must_use]
+pub fn run_campaign(opts: &LpFuzzOptions) -> LpFuzzReport {
+    let mut checked = 0u64;
+    for index in 0..opts.models {
+        let seed = model_seed(opts.seed, index);
+        let model = generate(seed);
+        if let Err(reason) = check_model(&model) {
+            return LpFuzzReport {
+                models_checked: checked,
+                failure: Some(format!(
+                    "model {index} (seed {seed:#x}, {} var(s), {} row(s)): {reason}",
+                    model.num_vars(),
+                    model.num_constraints()
+                )),
+            };
+        }
+        checked += 1;
+        if opts.progress_every > 0 && checked.is_multiple_of(opts.progress_every) {
+            eprintln!("wcet fuzz-lp: {checked}/{} model(s) checked", opts.models);
+        }
+    }
+    LpFuzzReport {
+        models_checked: checked,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean() {
+        let report = run_campaign(&LpFuzzOptions {
+            models: 64,
+            seed: 7,
+            progress_every: 0,
+        });
+        assert_eq!(report.failure, None);
+        assert_eq!(report.models_checked, 64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(model_seed(1, 3));
+        let b = generate(model_seed(1, 3));
+        assert_eq!(a.num_vars(), b.num_vars());
+        assert_eq!(a.num_constraints(), b.num_constraints());
+        let sa = crate::sparse::solve_lp(&a);
+        let sb = crate::sparse::solve_lp(&b);
+        match (sa, sb) {
+            (Ok(x), Ok(y)) => assert!((x.objective - y.objective).abs() < 1e-12),
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            other => panic!("diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generator_covers_statuses() {
+        // The skew keeps most models solvable, but the campaign is only
+        // a differential test if the error paths occur too.
+        let mut optimal = 0;
+        let mut errors = 0;
+        for index in 0..256 {
+            match crate::sparse::solve_lp(&generate(model_seed(11, index))) {
+                Ok(_) => optimal += 1,
+                Err(_) => errors += 1,
+            }
+        }
+        assert!(optimal > 0, "no model solved");
+        assert!(errors > 0, "no infeasible/unbounded model generated");
+    }
+}

@@ -32,8 +32,11 @@
 //! ```
 
 pub mod branch;
+pub mod fuzz;
+mod lu;
 pub mod model;
+mod presolve;
 pub mod simplex;
 pub mod sparse;
 
-pub use model::{Model, Sense, Solution, SolveError, VarId};
+pub use model::{LpStats, Model, Sense, Solution, SolveError, VarId};

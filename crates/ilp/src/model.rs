@@ -66,6 +66,37 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Solver effort counters, accumulated across one LP solve or a whole
+/// branch-and-bound tree. Deterministic for a fixed model and start —
+/// they count algorithmic events, not wall-clock artifacts — so they can
+/// be cached and replayed alongside results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Simplex iterations (basis pivots *and* bound flips — everything
+    /// the pivot cap counts).
+    pub pivots: u64,
+    /// Basis refactorizations triggered by the eta-file length or a
+    /// small pivot element (initial factorizations are not counted).
+    pub refactorizations: u64,
+    /// Variables plus rows eliminated by presolve.
+    pub presolve_removed: u64,
+}
+
+impl LpStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn absorb(&mut self, other: &LpStats) {
+        self.pivots += other.pivots;
+        self.refactorizations += other.refactorizations;
+        self.presolve_removed += other.presolve_removed;
+    }
+
+    /// Whether every counter is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == LpStats::default()
+    }
+}
+
 /// An optimal solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -198,10 +229,20 @@ impl Model {
     /// [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
     /// [`SolveError::IterationLimit`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with_stats(&mut LpStats::default())
+    }
+
+    /// [`Model::solve`], accumulating solver effort counters into
+    /// `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::solve`].
+    pub fn solve_with_stats(&self, stats: &mut LpStats) -> Result<Solution, SolveError> {
         if self.vars.iter().any(|v| v.integer) {
-            crate::branch::solve_ilp(self)
+            crate::branch::solve_ilp_with_stats(self, stats)
         } else {
-            crate::sparse::solve_lp(self)
+            crate::sparse::solve_lp_with_stats(self, stats)
         }
     }
 

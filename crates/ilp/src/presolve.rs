@@ -1,0 +1,367 @@
+//! Model presolve: shrink an LP/ILP before the simplex sees it.
+//!
+//! IPET systems are full of trivially-determined structure — the entry
+//! variable is fixed to 1, flow-conservation chains propagate that
+//! constant, and loop-bound rows collapse to plain variable bounds once
+//! their other term is fixed. The presolver applies a small, safe set of
+//! reductions to a fixpoint:
+//!
+//! 1. **Fixed variables** (`upper == lower`) are substituted into every
+//!    row and the objective, then removed.
+//! 2. **Empty rows** are checked for feasibility (`0 op rhs`) and
+//!    dropped.
+//! 3. **Singleton rows** (`a·x op rhs`) become variable bounds and are
+//!    dropped; in integral mode the derived bounds round inward for
+//!    integer variables.
+//! 4. **Implied-free singleton columns**: a *continuous* variable that
+//!    appears in exactly one row, an equality whose activity bounds keep
+//!    the variable strictly inside its own bounds, is substituted out
+//!    together with the row.
+//!
+//! Every reduction records a postsolve action; [`Presolved::postsolve`]
+//! replays them in reverse to reconstruct a full solution vector in the
+//! *original* variable order. The reduced model's objective may differ
+//! from the original by a constant (dropped by substitution), so callers
+//! recompute the final objective from the original coefficients — which
+//! is exactly what the solver's extraction step does anyway.
+//!
+//! Determinism: reductions scan variables and rows in index order and
+//! the fixpoint loop has a hard round cap, so the reduced model is a
+//! pure function of the input.
+
+use std::collections::BTreeMap;
+
+use crate::model::{Model, Op, SolveError};
+
+/// Feasibility tolerance, matching the solver's bound checks.
+const TOL: f64 = 1e-6;
+
+/// Tolerance under which a variable's bound box counts as a single
+/// point. Tighter than [`TOL`]: fixing is an equality substitution, not
+/// a feasibility question.
+const FIX_TOL: f64 = 1e-9;
+
+/// One recorded reduction, replayed in reverse by postsolve.
+enum Action {
+    /// `var` was removed at a known value.
+    Fix { var: usize, value: f64 },
+    /// `var` was substituted out of an equality row:
+    /// `var = (rhs − Σ terms) / coeff`, terms over original indices.
+    Subst {
+        var: usize,
+        coeff: f64,
+        rhs: f64,
+        terms: Vec<(usize, f64)>,
+    },
+}
+
+/// The output of [`presolve`]: a reduced model plus the recipe to map a
+/// reduced solution back onto the original variable space.
+pub(crate) struct Presolved {
+    /// The reduced model (original variable order preserved among
+    /// survivors, original row order among surviving rows).
+    pub(crate) reduced: Model,
+    /// Variables plus rows eliminated — the `lp_presolve_removed` stat.
+    pub(crate) removed: usize,
+    /// Original variable count.
+    n_orig: usize,
+    /// Original index → reduced index for surviving variables.
+    map: Vec<Option<usize>>,
+    actions: Vec<Action>,
+}
+
+impl Presolved {
+    /// Reconstructs a full original-order solution vector from a
+    /// solution of [`Presolved::reduced`].
+    pub(crate) fn postsolve(&self, reduced_values: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_orig];
+        for (orig, slot) in self.map.iter().enumerate() {
+            if let Some(r) = slot {
+                out[orig] = reduced_values[*r];
+            }
+        }
+        for action in self.actions.iter().rev() {
+            match action {
+                Action::Fix { var, value } => out[*var] = *value,
+                Action::Subst {
+                    var,
+                    coeff,
+                    rhs,
+                    terms,
+                } => {
+                    let acc: f64 = terms.iter().map(|&(k, a)| a * out[k]).sum();
+                    out[*var] = (rhs - acc) / coeff;
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Row {
+    terms: BTreeMap<usize, f64>,
+    op: Op,
+    rhs: f64,
+}
+
+/// Presolves `model`. With `integral`, integer variables get their
+/// derived bounds rounded inward (valid for the ILP, *not* for its LP
+/// relaxation) and a fixed integer variable with a fractional value is
+/// infeasible; without it every variable is treated as continuous.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when a reduction proves the model empty.
+pub(crate) fn presolve(model: &Model, integral: bool) -> Result<Presolved, SolveError> {
+    let n = model.vars.len();
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<Option<f64>> = model.vars.iter().map(|v| v.upper).collect();
+    let integer: Vec<bool> = model.vars.iter().map(|v| v.integer && integral).collect();
+    let mut alive = vec![true; n];
+    let mut obj: Vec<f64> = model.objective.clone();
+    let mut actions: Vec<Action> = Vec::new();
+
+    // Normalize rows the way the standard-form builders do: duplicate
+    // terms sum, exact-zero coefficients drop.
+    let mut rows: Vec<Option<Row>> = model
+        .constraints
+        .iter()
+        .map(|c| {
+            let mut terms: BTreeMap<usize, f64> = BTreeMap::new();
+            for &(v, a) in &c.coeffs {
+                *terms.entry(v.0).or_insert(0.0) += a;
+            }
+            terms.retain(|_, a| *a != 0.0);
+            Some(Row {
+                terms,
+                op: c.op,
+                rhs: c.rhs,
+            })
+        })
+        .collect();
+    // How many *alive* rows each variable appears in (for the singleton
+    // column rule).
+    let mut col_count = vec![0usize; n];
+    for row in rows.iter().flatten() {
+        for &j in row.terms.keys() {
+            col_count[j] += 1;
+        }
+    }
+
+    // An inverted bound box admits no solution (same tolerance as the
+    // solver's up-front check).
+    for j in 0..n {
+        if upper[j].is_some_and(|u| u - lower[j] < -TOL) {
+            return Err(SolveError::Infeasible);
+        }
+    }
+
+    const MAX_ROUNDS: usize = 16;
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+
+        // --- Rule 1: fixed variables ------------------------------------
+        for j in 0..n {
+            if !alive[j] || !upper[j].is_some_and(|u| u - lower[j] <= FIX_TOL) {
+                continue;
+            }
+            let value = lower[j];
+            if integer[j] && (value - value.round()).abs() > TOL {
+                return Err(SolveError::Infeasible);
+            }
+            alive[j] = false;
+            col_count[j] = 0;
+            actions.push(Action::Fix { var: j, value });
+            for row in rows.iter_mut().flatten() {
+                if let Some(a) = row.terms.remove(&j) {
+                    row.rhs -= a * value;
+                }
+            }
+            changed = true;
+        }
+
+        // --- Rules 2 + 3: empty and singleton rows ----------------------
+        for slot in &mut rows {
+            let Some(row) = slot.as_ref() else { continue };
+            match row.terms.len() {
+                0 => {
+                    let ok = match row.op {
+                        Op::Le => 0.0 <= row.rhs + TOL,
+                        Op::Ge => 0.0 >= row.rhs - TOL,
+                        Op::Eq => row.rhs.abs() <= TOL,
+                    };
+                    if !ok {
+                        return Err(SolveError::Infeasible);
+                    }
+                    *slot = None;
+                    changed = true;
+                }
+                1 => {
+                    let (&j, &a) = row.terms.iter().next().expect("one term");
+                    let (op, rhs) = (row.op, row.rhs);
+                    let bound = rhs / a;
+                    // a·x op rhs ⇒ x op' bound, with op' flipped when
+                    // a < 0.
+                    let (mut new_lower, mut new_upper) = match (op, a > 0.0) {
+                        (Op::Le, true) | (Op::Ge, false) => (None, Some(bound)),
+                        (Op::Le, false) | (Op::Ge, true) => (Some(bound), None),
+                        (Op::Eq, _) => (Some(bound), Some(bound)),
+                    };
+                    if integer[j] {
+                        if op == Op::Eq && (bound - bound.round()).abs() > TOL {
+                            return Err(SolveError::Infeasible);
+                        }
+                        new_lower = new_lower.map(|b| (b - TOL).ceil());
+                        new_upper = new_upper.map(|b| (b + TOL).floor());
+                    }
+                    if let Some(b) = new_lower {
+                        if b > lower[j] {
+                            lower[j] = b;
+                        }
+                    }
+                    if let Some(b) = new_upper {
+                        if upper[j].is_none_or(|u| b < u) {
+                            upper[j] = Some(b);
+                        }
+                    }
+                    if upper[j].is_some_and(|u| u - lower[j] < -TOL) {
+                        return Err(SolveError::Infeasible);
+                    }
+                    *slot = None;
+                    col_count[j] -= 1;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+
+        // --- Rule 4: implied-free singleton columns ---------------------
+        for j in 0..n {
+            if !alive[j] || integer[j] || col_count[j] != 1 {
+                continue;
+            }
+            // Integral mode keeps integer variables out above; in pure
+            // LP mode every variable is fair game.
+            let Some(ri) = rows
+                .iter()
+                .position(|r| r.as_ref().is_some_and(|r| r.terms.contains_key(&j)))
+            else {
+                continue;
+            };
+            let row = rows[ri].as_ref().expect("found above");
+            if row.op != Op::Eq {
+                continue;
+            }
+            let aj = row.terms[&j];
+            if aj.abs() <= FIX_TOL {
+                continue;
+            }
+            // x_j = (rhs − Σ a_k x_k) / a_j: bound the right-hand side
+            // by the other variables' boxes. Unbounded partners push the
+            // implied interval to ±∞.
+            let mut lo = row.rhs;
+            let mut hi = row.rhs;
+            for (&k, &ak) in &row.terms {
+                if k == j {
+                    continue;
+                }
+                let (k_lo, k_hi) = (lower[k], upper[k].unwrap_or(f64::INFINITY));
+                if ak > 0.0 {
+                    hi -= ak * k_lo;
+                    lo -= ak * k_hi;
+                } else {
+                    hi -= ak * k_hi;
+                    lo -= ak * k_lo;
+                }
+            }
+            let (imp_lo, imp_hi) = if aj > 0.0 {
+                (lo / aj, hi / aj)
+            } else {
+                (hi / aj, lo / aj)
+            };
+            let free_below = imp_lo >= lower[j] - FIX_TOL;
+            let free_above = upper[j].is_none_or(|u| imp_hi <= u + FIX_TOL);
+            if !(free_below && free_above && imp_lo.is_finite() && imp_hi.is_finite()) {
+                continue;
+            }
+            // Substitute out of the objective (the constant term drops;
+            // the caller recomputes the objective from the original
+            // model after postsolve).
+            let terms: Vec<(usize, f64)> = row
+                .terms
+                .iter()
+                .filter(|&(&k, _)| k != j)
+                .map(|(&k, &a)| (k, a))
+                .collect();
+            let rhs = row.rhs;
+            if obj[j] != 0.0 {
+                let cj = obj[j];
+                for &(k, ak) in &terms {
+                    obj[k] -= cj * ak / aj;
+                }
+                obj[j] = 0.0;
+            }
+            for &(k, _) in &terms {
+                col_count[k] -= 1;
+            }
+            rows[ri] = None;
+            alive[j] = false;
+            col_count[j] = 0;
+            actions.push(Action::Subst {
+                var: j,
+                coeff: aj,
+                rhs,
+                terms,
+            });
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Assemble the reduced model -------------------------------------
+    let mut map = vec![None; n];
+    let mut reduced = Model::new(model.sense);
+    reduced.max_pivots = model.max_pivots;
+    reduced.max_nodes = model.max_nodes;
+    for j in 0..n {
+        if alive[j] {
+            let id = reduced.add_var(&model.vars[j].name, lower[j], upper[j]);
+            if model.vars[j].integer {
+                reduced.vars[id.0].integer = true;
+            }
+            map[j] = Some(id.0);
+        }
+    }
+    let mut objective = Vec::new();
+    for j in 0..n {
+        if let Some(r) = map[j] {
+            if obj[j] != 0.0 {
+                objective.push((crate::model::VarId(r), obj[j]));
+            }
+        }
+    }
+    reduced.set_objective(&objective);
+    let mut kept_rows = 0usize;
+    for row in rows.iter().flatten() {
+        let coeffs: Vec<(crate::model::VarId, f64)> = row
+            .terms
+            .iter()
+            .map(|(&j, &a)| (crate::model::VarId(map[j].expect("alive var")), a))
+            .collect();
+        reduced.add_constraint(&coeffs, row.op, row.rhs);
+        kept_rows += 1;
+    }
+
+    let removed_vars = alive.iter().filter(|a| !**a).count();
+    let removed_rows = model.constraints.len() - kept_rows;
+    Ok(Presolved {
+        reduced,
+        removed: removed_vars + removed_rows,
+        n_orig: n,
+        map,
+        actions,
+    })
+}

@@ -3,8 +3,18 @@
 //! Differences from the dense reference in [`crate::simplex`]:
 //!
 //! * **Sparse columns.** The constraint matrix is stored column-wise as
-//!   `(row, coeff)` pairs; the only dense state is the `m × m` basis
-//!   inverse (`m` = number of *constraints*, not constraints + bounds).
+//!   `(row, coeff)` pairs.
+//! * **LU-factorized basis.** The basis is represented as a sparse LU
+//!   factorization ([`crate::lu`], Markowitz pivoting) plus a
+//!   product-form **eta file**: each simplex pivot appends one eta
+//!   vector instead of updating an explicit inverse, and FTRAN/BTRAN are
+//!   sparse triangular solves followed by eta applications. When the eta
+//!   file grows past [`eta_limit`] — or a pivot element is small enough
+//!   to threaten stability — the basis is refactorized from its columns.
+//!   Warm restores ([`solve_lp_from`] / [`BasisSnapshot`]) factorize the
+//!   snapshot basis once; branch-and-bound children inherit the parent's
+//!   factorization outright and only recompute the basic values under
+//!   their bound deltas.
 //! * **Implicit variable bounds.** A variable's upper bound never becomes
 //!   a tableau row. Nonbasic variables rest at either bound, the ratio
 //!   test caps the entering step by the entering variable's own span, and
@@ -13,20 +23,34 @@
 //!   tightened bounds, so this removes the dense solver's `O(n)` extra
 //!   rows (and their `O(n)`-wide tableau copies).
 //! * **Revised iteration.** Reduced costs are priced as
-//!   `c_j − c_B B⁻¹ A_j` against the maintained basis inverse; a pivot is
-//!   a rank-one update of `B⁻¹` instead of a full-tableau elimination.
+//!   `c_j − c_B B⁻¹ A_j` with `y = c_B B⁻¹` from one BTRAN per pivot.
 //!
 //! Kept from the dense reference: the two-phase artificial-variable
 //! start, Bland's anti-cycling rule (first eligible entering index,
-//! smallest basis index on ratio ties), and the shared pivot cap.
+//! smallest basis index on ratio ties), and the shared pivot cap. The
+//! pivot sequence is a pure function of `(model, start)` — the LU engine
+//! changes how `B⁻¹` is *applied*, not which pivots are chosen.
 
 #![allow(clippy::needless_range_loop)] // index-parallel arrays
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use crate::model::{Model, Op, Sense, Solution, SolveError};
+use crate::lu::LuFactors;
+use crate::model::{LpStats, Model, Op, Sense, Solution, SolveError};
 
 const EPS: f64 = 1e-9;
+
+/// A pivot whose eta element is smaller than this triggers an immediate
+/// refactorization after the update is recorded.
+const STABILITY_EPS: f64 = 1e-7;
+
+/// Eta-file length that triggers a refactorization: enough to amortize
+/// the factorization cost, small enough to keep FTRAN/BTRAN cheap and
+/// rounding error bounded.
+fn eta_limit(m: usize) -> usize {
+    (m / 2).max(64)
+}
 
 /// Where a nonbasic variable currently rests.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -52,11 +76,73 @@ struct SparseForm {
     artificials: Vec<usize>,
 }
 
-/// Mutable solver state: the basis, its inverse, and variable rest
+/// One product-form update: after column `j` entered on row `r` with
+/// pivot column `w = B⁻¹ A_j`, the new inverse is `E B⁻¹` where `E`
+/// differs from the identity only in column `r`.
+#[derive(Clone)]
+struct Eta {
+    r: usize,
+    /// Off-pivot entries of `w` (position, value), excluding `r`.
+    w: Vec<(usize, f64)>,
+    /// The pivot element `w[r]`.
+    pivot: f64,
+}
+
+/// The basis inverse as `E_t ⋯ E_1 (L U)⁻¹`: a shared LU factorization
+/// plus this solve's private eta file. Cloning is cheap — the LU factors
+/// are behind an [`Arc`] — which is how branch-and-bound children
+/// inherit the parent's factorization.
+#[derive(Clone)]
+struct Factorization {
+    lu: Arc<LuFactors>,
+    etas: Vec<Eta>,
+}
+
+impl Factorization {
+    /// `B⁻¹ v` in place; `v` enters in row space and leaves in basis
+    /// position space.
+    fn ftran(&self, v: &mut [f64]) {
+        self.lu.ftran(v);
+        for eta in &self.etas {
+            let t = v[eta.r] / eta.pivot;
+            if t != 0.0 {
+                for &(i, wi) in &eta.w {
+                    v[i] -= wi * t;
+                }
+            }
+            v[eta.r] = t;
+        }
+    }
+
+    /// `B⁻ᵀ v` in place; `v` enters in basis position space and leaves
+    /// in row space.
+    fn btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = v[eta.r];
+            for &(i, wi) in &eta.w {
+                s -= wi * v[i];
+            }
+            v[eta.r] = s / eta.pivot;
+        }
+        self.lu.btran(v);
+    }
+}
+
+/// Factorizes the columns currently basic in `basic`. `None` when the
+/// basis matrix is numerically singular.
+fn factorize_basis(form: &SparseForm, basic: &[usize]) -> Option<Factorization> {
+    let cols: Vec<&[(usize, f64)]> = basic.iter().map(|&j| form.cols[j].as_slice()).collect();
+    let lu = LuFactors::factorize(form.m, &cols)?;
+    Some(Factorization {
+        lu: Arc::new(lu),
+        etas: Vec::new(),
+    })
+}
+
+/// Mutable solver state: the basis factorization and variable rest
 /// positions.
 struct Basis {
-    /// Dense row-major `m × m` basis inverse.
-    binv: Vec<f64>,
+    fact: Factorization,
     /// Basic variable of each row.
     basic: Vec<usize>,
     /// Value of each basic variable (`x_B = B⁻¹ b` kept incrementally).
@@ -71,35 +157,35 @@ impl Basis {
     /// `B⁻¹ A_j` for a sparse column.
     fn ftran(&self, m: usize, col: &[(usize, f64)]) -> Vec<f64> {
         let mut w = vec![0.0; m];
-        for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            let mut acc = 0.0;
-            for &(r, a) in col {
-                acc += row[r] * a;
-            }
-            w[i] = acc;
+        for &(r, a) in col {
+            w[r] += a;
         }
+        self.fact.ftran(&mut w);
         w
     }
 
-    /// Row `i` of `B⁻¹` dotted with a sparse column.
-    fn row_dot(&self, m: usize, i: usize, col: &[(usize, f64)]) -> f64 {
-        let row = &self.binv[i * m..(i + 1) * m];
-        col.iter().map(|&(r, a)| row[r] * a).sum()
-    }
-
-    /// Rank-one update of `B⁻¹` after `w = B⁻¹ A_j` enters on `row`.
-    fn pivot(&mut self, m: usize, w: &[f64], row: usize) {
-        let p = w[row];
-        for k in 0..m {
-            self.binv[row * m + k] /= p;
-        }
-        for i in 0..m {
-            if i != row && w[i].abs() > EPS {
-                let f = w[i];
-                for k in 0..m {
-                    self.binv[i * m + k] -= f * self.binv[row * m + k];
-                }
+    /// Records the pivot `w = B⁻¹ A_j` entering on `row` as an eta
+    /// update, refactorizing from the (already updated) `self.basic`
+    /// columns when the eta file is long or the pivot element small. A
+    /// failed refactorization is not fatal: the eta representation is
+    /// still exact, so the solve continues on it.
+    fn pivot(&mut self, form: &SparseForm, w: &[f64], row: usize, stats: &mut LpStats) {
+        let pivot = w[row];
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != row && v.abs() > EPS)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.fact.etas.push(Eta {
+            r: row,
+            w: entries,
+            pivot,
+        });
+        if self.fact.etas.len() >= eta_limit(form.m) || pivot.abs() < STABILITY_EPS {
+            if let Some(fresh) = factorize_basis(form, &self.basic) {
+                self.fact = fresh;
+                stats.refactorizations += 1;
             }
         }
     }
@@ -121,11 +207,39 @@ pub struct BasisSnapshot {
     /// and artificial columns share one index space).
     basic: Vec<usize>,
     /// For every column: whether it rests at its upper bound while
-    /// nonbasic (ignored for basic columns).
+    /// nonbasic (`false` for basic columns — snapshots are canonical, and
+    /// restoration rejects any snapshot claiming otherwise).
     at_upper: Vec<bool>,
 }
 
-/// Solves the LP relaxation of `model` with the sparse revised simplex.
+/// A warm-start handle: the [`BasisSnapshot`] plus the factorization
+/// that was current when it was taken and the basis columns it factors.
+/// Branch-and-bound hands this from parent to child so the child solves
+/// without refactorizing — the basis matrix depends only on the
+/// constraint rows, which bound changes leave untouched. When a bound
+/// change *does* alter the standard form (a row flips sign to keep its
+/// right-hand side nonnegative), the recorded columns no longer match
+/// and the restore falls back to a fresh factorization.
+#[derive(Clone)]
+pub(crate) struct WarmStart {
+    pub(crate) snap: BasisSnapshot,
+    fact: Factorization,
+    basis_cols: Arc<Vec<Vec<(usize, f64)>>>,
+}
+
+/// How [`solve_lp_core`] starts.
+pub(crate) enum Start<'a> {
+    /// Two-phase cold start.
+    Cold,
+    /// Restore a bare snapshot (factorize its basis once).
+    Snapshot(&'a BasisSnapshot),
+    /// Restore a snapshot and reuse its factorization when the basis
+    /// columns still match.
+    Warm(&'a WarmStart),
+}
+
+/// Solves the LP relaxation of `model` with the sparse revised simplex,
+/// after a presolve/postsolve round-trip ([`crate::presolve`]).
 ///
 /// # Errors
 ///
@@ -134,11 +248,31 @@ pub struct BasisSnapshot {
 /// basic variable and no bound, [`SolveError::IterationLimit`] past
 /// `model.max_pivots` pivots (bound flips count).
 pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
-    solve_lp_from(model, None).map(|(solution, _)| solution)
+    solve_lp_with_stats(model, &mut LpStats::default())
 }
 
-/// [`solve_lp`], optionally warm-started from a previous solve's
-/// [`BasisSnapshot`], and returning the snapshot of this solve.
+/// [`solve_lp`], accumulating solver effort counters into `stats`.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lp`].
+pub fn solve_lp_with_stats(model: &Model, stats: &mut LpStats) -> Result<Solution, SolveError> {
+    let pre = crate::presolve::presolve(model, false)?;
+    stats.presolve_removed += pre.removed as u64;
+    let (sol, _) = solve_lp_core(&pre.reduced, Start::Cold, stats)?;
+    let values = pre.postsolve(&sol.values);
+    let objective = model
+        .objective
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(Solution { objective, values })
+}
+
+/// Solves `model` without presolve, optionally warm-started from a
+/// previous solve's [`BasisSnapshot`], and returning the snapshot of
+/// this solve.
 ///
 /// A usable snapshot skips phase 1 entirely and starts phase 2 at the old
 /// vertex; when only bounds changed between the two models (the
@@ -157,6 +291,22 @@ pub fn solve_lp_from(
     model: &Model,
     start: Option<&BasisSnapshot>,
 ) -> Result<(Solution, BasisSnapshot), SolveError> {
+    let start = match start {
+        Some(snap) => Start::Snapshot(snap),
+        None => Start::Cold,
+    };
+    let (solution, warm) = solve_lp_core(model, start, &mut LpStats::default())?;
+    Ok((solution, warm.snap))
+}
+
+/// The solver core: standard form, warm restore or two-phase cold start,
+/// phase 2, extraction. No presolve — callers that presolve own the
+/// postsolve mapping.
+pub(crate) fn solve_lp_core(
+    model: &Model,
+    start: Start<'_>,
+    stats: &mut LpStats,
+) -> Result<(Solution, WarmStart), SolveError> {
     let n = model.vars.len();
 
     // An inverted bound box (upper < lower) admits no solution. The dense
@@ -253,7 +403,12 @@ pub fn solve_lp_from(
     let mut pivots_left = model.max_pivots;
 
     // --- Start: restore the warm basis, or run phase 1 cold -----------
-    let mut state = match start.and_then(|snap| restore_basis(&form, snap)) {
+    let restored = match &start {
+        Start::Cold => None,
+        Start::Snapshot(snap) => restore_basis(&form, snap, None),
+        Start::Warm(warm) => restore_basis(&form, &warm.snap, Some(warm)),
+    };
+    let mut state = match restored {
         Some(warm_state) => {
             // The restored vertex already satisfies `A x = b` within its
             // bounds, so phase 1 is unnecessary. Artificials are fixed at
@@ -264,12 +419,11 @@ pub fn solve_lp_from(
             warm_state
         }
         None => {
-            let mut binv = vec![0.0; m * m];
-            for i in 0..m {
-                binv[i * m + i] = 1.0;
-            }
+            // The all-slack/artificial basis is an identity matrix, but
+            // building it through the factorization keeps one code path.
+            let fact = factorize_basis(&form, &basic).expect("identity basis factorizes");
             let mut cold = Basis {
-                binv,
+                fact,
                 xb: form.rhs.clone(),
                 in_basis: {
                     let mut b = vec![false; total];
@@ -299,12 +453,12 @@ pub fn solve_lp_from(
                     for &a in &form.artificials {
                         obj[a] = -1.0;
                     }
-                    let value = optimize(&form, &mut cold, &obj, &mut pivots_left)?;
+                    let value = optimize(&form, &mut cold, &obj, &mut pivots_left, stats)?;
                     if value < -1e-6 {
                         return Err(SolveError::Infeasible);
                     }
                 }
-                evict_basic_artificials(&form, &mut cold);
+                evict_basic_artificials(&form, &mut cold, stats);
                 // Fix artificials at zero: a fixed variable is never
                 // eligible to enter, which is the bound-form equivalent of
                 // zapping their columns in the dense tableau.
@@ -325,7 +479,7 @@ pub fn solve_lp_from(
     for (j, &c) in model.objective.iter().enumerate() {
         obj[j] = dir * c;
     }
-    optimize(&form, &mut state, &obj, &mut pivots_left)?;
+    optimize(&form, &mut state, &obj, &mut pivots_left, stats)?;
 
     // --- Extraction ----------------------------------------------------
     let mut values = shift;
@@ -357,14 +511,37 @@ pub fn solve_lp_from(
             .map(|(j, r)| !state.in_basis[j] && *r == Bound::Upper)
             .collect(),
     };
-    Ok((Solution { objective, values }, snapshot))
+    let basis_cols = Arc::new(
+        snapshot
+            .basic
+            .iter()
+            .map(|&j| form.cols[j].clone())
+            .collect::<Vec<_>>(),
+    );
+    let warm = WarmStart {
+        snap: snapshot,
+        fact: state.fact,
+        basis_cols,
+    };
+    Ok((Solution { objective, values }, warm))
 }
 
 /// Rebuilds a [`Basis`] from a snapshot against a (possibly re-bounded)
 /// standard form. Returns `None` — cold start — when the snapshot does
-/// not fit: wrong shape, artificial columns in the basis, a singular
+/// not fit: wrong shape, artificial columns in the basis, an `at_upper`
+/// flag set on a basic column (snapshots are canonical; a flagged basic
+/// column means the snapshot was corrupted or hand-built), a singular
 /// basis matrix, or a restored vertex that violates the new bounds.
-fn restore_basis(form: &SparseForm, snap: &BasisSnapshot) -> Option<Basis> {
+///
+/// With `reuse`, the caller's factorization is adopted instead of
+/// refactorizing — provided it factors exactly the basis columns this
+/// form produces (bound changes can flip a row's sign, which invalidates
+/// the recorded columns; the comparison catches that).
+fn restore_basis(
+    form: &SparseForm,
+    snap: &BasisSnapshot,
+    reuse: Option<&WarmStart>,
+) -> Option<Basis> {
     let m = form.m;
     let total = form.cols.len();
     if snap.basic.len() != m || snap.at_upper.len() != total {
@@ -376,8 +553,9 @@ fn restore_basis(form: &SparseForm, snap: &BasisSnapshot) -> Option<Basis> {
     }
     let mut in_basis = vec![false; total];
     for &j in &snap.basic {
-        if j >= total || is_artificial[j] || in_basis[j] {
-            return None; // out of range, artificial, or duplicated
+        if j >= total || is_artificial[j] || in_basis[j] || snap.at_upper[j] {
+            return None; // out of range, artificial, duplicated, or a
+                         // rest flag on a basic column
         }
         in_basis[j] = true;
     }
@@ -390,66 +568,33 @@ fn restore_basis(form: &SparseForm, snap: &BasisSnapshot) -> Option<Basis> {
         }
     }
 
-    // Invert the basis matrix by Gauss–Jordan with partial pivoting.
-    let mut aug = vec![0.0; m * 2 * m]; // [B | I], row-major
-    for (i, &j) in snap.basic.iter().enumerate() {
-        for &(r, a) in &form.cols[j] {
-            aug[r * 2 * m + i] = a;
+    // Factorize the snapshot basis — or inherit the caller's
+    // factorization when it matches these exact columns.
+    let fact = match reuse {
+        Some(warm)
+            if warm.snap.basic == snap.basic
+                && warm.basis_cols.len() == m
+                && snap
+                    .basic
+                    .iter()
+                    .zip(warm.basis_cols.iter())
+                    .all(|(&j, recorded)| form.cols[j] == *recorded) =>
+        {
+            warm.fact.clone()
         }
-    }
-    for i in 0..m {
-        aug[i * 2 * m + m + i] = 1.0;
-    }
-    for col in 0..m {
-        let pivot_row = (col..m)
-            .max_by(|&a, &b| {
-                aug[a * 2 * m + col]
-                    .abs()
-                    .total_cmp(&aug[b * 2 * m + col].abs())
-            })
-            .expect("nonempty range");
-        if aug[pivot_row * 2 * m + col].abs() <= EPS {
-            return None; // singular basis
-        }
-        if pivot_row != col {
-            for k in 0..2 * m {
-                aug.swap(col * 2 * m + k, pivot_row * 2 * m + k);
-            }
-        }
-        let p = aug[col * 2 * m + col];
-        for k in 0..2 * m {
-            aug[col * 2 * m + k] /= p;
-        }
-        for r in 0..m {
-            if r != col {
-                let f = aug[r * 2 * m + col];
-                if f.abs() > EPS {
-                    for k in 0..2 * m {
-                        aug[r * 2 * m + k] -= f * aug[col * 2 * m + k];
-                    }
-                }
-            }
-        }
-    }
-    let mut binv = vec![0.0; m * m];
-    for i in 0..m {
-        binv[i * m..(i + 1) * m].copy_from_slice(&aug[i * 2 * m + m..i * 2 * m + 2 * m]);
-    }
+        _ => factorize_basis(form, &snap.basic)?,
+    };
 
     // x_B = B⁻¹ (b − N x_N): only upper-resting nonbasics contribute.
-    let mut rhs = form.rhs.clone();
+    let mut xb = form.rhs.clone();
     for j in 0..total {
         if !in_basis[j] && snap.at_upper[j] && !is_artificial[j] {
             for &(r, a) in &form.cols[j] {
-                rhs[r] -= a * form.span[j];
+                xb[r] -= a * form.span[j];
             }
         }
     }
-    let mut xb = vec![0.0; m];
-    for i in 0..m {
-        let row = &binv[i * m..(i + 1) * m];
-        xb[i] = row.iter().zip(&rhs).map(|(b, r)| b * r).sum();
-    }
+    fact.ftran(&mut xb);
     // Primal feasibility under the new bounds (same tolerance as the
     // inverted-box check).
     for (i, &j) in snap.basic.iter().enumerate() {
@@ -468,7 +613,7 @@ fn restore_basis(form: &SparseForm, snap: &BasisSnapshot) -> Option<Basis> {
         })
         .collect();
     Some(Basis {
-        binv,
+        fact,
         basic: snap.basic.clone(),
         xb,
         rest,
@@ -483,6 +628,7 @@ fn optimize(
     state: &mut Basis,
     obj: &[f64],
     pivots_left: &mut usize,
+    stats: &mut LpStats,
 ) -> Result<f64, SolveError> {
     let m = form.m;
     let total = form.cols.len();
@@ -493,16 +639,12 @@ fn optimize(
     let mut y_valid = false;
     loop {
         if !y_valid {
-            y.fill(0.0);
+            // One BTRAN prices the whole basis: gather c_B in position
+            // space, solve Bᵀ y = c_B.
             for i in 0..m {
-                let cb = obj[state.basic[i]];
-                if cb != 0.0 {
-                    let row = &state.binv[i * m..(i + 1) * m];
-                    for (yk, &bk) in y.iter_mut().zip(row) {
-                        *yk += cb * bk;
-                    }
-                }
+                y[i] = obj[state.basic[i]];
             }
+            state.fact.btran(&mut y);
             y_valid = true;
         }
 
@@ -583,6 +725,7 @@ fn optimize(
             return Err(SolveError::IterationLimit);
         }
         *pivots_left -= 1;
+        stats.pivots += 1;
         let delta = best.max(0.0);
 
         match leave {
@@ -613,7 +756,7 @@ fn optimize(
                 state.basic[r] = j;
                 state.in_basis[j] = true;
                 state.xb[r] = entering_value;
-                state.pivot(m, &w, r);
+                state.pivot(form, &w, r, stats);
                 y_valid = false;
             }
         }
@@ -624,7 +767,7 @@ fn optimize(
 /// non-artificial column with a nonzero pivot element — a degenerate
 /// basis relabeling at an unchanged solution point. Rows where no such
 /// column exists are redundant; their artificial stays basic at 0.
-fn evict_basic_artificials(form: &SparseForm, state: &mut Basis) {
+fn evict_basic_artificials(form: &SparseForm, state: &mut Basis, stats: &mut LpStats) {
     let m = form.m;
     let is_artificial = {
         let mut flags = vec![false; form.cols.len()];
@@ -637,10 +780,20 @@ fn evict_basic_artificials(form: &SparseForm, state: &mut Basis) {
         if !is_artificial[state.basic[i]] {
             continue;
         }
+        // Row i of B⁻¹ via one BTRAN of e_i; candidates are columns with
+        // a nonzero dot against it.
+        let mut rho = vec![0.0; m];
+        rho[i] = 1.0;
+        state.fact.btran(&mut rho);
         let candidate = (0..form.cols.len()).find(|&j| {
             !is_artificial[j]
                 && !state.in_basis[j]
-                && state.row_dot(m, i, &form.cols[j]).abs() > EPS
+                && form.cols[j]
+                    .iter()
+                    .map(|&(r, a)| rho[r] * a)
+                    .sum::<f64>()
+                    .abs()
+                    > EPS
         });
         if let Some(j) = candidate {
             let w = state.ftran(m, &form.cols[j]);
@@ -654,7 +807,7 @@ fn evict_basic_artificials(form: &SparseForm, state: &mut Basis) {
             state.basic[i] = j;
             state.in_basis[j] = true;
             state.xb[i] = entering_value;
-            state.pivot(m, &w, i);
+            state.pivot(form, &w, i, stats);
         }
     }
 }
@@ -790,13 +943,15 @@ mod tests {
 
     #[test]
     fn pivot_cap_enforced() {
-        // A `≥` row needs at least one phase-1 pivot; a zero cap must
-        // surface as the iteration limit in both solvers.
+        // A two-term `≥` row survives presolve (it is neither empty nor a
+        // singleton) and needs at least one phase-1 pivot; a zero cap
+        // must surface as the iteration limit in both solvers.
         for solver in [solve_lp, solve_lp_dense] {
             let mut m = Model::new(Sense::Minimize);
             let x = m.add_var("x", 0.0, None);
-            m.add_ge(&[(x, 1.0)], 3.0);
-            m.set_objective(&[(x, 1.0)]);
+            let y = m.add_var("y", 0.0, None);
+            m.add_ge(&[(x, 1.0), (y, 1.0)], 3.0);
+            m.set_objective(&[(x, 1.0), (y, 2.0)]);
             m.max_pivots = 0;
             assert_eq!(solver(&m), Err(SolveError::IterationLimit));
         }
@@ -909,5 +1064,107 @@ mod tests {
         m.set_objective(&[(x, 1.0)]);
         let sol = solve_lp(&m).unwrap();
         assert_close(sol.value(x), -5.0);
+    }
+
+    #[test]
+    fn at_upper_flag_on_basic_column_is_rejected() {
+        // Regression: `restore_basis` used to silently accept a snapshot
+        // whose `at_upper` flags marked a *basic* column (the flag was
+        // ignored during restoration but survived in the snapshot). Such
+        // a snapshot is non-canonical — it can only come from corruption
+        // or hand-construction — and must fall back to a cold start.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, Some(9.0));
+        let y = m.add_var("y", 0.0, Some(9.0));
+        m.add_le(&[(x, 1.0), (y, 1.0)], 6.0);
+        m.set_objective(&[(x, 2.0), (y, 1.0)]);
+        let (cold, snap) = solve_lp_from(&m, None).unwrap();
+
+        let mut corrupted = snap.clone();
+        let basic_col = corrupted.basic[0];
+        assert!(
+            !corrupted.at_upper[basic_col],
+            "canonical snapshots never flag basic columns"
+        );
+        corrupted.at_upper[basic_col] = true;
+
+        // The corrupted snapshot still solves (cold fallback) and the
+        // returned snapshot is canonical again.
+        let (sol, fresh) = solve_lp_from(&m, Some(&corrupted)).unwrap();
+        assert_close(sol.objective, cold.objective);
+        assert_eq!(fresh, snap, "fallback re-derives the canonical snapshot");
+
+        // Directly at the restore layer: the canonical snapshot fits,
+        // the corrupted one is refused.
+        let mut stats = LpStats::default();
+        let (ok_sol, warm) = solve_lp_core(&m, Start::Snapshot(&snap), &mut stats).unwrap();
+        assert_close(ok_sol.objective, cold.objective);
+        assert_eq!(warm.snap, snap);
+        let before = stats.pivots;
+        let (_, _) = solve_lp_core(&m, Start::Snapshot(&corrupted), &mut stats).unwrap();
+        assert!(
+            stats.pivots > before,
+            "rejected snapshot falls back to a pivoting cold start"
+        );
+    }
+
+    #[test]
+    fn eta_file_refactorizes_past_the_limit() {
+        // A dense-ish LP needing well over `eta_limit(m)` pivots: the
+        // solve must record at least one refactorization and still agree
+        // with the dense oracle.
+        let mut m = Model::new(Sense::Maximize);
+        let k = 96;
+        let vars: Vec<_> = (0..k)
+            .map(|i| m.add_var(&format!("x{i}"), 0.0, None))
+            .collect();
+        for i in 0..k {
+            // Overlapping pair constraints chain every variable to the
+            // next, forcing a long pivot sequence.
+            let j = (i + 1) % k;
+            m.add_le(&[(vars[i], 2.0), (vars[j], 1.0)], 10.0 + (i % 5) as f64);
+        }
+        let objective: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+            .collect();
+        m.set_objective(&objective);
+
+        let mut stats = LpStats::default();
+        let sol = solve_lp_with_stats(&m, &mut stats).unwrap();
+        let dense = solve_lp_dense(&m).unwrap();
+        assert_close(sol.objective, dense.objective);
+        assert!(
+            stats.pivots as usize >= eta_limit(k),
+            "test needs a pivot count past the eta limit, got {}",
+            stats.pivots
+        );
+        assert!(
+            stats.refactorizations >= 1,
+            "eta limit must have forced a refactorization"
+        );
+    }
+
+    #[test]
+    fn warm_start_reuses_parent_factorization() {
+        // The branch-and-bound handshake: a child with one tightened
+        // bound restores the parent's factorization and reaches the same
+        // optimum a cold solve finds.
+        let mut parent = Model::new(Sense::Maximize);
+        let x = parent.add_var("x", 0.0, Some(10.0));
+        let y = parent.add_var("y", 0.0, Some(10.0));
+        let z = parent.add_var("z", 0.0, Some(10.0));
+        parent.add_le(&[(x, 1.0), (y, 1.0), (z, 1.0)], 15.0);
+        parent.add_le(&[(x, 2.0), (y, -1.0)], 8.0);
+        parent.set_objective(&[(x, 3.0), (y, 2.0), (z, 1.0)]);
+        let mut stats = LpStats::default();
+        let (_, warm) = solve_lp_core(&parent, Start::Cold, &mut stats).unwrap();
+
+        let mut child = parent.clone();
+        child.vars[0].upper = Some(4.0); // tighten x
+        let (warm_sol, _) = solve_lp_core(&child, Start::Warm(&warm), &mut stats).unwrap();
+        let cold_sol = solve_lp(&child).unwrap();
+        assert_close(warm_sol.objective, cold_sol.objective);
     }
 }

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use wcet_ilp::model::Op;
 use wcet_ilp::simplex::solve_lp_dense;
-use wcet_ilp::sparse::{solve_lp, solve_lp_from};
-use wcet_ilp::{Model, Sense};
+use wcet_ilp::sparse::{solve_lp, solve_lp_from, solve_lp_with_stats};
+use wcet_ilp::{LpStats, Model, Sense};
 
 #[derive(Debug, Clone)]
 struct SmallLp {
@@ -76,6 +76,104 @@ fn build(lp: &SmallLp) -> Model {
         .collect();
     m.set_objective(&obj);
     m
+}
+
+/// A flow-conservation chain long enough that the solve pivots far past
+/// the eta-file limit: the basis must refactorize mid-solve (several
+/// times), and the answer still matches the dense oracle. This is the
+/// case where a bug in the LU-refresh path (stale etas, wrong basis
+/// columns) cannot hide — every pivot after a refresh runs on the new
+/// factors.
+#[test]
+fn refactorization_forced_chain_matches_dense() {
+    let k = 96;
+    let mut m = Model::new(Sense::Maximize);
+    let entry = m.add_var("entry", 1.0, Some(1.0));
+    // No upper boxes: a boxed variable can satisfy the ratio test with a
+    // bound flip, which never touches the eta file. Every step of this
+    // chain must be a genuine basis change.
+    let blocks: Vec<_> = (0..k)
+        .map(|i| m.add_var(&format!("b{i}"), 0.0, None))
+        .collect();
+    m.add_eq(&[(blocks[0], 1.0), (entry, -1.0)], 0.0);
+    for i in 1..k {
+        m.add_le(&[(blocks[i], 1.0), (blocks[i - 1], -2.0)], 0.0);
+    }
+    let objective: Vec<_> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, 1.0 + (i % 4) as f64))
+        .collect();
+    m.set_objective(&objective);
+
+    let mut stats = LpStats::default();
+    let sparse = solve_lp_with_stats(&m, &mut stats).expect("sparse solves");
+    let dense = solve_lp_dense(&m).expect("dense solves");
+    assert!(
+        (sparse.objective - dense.objective).abs() < 1e-6 * (1.0 + dense.objective.abs()),
+        "objective mismatch: sparse {} vs dense {}",
+        sparse.objective,
+        dense.objective
+    );
+    assert!(
+        stats.refactorizations >= 1,
+        "a {k}-block chain must outgrow the eta file (got {} refactorizations \
+         over {} pivots)",
+        stats.refactorizations,
+        stats.pivots
+    );
+}
+
+/// Warm restore against a basis that is singular (or numerically
+/// near-singular) in the *new* model: the factorization must fail
+/// cleanly and the solver fall back to a cold start, matching the cold
+/// answer — never solving with garbage factors.
+#[test]
+fn near_singular_restored_basis_falls_back_to_cold() {
+    // Parent: distinct columns, optimal basis = {x, y}.
+    let mut parent = Model::new(Sense::Maximize);
+    let x = parent.add_var("x", 0.0, None);
+    let y = parent.add_var("y", 0.0, None);
+    parent.add_le(&[(x, 1.0), (y, 2.0)], 10.0);
+    parent.add_le(&[(x, 2.0), (y, 1.0)], 10.0);
+    parent.set_objective(&[(x, 1.0), (y, 1.0)]);
+    let (psol, snap) = solve_lp_from(&parent, None).expect("parent solves");
+    assert!((psol.objective - 20.0 / 3.0).abs() < 1e-6);
+
+    // Same shape, but x's and y's columns are exact duplicates: the
+    // recorded basis is singular here.
+    let mut dup = Model::new(Sense::Maximize);
+    let x2 = dup.add_var("x", 0.0, None);
+    let y2 = dup.add_var("y", 0.0, None);
+    dup.add_le(&[(x2, 1.0), (y2, 1.0)], 10.0);
+    dup.add_le(&[(x2, 1.0), (y2, 1.0)], 8.0);
+    dup.set_objective(&[(x2, 1.0), (y2, 1.0)]);
+    let cold = solve_lp(&dup).expect("cold solves");
+    let (warm, _) = solve_lp_from(&dup, Some(&snap)).expect("fallback solves");
+    assert!(
+        (warm.objective - cold.objective).abs() < 1e-6,
+        "singular restore must fall back: warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
+    assert!((cold.objective - 8.0).abs() < 1e-6);
+
+    // Near-singular: the columns differ by less than the pivot
+    // tolerance, which must be treated exactly like singular.
+    let mut near = Model::new(Sense::Maximize);
+    let x3 = near.add_var("x", 0.0, None);
+    let y3 = near.add_var("y", 0.0, None);
+    near.add_le(&[(x3, 1.0), (y3, 1.0)], 10.0);
+    near.add_le(&[(x3, 1.0), (y3, 1.0 + 1e-13)], 8.0);
+    near.set_objective(&[(x3, 1.0), (y3, 1.0)]);
+    let cold = solve_lp(&near).expect("cold solves");
+    let (warm, _) = solve_lp_from(&near, Some(&snap)).expect("fallback solves");
+    assert!(
+        (warm.objective - cold.objective).abs() < 1e-6,
+        "near-singular restore must fall back: warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
 }
 
 proptest! {
@@ -191,6 +289,61 @@ proptest! {
             (c, w) => {
                 return Err(TestCaseError::fail(format!(
                     "warm start changed the outcome: cold {c:?} vs warm {w:?} on {lp:?}"
+                )));
+            }
+        }
+    }
+
+    /// Presolve/postsolve round trip: `solve_lp` (which presolves the
+    /// model and maps the solution back) must classify identically to
+    /// the presolve-free path and return a full-length value vector
+    /// that is feasible for the *original* model — eliminated variables
+    /// included.
+    #[test]
+    fn prop_presolve_postsolve_roundtrip(lp in arb_lp()) {
+        let m = build(&lp);
+        let presolved = solve_lp(&m);
+        let raw = solve_lp_from(&m, None).map(|(s, _)| s);
+        match (presolved, raw) {
+            (Ok(p), Ok(r)) => {
+                let scale = 1.0 + r.objective.abs();
+                prop_assert!(
+                    (p.objective - r.objective).abs() / scale < 1e-6,
+                    "presolve changed the optimum: {} vs {} on {:?}",
+                    p.objective, r.objective, lp
+                );
+                prop_assert_eq!(
+                    p.values.len(), lp.bounds.len(),
+                    "postsolve must restore the original variable count"
+                );
+                for (i, &(lo, span)) in lp.bounds.iter().enumerate() {
+                    let x = p.values[i];
+                    prop_assert!(x >= lo as f64 - 1e-6, "postsolved {x} below lower: {lp:?}");
+                    if let Some(s) = span {
+                        prop_assert!(x <= (lo + s) as f64 + 1e-6, "postsolved {x} above upper: {lp:?}");
+                    }
+                }
+                for (coeffs, op, rhs) in &lp.constraints {
+                    let lhs: f64 = coeffs
+                        .iter()
+                        .zip(&p.values)
+                        .map(|(&c, &x)| c as f64 * x)
+                        .sum();
+                    let ok = match op {
+                        Op::Le => lhs <= *rhs as f64 + 1e-6,
+                        Op::Ge => lhs >= *rhs as f64 - 1e-6,
+                        Op::Eq => (lhs - *rhs as f64).abs() <= 1e-6,
+                    };
+                    prop_assert!(
+                        ok,
+                        "postsolved solution violates {coeffs:?} {op:?} {rhs}: lhs {lhs} in {lp:?}"
+                    );
+                }
+            }
+            (Err(p), Err(r)) => prop_assert_eq!(p, r, "error class mismatch on {:?}", lp),
+            (p, r) => {
+                return Err(TestCaseError::fail(format!(
+                    "presolve changed the outcome: {p:?} vs raw {r:?} on {lp:?}"
                 )));
             }
         }

@@ -17,6 +17,8 @@ use wcet_cfg::block::{BlockId, Terminator};
 use wcet_cfg::graph::Cfg;
 use wcet_cfg::loops::LoopForest;
 use wcet_ilp::{Model, Sense, SolveError, VarId};
+
+pub use wcet_ilp::LpStats;
 use wcet_isa::Addr;
 use wcet_micro::blocktime::BlockTimes;
 
@@ -166,6 +168,32 @@ pub fn wcet(
     facts: &[FlowFact],
     call_costs: &CallCosts,
 ) -> Result<WcetResult, PathError> {
+    wcet_with_stats(
+        cfg,
+        forest,
+        times,
+        bounds,
+        facts,
+        call_costs,
+        &mut LpStats::default(),
+    )
+}
+
+/// [`wcet`], accumulating solver effort counters into `stats`.
+///
+/// # Errors
+///
+/// See [`PathError`].
+#[allow(clippy::too_many_arguments)] // the stats sink rides along
+pub fn wcet_with_stats(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    times: &BlockTimes,
+    bounds: &LoopBounds,
+    facts: &[FlowFact],
+    call_costs: &CallCosts,
+    stats: &mut LpStats,
+) -> Result<WcetResult, PathError> {
     solve(
         cfg,
         forest,
@@ -174,6 +202,7 @@ pub fn wcet(
         facts,
         call_costs,
         Sense::Maximize,
+        stats,
     )
 }
 
@@ -191,6 +220,32 @@ pub fn bcet(
     facts: &[FlowFact],
     call_costs: &CallCosts,
 ) -> Result<WcetResult, PathError> {
+    bcet_with_stats(
+        cfg,
+        forest,
+        times,
+        bounds,
+        facts,
+        call_costs,
+        &mut LpStats::default(),
+    )
+}
+
+/// [`bcet`], accumulating solver effort counters into `stats`.
+///
+/// # Errors
+///
+/// See [`PathError`].
+#[allow(clippy::too_many_arguments)] // the stats sink rides along
+pub fn bcet_with_stats(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    times: &BlockTimes,
+    bounds: &LoopBounds,
+    facts: &[FlowFact],
+    call_costs: &CallCosts,
+    stats: &mut LpStats,
+) -> Result<WcetResult, PathError> {
     solve(
         cfg,
         forest,
@@ -199,6 +254,7 @@ pub fn bcet(
         facts,
         call_costs,
         Sense::Minimize,
+        stats,
     )
 }
 
@@ -211,6 +267,7 @@ fn solve(
     facts: &[FlowFact],
     call_costs: &CallCosts,
     sense: Sense,
+    stats: &mut LpStats,
 ) -> Result<WcetResult, PathError> {
     // Precondition 1: no unresolved calls (unknown callees void any bound).
     if !cfg.unresolved.is_empty() {
@@ -380,7 +437,7 @@ fn solve(
     }
     model.set_objective(&objective);
 
-    let solution = model.solve()?;
+    let solution = model.solve_with_stats(stats)?;
 
     let block_counts: BTreeMap<BlockId, u64> = (0..n)
         .map(|b| (BlockId(b), solution.int_value(block_vars[b]).max(0) as u64))

@@ -166,6 +166,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return run_fuzz(&args[1..]);
     }
 
+    if args[0] == "fuzz-lp" {
+        return run_fuzz_lp(&args[1..]);
+    }
+
     // Single-image analyze mode.
     let (opts, files) = parse_options(&args)?;
     let source_path = match files.as_slice() {
@@ -184,7 +188,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut cache = open_cache(opts.cache_dir.as_deref())?;
     let (report, machine) = analyze_one(&image, annotations, &opts, cache.as_mut(), None)?;
     if let Some(stats) = &report.incr {
-        eprintln!("wcet: {stats}");
+        eprintln!("wcet: {stats}{}", lp_stats_suffix(&report));
     }
 
     print!("{}", compose_report(&image, &report, opts.check_only));
@@ -279,7 +283,7 @@ fn run_batch(manifest_path: &str, opts: &CliOptions) -> Result<(), String> {
             print!("{}", render::render_report(&image, &report));
             println!();
             if let Some(stats) = &report.incr {
-                eprintln!("wcet: {program}: {stats}");
+                eprintln!("wcet: {program}: {stats}{}", lp_stats_suffix(&report));
                 total_fn_hits += stats.fn_hits;
                 total_fns += stats.functions;
             }
@@ -399,6 +403,27 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
         }
     }
     Ok((opts, files))
+}
+
+/// Renders the LP-solver effort of one run as a stderr suffix, empty
+/// when the run did no solver work (cached replays, trivial programs) —
+/// the cache/incremental stat lines stay byte-identical in that case.
+fn lp_stats_suffix(report: &AnalysisReport) -> String {
+    let trace = &report.trace;
+    let mut suffix = String::new();
+    if trace.lp_pivots > 0 {
+        suffix.push_str(&format!(", {} LP pivot(s)", trace.lp_pivots));
+    }
+    if trace.lp_refactorizations > 0 {
+        suffix.push_str(&format!(
+            ", {} refactorization(s)",
+            trace.lp_refactorizations
+        ));
+    }
+    if trace.lp_presolve_removed > 0 {
+        suffix.push_str(&format!(", {} presolved away", trace.lp_presolve_removed));
+    }
+    suffix
 }
 
 fn load_image(source_path: &str, isa: IsaKind) -> Result<Image, String> {
@@ -536,7 +561,11 @@ fn build_service(opts: &CliOptions) -> Result<AnalysisService, String> {
         let mut cache = open_cache(opts.cache_dir.as_deref())?;
         let (report, _) = analyze_one(&image, annotations, &opts, cache.as_mut(), Some(&pool))?;
         if let Some(stats) = &report.incr {
-            eprintln!("wcet: {}: {stats}", program.display());
+            eprintln!(
+                "wcet: {}: {stats}{}",
+                program.display(),
+                lp_stats_suffix(&report)
+            );
         }
         if let (Some(cache), Some(max)) = (cache.as_mut(), opts.max_cache_bytes) {
             // Best-effort watermark check; a failed GC degrades to an
@@ -658,6 +687,52 @@ fn run_fuzz(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `wcet fuzz-lp`: the differential LP campaign — random models through
+/// the sparse LU/eta engine (with and without presolve) against the
+/// dense tableau oracle, plus warm-restart fixpoint checks. See
+/// `wcet_ilp::fuzz` for the invariants.
+fn run_fuzz_lp(args: &[String]) -> Result<(), String> {
+    use wcet_predictability::ilp::fuzz as lp_fuzz;
+
+    let mut opts = lp_fuzz::LpFuzzOptions {
+        progress_every: 250,
+        ..lp_fuzz::LpFuzzOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--models" => {
+                let raw = value("--models")?;
+                opts.models = raw
+                    .parse()
+                    .map_err(|_| format!("invalid model count `{raw}`"))?;
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                opts.seed = raw.parse().map_err(|_| format!("invalid seed `{raw}`"))?;
+            }
+            other => return Err(format!("unknown fuzz-lp option `{other}`")),
+        }
+    }
+    eprintln!("wcet fuzz-lp: {} model(s), seed {}", opts.models, opts.seed);
+    let report = lp_fuzz::run_campaign(&opts);
+    match report.failure {
+        None => {
+            eprintln!(
+                "wcet fuzz-lp: {} model(s) checked against the dense oracle — no disagreements",
+                report.models_checked
+            );
+            Ok(())
+        }
+        Some(failure) => Err(format!("fuzz-lp: {failure}")),
+    }
+}
+
 /// `wcet gc`: one offline GC pass over a cache directory. Without
 /// `--max-bytes` it only sweeps stale temp files.
 fn run_gc(args: &[String]) -> Result<(), String> {
@@ -690,6 +765,7 @@ fn print_usage() {
          [--max-cache-bytes <size>] [analysis options]\n  \
          wcet gc --cache-dir <dir> [--max-bytes <size>]\n  \
          wcet fuzz [--programs <n>] [--seed <s>] [--isa <name>]\n  \
+         wcet fuzz-lp [--models <n>] [--seed <s>]\n  \
          wcet --table1 [samples]\n  wcet --experiments\n  wcet --help"
     );
 }
