@@ -40,6 +40,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod interval;
 pub mod loopbound;

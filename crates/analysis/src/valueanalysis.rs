@@ -211,9 +211,9 @@ impl FunctionAnalysis {
     pub fn pre_call_states(&self) -> BTreeMap<Addr, AbstractState> {
         let mut out: BTreeMap<Addr, AbstractState> = BTreeMap::new();
         for (id, block) in self.cfg.iter() {
-            let ret_to = match block.term {
-                Terminator::Call { ret_to, .. } | Terminator::CallInd { ret_to, .. } => ret_to,
-                _ => continue,
+            let (Terminator::Call { ret_to, .. } | Terminator::CallInd { ret_to, .. }) = block.term
+            else {
+                continue;
             };
             let site = block.site_addr();
             let Some(mut state) = self.block_in[id.0].clone() else {

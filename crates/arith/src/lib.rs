@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod histogram;
 pub mod kernels;
 pub mod ldivmod;

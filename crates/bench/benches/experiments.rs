@@ -31,44 +31,44 @@ fn experiment_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
     group.bench_function("table1_ldivmod_1e5", |b| {
-        b.iter(|| experiments::e1_table1(black_box(100_000)))
+        b.iter(|| experiments::e1_table1(black_box(100_000)));
     });
     group.bench_function("fig1_pipeline", |b| b.iter(experiments::e2_pipeline));
     group.bench_function("rule_13_4_float_loop", |b| {
-        b.iter(experiments::e3_rule_13_4)
+        b.iter(experiments::e3_rule_13_4);
     });
     group.bench_function("rule_13_6_counter_mod", |b| {
-        b.iter(experiments::e4_rule_13_6)
+        b.iter(experiments::e4_rule_13_6);
     });
     group.bench_function("rule_14_1_unreachable", |b| {
-        b.iter(experiments::e5_rule_14_1)
+        b.iter(experiments::e5_rule_14_1);
     });
     group.bench_function("rule_14_4_goto_irreducible", |b| {
-        b.iter(experiments::e6_rule_14_4)
+        b.iter(experiments::e6_rule_14_4);
     });
     group.bench_function("rule_16_2_recursion", |b| b.iter(experiments::e7_rule_16_2));
     group.bench_function("rule_20_4_dynamic_alloc", |b| {
-        b.iter(experiments::e8_rule_20_4)
+        b.iter(experiments::e8_rule_20_4);
     });
     group.bench_function("modes_flight_control", |b| b.iter(experiments::e9_modes));
     group.bench_function("data_dependent_messages", |b| {
-        b.iter(experiments::e10_messages)
+        b.iter(experiments::e10_messages);
     });
     group.bench_function("imprecise_memory", |b| b.iter(experiments::e11_memory));
     group.bench_function("error_handling", |b| {
-        b.iter(|| experiments::e12_errors(black_box(6), black_box(1)))
+        b.iter(|| experiments::e12_errors(black_box(6), black_box(1)));
     });
     group.bench_function("single_path_transform", |b| {
-        b.iter(experiments::e13_single_path)
+        b.iter(experiments::e13_single_path);
     });
     group.bench_function("software_arithmetic", |b| {
-        b.iter(experiments::e14_arithmetic)
+        b.iter(experiments::e14_arithmetic);
     });
     group.bench_function("function_pointers", |b| {
-        b.iter(experiments::e15_function_pointers)
+        b.iter(experiments::e15_function_pointers);
     });
     group.bench_function("cache_predictability", |b| {
-        b.iter(experiments::e16_cache_layout)
+        b.iter(experiments::e16_cache_layout);
     });
     group.finish();
 }
@@ -80,18 +80,18 @@ fn pipeline_phases(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("phases");
     group.bench_function("decode", |b| {
-        b.iter(|| black_box(&w.image).decode_code().expect("decodes"))
+        b.iter(|| black_box(&w.image).decode_code().expect("decodes"));
     });
     group.bench_function("cfg_reconstruction", |b| {
-        b.iter(|| reconstruct(black_box(&w.image), &TargetResolver::empty()).expect("builds"))
+        b.iter(|| reconstruct(black_box(&w.image), &TargetResolver::empty()).expect("builds"));
     });
     let program = reconstruct(&w.image, &TargetResolver::empty()).expect("builds");
     group.bench_function("value_analysis", |b| {
-        b.iter(|| analyze_function(black_box(&program), program.entry, &w.image))
+        b.iter(|| analyze_function(black_box(&program), program.entry, &w.image));
     });
     let fa = analyze_function(&program, program.entry, &w.image);
     group.bench_function("cache_pipeline_analysis", |b| {
-        b.iter(|| BlockTimes::compute(black_box(&fa), &machine))
+        b.iter(|| BlockTimes::compute(black_box(&fa), &machine));
     });
     let times = BlockTimes::compute(&fa, &machine);
     let mut bounds = fa.loop_bounds();
@@ -109,7 +109,7 @@ fn pipeline_phases(c: &mut Criterion) {
                 &Default::default(),
             )
             .expect("solves")
-        })
+        });
     });
     group.bench_function("full_analyzer", |b| {
         let config = AnalyzerConfig {
@@ -118,7 +118,7 @@ fn pipeline_phases(c: &mut Criterion) {
             ..AnalyzerConfig::new()
         };
         let analyzer = WcetAnalyzer::with_config(config);
-        b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+        b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"));
     });
     group.finish();
 }
@@ -142,7 +142,7 @@ fn scaling(c: &mut Criterion) {
             };
             let analyzer = WcetAnalyzer::with_config(config);
             group.bench_function(format!("{tag}/{label}"), |b| {
-                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"));
             });
         }
     }
@@ -167,7 +167,7 @@ fn context_depth(c: &mut Criterion) {
             };
             let analyzer = WcetAnalyzer::with_config(config);
             group.bench_function(format!("{tag}/depth_{depth}"), |b| {
-                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"));
             });
         }
     }
@@ -195,7 +195,35 @@ fn persistence(c: &mut Criterion) {
             };
             let analyzer = WcetAnalyzer::with_config(config);
             group.bench_function(format!("{tag}/{label}"), |b| {
-                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"))
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The abstract pipeline: the full analyzer on the pipeline workloads
+/// with flat block times vs the residual-vector fixpoint + BTFNT edge
+/// penalties — the cost of the precision the `cpu_pipeline` tests pin.
+fn cpu_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    for (w, tag) in [
+        (workload::pipeline_killer(), "pipeline_killer"),
+        (workload::branch_heavy(), "branch_heavy"),
+    ] {
+        for (pipeline, label) in [(false, "flat"), (true, "pipelined")] {
+            let mut machine = MachineConfig::simple();
+            machine.pipeline = pipeline;
+            let config = AnalyzerConfig {
+                machine,
+                annotations: w.annotations.clone(),
+                pipeline,
+                ..AnalyzerConfig::new()
+            };
+            let analyzer = WcetAnalyzer::with_config(config);
+            group.bench_function(format!("{tag}/{label}"), |b| {
+                b.iter(|| analyzer.analyze(black_box(&w.image)).expect("analyzes"));
             });
         }
     }
@@ -283,7 +311,7 @@ fn incremental(c: &mut Criterion) {
             analyzer
                 .analyze(black_box(&mutated.image))
                 .expect("analyzes")
-        })
+        });
     });
     group.bench_function("warm_one_mutation_tree8x8", |b| {
         b.iter_batched(
@@ -294,7 +322,7 @@ fn incremental(c: &mut Criterion) {
                     .expect("analyzes")
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("warm_steady_state_tree8x8", |b| {
         // The batch-service case: the request was seen before; every
@@ -307,7 +335,7 @@ fn incremental(c: &mut Criterion) {
             analyzer
                 .analyze_incremental(black_box(&mutated.image), &mut cache)
                 .expect("analyzes")
-        })
+        });
     });
     group.finish();
     let _ = std::fs::remove_dir_all(&root);
@@ -487,7 +515,7 @@ fn serve_stream(c: &mut Criterion) {
             || make_service(fresh_dir()),
             |service| run_stream(&service),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("warm_stream_100", |b| b.iter(|| run_stream(&primed)));
     group.finish();
@@ -541,10 +569,10 @@ fn ilp_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("ilp");
     group.sample_size(30);
     group.bench_function("dense_chain_64", |b| {
-        b.iter(|| wcet_ilp::simplex::solve_lp_dense(black_box(&model)).expect("solves"))
+        b.iter(|| wcet_ilp::simplex::solve_lp_dense(black_box(&model)).expect("solves"));
     });
     group.bench_function("sparse_chain_64", |b| {
-        b.iter(|| wcet_ilp::sparse::solve_lp(black_box(&model)).expect("solves"))
+        b.iter(|| wcet_ilp::sparse::solve_lp(black_box(&model)).expect("solves"));
     });
     group.finish();
 }
@@ -630,7 +658,7 @@ fn ipet_lp(c: &mut Criterion) {
     for (segments, tag) in sizes {
         let model = ipet_model(segments, false);
         group.bench_function(format!("cold/{tag}"), |b| {
-            b.iter(|| wcet_ilp::sparse::solve_lp_from(black_box(&model), None).expect("solves"))
+            b.iter(|| wcet_ilp::sparse::solve_lp_from(black_box(&model), None).expect("solves"));
         });
         let (cold_sol, snap) = wcet_ilp::sparse::solve_lp_from(&model, None).expect("cold solves");
         group.bench_function(format!("warm/{tag}"), |b| {
@@ -639,11 +667,11 @@ fn ipet_lp(c: &mut Criterion) {
                     .expect("warm solves");
                 assert!((sol.objective - cold_sol.objective).abs() < 1e-6);
                 sol
-            })
+            });
         });
         let ilp = ipet_model(segments, true);
         group.bench_function(format!("bnb/{tag}"), |b| {
-            b.iter(|| ilp.solve().expect("branches and bounds"))
+            b.iter(|| ilp.solve().expect("branches and bounds"));
         });
     }
     group.finish();
@@ -660,7 +688,7 @@ fn arithmetic(c: &mut Criterion) {
             || sample_input(&mut rng),
             |(n, d)| ldivmod(black_box(n), black_box(d)).expect("nonzero"),
             BatchSize::SmallInput,
-        )
+        );
     });
     let mut rng2 = rand::rngs::StdRng::seed_from_u64(8);
     group.bench_function("restoring_random", |b| {
@@ -668,11 +696,11 @@ fn arithmetic(c: &mut Criterion) {
             || sample_input(&mut rng2),
             |(n, d)| restoring_div(black_box(n), black_box(d)).expect("nonzero"),
             BatchSize::SmallInput,
-        )
+        );
     });
     // The pathological input: worst observed vs typical.
     group.bench_function("ldivmod_pathological", |b| {
-        b.iter(|| ldivmod(black_box(0xffff_ffff), black_box(0x0010_0001)))
+        b.iter(|| ldivmod(black_box(0xffff_ffff), black_box(0x0010_0001)));
     });
     group.finish();
 }
@@ -686,7 +714,7 @@ fn interpreter(c: &mut Criterion) {
             || Interpreter::with_config(&w.image, MachineConfig::simple()),
             |mut i| i.run(10_000_000).expect("halts"),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -698,6 +726,7 @@ criterion_group!(
     scaling,
     context_depth,
     persistence,
+    cpu_pipeline,
     incremental,
     serve_stream,
     ilp_solvers,

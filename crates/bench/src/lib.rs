@@ -8,6 +8,8 @@
 //!
 //! This library crate only hosts shared helpers for the harness.
 
+#![forbid(unsafe_code)]
+
 use wcet_core::experiments::Experiment;
 
 /// Prints one experiment table in the bench log format.

@@ -115,10 +115,7 @@ impl BasicBlock {
     /// Address one past the last instruction.
     #[must_use]
     pub fn end(&self) -> Addr {
-        self.insts
-            .last()
-            .map(|(a, _)| a.next())
-            .unwrap_or(self.start)
+        self.insts.last().map_or(self.start, |(a, _)| a.next())
     }
 
     /// The address of the block's last instruction — the canonical
@@ -129,7 +126,7 @@ impl BasicBlock {
     /// each consumer risked the keys silently diverging.
     #[must_use]
     pub fn site_addr(&self) -> Addr {
-        self.insts.last().map(|(a, _)| *a).unwrap_or(self.start)
+        self.insts.last().map_or(self.start, |(a, _)| *a)
     }
 
     /// Number of instructions in the block.

@@ -22,6 +22,7 @@ use wcet_isa::{Addr, Image, IsaKind};
 use wcet_micro::blocktime::BlockTimes;
 use wcet_micro::cacheanalysis::{CacheAnalysis, CacheCtx, CacheStates};
 use wcet_micro::footprint::{self, CacheFootprint};
+use wcet_micro::pipeline::{self, BranchPenalties, PipelineStates};
 use wcet_path::ipet::{self, CallCosts, LpStats, PathError, WcetResult};
 
 use crate::incr::{
@@ -73,6 +74,16 @@ pub struct AnalyzerConfig {
     /// pipeline ignores it (its reports must stay byte-identical to the
     /// classic analyzer). Off by default.
     pub persistence: bool,
+    /// Abstract in-order **pipeline timing** with static BTFNT branch
+    /// prediction: block costs become retirement deltas computed from an
+    /// abstract pipeline state carried block-to-block (and, at
+    /// `context_depth ≥ 1`, into callees per context), and conditional
+    /// branches pay [`wcet_isa::timing::TimingModel::mispredict_penalty`]
+    /// on their statically mispredicted CFG edge. This flag only changes
+    /// the *analysis*; pair it with [`MachineConfig::pipeline`] when
+    /// simulating the concrete machine. Off by default; flag-off reports
+    /// are byte-identical to previous versions.
+    pub pipeline: bool,
     /// Which instruction-set backend the analyzed images use. The decode
     /// pipeline itself dispatches on [`Image::isa`], so this field exists
     /// for the *cache key space*: it is hashed into
@@ -96,6 +107,7 @@ impl AnalyzerConfig {
             parallelism: None,
             context_depth: 0,
             persistence: false,
+            pipeline: false,
             isa: IsaKind::House,
         }
     }
@@ -309,6 +321,21 @@ impl WcetAnalyzer {
         self.analyze_impl(image, Some(cache))
     }
 
+    /// The pipeline-state entry digest a depth-0 function artifact must
+    /// carry under this configuration: the digest of the abstract entry
+    /// pipe its block times were derived against (the drained pipe for
+    /// the task entry, the unknown pipe for callees), or `None` with the
+    /// pipeline model off.
+    fn pipeline_entry_digest(&self, is_entry: bool) -> Option<u64> {
+        self.config.pipeline.then(|| {
+            if is_entry {
+                PipelineStates::drained().digest()
+            } else {
+                PipelineStates::unknown(&self.config.machine).digest()
+            }
+        })
+    }
+
     fn analyze_impl(
         &self,
         image: &Image,
@@ -447,6 +474,17 @@ impl WcetAnalyzer {
             let FnPhase::Warm { key, artifact } = phase else {
                 continue;
             };
+            // The artifact's block times were derived against a specific
+            // abstract entry pipe (drained for the task entry, unknown
+            // for callees); replay only when the recorded digest matches
+            // what this run would use. The config fingerprint already
+            // forks the key space on the flag itself, but the digest also
+            // covers the entry/callee asymmetry the function key cannot
+            // see.
+            if artifact.pipeline_digest != self.pipeline_entry_digest(f == program.entry) {
+                downgrade.push(f);
+                continue;
+            }
             let orig = program.cfg(f).expect("reconstructed");
             let analyzed = if self.config.unrolling && artifact.peeled {
                 let dom = Dominators::compute(orig);
@@ -668,9 +706,8 @@ impl WcetAnalyzer {
             .collect();
         let mut fresh_fas: BTreeMap<Addr, (Option<u64>, FunctionAnalysis)> = BTreeMap::new();
         for &f in &fresh_fns {
-            let (key, fa) = match phases_map.remove(&f) {
-                Some(FnPhase::Fresh { key, fa }) => (key, fa),
-                _ => unreachable!("warm phases were validated (or downgraded) above"),
+            let Some(FnPhase::Fresh { key, fa }) = phases_map.remove(&f) else {
+                unreachable!("warm phases were validated (or downgraded) above")
             };
             fresh_fas.insert(f, (key, fa));
         }
@@ -713,13 +750,29 @@ impl WcetAnalyzer {
                 )
                 .analysis
             });
-            let block_times = BlockTimes::compute_from_parts(
-                fa,
-                machine,
-                &overrides,
-                icache.as_ref(),
-                dcache.as_ref(),
-            );
+            let block_times = if self.config.pipeline {
+                // The abstract pipe mirrors the ACS rule: only the task
+                // entry genuinely starts drained; callees may inherit
+                // any pipe occupancy from their callers.
+                let entry_pipe = (!is_entry).then(|| PipelineStates::unknown(machine));
+                pipeline::analyze(
+                    fa,
+                    machine,
+                    &overrides,
+                    icache.as_ref(),
+                    dcache.as_ref(),
+                    entry_pipe.as_ref(),
+                )
+                .times
+            } else {
+                BlockTimes::compute_from_parts(
+                    fa,
+                    machine,
+                    &overrides,
+                    icache.as_ref(),
+                    dcache.as_ref(),
+                )
+            };
             let cache_summary = icache.as_ref().map(CacheAnalysis::summary);
             (block_times, cache_summary)
         });
@@ -754,6 +807,12 @@ impl WcetAnalyzer {
                 trace.cache_always_hit += h;
                 trace.cache_always_miss += m;
                 trace.cache_not_classified += nc;
+            }
+        }
+        if self.config.pipeline {
+            // Structural, so warm and cold runs count identically.
+            for unit in units.values() {
+                trace.pipeline_edges += pipeline::predicted_edge_count(unit.cfg());
             }
         }
         trace.phase_times[3] = t3.elapsed();
@@ -961,6 +1020,7 @@ impl WcetAnalyzer {
                     times_wcet: (0..n).map(|b| times_f.wcet(wcet_cfg::BlockId(b))).collect(),
                     times_bcet: (0..n).map(|b| times_f.bcet(wcet_cfg::BlockId(b))).collect(),
                     cache_summary: fresh_summaries.get(&f).copied().flatten(),
+                    pipeline_digest: self.pipeline_entry_digest(f == program.entry),
                 };
                 store.store_fn(key, &artifact);
             }
@@ -1051,6 +1111,15 @@ impl WcetAnalyzer {
             }
             let facts = self.config.annotations.flow_facts(cfg, mode);
             let ft = &times[&f];
+            // Static branch-prediction penalties per CFG edge — a pure
+            // function of the CFG and the timing model, so cached IPET
+            // solutions stay valid (the config fingerprint forks the key
+            // space on the pipeline flag).
+            let penalties = if self.config.pipeline {
+                pipeline::branch_penalties(cfg, &self.config.machine.timing)
+            } else {
+                BranchPenalties::default()
+            };
 
             // Recursive cycles: compute per-activation body costs with
             // the cycle's internal calls priced at zero, then scale by
@@ -1068,17 +1137,53 @@ impl WcetAnalyzer {
                     b_costs.insert(member, 0);
                 }
                 (
-                    ipet::wcet_with_stats(cfg, forest, ft, &bounds, &facts, &w_costs, &mut lp)
-                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
-                    ipet::bcet_with_stats(cfg, forest, ft, &bounds, &facts, &b_costs, &mut lp)
-                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                    ipet::wcet_full(
+                        cfg,
+                        forest,
+                        ft,
+                        &bounds,
+                        &facts,
+                        &w_costs,
+                        &penalties.wcet,
+                        &mut lp,
+                    )
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                    ipet::bcet_full(
+                        cfg,
+                        forest,
+                        ft,
+                        &bounds,
+                        &facts,
+                        &b_costs,
+                        &penalties.bcet,
+                        &mut lp,
+                    )
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             } else {
                 (
-                    ipet::wcet_with_stats(cfg, forest, ft, &bounds, &facts, wcet_costs, &mut lp)
-                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
-                    ipet::bcet_with_stats(cfg, forest, ft, &bounds, &facts, bcet_costs, &mut lp)
-                        .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                    ipet::wcet_full(
+                        cfg,
+                        forest,
+                        ft,
+                        &bounds,
+                        &facts,
+                        wcet_costs,
+                        &penalties.wcet,
+                        &mut lp,
+                    )
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?,
+                    ipet::bcet_full(
+                        cfg,
+                        forest,
+                        ft,
+                        &bounds,
+                        &facts,
+                        bcet_costs,
+                        &penalties.bcet,
+                        &mut lp,
+                    )
+                    .map_err(|error| AnalyzeError::Path { function: f, error })?,
                 )
             };
             reports.push((f, FunctionReport { wcet, bcet }));
@@ -1146,6 +1251,9 @@ struct CtxInput {
     entry_state: AbstractState,
     icache_entry: Option<CacheStates>,
     dcache_entry: Option<CacheStates>,
+    /// The abstract entry pipe (pipeline runs only): joined from the
+    /// producing callers' post-call-transfer snapshots.
+    pipeline_entry: Option<PipelineStates>,
     digest: u64,
 }
 
@@ -1164,6 +1272,9 @@ struct CtxUnit {
     pre_call: BTreeMap<Addr, AbstractState>,
     icache_calls: Option<BTreeMap<Addr, CacheStates>>,
     dcache_calls: Option<BTreeMap<Addr, CacheStates>>,
+    /// Per-call-site abstract pipe entering each callee (pipeline runs
+    /// only), the pipeline analogue of `icache_calls`.
+    pipeline_calls: Option<BTreeMap<Addr, PipelineStates>>,
 }
 
 /// One schedulable path-analysis item of the context pipeline.
@@ -1296,6 +1407,7 @@ impl WcetAnalyzer {
                         &base_entry,
                         &self.config.machine,
                         program.entry,
+                        self.config.pipeline,
                     )
                 })
                 .collect();
@@ -1326,6 +1438,11 @@ impl WcetAnalyzer {
                 trace.cache_always_miss += m;
                 trace.cache_first_miss += fm;
                 trace.cache_not_classified += nc;
+            }
+        }
+        if self.config.pipeline {
+            for unit in units.values() {
+                trace.pipeline_edges += pipeline::predicted_edge_count(unit.fa.cfg());
             }
         }
         trace.phase_times[3] = t3.elapsed();
@@ -1569,6 +1686,7 @@ impl WcetAnalyzer {
                     times_wcet: Vec::new(),
                     times_bcet: Vec::new(),
                     cache_summary: None,
+                    pipeline_digest: None,
                 };
                 store.store_fn(key, &artifact);
             }
@@ -1824,13 +1942,26 @@ impl WcetAnalyzer {
             }
             None => (None, None),
         };
-        let times = BlockTimes::compute_from_parts(
-            &fa,
-            machine,
-            overrides,
-            icache.as_ref(),
-            dcache.as_ref(),
-        );
+        let (times, pipeline_calls) = if self.config.pipeline {
+            let r = pipeline::analyze(
+                &fa,
+                machine,
+                overrides,
+                icache.as_ref(),
+                dcache.as_ref(),
+                input.pipeline_entry.as_ref(),
+            );
+            (r.times, Some(r.call_states))
+        } else {
+            let times = BlockTimes::compute_from_parts(
+                &fa,
+                machine,
+                overrides,
+                icache.as_ref(),
+                dcache.as_ref(),
+            );
+            (times, None)
+        };
         let cache_summary = icache.as_ref().map(CacheAnalysis::summary4);
         let bounds = fa.loop_bounds();
         let pre_call = fa.pre_call_states();
@@ -1843,6 +1974,7 @@ impl WcetAnalyzer {
             pre_call,
             icache_calls,
             dcache_calls,
+            pipeline_calls,
             fa,
         }
     }
@@ -1887,12 +2019,33 @@ impl WcetAnalyzer {
                 }
                 None => site_cost_tables(unit, ctx, contexts, wcet_costs, bcet_costs, zero_members),
             };
-            let wcet =
-                ipet::wcet_with_stats(cfg, forest, &unit.times, &bounds, &facts, &w_costs, lp)
-                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
-            let bcet =
-                ipet::bcet_with_stats(cfg, forest, &unit.times, &bounds, &facts, &b_costs, lp)
-                    .map_err(|error| AnalyzeError::Path { function: f, error })?;
+            let penalties = if self.config.pipeline {
+                pipeline::branch_penalties(cfg, &self.config.machine.timing)
+            } else {
+                BranchPenalties::default()
+            };
+            let wcet = ipet::wcet_full(
+                cfg,
+                forest,
+                &unit.times,
+                &bounds,
+                &facts,
+                &w_costs,
+                &penalties.wcet,
+                lp,
+            )
+            .map_err(|error| AnalyzeError::Path { function: f, error })?;
+            let bcet = ipet::bcet_full(
+                cfg,
+                forest,
+                &unit.times,
+                &bounds,
+                &facts,
+                &b_costs,
+                &penalties.bcet,
+                lp,
+            )
+            .map_err(|error| AnalyzeError::Path { function: f, error })?;
             Ok(FunctionReport { wcet, bcet })
         };
 
@@ -1959,11 +2112,13 @@ fn ctx_entry_input(
     base_entry: &AbstractState,
     machine: &MachineConfig,
     task_entry: Addr,
+    pipeline_on: bool,
 ) -> CtxInput {
     let info = contexts.info(id);
     let mut state: Option<AbstractState> = None;
     let mut icache_entry: Option<CacheStates> = None;
     let mut dcache_entry: Option<CacheStates> = None;
+    let mut pipe: Option<PipelineStates> = None;
     if !callgraph.is_recursive(info.function) {
         // `preds` is sorted, so the joins fold in a fixed order:
         // deterministic at any thread count.
@@ -1988,6 +2143,16 @@ fn ctx_entry_input(
                     });
                 }
             }
+            if let Some(p) = caller_unit
+                .pipeline_calls
+                .as_ref()
+                .and_then(|m| m.get(&site))
+            {
+                pipe = Some(match pipe.take() {
+                    Some(cur) => cur.join(p),
+                    None => p.clone(),
+                });
+            }
         }
     }
     let entry_state = state.unwrap_or_else(|| base_entry.clone());
@@ -2000,6 +2165,18 @@ fn ctx_entry_input(
             dcache_entry = machine.dcache.as_ref().map(CacheStates::unknown);
         }
     }
+    // The abstract pipe mirrors the ACS rule: drained is *exact* for the
+    // task activation; every other context without tracked producers
+    // (recursion, unresolved callers) falls back to the unknown pipe.
+    let pipeline_entry = pipeline_on.then(|| {
+        pipe.unwrap_or_else(|| {
+            if genuinely_cold {
+                PipelineStates::drained()
+            } else {
+                PipelineStates::unknown(machine)
+            }
+        })
+    });
     let mut h = StableHasher::new();
     h.write_str("ctx-entry");
     h.write_u64(entry_state.digest());
@@ -2012,11 +2189,19 @@ fn ctx_entry_input(
             None => h.write_u32(0),
         }
     }
+    match &pipeline_entry {
+        Some(p) => {
+            h.write_u32(1);
+            h.write_u64(p.digest());
+        }
+        None => h.write_u32(0),
+    }
     CtxInput {
         id,
         entry_state,
         icache_entry,
         dcache_entry,
+        pipeline_entry,
         digest: h.finish(),
     }
 }
@@ -2310,6 +2495,7 @@ mod tests {
         assert_eq!(derived.parallelism, documented.parallelism);
         assert_eq!(derived.context_depth, documented.context_depth);
         assert_eq!(derived.persistence, documented.persistence);
+        assert_eq!(derived.pipeline, documented.pipeline);
         assert_eq!(derived, documented);
         // The documented defaults really are in force.
         assert_eq!(derived.max_resolve_rounds, 3);
@@ -2321,6 +2507,10 @@ mod tests {
         assert!(
             !derived.persistence,
             "persistence is opt-in (goldens pin the classic classifications)"
+        );
+        assert!(
+            !derived.pipeline,
+            "pipeline timing is opt-in (goldens pin the flat block times)"
         );
         // And the derived-Default analyzer is the documented analyzer.
         assert_eq!(

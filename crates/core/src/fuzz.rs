@@ -585,58 +585,80 @@ pub struct OracleCase {
     pub context_depth: usize,
     pub persistence: bool,
     pub unrolling: bool,
+    pub pipeline: bool,
 }
 
 impl fmt::Display for OracleCase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "caches={} depth={}{}{}",
+            "caches={} depth={}{}{}{}",
             self.caches,
             self.context_depth,
             if self.persistence { " persistence" } else { "" },
             if self.unrolling { " unroll" } else { "" },
+            if self.pipeline { " pipeline" } else { "" },
         )
     }
 }
 
 /// The full matrix every program is checked against.
-pub const MATRIX: [OracleCase; 6] = [
+pub const MATRIX: [OracleCase; 8] = [
     OracleCase {
         caches: false,
         context_depth: 0,
         persistence: false,
         unrolling: false,
+        pipeline: false,
     },
     OracleCase {
         caches: false,
         context_depth: 1,
         persistence: false,
         unrolling: false,
+        pipeline: false,
     },
     OracleCase {
         caches: true,
         context_depth: 0,
         persistence: false,
         unrolling: false,
+        pipeline: false,
     },
     OracleCase {
         caches: true,
         context_depth: 1,
         persistence: false,
         unrolling: false,
+        pipeline: false,
     },
     OracleCase {
         caches: true,
         context_depth: 1,
         persistence: true,
         unrolling: false,
+        pipeline: false,
     },
     OracleCase {
         caches: true,
         context_depth: 0,
         persistence: false,
         unrolling: true,
+        pipeline: false,
+    },
+    OracleCase {
+        caches: false,
+        context_depth: 0,
+        persistence: false,
+        unrolling: false,
+        pipeline: true,
+    },
+    OracleCase {
+        caches: true,
+        context_depth: 1,
+        persistence: true,
+        unrolling: false,
+        pipeline: true,
     },
 ];
 
@@ -702,6 +724,8 @@ fn analyzer_for(
     };
     let annotations =
         AnnotationSet::parse(&gp.annotations).map_err(|e| format!("annotation parse: {e}"))?;
+    let mut machine = machine;
+    machine.pipeline = case.pipeline;
     Ok(AnalyzerConfig {
         machine,
         annotations,
@@ -710,6 +734,7 @@ fn analyzer_for(
         parallelism: Some(parallelism),
         context_depth: case.context_depth,
         persistence: case.persistence,
+        pipeline: case.pipeline,
         isa,
         ..AnalyzerConfig::new()
     })
@@ -718,11 +743,13 @@ fn analyzer_for(
 /// The machine the *interpreter* runs on for a case — always the real one;
 /// sabotage only degrades the analyzer's model.
 fn run_machine(isa: IsaKind, case: OracleCase) -> MachineConfig {
-    if case.caches {
+    let mut machine = if case.caches {
         MachineConfig::with_caches_for(isa)
     } else {
         MachineConfig::simple_for(isa)
-    }
+    };
+    machine.pipeline = case.pipeline;
+    machine
 }
 
 /// A deterministic digest of everything an analysis report asserts
@@ -925,9 +952,9 @@ pub fn check_program(
             return Some(v);
         }
     }
-    // The most config-laden case carries the determinism checks: context
-    // pipeline + caches + persistence exercises the widest artifact set.
-    let heavy = MATRIX.len() - 2; // caches, depth 1, persistence
+    // The most config-laden case carries the determinism checks: contexts
+    // + caches + persistence + pipeline exercises the widest artifact set.
+    let heavy = MATRIX.len() - 1; // caches, depth 1, persistence, pipeline
     if opts.check_threads {
         if let Some(v) = recheck(
             gp,

@@ -64,7 +64,10 @@ use crate::analyzer::AnalyzerConfig;
 /// Version 6: IPET entries carry the LP solver statistics (pivots,
 /// refactorizations, presolve eliminations) so a warm replay restores the
 /// exact trace counters the fresh solve produced.
-pub(crate) const CACHE_VERSION: u32 = 6;
+/// Version 7: the abstract pipeline — the pipeline flag joins the config
+/// fingerprint and function artifacts record the pipeline-state entry
+/// digest their block times were derived against.
+pub(crate) const CACHE_VERSION: u32 = 7;
 
 /// Magic prefix of every artifact file.
 const MAGIC: &[u8; 4] = b"WCAC";
@@ -97,6 +100,10 @@ pub fn config_fingerprint(config: &AnalyzerConfig) -> u64 {
     // the flag. Function keys embed this fingerprint, and every IPET key
     // embeds a function key — the whole cache space forks on the flag.
     h.write_u64(u64::from(config.persistence));
+    // The pipeline fingerprint: the abstract-pipe timing model changes
+    // every block time and IPET objective, so cached solutions must not
+    // cross the flag either.
+    h.write_u64(u64::from(config.pipeline));
     // The ISA tag: instruction words mean different things per backend
     // (and `function_key` falls back to `Debug` for shapes the house
     // encoder rejects), so the key space must fork on the ISA outright.
@@ -309,6 +316,10 @@ pub struct FunctionArtifact {
     /// Instruction-cache classification counts `(hit, miss, unclassified)`
     /// when an icache was configured.
     pub cache_summary: Option<(usize, usize, usize)>,
+    /// Digest of the abstract pipeline entry state the block times were
+    /// derived against (pipeline runs only) — the replay guard for the
+    /// entry/callee asymmetry the function key cannot see.
+    pub pipeline_digest: Option<u64>,
 }
 
 /// One function's *own* (non-transitive) cache footprints — the lines
@@ -414,8 +425,7 @@ impl ArtifactCache {
         let first_open = SWEPT_ROOTS
             .get_or_init(Default::default)
             .lock()
-            .map(|mut roots| roots.insert(cache.root.clone()))
-            .unwrap_or(true);
+            .map_or(true, |mut roots| roots.insert(cache.root.clone()));
         if first_open {
             let _ = cache.sweep_stale_tmp();
         }
@@ -739,8 +749,7 @@ fn touch_for_lru(path: &Path) {
         if let Ok(mtime) = meta.modified() {
             let fresh = now
                 .duration_since(mtime)
-                .map(|age| age.as_secs() < 60)
-                .unwrap_or(true);
+                .map_or(true, |age| age.as_secs() < 60);
             if fresh {
                 return;
             }
@@ -1031,6 +1040,13 @@ fn encode_fn_artifact(a: &FunctionArtifact) -> Vec<u8> {
         }
         None => e.u8(0),
     }
+    match a.pipeline_digest {
+        Some(d) => {
+            e.u8(1);
+            e.u64(d);
+        }
+        None => e.u8(0),
+    }
     e.seal()
 }
 
@@ -1084,6 +1100,11 @@ fn decode_fn_artifact(bytes: &[u8]) -> Option<FunctionArtifact> {
         1 => Some((d.usize()?, d.usize()?, d.usize()?)),
         _ => return None,
     };
+    let pipeline_digest = match d.u8()? {
+        0 => None,
+        1 => Some(d.u64()?),
+        _ => return None,
+    };
     d.done().then_some(FunctionArtifact {
         hint_calls,
         hint_jumps,
@@ -1095,6 +1116,7 @@ fn decode_fn_artifact(bytes: &[u8]) -> Option<FunctionArtifact> {
         times_wcet,
         times_bcet,
         cache_summary,
+        pipeline_digest,
     })
 }
 
@@ -1313,6 +1335,7 @@ mod tests {
             times_wcet: vec![10, 42, 7],
             times_bcet: vec![4, 40, 7],
             cache_summary: Some((12, 3, 1)),
+            pipeline_digest: Some(0x1234_5678_9abc_def0),
         }
     }
 
@@ -1461,6 +1484,18 @@ mod tests {
             config_fingerprint(&base),
             config_fingerprint(&persist),
             "persistence forks the cache space"
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_pipeline() {
+        let base = AnalyzerConfig::new();
+        let mut piped = base.clone();
+        piped.pipeline = true;
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&piped),
+            "the pipeline model forks the cache space"
         );
     }
 

@@ -38,6 +38,11 @@
 //! # }
 //! ```
 
+// `deny`, not `forbid`: the worker pool's scoped-lifetime transmute in
+// [`parallel`] is the workspace's single audited unsafe block, behind a
+// local allow with its safety argument.
+#![deny(unsafe_code)]
+
 pub mod analyzer;
 pub mod experiments;
 pub mod fuzz;

@@ -45,9 +45,7 @@ use std::time::{Duration, Instant};
 pub fn worker_count(parallelism: Option<usize>) -> usize {
     match parallelism {
         Some(n) => n.max(1),
-        None => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
+        None => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
     }
 }
 
@@ -144,6 +142,12 @@ impl WorkerPool {
     ///
     /// Propagates panics from `work` (a worker panic aborts the map; the
     /// first caught payload is re-raised after all helpers finished).
+    // The single unsafe block the workspace permits: the thunk transmute
+    // erases the borrow of `job` so persistent workers can run it, and
+    // the unconditional latch wait below keeps the borrow alive past
+    // every use. A scoped-thread rewrite would spawn per map and lose
+    // the warm pool that serve mode's throughput rides on.
+    #[allow(unsafe_code)]
     pub fn map_in_order<T, R, F>(&self, items: &[T], work: F) -> (Vec<R>, Duration)
     where
         T: Sync,

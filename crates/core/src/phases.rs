@@ -39,6 +39,9 @@ pub struct PhaseTrace {
     pub cache_first_miss: usize,
     /// Accesses not classified.
     pub cache_not_classified: usize,
+    /// Conditional-branch edges priced by the static BTFNT predictor
+    /// (pipeline analysis runs only; always zero otherwise).
+    pub pipeline_edges: usize,
     /// Path analysis: ILP variables of the entry function's system.
     pub ilp_vars: usize,
     /// Path analysis: ILP constraints of the entry function's system.
@@ -144,9 +147,16 @@ impl fmt::Display for PhaseTrace {
         } else {
             String::new()
         };
+        // Same rule for the branch-prediction counter: pipeline-off
+        // traces keep the exact line older versions emitted.
+        let pipeline = if self.pipeline_edges > 0 {
+            format!(", {} branch edge(s) predicted", self.pipeline_edges)
+        } else {
+            String::new()
+        };
         writeln!(
             f,
-            "  [4] {}: {} always-hit / {} always-miss{first_miss} / {} not-classified ({})",
+            "  [4] {}: {} always-hit / {} always-miss{first_miss} / {} not-classified{pipeline} ({})",
             Self::PHASE_NAMES[3],
             self.cache_always_hit,
             self.cache_always_miss,
@@ -215,6 +225,17 @@ mod tests {
         );
         trace.cache_first_miss = 4;
         assert!(trace.to_string().contains("/ 4 first-miss /"));
+    }
+
+    #[test]
+    fn pipeline_counter_rendered_only_when_present() {
+        let mut trace = PhaseTrace::default();
+        assert!(
+            !trace.to_string().contains("predicted"),
+            "pipeline-off traces stay byte-identical"
+        );
+        trace.pipeline_edges = 6;
+        assert!(trace.to_string().contains(", 6 branch edge(s) predicted"));
     }
 
     #[test]

@@ -766,12 +766,105 @@ pub fn persistence_killer_for(isa: IsaKind) -> Workload {
     )
 }
 
+/// A branch ladder under the static BTFNT predictor: each loop iteration
+/// runs three *forward* conditionals (predicted not-taken — taking one
+/// mispredicts) before the *backward* latch (predicted taken — falling
+/// out mispredicts). With `--pipeline` every conditional out-edge in the
+/// ILP carries its misprediction surcharge, so the worst path prices
+/// control flow the flat model cannot see; the soundness oracle holds in
+/// both modes on both ISAs.
+#[must_use]
+pub fn branch_heavy() -> Workload {
+    branch_heavy_for(IsaKind::House)
+}
+
+/// [`branch_heavy`] assembled for `isa` (see [`flight_control_for`]).
+#[must_use]
+pub fn branch_heavy_for(isa: IsaKind) -> Workload {
+    let src = r#"
+        .org 0x1000
+        main:
+            li   r1, 24             # iterations
+        bh_loop:
+            andi r2, r1, 3          # low bits steer the ladder
+            li   r3, 2
+            beq  r2, r0, bh_mid     # forward: predicted not-taken
+            mul  r4, r2, r2
+            addi r4, r4, 1
+        bh_mid:
+            blt  r2, r3, bh_high    # forward: predicted not-taken
+            mul  r5, r4, r2
+            addi r5, r5, 3
+        bh_high:
+            beq  r2, r3, bh_next    # forward: predicted not-taken
+            addi r6, r6, 5
+            mul  r6, r6, r2
+        bh_next:
+            subi r1, r1, 1
+            bne  r1, r0, bh_loop    # backward latch: predicted taken
+            halt
+    "#;
+    build_for(
+        isa,
+        "branch_heavy",
+        "forward branch ladder inside a counted loop: the BTFNT misprediction lever",
+        src,
+        "",
+    )
+}
+
+/// The pipeline killer: a straight-line, multiply-heavy loop body whose
+/// flat cost model charges every instruction fetch + execute + retire in
+/// sequence, while the real in-order machine overlaps each instruction's
+/// execute stage with its successor's fetch. The abstract pipeline
+/// carries that overlap as residual-latency vectors, so `--pipeline`
+/// tightens the WCET well past 10% here (the PR 10 acceptance lever);
+/// the single backward latch keeps misprediction surcharges off the
+/// steady-state path.
+#[must_use]
+pub fn pipeline_killer() -> Workload {
+    pipeline_killer_for(IsaKind::House)
+}
+
+/// [`pipeline_killer`] assembled for `isa` (see [`flight_control_for`]).
+#[must_use]
+pub fn pipeline_killer_for(isa: IsaKind) -> Workload {
+    let src = r#"
+        .org 0x1000
+        .equ SCRATCH 0x8000
+        main:
+            li   r1, 32             # iterations
+            li   r8, SCRATCH
+        pk_loop:
+            mul  r2, r1, r1         # execute-stage chain: the overlap lever
+            mul  r3, r2, r1
+            mul  r4, r3, r2
+            lw   r5, 0(r8)
+            add  r5, r5, r4
+            sw   r5, 0(r8)
+            mul  r6, r5, r2
+            mul  r7, r6, r3
+            addi r9, r9, 1
+            subi r1, r1, 1
+            bne  r1, r0, pk_loop    # backward latch: predicted taken
+            halt
+    "#;
+    build_for(
+        isa,
+        "pipeline_killer",
+        "straight-line multiply chain in a counted loop: fetch/execute overlap (pipeline lever)",
+        src,
+        "",
+    )
+}
+
 /// The named workload corpus, with design-level annotations — the unit
 /// set of the end-to-end soundness oracle, the golden report snapshots,
 /// and the incremental benches. Grew past the original ten with
 /// `call_tree_heavy` (the two-level call tree), `context_killer` (the
-/// context-sensitivity workload), and `persistence_killer` (the
-/// cache-persistence workload).
+/// context-sensitivity workload), `persistence_killer` (the
+/// cache-persistence workload), and the PR 10 pair `branch_heavy` /
+/// `pipeline_killer` (the branch-prediction and pipeline-overlap levers).
 #[must_use]
 pub fn corpus() -> Vec<Workload> {
     let mut workloads = vec![
@@ -791,6 +884,8 @@ pub fn corpus() -> Vec<Workload> {
     workloads.push(call_tree_heavy(2, 3, &[]));
     workloads.push(context_killer());
     workloads.push(persistence_killer());
+    workloads.push(branch_heavy());
+    workloads.push(pipeline_killer());
     workloads
 }
 
@@ -809,6 +904,8 @@ pub fn rv32i_corpus() -> Vec<Workload> {
         matrix_kernel_for(isa, 4),
         context_killer_for(isa),
         persistence_killer_for(isa),
+        branch_heavy_for(isa),
+        pipeline_killer_for(isa),
     ]
 }
 
@@ -1032,6 +1129,8 @@ mod tests {
                 "call_tree_heavy",
                 "context_killer",
                 "persistence_killer",
+                "branch_heavy",
+                "pipeline_killer",
             ]
         );
     }
@@ -1109,6 +1208,64 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_killer_tightens_past_ten_percent() {
+        for isa in [IsaKind::House, IsaKind::Rv32i] {
+            let w = pipeline_killer_for(isa);
+            let analyze = |pipeline: bool| {
+                let mut machine = MachineConfig::simple_for(isa);
+                machine.pipeline = pipeline;
+                let config = AnalyzerConfig {
+                    machine: machine.clone(),
+                    pipeline,
+                    isa,
+                    ..AnalyzerConfig::new()
+                };
+                let report = WcetAnalyzer::with_config(config).analyze(&w.image).unwrap();
+                let mut interp = Interpreter::with_config(&w.image, machine);
+                let observed = interp.run(10_000_000).unwrap().cycles;
+                assert!(report.wcet_cycles >= observed, "{}: unsound", isa.name());
+                assert!(report.bcet_cycles <= observed, "{}: unsound", isa.name());
+                report.wcet_cycles
+            };
+            let flat = analyze(false);
+            let piped = analyze(true);
+            assert!(
+                piped * 10 <= flat * 9,
+                "{}: pipeline must tighten >= 10%: {piped} vs {flat}",
+                isa.name()
+            );
+        }
+    }
+
+    #[test]
+    fn branch_heavy_stays_sound_under_prediction() {
+        for isa in [IsaKind::House, IsaKind::Rv32i] {
+            let w = branch_heavy_for(isa);
+            for pipeline in [false, true] {
+                let mut machine = MachineConfig::simple_for(isa);
+                machine.pipeline = pipeline;
+                let config = AnalyzerConfig {
+                    machine: machine.clone(),
+                    pipeline,
+                    isa,
+                    ..AnalyzerConfig::new()
+                };
+                let report = WcetAnalyzer::with_config(config).analyze(&w.image).unwrap();
+                let mut interp = Interpreter::with_config(&w.image, machine);
+                let observed = interp.run(10_000_000).unwrap().cycles;
+                assert!(
+                    report.bcet_cycles <= observed && observed <= report.wcet_cycles,
+                    "{} pipeline={pipeline}: {} !in [{}, {}]",
+                    isa.name(),
+                    observed,
+                    report.bcet_cycles,
+                    report.wcet_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
     fn rv32i_corpus_is_the_documented_set() {
         let ports = rv32i_corpus();
         let names: Vec<&str> = ports.iter().map(|w| w.name).collect();
@@ -1120,6 +1277,8 @@ mod tests {
                 "matrix_kernel",
                 "context_killer",
                 "persistence_killer",
+                "branch_heavy",
+                "pipeline_killer",
             ]
         );
         for w in &ports {

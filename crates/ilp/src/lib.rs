@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod branch;
 pub mod fuzz;
 mod lu;

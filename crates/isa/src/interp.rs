@@ -34,6 +34,10 @@ pub struct MachineConfig {
     pub icache: Option<CacheConfig>,
     /// Data cache, if present.
     pub dcache: Option<CacheConfig>,
+    /// In-order pipeline timing mode: overlap successive instructions
+    /// through a fetch/execute/memory/writeback pipe and charge BTFNT
+    /// branch mispredictions, instead of summing per-instruction costs.
+    pub pipeline: bool,
 }
 
 impl MachineConfig {
@@ -53,6 +57,7 @@ impl MachineConfig {
             timing: isa.timing(),
             icache: None,
             dcache: None,
+            pipeline: false,
         }
     }
 
@@ -118,6 +123,11 @@ pub struct Interpreter {
     cycles: u64,
     instructions: u64,
     profile: HashMap<Addr, u64>,
+    /// How long before its retirement the previous instruction entered
+    /// the execute, memory, and writeback stages; used only in pipeline
+    /// timing mode. Invariantly nonnegative and nonincreasing;
+    /// `(0, 0, 0)` is a drained pipe.
+    pipe: (i64, i64, i64),
 }
 
 impl Interpreter {
@@ -158,8 +168,7 @@ impl Interpreter {
         let (heap_next, heap_end) = config
             .memmap
             .heap()
-            .map(|r| (r.start.0, r.end.0))
-            .unwrap_or((0, 0));
+            .map_or((0, 0), |r| (r.start.0, r.end.0));
         let mut regs = [0u32; Reg::COUNT];
         regs[Reg::LINK.index()] = RETURN_SENTINEL.0;
         if let Some(stack) = config
@@ -187,6 +196,7 @@ impl Interpreter {
             cycles: 0,
             instructions: 0,
             profile: HashMap::new(),
+            pipe: (0, 0, 0),
         }
     }
 
@@ -285,17 +295,24 @@ impl Interpreter {
         self.instructions += 1;
         *self.profile.entry(pc).or_insert(0) += 1;
 
-        // Fetch cost.
-        self.cycles += u64::from(self.fetch_cost(pc));
-        // Base execution cost (taken surcharge added below where relevant).
-        self.cycles += u64::from(self.config.timing.base_cost(&inst));
+        // Stage latencies, charged after the semantic match: fetch,
+        // execute (base cost plus the taken surcharge where relevant),
+        // and memory. The flat model sums them; the pipeline model
+        // overlaps them against the previous instruction's stages.
+        let fetch = self.fetch_cost(pc);
+        let mut exec = self.config.timing.base_cost(&inst);
+        let mut mem = 0u32;
+        // `(taken, target)` of a conditional branch, for the BTFNT
+        // mispredict check after the charge.
+        let mut cond_branch: Option<(bool, Addr)> = None;
+        let mut stop = None;
 
         let mut next = pc.next();
         match inst {
             Inst::Nop => {}
             Inst::Halt => {
                 self.pc = pc; // halted machines stay halted
-                return Ok(Some(StopReason::Halt));
+                stop = Some(StopReason::Halt);
             }
             Inst::Alu { op, rd, rs1, rs2 } => {
                 let v = op.apply(self.reg(rs1), self.reg(rs2));
@@ -313,7 +330,8 @@ impl Interpreter {
                 offset,
             } => {
                 let addr = Addr(self.reg(base).wrapping_add(offset as u32));
-                let v = self.load(addr, width, pc)?;
+                let (v, latency) = self.load(addr, width, pc)?;
+                mem = latency;
                 self.set_reg(rd, v);
             }
             Inst::Store {
@@ -324,7 +342,7 @@ impl Interpreter {
             } => {
                 let addr = Addr(self.reg(base).wrapping_add(offset as u32));
                 let v = self.reg(rs);
-                self.store(addr, width, v, pc)?;
+                mem = self.store(addr, width, v, pc)?;
             }
             Inst::Branch {
                 cond,
@@ -332,10 +350,12 @@ impl Interpreter {
                 rs2,
                 target,
             } => {
-                if cond.eval(self.reg(rs1), self.reg(rs2)) {
-                    self.cycles += u64::from(self.config.timing.taken_surcharge());
+                let taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                if taken {
+                    exec += self.config.timing.taken_surcharge();
                     next = target;
                 }
+                cond_branch = Some((taken, target));
             }
             Inst::FBranch {
                 cond,
@@ -343,10 +363,12 @@ impl Interpreter {
                 fs2,
                 target,
             } => {
-                if cond.eval(self.freg(fs1), self.freg(fs2)) {
-                    self.cycles += u64::from(self.config.timing.taken_surcharge());
+                let taken = cond.eval(self.freg(fs1), self.freg(fs2));
+                if taken {
+                    exec += self.config.timing.taken_surcharge();
                     next = target;
                 }
+                cond_branch = Some((taken, target));
             }
             Inst::Jump { target } => next = target,
             Inst::Call { target } => {
@@ -389,8 +411,52 @@ impl Interpreter {
                 self.set_reg(rd, block);
             }
         }
+
+        if self.config.pipeline {
+            self.charge_pipelined(fetch, exec, mem);
+            if let Some((taken, target)) = cond_branch {
+                if taken != TimingModel::btfnt_predicts_taken(pc, target) {
+                    // Mispredicted: refill penalty, and the pipe drains —
+                    // the next instruction starts against empty stages.
+                    self.cycles += u64::from(self.config.timing.mispredict_penalty);
+                    self.pipe = (0, 0, 0);
+                }
+            }
+        } else {
+            self.cycles += u64::from(fetch) + u64::from(exec) + u64::from(mem);
+        }
+
+        if stop.is_some() {
+            return Ok(stop);
+        }
         self.pc = next;
         Ok(None)
+    }
+
+    /// Charges one instruction's cycles in pipeline mode: the retirement
+    /// delta of a latched 4-stage in-order pipe (fetch / execute /
+    /// memory / writeback). Each stage holds its instruction until the
+    /// next stage accepts it, so stage `k` of this instruction starts at
+    /// the later of its own stage `k-1` finishing and the previous
+    /// instruction vacating stage `k` (= entering stage `k+1`). The
+    /// latching bounds every residual by combinations of per-stage
+    /// maxima, which is what keeps the abstract pipeline domain finite.
+    /// `self.pipe` holds, relative to the previous instruction's
+    /// retirement, how long ago it entered execute, memory, and
+    /// writeback.
+    fn charge_pipelined(&mut self, fetch: u32, exec: u32, mem: u32) {
+        let (b1, b2, b3) = self.pipe;
+        // Times relative to the previous instruction's retirement
+        // (time 0); it entered stage k+1 at -b_k.
+        let u1 = i64::from(fetch) - b1; // fetch completes
+        let v2 = u1.max(-b2); // execute starts
+        let d2 = v2 + i64::from(exec);
+        let v3 = d2.max(-b3); // memory starts
+        let d3 = v3 + i64::from(mem);
+        let v4 = d3.max(0); // writeback starts
+        let d4 = v4 + i64::from(self.config.timing.writeback);
+        self.cycles += d4.unsigned_abs();
+        self.pipe = (d4 - v2, d4 - v3, d4 - v4);
     }
 
     fn fetch_cost(&mut self, pc: Addr) -> u32 {
@@ -398,14 +464,12 @@ impl Interpreter {
             .config
             .memmap
             .region_at(pc)
-            .map(|r| r.read_latency)
-            .unwrap_or(1);
+            .map_or(1, |r| r.read_latency);
         let cacheable = self
             .config
             .memmap
             .region_at(pc)
-            .map(|r| r.cacheable)
-            .unwrap_or(false);
+            .is_some_and(|r| r.cacheable);
         match (&mut self.icache, cacheable) {
             (Some(cache), true) => match cache.access(pc) {
                 AccessKind::Hit => cache.config().hit_latency,
@@ -435,12 +499,14 @@ impl Interpreter {
         })
     }
 
-    fn load(&mut self, addr: Addr, width: Width, pc: Addr) -> Result<u32, IsaError> {
-        self.cycles += u64::from(self.data_cost(addr, true, pc)?);
+    /// Performs a load and returns `(value, memory latency)`; the caller
+    /// charges the latency (flat sum or pipelined).
+    fn load(&mut self, addr: Addr, width: Width, pc: Addr) -> Result<(u32, u32), IsaError> {
+        let latency = self.data_cost(addr, true, pc)?;
         let b = |mem: &HashMap<u32, u8>, i: u32| {
             u32::from(*mem.get(&(addr.0.wrapping_add(i))).unwrap_or(&0))
         };
-        Ok(match width {
+        let value = match width {
             Width::Byte => b(&self.mem, 0),
             Width::Half => b(&self.mem, 0) | (b(&self.mem, 1) << 8),
             Width::Word => {
@@ -449,16 +515,19 @@ impl Interpreter {
                     | (b(&self.mem, 2) << 16)
                     | (b(&self.mem, 3) << 24)
             }
-        })
+        };
+        Ok((value, latency))
     }
 
-    fn store(&mut self, addr: Addr, width: Width, value: u32, pc: Addr) -> Result<(), IsaError> {
-        self.cycles += u64::from(self.data_cost(addr, false, pc)?);
+    /// Performs a store and returns the memory latency for the caller to
+    /// charge.
+    fn store(&mut self, addr: Addr, width: Width, value: u32, pc: Addr) -> Result<u32, IsaError> {
+        let latency = self.data_cost(addr, false, pc)?;
         let bytes = value.to_le_bytes();
         for i in 0..width.bytes() {
             self.mem.insert(addr.0.wrapping_add(i), bytes[i as usize]);
         }
-        Ok(())
+        Ok(latency)
     }
 }
 
@@ -635,6 +704,85 @@ mod tests {
         let mut cached = Interpreter::with_config(&image, MachineConfig::with_caches());
         let fast = cached.run(10_000).unwrap().cycles;
         assert!(fast < slow, "cached {fast} should beat uncached {slow}");
+    }
+
+    fn run_with(src: &str, config: MachineConfig) -> Outcome {
+        let image = assemble(src).expect("assembles");
+        let mut interp = Interpreter::with_config(&image, config);
+        interp.run(1_000_000).expect("runs")
+    }
+
+    #[test]
+    fn pipeline_overlaps_but_respects_stage_occupancy() {
+        // A dependent fdiv chain: the execute stage is serially occupied,
+        // so the pipelined total is bounded below by the summed execute
+        // costs, and above by the flat sum (overlap only ever helps when
+        // nothing mispredicts).
+        let src = "main: fdiv f1, f1, f1\n fdiv f1, f1, f1\n fdiv f1, f1, f1\n \
+                   fdiv f1, f1, f1\n fdiv f1, f1, f1\n fdiv f1, f1, f1\n \
+                   fdiv f1, f1, f1\n fdiv f1, f1, f1\n halt";
+        let flat = run_with(src, MachineConfig::simple()).cycles;
+        let piped = run_with(
+            src,
+            MachineConfig {
+                pipeline: true,
+                ..MachineConfig::simple()
+            },
+        )
+        .cycles;
+        let timing = TimingModel::new();
+        let exec_sum = u64::from(timing.fdiv) * 8 + u64::from(timing.nop);
+        assert!(piped >= exec_sum, "piped {piped} < execute sum {exec_sum}");
+        assert!(piped < flat, "piped {piped} should beat flat {flat}");
+    }
+
+    #[test]
+    fn mispredict_penalty_charged_per_mispredict() {
+        // Backward loop branch: predicted taken, mispredicts exactly once
+        // (the final fall-through). Zeroing the penalty changes nothing
+        // else — the drain happens either way — so the cycle difference
+        // is exactly one penalty.
+        let src = "main: li r1, 5\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let base = MachineConfig {
+            pipeline: true,
+            ..MachineConfig::simple()
+        };
+        let mut free = base.clone();
+        free.timing.mispredict_penalty = 0;
+        let with_penalty = run_with(src, base.clone()).cycles;
+        let without = run_with(src, free).cycles;
+        assert_eq!(
+            with_penalty - without,
+            u64::from(base.timing.mispredict_penalty),
+            "exactly one mispredict on loop exit"
+        );
+
+        // Forward branch that is taken: predicted not-taken, mispredicts.
+        let fwd = "main: li r1, 1\n bne r1, r0, skip\n nop\nskip: halt";
+        let mut free = base.clone();
+        free.timing.mispredict_penalty = 0;
+        let with_penalty = run_with(fwd, base.clone()).cycles;
+        let without = run_with(fwd, free).cycles;
+        assert_eq!(
+            with_penalty - without,
+            u64::from(base.timing.mispredict_penalty),
+            "taken forward branch mispredicts under BTFNT"
+        );
+    }
+
+    #[test]
+    fn pipeline_flag_off_is_the_flat_model() {
+        let src = "main: li r1, 3\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let a = run_with(src, MachineConfig::simple()).cycles;
+        let b = run_with(
+            src,
+            MachineConfig {
+                pipeline: false,
+                ..MachineConfig::simple()
+            },
+        )
+        .cycles;
+        assert_eq!(a, b);
     }
 
     #[test]

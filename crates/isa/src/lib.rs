@@ -57,6 +57,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod asm;
 pub mod builder;

@@ -43,6 +43,13 @@ pub struct TimingModel {
     pub select: u32,
     /// Nop / halt.
     pub nop: u32,
+    /// Cycles a mispredicted conditional branch costs under the static
+    /// BTFNT (backward-taken / forward-not-taken) predictor, on top of
+    /// the branch's base cost. Charged only in pipeline timing mode.
+    pub mispredict_penalty: u32,
+    /// Writeback stage occupancy per instruction (pipeline timing mode
+    /// only; the flat model folds retirement into the base cost).
+    pub writeback: u32,
 }
 
 impl TimingModel {
@@ -63,6 +70,8 @@ impl TimingModel {
             alloc: 24,
             select: 1,
             nop: 1,
+            mispredict_penalty: 8,
+            writeback: 1,
         }
     }
 
@@ -87,6 +96,8 @@ impl TimingModel {
             alloc: 30,
             select: 1,
             nop: 1,
+            mispredict_penalty: 5,
+            writeback: 1,
         }
     }
 
@@ -133,6 +144,16 @@ impl TimingModel {
             Inst::Branch { .. } | Inst::FBranch { .. } => self.branch_taken,
             _ => self.base_cost(inst),
         }
+    }
+
+    /// The static BTFNT predictor's decision for a conditional branch at
+    /// `pc` targeting `target`: backward branches (loop latches) predict
+    /// taken, forward branches predict not-taken. Purely a function of
+    /// the two addresses, so the interpreter and the static analysis
+    /// cannot disagree.
+    #[must_use]
+    pub fn btfnt_predicts_taken(pc: crate::inst::Addr, target: crate::inst::Addr) -> bool {
+        target <= pc
     }
 }
 

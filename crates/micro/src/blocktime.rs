@@ -237,6 +237,32 @@ impl BlockTimes {
         Some(t)
     }
 
+    /// Builds block times the pipeline analysis computed itself (its
+    /// per-block deltas already satisfy wcet ≥ bcet by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors disagree in length or any worst case
+    /// undercuts its best case — the pipeline fixpoint guarantees both,
+    /// so a violation is an analysis bug, not an input condition.
+    pub(crate) fn from_pipeline(
+        wcet: Vec<u64>,
+        bcet: Vec<u64>,
+        first_miss: Vec<u64>,
+    ) -> BlockTimes {
+        assert_eq!(wcet.len(), bcet.len());
+        assert_eq!(wcet.len(), first_miss.len());
+        assert!(
+            wcet.iter().zip(&bcet).all(|(w, b)| w >= b),
+            "pipeline block times must keep wcet >= bcet"
+        );
+        BlockTimes {
+            wcet,
+            bcet,
+            first_miss,
+        }
+    }
+
     /// Worst-case cycles for block `b`.
     ///
     /// # Panics
@@ -283,7 +309,7 @@ impl BlockTimes {
     }
 }
 
-fn apply_override(value: Value, over: Option<Interval>) -> Value {
+pub(crate) fn apply_override(value: Value, over: Option<Interval>) -> Value {
     match over {
         Some(range) => {
             let met = value.to_interval().meet(range);
@@ -302,7 +328,7 @@ fn apply_override(value: Value, over: Option<Interval>) -> Value {
 
 /// Returns (worst, best, first-miss penalty) fetch cycles for the
 /// instruction at `addr`.
-fn fetch_cost(
+pub(crate) fn fetch_cost(
     addr: Addr,
     icache: Option<&CacheAnalysis>,
     machine: &MachineConfig,
@@ -365,7 +391,7 @@ fn fetch_cost(
 }
 
 /// Returns (worst, best, first-miss penalty) data-access cycles.
-fn data_cost(
+pub(crate) fn data_cost(
     value: &Value,
     is_read: bool,
     dcache: Option<&CacheAnalysis>,

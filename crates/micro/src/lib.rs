@@ -19,7 +19,11 @@
 //! * [`blocktime`] — combines base instruction costs, fetch
 //!   classifications, and data-access latencies from the memory map into
 //!   per-block WCET/BCET cycle bounds, the numbers the path analysis
-//!   weighs its ILP with.
+//!   weighs its ILP with,
+//! * [`pipeline`] — the abstract in-order pipeline: residual-latency
+//!   vector sets carried block-to-block (like the ACS) so block cost
+//!   becomes a state-dependent retirement delta instead of a latency
+//!   sum, plus static BTFNT branch-prediction penalties per CFG edge.
 //!
 //! # Example
 //!
@@ -41,12 +45,16 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod acs;
 pub mod blocktime;
 pub mod cacheanalysis;
 pub mod footprint;
+pub mod pipeline;
 
 pub use acs::{AbstractCache, Classification};
 pub use blocktime::BlockTimes;
 pub use cacheanalysis::{CacheAnalysis, CacheCtx, CacheKind, CacheStates, CtxCacheAnalysis};
 pub use footprint::{CacheFootprint, SetFootprint};
+pub use pipeline::{BranchPenalties, CtxPipelineAnalysis, PipelineStates};

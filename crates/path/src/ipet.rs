@@ -194,6 +194,37 @@ pub fn wcet_with_stats(
     call_costs: &CallCosts,
     stats: &mut LpStats,
 ) -> Result<WcetResult, PathError> {
+    wcet_full(
+        cfg,
+        forest,
+        times,
+        bounds,
+        facts,
+        call_costs,
+        &BTreeMap::new(),
+        stats,
+    )
+}
+
+/// [`wcet_with_stats`] with per-edge cycle penalties added to the
+/// objective (the pipeline analysis' static branch-misprediction
+/// charges: traversing a penalized edge costs its penalty times the
+/// edge's flow).
+///
+/// # Errors
+///
+/// See [`PathError`].
+#[allow(clippy::too_many_arguments)] // the stats sink rides along
+pub fn wcet_full(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    times: &BlockTimes,
+    bounds: &LoopBounds,
+    facts: &[FlowFact],
+    call_costs: &CallCosts,
+    edge_penalties: &BTreeMap<(BlockId, BlockId), u64>,
+    stats: &mut LpStats,
+) -> Result<WcetResult, PathError> {
     solve(
         cfg,
         forest,
@@ -201,6 +232,7 @@ pub fn wcet_with_stats(
         bounds,
         facts,
         call_costs,
+        edge_penalties,
         Sense::Maximize,
         stats,
     )
@@ -246,6 +278,37 @@ pub fn bcet_with_stats(
     call_costs: &CallCosts,
     stats: &mut LpStats,
 ) -> Result<WcetResult, PathError> {
+    bcet_full(
+        cfg,
+        forest,
+        times,
+        bounds,
+        facts,
+        call_costs,
+        &BTreeMap::new(),
+        stats,
+    )
+}
+
+/// [`bcet_with_stats`] with per-edge cycle penalties; see [`wcet_full`].
+/// The minimizing sense charges them too — the BTFNT predictor is
+/// deterministic, so a mispredicted edge *always* pays its penalty and
+/// the lower bound stays exact.
+///
+/// # Errors
+///
+/// See [`PathError`].
+#[allow(clippy::too_many_arguments)] // the stats sink rides along
+pub fn bcet_full(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    times: &BlockTimes,
+    bounds: &LoopBounds,
+    facts: &[FlowFact],
+    call_costs: &CallCosts,
+    edge_penalties: &BTreeMap<(BlockId, BlockId), u64>,
+    stats: &mut LpStats,
+) -> Result<WcetResult, PathError> {
     solve(
         cfg,
         forest,
@@ -253,6 +316,7 @@ pub fn bcet_with_stats(
         bounds,
         facts,
         call_costs,
+        edge_penalties,
         Sense::Minimize,
         stats,
     )
@@ -266,6 +330,7 @@ fn solve(
     bounds: &LoopBounds,
     facts: &[FlowFact],
     call_costs: &CallCosts,
+    edge_penalties: &BTreeMap<(BlockId, BlockId), u64>,
     sense: Sense,
     stats: &mut LpStats,
 ) -> Result<WcetResult, PathError> {
@@ -415,6 +480,17 @@ fn solve(
         objective.push((block_vars[b], (base + call_cost) as f64));
     }
 
+    // Per-edge penalties (static branch-misprediction charges): each
+    // traversal of a penalized edge costs its penalty, in both senses —
+    // the BTFNT predictor is deterministic, so the charge is exact.
+    if !edge_penalties.is_empty() {
+        for (k, edge) in edges.iter().enumerate() {
+            if let Some(&p) = edge_penalties.get(edge) {
+                objective.push((edge_vars[k], p as f64));
+            }
+        }
+    }
+
     // First-miss (persistence) penalties: an access classified FirstMiss
     // costs the hit latency per execution (already in the block time)
     // plus its miss penalty **at most once per activation**. Encoded as
@@ -487,6 +563,68 @@ mod tests {
         let mut interp = Interpreter::with_config(&image, MachineConfig::simple());
         let outcome = interp.run(1_000_000).unwrap();
         (result.wcet_cycles, outcome.cycles)
+    }
+
+    #[test]
+    fn edge_penalties_charge_per_traversal() {
+        // A 4-iteration loop: the back edge is taken 3 times, the exit
+        // edge once. Penalizing each adds penalty × flow to the bound.
+        let src = "main: li r1, 4\nloop: subi r1, r1, 1\n bne r1, r0, loop\n halt";
+        let (_, fa, times) = setup(src);
+        let cfg = fa.cfg();
+        let bounds = fa.loop_bounds();
+        let plain = wcet(cfg, fa.forest(), &times, &bounds, &[], &CallCosts::new())
+            .unwrap()
+            .wcet_cycles;
+        let branch_block = cfg
+            .iter()
+            .find(|(_, b)| matches!(b.term, Terminator::CondBranch { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let back_edge = (branch_block, branch_block);
+        let exit_edge = cfg
+            .edges()
+            .into_iter()
+            .find(|&(u, v)| u == branch_block && v != branch_block)
+            .unwrap();
+        for (edge, traversals) in [(back_edge, 3), (exit_edge, 1)] {
+            let penalties = BTreeMap::from([(edge, 10u64)]);
+            let with = wcet_full(
+                cfg,
+                fa.forest(),
+                &times,
+                &bounds,
+                &[],
+                &CallCosts::new(),
+                &penalties,
+                &mut LpStats::default(),
+            )
+            .unwrap()
+            .wcet_cycles;
+            assert_eq!(with, plain + 10 * traversals, "edge {edge:?}");
+        }
+        // The minimizing sense charges the penalty too; the shortest
+        // path exits after one header visit, traversing the exit edge
+        // exactly once (and the back edge never — its penalty is free).
+        let b_plain = bcet(cfg, fa.forest(), &times, &bounds, &[], &CallCosts::new())
+            .unwrap()
+            .wcet_cycles;
+        for (edge, traversals) in [(back_edge, 0), (exit_edge, 1)] {
+            let penalties = BTreeMap::from([(edge, 10u64)]);
+            let b_with = bcet_full(
+                cfg,
+                fa.forest(),
+                &times,
+                &bounds,
+                &[],
+                &CallCosts::new(),
+                &penalties,
+                &mut LpStats::default(),
+            )
+            .unwrap()
+            .wcet_cycles;
+            assert_eq!(b_with, b_plain + 10 * traversals, "edge {edge:?}");
+        }
     }
 
     #[test]

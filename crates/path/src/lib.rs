@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod extract;
 pub mod flowfacts;
 pub mod ipet;

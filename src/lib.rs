@@ -6,6 +6,8 @@
 //! through one dependency. See the repository `README.md`, `DESIGN.md`,
 //! and `EXPERIMENTS.md` for the system inventory and experiment index.
 
+#![forbid(unsafe_code)]
+
 pub mod render;
 
 pub use wcet_analysis as analysis;

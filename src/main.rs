@@ -17,6 +17,13 @@
 //!                                first-miss classification (one miss per
 //!                                activation); needs --caches and
 //!                                --context-depth ≥ 1
+//!   --pipeline                   abstract in-order pipeline timing with
+//!                                static BTFNT branch prediction: block
+//!                                costs become retirement deltas over
+//!                                bounded residual-latency states and
+//!                                mispredicted edges are charged in the
+//!                                ILP; with --run the simulated machine
+//!                                overlaps stages the same way
 //!   --threads <n>                analysis worker threads (default: all
 //!                                cores; 1 = sequential; same report either way)
 //!   --cache-dir <dir>            persistent artifact cache: unchanged
@@ -55,6 +62,8 @@
 //! wcet --table1 [samples]        regenerate the paper's Table 1
 //! wcet --experiments             regenerate every experiment (E1–E16)
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -96,6 +105,7 @@ struct CliOptions {
     cache_dir: Option<String>,
     context_depth: usize,
     persistence: bool,
+    pipeline: bool,
     /// Instruction-set backend; `--isa rv32i` switches assembly,
     /// timing, and the cache key space. Per-request manifest/serve
     /// overrides start from this default.
@@ -377,6 +387,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
             "--stdio" => opts.stdio = true,
             "--caches" => opts.caches = true,
             "--persistence" => opts.persistence = true,
+            "--pipeline" => opts.pipeline = true,
             "--unroll" => opts.unroll = true,
             "--disasm" => opts.show_disasm = true,
             "--check-only" => opts.check_only = true,
@@ -459,11 +470,14 @@ fn analyzer_config(
     opts: &CliOptions,
     annotations: AnnotationSet,
 ) -> (AnalyzerConfig, MachineConfig) {
-    let machine = if opts.caches {
+    let mut machine = if opts.caches {
         MachineConfig::with_caches_for(opts.isa)
     } else {
         MachineConfig::simple_for(opts.isa)
     };
+    // The analysis flag and the simulated machine move together, so
+    // `--run` observations stay comparable to the reported interval.
+    machine.pipeline = opts.pipeline;
     let config = AnalyzerConfig {
         machine: machine.clone(),
         annotations,
@@ -471,6 +485,7 @@ fn analyzer_config(
         parallelism: opts.parallelism,
         context_depth: opts.context_depth,
         persistence: opts.persistence,
+        pipeline: opts.pipeline,
         isa: opts.isa,
         ..AnalyzerConfig::new()
     };
@@ -757,10 +772,11 @@ fn print_usage() {
          and WCET Predictability', PPES/DATE 2011)\n\n\
          usage:\n  wcet <program.s> [--annotations <file>] [--isa <name>] \
          [--caches] [--unroll] [--context-depth <k>] [--persistence] \
-         [--threads <n>] [--cache-dir <dir>] [--disasm] [--check-only] \
-         [--run]\n  \
+         [--pipeline] [--threads <n>] [--cache-dir <dir>] [--disasm] \
+         [--check-only] [--run]\n  \
          wcet batch <manifest> [--cache-dir <dir>] [--isa <name>] [--caches] \
-         [--unroll] [--context-depth <k>] [--persistence] [--threads <n>]\n  \
+         [--unroll] [--context-depth <k>] [--persistence] [--pipeline] \
+         [--threads <n>]\n  \
          wcet serve <socket> | --stdio [--cache-dir <dir>] [--workers <n>] \
          [--max-cache-bytes <size>] [analysis options]\n  \
          wcet gc --cache-dir <dir> [--max-bytes <size>]\n  \

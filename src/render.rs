@@ -58,8 +58,7 @@ pub fn render_analysis(image: &Image, report: &AnalysisReport) -> String {
             let start = entry_cfg.block(b).start;
             image
                 .symbol_at(start)
-                .map(str::to_owned)
-                .unwrap_or_else(|| start.to_string())
+                .map_or_else(|| start.to_string(), str::to_owned)
         })
         .collect();
     if !path_blocks.is_empty() {

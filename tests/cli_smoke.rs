@@ -226,7 +226,7 @@ fn batch_mode_analyzes_a_manifest_against_a_shared_cache() {
         "--cache-dir",
         cache_dir.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "batch run exits 0: {:?}", out);
+    assert!(out.status.success(), "batch run exits 0: {out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     assert_eq!(
         stdout.matches("── batch: ").count(),

@@ -8,7 +8,7 @@ use wcet_predictability::core::fuzz::{
     FuzzOptions, OracleOptions, ProgSpec, Sabotage, Stmt,
 };
 use wcet_predictability::isa::interp::{Interpreter, MachineConfig};
-use wcet_predictability::isa::{AluOp, IsaKind};
+use wcet_predictability::isa::{AluOp, Cond, IsaKind};
 
 fn assert_sound(spec: &ProgSpec, seed: u64) {
     let gp = lower(spec).expect("reproducer lowers");
@@ -219,6 +219,72 @@ fn emitted_annotations_match_observed_trip_counts() {
             isa.name()
         );
         assert_sound(&spec, 11);
+    }
+}
+
+/// Pipeline-timing stress pinned from the matrix extension (PR 10): a
+/// branch ladder inside an annotated loop around a call. Every shape the
+/// abstract pipeline has to get right at once — forward/backward BTFNT
+/// edges, the drained state after a mispredict, call-site residual
+/// snapshots feeding the callee's entry, and the loop fixpoint over
+/// residual-latency vectors. `check_program` runs the full oracle matrix,
+/// so this pins the `pipeline` cases (with and without caches) against
+/// the cycle-exact pipelined interpreter on both ISAs.
+#[test]
+fn branch_ladders_stay_sound_under_pipeline_timing() {
+    for isa in [IsaKind::House, IsaKind::Rv32i] {
+        let spec = ProgSpec {
+            isa,
+            code_base: 0x0010_0000,
+            funcs: vec![
+                FuncSpec {
+                    level: 0,
+                    body: vec![
+                        Stmt::Li { rd: 1, value: 3 },
+                        Stmt::Loop {
+                            bound: 7,
+                            annotate: true,
+                            body: vec![
+                                Stmt::Diamond {
+                                    cond: Cond::Lt,
+                                    rs1: 0,
+                                    rs2: 1,
+                                    then_body: vec![Stmt::Load { rd: 2, slot: 1 }],
+                                    else_body: vec![Stmt::Store { rs: 2, slot: 2 }],
+                                },
+                                Stmt::Call { callee: 1 },
+                                Stmt::Diamond {
+                                    cond: Cond::Ne,
+                                    rs1: 2,
+                                    rs2: 0,
+                                    then_body: vec![Stmt::Alu {
+                                        op: AluOp::Add,
+                                        rd: 3,
+                                        rs1: 3,
+                                        rs2: 1,
+                                    }],
+                                    else_body: vec![],
+                                },
+                            ],
+                        },
+                    ],
+                },
+                FuncSpec {
+                    level: 1,
+                    body: vec![
+                        Stmt::Diamond {
+                            cond: Cond::Geu,
+                            rs1: 1,
+                            rs2: 0,
+                            then_body: vec![Stmt::Load { rd: 4, slot: 3 }],
+                            else_body: vec![Stmt::Li { rd: 4, value: 9 }],
+                        },
+                        Stmt::Store { rs: 4, slot: 4 },
+                    ],
+                },
+            ],
+        };
+        assert_sound(&spec, 0x9_1010);
     }
 }
 

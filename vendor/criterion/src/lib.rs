@@ -16,6 +16,8 @@
 //! archive a perf trajectory from the `--quick` smoke runs without
 //! scraping the human-oriented log.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// How batched inputs are grouped (accepted for API compatibility; the
@@ -121,9 +123,10 @@ impl BenchmarkGroup<'_> {
         if self.medians.is_empty() {
             return;
         }
-        let dir = std::env::var_os("WCET_BENCH_DIR")
-            .map(std::path::PathBuf::from)
-            .unwrap_or_else(|| std::path::PathBuf::from("target/bench-summaries"));
+        let dir = std::env::var_os("WCET_BENCH_DIR").map_or_else(
+            || std::path::PathBuf::from("target/bench-summaries"),
+            std::path::PathBuf::from,
+        );
         if std::fs::create_dir_all(&dir).is_err() {
             return;
         }

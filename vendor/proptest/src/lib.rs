@@ -16,6 +16,8 @@
 //!   `PROPTEST_SEED` to explore a different stream, `PROPTEST_CASES` to
 //!   scale the number of cases.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod sample;

@@ -7,6 +7,8 @@
 //! SplitMix64 — deterministic for a given seed on every platform, which is
 //! exactly what the test suites need.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core source of randomness: a stream of `u64`s.
