@@ -1,0 +1,30 @@
+use wcet_analysis::analyze_function;
+use wcet_cfg::block::Terminator;
+use wcet_cfg::graph::{reconstruct, TargetResolver};
+use wcet_isa::asm::assemble;
+use wcet_isa::interp::{Interpreter, MachineConfig};
+use wcet_micro::blocktime::AccessOverrides;
+use wcet_micro::pipeline;
+
+#[test]
+fn degenerate_branch_to_next_is_sound() {
+    // Branch always taken, target == fall-through: BTFNT predicts
+    // not-taken (forward), so every execution mispredicts and drains.
+    let src = "main: fdiv f1, f1, f1\n beq r0, r0, next\nnext: fdiv f2, f2, f2\n fdiv f3, f3, f3\n halt";
+    let image = assemble(src).unwrap();
+    let p = reconstruct(&image, &TargetResolver::empty()).unwrap();
+    let fa = analyze_function(&p, p.entry, &image);
+    let machine = MachineConfig { pipeline: true, ..MachineConfig::simple() };
+    let t = pipeline::analyze(&fa, &machine, &AccessOverrides::none(), None, None, None);
+    let mut interp = Interpreter::with_config(&image, machine.clone());
+    let observed = interp.run(10_000).unwrap().cycles;
+    let cfg = fa.cfg();
+    // Path: every block once, plus the (WCET-charged) mispredict penalty.
+    let mut bound = u64::from(machine.timing.mispredict_penalty);
+    for (id, b) in cfg.iter() {
+        eprintln!("block {:?} term {:?} wcet {} bcet {}", id, b.term, t.times.wcet(id), t.times.bcet(id));
+        bound += t.times.wcet(id);
+    }
+    let _ = Terminator::Halt;
+    assert!(bound >= observed, "UNSOUND: bound {bound} < observed {observed}");
+}
